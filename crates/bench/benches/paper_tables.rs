@@ -1,0 +1,64 @@
+//! Criterion benches over the table/figure generators: every experiment of
+//! the paper's evaluation is regenerated (and printed once) under timing.
+//!
+//! One bench target per table/figure, named after the paper reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fnr_bench::{array_experiments, format_experiments, gpu_experiments, system_experiments};
+
+fn bench_tables(c: &mut Criterion) {
+    // Print each regenerated table once so `cargo bench` output doubles as
+    // a reproduction log.
+    for t in fnr_bench::all_fast_tables() {
+        println!("{t}\n");
+    }
+
+    let mut g = c.benchmark_group("paper_tables");
+    g.sample_size(10);
+
+    g.bench_function("table1_gpu_specs", |b| b.iter(gpu_experiments::table1_gpu_specs));
+    g.bench_function("fig1_gpu_latency", |b| b.iter(gpu_experiments::fig1_gpu_latency));
+    g.bench_function("fig3_runtime_breakdown", |b| {
+        b.iter(gpu_experiments::fig3_runtime_breakdown)
+    });
+    g.bench_function("table2_related_works", |b| b.iter(array_experiments::table2_related_works));
+    g.bench_function("fig4_mac_utilization", |b| b.iter(array_experiments::fig4_mac_utilization));
+    g.bench_function("fig6_bit_scalable_modes", |b| {
+        b.iter(format_experiments::fig6_bit_scalable_modes)
+    });
+    g.bench_function("fig7_format_footprints", |b| {
+        b.iter(format_experiments::fig7_format_footprints)
+    });
+    g.bench_function("fig8_optimal_formats", |b| b.iter(format_experiments::fig8_optimal_formats));
+    g.bench_function("fig12_mac_unit_ppa", |b| b.iter(array_experiments::fig12_mac_unit_ppa));
+    g.bench_function("table3_mac_arrays", |b| b.iter(array_experiments::table3_mac_arrays));
+    g.bench_function("fig15_array_breakdowns", |b| {
+        b.iter(array_experiments::fig15_array_breakdowns)
+    });
+    g.bench_function("noc_energy_ablation", |b| b.iter(array_experiments::noc_energy_ablation));
+    g.bench_function("fig16_fig17_accelerator_ppa", |b| {
+        b.iter(system_experiments::fig16_fig17_accelerator_ppa)
+    });
+    g.bench_function("fig18_latency_density", |b| {
+        b.iter(system_experiments::fig18_latency_density)
+    });
+    g.bench_function("fig20b_batch_scaling", |b| {
+        b.iter(system_experiments::fig20b_batch_scaling)
+    });
+    g.finish();
+
+    // Fig. 13 and Fig. 19 are heavier (real pipeline / 7-model sweep):
+    // time them with fewer samples.
+    let mut slow = c.benchmark_group("paper_tables_slow");
+    slow.sample_size(10);
+    slow.bench_function("fig13_stage_sparsity", |b| {
+        b.iter(format_experiments::fig13_stage_sparsity)
+    });
+    slow.bench_function("fig19_speedup_efficiency", |b| {
+        b.iter(system_experiments::fig19_speedup_efficiency)
+    });
+    slow.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,252 @@
+//! Table 2, Table 3, Fig. 4, Fig. 12, Fig. 15 and the HMF-vs-HM NoC
+//! energy ablation.
+
+use crate::Table;
+use fnr_hw::TechParams;
+use fnr_mac::{mac_unit_parts_list, ReductionTreeKind, FIG12C_PAPER};
+use fnr_noc::{related_works_table2, Delivery, DistTree, NocEnergyParams, NocKind};
+use fnr_sim::engines::{Engine, NvdlaEngine, TpuEngine};
+use fnr_sim::{array_parts_list, table3_rows, ArrayConfig, ArrayKind, TABLE3_PAPER};
+use fnr_tensor::workload::{GemmClass, GemmOp};
+use fnr_tensor::Precision;
+
+/// Table 2: related flexible-NoC works feature matrix.
+pub fn table2_related_works() -> Table {
+    let mut t = Table::new(
+        "Table 2",
+        "Flexible NoC related work: dataflow / multi-format / bit-level flexibility",
+        &["Work", "Dataflow modes", "Multi-sparsity format", "Bit widths"],
+    );
+    for row in related_works_table2() {
+        t.push_row(vec![
+            row.name.to_string(),
+            row.dataflow_modes.to_string(),
+            if row.multi_sparsity_format { row.formats.to_string() } else { format!("no ({})", row.formats) },
+            if row.bit_flexibility { row.bit_widths.to_string() } else { format!("no ({})", row.bit_widths) },
+        ]);
+    }
+    t.note("Only FlexNeRFer covers all three axes.");
+    t
+}
+
+/// Fig. 4: MAC utilization of NVDLA-style and TPU-style engines on the
+/// paper's four scenarios (4×4 toy arrays, as in the figure).
+pub fn fig4_mac_utilization() -> Table {
+    let mut cfg = ArrayConfig::paper_default();
+    cfg.rows = 4;
+    cfg.cols = 4;
+    let tpu = TpuEngine::new(cfg);
+    let nvdla = NvdlaEngine::new(cfg);
+    let mk = |m, k, n, sb, class| GemmOp {
+        m,
+        k,
+        n,
+        batch: 1,
+        precision: Precision::Int16,
+        sparsity_a: 0.0,
+        sparsity_b: sb,
+        class,
+        a_offchip: true,
+        out_offchip: true,
+    };
+    let scenarios = [
+        ("(a) Early CNN layer (C=2,K=3)", mk(16, 2, 3, 0.0, GemmClass::RegularDense), 0.375, 0.375),
+        ("(b) Late CNN layer (C=8,K=2)", mk(16, 8, 2, 0.0, GemmClass::RegularDense), 1.0, 0.5),
+        ("(c) Irregular GEMM (5x4x4)", mk(5, 4, 4, 0.0, GemmClass::Irregular), 0.0625, 1.0),
+        ("(d) Sparse GEMM (5/16 zeros)", mk(5, 4, 4, 5.0 / 16.0, GemmClass::Sparse), 0.0625, 0.6875),
+    ];
+    let mut t = Table::new(
+        "Fig. 4",
+        "MAC utilization of commercial dense engines [%]",
+        &["Scenario", "NVDLA", "NVDLA (paper)", "TPU", "TPU (paper)"],
+    );
+    for (label, op, nvdla_paper, tpu_paper) in scenarios {
+        let nv = nvdla.mapping_utilization(&op);
+        let tp = if op.sparsity_b > 0.0 {
+            tpu.effective_utilization(&op)
+        } else {
+            tpu.spatial_utilization(op.k, op.n)
+        };
+        t.push_row(vec![
+            label.to_string(),
+            format!("{:.2}", nv * 100.0),
+            format!("{:.2}", nvdla_paper * 100.0),
+            format!("{:.2}", tp * 100.0),
+            format!("{:.2}", tpu_paper * 100.0),
+        ]);
+    }
+    t.note("Design requirement 1: a NeRF accelerator must keep utilization high across all four scenarios.");
+    t
+}
+
+/// Fig. 12(c): MAC unit area/power, unoptimized vs shared-shifter RT.
+pub fn fig12_mac_unit_ppa() -> Table {
+    let tech = TechParams::CMOS_28NM;
+    let unopt = mac_unit_parts_list(&tech, ReductionTreeKind::Unoptimized).subtotal();
+    let opt = mac_unit_parts_list(&tech, ReductionTreeKind::SharedShifter).subtotal();
+    let mut t = Table::new(
+        "Fig. 12(c)",
+        "Bit-scalable MAC unit PPA: unoptimized vs shared-shifter reduction tree",
+        &["Variant", "Area [um2]", "Paper [um2]", "Power [mW]", "Paper [mW]", "Shifters"],
+    );
+    t.push_row(vec![
+        "Unoptimized".into(),
+        format!("{:.1}", unopt.area.0),
+        format!("{:.1}", FIG12C_PAPER.0),
+        format!("{:.2}", unopt.power.0),
+        format!("{:.2}", FIG12C_PAPER.2),
+        "24".into(),
+    ]);
+    t.push_row(vec![
+        "Shared-shifter (ours)".into(),
+        format!("{:.1}", opt.area.0),
+        format!("{:.1}", FIG12C_PAPER.1),
+        format!("{:.2}", opt.power.0),
+        format!("{:.2}", FIG12C_PAPER.3),
+        "16".into(),
+    ]);
+    t.note(format!(
+        "Reductions: area {:.1}% (paper 28.3%), power {:.1}% (paper 45.6%).",
+        (1.0 - opt.area / unopt.area) * 100.0,
+        (1.0 - opt.power / unopt.power) * 100.0
+    ));
+    t
+}
+
+/// Table 3: hardware specification comparison of the four compute arrays.
+pub fn table3_mac_arrays() -> Table {
+    let cfg = ArrayConfig::paper_default();
+    let rows = table3_rows(&cfg);
+    let mut t = Table::new(
+        "Table 3",
+        "Compute arrays: area, power, peak & effective efficiency (measured vs paper)",
+        &["Array", "Mode", "Area [mm2] (paper)", "Power [W] (paper)", "Peak TOPS/W (paper)", "Effective TOPS/W (paper)"],
+    );
+    for row in &rows {
+        let paper = TABLE3_PAPER.iter().find(|(n, ..)| *n == row.kind.name()).unwrap();
+        let mode_idx = match row.mode {
+            Precision::Int4 => 0,
+            Precision::Int8 => 1,
+            _ => 2,
+        };
+        t.push_row(vec![
+            row.kind.name().to_string(),
+            row.mode.to_string(),
+            format!("{:.1} ({:.1})", row.area_mm2, paper.1),
+            format!("{:.2} ({:.1})", row.power_w, paper.2[mode_idx]),
+            format!("{:.2} ({:.1})", row.peak_tops_w, paper.3[mode_idx]),
+            format!("{:.2} ({:.1})", row.effective_tops_w, paper.4[mode_idx]),
+        ]);
+    }
+    t.note("Effective efficiency measured on the sparse irregular GEMM suite (20% useful MACs); FlexNeRFer leads every mode, Bit Fusion collapses without sparsity support.");
+    t
+}
+
+/// Fig. 15: area/power breakdown of every compute array by component group.
+pub fn fig15_array_breakdowns() -> Table {
+    let cfg = ArrayConfig::paper_default();
+    let mut t = Table::new(
+        "Fig. 15",
+        "Compute array area/power breakdowns (INT16 power)",
+        &["Array", "Component", "Area [mm2]", "Power (full activity) [W]"],
+    );
+    for kind in ArrayKind::ALL {
+        let list = array_parts_list(kind, &cfg);
+        for (name, _, ppa) in list.groups() {
+            t.push_row(vec![
+                kind.name().to_string(),
+                name.clone(),
+                format!("{:.2}", ppa.area.mm2()),
+                format!("{:.2}", ppa.power.watts()),
+            ]);
+        }
+    }
+    t.note("SIGMA-family arrays are interconnect-dominated; FlexNeRFer's HMF-NoC + shared-shifter units keep both in check (1.4x smaller than bit-scalable SIGMA).");
+    t
+}
+
+/// §4.1.2 ablation: HMF-NoC vs HM-NoC on-chip memory-access energy on
+/// weight-reuse-heavy GEMM traffic (paper: ≈2.5× in favour of HMF).
+pub fn noc_energy_ablation() -> Table {
+    let params = NocEnergyParams::default();
+    let mut hm = DistTree::new(64, NocKind::Hm);
+    let mut hmf = DistTree::new(64, NocKind::Hmf);
+    // Weight-stationary GEMM traffic: each broadcast weight value serves 7
+    // consecutive input-tile wavefronts; two fresh operand values arrive
+    // over that window. Without feedback, every wavefront re-reads the
+    // stationary value from the global buffer.
+    for group in 0..200u64 {
+        let stationary = Delivery::new(group, (0..32).collect());
+        for step in 0..7u64 {
+            let mut wavefront = vec![stationary.clone()];
+            if step == 0 || step == 3 {
+                wavefront.push(Delivery::new(1_000_000 + group * 10 + step, (32..64).collect()));
+            }
+            hm.deliver(&wavefront);
+            hmf.deliver(&wavefront);
+        }
+    }
+    let e_hm = params.memory_access_energy(hm.stats());
+    let e_hmf = params.memory_access_energy(hmf.stats());
+    let mut t = Table::new(
+        "§4.1.2",
+        "HMF-NoC vs HM-NoC on-chip memory-access energy",
+        &["NoC", "Buffer reads", "Feedback hops", "Memory-access energy [pJ]", "Ratio"],
+    );
+    t.push_row(vec![
+        "HM-NoC (Eyeriss v2)".into(),
+        hm.stats().sram_reads.to_string(),
+        hm.stats().feedback_hops.to_string(),
+        format!("{:.0}", e_hm.0),
+        format!("{:.2}x", e_hm.0 / e_hmf.0),
+    ]);
+    t.push_row(vec![
+        "HMF-NoC (ours)".into(),
+        hmf.stats().sram_reads.to_string(),
+        hmf.stats().feedback_hops.to_string(),
+        format!("{:.0}", e_hmf.0),
+        "1.00x".into(),
+    ]);
+    t.note("Paper reports ~2.5x: the feedback loop turns repeated buffer reads into cheap local hops.");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_matches_all_eight_paper_numbers() {
+        let t = fig4_mac_utilization();
+        for row in &t.rows {
+            let nv: f64 = row[1].parse().unwrap();
+            let nvp: f64 = row[2].parse().unwrap();
+            let tp: f64 = row[3].parse().unwrap();
+            let tpp: f64 = row[4].parse().unwrap();
+            assert!((nv - nvp).abs() < 0.01, "NVDLA {nv} vs paper {nvp}");
+            assert!((tp - tpp).abs() < 0.01, "TPU {tp} vs paper {tpp}");
+        }
+    }
+
+    #[test]
+    fn noc_ablation_lands_near_2_5x() {
+        let t = noc_energy_ablation();
+        let ratio: f64 = t.cell(0, "Ratio").unwrap().trim_end_matches('x').parse().unwrap();
+        assert!((2.0..3.2).contains(&ratio), "HMF advantage {ratio}");
+    }
+
+    #[test]
+    fn table3_has_ten_rows() {
+        // 1 (SIGMA) + 3 × 3 (bit-flexible designs).
+        assert_eq!(table3_mac_arrays().rows.len(), 10);
+    }
+
+    #[test]
+    fn table2_marks_flexnerfer_full() {
+        let t = table2_related_works();
+        let last = t.rows.last().unwrap();
+        assert_eq!(last[0], "FlexNeRFer");
+        assert!(!last[2].starts_with("no"));
+        assert!(!last[3].starts_with("no"));
+    }
+}

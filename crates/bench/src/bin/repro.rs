@@ -1,0 +1,31 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p fnr-bench --bin repro            # fast set
+//! cargo run --release -p fnr-bench --bin repro -- --full  # + Fig. 20(a) (trains a NeRF)
+//! ```
+
+use fnr_bench::quality_experiments;
+use fnr_nerf::train::TrainConfig;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    println!("# FlexNeRFer reproduction — regenerated tables & figures\n");
+    for table in fnr_bench::all_fast_tables() {
+        println!("{table}");
+        println!();
+    }
+    if full {
+        eprintln!("[repro] training the hash-grid NeRF for Fig. 20(a) (this takes a few minutes)…");
+        let table = quality_experiments::fig20a_table(&TrainConfig::standard());
+        println!("{table}");
+    } else {
+        eprintln!("[repro] training the hash-grid NeRF for Fig. 20(a) with the quick budget…");
+        let cfg = TrainConfig { iters: 700, batch_rays: 128, image_size: 32, ..TrainConfig::quick() };
+        let table = quality_experiments::fig20a_table(&cfg);
+        println!("{table}");
+        println!(
+            "> Run with --full for the standard training budget (higher absolute PSNR, same shape).\n"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Fig. 6, Fig. 7, Fig. 8 and Fig. 13(a) — precision modes, sparsity
+//! formats and measured pipeline sparsity.
+
+use crate::Table;
+use fnr_nerf::camera::Camera;
+use fnr_nerf::hashgrid::HashGridConfig;
+use fnr_nerf::render::NgpModel;
+use fnr_nerf::sampling::{batch_sparsity, sample_ray, OccupancyGrid};
+use fnr_nerf::scene::{LegoScene, MicScene, Scene};
+use fnr_tensor::sparse::EncodedMatrix;
+use fnr_tensor::{gen, FootprintModel, Precision, SparsityFormat};
+
+/// Fig. 6(b): logical multiplier counts and data fetch sizes of the 64×64
+/// bit-scalable array per precision mode.
+pub fn fig6_bit_scalable_modes() -> Table {
+    let mut t = Table::new(
+        "Fig. 6",
+        "Bit-scalable 64x64 MAC array: multipliers and fetch sizes per mode",
+        &["Mode", "# of multipliers", "Data fetch size (X or W) [B]"],
+    );
+    for p in [Precision::Int16, Precision::Int8, Precision::Int4] {
+        let d = p.logical_dim(64);
+        t.push_row(vec![
+            format!("{p}-bit mode", p = p.bits()),
+            format!("{d} x {d}"),
+            format!("{}", p.fetch_bytes(64)),
+        ]);
+    }
+    t.note("Fetch size doubles each time precision halves (4x elements at half width).");
+    t
+}
+
+/// Fig. 7: memory footprint of each format normalized to dense, across
+/// sparsity ratios and precision modes. Analytic model cross-checked
+/// against real encoder output on random tiles.
+pub fn fig7_format_footprints() -> Table {
+    let mut t = Table::new(
+        "Fig. 7",
+        "Memory footprint over None (analytic | measured on encoded tiles)",
+        &["Precision", "Sparsity [%]", "COO", "CSC/CSR", "Bitmap"],
+    );
+    for p in [Precision::Int16, Precision::Int8, Precision::Int4] {
+        let model = FootprintModel::paper_tile(p);
+        for s in [1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9] {
+            let point = model.point(s);
+            let dim = p.paper_tile_dim();
+            // Measure with the real encoders on a seeded tile.
+            let tile = gen::random_sparse_i32(dim, dim, s / 100.0, p, 1234);
+            let dense_bits = (dim * dim) as u64 * p.bits() as u64;
+            let measured = |f: SparsityFormat| {
+                EncodedMatrix::encode(&tile, f, p).footprint_bits_at(p) as f64 / dense_bits as f64
+            };
+            let analytic = |f: SparsityFormat| {
+                point.normalized.iter().find(|(ff, _)| *ff == f).unwrap().1
+            };
+            t.push_row(vec![
+                p.to_string(),
+                format!("{s}"),
+                format!("{:.3} | {:.3}", analytic(SparsityFormat::Coo), measured(SparsityFormat::Coo)),
+                format!(
+                    "{:.3} | {:.3}",
+                    analytic(SparsityFormat::CscCsr),
+                    measured(SparsityFormat::CscCsr)
+                ),
+                format!(
+                    "{:.3} | {:.3}",
+                    analytic(SparsityFormat::Bitmap),
+                    measured(SparsityFormat::Bitmap)
+                ),
+            ]);
+        }
+    }
+    t.note("Lower precision shifts every curve right (metadata is relatively more expensive), exactly as in the paper's Fig. 7.");
+    t
+}
+
+/// Fig. 8: the optimal format per sparsity band per precision mode.
+pub fn fig8_optimal_formats() -> Table {
+    let mut t = Table::new(
+        "Fig. 8",
+        "Optimal sparsity format by sparsity ratio and precision",
+        &["Precision", "None until [%]", "Bitmap until [%]", "CSC/CSR until [%]", "then"],
+    );
+    for p in [Precision::Int16, Precision::Int8, Precision::Int4] {
+        let model = FootprintModel::paper_tile(p);
+        let bitmap_onset = model.first_optimal_at(SparsityFormat::Bitmap).unwrap_or(f64::NAN);
+        let csc_onset = model.first_optimal_at(SparsityFormat::CscCsr).unwrap_or(f64::NAN);
+        let coo_onset = model.first_optimal_at(SparsityFormat::Coo).unwrap_or(f64::NAN);
+        t.push_row(vec![
+            p.to_string(),
+            format!("{bitmap_onset:.1}"),
+            format!("{csc_onset:.1}"),
+            format!("{coo_onset:.1}"),
+            "COO".to_string(),
+        ]);
+    }
+    t.note("Band boundaries shift right as precision drops (16-bit bitmap onset ~6%, 4-bit ~25%). COO wins only at the extreme sparse tail where CSC/CSR's pointer array dominates.");
+    t
+}
+
+/// Fig. 13(a): sparsity ratio of tensors at different rendering stages,
+/// measured on the *real* pipeline (occupancy-grid ray marching + hash
+/// grid + MLP) for a lego-like and a mic-like scene.
+pub fn fig13_stage_sparsity() -> Table {
+    let mut t = Table::new(
+        "Fig. 13(a)",
+        "Measured sparsity at rendering stages (Instant-NGP pipeline) [%]",
+        &["Stage", "Lego-like", "Mic-like", "Paper (Lego/Mic)"],
+    );
+    let mut values: Vec<(f64, f64)> = Vec::new();
+    for scene in [&LegoScene as &dyn Scene, &MicScene as &dyn Scene] {
+        let grid = OccupancyGrid::build(scene, 48, 0.5);
+        let cam = Camera::orbit(0.8, 1.6, 0.95);
+        let batch: Vec<_> =
+            cam.rays(32, 32).iter().map(|r| sample_ray(r, 32, Some(&grid))).collect();
+        let input_sparsity = batch_sparsity(&batch) * 100.0;
+
+        // ReLU-1 output sparsity of the MLP on encoded active samples.
+        let model = NgpModel::new(HashGridConfig::small(), 32, 11);
+        let encs: Vec<Vec<f32>> = batch
+            .iter()
+            .flatten()
+            .filter(|s| s.active)
+            .take(512)
+            .map(|s| model.grid.encode(s.position))
+            .collect();
+        let relu = model.mlp.hidden_sparsity(&encs);
+        values.push((input_sparsity, relu[0] * 100.0));
+    }
+    t.push_row(vec![
+        "Input (ray-marching)".into(),
+        format!("{:.1}", values[0].0),
+        format!("{:.1}", values[1].0),
+        "69.3 / 88.0".into(),
+    ]);
+    t.push_row(vec![
+        "ReLU 1 output".into(),
+        format!("{:.1}", values[0].1),
+        format!("{:.1}", values[1].1),
+        "48.6 / 52.7".into(),
+    ]);
+    t.note("Ray-marching input sparsity tracks scene emptiness; post-ReLU activations sit near 50% — both matching the paper's bands and motivating online (per-tile) format selection.");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_analytic_equals_measured() {
+        let t = fig7_format_footprints();
+        for row in &t.rows {
+            for cell in &row[2..] {
+                let parts: Vec<f64> =
+                    cell.split('|').map(|x| x.trim().parse::<f64>().unwrap()).collect();
+                assert!(
+                    (parts[0] - parts[1]).abs() < 0.02,
+                    "analytic {} vs measured {}",
+                    parts[0],
+                    parts[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_onsets_shift_right() {
+        let t = fig8_optimal_formats();
+        let onset = |r: usize| t.cell(r, "None until [%]").unwrap().parse::<f64>().unwrap();
+        assert!(onset(0) < onset(1));
+        assert!(onset(1) < onset(2));
+    }
+
+    #[test]
+    fn fig13_input_sparsity_in_paper_band() {
+        let t = fig13_stage_sparsity();
+        let lego: f64 = t.cell(0, "Lego-like").unwrap().parse().unwrap();
+        let mic: f64 = t.cell(0, "Mic-like").unwrap().parse().unwrap();
+        assert!(mic > lego, "mic is sparser than lego");
+        assert!((55.0..97.0).contains(&lego), "lego {lego}");
+        assert!((65.0..98.0).contains(&mic), "mic {mic}");
+        let relu: f64 = t.cell(1, "Lego-like").unwrap().parse().unwrap();
+        assert!((30.0..70.0).contains(&relu), "relu {relu}");
+    }
+}

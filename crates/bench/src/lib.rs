@@ -1,0 +1,44 @@
+//! Benchmark & figure/table regeneration harness for the FlexNeRFer
+//! reproduction.
+//!
+//! Every table and figure of the paper's evaluation has a generator here
+//! that returns a [`Table`] of the same rows/series the paper reports,
+//! alongside the paper's reference values where applicable. The `repro`
+//! binary prints them all; the Criterion benches in `benches/` time the
+//! fast generators and the performance-critical kernels.
+
+#![warn(missing_docs)]
+
+mod table;
+
+pub mod array_experiments;
+pub mod format_experiments;
+pub mod gpu_experiments;
+pub mod quality_experiments;
+pub mod system_experiments;
+
+pub use table::Table;
+
+/// All fast experiment generators in paper order (excludes the Fig. 20(a)
+/// training study, which is invoked separately because it trains a model).
+pub fn all_fast_tables() -> Vec<Table> {
+    vec![
+        gpu_experiments::table1_gpu_specs(),
+        gpu_experiments::fig1_gpu_latency(),
+        gpu_experiments::fig3_runtime_breakdown(),
+        array_experiments::table2_related_works(),
+        array_experiments::fig4_mac_utilization(),
+        format_experiments::fig6_bit_scalable_modes(),
+        format_experiments::fig7_format_footprints(),
+        format_experiments::fig8_optimal_formats(),
+        array_experiments::fig12_mac_unit_ppa(),
+        format_experiments::fig13_stage_sparsity(),
+        array_experiments::table3_mac_arrays(),
+        array_experiments::fig15_array_breakdowns(),
+        array_experiments::noc_energy_ablation(),
+        system_experiments::fig16_fig17_accelerator_ppa(),
+        system_experiments::fig18_latency_density(),
+        system_experiments::fig19_speedup_efficiency(),
+        system_experiments::fig20b_batch_scaling(),
+    ]
+}

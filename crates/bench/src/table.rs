@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// One regenerated table/figure: an id (paper reference), title, header and
+/// string rows, rendered as GitHub markdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Paper reference, e.g. "Fig. 19".
+    pub id: &'static str,
+    /// Title line.
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Rows of formatted cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (paper-vs-measured commentary).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &'static str, title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            id,
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Looks up a cell by row index and column name.
+    pub fn cell(&self, row: usize, col: &str) -> Option<&str> {
+        let ci = self.header.iter().position(|h| h == col)?;
+        self.rows.get(row)?.get(ci).map(|s| s.as_str())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {} — {}\n", self.id, self.title)?;
+        writeln!(f, "| {} |", self.header.join(" | "))?;
+        writeln!(f, "|{}|", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|"))?;
+        for row in &self.rows {
+            writeln!(f, "| {} |", row.join(" | "))?;
+        }
+        for n in &self.notes {
+            writeln!(f, "\n> {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("Fig. X", "demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("| a | b |"));
+        assert!(s.contains("| 1 | 2 |"));
+        assert!(s.contains("> a note"));
+        assert_eq!(t.cell(0, "b"), Some("2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("Fig. X", "demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+}

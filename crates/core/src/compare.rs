@@ -1,0 +1,279 @@
+//! Cross-platform comparison harness: the generators behind Figs. 18, 19
+//! and 20(b).
+
+use crate::accelerator::FlexNerfer;
+use crate::config::FlexNerferConfig;
+use crate::neurex::NeurexAccelerator;
+use fnr_hw::gpu::{GpuModel, RTX_2080_TI};
+use fnr_nerf::models::{ModelKind, NerfModelConfig};
+use fnr_sim::ArrayConfig;
+use fnr_tensor::workload::{PhaseOp, WorkloadTrace};
+use fnr_tensor::Precision;
+
+/// The pruning ratios of the Fig. 19 sweep.
+pub const PRUNING_SWEEP: [f64; 5] = [0.0, 0.3, 0.5, 0.7, 0.9];
+
+/// One bar of Fig. 18: normalized latency and compute density.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig18Row {
+    /// Configuration label ("NeuRex", "FlexNeRFer (16)", …).
+    pub label: String,
+    /// Total latency normalized to NeuRex.
+    pub normalized_latency: f64,
+    /// Compute density (1/latency/area) normalized to NeuRex.
+    pub compute_density: f64,
+    /// Latency breakdown shares `(compute, dram, conversion, encoding, other)`.
+    pub breakdown: (f64, f64, f64, f64, f64),
+}
+
+/// Fig. 18: NeuRex vs FlexNeRFer at INT16/8/4 on a rendering trace.
+pub fn fig18_rows(trace: &WorkloadTrace) -> Vec<Fig18Row> {
+    let array = ArrayConfig::paper_default();
+    let neurex = NeurexAccelerator::new(array);
+    let n = neurex.run_trace(trace);
+    let n_area = neurex.ppa().area.mm2();
+    let mut rows = vec![make_fig18_row("NeuRex", &n, n.cycles, n_area, n_area)];
+    let flex = FlexNerfer::new(FlexNerferConfig::paper_default());
+    let f_area = flex.ppa(Precision::Int16).area.mm2();
+    for (p, label) in [
+        (Precision::Int16, "FlexNeRFer (16)"),
+        (Precision::Int8, "FlexNeRFer (8)"),
+        (Precision::Int4, "FlexNeRFer (4)"),
+    ] {
+        let r = flex.run_trace(&trace.with_precision(p));
+        rows.push(make_fig18_row(label, &r, n.cycles, f_area, n_area));
+    }
+    rows
+}
+
+fn make_fig18_row(
+    label: &str,
+    r: &crate::accelerator::AccelReport,
+    neurex_cycles: u64,
+    area: f64,
+    neurex_area: f64,
+) -> Fig18Row {
+    let total = r.latency.total().max(1) as f64;
+    let norm = r.cycles as f64 / neurex_cycles as f64;
+    Fig18Row {
+        label: label.into(),
+        normalized_latency: norm,
+        compute_density: (1.0 / norm) * (neurex_area / area),
+        breakdown: (
+            r.latency.compute as f64 / total,
+            r.latency.dram as f64 / total,
+            r.latency.format_conversion as f64 / total,
+            r.latency.encoding as f64 / total,
+            (r.latency.other + r.latency.distribution) as f64 / total,
+        ),
+    }
+}
+
+/// One point of Fig. 19: speedup and energy-efficiency gain over the GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig19Row {
+    /// Accelerator label.
+    pub accelerator: String,
+    /// Operating precision.
+    pub precision: Precision,
+    /// Structured pruning ratio.
+    pub pruning: f64,
+    /// Geomean speedup over RTX 2080 Ti across the seven models.
+    pub speedup: f64,
+    /// Geomean energy-efficiency gain over RTX 2080 Ti.
+    pub energy_gain: f64,
+}
+
+/// Fig. 19: the full sweep — NeuRex at INT16 and FlexNeRFer at
+/// INT16/8/4, each across the pruning ratios, normalized to the GPU.
+///
+/// Speedups are geometric means over the seven models' rendering traces
+/// (Synthetic-NeRF setting: 800×800, batch 4096).
+pub fn fig19_rows(width: usize, height: usize) -> Vec<Fig19Row> {
+    let gpu = GpuModel::new(RTX_2080_TI);
+    let traces: Vec<WorkloadTrace> = ModelKind::ALL
+        .iter()
+        .map(|&k| NerfModelConfig::for_kind(k).trace(width, height, 4096))
+        .collect();
+    let gpu_results: Vec<(f64, f64)> = traces
+        .iter()
+        .map(|t| (gpu.trace_time(t), gpu.trace_energy(t).joules()))
+        .collect();
+
+    let array = ArrayConfig::paper_default();
+    let neurex = NeurexAccelerator::new(array);
+    let flex = FlexNerfer::new(FlexNerferConfig::paper_default());
+
+    let mut rows = Vec::new();
+    // NeuRex: constant across pruning (no sparsity support).
+    for &p in &PRUNING_SWEEP {
+        let (s, e) = geomean_gains(&traces, &gpu_results, |t| {
+            let r = neurex.run_trace(&t.with_pruning(p));
+            (r.seconds, r.energy_joules())
+        });
+        rows.push(Fig19Row {
+            accelerator: "NeuRex".into(),
+            precision: Precision::Int16,
+            pruning: p,
+            speedup: s,
+            energy_gain: e,
+        });
+    }
+    for prec in [Precision::Int16, Precision::Int8, Precision::Int4] {
+        for &p in &PRUNING_SWEEP {
+            let (s, e) = geomean_gains(&traces, &gpu_results, |t| {
+                let r = flex.run_trace(&t.with_precision(prec).with_pruning(p));
+                (r.seconds, r.energy_joules())
+            });
+            rows.push(Fig19Row {
+                accelerator: "FlexNeRFer".into(),
+                precision: prec,
+                pruning: p,
+                speedup: s,
+                energy_gain: e,
+            });
+        }
+    }
+    rows
+}
+
+fn geomean_gains(
+    traces: &[WorkloadTrace],
+    gpu: &[(f64, f64)],
+    mut run: impl FnMut(&WorkloadTrace) -> (f64, f64),
+) -> (f64, f64) {
+    let mut log_s = 0.0;
+    let mut log_e = 0.0;
+    for (t, &(gt, ge)) in traces.iter().zip(gpu) {
+        let (at, ae) = run(t);
+        log_s += (gt / at).ln();
+        log_e += (ge / ae).ln();
+    }
+    let n = traces.len() as f64;
+    ((log_s / n).exp(), (log_e / n).exp())
+}
+
+/// One point of Fig. 20(b): speedup over the GPU at a batch size for a
+/// scene complexity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig20bRow {
+    /// Scene label ("Mic (simple)" / "Palace (complex)").
+    pub scene: String,
+    /// Ray batch size.
+    pub batch: usize,
+    /// Speedup over RTX 2080 Ti.
+    pub speedup: f64,
+    /// Accelerator frame time in ms.
+    pub frame_ms: f64,
+}
+
+/// Fig. 20(b): speedup vs batch size (2048…16384) for a simple (mic-like,
+/// 85 % empty) and a complex (palace-like, 62 % empty) scene rendered with
+/// Instant-NGP.
+pub fn fig20b_rows() -> Vec<Fig20bRow> {
+    let gpu = GpuModel::new(RTX_2080_TI);
+    let flex = FlexNerfer::new(FlexNerferConfig::paper_default());
+    let mut rows = Vec::new();
+    for (scene, emptiness) in [("Mic (simple)", 0.85), ("Palace (complex)", 0.62)] {
+        for batch in [2048usize, 4096, 8192, 16384] {
+            let mut cfg = NerfModelConfig::for_kind(ModelKind::InstantNgp);
+            cfg.empty_skip = emptiness;
+            let mut trace = cfg.trace(800, 800, batch);
+            // Beyond the encoding-buffer capacity the first layer's chunk
+            // no longer fits on-chip and the encoded features spill
+            // (§6.3.2: gains plateau past batch 8192).
+            let chunk_bytes = batch as u64 * cfg.mlp_widths[0] as u64 * 2;
+            if chunk_bytes > 512 * 1024 {
+                for phase in &mut trace.phases {
+                    if let PhaseOp::Gemm(g) = phase {
+                        if g.k == cfg.mlp_widths[0] {
+                            g.a_offchip = true;
+                        }
+                    }
+                }
+            }
+            let r = flex.run_trace(&trace.with_precision(Precision::Int16));
+            let g = gpu.trace_time(&trace);
+            rows.push(Fig20bRow {
+                scene: scene.into(),
+                batch,
+                speedup: g / r.seconds,
+                frame_ms: r.seconds * 1e3,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fnr_nerf::models::{ModelKind, NerfModelConfig};
+
+    #[test]
+    fn fig18_flexnerfer_beats_neurex_and_scales_with_precision() {
+        let trace = NerfModelConfig::for_kind(ModelKind::InstantNgp).trace(800, 800, 4096);
+        let rows = fig18_rows(&trace);
+        assert_eq!(rows.len(), 4);
+        assert!((rows[0].normalized_latency - 1.0).abs() < 1e-9);
+        // Paper: 0.35 / 0.16 / 0.09.
+        let f16 = rows[1].normalized_latency;
+        let f8 = rows[2].normalized_latency;
+        let f4 = rows[3].normalized_latency;
+        assert!(f16 < 0.6, "FlexNeRFer(16) {f16:.2} must clearly beat NeuRex");
+        assert!(f8 < f16 && f4 < f8, "latency must fall with precision: {f16:.2} {f8:.2} {f4:.2}");
+        // Compute density rises despite the larger area (paper: 1.9–7.5x).
+        assert!(rows[1].compute_density > 1.2);
+        assert!(rows[3].compute_density > rows[1].compute_density);
+    }
+
+    #[test]
+    fn fig19_shape_holds_on_a_small_frame() {
+        // Small frame keeps the test fast; ratios are resolution-stable.
+        let rows = fig19_rows(200, 200);
+        let get = |acc: &str, p: Precision, pr: f64| {
+            rows.iter()
+                .find(|r| r.accelerator == acc && r.precision == p && r.pruning == pr)
+                .unwrap()
+                .clone()
+        };
+        // NeuRex flat across pruning.
+        let n0 = get("NeuRex", Precision::Int16, 0.0);
+        let n9 = get("NeuRex", Precision::Int16, 0.9);
+        assert!((n0.speedup - n9.speedup).abs() / n0.speedup < 0.01, "NeuRex must stay flat");
+        // FlexNeRFer grows with pruning and with lower precision.
+        let f0 = get("FlexNeRFer", Precision::Int16, 0.0);
+        let f9 = get("FlexNeRFer", Precision::Int16, 0.9);
+        assert!(f9.speedup > f0.speedup * 3.0, "pruning gains: {} → {}", f0.speedup, f9.speedup);
+        let f4 = get("FlexNeRFer", Precision::Int4, 0.0);
+        assert!(f4.speedup > f0.speedup * 1.8, "precision gains: {} → {}", f0.speedup, f4.speedup);
+        // FlexNeRFer beats both the GPU and NeuRex everywhere.
+        assert!(f0.speedup > 1.0 && f0.speedup > n0.speedup);
+        // Energy gains follow the same ordering.
+        assert!(f9.energy_gain > f0.energy_gain);
+        assert!(f0.energy_gain > n0.energy_gain);
+    }
+
+    #[test]
+    fn fig20b_simple_scene_is_faster_and_batches_plateau() {
+        let rows = fig20b_rows();
+        assert_eq!(rows.len(), 8);
+        let mic_4096 = rows.iter().find(|r| r.scene.starts_with("Mic") && r.batch == 4096).unwrap();
+        let palace_4096 =
+            rows.iter().find(|r| r.scene.starts_with("Palace") && r.batch == 4096).unwrap();
+        // The simple scene renders faster in absolute terms (Fig. 20(b):
+        // ~1.2x from fewer surviving sample points).
+        assert!(mic_4096.frame_ms < palace_4096.frame_ms);
+        // Gains plateau (or drop) past batch 8192.
+        let mic_8192 = rows.iter().find(|r| r.scene.starts_with("Mic") && r.batch == 8192).unwrap();
+        let mic_16384 =
+            rows.iter().find(|r| r.scene.starts_with("Mic") && r.batch == 16384).unwrap();
+        assert!(mic_8192.speedup > mic_4096.speedup * 0.8);
+        assert!(
+            mic_16384.speedup < mic_8192.speedup * 1.15,
+            "no further scaling past 8192: {} vs {}",
+            mic_16384.speedup,
+            mic_8192.speedup
+        );
+    }
+}

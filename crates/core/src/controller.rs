@@ -1,0 +1,151 @@
+//! RISC-V-style command-stream controller (paper Fig. 14).
+//!
+//! The host copies a small program into the 16 KiB program memory; the
+//! controller decodes it and sequences the engines. This module provides
+//! the instruction set, an assembler from [`WorkloadTrace`]s, and a decode
+//! loop whose dispatch order the accelerator model executes.
+
+use fnr_tensor::workload::{PhaseOp, WorkloadTrace};
+use fnr_tensor::Precision;
+
+/// One controller instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Configure the MAC array's precision mode and sparsity handling.
+    ConfigArray {
+        /// Precision mode to set.
+        precision: Precision,
+        /// Whether zero-skipping is enabled.
+        sparsity: bool,
+    },
+    /// DMA weights (pre-encoded in the optimal format) into the W buffer.
+    LoadWeights {
+        /// Bytes to load.
+        bytes: u64,
+    },
+    /// Run the positional or hash encoding engine over a block of samples.
+    Encode {
+        /// Phase index into the source trace.
+        phase: usize,
+    },
+    /// Run a GEMM/GEMV phase on the acceleration unit.
+    Gemm {
+        /// Phase index into the source trace.
+        phase: usize,
+    },
+    /// Run a miscellaneous vector phase (sampling / compositing).
+    Vector {
+        /// Phase index into the source trace.
+        phase: usize,
+    },
+    /// Write results back to local DRAM.
+    Store {
+        /// Bytes to store.
+        bytes: u64,
+    },
+    /// Barrier between dependent phases.
+    Sync,
+}
+
+/// A decoded program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Instruction list.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Encoded size in bytes (8 B per instruction), which must fit the
+    /// 16 KiB program memory.
+    pub fn size_bytes(&self) -> usize {
+        self.instrs.len() * 8
+    }
+}
+
+/// Assembles a controller program from a workload trace.
+///
+/// Every phase becomes one engine instruction preceded by the loads it
+/// needs and followed by a sync; the whole frame ends with a store.
+pub fn assemble(trace: &WorkloadTrace, precision: Precision, sparsity: bool) -> Program {
+    let mut instrs = vec![Instr::ConfigArray { precision, sparsity }];
+    for (i, phase) in trace.phases.iter().enumerate() {
+        match phase {
+            PhaseOp::Encoding(_) => instrs.push(Instr::Encode { phase: i }),
+            PhaseOp::Gemm(g) => {
+                let bits = g.precision.bits() as u64;
+                instrs.push(Instr::LoadWeights { bytes: (g.k * g.n) as u64 * bits / 8 });
+                instrs.push(Instr::Gemm { phase: i });
+            }
+            PhaseOp::Other { .. } => instrs.push(Instr::Vector { phase: i }),
+        }
+        instrs.push(Instr::Sync);
+    }
+    instrs.push(Instr::Store { bytes: 0 });
+    Program { instrs }
+}
+
+/// Decode/issue overhead of a program in controller cycles (4 cycles per
+/// instruction on the scalar RISC-V core; fully overlapped with engine
+/// execution except at syncs).
+pub fn issue_overhead_cycles(program: &Program) -> u64 {
+    let syncs = program.instrs.iter().filter(|i| matches!(i, Instr::Sync)).count() as u64;
+    program.len() as u64 * 4 + syncs * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fnr_nerf::models::{ModelKind, NerfModelConfig};
+
+    #[test]
+    fn assembles_one_instruction_stream_per_trace() {
+        let trace = NerfModelConfig::for_kind(ModelKind::InstantNgp).trace(64, 64, 4096);
+        let prog = assemble(&trace, Precision::Int16, true);
+        assert!(!prog.is_empty());
+        assert!(matches!(prog.instrs()[0], Instr::ConfigArray { .. }));
+        assert!(matches!(prog.instrs().last(), Some(Instr::Store { .. })));
+        // One Gemm instr per GEMM phase.
+        let gemms = prog.instrs().iter().filter(|i| matches!(i, Instr::Gemm { .. })).count();
+        let phases = trace
+            .phases
+            .iter()
+            .filter(|p| matches!(p, PhaseOp::Gemm(_)))
+            .count();
+        assert_eq!(gemms, phases);
+    }
+
+    #[test]
+    fn programs_fit_the_16kb_program_memory() {
+        for kind in ModelKind::ALL {
+            let trace = NerfModelConfig::for_kind(kind).trace(800, 800, 4096);
+            let prog = assemble(&trace, Precision::Int8, true);
+            assert!(
+                prog.size_bytes() <= 16 * 1024,
+                "{}: {} B program",
+                kind.name(),
+                prog.size_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn issue_overhead_is_small() {
+        let trace = NerfModelConfig::for_kind(ModelKind::Nerf).trace(800, 800, 4096);
+        let prog = assemble(&trace, Precision::Int16, true);
+        assert!(issue_overhead_cycles(&prog) < 10_000);
+    }
+}

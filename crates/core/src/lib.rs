@@ -1,0 +1,50 @@
+//! # FlexNeRFer
+//!
+//! A multi-dataflow, adaptive sparsity-aware accelerator for on-device
+//! NeRF rendering — full-system reproduction of the ISCA 2025 paper.
+//!
+//! This crate is the paper's primary contribution assembled from the
+//! substrate crates: the [`FlexNerfer`] accelerator couples a
+//! precision-scalable MAC array (fnr-mac) behind a flexible hierarchical
+//! NoC (fnr-noc) with an online sparsity-aware format codec (fnr-tensor),
+//! a positional-encoding engine ([`Pee`]) and a hash-encoding engine
+//! ([`Hee`]), all orchestrated by a small RISC-V-style command-stream
+//! controller ([`controller`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flexnerfer::{FlexNerfer, FlexNerferConfig};
+//! use fnr_nerf::models::{ModelKind, NerfModelConfig};
+//!
+//! // Build the paper's accelerator configuration.
+//! let accel = FlexNerfer::new(FlexNerferConfig::paper_default());
+//!
+//! // Render one Instant-NGP frame (trace-driven, cycle-level).
+//! let trace = NerfModelConfig::for_kind(ModelKind::InstantNgp).trace(200, 200, 4096);
+//! let report = accel.run_trace(&trace);
+//! assert!(report.cycles > 0);
+//! println!("frame: {:.2} ms", report.seconds * 1e3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod accelerator;
+mod codec;
+mod compare;
+mod config;
+mod hee;
+mod neurex;
+mod pee;
+
+pub mod controller;
+
+pub use accelerator::{AccelReport, FlexNerfer};
+pub use codec::FlexibleFormatCodec;
+pub use compare::{
+    fig18_rows, fig19_rows, fig20b_rows, Fig18Row, Fig19Row, Fig20bRow, PRUNING_SWEEP,
+};
+pub use config::FlexNerferConfig;
+pub use hee::Hee;
+pub use neurex::NeurexAccelerator;
+pub use pee::Pee;

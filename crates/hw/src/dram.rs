@@ -1,0 +1,92 @@
+use crate::EnergyPj;
+
+/// DRAM families used in the paper (Table 1 and Fig. 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramKind {
+    /// LPDDR3-1600 — FlexNeRFer's 8 GB local DRAM (Fig. 14, Micron part).
+    Lpddr3,
+    /// LPDDR4 — Jetson-class edge GPUs.
+    Lpddr4,
+    /// GDDR6 — desktop GPUs.
+    Gddr6,
+}
+
+/// Bandwidth/latency/energy model of one DRAM subsystem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramSpec {
+    /// Family.
+    pub kind: DramKind,
+    /// Peak bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// First-access latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Access energy per byte in pJ.
+    pub pj_per_byte: f64,
+}
+
+impl DramSpec {
+    /// FlexNeRFer's local DRAM: single-channel ×64 LPDDR3-1600 (12.8 GB/s).
+    pub const LPDDR3_1600_X64: DramSpec =
+        DramSpec { kind: DramKind::Lpddr3, bandwidth_gbs: 12.8, latency_ns: 55.0, pj_per_byte: 42.0 };
+
+    /// Jetson Xavier NX memory system (Table 1: 59.7 GB/s LPDDR4).
+    pub const LPDDR4_XAVIER: DramSpec =
+        DramSpec { kind: DramKind::Lpddr4, bandwidth_gbs: 59.7, latency_ns: 50.0, pj_per_byte: 32.0 };
+
+    /// RTX 2080 Ti memory system (Table 1: 616 GB/s GDDR6).
+    pub const GDDR6_2080TI: DramSpec =
+        DramSpec { kind: DramKind::Gddr6, bandwidth_gbs: 616.0, latency_ns: 40.0, pj_per_byte: 60.0 };
+
+    /// Time to transfer `bytes` at peak bandwidth plus one access latency.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.latency_ns * 1e-9 + bytes as f64 / (self.bandwidth_gbs * 1e9)
+    }
+
+    /// Cycles to transfer `bytes` on a `clock_hz` consumer clock.
+    pub fn transfer_cycles(&self, bytes: u64, clock_hz: f64) -> u64 {
+        (self.transfer_seconds(bytes) * clock_hz).ceil() as u64
+    }
+
+    /// Energy of moving `bytes` across the DRAM interface.
+    pub fn transfer_energy(&self, bytes: u64) -> EnergyPj {
+        EnergyPj(self.pj_per_byte * bytes as f64)
+    }
+
+    /// Bytes deliverable per consumer clock cycle.
+    pub fn bytes_per_cycle(&self, clock_hz: f64) -> f64 {
+        self.bandwidth_gbs * 1e9 / clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpddr3_bandwidth_is_12_8() {
+        let d = DramSpec::LPDDR3_1600_X64;
+        // 1 GiB at 12.8 GB/s ≈ 84 ms.
+        let t = d.transfer_seconds(1 << 30);
+        assert!((t - 0.0839).abs() < 0.002, "t = {t}");
+    }
+
+    #[test]
+    fn bytes_per_cycle_at_800mhz() {
+        let d = DramSpec::LPDDR3_1600_X64;
+        assert!((d.bytes_per_cycle(800e6) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_with_bytes() {
+        let d = DramSpec::LPDDR3_1600_X64;
+        assert!((d.transfer_energy(1000).0 - 42_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gddr6_is_fastest_but_most_energy_per_byte() {
+        let g = DramSpec::GDDR6_2080TI;
+        let l = DramSpec::LPDDR3_1600_X64;
+        assert!(g.bandwidth_gbs > l.bandwidth_gbs * 40.0);
+        assert!(g.pj_per_byte > l.pj_per_byte);
+    }
+}

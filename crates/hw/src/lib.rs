@@ -1,0 +1,30 @@
+//! Hardware PPA (power–performance–area) substrate for the FlexNeRFer
+//! reproduction.
+//!
+//! The paper obtains area and power from a Synopsys 28 nm synthesis +
+//! place-and-route flow; this crate replaces that flow with an analytical,
+//! component-level model: every structure in the design is described as a
+//! parts list of primitive components (multipliers, adders, shifters, switch
+//! nodes, registers, SRAM macros) whose unit costs are calibrated against the
+//! calibration points the paper publishes (Fig. 12(c) MAC-unit numbers,
+//! Table 3 array totals, Fig. 16 accelerator totals).
+//!
+//! It also hosts the DRAM timing/energy models (LPDDR3 local DRAM of
+//! Fig. 14, GDDR6/LPDDR4 for the GPUs) and the analytical GPU roofline model
+//! used as the paper's normalization baseline.
+
+#![warn(missing_docs)]
+
+mod dram;
+mod parts;
+mod sram;
+mod tech;
+mod units;
+
+pub mod gpu;
+
+pub use dram::{DramKind, DramSpec};
+pub use parts::{PartsList, Ppa};
+pub use sram::SramMacro;
+pub use tech::TechParams;
+pub use units::{AreaUm2, EnergyPj, PowerMw};

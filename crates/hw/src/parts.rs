@@ -1,0 +1,181 @@
+use crate::{AreaUm2, PowerMw};
+use std::fmt;
+
+/// An area/power pair — the result of evaluating a parts list or a block
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Ppa {
+    /// Silicon area.
+    pub area: AreaUm2,
+    /// Power at nominal activity.
+    pub power: PowerMw,
+}
+
+impl Ppa {
+    /// Zero-cost block.
+    pub const ZERO: Ppa = Ppa { area: AreaUm2(0.0), power: PowerMw(0.0) };
+
+    /// Constructs from raw µm² / mW values.
+    pub fn new(area_um2: f64, power_mw: f64) -> Self {
+        Ppa { area: AreaUm2(area_um2), power: PowerMw(power_mw) }
+    }
+
+    /// Sums two blocks.
+    pub fn plus(self, other: Ppa) -> Ppa {
+        Ppa { area: self.area + other.area, power: self.power + other.power }
+    }
+
+    /// Scales both area and power (replication).
+    pub fn times(self, n: f64) -> Ppa {
+        Ppa { area: self.area * n, power: self.power * n }
+    }
+
+    /// Scales only power (activity factor).
+    pub fn with_activity(self, factor: f64) -> Ppa {
+        Ppa { area: self.area, power: self.power * factor }
+    }
+}
+
+/// An itemized bill of materials for a hardware block.
+///
+/// Entries are grouped by name so breakdown figures (paper Figs. 15 and 17)
+/// can be regenerated; [`PartsList::total_with_overhead`] applies the PnR
+/// overhead fraction on top of the subtotal.
+///
+/// # Example
+///
+/// ```
+/// use fnr_hw::{PartsList, TechParams};
+///
+/// let t = TechParams::CMOS_28NM;
+/// let mut unit = PartsList::new("toy block");
+/// unit.add_pair("multipliers", 16, t.mult4());
+/// unit.add_pair("output reg", 1, t.register(32));
+/// assert!(unit.subtotal().area.0 > 16.0 * 150.0);
+/// assert_eq!(unit.groups().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartsList {
+    name: String,
+    groups: Vec<(String, u64, Ppa)>,
+}
+
+impl PartsList {
+    /// Creates an empty parts list for the named block.
+    pub fn new(name: impl Into<String>) -> Self {
+        PartsList { name: name.into(), groups: Vec::new() }
+    }
+
+    /// Block name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds `count` parts of unit cost (`area`, `power`) under `group`,
+    /// merging with an existing group of the same name.
+    pub fn add(&mut self, group: &str, count: u64, area: AreaUm2, power: PowerMw) {
+        let each = Ppa { area, power };
+        let total = each.times(count as f64);
+        if let Some(g) = self.groups.iter_mut().find(|(n, _, _)| n == group) {
+            g.1 += count;
+            g.2 = g.2.plus(total);
+        } else {
+            self.groups.push((group.to_string(), count, total));
+        }
+    }
+
+    /// Like [`PartsList::add`] but takes the `(area, power)` pair returned
+    /// by the [`crate::TechParams`] component constructors.
+    pub fn add_pair(&mut self, group: &str, count: u64, pair: (AreaUm2, PowerMw)) {
+        self.add(group, count, pair.0, pair.1);
+    }
+
+    /// Adds a pre-computed block (e.g. an SRAM macro or a sub-list total).
+    pub fn add_block(&mut self, group: &str, ppa: Ppa) {
+        if let Some(g) = self.groups.iter_mut().find(|(n, _, _)| n == group) {
+            g.1 += 1;
+            g.2 = g.2.plus(ppa);
+        } else {
+            self.groups.push((group.to_string(), 1, ppa));
+        }
+    }
+
+    /// Applies an activity factor to one group's power (e.g. glitch
+    /// reduction in the optimized reduction tree).
+    pub fn scale_group_power(&mut self, group: &str, factor: f64) {
+        if let Some(g) = self.groups.iter_mut().find(|(n, _, _)| n == group) {
+            g.2 = g.2.with_activity(factor);
+        }
+    }
+
+    /// The grouped entries: `(group name, count, total ppa)`.
+    pub fn groups(&self) -> &[(String, u64, Ppa)] {
+        &self.groups
+    }
+
+    /// Sum of all groups, before overhead.
+    pub fn subtotal(&self) -> Ppa {
+        self.groups.iter().fold(Ppa::ZERO, |acc, (_, _, p)| acc.plus(*p))
+    }
+
+    /// Subtotal with a PnR/control overhead fraction applied to both area
+    /// and power.
+    pub fn total_with_overhead(&self, overhead: f64) -> Ppa {
+        self.subtotal().times(1.0 + overhead)
+    }
+}
+
+impl fmt::Display for PartsList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.name)?;
+        for (g, n, p) in &self.groups {
+            writeln!(f, "  {g:<28} x{n:<8} {} {}", p.area, p.power)?;
+        }
+        let t = self.subtotal();
+        write!(f, "  {:<28} {:>9} {} {}", "subtotal", "", t.area, t.power)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_merge() {
+        let mut l = PartsList::new("b");
+        l.add("adders", 2, AreaUm2(10.0), PowerMw(1.0));
+        l.add("adders", 3, AreaUm2(10.0), PowerMw(1.0));
+        assert_eq!(l.groups().len(), 1);
+        assert_eq!(l.groups()[0].1, 5);
+        assert!((l.subtotal().area.0 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_scales_subtotal() {
+        let mut l = PartsList::new("b");
+        l.add("x", 1, AreaUm2(100.0), PowerMw(10.0));
+        let t = l.total_with_overhead(0.12);
+        assert!((t.area.0 - 112.0).abs() < 1e-9);
+        assert!((t.power.0 - 11.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activity_scaling_affects_power_only() {
+        let mut l = PartsList::new("b");
+        l.add("rt", 1, AreaUm2(100.0), PowerMw(10.0));
+        l.scale_group_power("rt", 0.5);
+        let t = l.subtotal();
+        assert!((t.area.0 - 100.0).abs() < 1e-9);
+        assert!((t.power.0 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_lists_groups() {
+        let mut l = PartsList::new("demo");
+        l.add("parts", 4, AreaUm2(1.0), PowerMw(0.1));
+        let s = l.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.contains("parts"));
+        assert!(s.contains("subtotal"));
+    }
+}

@@ -1,0 +1,96 @@
+use crate::{AreaUm2, EnergyPj, Ppa, PowerMw};
+
+/// CACTI-style SRAM macro model.
+///
+/// The paper uses a memory compiler for on-chip SRAM and CACTI 6.0 for the
+/// NoC/SRAM energy study (§4.1.2). This model captures the first-order
+/// behaviour those tools report at 28 nm: area linear in capacity with a
+/// fixed periphery floor, access energy growing with the square root of
+/// capacity (bitline/wordline length), and leakage proportional to capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramMacro {
+    kbytes: f64,
+    width_bits: usize,
+}
+
+impl SramMacro {
+    /// 28 nm high-density SRAM: mm² per KiB (bit-cell + array periphery).
+    const AREA_UM2_PER_KB: f64 = 680.0;
+    /// Fixed periphery floor per macro.
+    const PERIPHERY_UM2: f64 = 3_500.0;
+    /// Leakage + clocked periphery power per KiB.
+    const POWER_MW_PER_KB: f64 = 0.0135;
+    /// Access energy at the 64 KiB reference size, per byte.
+    const PJ_PER_BYTE_AT_64KB: f64 = 0.38;
+
+    /// Creates a macro of `kbytes` KiB with a `width_bits`-wide port.
+    pub fn new(kbytes: f64, width_bits: usize) -> Self {
+        SramMacro { kbytes, width_bits }
+    }
+
+    /// Capacity in KiB.
+    pub fn kbytes(&self) -> f64 {
+        self.kbytes
+    }
+
+    /// Port width in bits.
+    pub fn width_bits(&self) -> usize {
+        self.width_bits
+    }
+
+    /// Static area/power of the macro.
+    pub fn ppa(&self) -> Ppa {
+        Ppa {
+            area: AreaUm2(Self::AREA_UM2_PER_KB * self.kbytes + Self::PERIPHERY_UM2),
+            power: PowerMw(Self::POWER_MW_PER_KB * self.kbytes),
+        }
+    }
+
+    /// Dynamic energy of reading or writing `bytes` bytes.
+    ///
+    /// Per-byte cost scales with `sqrt(capacity)` relative to a 64 KiB
+    /// reference macro, the first-order CACTI trend.
+    pub fn access_energy(&self, bytes: u64) -> EnergyPj {
+        let scale = (self.kbytes / 64.0).sqrt().max(0.25);
+        EnergyPj(Self::PJ_PER_BYTE_AT_64KB * scale * bytes as f64)
+    }
+
+    /// Per-byte access energy (convenience for traffic accounting).
+    pub fn pj_per_byte(&self) -> f64 {
+        self.access_energy(1).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_scales_linearly_with_floor() {
+        let small = SramMacro::new(64.0, 128).ppa().area.0;
+        let big = SramMacro::new(2048.0, 128).ppa().area.0;
+        assert!(big > small * 20.0, "2 MiB should be much larger than 64 KiB");
+        assert!(big < small * 32.0, "periphery floor amortizes");
+    }
+
+    #[test]
+    fn two_mb_buffer_is_about_1_4_mm2() {
+        // FlexNeRFer's 2 MiB I-buffer should be ~1.4 mm² — consistent with
+        // the Fig. 17 accelerator-level breakdown head-room.
+        let a = SramMacro::new(2048.0, 256).ppa().area.mm2();
+        assert!((1.0..2.0).contains(&a), "2MiB = {a} mm2");
+    }
+
+    #[test]
+    fn access_energy_grows_with_capacity() {
+        let small = SramMacro::new(64.0, 128).pj_per_byte();
+        let big = SramMacro::new(1024.0, 128).pj_per_byte();
+        assert!(big > small * 3.0 && big < small * 5.0, "sqrt scaling: {small} → {big}");
+    }
+
+    #[test]
+    fn tiny_macros_floor_the_energy_scale() {
+        let tiny = SramMacro::new(1.0, 32).pj_per_byte();
+        assert!(tiny >= 0.38 * 0.25 - 1e-9);
+    }
+}

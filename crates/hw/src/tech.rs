@@ -1,0 +1,190 @@
+use crate::{AreaUm2, PowerMw};
+
+/// Unit costs of primitive components in the modelled 28 nm process at the
+/// paper's 800 MHz clock.
+///
+/// These constants are the calibration layer of the reproduction: they are
+/// chosen so that the structural parts lists of the designs land on the
+/// paper's published totals:
+///
+/// * Fig. 12(c): MAC unit 6161.9 µm² / 3.42 mW unoptimized,
+///   4416.84 µm² / 1.86 mW with the shared-shifter reduction tree;
+/// * Table 3: array totals of SIGMA / Bit Fusion / bit-scalable SIGMA /
+///   FlexNeRFer;
+/// * Fig. 16: accelerator totals of NeuRex (22.8 mm², 5.1 W) and FlexNeRFer
+///   (35.4 mm², 7.3–9.2 W).
+///
+/// All dynamic-power figures assume the design's nominal switching activity;
+/// structures that reduce glitching (the pipelined shared-shifter reduction
+/// tree) apply an explicit activity factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechParams {
+    /// Area of one signed 4×4-bit multiplier.
+    pub mult4_area: f64,
+    /// Power of one 4×4 multiplier at full activity.
+    pub mult4_power: f64,
+    /// Adder area per result bit.
+    pub adder_area_per_bit: f64,
+    /// Adder power per result bit.
+    pub adder_power_per_bit: f64,
+    /// Barrel-shifter area per bit of datapath width.
+    pub shifter_area_per_bit: f64,
+    /// Barrel-shifter power per bit.
+    pub shifter_power_per_bit: f64,
+    /// Flip-flop (pipeline register) area per bit.
+    pub reg_area_per_bit: f64,
+    /// Flip-flop power per bit.
+    pub reg_power_per_bit: f64,
+    /// Crossbar switch area per crosspoint-bit (a `p×q` switch of width `w`
+    /// costs `p·q·w` crosspoint-bits).
+    pub xbar_area_per_xpt_bit: f64,
+    /// Crossbar switch power per crosspoint-bit.
+    pub xbar_power_per_xpt_bit: f64,
+    /// Comparator area per bit (index-match logic of flexible reduction).
+    pub cmp_area_per_bit: f64,
+    /// Comparator power per bit.
+    pub cmp_power_per_bit: f64,
+    /// 2:1 mux area per bit (bypass paths).
+    pub mux_area_per_bit: f64,
+    /// 2:1 mux power per bit.
+    pub mux_power_per_bit: f64,
+    /// LUT / small CAM storage area per bit (format metadata tables).
+    pub lut_area_per_bit: f64,
+    /// LUT power per bit.
+    pub lut_power_per_bit: f64,
+    /// Activity factor applied to the optimized (pipelined, shared-shifter)
+    /// reduction-tree combinational logic; calibrated to the 45.6 % power
+    /// reduction of Fig. 12(c).
+    pub optimized_rt_activity: f64,
+    /// Fraction added on top of a block's parts subtotal for clock tree,
+    /// control logic and routing overhead (PnR overhead).
+    pub pnr_overhead: f64,
+    /// On-chip wire energy per bit per millimetre (pJ).
+    pub wire_pj_per_bit_mm: f64,
+    /// Nominal clock frequency in Hz (800 MHz in the paper's Table 3).
+    pub clock_hz: f64,
+}
+
+impl TechParams {
+    /// The calibrated 28 nm / 800 MHz corner used throughout the repo.
+    pub const CMOS_28NM: TechParams = TechParams {
+        mult4_area: 153.4,
+        mult4_power: 0.075,
+        adder_area_per_bit: 2.917,
+        adder_power_per_bit: 0.0025,
+        shifter_area_per_bit: 5.0,
+        shifter_power_per_bit: 0.0025,
+        reg_area_per_bit: 4.0,
+        reg_power_per_bit: 0.005625,
+        xbar_area_per_xpt_bit: 1.8,
+        xbar_power_per_xpt_bit: 0.0011,
+        cmp_area_per_bit: 1.2,
+        cmp_power_per_bit: 0.0008,
+        mux_area_per_bit: 0.9,
+        mux_power_per_bit: 0.0005,
+        lut_area_per_bit: 0.45,
+        lut_power_per_bit: 0.0002,
+        optimized_rt_activity: 0.4225,
+        pnr_overhead: 0.12,
+        wire_pj_per_bit_mm: 0.08,
+        clock_hz: 800.0e6,
+    };
+
+    /// Area/power of one adder producing `bits`-wide results.
+    pub fn adder(&self, bits: usize) -> (AreaUm2, PowerMw) {
+        (AreaUm2(self.adder_area_per_bit * bits as f64), PowerMw(self.adder_power_per_bit * bits as f64))
+    }
+
+    /// Area/power of one `bits`-wide barrel shifter.
+    pub fn shifter(&self, bits: usize) -> (AreaUm2, PowerMw) {
+        (
+            AreaUm2(self.shifter_area_per_bit * bits as f64),
+            PowerMw(self.shifter_power_per_bit * bits as f64),
+        )
+    }
+
+    /// Area/power of a `bits`-wide register.
+    pub fn register(&self, bits: usize) -> (AreaUm2, PowerMw) {
+        (AreaUm2(self.reg_area_per_bit * bits as f64), PowerMw(self.reg_power_per_bit * bits as f64))
+    }
+
+    /// Area/power of a `p`×`q` crossbar switch of datapath width `bits`.
+    pub fn switch(&self, p: usize, q: usize, bits: usize) -> (AreaUm2, PowerMw) {
+        let xpt = (p * q * bits) as f64;
+        (AreaUm2(self.xbar_area_per_xpt_bit * xpt), PowerMw(self.xbar_power_per_xpt_bit * xpt))
+    }
+
+    /// Area/power of a `bits`-wide equality comparator.
+    pub fn comparator(&self, bits: usize) -> (AreaUm2, PowerMw) {
+        (AreaUm2(self.cmp_area_per_bit * bits as f64), PowerMw(self.cmp_power_per_bit * bits as f64))
+    }
+
+    /// Area/power of a `bits`-wide 2:1 mux.
+    pub fn mux(&self, bits: usize) -> (AreaUm2, PowerMw) {
+        (AreaUm2(self.mux_area_per_bit * bits as f64), PowerMw(self.mux_power_per_bit * bits as f64))
+    }
+
+    /// Area/power of a `bits`-bit lookup table / metadata store.
+    pub fn lut(&self, bits: usize) -> (AreaUm2, PowerMw) {
+        (AreaUm2(self.lut_area_per_bit * bits as f64), PowerMw(self.lut_power_per_bit * bits as f64))
+    }
+
+    /// Area/power of one signed 4×4 multiplier.
+    pub fn mult4(&self) -> (AreaUm2, PowerMw) {
+        (AreaUm2(self.mult4_area), PowerMw(self.mult4_power))
+    }
+
+    /// Area/power of a monolithic (non-scalable) `bits`×`bits` multiplier.
+    ///
+    /// Multiplier cost grows quadratically with width; a monolithic design
+    /// saves ~25 % over composing 4-bit units (no fusion muxing).
+    pub fn mult_fixed(&self, bits: usize) -> (AreaUm2, PowerMw) {
+        let units = ((bits / 4) * (bits / 4)) as f64;
+        (AreaUm2(self.mult4_area * units * 0.75), PowerMw(self.mult4_power * units * 0.75))
+    }
+
+    /// Duration of one clock cycle in seconds.
+    pub fn cycle_time(&self) -> f64 {
+        1.0 / self.clock_hz
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        TechParams::CMOS_28NM
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_costs_scale_with_width() {
+        let t = TechParams::CMOS_28NM;
+        let (a8, _) = t.adder(8);
+        let (a32, _) = t.adder(32);
+        assert!((a32.0 / a8.0 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switch_cost_scales_with_crosspoints() {
+        let t = TechParams::CMOS_28NM;
+        let (s2, _) = t.switch(2, 2, 16);
+        let (s3, _) = t.switch(3, 3, 16);
+        assert!((s3.0 / s2.0 - 9.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_multiplier_cheaper_than_composed() {
+        let t = TechParams::CMOS_28NM;
+        let (fixed, _) = t.mult_fixed(16);
+        let composed = t.mult4().0 .0 * 16.0;
+        assert!(fixed.0 < composed);
+    }
+
+    #[test]
+    fn cycle_time_at_800mhz() {
+        assert!((TechParams::CMOS_28NM.cycle_time() - 1.25e-9).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,199 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// Silicon area in square micrometres.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct AreaUm2(pub f64);
+
+impl AreaUm2 {
+    /// Zero area.
+    pub const ZERO: AreaUm2 = AreaUm2(0.0);
+
+    /// Value in mm².
+    #[inline]
+    pub fn mm2(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Constructs from mm².
+    #[inline]
+    pub fn from_mm2(mm2: f64) -> Self {
+        AreaUm2(mm2 * 1e6)
+    }
+}
+
+/// Power in milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct PowerMw(pub f64);
+
+impl PowerMw {
+    /// Zero power.
+    pub const ZERO: PowerMw = PowerMw(0.0);
+
+    /// Value in watts.
+    #[inline]
+    pub fn watts(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Constructs from watts.
+    #[inline]
+    pub fn from_watts(w: f64) -> Self {
+        PowerMw(w * 1e3)
+    }
+
+    /// Energy dissipated over `seconds`.
+    #[inline]
+    pub fn energy_over(self, seconds: f64) -> EnergyPj {
+        // mW · s = mJ = 1e9 pJ
+        EnergyPj(self.0 * seconds * 1e9)
+    }
+}
+
+/// Energy in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct EnergyPj(pub f64);
+
+impl EnergyPj {
+    /// Zero energy.
+    pub const ZERO: EnergyPj = EnergyPj(0.0);
+
+    /// Value in millijoules.
+    #[inline]
+    pub fn mj(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Value in joules.
+    #[inline]
+    pub fn joules(self) -> f64 {
+        self.0 / 1e12
+    }
+
+    /// Constructs from joules.
+    #[inline]
+    pub fn from_joules(j: f64) -> Self {
+        EnergyPj(j * 1e12)
+    }
+}
+
+macro_rules! impl_unit_ops {
+    ($t:ty) => {
+        impl Add for $t {
+            type Output = $t;
+            fn add(self, rhs: $t) -> $t {
+                Self(self.0 + rhs.0)
+            }
+        }
+        impl AddAssign for $t {
+            fn add_assign(&mut self, rhs: $t) {
+                self.0 += rhs.0;
+            }
+        }
+        impl Sub for $t {
+            type Output = $t;
+            fn sub(self, rhs: $t) -> $t {
+                Self(self.0 - rhs.0)
+            }
+        }
+        impl Mul<f64> for $t {
+            type Output = $t;
+            fn mul(self, rhs: f64) -> $t {
+                Self(self.0 * rhs)
+            }
+        }
+        impl Div<f64> for $t {
+            type Output = $t;
+            fn div(self, rhs: f64) -> $t {
+                Self(self.0 / rhs)
+            }
+        }
+        impl Div<$t> for $t {
+            type Output = f64;
+            fn div(self, rhs: $t) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+        impl Sum for $t {
+            fn sum<I: Iterator<Item = $t>>(iter: I) -> $t {
+                iter.fold(Self(0.0), |a, b| a + b)
+            }
+        }
+    };
+}
+
+impl_unit_ops!(AreaUm2);
+impl_unit_ops!(PowerMw);
+impl_unit_ops!(EnergyPj);
+
+impl fmt::Display for AreaUm2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e5 {
+            write!(f, "{:.2} mm2", self.mm2())
+        } else {
+            write!(f, "{:.1} um2", self.0)
+        }
+    }
+}
+
+impl fmt::Display for PowerMw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e3 {
+            write!(f, "{:.2} W", self.watts())
+        } else {
+            write!(f, "{:.2} mW", self.0)
+        }
+    }
+}
+
+impl fmt::Display for EnergyPj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e9 {
+            write!(f, "{:.2} mJ", self.mj())
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.2} nJ", self.0 / 1e3)
+        } else {
+            write!(f, "{:.2} pJ", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert!((AreaUm2::from_mm2(2.5).0 - 2.5e6).abs() < 1e-6);
+        assert!((PowerMw::from_watts(5.8).0 - 5800.0).abs() < 1e-9);
+        assert!((EnergyPj::from_joules(1e-9).0 - 1e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        // 1 W for 1 ms = 1 mJ.
+        let e = PowerMw::from_watts(1.0).energy_over(1e-3);
+        assert!((e.mj() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = AreaUm2(100.0) + AreaUm2(50.0);
+        assert_eq!(a.0, 150.0);
+        let p = PowerMw(2.0) * 3.0;
+        assert_eq!(p.0, 6.0);
+        let ratio = AreaUm2(100.0) / AreaUm2(50.0);
+        assert_eq!(ratio, 2.0);
+        let s: AreaUm2 = vec![AreaUm2(1.0), AreaUm2(2.0)].into_iter().sum();
+        assert_eq!(s.0, 3.0);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(AreaUm2(120.0).to_string(), "120.0 um2");
+        assert_eq!(AreaUm2::from_mm2(1.0).to_string(), "1.00 mm2");
+        assert_eq!(PowerMw(2500.0).to_string(), "2.50 W");
+        assert_eq!(EnergyPj(2.0).to_string(), "2.00 pJ");
+    }
+}

@@ -1,0 +1,275 @@
+use crate::fused::{FusedMacUnit, ReductionTreeKind};
+use crate::reduce::{reduce_partials, Partial};
+use fnr_tensor::Precision;
+
+/// Work assigned to one logical multiplier lane for one array pass.
+///
+/// The distribution network produces these assignments (paper Fig. 5 /
+/// Fig. 11): each lane receives one element of matrix 1, one element of
+/// matrix 2 and the flattened index of the output element their product
+/// belongs to. Idle lanes simply receive no assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneAssignment {
+    /// Element of matrix 1 (already quantized to the array mode).
+    pub a: i32,
+    /// Element of matrix 2.
+    pub b: i32,
+    /// Flattened output index `row * out_cols + col`.
+    pub out_idx: u32,
+}
+
+/// Utilization statistics of one array pass.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ArrayStats {
+    /// Lanes that carried a real (non-padding) multiplication.
+    pub used_lanes: usize,
+    /// Total logical lanes available in the pass.
+    pub total_lanes: usize,
+    /// Reduction-tree levels traversed (pipeline depth).
+    pub reduce_levels: usize,
+}
+
+impl ArrayStats {
+    /// Fraction of lanes doing useful work — the MAC utilization metric of
+    /// the paper's Fig. 4.
+    pub fn utilization(&self) -> f64 {
+        if self.total_lanes == 0 {
+            0.0
+        } else {
+            self.used_lanes as f64 / self.total_lanes as f64
+        }
+    }
+}
+
+/// A 2-D array of bit-scalable MAC units with an augmented reduction tree.
+///
+/// `rows × cols` fused units provide `rows × cols × lanes_per_unit` logical
+/// multiplier lanes (Fig. 6(b): a 64×64 array acts as 64²/128²/256²
+/// multipliers depending on mode).
+///
+/// # Example
+///
+/// ```
+/// use fnr_mac::{LaneAssignment, MacArray};
+/// use fnr_tensor::Precision;
+///
+/// let array = MacArray::new(4, 4, Precision::Int16, Default::default());
+/// // Two dot products: out 0 gets 1*2 + 3*4 = 14, out 1 gets 5*6 = 30.
+/// let work = vec![
+///     LaneAssignment { a: 1, b: 2, out_idx: 0 },
+///     LaneAssignment { a: 3, b: 4, out_idx: 0 },
+///     LaneAssignment { a: 5, b: 6, out_idx: 1 },
+/// ];
+/// let (outs, stats) = array.execute(&work);
+/// assert_eq!(outs, vec![(0, 14), (1, 30)]);
+/// assert_eq!(stats.used_lanes, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacArray {
+    rows: usize,
+    cols: usize,
+    mode: Precision,
+    rt: ReductionTreeKind,
+}
+
+impl MacArray {
+    /// Creates a `rows`×`cols` array of fused units in `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is FP32.
+    pub fn new(rows: usize, cols: usize, mode: Precision, rt: ReductionTreeKind) -> Self {
+        assert!(mode != Precision::Fp32, "MAC array supports INT4/8/16 only");
+        MacArray { rows, cols, mode, rt }
+    }
+
+    /// Array rows (physical fused units).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array columns (physical fused units).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Operating precision.
+    pub fn mode(&self) -> Precision {
+        self.mode
+    }
+
+    /// Reduction-tree organization.
+    pub fn reduction_tree(&self) -> ReductionTreeKind {
+        self.rt
+    }
+
+    /// Physical fused units.
+    pub fn units(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Logical multiplier lanes per pass in the current mode.
+    pub fn lanes(&self) -> usize {
+        self.units() * FusedMacUnit::new(self.mode, self.rt).lanes()
+    }
+
+    /// Peak multiply–accumulate operations per second at `clock_hz`.
+    pub fn peak_macs_per_s(&self, clock_hz: f64) -> f64 {
+        self.lanes() as f64 * clock_hz
+    }
+
+    /// Peak TOPS (2 ops per MAC) at `clock_hz`.
+    pub fn peak_tops(&self, clock_hz: f64) -> f64 {
+        2.0 * self.peak_macs_per_s(clock_hz) / 1e12
+    }
+
+    /// Executes one array pass over the lane assignments.
+    ///
+    /// Assignments are placed onto lanes in order (the dense mapping keeps
+    /// same-output partials contiguous); surplus lanes idle. Products are
+    /// merged by the flexible reduction tree and returned as
+    /// `(out_idx, value)` pairs in lane order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more assignments than lanes are supplied or a value does
+    /// not fit the mode.
+    pub fn execute(&self, work: &[LaneAssignment]) -> (Vec<(u32, i64)>, ArrayStats) {
+        assert!(
+            work.len() <= self.lanes(),
+            "{} assignments exceed {} lanes",
+            work.len(),
+            self.lanes()
+        );
+        let unit = FusedMacUnit::new(self.mode, self.rt);
+        let partials: Vec<Partial> = work
+            .iter()
+            .map(|w| Partial::new(w.out_idx, unit.multiply_one(w.a, w.b)))
+            .collect();
+        let (merged, levels) = reduce_partials(&partials);
+        let stats = ArrayStats {
+            used_lanes: work.iter().filter(|w| w.a != 0 && w.b != 0).count(),
+            total_lanes: self.lanes(),
+            reduce_levels: levels,
+        };
+        (merged.into_iter().map(|p| (p.out_idx, p.value)).collect(), stats)
+    }
+
+    /// Executes a full (possibly multi-pass) GEMM given per-pass lane
+    /// assignments, accumulating merged partials into a dense output.
+    ///
+    /// This is the functional reference used by the integration tests: a
+    /// sparse GEMM mapped by the distribution network must produce exactly
+    /// the reference matmul result.
+    pub fn execute_passes(
+        &self,
+        passes: &[Vec<LaneAssignment>],
+        out_len: usize,
+    ) -> (Vec<i64>, Vec<ArrayStats>) {
+        let mut out = vec![0i64; out_len];
+        let mut stats = Vec::with_capacity(passes.len());
+        for pass in passes {
+            let (merged, s) = self.execute(pass);
+            for (idx, v) in merged {
+                out[idx as usize] += v;
+            }
+            stats.push(s);
+        }
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fnr_tensor::{gen, Matrix};
+
+    #[test]
+    fn lane_counts_scale_with_precision() {
+        let rt = ReductionTreeKind::SharedShifter;
+        assert_eq!(MacArray::new(64, 64, Precision::Int16, rt).lanes(), 64 * 64);
+        assert_eq!(MacArray::new(64, 64, Precision::Int8, rt).lanes(), 128 * 128);
+        assert_eq!(MacArray::new(64, 64, Precision::Int4, rt).lanes(), 256 * 256);
+    }
+
+    #[test]
+    fn peak_tops_at_800mhz_matches_table3() {
+        // Table 3: 64² multipliers at INT16 → 6.55 TOPS.
+        let arr = MacArray::new(64, 64, Precision::Int16, ReductionTreeKind::SharedShifter);
+        assert!((arr.peak_tops(800e6) - 6.5536).abs() < 1e-3);
+        let arr4 = MacArray::new(64, 64, Precision::Int4, ReductionTreeKind::SharedShifter);
+        assert!((arr4.peak_tops(800e6) - 104.86).abs() < 0.1);
+    }
+
+    #[test]
+    fn executes_small_sparse_gemm_exactly() {
+        // Reference: full GEMM via Matrix::matmul; array gets the nonzero
+        // pair list (Gustavson expansion) and must reproduce it.
+        let a = gen::random_sparse_i32(8, 8, 0.6, Precision::Int8, 31);
+        let b = gen::random_sparse_i32(8, 8, 0.4, Precision::Int8, 32);
+        let reference = a.matmul(&b).unwrap();
+
+        // Build assignments: for each nonzero a[i][k], for each nonzero
+        // b[k][j]: lane computes a*b → out (i, j). Contiguity by (i, k).
+        let mut work = Vec::new();
+        for (i, k, av) in a.iter_nonzeros() {
+            for j in 0..b.cols() {
+                let bv = b.get(k, j);
+                if bv != 0 {
+                    work.push(LaneAssignment { a: av, b: bv, out_idx: (i * 8 + j) as u32 });
+                }
+            }
+        }
+        let arr = MacArray::new(16, 16, Precision::Int8, ReductionTreeKind::SharedShifter);
+        // Split into passes of at most `lanes` assignments.
+        let passes: Vec<Vec<LaneAssignment>> =
+            work.chunks(arr.lanes()).map(|c| c.to_vec()).collect();
+        let (out, stats) = arr.execute_passes(&passes, 64);
+        let expected: Vec<i64> = reference.as_slice().iter().map(|&v| v as i64).collect();
+        assert_eq!(out, expected);
+        assert!(stats.iter().all(|s| s.utilization() > 0.0));
+    }
+
+    #[test]
+    fn utilization_counts_only_nonzero_work() {
+        let arr = MacArray::new(2, 2, Precision::Int16, ReductionTreeKind::SharedShifter);
+        let work = vec![
+            LaneAssignment { a: 1, b: 1, out_idx: 0 },
+            LaneAssignment { a: 0, b: 5, out_idx: 1 },
+        ];
+        let (_, stats) = arr.execute(&work);
+        assert_eq!(stats.used_lanes, 1);
+        assert_eq!(stats.total_lanes, 4);
+        assert!((stats.utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_much_work_panics() {
+        let arr = MacArray::new(1, 1, Precision::Int16, ReductionTreeKind::SharedShifter);
+        let work = vec![LaneAssignment { a: 1, b: 1, out_idx: 0 }; 2];
+        arr.execute(&work);
+    }
+
+    #[test]
+    fn dense_identity_gemm() {
+        // A · I = A through the array.
+        let a = gen::random_sparse_i32(4, 4, 0.0, Precision::Int4, 5);
+        let mut eye = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            eye.set(i, i, 1);
+        }
+        let mut work = Vec::new();
+        for (i, k, av) in a.iter_nonzeros() {
+            for (j, bv) in [(k, 1)] {
+                work.push(LaneAssignment { a: av, b: bv, out_idx: (i * 4 + j) as u32 });
+            }
+        }
+        let arr = MacArray::new(4, 4, Precision::Int4, ReductionTreeKind::SharedShifter);
+        let passes: Vec<Vec<LaneAssignment>> =
+            work.chunks(arr.lanes()).map(|c| c.to_vec()).collect();
+        let (out, _) = arr.execute_passes(&passes, 16);
+        let expected: Vec<i64> = a.as_slice().iter().map(|&v| v as i64).collect();
+        assert_eq!(out, expected);
+    }
+}

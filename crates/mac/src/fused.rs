@@ -1,0 +1,194 @@
+use crate::submult::{decompose_nibbles, SubMult};
+use fnr_tensor::Precision;
+
+/// The two reduction-tree organizations compared in the paper's Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReductionTreeKind {
+    /// The original Bit Fusion organization: 24 shifters per unit, one per
+    /// partial-product column (Fig. 12(a)).
+    Unoptimized,
+    /// FlexNeRFer's organization: shifters performing identical operations
+    /// are shared, 16 per unit, a 33.3 % reduction, and the tree nodes gain
+    /// comparator + bypass for flexible sparse reduction (Fig. 12(b)).
+    #[default]
+    SharedShifter,
+}
+
+impl ReductionTreeKind {
+    /// Shifters instantiated per MAC unit (24 → 16, §4.2).
+    pub fn shifter_count(self) -> usize {
+        match self {
+            ReductionTreeKind::Unoptimized => 24,
+            ReductionTreeKind::SharedShifter => 16,
+        }
+    }
+}
+
+/// One bit-scalable MAC unit: sixteen 4×4 sub-multipliers plus a
+/// shift-add reduction tree (paper Fig. 6(a) / Fig. 12).
+///
+/// In INT16 mode the unit computes one 16×16 product per cycle; in INT8
+/// mode four 8×8 products; in INT4 mode sixteen 4×4 products. The products
+/// of one cycle can be independent (different output indices) or fused into
+/// a dot product by the flexible reduction tree.
+///
+/// # Example
+///
+/// ```
+/// use fnr_mac::FusedMacUnit;
+/// use fnr_tensor::Precision;
+///
+/// let unit = FusedMacUnit::new(Precision::Int8, Default::default());
+/// let products = unit.multiply(&[3, -5, 7, 100], &[10, 10, -10, 100]);
+/// assert_eq!(products, vec![30, -50, -70, 10000]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedMacUnit {
+    mode: Precision,
+    rt: ReductionTreeKind,
+}
+
+impl FusedMacUnit {
+    /// Total sub-multipliers in one unit.
+    pub const SUBMULTS: usize = 16;
+
+    /// Creates a unit operating in `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is FP32 (the MAC array is integer-only).
+    pub fn new(mode: Precision, rt: ReductionTreeKind) -> Self {
+        assert!(mode != Precision::Fp32, "MAC array supports INT4/8/16 only");
+        FusedMacUnit { mode, rt }
+    }
+
+    /// Operating precision.
+    pub fn mode(&self) -> Precision {
+        self.mode
+    }
+
+    /// Reduction-tree organization.
+    pub fn reduction_tree(&self) -> ReductionTreeKind {
+        self.rt
+    }
+
+    /// Independent products this unit produces per cycle (1 / 4 / 16).
+    pub fn lanes(&self) -> usize {
+        Self::SUBMULTS / self.mode.submults_per_product()
+    }
+
+    /// Multiplies the per-lane operand pairs through the fused datapath.
+    ///
+    /// Exactly [`FusedMacUnit::lanes`] operand pairs must be supplied; lanes
+    /// carrying no work should be fed zeros (that is precisely what a
+    /// sparsely-mapped unit does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ from `lanes()` or a value does not
+    /// fit the mode.
+    pub fn multiply(&self, a: &[i32], b: &[i32]) -> Vec<i64> {
+        assert_eq!(a.len(), self.lanes(), "expected {} operands", self.lanes());
+        assert_eq!(b.len(), self.lanes(), "expected {} operands", self.lanes());
+        a.iter().zip(b).map(|(&x, &y)| self.multiply_one(x, y)).collect()
+    }
+
+    /// Multiplies one operand pair through the decompose → 4×4 multiply →
+    /// shift-add datapath, bit-exactly.
+    pub fn multiply_one(&self, a: i32, b: i32) -> i64 {
+        let da = decompose_nibbles(a, self.mode);
+        let db = decompose_nibbles(b, self.mode);
+        let mut acc = 0i64;
+        for (i, &x) in da.iter().enumerate() {
+            for (j, &y) in db.iter().enumerate() {
+                acc += (SubMult::mul(x, y) as i64) << (4 * (i + j));
+            }
+        }
+        acc
+    }
+
+    /// Dot product of the lane pairs (all lanes reduced into one output),
+    /// the ΣWi·Xi configuration of Fig. 6(a).
+    pub fn dot(&self, a: &[i32], b: &[i32]) -> i64 {
+        self.multiply(a, b).into_iter().sum()
+    }
+
+    /// Input bandwidth (bits per operand per cycle) actually consumed in
+    /// this mode: 16 / 32 / 64 bits for INT16 / INT8 / INT4 (§4.1.3).
+    pub fn operand_bits_per_cycle(&self) -> usize {
+        self.lanes() * self.mode.bits() as usize
+    }
+
+    /// Bandwidth utilization of the unit's 64-bit operand port *without*
+    /// the column-level bypass link: 25 % / 50 % / 100 % (§4.1.3).
+    pub fn raw_bandwidth_utilization(&self) -> f64 {
+        self.operand_bits_per_cycle() as f64 / 64.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn int16_product_is_bit_exact() {
+        let unit = FusedMacUnit::new(Precision::Int16, ReductionTreeKind::SharedShifter);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let a = rng.gen_range(-32768..=32767);
+            let b = rng.gen_range(-32768..=32767);
+            assert_eq!(unit.multiply_one(a, b), a as i64 * b as i64);
+        }
+    }
+
+    #[test]
+    fn int8_mode_runs_four_lanes() {
+        let unit = FusedMacUnit::new(Precision::Int8, ReductionTreeKind::SharedShifter);
+        assert_eq!(unit.lanes(), 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for _ in 0..200 {
+            let a: Vec<i32> = (0..4).map(|_| rng.gen_range(-128..=127)).collect();
+            let b: Vec<i32> = (0..4).map(|_| rng.gen_range(-128..=127)).collect();
+            let prods = unit.multiply(&a, &b);
+            for i in 0..4 {
+                assert_eq!(prods[i], a[i] as i64 * b[i] as i64);
+            }
+            assert_eq!(unit.dot(&a, &b), prods.iter().sum::<i64>());
+        }
+    }
+
+    #[test]
+    fn int4_mode_runs_sixteen_lanes() {
+        let unit = FusedMacUnit::new(Precision::Int4, ReductionTreeKind::Unoptimized);
+        assert_eq!(unit.lanes(), 16);
+        let a: Vec<i32> = (-8..8).collect();
+        let b: Vec<i32> = vec![7; 16];
+        let prods = unit.multiply(&a, &b);
+        for (i, p) in prods.iter().enumerate() {
+            assert_eq!(*p, (i as i64 - 8) * 7);
+        }
+    }
+
+    #[test]
+    fn bandwidth_utilization_matches_paper() {
+        let u16 = FusedMacUnit::new(Precision::Int16, ReductionTreeKind::SharedShifter);
+        let u8 = FusedMacUnit::new(Precision::Int8, ReductionTreeKind::SharedShifter);
+        let u4 = FusedMacUnit::new(Precision::Int4, ReductionTreeKind::SharedShifter);
+        assert!((u16.raw_bandwidth_utilization() - 0.25).abs() < 1e-12);
+        assert!((u8.raw_bandwidth_utilization() - 0.50).abs() < 1e-12);
+        assert!((u4.raw_bandwidth_utilization() - 1.00).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifter_counts_match_fig12() {
+        assert_eq!(ReductionTreeKind::Unoptimized.shifter_count(), 24);
+        assert_eq!(ReductionTreeKind::SharedShifter.shifter_count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "INT4/8/16")]
+    fn fp32_is_rejected() {
+        FusedMacUnit::new(Precision::Fp32, ReductionTreeKind::SharedShifter);
+    }
+}

@@ -1,0 +1,27 @@
+//! Bit-scalable MAC substrate for the FlexNeRFer reproduction.
+//!
+//! Implements the Bit Fusion style fused MAC unit of the paper's Fig. 6 —
+//! sixteen 4×4-bit sub-multipliers composable into one 16-bit, four 8-bit or
+//! sixteen 4-bit multipliers — together with the two reduction-tree variants
+//! of Fig. 12 (the baseline 24-shifter tree and FlexNeRFer's shared-shifter
+//! 16-shifter tree), the flexible comparator/bypass reduction node used for
+//! sparse output merging, and the full MAC array with its augmented
+//! reduction tree (ART).
+//!
+//! Everything is *functional*: fused multiplications are verified bit-exact
+//! against native integer arithmetic, and arrays compute real dot products
+//! through the modelled reduction hardware.
+
+#![warn(missing_docs)]
+
+mod array;
+mod fused;
+mod ppa;
+mod reduce;
+mod submult;
+
+pub use array::{ArrayStats, LaneAssignment, MacArray};
+pub use fused::{FusedMacUnit, ReductionTreeKind};
+pub use ppa::{art_parts_list, mac_unit_parts_list, mac_unit_ppa, FIG12C_PAPER};
+pub use reduce::{reduce_partials, Partial, ReduceOutput};
+pub use submult::{decompose_nibbles, fuse_partial_products, SubMult};

@@ -1,0 +1,145 @@
+//! Area/power models of the MAC unit and array-level reduction tree,
+//! calibrated against the paper's Fig. 12(c).
+
+use crate::fused::ReductionTreeKind;
+use fnr_hw::{PartsList, Ppa, TechParams};
+
+/// Paper Fig. 12(c) reference values:
+/// `(unoptimized area µm², optimized area µm², unoptimized mW, optimized mW)`.
+pub const FIG12C_PAPER: (f64, f64, f64, f64) = (6161.9, 4416.84, 3.42, 1.86);
+
+/// Builds the itemized parts list of one bit-scalable MAC unit with the
+/// given reduction-tree organization.
+///
+/// Structure follows Fig. 12(a)/(b):
+///
+/// * 16 signed 4×4 sub-multipliers;
+/// * the shift network — 24 × 24-bit shifters unoptimized, 16 × 12-bit
+///   shifters when identical shift operations are shared (§4.2, a 33.3 %
+///   shifter-count reduction);
+/// * the adder tree — 15 adders (8/4/2/1 per level); the optimized variant
+///   uses narrower adders (shift-after-reduce) but augments every node with
+///   an output-index comparator and a bypass mux for flexible reduction;
+/// * a 32-bit output register.
+///
+/// The optimized tree's pipelined, operand-gated structure reduces
+/// switching activity; [`TechParams::optimized_rt_activity`] captures that
+/// and is calibrated to the 45.6 % unit-power reduction of Fig. 12(c).
+pub fn mac_unit_parts_list(tech: &TechParams, rt: ReductionTreeKind) -> PartsList {
+    let mut list = PartsList::new(match rt {
+        ReductionTreeKind::Unoptimized => "bit-scalable MAC unit (unoptimized RT)",
+        ReductionTreeKind::SharedShifter => "bit-scalable MAC unit (shared-shifter RT)",
+    });
+    list.add_pair("sub-multipliers", 16, tech.mult4());
+    match rt {
+        ReductionTreeKind::Unoptimized => {
+            list.add_pair("shifters", 24, tech.shifter(24));
+            // Adder tree: 8×12b, 4×16b, 2×24b, 1×32b = 240 result bits.
+            list.add_pair("adder tree", 8, tech.adder(12));
+            list.add_pair("adder tree", 4, tech.adder(16));
+            list.add_pair("adder tree", 2, tech.adder(24));
+            list.add_pair("adder tree", 1, tech.adder(32));
+        }
+        ReductionTreeKind::SharedShifter => {
+            list.add_pair("shifters", 16, tech.shifter(12));
+            // Narrower adders: 8×10b, 4×12b, 2×16b, 1×16b = 176 result bits.
+            list.add_pair("adder tree", 8, tech.adder(10));
+            list.add_pair("adder tree", 4, tech.adder(12));
+            list.add_pair("adder tree", 2, tech.adder(16));
+            list.add_pair("adder tree", 1, tech.adder(16));
+            list.add_pair("index comparators", 15, tech.comparator(8));
+            list.add_pair("bypass muxes", 15, tech.mux(16));
+            list.scale_group_power("shifters", tech.optimized_rt_activity);
+            list.scale_group_power("adder tree", tech.optimized_rt_activity);
+            list.scale_group_power("index comparators", tech.optimized_rt_activity);
+            list.scale_group_power("bypass muxes", tech.optimized_rt_activity);
+        }
+    }
+    list.add_pair("output register", 1, tech.register(32));
+    list
+}
+
+/// Convenience: total PPA of one MAC unit.
+pub fn mac_unit_ppa(tech: &TechParams, rt: ReductionTreeKind) -> Ppa {
+    mac_unit_parts_list(tech, rt).subtotal()
+}
+
+/// Array-level augmented reduction tree (ART): `n_units − 1` flexible
+/// reduction nodes (32-bit adder + index comparator + bypass mux) plus one
+/// pipeline register per node — the structure validated by MAERI/Flexagon/
+/// FEATHER that the paper adopts between MAC units (§4.2, Fig. 12(d)).
+pub fn art_parts_list(tech: &TechParams, n_units: usize) -> PartsList {
+    let nodes = n_units.saturating_sub(1) as u64;
+    let mut list = PartsList::new("augmented reduction tree");
+    list.add_pair("flexible adders", nodes, tech.adder(32));
+    list.add_pair("index comparators", nodes, tech.comparator(12));
+    list.add_pair("bypass muxes", nodes, tech.mux(32));
+    list.add_pair("pipeline registers", nodes, tech.register(32));
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn within(actual: f64, target: f64, tol_pct: f64) -> bool {
+        (actual - target).abs() / target * 100.0 <= tol_pct
+    }
+
+    #[test]
+    fn fig12c_area_calibration() {
+        let t = TechParams::CMOS_28NM;
+        let unopt = mac_unit_ppa(&t, ReductionTreeKind::Unoptimized);
+        let opt = mac_unit_ppa(&t, ReductionTreeKind::SharedShifter);
+        assert!(
+            within(unopt.area.0, FIG12C_PAPER.0, 1.0),
+            "unoptimized area {} vs paper {}",
+            unopt.area.0,
+            FIG12C_PAPER.0
+        );
+        assert!(
+            within(opt.area.0, FIG12C_PAPER.1, 1.0),
+            "optimized area {} vs paper {}",
+            opt.area.0,
+            FIG12C_PAPER.1
+        );
+    }
+
+    #[test]
+    fn fig12c_power_calibration() {
+        let t = TechParams::CMOS_28NM;
+        let unopt = mac_unit_ppa(&t, ReductionTreeKind::Unoptimized);
+        let opt = mac_unit_ppa(&t, ReductionTreeKind::SharedShifter);
+        assert!(
+            within(unopt.power.0, FIG12C_PAPER.2, 2.0),
+            "unoptimized power {} vs paper {}",
+            unopt.power.0,
+            FIG12C_PAPER.2
+        );
+        assert!(
+            within(opt.power.0, FIG12C_PAPER.3, 2.0),
+            "optimized power {} vs paper {}",
+            opt.power.0,
+            FIG12C_PAPER.3
+        );
+    }
+
+    #[test]
+    fn optimization_saves_28pct_area_46pct_power() {
+        let t = TechParams::CMOS_28NM;
+        let unopt = mac_unit_ppa(&t, ReductionTreeKind::Unoptimized);
+        let opt = mac_unit_ppa(&t, ReductionTreeKind::SharedShifter);
+        let area_red = 1.0 - opt.area / unopt.area;
+        let power_red = 1.0 - opt.power / unopt.power;
+        assert!(within(area_red * 100.0, 28.3, 5.0), "area reduction {area_red}");
+        assert!(within(power_red * 100.0, 45.6, 5.0), "power reduction {power_red}");
+    }
+
+    #[test]
+    fn art_scales_with_units() {
+        let t = TechParams::CMOS_28NM;
+        let small = art_parts_list(&t, 16).subtotal();
+        let big = art_parts_list(&t, 4096).subtotal();
+        assert!(big.area.0 / small.area.0 > 200.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Flexible reduction: comparator + bypassable adder nodes (paper §4.2).
+//!
+//! When sparse data is densely mapped, neighbouring MAC lanes may compute
+//! partial products belonging to *different* output elements. The reduction
+//! tree therefore augments each adder with an index comparator: operands are
+//! added when their output indices match and passed through side-by-side
+//! otherwise — the behaviour of the simplified Verilog node in Fig. 12(d).
+
+/// A partial result travelling through the reduction tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partial {
+    /// Flattened output-element index this value contributes to.
+    pub out_idx: u32,
+    /// Accumulated value.
+    pub value: i64,
+}
+
+impl Partial {
+    /// Creates a partial result.
+    pub fn new(out_idx: u32, value: i64) -> Self {
+        Partial { out_idx, value }
+    }
+}
+
+/// Result of one flexible reduction node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOutput {
+    /// Indices matched: operands were summed.
+    Merged(Partial),
+    /// Indices differed: both operands pass through unchanged.
+    Passed(Partial, Partial),
+}
+
+/// One comparator + bypassable-adder node.
+pub fn flex_reduce(a: Partial, b: Partial) -> ReduceOutput {
+    if a.out_idx == b.out_idx {
+        ReduceOutput::Merged(Partial::new(a.out_idx, a.value + b.value))
+    } else {
+        ReduceOutput::Passed(a, b)
+    }
+}
+
+/// Runs a full augmented-reduction-tree pass over lane outputs.
+///
+/// Lanes are reduced pairwise, level by level, exactly as the hardware tree
+/// would: each level halves the stream, merging adjacent partials whose
+/// output indices match. Because the dense mapping assigns lanes in output
+/// order, partials of one output element are always contiguous, so
+/// `ceil(log2(n))` levels suffice to fully merge every run.
+///
+/// Returns the merged partials in lane order plus the number of tree levels
+/// traversed (the pipeline depth used for cycle accounting).
+pub fn reduce_partials(lanes: &[Partial]) -> (Vec<Partial>, usize) {
+    if lanes.is_empty() {
+        return (Vec::new(), 0);
+    }
+    // The augmented links of the ART let any contiguous run of same-index
+    // partials merge regardless of its alignment to the tree; a run of
+    // length L completes in ceil(log2(L)) adder levels. Model that
+    // behaviour directly: fold each contiguous run with flex_reduce.
+    let mut merged: Vec<Partial> = Vec::new();
+    let mut longest_run = 1usize;
+    let mut run_len = 1usize;
+    for &p in lanes {
+        match merged.last_mut() {
+            Some(last) if last.out_idx == p.out_idx => {
+                match flex_reduce(*last, p) {
+                    ReduceOutput::Merged(m) => *last = m,
+                    ReduceOutput::Passed(..) => unreachable!("indices matched"),
+                }
+                run_len += 1;
+                longest_run = longest_run.max(run_len);
+            }
+            _ => {
+                merged.push(p);
+                run_len = 1;
+            }
+        }
+    }
+    let levels = (usize::BITS - (longest_run.max(2) - 1).leading_zeros()) as usize;
+    (merged, levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_indices_merge() {
+        match flex_reduce(Partial::new(3, 10), Partial::new(3, -4)) {
+            ReduceOutput::Merged(p) => {
+                assert_eq!(p.out_idx, 3);
+                assert_eq!(p.value, 6);
+            }
+            _ => panic!("expected merge"),
+        }
+    }
+
+    #[test]
+    fn differing_indices_bypass() {
+        match flex_reduce(Partial::new(1, 10), Partial::new(2, 20)) {
+            ReduceOutput::Passed(a, b) => {
+                assert_eq!((a.out_idx, a.value), (1, 10));
+                assert_eq!((b.out_idx, b.value), (2, 20));
+            }
+            _ => panic!("expected bypass"),
+        }
+    }
+
+    #[test]
+    fn tree_merges_contiguous_runs() {
+        // Lanes: [A A A A B B C D] → [A·4, B·2, C, D]
+        let lanes: Vec<Partial> = [(0, 1), (0, 2), (0, 3), (0, 4), (1, 10), (1, 20), (2, 7), (3, 9)]
+            .iter()
+            .map(|&(i, v)| Partial::new(i, v))
+            .collect();
+        let (out, levels) = reduce_partials(&lanes);
+        assert_eq!(
+            out,
+            vec![Partial::new(0, 10), Partial::new(1, 30), Partial::new(2, 7), Partial::new(3, 9)]
+        );
+        // Longest run is 4 → 2 adder levels complete the merge.
+        assert_eq!(levels, 2);
+    }
+
+    #[test]
+    fn all_same_index_fully_reduces() {
+        let lanes: Vec<Partial> = (0..16).map(|i| Partial::new(5, i as i64)).collect();
+        let (out, _) = reduce_partials(&lanes);
+        assert_eq!(out, vec![Partial::new(5, 120)]);
+    }
+
+    #[test]
+    fn all_distinct_indices_pass_through() {
+        let lanes: Vec<Partial> = (0..8).map(|i| Partial::new(i, 1)).collect();
+        let (out, _) = reduce_partials(&lanes);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(reduce_partials(&[]).0, vec![]);
+        let one = vec![Partial::new(0, 5)];
+        assert_eq!(reduce_partials(&one).0, one);
+    }
+
+    #[test]
+    fn unaligned_runs_still_merge() {
+        // A run straddling a pair boundary: [X, A, A, Y].
+        let lanes =
+            vec![Partial::new(9, 1), Partial::new(4, 2), Partial::new(4, 3), Partial::new(8, 4)];
+        let (out, _) = reduce_partials(&lanes);
+        assert!(out.contains(&Partial::new(4, 5)), "run must merge: {out:?}");
+        assert_eq!(out.len(), 3);
+    }
+}

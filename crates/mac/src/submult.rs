@@ -1,0 +1,112 @@
+use fnr_tensor::Precision;
+
+/// One 4×4-bit sub-multiplier (a Bit Fusion "BitBrick").
+///
+/// The physical unit multiplies two 4-bit digits whose signedness is
+/// configured by the fusion logic: in a radix-16 decomposition only the most
+/// significant digit is signed. The model works on the already-decoded digit
+/// values, so a digit is an `i32` in `[-8, 7]` (signed position) or
+/// `[0, 15]` (unsigned position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubMult;
+
+impl SubMult {
+    /// Multiplies two decoded digits.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if a digit is outside the 4-bit decoded range.
+    #[inline]
+    pub fn mul(a: i32, b: i32) -> i32 {
+        debug_assert!((-8..=15).contains(&a), "digit {a} out of 4-bit range");
+        debug_assert!((-8..=15).contains(&b), "digit {b} out of 4-bit range");
+        a * b
+    }
+}
+
+/// Decomposes a signed `bits`-wide value into radix-16 digits, least
+/// significant first. All digits are unsigned except the top one.
+///
+/// The defining property (two's-complement radix decomposition):
+/// `v == Σ digit[k] · 16^k`.
+///
+/// # Panics
+///
+/// Panics if `precision` is FP32 or `v` does not fit the precision.
+pub fn decompose_nibbles(v: i32, precision: Precision) -> Vec<i32> {
+    assert!(precision != Precision::Fp32, "only integer modes decompose");
+    assert!(precision.contains(v), "{v} does not fit {precision}");
+    let n = (precision.bits() / 4) as usize;
+    let mut digits = Vec::with_capacity(n);
+    for k in 0..n {
+        if k + 1 == n {
+            // Top digit: arithmetic shift keeps the sign.
+            digits.push(v >> (4 * k));
+        } else {
+            digits.push((v >> (4 * k)) & 0xF);
+        }
+    }
+    digits
+}
+
+/// Recomposes a product from per-digit-pair partial products:
+/// `Σ_{i,j} pp[i][j] << 4(i+j)` — the shift-add the fused unit's internal
+/// reduction tree performs.
+pub fn fuse_partial_products(pp: &[Vec<i32>]) -> i64 {
+    let mut acc = 0i64;
+    for (i, row) in pp.iter().enumerate() {
+        for (j, &p) in row.iter().enumerate() {
+            acc += (p as i64) << (4 * (i + j));
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn decomposition_recomposes() {
+        for v in [-32768i32, -1, 0, 1, 12345, 32767] {
+            let d = decompose_nibbles(v, Precision::Int16);
+            assert_eq!(d.len(), 4);
+            let back: i64 = d.iter().enumerate().map(|(k, &x)| (x as i64) << (4 * k)).sum();
+            assert_eq!(back, v as i64, "v = {v}, digits = {d:?}");
+        }
+    }
+
+    #[test]
+    fn int8_has_two_digits() {
+        let d = decompose_nibbles(-100, Precision::Int8);
+        assert_eq!(d.len(), 2);
+        assert_eq!((d[1] << 4) + d[0], -100);
+    }
+
+    #[test]
+    fn int4_is_identity() {
+        assert_eq!(decompose_nibbles(-8, Precision::Int4), vec![-8]);
+        assert_eq!(decompose_nibbles(7, Precision::Int4), vec![7]);
+    }
+
+    #[test]
+    fn fused_product_equals_native_multiplication() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..1000 {
+            let a = rng.gen_range(-32768..=32767);
+            let b = rng.gen_range(-32768..=32767);
+            let da = decompose_nibbles(a, Precision::Int16);
+            let db = decompose_nibbles(b, Precision::Int16);
+            let pp: Vec<Vec<i32>> =
+                da.iter().map(|&x| db.iter().map(|&y| SubMult::mul(x, y)).collect()).collect();
+            assert_eq!(fuse_partial_products(&pp), a as i64 * b as i64, "{a} * {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn decompose_rejects_out_of_range() {
+        decompose_nibbles(200, Precision::Int8);
+    }
+}

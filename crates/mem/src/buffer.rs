@@ -1,0 +1,234 @@
+use fnr_hw::{Ppa, SramMacro};
+
+/// Static configuration of one on-chip buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferConfig {
+    /// Human-readable name ("I Buffer", "W Buffer", …).
+    pub name: &'static str,
+    /// Capacity in KiB.
+    pub kbytes: f64,
+    /// Port width in bits.
+    pub width_bits: usize,
+}
+
+impl BufferConfig {
+    /// FlexNeRFer's 2 MiB input buffer (Fig. 14).
+    pub const INPUT_2MB: BufferConfig =
+        BufferConfig { name: "I Buffer", kbytes: 2048.0, width_bits: 512 };
+    /// FlexNeRFer's 2 MiB output buffer.
+    pub const OUTPUT_2MB: BufferConfig =
+        BufferConfig { name: "O Buffer", kbytes: 2048.0, width_bits: 512 };
+    /// FlexNeRFer's 512 KiB weight buffer.
+    pub const WEIGHT_512KB: BufferConfig =
+        BufferConfig { name: "W Buffer", kbytes: 512.0, width_bits: 512 };
+    /// FlexNeRFer's 512 KiB encoding buffer.
+    pub const ENCODING_512KB: BufferConfig =
+        BufferConfig { name: "Encoding Buffer", kbytes: 512.0, width_bits: 256 };
+
+    /// The SRAM macro realizing this buffer.
+    pub fn macro_model(&self) -> SramMacro {
+        SramMacro::new(self.kbytes, self.width_bits)
+    }
+
+    /// Static area/power of the buffer.
+    pub fn ppa(&self) -> Ppa {
+        self.macro_model().ppa()
+    }
+
+    /// Capacity in bytes.
+    pub fn bytes(&self) -> u64 {
+        (self.kbytes * 1024.0) as u64
+    }
+}
+
+/// A double-buffered (ping-pong) on-chip buffer.
+///
+/// While the compute side drains one half, the DMA side fills the other;
+/// a tile switch succeeds only when the incoming fill has completed. This
+/// is the mechanism that lets the cycle model overlap DRAM transfers with
+/// computation (`max(compute, memory)` per tile instead of the sum).
+///
+/// # Example
+///
+/// ```
+/// use fnr_mem::{BufferConfig, DoubleBuffer};
+///
+/// let mut buf = DoubleBuffer::new(BufferConfig::WEIGHT_512KB);
+/// buf.begin_fill(0, 4096, 50);   // DMA fills the shadow half
+/// let t = buf.swap(80);          // compute finished at cycle 80
+/// assert_eq!(t, 80, "the 50-cycle fill hid under compute");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DoubleBuffer {
+    config: BufferConfig,
+    /// Fill completion cycle of the pending (filling) half, if any.
+    pending_ready_at: Option<u64>,
+    /// Whether the active half currently holds valid data.
+    active_valid: bool,
+    /// Read/write byte counters.
+    reads: u64,
+    writes: u64,
+}
+
+impl DoubleBuffer {
+    /// Creates an empty double buffer.
+    pub fn new(config: BufferConfig) -> Self {
+        DoubleBuffer { config, pending_ready_at: None, active_valid: false, reads: 0, writes: 0 }
+    }
+
+    /// Buffer configuration.
+    pub fn config(&self) -> &BufferConfig {
+        &self.config
+    }
+
+    /// Usable capacity of one half in bytes.
+    pub fn half_bytes(&self) -> u64 {
+        self.config.bytes() / 2
+    }
+
+    /// Starts filling the inactive half with `bytes`, completing at
+    /// `now + fill_cycles`. Returns the completion cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fill is already pending or `bytes` exceeds half the
+    /// capacity.
+    pub fn begin_fill(&mut self, now: u64, bytes: u64, fill_cycles: u64) -> u64 {
+        assert!(self.pending_ready_at.is_none(), "a fill is already in flight");
+        assert!(
+            bytes <= self.half_bytes(),
+            "{} bytes exceed half capacity {}",
+            bytes,
+            self.half_bytes()
+        );
+        let ready = now + fill_cycles;
+        self.pending_ready_at = Some(ready);
+        self.writes += bytes;
+        ready
+    }
+
+    /// Swaps halves at cycle `now`; returns the cycle at which the swap
+    /// actually happens (stalls until the pending fill completes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no fill was started.
+    pub fn swap(&mut self, now: u64) -> u64 {
+        let ready = self.pending_ready_at.take().expect("no fill in flight");
+        self.active_valid = true;
+        now.max(ready)
+    }
+
+    /// Whether the active half holds valid data.
+    pub fn is_ready(&self) -> bool {
+        self.active_valid
+    }
+
+    /// Records `bytes` read by the compute side.
+    pub fn record_read(&mut self, bytes: u64) {
+        self.reads += bytes;
+    }
+
+    /// Total bytes written (fills).
+    pub fn bytes_written(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total bytes read (drains).
+    pub fn bytes_read(&self) -> u64 {
+        self.reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_buffer_sizes() {
+        assert_eq!(BufferConfig::INPUT_2MB.bytes(), 2 * 1024 * 1024);
+        assert_eq!(BufferConfig::WEIGHT_512KB.bytes(), 512 * 1024);
+    }
+
+    #[test]
+    fn fill_then_swap_overlaps() {
+        let mut b = DoubleBuffer::new(BufferConfig::WEIGHT_512KB);
+        b.begin_fill(0, 1000, 50);
+        // Compute takes 80 cycles; fill (50) hides under it.
+        let t = b.swap(80);
+        assert_eq!(t, 80);
+        // Next fill is slower than compute: swap stalls.
+        b.begin_fill(t, 1000, 200);
+        let t2 = b.swap(t + 100);
+        assert_eq!(t2, 280);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in flight")]
+    fn double_fill_panics() {
+        let mut b = DoubleBuffer::new(BufferConfig::WEIGHT_512KB);
+        b.begin_fill(0, 10, 5);
+        b.begin_fill(0, 10, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed half capacity")]
+    fn oversized_fill_panics() {
+        let mut b = DoubleBuffer::new(BufferConfig::WEIGHT_512KB);
+        b.begin_fill(0, 512 * 1024, 5);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut b = DoubleBuffer::new(BufferConfig::INPUT_2MB);
+        b.begin_fill(0, 100, 1);
+        b.swap(10);
+        b.record_read(40);
+        b.record_read(60);
+        assert_eq!(b.bytes_written(), 100);
+        assert_eq!(b.bytes_read(), 100);
+        assert!(b.is_ready());
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn half_capacity_is_half_of_config() {
+        let b = DoubleBuffer::new(BufferConfig::INPUT_2MB);
+        assert_eq!(b.half_bytes(), 1024 * 1024);
+    }
+
+    #[test]
+    fn back_to_back_fills_pipeline() {
+        // Three tiles, fill time < compute time: every swap is free.
+        let mut b = DoubleBuffer::new(BufferConfig::OUTPUT_2MB);
+        let mut now = 0;
+        for _ in 0..3 {
+            b.begin_fill(now, 4096, 10);
+            now += 100; // compute
+            now = b.swap(now);
+        }
+        assert_eq!(now, 300, "fills fully hidden under compute");
+    }
+
+    #[test]
+    fn not_ready_until_first_swap() {
+        let mut b = DoubleBuffer::new(BufferConfig::ENCODING_512KB);
+        assert!(!b.is_ready());
+        b.begin_fill(0, 16, 1);
+        assert!(!b.is_ready(), "fill in flight is not yet visible");
+        b.swap(5);
+        assert!(b.is_ready());
+    }
+
+    #[test]
+    fn macro_model_matches_config() {
+        let c = BufferConfig::WEIGHT_512KB;
+        assert_eq!(c.macro_model().kbytes(), 512.0);
+        assert_eq!(c.macro_model().width_bits(), 512);
+        assert!(c.ppa().area.mm2() > 0.1);
+    }
+}

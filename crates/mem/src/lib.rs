@@ -1,0 +1,59 @@
+//! Memory-hierarchy substrate for the FlexNeRFer reproduction.
+//!
+//! Models the on-chip buffers of Fig. 14 (2 MiB input, 2 MiB output,
+//! 512 KiB weight, 512 KiB encoding buffers), the DMA engine between host
+//! and local DRAM, and the local LPDDR3 DRAM channel, with byte-accurate
+//! traffic accounting that feeds the energy model.
+
+#![warn(missing_docs)]
+
+mod buffer;
+mod channel;
+mod dma;
+
+pub use buffer::{BufferConfig, DoubleBuffer};
+pub use channel::DramChannel;
+pub use dma::{DmaEngine, DmaRequest};
+
+/// Byte-level traffic accumulated across a simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemTraffic {
+    /// Bytes read from DRAM.
+    pub dram_read_bytes: u64,
+    /// Bytes written to DRAM.
+    pub dram_write_bytes: u64,
+    /// Bytes read from on-chip SRAM buffers.
+    pub sram_read_bytes: u64,
+    /// Bytes written to on-chip SRAM buffers.
+    pub sram_write_bytes: u64,
+}
+
+impl MemTraffic {
+    /// Sums two traffic reports.
+    pub fn merge(&self, other: &MemTraffic) -> MemTraffic {
+        MemTraffic {
+            dram_read_bytes: self.dram_read_bytes + other.dram_read_bytes,
+            dram_write_bytes: self.dram_write_bytes + other.dram_write_bytes,
+            sram_read_bytes: self.sram_read_bytes + other.sram_read_bytes,
+            sram_write_bytes: self.sram_write_bytes + other.sram_write_bytes,
+        }
+    }
+
+    /// Total DRAM bytes in both directions.
+    pub fn dram_total(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_merges() {
+        let a = MemTraffic { dram_read_bytes: 1, dram_write_bytes: 2, sram_read_bytes: 3, sram_write_bytes: 4 };
+        let m = a.merge(&a);
+        assert_eq!(m.dram_total(), 6);
+        assert_eq!(m.sram_read_bytes, 6);
+    }
+}

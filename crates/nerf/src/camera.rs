@@ -1,0 +1,151 @@
+//! Pinhole camera and ray generation (paper Fig. 2, step A).
+
+use crate::vec3::Vec3;
+
+/// A ray with origin and unit direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Origin.
+    pub origin: Vec3,
+    /// Unit direction.
+    pub dir: Vec3,
+}
+
+impl Ray {
+    /// Point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.dir * t
+    }
+
+    /// Intersection parameter interval with the unit cube `[0,1]³`, if any.
+    pub fn unit_cube_span(&self) -> Option<(f32, f32)> {
+        let mut t0 = 0.0f32;
+        let mut t1 = f32::INFINITY;
+        for (o, d) in [
+            (self.origin.x, self.dir.x),
+            (self.origin.y, self.dir.y),
+            (self.origin.z, self.dir.z),
+        ] {
+            if d.abs() < 1e-9 {
+                if !(0.0..=1.0).contains(&o) {
+                    return None;
+                }
+                continue;
+            }
+            let (mut a, mut b) = ((0.0 - o) / d, (1.0 - o) / d);
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            t0 = t0.max(a);
+            t1 = t1.min(b);
+        }
+        if t0 < t1 {
+            Some((t0, t1))
+        } else {
+            None
+        }
+    }
+}
+
+/// A pinhole camera looking at the unit cube.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    position: Vec3,
+    forward: Vec3,
+    right: Vec3,
+    up: Vec3,
+    /// Vertical field of view in radians.
+    fov_y: f32,
+}
+
+impl Camera {
+    /// Camera at `position` looking at `target` with the given vertical
+    /// field of view (radians).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position == target`.
+    pub fn look_at(position: Vec3, target: Vec3, fov_y: f32) -> Self {
+        let forward = (target - position).normalized();
+        let world_up = Vec3::new(0.0, 1.0, 0.0);
+        let right = forward.cross(world_up).normalized();
+        let up = right.cross(forward);
+        Camera { position, forward, right, up, fov_y }
+    }
+
+    /// The standard evaluation viewpoint used across the experiments: on a
+    /// ring of radius `r` around the scene centre at height `h`, angle
+    /// `theta` (radians).
+    pub fn orbit(theta: f32, r: f32, h: f32) -> Self {
+        let pos = Vec3::new(0.5 + r * theta.cos(), h, 0.5 + r * theta.sin());
+        Camera::look_at(pos, Vec3::new(0.5, 0.35, 0.5), 0.9)
+    }
+
+    /// Camera position.
+    pub fn position(&self) -> Vec3 {
+        self.position
+    }
+
+    /// Generates the ray through pixel `(px, py)` of a `w`×`h` image
+    /// (pixel centres).
+    pub fn ray(&self, px: usize, py: usize, w: usize, h: usize) -> Ray {
+        let aspect = w as f32 / h as f32;
+        let half_h = (self.fov_y * 0.5).tan();
+        let half_w = half_h * aspect;
+        let u = ((px as f32 + 0.5) / w as f32 * 2.0 - 1.0) * half_w;
+        let v = (1.0 - (py as f32 + 0.5) / h as f32 * 2.0) * half_h;
+        let dir = (self.forward + self.right * u + self.up * v).normalized();
+        Ray { origin: self.position, dir }
+    }
+
+    /// Generates all `w·h` rays of an image, row-major.
+    pub fn rays(&self, w: usize, h: usize) -> Vec<Ray> {
+        let mut out = Vec::with_capacity(w * h);
+        for py in 0..h {
+            for px in 0..w {
+                out.push(self.ray(px, py, w, h));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_ray_points_forward() {
+        let cam = Camera::look_at(Vec3::new(0.5, 0.5, -1.0), Vec3::new(0.5, 0.5, 0.5), 0.9);
+        let r = cam.ray(50, 50, 101, 101);
+        assert!(r.dir.z > 0.99, "centre ray should be ~forward: {:?}", r.dir);
+    }
+
+    #[test]
+    fn rays_are_unit_length() {
+        let cam = Camera::orbit(1.2, 1.6, 1.0);
+        for r in cam.rays(8, 8) {
+            assert!((r.dir.length() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cube_span_hits_and_misses() {
+        let hit = Ray { origin: Vec3::new(0.5, 0.5, -1.0), dir: Vec3::new(0.0, 0.0, 1.0) };
+        let (t0, t1) = hit.unit_cube_span().expect("must hit");
+        assert!((t0 - 1.0).abs() < 1e-5);
+        assert!((t1 - 2.0).abs() < 1e-5);
+        let miss = Ray { origin: Vec3::new(0.5, 5.0, -1.0), dir: Vec3::new(0.0, 0.0, 1.0) };
+        assert!(miss.unit_cube_span().is_none());
+    }
+
+    #[test]
+    fn orbit_cameras_see_the_cube() {
+        for i in 0..8 {
+            let cam = Camera::orbit(i as f32 * 0.785, 1.6, 1.0);
+            let r = cam.ray(32, 32, 64, 64);
+            assert!(r.unit_cube_span().is_some(), "orbit camera {i} must see the scene");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Sinusoidal positional encoding — exact (Eq. 1) and the paper's
+//! hardware-friendly mod-based approximation (Eq. 5/6, §5.2.1).
+
+/// Exact positional encoding of one scalar: `{sin(2^0 π v), cos(2^0 π v),
+/// …, sin(2^{N−1} π v), cos(2^{N−1} π v)}` (Eq. 1).
+pub fn positional_encode(v: f32, n_freqs: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(2 * n_freqs);
+    for l in 0..n_freqs {
+        let w = (1u64 << l) as f32 * std::f32::consts::PI * v;
+        out.push(w.sin());
+        out.push(w.cos());
+    }
+    out
+}
+
+/// Encodes a multi-dimensional point, concatenating per-component
+/// encodings.
+pub fn positional_encode_point(p: &[f32], n_freqs: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(p.len() * 2 * n_freqs);
+    for &v in p {
+        out.extend(positional_encode(v, n_freqs));
+    }
+    out
+}
+
+/// The paper's Eq. (5): `sin(π v / 2) ≈ (−1)^⌊v/2⌋ · mod(v,2) · mod(2−v,2)`
+/// — a piecewise-parabola approximation computable with shifts and
+/// multiplies (no trigonometric unit).
+pub fn approx_sin_half_pi(v: f32) -> f32 {
+    let sign = if (v.div_euclid(2.0) as i64) % 2 == 0 { 1.0 } else { -1.0 };
+    sign * v.rem_euclid(2.0) * (2.0 - v).rem_euclid(2.0)
+}
+
+/// The paper's Eq. (6): `cos(π v / 2) ≈ (−1)^⌊v/2⌋ · mod(v+1,2) ·
+/// mod(1−v,2)` — the quarter-period-shifted companion of Eq. (5).
+pub fn approx_cos_half_pi(v: f32) -> f32 {
+    // cos(πv/2) = sin(π(v+1)/2).
+    approx_sin_half_pi(v + 1.0)
+}
+
+/// Positional encoding computed entirely with the Eq. (5)/(6)
+/// approximations — what the PEE hardware evaluates. Frequencies are
+/// realized by scaling the argument (2^l π v = (π/2)·(2^{l+1} v)).
+pub fn approx_positional_encode(v: f32, n_freqs: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(2 * n_freqs);
+    for l in 0..n_freqs {
+        let arg = (1u64 << (l + 1)) as f32 * v;
+        out.push(approx_sin_half_pi(arg));
+        out.push(approx_cos_half_pi(arg));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_encoding_matches_trig() {
+        let enc = positional_encode(0.25, 3);
+        assert_eq!(enc.len(), 6);
+        assert!((enc[0] - (std::f32::consts::PI * 0.25).sin()).abs() < 1e-6);
+        assert!((enc[5] - (4.0 * std::f32::consts::PI * 0.25).cos()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn approx_matches_sign_and_zeros_of_sine() {
+        // sin(πv/2) has zeros at even v and peaks ±1 at odd v.
+        for v in [0.0f32, 2.0, 4.0, 6.0] {
+            assert!(approx_sin_half_pi(v).abs() < 1e-6, "zero at {v}");
+        }
+        assert!((approx_sin_half_pi(1.0) - 1.0).abs() < 1e-6);
+        assert!((approx_sin_half_pi(3.0) + 1.0).abs() < 1e-6);
+        assert!((approx_sin_half_pi(5.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn approx_error_is_bounded() {
+        // The parabola approximation of sine has max error ~0.06 (before
+        // the fine-tuning the paper applies to absorb it).
+        let mut max_err = 0.0f32;
+        let mut v = -8.0f32;
+        while v < 8.0 {
+            let exact = (std::f32::consts::FRAC_PI_2 * v).sin();
+            let approx = approx_sin_half_pi(v);
+            max_err = max_err.max((exact - approx).abs());
+            v += 0.01;
+        }
+        assert!(max_err < 0.075, "max error {max_err}");
+    }
+
+    #[test]
+    fn approx_cos_is_shifted_sin() {
+        let mut v = -4.0f32;
+        while v < 4.0 {
+            let exact = (std::f32::consts::FRAC_PI_2 * v).cos();
+            assert!((approx_cos_half_pi(v) - exact).abs() < 0.075, "at {v}");
+            v += 0.05;
+        }
+    }
+
+    #[test]
+    fn point_encoding_concatenates() {
+        let enc = positional_encode_point(&[0.1, 0.2, 0.3], 10);
+        assert_eq!(enc.len(), 60);
+    }
+
+    #[test]
+    fn approx_encoding_tracks_exact_at_low_frequencies() {
+        // At the lowest frequency the approximation must track the exact
+        // encoding closely over the unit interval.
+        for i in 0..20 {
+            let v = i as f32 / 20.0;
+            let exact = positional_encode(v, 1);
+            let approx = approx_positional_encode(v, 1);
+            assert!((exact[0] - approx[0]).abs() < 0.075, "sin at {v}");
+            assert!((exact[1] - approx[1]).abs() < 0.075, "cos at {v}");
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Multi-resolution hash encoding (Instant-NGP, Müller et al. 2022) —
+//! the structure FlexNeRFer's Hash Encoding Engine accelerates (§5.2.2).
+//!
+//! Each level `l` overlays a virtual grid of resolution `N_l = ⌊N_min ·
+//! b^l⌋`; a 3-D point is trilinearly interpolated from the feature vectors
+//! of its 8 surrounding corners, looked up either *directly* (when the
+//! level's grid fits the table — the "coalescing" low-resolution case) or
+//! through the spatial XOR hash (the high-resolution "subgrid" case).
+
+use crate::vec3::Vec3;
+
+/// The three spatial hash primes of Instant-NGP.
+const PRIMES: [u64; 3] = [1, 2_654_435_761, 805_459_861];
+
+/// Configuration of a multi-resolution hash grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HashGridConfig {
+    /// Number of resolution levels `L`.
+    pub levels: usize,
+    /// log2 of the table size `T` per level.
+    pub log2_table_size: usize,
+    /// Features per level `F`.
+    pub features: usize,
+    /// Coarsest resolution `N_min`.
+    pub base_resolution: usize,
+    /// Per-level growth factor `b`.
+    pub growth: f32,
+}
+
+impl HashGridConfig {
+    /// A small configuration suitable for the in-repo experiments
+    /// (8 levels × 2 features, 2^13 entries, 16 → ~256 resolution).
+    pub fn small() -> Self {
+        HashGridConfig {
+            levels: 8,
+            log2_table_size: 13,
+            features: 2,
+            base_resolution: 16,
+            growth: 1.45,
+        }
+    }
+
+    /// Resolution of level `l`.
+    pub fn resolution(&self, l: usize) -> usize {
+        (self.base_resolution as f32 * self.growth.powi(l as i32)).floor() as usize
+    }
+
+    /// Output feature width (`levels × features`).
+    pub fn output_dims(&self) -> usize {
+        self.levels * self.features
+    }
+
+    /// Whether level `l` fits the table without hashing (dense indexing —
+    /// the case the HEE's coalescing units serve).
+    pub fn is_dense_level(&self, l: usize) -> bool {
+        let n = self.resolution(l) + 1;
+        n * n * n <= (1 << self.log2_table_size)
+    }
+}
+
+/// The trainable multi-resolution hash grid.
+#[derive(Debug, Clone)]
+pub struct HashGrid {
+    config: HashGridConfig,
+    /// Feature tables, one per level: `table[l][entry * F + f]`.
+    tables: Vec<Vec<f32>>,
+}
+
+/// The 8 corner contributions of one level lookup: `(table index, weight)`.
+pub type CornerLookups = [(usize, f32); 8];
+
+impl HashGrid {
+    /// Creates a grid with features initialized uniformly in `[-a, a]`
+    /// from the given seed.
+    pub fn new(config: HashGridConfig, init_amplitude: f32, seed: u64) -> Self {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let entries = 1usize << config.log2_table_size;
+        let tables = (0..config.levels)
+            .map(|_| {
+                (0..entries * config.features)
+                    .map(|_| rng.gen_range(-init_amplitude..=init_amplitude))
+                    .collect()
+            })
+            .collect();
+        HashGrid { config, tables }
+    }
+
+    /// Grid configuration.
+    pub fn config(&self) -> &HashGridConfig {
+        &self.config
+    }
+
+    /// Raw feature tables (for quantization studies).
+    pub fn tables(&self) -> &[Vec<f32>] {
+        &self.tables
+    }
+
+    /// Mutable feature tables (for the optimizer).
+    pub fn tables_mut(&mut self) -> &mut [Vec<f32>] {
+        &mut self.tables
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    /// Table index of an integer corner at level `l` — dense indexing for
+    /// coarse levels, XOR-of-primes hash for fine levels.
+    pub fn corner_index(&self, l: usize, c: [usize; 3]) -> usize {
+        let t = 1usize << self.config.log2_table_size;
+        if self.config.is_dense_level(l) {
+            let n = self.config.resolution(l) + 1;
+            (c[0] * n + c[1]) * n + c[2]
+        } else {
+            let mut h = 0u64;
+            for (i, &ci) in c.iter().enumerate() {
+                h ^= (ci as u64).wrapping_mul(PRIMES[i]);
+            }
+            (h as usize) & (t - 1)
+        }
+    }
+
+    /// Computes the 8 corner `(index, trilinear weight)` pairs for point
+    /// `p` at level `l` (positions clamped to the unit cube).
+    pub fn corner_lookups(&self, l: usize, p: Vec3) -> CornerLookups {
+        let n = self.config.resolution(l);
+        let clamp01 = |v: f32| v.clamp(0.0, 1.0);
+        let scaled = [clamp01(p.x) * n as f32, clamp01(p.y) * n as f32, clamp01(p.z) * n as f32];
+        let base = scaled.map(|v| (v.floor() as usize).min(n.saturating_sub(1)));
+        let frac = [scaled[0] - base[0] as f32, scaled[1] - base[1] as f32, scaled[2] - base[2] as f32];
+        let mut out = [(0usize, 0.0f32); 8];
+        for (ci, slot) in out.iter_mut().enumerate() {
+            let offs = [ci & 1, (ci >> 1) & 1, (ci >> 2) & 1];
+            let corner = [base[0] + offs[0], base[1] + offs[1], base[2] + offs[2]];
+            let mut w = 1.0f32;
+            for d in 0..3 {
+                w *= if offs[d] == 1 { frac[d] } else { 1.0 - frac[d] };
+            }
+            *slot = (self.corner_index(l, corner), w);
+        }
+        out
+    }
+
+    /// Encodes a point: concatenated interpolated features of every level.
+    pub fn encode(&self, p: Vec3) -> Vec<f32> {
+        let f = self.config.features;
+        let mut out = vec![0.0f32; self.config.output_dims()];
+        for l in 0..self.config.levels {
+            for (idx, w) in self.corner_lookups(l, p) {
+                for fi in 0..f {
+                    out[l * f + fi] += w * self.tables[l][idx * f + fi];
+                }
+            }
+        }
+        out
+    }
+
+    /// Accumulates the gradient of a point's encoding into `grad_tables`
+    /// (same layout as [`HashGrid::tables`]): given `d_out` =
+    /// ∂L/∂encoding, adds `w · d_out` to each contributing corner feature.
+    pub fn accumulate_grad(&self, p: Vec3, d_out: &[f32], grad_tables: &mut [Vec<f32>]) {
+        let f = self.config.features;
+        debug_assert_eq!(d_out.len(), self.config.output_dims());
+        for l in 0..self.config.levels {
+            for (idx, w) in self.corner_lookups(l, p) {
+                for fi in 0..f {
+                    grad_tables[l][idx * f + fi] += w * d_out[l * f + fi];
+                }
+            }
+        }
+    }
+
+    /// Fresh zeroed gradient tables matching this grid's layout.
+    pub fn zero_grad(&self) -> Vec<Vec<f32>> {
+        self.tables.iter().map(|t| vec![0.0; t.len()]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> HashGrid {
+        HashGrid::new(HashGridConfig::small(), 0.1, 7)
+    }
+
+    #[test]
+    fn resolutions_grow_geometrically() {
+        let c = HashGridConfig::small();
+        assert_eq!(c.resolution(0), 16);
+        assert!(c.resolution(7) > 200);
+        assert!(c.is_dense_level(0), "16³ < 2^13? (17³ = 4913 ≤ 8192)");
+        assert!(!c.is_dense_level(7), "fine levels must hash");
+    }
+
+    #[test]
+    fn trilinear_weights_sum_to_one() {
+        let g = grid();
+        for p in [Vec3::splat(0.31), Vec3::new(0.9, 0.2, 0.55), Vec3::ZERO, Vec3::splat(1.0)] {
+            for l in 0..g.config().levels {
+                let w_sum: f32 = g.corner_lookups(l, p).iter().map(|&(_, w)| w).sum();
+                assert!((w_sum - 1.0).abs() < 1e-5, "level {l} at {p:?}: {w_sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_is_continuous() {
+        let g = grid();
+        let a = g.encode(Vec3::splat(0.500));
+        let b = g.encode(Vec3::splat(0.5001));
+        let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff < 0.05, "tiny move must produce tiny change: {diff}");
+    }
+
+    #[test]
+    fn encoding_at_exact_corner_returns_corner_features() {
+        let g = grid();
+        // Level 0 resolution 16: p = (0,0,0) is exactly corner [0,0,0].
+        let enc = g.encode(Vec3::ZERO);
+        let idx = g.corner_index(0, [0, 0, 0]);
+        assert!((enc[0] - g.tables()[0][idx * 2]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut g = grid();
+        let p = Vec3::new(0.37, 0.62, 0.18);
+        // d(enc[0])/d(table[l][e]) via accumulate_grad vs finite diff.
+        let mut d_out = vec![0.0; g.config().output_dims()];
+        d_out[0] = 1.0; // gradient of first output component
+        let mut grads = g.zero_grad();
+        g.accumulate_grad(p, &d_out, &mut grads);
+        // Pick a corner that received gradient.
+        let (l, e) = (0usize, {
+            let (idx, _) = g.corner_lookups(0, p)[3];
+            idx
+        });
+        let analytic = grads[l][e * 2];
+        let eps = 1e-3;
+        let base = g.encode(p)[0];
+        g.tables_mut()[l][e * 2] += eps;
+        let bumped = g.encode(p)[0];
+        let numeric = (bumped - base) / eps;
+        assert!((analytic - numeric).abs() < 1e-3, "{analytic} vs {numeric}");
+    }
+
+    #[test]
+    fn hash_indices_stay_in_table() {
+        let g = grid();
+        let t = 1usize << g.config().log2_table_size;
+        for l in 0..g.config().levels {
+            for p in [Vec3::splat(0.01), Vec3::splat(0.5), Vec3::splat(0.99)] {
+                for (idx, _) in g.corner_lookups(l, p) {
+                    assert!(idx < t, "index {idx} out of table at level {l}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! NeRF rendering pipeline substrate for the FlexNeRFer reproduction.
+//!
+//! The paper evaluates its accelerator on seven NeRF models over the
+//! Synthetic-NeRF and NSVF datasets. Neither trained checkpoints nor the
+//! datasets are available here, so this crate implements the whole stack
+//! from scratch:
+//!
+//! * procedural volumetric scenes of three complexity classes standing in
+//!   for Mic / Lego / Palace ([`scene`]);
+//! * cameras, rays, stratified sampling and occupancy-grid empty-space
+//!   skipping ([`camera`], [`sampling`]);
+//! * sinusoidal positional encoding, including the paper's Eq. (5)/(6)
+//!   mod-based hardware approximation ([`encoding`]);
+//! * an Instant-NGP-style multi-resolution hash grid ([`hashgrid`]);
+//! * MLPs with FP32 and quantized integer forward paths ([`mlp`]);
+//! * volume rendering (Eq. 3) and full-image rendering ([`render`]);
+//! * gradient-descent **training** of the hash-grid model against a
+//!   procedural ground truth ([`train`]) — this is what produces the
+//!   quantization/PSNR study of Fig. 20(a);
+//! * the seven model configurations and their workload traces
+//!   ([`models`]), which drive every GPU/accelerator comparison figure.
+
+#![warn(missing_docs)]
+
+pub mod camera;
+pub mod encoding;
+pub mod hashgrid;
+pub mod llm;
+pub mod mlp;
+pub mod models;
+pub mod psnr;
+pub mod render;
+pub mod sampling;
+pub mod scene;
+pub mod train;
+pub mod vec3;
+
+pub use camera::Camera;
+pub use hashgrid::HashGrid;
+pub use mlp::Mlp;
+pub use models::{ModelKind, NerfModelConfig};
+pub use psnr::{psnr, Image};
+pub use render::NgpModel;
+pub use scene::{LegoScene, MicScene, PalaceScene, Scene};
+pub use vec3::Vec3;

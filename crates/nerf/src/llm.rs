@@ -1,0 +1,177 @@
+//! Beyond-NeRF workloads (paper §2.1.2): the GEMM/GEMV acceleration
+//! techniques of FlexNeRFer "are not limited to NeRF workloads but are also
+//! applicable to general DNN/LLM accelerators". This module builds
+//! transformer-decoder workload traces — prefill GEMMs, decode GEMVs, and
+//! MoE expert layers whose router sparsity plays the role pruning plays in
+//! Fig. 19 — so the same engines can be evaluated on them.
+
+use fnr_tensor::workload::{GemmClass, GemmOp, PhaseOp, WorkloadTrace};
+use fnr_tensor::Precision;
+
+/// A small transformer-decoder configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LlmConfig {
+    /// Model (hidden) dimension.
+    pub d_model: usize,
+    /// Feed-forward inner dimension.
+    pub d_ff: usize,
+    /// Decoder layers.
+    pub layers: usize,
+    /// Mixture-of-Experts experts per FFN (1 = dense FFN).
+    pub experts: usize,
+    /// Experts activated per token (top-k routing).
+    pub active_experts: usize,
+}
+
+impl LlmConfig {
+    /// A GPT-2-medium-like dense decoder.
+    pub fn dense_1b() -> Self {
+        LlmConfig { d_model: 1024, d_ff: 4096, layers: 24, experts: 1, active_experts: 1 }
+    }
+
+    /// An MoE decoder with 8 experts, top-2 routing (the §2.1.2 scenario
+    /// where expert selection creates structured sparsity).
+    pub fn moe_8e() -> Self {
+        LlmConfig { d_model: 1024, d_ff: 4096, layers: 24, experts: 8, active_experts: 2 }
+    }
+
+    /// Fraction of expert weights untouched per token (the effective
+    /// weight sparsity the accelerator can exploit).
+    pub fn expert_sparsity(&self) -> f64 {
+        1.0 - self.active_experts as f64 / self.experts as f64
+    }
+
+    /// Builds the workload trace of processing `tokens` tokens.
+    ///
+    /// `prefill = true` batches the tokens into large GEMMs (prompt
+    /// processing); `prefill = false` models autoregressive decode — one
+    /// GEMV chain per token, the regime where rigid dense arrays collapse
+    /// (Fig. 4(c)'s irregular/GEMV case at datacenter scale).
+    pub fn trace(&self, tokens: usize, prefill: bool) -> WorkloadTrace {
+        let mut t = WorkloadTrace::new(format!(
+            "LLM {}x{} {} ({} tokens, {})",
+            self.layers,
+            self.d_model,
+            if self.experts > 1 { "MoE" } else { "dense" },
+            tokens,
+            if prefill { "prefill" } else { "decode" }
+        ));
+        let (m, batch, class) = if prefill {
+            (tokens, 1, GemmClass::RegularDense)
+        } else {
+            (1, tokens, GemmClass::Gemv)
+        };
+        for _ in 0..self.layers {
+            // Attention projections: QKV fused + output projection.
+            t.push(PhaseOp::Gemm(GemmOp {
+                m,
+                k: self.d_model,
+                n: 3 * self.d_model,
+                batch,
+                precision: Precision::Int8,
+                sparsity_a: 0.0,
+                sparsity_b: 0.0,
+                class,
+                a_offchip: false,
+                out_offchip: false,
+            }));
+            t.push(PhaseOp::Gemm(GemmOp {
+                m,
+                k: self.d_model,
+                n: self.d_model,
+                batch,
+                precision: Precision::Int8,
+                sparsity_a: 0.0,
+                sparsity_b: 0.0,
+                class,
+                a_offchip: false,
+                out_offchip: false,
+            }));
+            // Softmax + attention itself summarised as `Other`.
+            t.push(PhaseOp::Other {
+                label: "attention + softmax",
+                flops: (m * batch) as u64 * self.d_model as u64 * 8,
+                bytes: (m * batch) as u64 * self.d_model as u64 * 2,
+            });
+            // FFN: with MoE, the router leaves (1 − k/E) of the expert
+            // weights cold — structured sparsity the flexible NoC skips.
+            let moe_sparsity = self.expert_sparsity();
+            let up = GemmOp {
+                m,
+                k: self.d_model,
+                n: self.d_ff * self.experts.max(1),
+                batch,
+                precision: Precision::Int8,
+                sparsity_a: 0.0,
+                sparsity_b: moe_sparsity,
+                class: if moe_sparsity > 0.0 { GemmClass::Sparse } else { class },
+                a_offchip: false,
+                out_offchip: false,
+            };
+            t.push(PhaseOp::Gemm(up));
+            t.push(PhaseOp::Gemm(GemmOp {
+                m,
+                k: self.d_ff * self.experts.max(1),
+                n: self.d_model,
+                // ReLU/GELU activations are ~50% sparse; cold experts add
+                // their share on top.
+                sparsity_a: 1.0 - 0.5 * (1.0 - moe_sparsity),
+                ..up
+            }));
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_and_moe_traces_build() {
+        for cfg in [LlmConfig::dense_1b(), LlmConfig::moe_8e()] {
+            for prefill in [true, false] {
+                let t = cfg.trace(128, prefill);
+                assert_eq!(t.phases.len(), cfg.layers * 5);
+                assert!(t.total_dense_macs() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn moe_routing_creates_weight_sparsity() {
+        let cfg = LlmConfig::moe_8e();
+        assert!((cfg.expert_sparsity() - 0.75).abs() < 1e-12);
+        let t = cfg.trace(64, true);
+        let sparse_phases = t
+            .phases
+            .iter()
+            .filter(|p| matches!(p, PhaseOp::Gemm(g) if g.sparsity_b > 0.5))
+            .count();
+        assert_eq!(sparse_phases, cfg.layers * 2, "both FFN matmuls are expert-sparse");
+    }
+
+    #[test]
+    fn decode_is_gemv_class() {
+        let t = LlmConfig::dense_1b().trace(16, false);
+        let gemv = t
+            .phases
+            .iter()
+            .filter(|p| matches!(p, PhaseOp::Gemm(g) if g.class == GemmClass::Gemv))
+            .count();
+        assert!(gemv > 0, "decode must produce GEMV phases");
+    }
+
+    #[test]
+    fn moe_has_fewer_effective_macs_than_dense_at_equal_size() {
+        let dense = LlmConfig { experts: 1, active_experts: 1, ..LlmConfig::moe_8e() };
+        let moe = LlmConfig::moe_8e();
+        // Same *total* parameter count in the FFN (8 experts), but only 2
+        // are active: effective work must be far smaller.
+        let tm = moe.trace(128, true).total_effective_macs();
+        let td_all_experts = LlmConfig { experts: 8, active_experts: 8, ..dense }
+            .trace(128, true)
+            .total_effective_macs();
+        assert!(tm * 2 < td_all_experts, "top-2 of 8 experts: {tm} vs {td_all_experts}");
+    }
+}

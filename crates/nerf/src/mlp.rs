@@ -1,0 +1,539 @@
+//! Multi-layer perceptrons: FP32 forward/backward for training and
+//! quantized integer forward paths (plain and outlier-aware) for the
+//! Fig. 20(a) study.
+
+use fnr_tensor::{Matrix, OutlierQuantized, Precision, Quantized, Quantizer};
+
+/// One dense layer: `y = W x + b`, with `W` stored `out × in` row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    /// Weights, `out × in`.
+    pub weights: Matrix<f32>,
+    /// Biases, length `out`.
+    pub bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Layer with uniform random weights in `[-a, a]` (He-style scale
+    /// should be passed by the caller).
+    pub fn random(inputs: usize, outputs: usize, amplitude: f32, seed: u64) -> Self {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut weights = Matrix::zeros(outputs, inputs);
+        for v in weights.as_mut_slice() {
+            *v = rng.gen_range(-amplitude..=amplitude);
+        }
+        Linear { weights, bias: vec![0.0; outputs] }
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// `W x + b`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.inputs(), "input width mismatch");
+        let mut out = self.bias.clone();
+        for (o, out_v) in out.iter_mut().enumerate() {
+            let row = self.weights.row(o);
+            let mut acc = 0.0f32;
+            for (i, &xi) in x.iter().enumerate() {
+                acc += row[i] * xi;
+            }
+            *out_v += acc;
+        }
+        out
+    }
+}
+
+/// An MLP with ReLU hidden activations and a linear output layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+/// Cached per-layer values from a forward pass, needed for backprop.
+#[derive(Debug, Clone)]
+pub struct MlpCache {
+    /// Input and every post-activation layer output (length `layers+1`).
+    pub activations: Vec<Vec<f32>>,
+    /// Pre-activation values of every layer.
+    pub pre_activations: Vec<Vec<f32>>,
+}
+
+/// Parameter gradients matching an [`Mlp`]'s layout.
+#[derive(Debug, Clone)]
+pub struct MlpGrads {
+    /// Per-layer weight gradients.
+    pub weights: Vec<Matrix<f32>>,
+    /// Per-layer bias gradients.
+    pub bias: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// Builds an MLP from layer widths, e.g. `[32, 64, 64, 4]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two widths.
+    pub fn new(widths: &[usize], seed: u64) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least one layer");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let amplitude = (6.0 / (w[0] + w[1]) as f32).sqrt();
+                Linear::random(w[0], w[1], amplitude, seed.wrapping_add(i as u64 * 7919))
+            })
+            .collect();
+        Mlp { layers }
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Mutable layers (for the optimizer).
+    pub fn layers_mut(&mut self) -> &mut [Linear] {
+        &mut self.layers
+    }
+
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.layers[0].inputs()
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.layers.last().expect("non-empty").outputs()
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.len() + l.bias.len()).sum()
+    }
+
+    /// Plain forward pass.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut a = x.to_vec();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut z = layer.forward(&a);
+            if i != last {
+                for v in &mut z {
+                    *v = v.max(0.0);
+                }
+            }
+            a = z;
+        }
+        a
+    }
+
+    /// Forward pass that caches intermediates for backprop.
+    pub fn forward_cached(&self, x: &[f32]) -> (Vec<f32>, MlpCache) {
+        let mut cache = MlpCache {
+            activations: vec![x.to_vec()],
+            pre_activations: Vec::with_capacity(self.layers.len()),
+        };
+        let last = self.layers.len() - 1;
+        let mut a = x.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(&a);
+            cache.pre_activations.push(z.clone());
+            let mut act = z;
+            if i != last {
+                for v in &mut act {
+                    *v = v.max(0.0);
+                }
+            }
+            cache.activations.push(act.clone());
+            a = act;
+        }
+        (a, cache)
+    }
+
+    /// Backward pass: given `d_out` = ∂L/∂output, accumulates parameter
+    /// gradients into `grads` and returns ∂L/∂input.
+    pub fn backward(&self, cache: &MlpCache, d_out: &[f32], grads: &mut MlpGrads) -> Vec<f32> {
+        let last = self.layers.len() - 1;
+        let mut delta = d_out.to_vec();
+        for i in (0..self.layers.len()).rev() {
+            if i != last {
+                // ReLU mask.
+                for (d, &z) in delta.iter_mut().zip(&cache.pre_activations[i]) {
+                    if z <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
+            }
+            let input = &cache.activations[i];
+            let layer = &self.layers[i];
+            for o in 0..layer.outputs() {
+                grads.bias[i][o] += delta[o];
+                for (ii, &x) in input.iter().enumerate() {
+                    let cur = grads.weights[i].get(o, ii);
+                    grads.weights[i].set(o, ii, cur + delta[o] * x);
+                }
+            }
+            // Propagate.
+            let mut d_in = vec![0.0f32; layer.inputs()];
+            for o in 0..layer.outputs() {
+                let row = layer.weights.row(o);
+                let d = delta[o];
+                if d != 0.0 {
+                    for (ii, di) in d_in.iter_mut().enumerate() {
+                        *di += row[ii] * d;
+                    }
+                }
+            }
+            delta = d_in;
+        }
+        delta
+    }
+
+    /// Fresh zeroed gradients matching this MLP.
+    pub fn zero_grads(&self) -> MlpGrads {
+        MlpGrads {
+            weights: self
+                .layers
+                .iter()
+                .map(|l| Matrix::zeros(l.weights.rows(), l.weights.cols()))
+                .collect(),
+            bias: self.layers.iter().map(|l| vec![0.0; l.bias.len()]).collect(),
+        }
+    }
+
+    /// Post-ReLU sparsity of each hidden layer for input batch `xs` — the
+    /// "ReLU output" bars of Fig. 13(a).
+    pub fn hidden_sparsity(&self, xs: &[Vec<f32>]) -> Vec<f64> {
+        let hidden = self.layers.len().saturating_sub(1);
+        let mut zeros = vec![0u64; hidden];
+        let mut totals = vec![0u64; hidden];
+        for x in xs {
+            let (_, cache) = self.forward_cached(x);
+            for (li, zc) in zeros.iter_mut().enumerate() {
+                let act = &cache.activations[li + 1];
+                *zc += act.iter().filter(|&&v| v == 0.0).count() as u64;
+                totals[li] += act.len() as u64;
+            }
+        }
+        zeros
+            .iter()
+            .zip(&totals)
+            .map(|(&z, &t)| if t == 0 { 0.0 } else { z as f64 / t as f64 })
+            .collect()
+    }
+}
+
+/// A weight-quantized MLP with statically-scaled integer activations —
+/// the plain quantization mode of Fig. 20(a).
+///
+/// Activation scales are *static* (fixed after calibration), as in a real
+/// integer datapath: one amax-derived scale per layer. Rare large
+/// activations therefore stretch the scale and coarsen everything else —
+/// the exact failure mode the outlier-aware variant fixes.
+#[derive(Debug, Clone)]
+pub struct QuantizedMlp {
+    layers: Vec<(Quantized, Vec<f32>)>,
+    precision: Precision,
+    /// Per-layer static activation scales (absolute max seen during
+    /// calibration), `None` before calibration (falls back to dynamic).
+    act_amax: Option<Vec<f32>>,
+}
+
+/// Quantizes an activation vector with a fixed absolute-max `amax` scale.
+fn quantize_activations_static(a: &[f32], precision: Precision, amax: f32) -> Vec<f32> {
+    let (lo, hi) = precision.range();
+    if amax == 0.0 {
+        return a.to_vec();
+    }
+    let scale = amax / hi as f32;
+    a.iter()
+        .map(|&v| {
+            let q = (v / scale).round().clamp(lo as f32, hi as f32);
+            q * scale
+        })
+        .collect()
+}
+
+impl QuantizedMlp {
+    /// Quantizes every layer of `mlp` to `precision` with naive per-tensor
+    /// weight scales (the plain quantization of Fig. 20(a)). Call
+    /// [`QuantizedMlp::calibrate`] before inference.
+    pub fn quantize(mlp: &Mlp, precision: Precision) -> Self {
+        let q = Quantizer::per_tensor(precision);
+        let layers =
+            mlp.layers().iter().map(|l| (q.quantize(&l.weights), l.bias.clone())).collect();
+        QuantizedMlp { layers, precision, act_amax: None }
+    }
+
+    /// Calibrates per-layer static activation ranges by running the FP32
+    /// reference over a calibration batch.
+    pub fn calibrate(&mut self, reference: &Mlp, samples: &[Vec<f32>]) {
+        let mut amax = vec![0.0f32; reference.layers().len()];
+        for x in samples {
+            let (_, cache) = reference.forward_cached(x);
+            for (li, act) in cache.activations[..reference.layers().len()].iter().enumerate() {
+                for &v in act {
+                    amax[li] = amax[li].max(v.abs());
+                }
+            }
+        }
+        self.act_amax = Some(amax);
+    }
+
+    /// Forward pass through the integer datapath: quantized weights and
+    /// statically-scaled quantized activations.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let last = self.layers.len() - 1;
+        let mut a = x.to_vec();
+        for (i, (qw, bias)) in self.layers.iter().enumerate() {
+            let amax = match &self.act_amax {
+                Some(v) => v[i],
+                None => a.iter().fold(0.0f32, |m, &v| m.max(v.abs())),
+            };
+            let a_q = quantize_activations_static(&a, self.precision, amax);
+            let w = qw.dequantize();
+            let mut z = bias.clone();
+            for o in 0..w.rows() {
+                let row = w.row(o);
+                let mut acc = 0.0f32;
+                for (ii, &xi) in a_q.iter().enumerate() {
+                    acc += row[ii] * xi;
+                }
+                z[o] += acc;
+            }
+            if i != last {
+                for v in &mut z {
+                    *v = v.max(0.0);
+                }
+            }
+            a = z;
+        }
+        a
+    }
+}
+
+/// An outlier-aware quantized MLP: low-precision body + INT16 outliers
+/// for both weights and activations (the OLAccel-style recovery technique
+/// of §6.3.2).
+#[derive(Debug, Clone)]
+pub struct OutlierQuantizedMlp {
+    layers: Vec<(OutlierQuantized, Vec<f32>)>,
+    precision: Precision,
+    outlier_fraction: f64,
+    /// Per-layer `(body threshold, full amax)` activation calibration.
+    act_ranges: Option<Vec<(f32, f32)>>,
+}
+
+impl OutlierQuantizedMlp {
+    /// Quantizes with `outlier_fraction` of weights kept at INT16.
+    pub fn quantize(mlp: &Mlp, precision: Precision, outlier_fraction: f64) -> Self {
+        let q = Quantizer::per_row(precision);
+        let layers = mlp
+            .layers()
+            .iter()
+            .map(|l| (q.quantize_outlier_aware(&l.weights, outlier_fraction), l.bias.clone()))
+            .collect();
+        OutlierQuantizedMlp { layers, precision, outlier_fraction, act_ranges: None }
+    }
+
+    /// Calibrates per-layer activation ranges: the body threshold is the
+    /// `(1 − outlier_fraction)` quantile of magnitudes, so the low-precision
+    /// scale stays tight while the INT16 side path covers the tail.
+    pub fn calibrate(&mut self, reference: &Mlp, samples: &[Vec<f32>]) {
+        let n_layers = reference.layers().len();
+        let mut mags: Vec<Vec<f32>> = vec![Vec::new(); n_layers];
+        for x in samples {
+            let (_, cache) = reference.forward_cached(x);
+            for (li, act) in cache.activations[..n_layers].iter().enumerate() {
+                mags[li].extend(act.iter().map(|v| v.abs()));
+            }
+        }
+        let ranges = mags
+            .into_iter()
+            .map(|mut m| {
+                m.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let amax = m.last().copied().unwrap_or(0.0);
+                let idx = ((m.len() as f64) * (1.0 - self.outlier_fraction)).floor() as usize;
+                let thr = m.get(idx.min(m.len().saturating_sub(1))).copied().unwrap_or(amax);
+                (thr, amax)
+            })
+            .collect();
+        self.act_ranges = Some(ranges);
+    }
+
+    /// Forward pass: body activations quantize at the tight threshold
+    /// scale; activations beyond the threshold ride the INT16 side path.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let last = self.layers.len() - 1;
+        let (_, hi) = self.precision.range();
+        let mut a = x.to_vec();
+        for (i, (qw, bias)) in self.layers.iter().enumerate() {
+            let (thr, amax) = match &self.act_ranges {
+                Some(v) => v[i],
+                None => {
+                    let m = a.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                    (m, m)
+                }
+            };
+            let a_q: Vec<f32> = a
+                .iter()
+                .map(|&v| {
+                    if v.abs() <= thr || thr == 0.0 {
+                        let scale = if thr == 0.0 { 1.0 } else { thr / hi as f32 };
+                        (v / scale).round().clamp(self.precision.range().0 as f32, hi as f32)
+                            * scale
+                    } else {
+                        // INT16 side path over the full range.
+                        let scale = amax.max(v.abs()) / 32767.0;
+                        (v / scale).round().clamp(-32768.0, 32767.0) * scale
+                    }
+                })
+                .collect();
+            let w = qw.dequantize();
+            let mut z = bias.clone();
+            for o in 0..w.rows() {
+                let row = w.row(o);
+                let mut acc = 0.0f32;
+                for (ii, &xi) in a_q.iter().enumerate() {
+                    acc += row[ii] * xi;
+                }
+                z[o] += acc;
+            }
+            if i != last {
+                for v in &mut z {
+                    *v = v.max(0.0);
+                }
+            }
+            a = z;
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mlp = Mlp::new(&[8, 16, 4], 1);
+        assert_eq!(mlp.inputs(), 8);
+        assert_eq!(mlp.outputs(), 4);
+        let y = mlp.forward(&vec![0.1; 8]);
+        assert_eq!(y.len(), 4);
+        assert_eq!(mlp.param_count(), 8 * 16 + 16 + 16 * 4 + 4);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut mlp = Mlp::new(&[4, 8, 2], 3);
+        let x = vec![0.3, -0.2, 0.8, 0.1];
+        // L = sum(outputs); dL/dout = 1.
+        let (_, cache) = mlp.forward_cached(&x);
+        let mut grads = mlp.zero_grads();
+        mlp.backward(&cache, &[1.0, 1.0], &mut grads);
+        let eps = 1e-3;
+        for (layer, o, i) in [(0usize, 2usize, 1usize), (1, 1, 5)] {
+            let analytic = grads.weights[layer].get(o, i);
+            let orig = mlp.layers()[layer].weights.get(o, i);
+            mlp.layers_mut()[layer].weights.set(o, i, orig + eps);
+            let plus: f32 = mlp.forward(&x).iter().sum();
+            mlp.layers_mut()[layer].weights.set(o, i, orig - eps);
+            let minus: f32 = mlp.forward(&x).iter().sum();
+            mlp.layers_mut()[layer].weights.set(o, i, orig);
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 2e-2,
+                "layer {layer} w[{o}][{i}]: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mlp = Mlp::new(&[3, 6, 1], 11);
+        let x = vec![0.5, -0.4, 0.2];
+        let (_, cache) = mlp.forward_cached(&x);
+        let mut grads = mlp.zero_grads();
+        let d_in = mlp.backward(&cache, &[1.0], &mut grads);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let numeric = (mlp.forward(&xp)[0] - mlp.forward(&xm)[0]) / (2.0 * eps);
+            assert!((d_in[i] - numeric).abs() < 1e-2, "dx[{i}]: {} vs {numeric}", d_in[i]);
+        }
+    }
+
+    #[test]
+    fn hidden_sparsity_is_roughly_half_at_init() {
+        let mlp = Mlp::new(&[16, 64, 64, 4], 5);
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let xs: Vec<Vec<f32>> =
+            (0..64).map(|_| (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let sparsity = mlp.hidden_sparsity(&xs);
+        assert_eq!(sparsity.len(), 2);
+        for s in sparsity {
+            assert!((0.3..0.7).contains(&s), "ReLU sparsity ~0.5 at init, got {s}");
+        }
+    }
+
+    #[test]
+    fn int16_quantized_mlp_tracks_fp32() {
+        let mlp = Mlp::new(&[8, 32, 3], 2);
+        let q = QuantizedMlp::quantize(&mlp, Precision::Int16);
+        let x = vec![0.25; 8];
+        let y = mlp.forward(&x);
+        let yq = q.forward(&x);
+        for (a, b) in y.iter().zip(&yq) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantization_error_grows_as_precision_drops() {
+        let mlp = Mlp::new(&[8, 32, 32, 3], 4);
+        let x: Vec<f32> = (0..8).map(|i| (i as f32) / 8.0 - 0.4).collect();
+        let y = mlp.forward(&x);
+        let err = |p| {
+            let q = QuantizedMlp::quantize(&mlp, p);
+            let yq = q.forward(&x);
+            y.iter().zip(&yq).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
+        };
+        let e16 = err(Precision::Int16);
+        let e8 = err(Precision::Int8);
+        let e4 = err(Precision::Int4);
+        assert!(e16 < e8 && e8 < e4, "{e16} {e8} {e4}");
+    }
+
+    #[test]
+    fn outlier_aware_beats_plain_int4_on_heavy_tailed_weights() {
+        // The outlier technique pays off when a few large weights stretch
+        // the per-tensor scale — inject that structure explicitly.
+        let mut mlp = Mlp::new(&[8, 32, 32, 3], 6);
+        for (li, o, i) in [(0usize, 3usize, 2usize), (1, 7, 9)] {
+            let amp = mlp.layers()[li].weights.get(o, i).abs().max(0.05);
+            mlp.layers_mut()[li].weights.set(o, i, amp * 40.0);
+        }
+        let x: Vec<f32> = (0..8).map(|i| 0.1 * i as f32 - 0.3).collect();
+        let y = mlp.forward(&x);
+        let plain = QuantizedMlp::quantize(&mlp, Precision::Int4);
+        let aware = OutlierQuantizedMlp::quantize(&mlp, Precision::Int4, 0.03);
+        let err = |yq: Vec<f32>| y.iter().zip(&yq).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+        let ep = err(plain.forward(&x));
+        let ea = err(aware.forward(&x));
+        assert!(ea < ep, "outlier-aware {ea} should beat plain {ep}");
+    }
+}

@@ -1,0 +1,402 @@
+//! The seven NeRF models of the evaluation and their workload traces.
+//!
+//! Each configuration reproduces the published architecture of its model —
+//! encoding family, MLP shape, samples per ray, empty-space-skipping
+//! behaviour — and converts one rendering pass into the [`WorkloadTrace`]
+//! consumed by the GPU model and the accelerator engines. The traces drive
+//! Fig. 1 (GPU latency), Fig. 3 (runtime breakdown), and Figs. 18–20
+//! (accelerator comparisons).
+
+use fnr_tensor::workload::{EncodingKind, EncodingOp, GemmClass, GemmOp, PhaseOp, WorkloadTrace};
+use fnr_tensor::Precision;
+
+/// The seven evaluated NeRF models (paper Fig. 1 order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Vanilla NeRF (Mildenhall et al. 2020).
+    Nerf,
+    /// NSVF — neural sparse voxel fields.
+    Nsvf,
+    /// Mip-NeRF — anti-aliased conical frustums with integrated PE.
+    MipNerf,
+    /// KiloNeRF — thousands of tiny MLPs.
+    KiloNerf,
+    /// Instant-NGP — multi-resolution hash encoding.
+    InstantNgp,
+    /// IBRNet — image-based rendering with a ray transformer.
+    IbrNet,
+    /// TensoRF — tensorial radiance fields.
+    TensoRf,
+}
+
+impl ModelKind {
+    /// All seven models in the paper's Fig. 1 order.
+    pub const ALL: [ModelKind; 7] = [
+        ModelKind::Nerf,
+        ModelKind::Nsvf,
+        ModelKind::MipNerf,
+        ModelKind::KiloNerf,
+        ModelKind::InstantNgp,
+        ModelKind::IbrNet,
+        ModelKind::TensoRf,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Nerf => "NeRF",
+            ModelKind::Nsvf => "NSVF",
+            ModelKind::MipNerf => "Mip-NeRF",
+            ModelKind::KiloNerf => "KiloNeRF",
+            ModelKind::InstantNgp => "Instant-NGP",
+            ModelKind::IbrNet => "IBRNet",
+            ModelKind::TensoRf => "TensoRF",
+        }
+    }
+
+    /// Approximate RTX 2080 Ti rendering latency the paper's Fig. 1 shows
+    /// (ms, 800×800, Synthetic-NeRF; read off the log-scale bars).
+    pub fn paper_fig1_latency_ms(&self) -> f64 {
+        match self {
+            ModelKind::Nerf => 25_000.0,
+            ModelKind::Nsvf => 1_500.0,
+            ModelKind::MipNerf => 20_000.0,
+            ModelKind::KiloNerf => 40.0,
+            ModelKind::InstantNgp => 60.0,
+            ModelKind::IbrNet => 15_000.0,
+            ModelKind::TensoRf => 1_200.0,
+        }
+    }
+}
+
+/// Architecture + workload description of one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NerfModelConfig {
+    /// Which model this is.
+    pub kind: ModelKind,
+    /// Encoding family and size.
+    pub encoding: EncodingKind,
+    /// Extra encoding work relative to the plain encoding (IPE covariance
+    /// math, per-network dispatch, decomposed-tensor gathers…).
+    pub encoding_cost_factor: f64,
+    /// MLP layer widths, input to output.
+    pub mlp_widths: Vec<usize>,
+    /// Samples per ray (coarse + fine combined).
+    pub samples_per_ray: usize,
+    /// Fraction of samples skipped as empty space (ray-marching input
+    /// sparsity, Fig. 13(a)); 0 for models without spatial structures.
+    pub empty_skip: f64,
+    /// Post-ReLU activation sparsity of hidden layers.
+    pub relu_sparsity: f64,
+    /// GEMM class of the MLP layers on generic hardware.
+    pub gemm_class: GemmClass,
+    /// Per-point cost of the non-neural stages (sampling, compositing).
+    pub other_flops_per_point: u64,
+}
+
+impl NerfModelConfig {
+    /// The published configuration of `kind`.
+    pub fn for_kind(kind: ModelKind) -> Self {
+        match kind {
+            ModelKind::Nerf => NerfModelConfig {
+                kind,
+                encoding: EncodingKind::Positional { frequencies: 10 },
+                encoding_cost_factor: 1.0,
+                mlp_widths: vec![63, 256, 256, 256, 256, 256, 256, 256, 256, 4],
+                samples_per_ray: 192, // 64 coarse + 128 fine
+                empty_skip: 0.0,
+                relu_sparsity: 0.50,
+                gemm_class: GemmClass::RegularDense,
+                other_flops_per_point: 30,
+            },
+            ModelKind::Nsvf => NerfModelConfig {
+                kind,
+                encoding: EncodingKind::Hash { levels: 4, features: 8 }, // voxel-embedding gathers
+                // Octree traversal + per-vertex embedding aggregation cost
+                // several gathers per lookup.
+                encoding_cost_factor: 5.0,
+                mlp_widths: vec![32, 256, 256, 256, 256, 4],
+                samples_per_ray: 64,
+                empty_skip: 0.70, // sparse voxel grid skipping
+                relu_sparsity: 0.50,
+                gemm_class: GemmClass::RegularDense,
+                other_flops_per_point: 45,
+            },
+            ModelKind::MipNerf => NerfModelConfig {
+                kind,
+                encoding: EncodingKind::Positional { frequencies: 16 },
+                // Integrated PE: per-frustum mean/covariance, variance
+                // attenuation exponentials and scaled sinusoids cost far
+                // more than plain PE.
+                encoding_cost_factor: 60.0,
+                mlp_widths: vec![96, 256, 256, 256, 256, 256, 256, 256, 256, 4],
+                samples_per_ray: 96,
+                empty_skip: 0.0,
+                relu_sparsity: 0.50,
+                gemm_class: GemmClass::RegularDense,
+                other_flops_per_point: 60,
+            },
+            ModelKind::KiloNerf => NerfModelConfig {
+                kind,
+                encoding: EncodingKind::Positional { frequencies: 10 },
+                // Thousands of per-network encode kernels: dispatch-bound.
+                encoding_cost_factor: 8.0,
+                mlp_widths: vec![63, 32, 32, 4],
+                samples_per_ray: 48,
+                empty_skip: 0.55, // occupancy-grid skipping
+                relu_sparsity: 0.50,
+                gemm_class: GemmClass::Irregular, // thousands of tiny GEMMs
+                other_flops_per_point: 35,
+            },
+            ModelKind::InstantNgp => NerfModelConfig {
+                kind,
+                encoding: EncodingKind::Hash { levels: 16, features: 2 },
+                encoding_cost_factor: 1.0,
+                mlp_widths: vec![32, 64, 64, 16],
+                samples_per_ray: 32,
+                empty_skip: 0.78, // Fig. 13(a): 69–88 % on Synthetic-NeRF
+                relu_sparsity: 0.50,
+                gemm_class: GemmClass::RegularDense,
+                other_flops_per_point: 25,
+            },
+            ModelKind::IbrNet => NerfModelConfig {
+                kind,
+                encoding: EncodingKind::Learned, // CNN image features
+                encoding_cost_factor: 1.0,
+                // Per-point aggregation MLP + ray transformer widths.
+                mlp_widths: vec![355, 256, 256, 256, 4],
+                samples_per_ray: 128,
+                empty_skip: 0.0,
+                relu_sparsity: 0.50,
+                gemm_class: GemmClass::RegularDense,
+                other_flops_per_point: 80,
+            },
+            ModelKind::TensoRf => NerfModelConfig {
+                kind,
+                // Decomposed-tensor feature gathers behave like a shallow
+                // multi-table lookup (27 appearance features per plane).
+                encoding: EncodingKind::Hash { levels: 3, features: 27 },
+                encoding_cost_factor: 1.0,
+                mlp_widths: vec![81, 128, 128, 4],
+                samples_per_ray: 220,
+                empty_skip: 0.50, // alpha-mask skipping
+                relu_sparsity: 0.50,
+                gemm_class: GemmClass::RegularDense,
+                other_flops_per_point: 20,
+            },
+        }
+    }
+
+    /// Total sample points of one `width`×`height` frame.
+    pub fn total_points(&self, width: usize, height: usize) -> u64 {
+        (width * height) as u64 * self.samples_per_ray as u64
+    }
+
+    /// Points that survive empty-space skipping.
+    pub fn active_points(&self, width: usize, height: usize) -> u64 {
+        (self.total_points(width, height) as f64 * (1.0 - self.empty_skip)).round() as u64
+    }
+
+    /// Builds the workload trace of one rendered frame.
+    ///
+    /// `batch` is the paper's evaluation batch size (4096): points are
+    /// processed in chunks of `batch` rows per GEMM invocation.
+    pub fn trace(&self, width: usize, height: usize, batch: usize) -> WorkloadTrace {
+        let mut t = WorkloadTrace::new(format!("{} {}x{}", self.kind.name(), width, height));
+        let total = self.total_points(width, height);
+        let active = self.active_points(width, height);
+
+        // Ray generation + sampling.
+        t.push(PhaseOp::Other {
+            label: "ray sampling",
+            flops: total * 20,
+            bytes: total * 16,
+        });
+
+        // IBRNet first extracts CNN features from its source views.
+        if self.kind == ModelKind::IbrNet {
+            // 10 source views, one 3x3-conv layer pyramid as im2col GEMMs.
+            t.push(PhaseOp::Gemm(GemmOp {
+                m: width * height,
+                k: 9 * 32,
+                n: 64,
+                batch: 10,
+                precision: Precision::Fp32,
+                sparsity_a: 0.0,
+                sparsity_b: 0.0,
+                class: GemmClass::RegularDense,
+                a_offchip: true,
+                out_offchip: true,
+            }));
+        }
+
+        // Neural feature encoding.
+        if self.encoding != EncodingKind::Learned {
+            t.push(PhaseOp::Encoding(EncodingOp {
+                kind: self.encoding,
+                points: active,
+                input_dims: 3,
+                cost_factor: self.encoding_cost_factor,
+            }));
+        }
+
+        // MLP layers over the active points, chunked by batch size. The
+        // batch slots of skipped samples still exist but hold zeros, so
+        // the *first* layer's activation matrix carries the ray-marching
+        // sparsity; hidden layers carry ReLU sparsity and stay on-chip.
+        let chunks = (total as usize).div_ceil(batch).max(1);
+        let widths = &self.mlp_widths;
+        for li in 0..widths.len() - 1 {
+            let first = li == 0;
+            t.push(PhaseOp::Gemm(GemmOp {
+                m: batch,
+                k: widths[li],
+                n: widths[li + 1],
+                batch: chunks,
+                precision: Precision::Fp32,
+                sparsity_a: if first { self.empty_skip } else { self.relu_sparsity },
+                sparsity_b: 0.0,
+                class: self.gemm_class,
+                // The encode → MLP → compositing pipeline stays on-chip
+                // (both NeuRex and FlexNeRFer stream encoded features
+                // through the encoding buffer); only weights, hash-table
+                // gathers and the final image touch DRAM. Oversized batch
+                // chunks spill — see the Fig. 20(b) harness.
+                a_offchip: false,
+                out_offchip: false,
+            }));
+        }
+
+        // Volume rendering / compositing; writes the final image off-chip.
+        t.push(PhaseOp::Other {
+            label: "volume rendering",
+            flops: active * self.other_flops_per_point,
+            bytes: active * 20 + (width * height * 12) as u64,
+        });
+        t
+    }
+}
+
+/// Convenience: traces of all seven models at the paper's evaluation
+/// setting (800×800, batch 4096).
+pub fn paper_traces() -> Vec<(ModelKind, WorkloadTrace)> {
+    ModelKind::ALL
+        .iter()
+        .map(|&k| (k, NerfModelConfig::for_kind(k).trace(800, 800, 4096)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fnr_hw::gpu::{GpuModel, RTX_2080_TI};
+
+    #[test]
+    fn all_models_produce_traces() {
+        for (kind, trace) in paper_traces() {
+            assert!(!trace.phases.is_empty(), "{} trace empty", kind.name());
+            assert!(trace.total_dense_macs() > 0, "{} has no GEMM work", kind.name());
+        }
+    }
+
+    #[test]
+    fn fig1_gpu_latencies_have_the_paper_shape() {
+        let gpu = GpuModel::new(RTX_2080_TI);
+        let times: Vec<(ModelKind, f64)> = paper_traces()
+            .iter()
+            .map(|(k, t)| (*k, gpu.trace_time(t) * 1e3))
+            .collect();
+        let get = |k: ModelKind| times.iter().find(|(m, _)| *m == k).unwrap().1;
+
+        // Every model misses both frame-time thresholds (Fig. 1's point).
+        for (k, ms) in &times {
+            assert!(*ms > 8.3, "{} = {ms:.1} ms must exceed the game threshold", k.name());
+        }
+        assert!(get(ModelKind::KiloNerf) > 16.8 || get(ModelKind::InstantNgp) > 16.8);
+
+        // Orders of magnitude match the paper's bars.
+        assert!(get(ModelKind::Nerf) > 5_000.0, "NeRF is tens of seconds");
+        assert!(get(ModelKind::MipNerf) > 3_000.0);
+        assert!(get(ModelKind::IbrNet) > 3_000.0);
+        assert!(get(ModelKind::InstantNgp) < 500.0, "Instant-NGP is near-real-time");
+        assert!(get(ModelKind::KiloNerf) < 500.0);
+        assert!(get(ModelKind::Nerf) > get(ModelKind::TensoRf));
+        assert!(get(ModelKind::TensoRf) > get(ModelKind::InstantNgp));
+    }
+
+    #[test]
+    fn fig3_gemm_dominates_and_encoding_is_considerable() {
+        let gpu = GpuModel::new(RTX_2080_TI);
+        for (kind, trace) in paper_traces() {
+            let (gemm, enc, other) = gpu.trace_breakdown(&trace);
+            let total = gemm + enc + other;
+            let gemm_share = gemm / total;
+            let enc_share = enc / total;
+            assert!(
+                gemm_share > 0.35,
+                "{}: GEMM share {gemm_share:.2} should dominate",
+                kind.name()
+            );
+            match kind {
+                ModelKind::KiloNerf | ModelKind::Nsvf | ModelKind::InstantNgp => {
+                    assert!(
+                        enc_share > 0.08,
+                        "{}: encoding share {enc_share:.2} should be considerable",
+                        kind.name()
+                    );
+                }
+                // Mip-NeRF's IPE is matrix-heavy; the paper's Fig. 3 note
+                // counts GEMM-based encoding inside the GEMM share, so only
+                // a modest explicit encoding share remains.
+                ModelKind::MipNerf => {
+                    assert!(enc_share > 0.02, "Mip-NeRF encoding share {enc_share:.2}");
+                }
+                ModelKind::Nerf => {
+                    assert!(enc_share < 0.15, "vanilla NeRF encoding is minor: {enc_share:.2}");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn first_layer_carries_ray_marching_sparsity() {
+        let cfg = NerfModelConfig::for_kind(ModelKind::InstantNgp);
+        let trace = cfg.trace(800, 800, 4096);
+        let first_gemm = trace
+            .phases
+            .iter()
+            .find_map(|p| match p {
+                PhaseOp::Gemm(g) => Some(*g),
+                _ => None,
+            })
+            .unwrap();
+        assert!((first_gemm.sparsity_a - 0.78).abs() < 1e-9);
+        assert!(!first_gemm.a_offchip, "encoded features stream on-chip");
+    }
+
+    #[test]
+    fn active_points_respect_skipping() {
+        let cfg = NerfModelConfig::for_kind(ModelKind::InstantNgp);
+        let total = cfg.total_points(800, 800);
+        let active = cfg.active_points(800, 800);
+        assert_eq!(total, 800 * 800 * 32);
+        assert!((active as f64 / total as f64 - 0.22).abs() < 0.001);
+    }
+
+    #[test]
+    fn pruning_sweep_composes_with_traces() {
+        let cfg = NerfModelConfig::for_kind(ModelKind::Nerf);
+        let t = cfg.trace(800, 800, 4096).with_pruning(0.7).with_precision(Precision::Int8);
+        let g = t
+            .phases
+            .iter()
+            .find_map(|p| match p {
+                PhaseOp::Gemm(x) => Some(*x),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(g.sparsity_b, 0.7);
+        assert_eq!(g.precision, Precision::Int8);
+    }
+}

@@ -1,0 +1,150 @@
+//! Images and the PSNR quality metric used throughout the evaluation.
+
+/// A float RGB image with channels in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<[f32; 3]>,
+}
+
+impl Image {
+    /// A black image.
+    pub fn new(width: usize, height: usize) -> Self {
+        Image { width, height, pixels: vec![[0.0; 3]; width * height] }
+    }
+
+    /// Image width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> [f32; 3] {
+        assert!(x < self.width && y < self.height);
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, rgb: [f32; 3]) {
+        assert!(x < self.width && y < self.height);
+        self.pixels[y * self.width + x] = rgb;
+    }
+
+    /// Raw pixel slice (row-major).
+    pub fn pixels(&self) -> &[[f32; 3]] {
+        &self.pixels
+    }
+
+    /// Mean per-channel value (useful sanity check: a rendered scene is
+    /// neither black nor saturated).
+    pub fn mean_luminance(&self) -> f32 {
+        let sum: f32 =
+            self.pixels.iter().map(|p| (p[0] + p[1] + p[2]) / 3.0).sum();
+        sum / self.pixels.len().max(1) as f32
+    }
+
+    /// Serializes to a binary PPM (P6) byte stream.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        for p in &self.pixels {
+            for c in p {
+                out.push((c.clamp(0.0, 1.0) * 255.0).round() as u8);
+            }
+        }
+        out
+    }
+}
+
+/// Mean squared error between two images.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+pub fn mse(a: &Image, b: &Image) -> f64 {
+    assert_eq!((a.width, a.height), (b.width, b.height), "image sizes must match");
+    let mut acc = 0.0f64;
+    for (pa, pb) in a.pixels.iter().zip(&b.pixels) {
+        for c in 0..3 {
+            let d = (pa[c] - pb[c]) as f64;
+            acc += d * d;
+        }
+    }
+    acc / (a.pixels.len() * 3) as f64
+}
+
+/// Peak signal-to-noise ratio in dB (peak = 1.0). Identical images yield
+/// `f64::INFINITY`.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+pub fn psnr(a: &Image, b: &Image) -> f64 {
+    let m = mse(a, b);
+    if m == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (1.0 / m).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_infinite_psnr() {
+        let img = Image::new(4, 4);
+        assert_eq!(psnr(&img, &img), f64::INFINITY);
+    }
+
+    #[test]
+    fn psnr_of_known_error() {
+        let a = Image::new(2, 2);
+        let mut b = Image::new(2, 2);
+        // Uniform error of 0.1 → MSE = 0.01 → PSNR = 20 dB.
+        for y in 0..2 {
+            for x in 0..2 {
+                b.set(x, y, [0.1, 0.1, 0.1]);
+            }
+        }
+        assert!((psnr(&a, &b) - 20.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn smaller_error_means_higher_psnr() {
+        let a = Image::new(3, 3);
+        let mut b = a.clone();
+        let mut c = a.clone();
+        b.set(1, 1, [0.5, 0.5, 0.5]);
+        c.set(1, 1, [0.1, 0.1, 0.1]);
+        assert!(psnr(&a, &c) > psnr(&a, &b));
+    }
+
+    #[test]
+    fn ppm_roundtrip_header() {
+        let img = Image::new(5, 3);
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with(b"P6\n5 3\n255\n"));
+        assert_eq!(ppm.len(), 11 + 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes must match")]
+    fn mismatched_sizes_panic() {
+        psnr(&Image::new(2, 2), &Image::new(3, 3));
+    }
+}

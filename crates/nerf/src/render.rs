@@ -1,0 +1,415 @@
+//! Volume rendering (paper Eq. 3) and full-image rendering for both the
+//! analytic reference scenes and the trainable hash-grid model.
+
+use crate::camera::Camera;
+use crate::hashgrid::{HashGrid, HashGridConfig};
+use crate::mlp::{Mlp, OutlierQuantizedMlp, QuantizedMlp};
+use crate::psnr::Image;
+use crate::sampling::{sample_ray, OccupancyGrid, RaySample};
+use crate::scene::Scene;
+use crate::vec3::Vec3;
+use fnr_tensor::{Matrix, Precision, Quantizer};
+
+/// One shaded sample ready for compositing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShadedSample {
+    /// Volume density σᵢ.
+    pub sigma: f32,
+    /// Sample color cᵢ.
+    pub color: [f32; 3],
+    /// Segment length δᵢ.
+    pub delta: f32,
+}
+
+/// Numerical quadrature of the volume-rendering integral (Eq. 3) with a
+/// white background: `Ĉ = Σ Tᵢ(1−exp(−σᵢδᵢ))cᵢ + T_final·1`.
+pub fn composite(samples: &[ShadedSample]) -> [f32; 3] {
+    let mut t = 1.0f32;
+    let mut c = [0.0f32; 3];
+    for s in samples {
+        let alpha = 1.0 - (-s.sigma * s.delta).exp();
+        let w = t * alpha;
+        for ch in 0..3 {
+            c[ch] += w * s.color[ch];
+        }
+        t *= 1.0 - alpha;
+        if t < 1e-4 {
+            t = 0.0;
+            break;
+        }
+    }
+    for ch in &mut c {
+        *ch += t; // white background
+    }
+    c
+}
+
+/// Backward pass of [`composite`]: given `d_out = ∂L/∂Ĉ`, returns
+/// `(∂L/∂σᵢ, ∂L/∂cᵢ)` per sample.
+pub fn composite_backward(
+    samples: &[ShadedSample],
+    d_out: [f32; 3],
+) -> (Vec<f32>, Vec<[f32; 3]>) {
+    let n = samples.len();
+    // Forward quantities.
+    let mut t = vec![1.0f32; n + 1];
+    let mut alpha = vec![0.0f32; n];
+    for (i, s) in samples.iter().enumerate() {
+        alpha[i] = 1.0 - (-s.sigma * s.delta).exp();
+        t[i + 1] = t[i] * (1.0 - alpha[i]);
+    }
+    // Suffix sums of w_j c_j per channel, including the white background
+    // term T_n·1 (which also depends on every σᵢ).
+    let mut suffix = vec![[0.0f32; 3]; n + 1];
+    suffix[n] = [t[n], t[n], t[n]]; // background contribution
+    for i in (0..n).rev() {
+        let w = t[i] * alpha[i];
+        for ch in 0..3 {
+            suffix[i][ch] = suffix[i + 1][ch] + w * samples[i].color[ch];
+        }
+    }
+    let mut d_sigma = vec![0.0f32; n];
+    let mut d_color = vec![[0.0f32; 3]; n];
+    for i in 0..n {
+        let w = t[i] * alpha[i];
+        let trans = t[i] * (1.0 - alpha[i]); // T_i · e^{−σδ}
+        let mut ds = 0.0f32;
+        for ch in 0..3 {
+            d_color[i][ch] = d_out[ch] * w;
+            ds += d_out[ch] * samples[i].delta * (trans * samples[i].color[ch] - suffix[i + 1][ch]);
+        }
+        d_sigma[i] = ds;
+    }
+    (d_sigma, d_color)
+}
+
+/// Renders the analytic scene directly (the ground-truth renderer standing
+/// in for the dataset photographs).
+pub fn render_reference(scene: &dyn Scene, camera: &Camera, w: usize, h: usize, spp: usize) -> Image {
+    let mut img = Image::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let ray = camera.ray(x, y, w, h);
+            let shaded: Vec<ShadedSample> = sample_ray(&ray, spp, None)
+                .iter()
+                .map(|s| ShadedSample {
+                    sigma: scene.density(s.position),
+                    color: scene.color(s.position, s.dir),
+                    delta: s.delta,
+                })
+                .collect();
+            img.set(x, y, composite(&shaded));
+        }
+    }
+    img
+}
+
+/// An Instant-NGP-style model: multi-resolution hash grid + tiny MLP.
+///
+/// The MLP head outputs `[σ_raw, r_raw, g_raw, b_raw]`; density goes
+/// through a softplus and color through a sigmoid.
+///
+/// # Example
+///
+/// ```
+/// use fnr_nerf::hashgrid::HashGridConfig;
+/// use fnr_nerf::render::NgpModel;
+/// use fnr_nerf::camera::Camera;
+///
+/// let model = NgpModel::new(HashGridConfig::small(), 16, 7);
+/// let cam = Camera::orbit(0.8, 1.6, 0.9);
+/// let img = model.render(&cam, 8, 8, 8, None);
+/// assert_eq!(img.width(), 8);
+/// assert!(img.pixels().iter().all(|p| p.iter().all(|c| c.is_finite())));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NgpModel {
+    /// The trainable hash grid.
+    pub grid: HashGrid,
+    /// The trainable MLP head.
+    pub mlp: Mlp,
+}
+
+/// Softplus `ln(1+e^x)`, numerically stable.
+pub fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl NgpModel {
+    /// A fresh model with the given grid configuration and hidden width.
+    pub fn new(config: HashGridConfig, hidden: usize, seed: u64) -> Self {
+        let grid = HashGrid::new(config, 1e-2, seed);
+        let mlp = Mlp::new(&[config.output_dims(), hidden, hidden, 4], seed.wrapping_add(1));
+        NgpModel { grid, mlp }
+    }
+
+    /// Density and color at a point.
+    pub fn query(&self, s: &RaySample) -> ShadedSample {
+        let enc = self.grid.encode(s.position);
+        let raw = self.mlp.forward(&enc);
+        ShadedSample {
+            sigma: softplus(raw[0]),
+            color: [sigmoid(raw[1]), sigmoid(raw[2]), sigmoid(raw[3])],
+            delta: s.delta,
+        }
+    }
+
+    /// Renders an image with the FP32 model (optionally skipping empty
+    /// space with `grid`; skipped samples contribute nothing, exactly as
+    /// zero-padded batch slots do on the accelerator).
+    pub fn render(
+        &self,
+        camera: &Camera,
+        w: usize,
+        h: usize,
+        spp: usize,
+        occupancy: Option<&OccupancyGrid>,
+    ) -> Image {
+        self.render_with(camera, w, h, spp, occupancy, |enc| self.mlp.forward(enc))
+    }
+
+    /// Encodings of a small calibration batch (corner-to-corner diagonal
+    /// sweep through the volume), used to fix static activation scales.
+    fn calibration_batch(&self) -> Vec<Vec<f32>> {
+        (0..128)
+            .map(|i| {
+                let t = i as f32 / 127.0;
+                self.grid.encode(Vec3::new(t, (t * 7.3).fract(), (t * 3.1).fract()))
+            })
+            .collect()
+    }
+
+    /// Renders with weights quantized to `precision` (Fig. 20(a), plain
+    /// quantization: grid features, MLP weights and activations are all
+    /// quantized, with static calibrated activation scales).
+    pub fn render_quantized(
+        &self,
+        camera: &Camera,
+        w: usize,
+        h: usize,
+        spp: usize,
+        precision: Precision,
+    ) -> Image {
+        let mut qmlp = QuantizedMlp::quantize(&self.mlp, precision);
+        qmlp.calibrate(&self.mlp, &self.calibration_batch());
+        let qmodel = NgpModel {
+            grid: quantize_grid(&self.grid, precision, None),
+            mlp: self.mlp.clone(),
+        };
+        qmodel.render_with(camera, w, h, spp, None, |enc| qmlp.forward(enc))
+    }
+
+    /// Renders with outlier-aware quantization: the top `outlier_fraction`
+    /// magnitudes of weights and activations stay INT16 (Fig. 20(a),
+    /// "outliers: INT16" points).
+    pub fn render_quantized_outlier_aware(
+        &self,
+        camera: &Camera,
+        w: usize,
+        h: usize,
+        spp: usize,
+        precision: Precision,
+        outlier_fraction: f64,
+    ) -> Image {
+        let mut qmlp = OutlierQuantizedMlp::quantize(&self.mlp, precision, outlier_fraction);
+        qmlp.calibrate(&self.mlp, &self.calibration_batch());
+        let qmodel = NgpModel {
+            grid: quantize_grid(&self.grid, precision, Some(outlier_fraction)),
+            mlp: self.mlp.clone(),
+        };
+        qmodel.render_with(camera, w, h, spp, None, |enc| qmlp.forward(enc))
+    }
+
+    fn render_with(
+        &self,
+        camera: &Camera,
+        w: usize,
+        h: usize,
+        spp: usize,
+        occupancy: Option<&OccupancyGrid>,
+        mut head: impl FnMut(&[f32]) -> Vec<f32>,
+    ) -> Image {
+        let mut img = Image::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let ray = camera.ray(x, y, w, h);
+                let samples = sample_ray(&ray, spp, occupancy);
+                let shaded: Vec<ShadedSample> = samples
+                    .iter()
+                    .filter(|s| s.active)
+                    .map(|s| {
+                        let enc = self.grid.encode(s.position);
+                        let raw = head(&enc);
+                        ShadedSample {
+                            sigma: softplus(raw[0]),
+                            color: [sigmoid(raw[1]), sigmoid(raw[2]), sigmoid(raw[3])],
+                            delta: s.delta,
+                        }
+                    })
+                    .collect();
+                img.set(x, y, composite(&shaded));
+            }
+        }
+        img
+    }
+}
+
+/// Quantizes the grid's feature tables and bakes the dequantized values
+/// back into a new grid — numerically identical to running the integer
+/// datapath with scales.
+///
+/// The plain path uses one *global* scale across every level, as a naive
+/// INT-N storage format would: fine-level detail features (small) are
+/// crushed by the coarse levels' larger magnitudes. The outlier-aware
+/// path quantizes per level and keeps the largest magnitudes at INT16,
+/// which is what recovers quality in Fig. 20(a).
+pub fn quantize_grid(grid: &HashGrid, precision: Precision, outliers: Option<f64>) -> HashGrid {
+    let mut out = grid.clone();
+    match outliers {
+        None => {
+            let amax = grid
+                .tables()
+                .iter()
+                .flatten()
+                .fold(0.0f32, |m, &v| m.max(v.abs()));
+            let (lo, hi) = precision.range();
+            let scale = if amax == 0.0 { 1.0 } else { amax / hi as f32 };
+            for (t_out, t_in) in out.tables_mut().iter_mut().zip(grid.tables()) {
+                for (o, &v) in t_out.iter_mut().zip(t_in) {
+                    *o = (v / scale).round().clamp(lo as f32, hi as f32) * scale;
+                }
+            }
+        }
+        Some(frac) => {
+            let q = Quantizer::per_tensor(precision);
+            for (t_out, t_in) in out.tables_mut().iter_mut().zip(grid.tables()) {
+                let m = Matrix::from_vec(1, t_in.len(), t_in.clone()).expect("shape");
+                let deq = q.quantize_outlier_aware(&m, frac).dequantize();
+                t_out.copy_from_slice(deq.as_slice());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::MicScene;
+    use crate::vec3::Vec3;
+
+    fn shaded(sigma: f32, c: f32) -> ShadedSample {
+        ShadedSample { sigma, color: [c, c, c], delta: 0.1 }
+    }
+
+    #[test]
+    fn empty_ray_is_background_white() {
+        let c = composite(&[]);
+        assert_eq!(c, [1.0, 1.0, 1.0]);
+        let c2 = composite(&[shaded(0.0, 0.3); 8]);
+        for ch in c2 {
+            assert!((ch - 1.0).abs() < 1e-5, "zero density → background");
+        }
+    }
+
+    #[test]
+    fn opaque_sample_dominates() {
+        let c = composite(&[shaded(1000.0, 0.25), shaded(1000.0, 0.9)]);
+        assert!((c[0] - 0.25).abs() < 1e-3, "first opaque sample wins: {c:?}");
+    }
+
+    #[test]
+    fn compositing_weights_are_a_partition() {
+        // Total transmittance + sum of weights = 1 → with equal colors the
+        // output equals that color mixed with background.
+        let samples = vec![shaded(2.0, 0.5); 16];
+        let c = composite(&samples);
+        assert!(c[0] > 0.5 && c[0] < 1.0);
+    }
+
+    #[test]
+    fn composite_gradients_match_finite_difference() {
+        let mut samples =
+            vec![shaded(1.5, 0.2), shaded(0.5, 0.7), shaded(3.0, 0.4), shaded(0.1, 0.9)];
+        let d_out = [1.0, 0.0, 0.0]; // dL/dC = e_red
+        let (d_sigma, d_color) = composite_backward(&samples, d_out);
+        let eps = 1e-3;
+        for i in 0..samples.len() {
+            let orig = samples[i].sigma;
+            samples[i].sigma = orig + eps;
+            let plus = composite(&samples)[0];
+            samples[i].sigma = orig - eps;
+            let minus = composite(&samples)[0];
+            samples[i].sigma = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (d_sigma[i] - numeric).abs() < 1e-3,
+                "dσ[{i}]: {} vs {numeric}",
+                d_sigma[i]
+            );
+
+            let origc = samples[i].color[0];
+            samples[i].color[0] = origc + eps;
+            let plus = composite(&samples)[0];
+            samples[i].color[0] = origc - eps;
+            let minus = composite(&samples)[0];
+            samples[i].color[0] = origc;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (d_color[i][0] - numeric).abs() < 1e-3,
+                "dc[{i}]: {} vs {numeric}",
+                d_color[i][0]
+            );
+        }
+    }
+
+    #[test]
+    fn reference_render_shows_the_scene() {
+        let cam = Camera::orbit(0.8, 1.6, 0.9);
+        let img = render_reference(&MicScene, &cam, 16, 16, 24);
+        let lum = img.mean_luminance();
+        // Mostly white background with a dark object: luminance high but
+        // not pure white.
+        assert!(lum > 0.5 && lum < 0.9999, "luminance {lum}");
+    }
+
+    #[test]
+    fn untrained_model_renders_finite_pixels() {
+        let model = NgpModel::new(crate::hashgrid::HashGridConfig::small(), 16, 3);
+        let cam = Camera::orbit(0.8, 1.6, 0.9);
+        let img = model.render(&cam, 8, 8, 8, None);
+        for p in img.pixels() {
+            for c in p {
+                assert!(c.is_finite() && *c >= 0.0 && *c <= 1.001, "pixel {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn activations_are_bounded() {
+        assert!((softplus(0.0) - 0.6931).abs() < 1e-3);
+        assert!(softplus(30.0) >= 30.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grid_quantization_int16_is_nearly_lossless() {
+        let model = NgpModel::new(crate::hashgrid::HashGridConfig::small(), 16, 4);
+        let q = quantize_grid(&model.grid, Precision::Int16, None);
+        let p = Vec3::splat(0.4);
+        let a = model.grid.encode(p);
+        let b = q.encode(p);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

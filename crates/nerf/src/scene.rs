@@ -1,0 +1,236 @@
+//! Procedural volumetric scenes standing in for the paper's datasets.
+//!
+//! The paper evaluates on Synthetic-NeRF (e.g. the simple *Mic* scene and
+//! the medium-complexity *Lego* scene) and on NSVF (the complex *Palace*
+//! scene). Those assets are unavailable; these analytic density/color
+//! fields reproduce the properties the experiments depend on: distinct
+//! empty-space fractions (Fig. 13(a) input sparsity, Fig. 20(b) scene
+//! complexity) and enough geometric detail to make quantization visible
+//! (Fig. 20(a)).
+
+use crate::vec3::Vec3;
+
+/// A volumetric scene: density and view-dependent color at any point in
+/// the unit cube `[0, 1]³`.
+pub trait Scene {
+    /// Scene name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Volume density at `p` (0 = empty space).
+    fn density(&self, p: Vec3) -> f32;
+
+    /// RGB color at `p` seen from direction `d`, each channel in `[0, 1]`.
+    fn color(&self, p: Vec3, d: Vec3) -> [f32; 3];
+
+    /// Fraction of the unit cube expected to be empty (used to seed the
+    /// occupancy-grid statistics and the workload traces).
+    fn expected_emptiness(&self) -> f64;
+}
+
+/// Signed distance to a box centred at `c` with half-extents `h`.
+fn sd_box(p: Vec3, c: Vec3, h: Vec3) -> f32 {
+    let q = (p - c).abs() - h;
+    q.max(Vec3::ZERO).length() + q.max_component().min(0.0)
+}
+
+/// Signed distance to a sphere.
+fn sd_sphere(p: Vec3, c: Vec3, r: f32) -> f32 {
+    (p - c).length() - r
+}
+
+/// Signed distance to a vertical capsule (cylinder with round caps).
+fn sd_capsule(p: Vec3, base: Vec3, height: f32, r: f32) -> f32 {
+    let d = p - base;
+    let t = (d.y / height).clamp(0.0, 1.0);
+    let closest = base + Vec3::new(0.0, t * height, 0.0);
+    (p - closest).length() - r
+}
+
+/// Converts a signed distance to a smooth density (solid inside, a thin
+/// soft shell outside).
+fn density_from_sdf(sd: f32, sharpness: f32) -> f32 {
+    if sd <= 0.0 {
+        40.0
+    } else {
+        40.0 * (-sd * sharpness).exp()
+    }
+}
+
+/// Simple scene: a microphone-like capsule + grille sphere on a thin
+/// stand. Mostly empty space (the paper's *Mic*, the "simple scene" of
+/// Fig. 20(b)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MicScene;
+
+impl Scene for MicScene {
+    fn name(&self) -> &'static str {
+        "mic-like (simple)"
+    }
+
+    fn density(&self, p: Vec3) -> f32 {
+        let stand = sd_capsule(p, Vec3::new(0.5, 0.05, 0.5), 0.45, 0.02);
+        let head = sd_sphere(p, Vec3::new(0.5, 0.62, 0.5), 0.12);
+        let base = sd_box(p, Vec3::new(0.5, 0.03, 0.5), Vec3::new(0.12, 0.02, 0.12));
+        density_from_sdf(stand.min(head).min(base), 60.0)
+    }
+
+    fn color(&self, p: Vec3, d: Vec3) -> [f32; 3] {
+        let head = sd_sphere(p, Vec3::new(0.5, 0.62, 0.5), 0.12);
+        // Grille pattern on the head, brushed metal elsewhere; a small
+        // view-dependent sheen makes color direction-sensitive.
+        let sheen = 0.1 * d.dot(Vec3::new(0.0, 1.0, 0.0)).abs();
+        if head < 0.02 {
+            let g = 0.4 + 0.3 * ((p.x * 80.0).sin() * (p.y * 80.0).sin()).abs();
+            [g + sheen, g + sheen, g + 0.05 + sheen]
+        } else {
+            [0.55 + sheen, 0.55 + sheen, 0.6 + sheen]
+        }
+    }
+
+    fn expected_emptiness(&self) -> f64 {
+        0.88
+    }
+}
+
+/// Medium scene: a blocky excavator-like arrangement of boxes (the
+/// paper's *Lego*).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LegoScene;
+
+impl Scene for LegoScene {
+    fn name(&self) -> &'static str {
+        "lego-like (medium)"
+    }
+
+    fn density(&self, p: Vec3) -> f32 {
+        let body = sd_box(p, Vec3::new(0.5, 0.3, 0.5), Vec3::new(0.18, 0.1, 0.12));
+        let cab = sd_box(p, Vec3::new(0.42, 0.47, 0.5), Vec3::new(0.08, 0.07, 0.09));
+        let boom = sd_box(p, Vec3::new(0.68, 0.45, 0.5), Vec3::new(0.16, 0.03, 0.04));
+        let tracks = sd_box(p, Vec3::new(0.5, 0.14, 0.5), Vec3::new(0.22, 0.06, 0.16));
+        let bucket = sd_box(p, Vec3::new(0.85, 0.32, 0.5), Vec3::new(0.05, 0.06, 0.07));
+        let sd = body.min(cab).min(boom).min(tracks).min(bucket);
+        density_from_sdf(sd, 80.0)
+    }
+
+    fn color(&self, p: Vec3, _d: Vec3) -> [f32; 3] {
+        // Studded yellow plastic with darker tracks.
+        if p.y < 0.21 {
+            [0.15, 0.15, 0.17]
+        } else {
+            let stud = 0.08 * ((p.x * 60.0).sin() * (p.z * 60.0).sin()).max(0.0);
+            [0.9 - stud, 0.75 - stud, 0.1]
+        }
+    }
+
+    fn expected_emptiness(&self) -> f64 {
+        0.80
+    }
+}
+
+/// Complex scene: a palace with walls, towers and domes filling much of
+/// the volume (NSVF's *Palace*, the "complex scene" of Fig. 20(b)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PalaceScene;
+
+impl Scene for PalaceScene {
+    fn name(&self) -> &'static str {
+        "palace-like (complex)"
+    }
+
+    fn density(&self, p: Vec3) -> f32 {
+        let mut sd = sd_box(p, Vec3::new(0.5, 0.18, 0.5), Vec3::new(0.34, 0.16, 0.34));
+        // Four corner towers with domes.
+        for (tx, tz) in [(0.2, 0.2), (0.2, 0.8), (0.8, 0.2), (0.8, 0.8)] {
+            let tower = sd_capsule(p, Vec3::new(tx, 0.0, tz), 0.55, 0.07);
+            let dome = sd_sphere(p, Vec3::new(tx, 0.6, tz), 0.09);
+            sd = sd.min(tower).min(dome);
+        }
+        // Central keep + dome.
+        let keep = sd_box(p, Vec3::new(0.5, 0.45, 0.5), Vec3::new(0.12, 0.22, 0.12));
+        let dome = sd_sphere(p, Vec3::new(0.5, 0.72, 0.5), 0.13);
+        // Crenellated walls (periodic notches).
+        let notch = 0.015 * ((p.x * 90.0).sin() + (p.z * 90.0).sin());
+        sd = sd.min(keep).min(dome) + notch.max(0.0);
+        density_from_sdf(sd, 100.0)
+    }
+
+    fn color(&self, p: Vec3, _d: Vec3) -> [f32; 3] {
+        let band = 0.12 * ((p.y * 40.0).sin()).max(0.0);
+        [0.75 - band, 0.68 - band, 0.55 - band * 0.5]
+    }
+
+    fn expected_emptiness(&self) -> f64 {
+        0.62
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measured_emptiness(scene: &dyn Scene, n: usize) -> f64 {
+        let mut empty = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let p = Vec3::new(
+                        (i as f32 + 0.5) / n as f32,
+                        (j as f32 + 0.5) / n as f32,
+                        (k as f32 + 0.5) / n as f32,
+                    );
+                    if scene.density(p) < 0.5 {
+                        empty += 1;
+                    }
+                    total += 1;
+                }
+            }
+        }
+        empty as f64 / total as f64
+    }
+
+    #[test]
+    fn scenes_have_expected_complexity_ordering() {
+        let mic = measured_emptiness(&MicScene, 24);
+        let lego = measured_emptiness(&LegoScene, 24);
+        let palace = measured_emptiness(&PalaceScene, 24);
+        assert!(mic > lego, "mic ({mic}) should be emptier than lego ({lego})");
+        assert!(lego > palace, "lego ({lego}) should be emptier than palace ({palace})");
+    }
+
+    #[test]
+    fn expected_emptiness_is_close_to_measured() {
+        for scene in [&MicScene as &dyn Scene, &LegoScene, &PalaceScene] {
+            let measured = measured_emptiness(scene, 24);
+            let expected = scene.expected_emptiness();
+            assert!(
+                (measured - expected).abs() < 0.12,
+                "{}: measured {measured:.2} vs declared {expected:.2}",
+                scene.name()
+            );
+        }
+    }
+
+    #[test]
+    fn density_is_nonnegative_and_bounded() {
+        for scene in [&MicScene as &dyn Scene, &LegoScene, &PalaceScene] {
+            for p in [Vec3::ZERO, Vec3::splat(0.5), Vec3::splat(0.99)] {
+                let d = scene.density(p);
+                assert!((0.0..=40.0).contains(&d), "{} density {d}", scene.name());
+            }
+        }
+    }
+
+    #[test]
+    fn colors_are_in_unit_range() {
+        let dir = Vec3::new(0.0, 0.0, 1.0);
+        for scene in [&MicScene as &dyn Scene, &LegoScene, &PalaceScene] {
+            for p in [Vec3::splat(0.3), Vec3::splat(0.5), Vec3::splat(0.7)] {
+                let c = scene.color(p, dir);
+                for ch in c {
+                    assert!((0.0..=1.0).contains(&ch), "{} channel {ch}", scene.name());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Gradient-descent training of the hash-grid NeRF against a procedural
+//! ground truth — the substitute for the paper's pre-trained Instant-NGP
+//! checkpoints (needed by the Fig. 20(a) quantization/PSNR study).
+
+use crate::camera::Camera;
+use crate::psnr::Image;
+use crate::render::{composite, composite_backward, sigmoid, softplus, NgpModel, ShadedSample};
+use crate::sampling::sample_ray;
+use crate::scene::Scene;
+use rand::{Rng, SeedableRng};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Optimizer steps.
+    pub iters: usize,
+    /// Rays per step.
+    pub batch_rays: usize,
+    /// Samples per ray.
+    pub samples_per_ray: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Training-view image resolution.
+    pub image_size: usize,
+    /// Number of orbit training views.
+    pub views: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// A quick configuration used by tests (seconds, not minutes).
+    pub fn quick() -> Self {
+        TrainConfig {
+            iters: 250,
+            batch_rays: 96,
+            samples_per_ray: 16,
+            lr: 6e-3,
+            image_size: 24,
+            views: 4,
+            seed: 42,
+        }
+    }
+
+    /// The configuration used by the Fig. 20(a) bench.
+    pub fn standard() -> Self {
+        TrainConfig {
+            iters: 1200,
+            batch_rays: 160,
+            samples_per_ray: 24,
+            lr: 5e-3,
+            image_size: 40,
+            views: 6,
+            seed: 42,
+        }
+    }
+}
+
+/// Loss curve and summary from a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainStats {
+    /// Mean batch loss every 10 iterations.
+    pub losses: Vec<f32>,
+    /// Final smoothed loss.
+    pub final_loss: f32,
+}
+
+/// Simple Adam state over a flat parameter vector.
+#[derive(Debug, Clone)]
+struct Adam {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: i32,
+}
+
+impl Adam {
+    fn new(n: usize) -> Self {
+        Adam { m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+    }
+
+    fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        const B1: f32 = 0.9;
+        const B2: f32 = 0.99;
+        const EPS: f32 = 1e-8;
+        self.t += 1;
+        let bc1 = 1.0 - B1.powi(self.t);
+        let bc2 = 1.0 - B2.powi(self.t);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = B1 * self.m[i] + (1.0 - B1) * g;
+            self.v[i] = B2 * self.v[i] + (1.0 - B2) * g * g;
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            params[i] -= lr * mhat / (vhat.sqrt() + EPS);
+        }
+    }
+}
+
+/// Trains `model` to reproduce `scene` from `cfg.views` orbit viewpoints.
+///
+/// Ground-truth pixels come from the analytic reference renderer; the loss
+/// is the MSE between composited and reference colors. Gradients flow
+/// through the compositing equation, the sigmoid/softplus heads, the MLP
+/// and the trilinear hash-grid interpolation.
+pub fn train_ngp(scene: &dyn Scene, model: &mut NgpModel, cfg: &TrainConfig) -> TrainStats {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    // Pre-render ground-truth views.
+    let cameras: Vec<Camera> = (0..cfg.views)
+        .map(|i| Camera::orbit(i as f32 * std::f32::consts::TAU / cfg.views as f32, 1.6, 0.95))
+        .collect();
+    let truths: Vec<Image> = cameras
+        .iter()
+        .map(|c| crate::render::render_reference(scene, c, cfg.image_size, cfg.image_size, 48))
+        .collect();
+
+    let mut mlp_adam = Adam::new(model.mlp.param_count());
+    let mut grid_adam = Adam::new(model.grid.param_count());
+
+    let mut losses = Vec::new();
+    let mut running = 0.0f32;
+    for iter in 0..cfg.iters {
+        let mut mlp_grads = model.mlp.zero_grads();
+        let mut grid_grads = model.grid.zero_grad();
+        let mut batch_loss = 0.0f32;
+
+        for _ in 0..cfg.batch_rays {
+            let view = rng.gen_range(0..cfg.views);
+            let px = rng.gen_range(0..cfg.image_size);
+            let py = rng.gen_range(0..cfg.image_size);
+            let ray = cameras[view].ray(px, py, cfg.image_size, cfg.image_size);
+            let gt = truths[view].get(px, py);
+            let samples = sample_ray(&ray, cfg.samples_per_ray, None);
+            if samples.is_empty() {
+                continue;
+            }
+            // Forward: encode → MLP → heads → composite.
+            let mut encs = Vec::with_capacity(samples.len());
+            let mut caches = Vec::with_capacity(samples.len());
+            let mut raws = Vec::with_capacity(samples.len());
+            let mut shaded = Vec::with_capacity(samples.len());
+            for s in &samples {
+                let enc = model.grid.encode(s.position);
+                let (raw, cache) = model.mlp.forward_cached(&enc);
+                shaded.push(ShadedSample {
+                    sigma: softplus(raw[0]),
+                    color: [sigmoid(raw[1]), sigmoid(raw[2]), sigmoid(raw[3])],
+                    delta: s.delta,
+                });
+                encs.push(enc);
+                caches.push(cache);
+                raws.push(raw);
+            }
+            let c = composite(&shaded);
+            let d_out = [
+                2.0 * (c[0] - gt[0]) / 3.0,
+                2.0 * (c[1] - gt[1]) / 3.0,
+                2.0 * (c[2] - gt[2]) / 3.0,
+            ];
+            batch_loss += ((c[0] - gt[0]).powi(2) + (c[1] - gt[1]).powi(2)
+                + (c[2] - gt[2]).powi(2))
+                / 3.0;
+
+            // Backward.
+            let (d_sigma, d_color) = composite_backward(&shaded, d_out);
+            for (i, s) in samples.iter().enumerate() {
+                // Head gradients: σ = softplus(z0), c = sigmoid(z1..3).
+                let mut d_raw = vec![0.0f32; 4];
+                d_raw[0] = d_sigma[i] * sigmoid(raws[i][0]);
+                for ch in 0..3 {
+                    let cch = shaded[i].color[ch];
+                    d_raw[1 + ch] = d_color[i][ch] * cch * (1.0 - cch);
+                }
+                if d_raw.iter().all(|&v| v == 0.0) {
+                    continue;
+                }
+                let d_enc = model.mlp.backward(&caches[i], &d_raw, &mut mlp_grads);
+                model.grid.accumulate_grad(s.position, &d_enc, &mut grid_grads);
+            }
+        }
+
+        // Scale by batch size and update.
+        let scale = 1.0 / cfg.batch_rays as f32;
+        let (mut mp, mut mg) = flatten_mlp(model, &mlp_grads, scale);
+        mlp_adam.step(&mut mp, &mg, cfg.lr);
+        unflatten_mlp(model, &mp);
+        mg.clear();
+
+        let mut gp: Vec<f32> = model.grid.tables().iter().flatten().copied().collect();
+        let gg: Vec<f32> = grid_grads.iter().flatten().map(|&g| g * scale).collect();
+        grid_adam.step(&mut gp, &gg, cfg.lr * 2.0);
+        let mut off = 0;
+        for t in model.grid.tables_mut() {
+            let len = t.len();
+            t.copy_from_slice(&gp[off..off + len]);
+            off += len;
+        }
+
+        running = batch_loss / cfg.batch_rays as f32;
+        if iter % 10 == 0 {
+            losses.push(running);
+        }
+    }
+    TrainStats { losses, final_loss: running }
+}
+
+fn flatten_mlp(
+    model: &NgpModel,
+    grads: &crate::mlp::MlpGrads,
+    scale: f32,
+) -> (Vec<f32>, Vec<f32>) {
+    let mut p = Vec::with_capacity(model.mlp.param_count());
+    let mut g = Vec::with_capacity(model.mlp.param_count());
+    for (li, layer) in model.mlp.layers().iter().enumerate() {
+        p.extend_from_slice(layer.weights.as_slice());
+        p.extend_from_slice(&layer.bias);
+        g.extend(grads.weights[li].as_slice().iter().map(|&v| v * scale));
+        g.extend(grads.bias[li].iter().map(|&v| v * scale));
+    }
+    (p, g)
+}
+
+fn unflatten_mlp(model: &mut NgpModel, flat: &[f32]) {
+    let mut off = 0;
+    for layer in model.mlp.layers_mut() {
+        let wn = layer.weights.len();
+        layer.weights.as_mut_slice().copy_from_slice(&flat[off..off + wn]);
+        off += wn;
+        let bn = layer.bias.len();
+        layer.bias.copy_from_slice(&flat[off..off + bn]);
+        off += bn;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashgrid::HashGridConfig;
+    use crate::psnr::psnr;
+    use crate::render::render_reference;
+    use crate::scene::MicScene;
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut model = NgpModel::new(HashGridConfig::small(), 16, 77);
+        let cfg = TrainConfig { iters: 120, ..TrainConfig::quick() };
+        let stats = train_ngp(&MicScene, &mut model, &cfg);
+        let first = stats.losses.first().copied().unwrap();
+        let last = stats.final_loss;
+        assert!(
+            last < first * 0.5,
+            "loss should at least halve: {first} → {last} ({:?})",
+            stats.losses
+        );
+    }
+
+    #[test]
+    fn trained_model_beats_untrained_on_psnr() {
+        let cfg = TrainConfig::quick();
+        let cam = Camera::orbit(0.5, 1.6, 0.95);
+        let truth = render_reference(&MicScene, &cam, 20, 20, 32);
+
+        let untrained = NgpModel::new(HashGridConfig::small(), 16, 5);
+        let img_before = untrained.render(&cam, 20, 20, cfg.samples_per_ray, None);
+        let psnr_before = psnr(&truth, &img_before);
+
+        let mut model = NgpModel::new(HashGridConfig::small(), 16, 5);
+        train_ngp(&MicScene, &mut model, &cfg);
+        let img_after = model.render(&cam, 20, 20, cfg.samples_per_ray, None);
+        let psnr_after = psnr(&truth, &img_after);
+
+        assert!(
+            psnr_after > psnr_before + 3.0,
+            "training should gain >3 dB: {psnr_before:.1} → {psnr_after:.1}"
+        );
+    }
+}

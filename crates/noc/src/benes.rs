@@ -1,0 +1,272 @@
+//! Benes permutation network — the distribution fabric of the SIGMA
+//! baseline (Qin et al., HPCA 2020).
+//!
+//! An `N×N` Benes network (N a power of two) has `2·log2(N) − 1` stages of
+//! `N/2` 2×2 switches and can realize *any* permutation. SIGMA uses it to
+//! scatter irregular sparse operands onto its flexible MAC substrate. The
+//! implementation below routes permutations with the classic looping
+//! algorithm and functionally carries values through the routed switches.
+
+/// A Benes network over `n` terminals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Benes {
+    n: usize,
+}
+
+/// Routed switch configuration: `stages × n/2` crossed/straight bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenesRouting {
+    n: usize,
+    /// `settings[stage][switch]`: `true` = crossed.
+    settings: Vec<Vec<bool>>,
+}
+
+impl Benes {
+    /// Creates an `n`-terminal network.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two ≥ 2.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "Benes size must be a power of two ≥ 2");
+        Benes { n }
+    }
+
+    /// Terminal count.
+    pub fn terminals(&self) -> usize {
+        self.n
+    }
+
+    /// Number of switch stages: `2·log2(n) − 1`.
+    pub fn stages(&self) -> usize {
+        2 * self.n.trailing_zeros() as usize - 1
+    }
+
+    /// Total 2×2 switches.
+    pub fn switch_count(&self) -> usize {
+        self.stages() * self.n / 2
+    }
+
+    /// Routes `dest` (input `i` arrives at output `dest[i]`) and returns
+    /// the switch configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is not a permutation of `0..n`.
+    pub fn route(&self, dest: &[usize]) -> BenesRouting {
+        self.check_permutation(dest);
+        let mut settings = vec![Vec::new(); self.stages()];
+        let dummy: Vec<u32> = (0..self.n as u32).collect();
+        route_and_carry(dest, &dummy, 0, &mut settings);
+        BenesRouting { n: self.n, settings }
+    }
+
+    /// Routes `dest` and carries `values` through the network: returns the
+    /// vector at the outputs, i.e. `out[dest[i]] == values[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is not a permutation or `values.len() != n`.
+    pub fn permute<T: Copy>(&self, dest: &[usize], values: &[T]) -> Vec<T> {
+        self.check_permutation(dest);
+        assert_eq!(values.len(), self.n, "one value per input terminal");
+        let mut settings = vec![Vec::new(); self.stages()];
+        route_and_carry(dest, values, 0, &mut settings)
+    }
+
+    fn check_permutation(&self, dest: &[usize]) {
+        assert_eq!(dest.len(), self.n, "permutation length must equal terminal count");
+        let mut seen = vec![false; self.n];
+        for &d in dest {
+            assert!(d < self.n && !seen[d], "dest must be a permutation");
+            seen[d] = true;
+        }
+    }
+}
+
+impl BenesRouting {
+    /// Switches set to *crossed* (a proxy for switching activity).
+    pub fn crossed_count(&self) -> usize {
+        self.settings.iter().map(|s| s.iter().filter(|&&b| b).count()).sum()
+    }
+
+    /// `settings[stage][switch]`, `true` = crossed.
+    pub fn settings(&self) -> &[Vec<bool>] {
+        &self.settings
+    }
+}
+
+/// Routes a (sub-)permutation with the looping algorithm, appends the
+/// switch bits of this recursion level to `settings`, and returns the
+/// values as they appear at this subnetwork's outputs
+/// (`out[dest[i]] = values[i]`).
+fn route_and_carry<T: Copy>(
+    dest: &[usize],
+    values: &[T],
+    depth: usize,
+    settings: &mut [Vec<bool>],
+) -> Vec<T> {
+    let n = dest.len();
+    let mid = settings.len() / 2;
+    if n == 2 {
+        let crossed = dest[0] == 1;
+        settings[mid].push(crossed);
+        return if crossed { vec![values[1], values[0]] } else { values.to_vec() };
+    }
+    let half = n / 2;
+    let mut in_sw: Vec<Option<bool>> = vec![None; half]; // true = crossed
+    let mut out_sw: Vec<Option<bool>> = vec![None; half];
+    // inverse permutation: src[output] = input
+    let mut src = vec![0usize; n];
+    for (i, &d) in dest.iter().enumerate() {
+        src[d] = i;
+    }
+
+    // Looping algorithm: fix an undecided input switch, then alternate
+    // between forced output-switch and input-switch constraints.
+    loop {
+        let Some(start) = in_sw.iter().position(|s| s.is_none()) else { break };
+        in_sw[start] = Some(false);
+        let mut frontier = vec![2 * start, 2 * start + 1];
+        while let Some(input) = frontier.pop() {
+            let k = input / 2;
+            let crossed = in_sw[k].expect("input switch decided");
+            // Which subnet this input takes: upper=false, lower=true.
+            let lower = (input % 2 == 1) != crossed;
+            let output = dest[input];
+            let m = output / 2;
+            // out_sw[m] = false ⇒ upper→2m, lower→2m+1; true flips.
+            let needed = if lower { output % 2 == 0 } else { output % 2 == 1 };
+            match out_sw[m] {
+                Some(v) => debug_assert_eq!(v, needed, "looping conflict at output {m}"),
+                None => {
+                    out_sw[m] = Some(needed);
+                    // The sibling output comes from the other subnet;
+                    // force its source input's switch accordingly.
+                    let sibling = 2 * m + 1 - output % 2;
+                    let sib_input = src[sibling];
+                    let need_crossed = (sib_input % 2 == 1) == lower;
+                    let sk = sib_input / 2;
+                    match in_sw[sk] {
+                        Some(v) => debug_assert_eq!(v, need_crossed, "looping conflict"),
+                        None => {
+                            in_sw[sk] = Some(need_crossed);
+                            frontier.push(sib_input ^ 1);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let in_bits: Vec<bool> = in_sw.iter().map(|s| s.unwrap_or(false)).collect();
+    let out_bits: Vec<bool> = out_sw.iter().map(|s| s.unwrap_or(false)).collect();
+
+    // Split into subnetwork problems, carrying values along.
+    let mut up_dest = vec![0usize; half];
+    let mut low_dest = vec![0usize; half];
+    let mut up_tmp: Vec<Option<T>> = vec![None; half];
+    let mut low_tmp: Vec<Option<T>> = vec![None; half];
+    for input in 0..n {
+        let k = input / 2;
+        let lower = (input % 2 == 1) != in_bits[k];
+        let m = dest[input] / 2;
+        if lower {
+            low_dest[k] = m;
+            low_tmp[k] = Some(values[input]);
+        } else {
+            up_dest[k] = m;
+            up_tmp[k] = Some(values[input]);
+        }
+    }
+    let up_in: Vec<T> = up_tmp.into_iter().map(|v| v.expect("one upper value per switch")).collect();
+    let low_in: Vec<T> =
+        low_tmp.into_iter().map(|v| v.expect("one lower value per switch")).collect();
+
+    let last = settings.len() - 1;
+    settings[depth].extend_from_slice(&in_bits);
+    settings[last - depth].extend_from_slice(&out_bits);
+
+    let up_out = route_and_carry(&up_dest, &up_in, depth + 1, settings);
+    let low_out = route_and_carry(&low_dest, &low_in, depth + 1, settings);
+
+    let mut out = Vec::with_capacity(n);
+    for m in 0..half {
+        if out_bits[m] {
+            out.push(low_out[m]);
+            out.push(up_out[m]);
+        } else {
+            out.push(up_out[m]);
+            out.push(low_out[m]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stage_and_switch_counts() {
+        let b = Benes::new(64);
+        assert_eq!(b.stages(), 11);
+        assert_eq!(b.switch_count(), 11 * 32);
+        assert_eq!(Benes::new(2).stages(), 1);
+    }
+
+    #[test]
+    fn identity_permutation_is_straight() {
+        let b = Benes::new(8);
+        let dest: Vec<usize> = (0..8).collect();
+        let out = b.permute(&dest, &[10, 11, 12, 13, 14, 15, 16, 17]);
+        assert_eq!(out, vec![10, 11, 12, 13, 14, 15, 16, 17]);
+    }
+
+    #[test]
+    fn reversal_permutation_routes() {
+        let b = Benes::new(8);
+        let dest: Vec<usize> = (0..8).rev().collect();
+        let vals: Vec<u32> = (0..8).collect();
+        let out = b.permute(&dest, &vals);
+        assert_eq!(out, vec![7, 6, 5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn routes_random_permutations_functionally() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for n in [2usize, 4, 8, 16, 32, 64] {
+            let b = Benes::new(n);
+            for _ in 0..25 {
+                let mut dest: Vec<usize> = (0..n).collect();
+                dest.shuffle(&mut rng);
+                let vals: Vec<usize> = (1000..1000 + n).collect();
+                let out = b.permute(&dest, &vals);
+                for i in 0..n {
+                    assert_eq!(out[dest[i]], vals[i], "n={n}, dest={dest:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn settings_have_expected_shape() {
+        let b = Benes::new(16);
+        let mut dest: Vec<usize> = (0..16).collect();
+        dest.rotate_left(3);
+        let routing = b.route(&dest);
+        assert_eq!(routing.settings().len(), b.stages());
+        for s in routing.settings() {
+            assert_eq!(s.len(), 8, "each stage has n/2 switches");
+        }
+        assert!(routing.crossed_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn rejects_non_permutations() {
+        Benes::new(4).route(&[0, 0, 1, 2]);
+    }
+}

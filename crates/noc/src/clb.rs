@@ -1,0 +1,128 @@
+use fnr_tensor::Precision;
+
+/// Column-level bypass link (CLB) — the unicast fabric inside a
+/// bit-scalable MAC unit (paper §4.1.3, Fig. 10).
+///
+/// The fused unit's operand port is provisioned for 4-bit mode (64 bits per
+/// operand per cycle). Without help, higher-precision modes use only a
+/// fraction of it (16-bit: 25 %, 8-bit: 50 %). The CLB transmits data in
+/// 16-bit units over 16 wired links and *forwards* subwords to the
+/// sub-multiplier rows that need copies through bypassable links —
+/// broadcast in 16-bit mode, pairwise multicast in 8-bit mode — keeping
+/// bandwidth utilization at 100 % in every mode with a single data fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Clb {
+    mode: Precision,
+}
+
+impl Clb {
+    /// Wired 16-bit links per operand port.
+    pub const LINKS: usize = 16;
+
+    /// Creates a CLB operating in `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is FP32.
+    pub fn new(mode: Precision) -> Self {
+        assert!(mode != Precision::Fp32, "CLB serves the integer MAC unit");
+        Clb { mode }
+    }
+
+    /// Operating precision.
+    pub fn mode(&self) -> Precision {
+        self.mode
+    }
+
+    /// Distinct 16-bit subwords fetched per operand per cycle in this mode
+    /// (1 / 2 / 4 for INT16 / INT8 / INT4).
+    pub fn fetch_units(&self) -> usize {
+        match self.mode {
+            Precision::Int16 => 1,
+            Precision::Int8 => 2,
+            Precision::Int4 => 4,
+            Precision::Fp32 => unreachable!(),
+        }
+    }
+
+    /// Copies of each fetched subword made by the bypass links
+    /// (4 / 2 / 1 — broadcast, multicast, unicast; Fig. 10(b)).
+    pub fn forward_fanout(&self) -> usize {
+        4 / self.fetch_units()
+    }
+
+    /// Bandwidth utilization of the operand port *with* the CLB: always 1.0
+    /// — the defining property of the link (§4.1.3).
+    pub fn bandwidth_utilization(&self) -> f64 {
+        // fetch_units × 16 bits transmitted, then fanned out to fill the
+        // full 64-bit consumption of the sub-multiplier rows.
+        (self.fetch_units() * self.forward_fanout()) as f64 * 16.0 / 64.0
+    }
+
+    /// Bandwidth utilization *without* the CLB (raw port): 25/50/100 %.
+    pub fn bandwidth_utilization_without(&self) -> f64 {
+        self.fetch_units() as f64 * 16.0 / 64.0
+    }
+
+    /// Functionally distributes the fetched subwords to the four
+    /// sub-multiplier rows: returns, for each row, the 16-bit subword it
+    /// receives (Fig. 10(c)–(d) mapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fetched.len() != self.fetch_units()`.
+    pub fn distribute(&self, fetched: &[u16]) -> [u16; 4] {
+        assert_eq!(fetched.len(), self.fetch_units(), "one subword per fetch unit");
+        let mut rows = [0u16; 4];
+        let fanout = self.forward_fanout();
+        for (u, &w) in fetched.iter().enumerate() {
+            for f in 0..fanout {
+                rows[u * fanout + f] = w;
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_without_clb_matches_paper() {
+        assert!((Clb::new(Precision::Int16).bandwidth_utilization_without() - 0.25).abs() < 1e-12);
+        assert!((Clb::new(Precision::Int8).bandwidth_utilization_without() - 0.50).abs() < 1e-12);
+        assert!((Clb::new(Precision::Int4).bandwidth_utilization_without() - 1.00).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_with_clb_is_always_full() {
+        for p in Precision::INT_MODES {
+            assert!((Clb::new(p).bandwidth_utilization() - 1.0).abs() < 1e-12, "{p}");
+        }
+    }
+
+    #[test]
+    fn int16_broadcasts_one_subword_to_all_rows() {
+        let rows = Clb::new(Precision::Int16).distribute(&[0xB0B0]);
+        assert_eq!(rows, [0xB0B0; 4]);
+    }
+
+    #[test]
+    fn int8_multicasts_pairs() {
+        let rows = Clb::new(Precision::Int8).distribute(&[0xAAAA, 0xFFFF]);
+        assert_eq!(rows, [0xAAAA, 0xAAAA, 0xFFFF, 0xFFFF]);
+    }
+
+    #[test]
+    fn int4_unicasts_each_row() {
+        let rows = Clb::new(Precision::Int4).distribute(&[1, 2, 3, 4]);
+        assert_eq!(rows, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one subword per fetch unit")]
+    fn wrong_fetch_width_panics() {
+        Clb::new(Precision::Int16).distribute(&[1, 2]);
+    }
+}

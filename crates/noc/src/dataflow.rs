@@ -1,0 +1,94 @@
+use std::fmt;
+
+/// The three distribution dataflows of the paper (Fig. 5: 'U', 'M', 'B').
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataflow {
+    /// One source value to one destination.
+    Unicast,
+    /// One source value to a subset of destinations.
+    Multicast,
+    /// One source value to every destination.
+    Broadcast,
+}
+
+impl fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dataflow::Unicast => write!(f, "U"),
+            Dataflow::Multicast => write!(f, "M"),
+            Dataflow::Broadcast => write!(f, "B"),
+        }
+    }
+}
+
+/// Classifies a destination set over `n_leaves` endpoints.
+///
+/// # Panics
+///
+/// Panics if `dests` is empty — a delivery must go somewhere.
+pub fn classify_dests(dests: &[usize], n_leaves: usize) -> Dataflow {
+    assert!(!dests.is_empty(), "a delivery needs at least one destination");
+    if dests.len() == 1 {
+        Dataflow::Unicast
+    } else if dests.len() == n_leaves {
+        Dataflow::Broadcast
+    } else {
+        Dataflow::Multicast
+    }
+}
+
+/// One value delivery: a value identifier and the leaf set that must
+/// receive it in this wavefront.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Identifier of the source value (used for feedback-reuse detection).
+    pub value_id: u64,
+    /// Destination leaves (MAC columns / units), sorted ascending.
+    pub dests: Vec<usize>,
+}
+
+impl Delivery {
+    /// Creates a delivery, sorting and deduplicating the destination list.
+    pub fn new(value_id: u64, mut dests: Vec<usize>) -> Self {
+        dests.sort_unstable();
+        dests.dedup();
+        Delivery { value_id, dests }
+    }
+
+    /// Dataflow class of this delivery over `n_leaves` endpoints.
+    pub fn dataflow(&self, n_leaves: usize) -> Dataflow {
+        classify_dests(&self.dests, n_leaves)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify_dests(&[3], 8), Dataflow::Unicast);
+        assert_eq!(classify_dests(&[0, 5], 8), Dataflow::Multicast);
+        assert_eq!(classify_dests(&(0..8).collect::<Vec<_>>(), 8), Dataflow::Broadcast);
+    }
+
+    #[test]
+    fn delivery_sorts_and_dedups() {
+        let d = Delivery::new(7, vec![5, 1, 5, 3]);
+        assert_eq!(d.dests, vec![1, 3, 5]);
+        assert_eq!(d.dataflow(8), Dataflow::Multicast);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one destination")]
+    fn empty_dest_panics() {
+        classify_dests(&[], 4);
+    }
+
+    #[test]
+    fn display_letters_match_paper() {
+        assert_eq!(Dataflow::Unicast.to_string(), "U");
+        assert_eq!(Dataflow::Multicast.to_string(), "M");
+        assert_eq!(Dataflow::Broadcast.to_string(), "B");
+    }
+}

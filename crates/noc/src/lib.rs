@@ -1,0 +1,35 @@
+//! Flexible network-on-chip substrate for the FlexNeRFer reproduction.
+//!
+//! Implements the interconnect family of the paper's §4.1:
+//!
+//! * [`DistTree`] — the hierarchical mesh distribution tree in both the
+//!   Eyeriss-v2 baseline flavour (HM-NoC, 2×2 switch nodes) and FlexNeRFer's
+//!   extension (HMF-NoC: 3×3 switch nodes plus a feedback loop that lets
+//!   data move between MAC units without re-reading the global buffer);
+//! * [`Mesh1d`] — the 1-D mesh used for unicast operand streams;
+//! * [`Clb`] — the column-level bypass links inside a MAC unit that keep
+//!   operand-port bandwidth utilization at 100 % across precision modes;
+//! * [`Benes`] — the Benes permutation network used by the SIGMA baseline;
+//! * traffic/energy accounting that reproduces the ~2.5× on-chip-memory
+//!   energy advantage of HMF over HM (§4.1.2);
+//! * the related-work feature matrix of Table 2.
+
+#![warn(missing_docs)]
+
+mod benes;
+mod clb;
+mod dataflow;
+mod mesh;
+mod ppa;
+mod related;
+mod traffic;
+mod tree;
+
+pub use benes::Benes;
+pub use clb::Clb;
+pub use dataflow::{classify_dests, Dataflow, Delivery};
+pub use mesh::Mesh1d;
+pub use ppa::{benes_parts_list, clb_parts_list, dist_tree_parts_list, mesh1d_parts_list};
+pub use related::{related_works_table2, NocFeatureRow};
+pub use traffic::{NocEnergyParams, TrafficStats};
+pub use tree::{DistTree, NocKind, RoutePlan};

@@ -1,0 +1,100 @@
+use crate::traffic::TrafficStats;
+
+/// The 1-D mesh used for unicast operand streams (paper §4.1.2: "the
+/// elements of one matrix are transmitted in a unicast manner" over a 1-D
+/// mesh, while the other matrix flows through the HMF tree).
+///
+/// `lanes` parallel pipelined links each deliver one value per cycle to its
+/// own endpoint; values can also shift to a neighbouring lane (the
+/// "movement between MACs" arrows of Fig. 9(a)).
+#[derive(Debug, Clone)]
+pub struct Mesh1d {
+    lanes: usize,
+    stats: TrafficStats,
+}
+
+impl Mesh1d {
+    /// Creates a mesh with `lanes` parallel links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "mesh needs at least one lane");
+        Mesh1d { lanes, stats: TrafficStats::default() }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Accumulated traffic.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Clears traffic statistics.
+    pub fn reset(&mut self) {
+        self.stats = TrafficStats::default();
+    }
+
+    /// Delivers one wavefront: `values[i]`, when present, arrives at lane
+    /// `i`. Each present value costs one buffer read and one hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != lanes`.
+    pub fn deliver(&mut self, values: &[Option<u64>]) -> Vec<Option<u64>> {
+        assert_eq!(values.len(), self.lanes, "one slot per lane");
+        let n = values.iter().flatten().count() as u64;
+        self.stats.sram_reads += n;
+        self.stats.noc_hops += n;
+        self.stats.wavefronts += 1;
+        values.to_vec()
+    }
+
+    /// Shifts every present value one lane toward higher indices (neighbour
+    /// exchange), costing one hop per moved value and no buffer reads.
+    pub fn shift_up(&mut self, values: &[Option<u64>]) -> Vec<Option<u64>> {
+        assert_eq!(values.len(), self.lanes, "one slot per lane");
+        let mut out = vec![None; self.lanes];
+        for i in 0..self.lanes.saturating_sub(1) {
+            if let Some(v) = values[i] {
+                out[i + 1] = Some(v);
+                self.stats.noc_hops += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_place() {
+        let mut m = Mesh1d::new(4);
+        let out = m.deliver(&[Some(1), None, Some(3), None]);
+        assert_eq!(out, vec![Some(1), None, Some(3), None]);
+        assert_eq!(m.stats().sram_reads, 2);
+        assert_eq!(m.stats().noc_hops, 2);
+    }
+
+    #[test]
+    fn shift_moves_without_buffer_reads() {
+        let mut m = Mesh1d::new(4);
+        let out = m.shift_up(&[Some(9), None, Some(7), None]);
+        assert_eq!(out, vec![None, Some(9), None, Some(7)]);
+        assert_eq!(m.stats().sram_reads, 0);
+        assert_eq!(m.stats().noc_hops, 2);
+    }
+
+    #[test]
+    fn last_lane_value_drops_on_shift() {
+        let mut m = Mesh1d::new(2);
+        let out = m.shift_up(&[None, Some(5)]);
+        assert_eq!(out, vec![None, None]);
+    }
+}

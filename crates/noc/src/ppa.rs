@@ -1,0 +1,108 @@
+//! Parts-list (area/power) builders for the NoC structures.
+
+use crate::tree::NocKind;
+use fnr_hw::{PartsList, TechParams};
+
+/// Parts list of a distribution tree over `leaves` endpoints with a
+/// `width_bits` datapath.
+///
+/// HM nodes are 2×2 switches (Eyeriss v2); HMF nodes are 3×3 switches with
+/// the extra feedback port (paper Fig. 9(b)) plus the feedback return path.
+pub fn dist_tree_parts_list(
+    tech: &TechParams,
+    leaves: usize,
+    width_bits: usize,
+    kind: NocKind,
+) -> PartsList {
+    let depth = (usize::BITS - (leaves.max(2) - 1).leading_zeros()) as usize;
+    let nodes = ((1usize << depth) - 1) as u64;
+    let mut list = PartsList::new(match kind {
+        NocKind::Hm => "HM-NoC distribution tree",
+        NocKind::Hmf => "HMF-NoC distribution tree",
+    });
+    match kind {
+        NocKind::Hm => {
+            list.add_pair("switch nodes (2x2)", nodes, tech.switch(2, 2, width_bits));
+        }
+        NocKind::Hmf => {
+            list.add_pair("switch nodes (3x3)", nodes, tech.switch(3, 3, width_bits));
+            list.add_pair("feedback links", 1, tech.register(width_bits));
+        }
+    }
+    list.add_pair("pipeline registers", nodes, tech.register(width_bits));
+    list
+}
+
+/// Parts list of a 1-D mesh with `lanes` links of `width_bits`.
+pub fn mesh1d_parts_list(tech: &TechParams, lanes: usize, width_bits: usize) -> PartsList {
+    let mut list = PartsList::new("1D mesh");
+    list.add_pair("lane registers", lanes as u64, tech.register(width_bits));
+    list.add_pair("lane muxes", lanes as u64, tech.mux(width_bits));
+    list
+}
+
+/// Parts list of the column-level bypass links of one MAC unit: 16 wired
+/// 16-bit links with bypassable forwarding muxes (paper Fig. 10(b)).
+pub fn clb_parts_list(tech: &TechParams) -> PartsList {
+    let mut list = PartsList::new("column-level bypass link");
+    // One staging register per sub-multiplier row; the 16 links themselves
+    // are wires with a bypass mux each (Fig. 10(b)).
+    list.add_pair("row staging registers", 4, tech.register(16));
+    list.add_pair("bypass muxes", 16, tech.mux(16));
+    list
+}
+
+/// Parts list of an `n`-terminal Benes network with a `width_bits`
+/// datapath (SIGMA's distribution fabric).
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two ≥ 2.
+pub fn benes_parts_list(tech: &TechParams, n: usize, width_bits: usize) -> PartsList {
+    assert!(n >= 2 && n.is_power_of_two(), "Benes size must be a power of two");
+    let stages = 2 * n.trailing_zeros() as u64 - 1;
+    let switches = stages * (n as u64) / 2;
+    let mut list = PartsList::new("Benes network");
+    list.add_pair("switches (2x2)", switches, tech.switch(2, 2, width_bits));
+    list.add_pair("stage registers", stages * (n as u64), tech.register(width_bits));
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hmf_nodes_cost_more_than_hm() {
+        let t = TechParams::CMOS_28NM;
+        let hm = dist_tree_parts_list(&t, 64, 64, NocKind::Hm).subtotal();
+        let hmf = dist_tree_parts_list(&t, 64, 64, NocKind::Hmf).subtotal();
+        assert!(hmf.area.0 > hm.area.0, "3x3 switches are larger than 2x2");
+        // But not outrageously so: the 9/4 crosspoint ratio bounds it.
+        assert!(hmf.area.0 < hm.area.0 * 2.5);
+    }
+
+    #[test]
+    fn benes_grows_n_log_n() {
+        let t = TechParams::CMOS_28NM;
+        let small = benes_parts_list(&t, 16, 16).subtotal().area.0;
+        let big = benes_parts_list(&t, 64, 16).subtotal().area.0;
+        // 64·11/2 vs 16·7/2 switches → ~6.3×.
+        assert!(big / small > 5.0 && big / small < 8.0, "ratio {}", big / small);
+    }
+
+    #[test]
+    fn clb_is_small() {
+        let t = TechParams::CMOS_28NM;
+        let clb = clb_parts_list(&t).subtotal();
+        assert!(clb.area.0 < 1500.0, "CLB must stay a small fraction of a MAC unit");
+    }
+
+    #[test]
+    fn mesh_scales_linearly() {
+        let t = TechParams::CMOS_28NM;
+        let m1 = mesh1d_parts_list(&t, 16, 16).subtotal().area.0;
+        let m4 = mesh1d_parts_list(&t, 64, 16).subtotal().area.0;
+        assert!((m4 / m1 - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,140 @@
+//! The related-work feature matrix of the paper's Table 2.
+
+use std::fmt;
+
+/// One row of Table 2: which flexibility axes a flexible-NoC proposal
+/// covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NocFeatureRow {
+    /// Work name.
+    pub name: &'static str,
+    /// Supports multiple dataflows?
+    pub dataflow_flexibility: bool,
+    /// The dataflow modes it supports (paper's notation: U/M/B or IP/OP/RP).
+    pub dataflow_modes: &'static str,
+    /// Supports more than one sparsity format?
+    pub multi_sparsity_format: bool,
+    /// The formats it supports.
+    pub formats: &'static str,
+    /// Supports multiple data bit-widths?
+    pub bit_flexibility: bool,
+    /// The bit-widths it supports.
+    pub bit_widths: &'static str,
+}
+
+impl fmt::Display for NocFeatureRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn mark(b: bool) -> &'static str {
+            if b {
+                "yes"
+            } else {
+                "no"
+            }
+        }
+        write!(
+            f,
+            "{:<18} dataflow: {:>3} ({:<10}) multi-format: {:>3} ({:<24}) bit-flex: {:>3} ({})",
+            self.name,
+            mark(self.dataflow_flexibility),
+            self.dataflow_modes,
+            mark(self.multi_sparsity_format),
+            self.formats,
+            mark(self.bit_flexibility),
+            self.bit_widths
+        )
+    }
+}
+
+/// The seven rows of Table 2 (six related works + FlexNeRFer).
+pub fn related_works_table2() -> Vec<NocFeatureRow> {
+    vec![
+        NocFeatureRow {
+            name: "Microswitch",
+            dataflow_flexibility: true,
+            dataflow_modes: "U, M, B",
+            multi_sparsity_format: false,
+            formats: "N/A",
+            bit_flexibility: false,
+            bit_widths: "-",
+        },
+        NocFeatureRow {
+            name: "Eyeriss v2",
+            dataflow_flexibility: true,
+            dataflow_modes: "U, M, B",
+            multi_sparsity_format: false,
+            formats: "N/A",
+            bit_flexibility: false,
+            bit_widths: "8",
+        },
+        NocFeatureRow {
+            name: "SIGMA",
+            dataflow_flexibility: true,
+            dataflow_modes: "U, M, B",
+            multi_sparsity_format: false,
+            formats: "Bitmap",
+            bit_flexibility: false,
+            bit_widths: "16",
+        },
+        NocFeatureRow {
+            name: "Flexagon",
+            dataflow_flexibility: true,
+            dataflow_modes: "IP, OP, RP",
+            multi_sparsity_format: false,
+            formats: "CSC / CSR",
+            bit_flexibility: false,
+            bit_widths: "-",
+        },
+        NocFeatureRow {
+            name: "Trapezoid",
+            dataflow_flexibility: true,
+            dataflow_modes: "IP, RP",
+            multi_sparsity_format: false,
+            formats: "CSC / CSR",
+            bit_flexibility: false,
+            bit_widths: "32",
+        },
+        NocFeatureRow {
+            name: "FEATHER",
+            dataflow_flexibility: true,
+            dataflow_modes: "U, M, B",
+            multi_sparsity_format: false,
+            formats: "N/A",
+            bit_flexibility: false,
+            bit_widths: "8",
+        },
+        NocFeatureRow {
+            name: "FlexNeRFer",
+            dataflow_flexibility: true,
+            dataflow_modes: "U, M, B",
+            multi_sparsity_format: true,
+            formats: "CSC/CSR, COO, Bitmap",
+            bit_flexibility: true,
+            bit_widths: "4, 8, 16",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_flexnerfer_covers_all_three_axes() {
+        let rows = related_works_table2();
+        assert_eq!(rows.len(), 7);
+        let full: Vec<&NocFeatureRow> = rows
+            .iter()
+            .filter(|r| r.dataflow_flexibility && r.multi_sparsity_format && r.bit_flexibility)
+            .collect();
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0].name, "FlexNeRFer");
+    }
+
+    #[test]
+    fn rows_render() {
+        for row in related_works_table2() {
+            let s = row.to_string();
+            assert!(s.contains(row.name));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+use fnr_hw::{DramSpec, TechParams};
+
+/// Shared physical configuration of a modelled accelerator array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayConfig {
+    /// Physical MAC-unit rows.
+    pub rows: usize,
+    /// Physical MAC-unit columns.
+    pub cols: usize,
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+    /// Local DRAM feeding the array.
+    pub dram: DramSpec,
+    /// Technology parameters for energy/PPA.
+    pub tech: TechParams,
+}
+
+impl ArrayConfig {
+    /// The paper's configuration: 64×64 units at 800 MHz over LPDDR3-1600.
+    pub fn paper_default() -> Self {
+        ArrayConfig {
+            rows: 64,
+            cols: 64,
+            clock_hz: 800.0e6,
+            dram: DramSpec::LPDDR3_1600_X64,
+            tech: TechParams::CMOS_28NM,
+        }
+    }
+
+    /// Physical MAC units.
+    pub fn units(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// DRAM bytes deliverable per clock cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram.bytes_per_cycle(self.clock_hz)
+    }
+
+    /// Converts cycles to seconds.
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz
+    }
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        ArrayConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = ArrayConfig::paper_default();
+        assert_eq!(c.units(), 4096);
+        assert!((c.dram_bytes_per_cycle() - 16.0).abs() < 1e-9);
+        assert!((c.seconds(800_000_000) - 1.0).abs() < 1e-12);
+    }
+}

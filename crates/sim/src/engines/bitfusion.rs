@@ -1,0 +1,110 @@
+use super::{stat_simulate, Compression, Engine, StatSpec};
+use crate::config::ArrayConfig;
+use crate::report::SimReport;
+use fnr_tensor::workload::{GemmClass, GemmOp};
+use fnr_tensor::Precision;
+
+/// Bit Fusion (Sharma et al., ISCA 2018): a bit-level dynamically
+/// composable dense systolic array. Supports INT4/8/16 but has no sparsity
+/// support — zeros are multiplied like everything else.
+#[derive(Debug, Clone)]
+pub struct BitFusionEngine {
+    cfg: ArrayConfig,
+}
+
+impl BitFusionEngine {
+    /// Engine with the paper's comparison configuration.
+    pub fn new(cfg: ArrayConfig) -> Self {
+        BitFusionEngine { cfg }
+    }
+}
+
+impl Engine for BitFusionEngine {
+    fn name(&self) -> &'static str {
+        "Bit Fusion"
+    }
+
+    fn config(&self) -> &ArrayConfig {
+        &self.cfg
+    }
+
+    fn exec_precision(&self, requested: Precision) -> Precision {
+        match requested {
+            Precision::Fp32 => Precision::Int16,
+            p => p,
+        }
+    }
+
+    fn supports_sparsity(&self) -> bool {
+        false
+    }
+
+    fn mapping_utilization(&self, op: &GemmOp) -> f64 {
+        match op.class {
+            GemmClass::RegularDense | GemmClass::Sparse => 0.75,
+            GemmClass::Irregular => 0.30,
+            GemmClass::Gemv => 0.08,
+        }
+    }
+
+    fn array_power_w(&self, precision: Precision) -> f64 {
+        // Table 3, Bit Fusion column: 5.8 / 5.3 / 4.8 W at INT4/8/16.
+        match self.exec_precision(precision) {
+            Precision::Int4 => 5.8,
+            Precision::Int8 => 5.3,
+            _ => 4.8,
+        }
+    }
+
+    fn simulate_gemm(&self, op: &GemmOp) -> SimReport {
+        let p = self.exec_precision(op.precision);
+        let lanes = self.cfg.units() * (p.throughput_factor() as usize);
+        let spec = StatSpec {
+            name: "Bit Fusion",
+            lanes,
+            skip_a: false,
+            skip_b: false,
+            utilization: self.mapping_utilization(op),
+            compression: Compression::Dense,
+            fetch_on_demand: false,
+            codec_bytes_per_cycle: None,
+            codec_serial_fraction: 0.0,
+            fill_cycles: 64, // systolic skew
+            active_power_w: self.array_power_w(p),
+            noc_pj_per_mac: 0.15,
+            sram_pj_per_byte: 0.8,
+        };
+        let mut op = *op;
+        op.precision = p;
+        stat_simulate(&self.cfg, &spec, &op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::test_op;
+
+    #[test]
+    fn precision_scales_throughput() {
+        let e = BitFusionEngine::new(ArrayConfig::paper_default());
+        let r16 = e.simulate_gemm(&test_op(8192, 512, 256, Precision::Int16, 0.0, 0.0, GemmClass::RegularDense));
+        let r4 = e.simulate_gemm(&test_op(8192, 512, 256, Precision::Int4, 0.0, 0.0, GemmClass::RegularDense));
+        assert!(r4.latency.compute * 8 < r16.latency.compute * 2, "INT4 ~16x lanes");
+    }
+
+    #[test]
+    fn no_sparsity_benefit() {
+        let e = BitFusionEngine::new(ArrayConfig::paper_default());
+        let d = e.simulate_gemm(&test_op(4096, 256, 256, Precision::Int8, 0.0, 0.0, GemmClass::Sparse));
+        let s = e.simulate_gemm(&test_op(4096, 256, 256, Precision::Int8, 0.9, 0.9, GemmClass::Sparse));
+        assert_eq!(d.cycles, s.cycles);
+    }
+
+    #[test]
+    fn gemv_utilization_collapses() {
+        let e = BitFusionEngine::new(ArrayConfig::paper_default());
+        let op = test_op(1, 4096, 256, Precision::Int16, 0.0, 0.0, GemmClass::Gemv);
+        assert!(e.mapping_utilization(&op) < 0.1, "systolic GEMV is inefficient");
+    }
+}

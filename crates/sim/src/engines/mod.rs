@@ -1,0 +1,260 @@
+//! Cycle/energy engines for FlexNeRFer and every baseline architecture.
+
+mod bitfusion;
+mod bs_sigma;
+mod flex;
+mod neurex;
+mod nvdla;
+mod sigma;
+mod tpu;
+
+pub use bitfusion::BitFusionEngine;
+pub use bs_sigma::BitScalableSigmaEngine;
+pub use flex::FlexEngine;
+pub use neurex::NeurexEngine;
+pub use nvdla::NvdlaEngine;
+pub use sigma::SigmaEngine;
+pub use tpu::TpuEngine;
+
+use crate::config::ArrayConfig;
+use crate::report::{EnergyBreakdown, LatencyBreakdown, SimReport};
+use fnr_hw::EnergyPj;
+use fnr_tensor::workload::GemmOp;
+use fnr_tensor::{FootprintModel, Precision, SparsityFormat};
+
+/// A simulated GEMM/GEMV accelerator.
+pub trait Engine {
+    /// Engine name (used in reports and figures).
+    fn name(&self) -> &'static str;
+
+    /// Shared array configuration.
+    fn config(&self) -> &ArrayConfig;
+
+    /// Simulates one GEMM/GEMV phase.
+    fn simulate_gemm(&self, op: &GemmOp) -> SimReport;
+
+    /// Fraction of MAC lanes doing useful work for this op's shape/class.
+    fn mapping_utilization(&self, op: &GemmOp) -> f64;
+
+    /// Whether the engine skips zero operands.
+    fn supports_sparsity(&self) -> bool;
+
+    /// The precision the engine actually executes when `requested` is asked
+    /// for (fixed-precision engines clamp to their native mode).
+    fn exec_precision(&self, requested: Precision) -> Precision;
+
+    /// Array power draw (W) while computing in `precision` mode.
+    fn array_power_w(&self, precision: Precision) -> f64;
+}
+
+/// How an engine stores operands in DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Compression {
+    /// Always dense.
+    Dense,
+    /// Always bitmap (SIGMA's native format).
+    Bitmap,
+    /// The footprint-optimal format for the tile's sparsity and precision —
+    /// FlexNeRFer's adaptive scheme.
+    Optimal,
+}
+
+impl Compression {
+    /// Storage factor relative to dense for a tensor at `sparsity`.
+    pub fn factor(&self, sparsity: f64, precision: Precision) -> f64 {
+        let model = FootprintModel::paper_tile(precision);
+        let point = model.point((sparsity * 100.0).clamp(0.0, 99.9));
+        match self {
+            Compression::Dense => 1.0,
+            Compression::Bitmap => {
+                point
+                    .normalized
+                    .iter()
+                    .find(|(f, _)| *f == SparsityFormat::Bitmap)
+                    .expect("bitmap always present")
+                    .1
+                    .min(1.0)
+            }
+            Compression::Optimal => point
+                .normalized
+                .iter()
+                .map(|&(_, v)| v)
+                .fold(f64::INFINITY, f64::min)
+                .min(1.0),
+        }
+    }
+}
+
+/// Per-engine knobs consumed by [`stat_simulate`].
+#[derive(Debug, Clone, Copy)]
+pub struct StatSpec {
+    /// Engine name.
+    pub name: &'static str,
+    /// Logical lanes at the executed precision.
+    pub lanes: usize,
+    /// Zero-skipping on the activation operand.
+    pub skip_a: bool,
+    /// Zero-skipping on the weight operand.
+    pub skip_b: bool,
+    /// Mapping utilization for this op.
+    pub utilization: f64,
+    /// DRAM storage scheme.
+    pub compression: Compression,
+    /// Whether the flexible NoC fetches activation data on demand: rows
+    /// whose weight counterparts are pruned away are never read, so the
+    /// activation fetch compresses with the *combined* sparsity
+    /// `1 − (1−s_a)(1−s_b)` (FlexNeRFer's Gustavson mapping).
+    pub fetch_on_demand: bool,
+    /// Format codec throughput in bytes/cycle (`None` = no codec).
+    pub codec_bytes_per_cycle: Option<f64>,
+    /// Fraction of codec time not hidden under compute/DRAM.
+    pub codec_serial_fraction: f64,
+    /// Pipeline fill cycles (distribution + reduction depth).
+    pub fill_cycles: u64,
+    /// Array power while computing, W.
+    pub active_power_w: f64,
+    /// NoC energy per executed MAC, pJ.
+    pub noc_pj_per_mac: f64,
+    /// SRAM energy per byte moved through the buffers, pJ.
+    pub sram_pj_per_byte: f64,
+}
+
+/// Shared statistical cycle/energy model (the STONNE-style tile model):
+/// per-phase cycles are `max(compute, dram)` (double buffering overlaps
+/// them) plus the unhidden serial segments.
+pub fn stat_simulate(cfg: &ArrayConfig, spec: &StatSpec, op: &GemmOp) -> SimReport {
+    let precision = op.precision;
+    let bits = precision.bits() as u64;
+
+    // --- work ---
+    let dense = op.dense_macs();
+    let keep_a = if spec.skip_a { 1.0 - op.sparsity_a } else { 1.0 };
+    let keep_b = if spec.skip_b { 1.0 - op.sparsity_b } else { 1.0 };
+    let exec_macs = (dense as f64 * keep_a * keep_b).ceil() as u64;
+    let useful_macs =
+        (dense as f64 * (1.0 - op.sparsity_a) * (1.0 - op.sparsity_b)).ceil() as u64;
+
+    // --- compute cycles ---
+    // The distribution/reduction pipeline refills once per chunk of the
+    // batched phase (this is what makes small batch sizes inefficient in
+    // Fig. 20(b)).
+    let rate = spec.lanes as f64 * spec.utilization.max(1e-6);
+    let fill_total = spec.fill_cycles * op.batch.max(1) as u64;
+    let compute = (exec_macs as f64 / rate).ceil() as u64 + fill_total;
+
+    // --- DRAM traffic ---
+    let a_bytes_dense = (op.m * op.k) as u64 * op.batch as u64 * bits / 8;
+    let b_bytes_dense = (op.k * op.n) as u64 * bits / 8; // weights loaded once
+    let out_bytes_dense = (op.m * op.n) as u64 * op.batch as u64 * bits / 8;
+    let a_sparsity = if spec.fetch_on_demand {
+        1.0 - (1.0 - op.sparsity_a) * (1.0 - op.sparsity_b)
+    } else {
+        op.sparsity_a
+    };
+    let a_factor = spec.compression.factor(a_sparsity, precision);
+    let b_factor = spec.compression.factor(op.sparsity_b, precision);
+    let mut dram_bytes = (b_bytes_dense as f64 * b_factor) as u64;
+    if op.a_offchip {
+        dram_bytes += (a_bytes_dense as f64 * a_factor) as u64;
+    }
+    if op.out_offchip {
+        dram_bytes += out_bytes_dense;
+    }
+    let dram_cycles = (dram_bytes as f64 / cfg.dram_bytes_per_cycle()).ceil() as u64;
+
+    // --- format conversion ---
+    let (conv_total, conv_serial) = match spec.codec_bytes_per_cycle {
+        Some(rate) => {
+            let total = (dram_bytes as f64 / rate).ceil() as u64;
+            (total, (total as f64 * spec.codec_serial_fraction).ceil() as u64)
+        }
+        None => (0, 0),
+    };
+
+    // --- roofline combine ---
+    let body = compute.max(dram_cycles);
+    let cycles = body + conv_serial;
+    let dram_stall = dram_cycles.saturating_sub(compute);
+
+    // --- energy ---
+    let compute_seconds = cfg.seconds(compute);
+    let sram_bytes = a_bytes_dense + b_bytes_dense * op.batch.max(1) as u64 + out_bytes_dense;
+    let energy = EnergyBreakdown {
+        compute: fnr_hw::PowerMw::from_watts(spec.active_power_w).energy_over(compute_seconds),
+        noc: EnergyPj(exec_macs as f64 * spec.noc_pj_per_mac),
+        sram: EnergyPj(sram_bytes as f64 * spec.sram_pj_per_byte),
+        dram: cfg.dram.transfer_energy(dram_bytes),
+        codec: EnergyPj(if conv_total > 0 { dram_bytes as f64 * 0.25 } else { 0.0 }),
+        encoding: EnergyPj::ZERO,
+        static_: EnergyPj::ZERO,
+    };
+
+    SimReport {
+        engine: spec.name.to_string(),
+        cycles,
+        latency: LatencyBreakdown {
+            compute: compute.min(body),
+            distribution: fill_total,
+            dram: dram_stall,
+            format_conversion: conv_serial,
+            encoding: 0,
+            other: 0,
+        },
+        energy,
+        utilization: spec.utilization,
+        effective_macs: useful_macs,
+        dram_bytes,
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_op(
+    m: usize,
+    k: usize,
+    n: usize,
+    precision: Precision,
+    sa: f64,
+    sb: f64,
+    class: fnr_tensor::workload::GemmClass,
+) -> GemmOp {
+    GemmOp {
+        m,
+        k,
+        n,
+        batch: 1,
+        precision,
+        sparsity_a: sa,
+        sparsity_b: sb,
+        class,
+        a_offchip: true,
+        out_offchip: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compression_factors_are_sane() {
+        // Dense never compresses.
+        assert_eq!(Compression::Dense.factor(0.9, Precision::Int16), 1.0);
+        // Bitmap at 90% sparsity, INT16: 1/16 + 0.1 ≈ 0.16.
+        let b = Compression::Bitmap.factor(0.9, Precision::Int16);
+        assert!((b - 0.1625).abs() < 0.01, "bitmap factor {b}");
+        // Optimal ≤ bitmap everywhere.
+        for s in [0.0, 0.3, 0.6, 0.9, 0.99] {
+            let opt = Compression::Optimal.factor(s, Precision::Int8);
+            let bm = Compression::Bitmap.factor(s, Precision::Int8);
+            assert!(opt <= bm + 1e-12, "optimal {opt} > bitmap {bm} at {s}");
+            assert!(opt <= 1.0);
+        }
+    }
+
+    #[test]
+    fn compression_never_expands() {
+        // At low sparsity compressed formats would be larger than dense;
+        // the encoder falls back to dense (factor capped at 1).
+        assert!(Compression::Bitmap.factor(0.01, Precision::Int4) <= 1.0);
+    }
+}

@@ -1,0 +1,106 @@
+use super::{stat_simulate, Compression, Engine, StatSpec};
+use crate::config::ArrayConfig;
+use crate::report::SimReport;
+use fnr_tensor::workload::{GemmClass, GemmOp};
+use fnr_tensor::Precision;
+
+/// NeuRex-style NeRF accelerator (Lee et al., ISCA 2023): a dense INT16
+/// MLP engine plus a specialized hash-encoding unit. No sparsity support,
+/// no precision flexibility, no compressed formats — which is exactly why
+/// its speedup stays flat across the pruning sweep of Fig. 19.
+#[derive(Debug, Clone)]
+pub struct NeurexEngine {
+    cfg: ArrayConfig,
+}
+
+impl NeurexEngine {
+    /// Engine with the paper's comparison configuration (equal MAC count to
+    /// FlexNeRFer's INT16 mode for a fair array-level comparison).
+    pub fn new(cfg: ArrayConfig) -> Self {
+        NeurexEngine { cfg }
+    }
+}
+
+impl Engine for NeurexEngine {
+    fn name(&self) -> &'static str {
+        "NeuRex"
+    }
+
+    fn config(&self) -> &ArrayConfig {
+        &self.cfg
+    }
+
+    fn exec_precision(&self, _requested: Precision) -> Precision {
+        Precision::Int16
+    }
+
+    fn supports_sparsity(&self) -> bool {
+        false
+    }
+
+    fn mapping_utilization(&self, op: &GemmOp) -> f64 {
+        match op.class {
+            // Tuned for the batched-ray MLP inference it was built for.
+            GemmClass::RegularDense | GemmClass::Sparse => 0.88,
+            GemmClass::Irregular => 0.35,
+            GemmClass::Gemv => 0.60,
+        }
+    }
+
+    fn array_power_w(&self, _precision: Precision) -> f64 {
+        // MLP-engine share of NeuRex's 5.1 W total.
+        4.2
+    }
+
+    fn simulate_gemm(&self, op: &GemmOp) -> SimReport {
+        let spec = StatSpec {
+            name: "NeuRex",
+            lanes: self.cfg.units(),
+            skip_a: false,
+            skip_b: false,
+            utilization: self.mapping_utilization(op),
+            compression: Compression::Dense,
+            fetch_on_demand: false,
+            codec_bytes_per_cycle: None,
+            codec_serial_fraction: 0.0,
+            fill_cycles: 64, // systolic skew across the array
+            active_power_w: self.array_power_w(Precision::Int16),
+            noc_pj_per_mac: 0.12,
+            sram_pj_per_byte: 0.8,
+        };
+        let mut op = *op;
+        op.precision = Precision::Int16;
+        stat_simulate(&self.cfg, &spec, &op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::test_op;
+
+    #[test]
+    fn sparsity_gives_no_benefit() {
+        let e = NeurexEngine::new(ArrayConfig::paper_default());
+        let dense = e.simulate_gemm(&test_op(4096, 256, 256, Precision::Int16, 0.0, 0.0, GemmClass::Sparse));
+        let sparse = e.simulate_gemm(&test_op(4096, 256, 256, Precision::Int16, 0.9, 0.9, GemmClass::Sparse));
+        assert_eq!(dense.cycles, sparse.cycles, "NeuRex cannot skip zeros");
+    }
+
+    #[test]
+    fn precision_is_clamped_to_int16() {
+        let e = NeurexEngine::new(ArrayConfig::paper_default());
+        let r16 = e.simulate_gemm(&test_op(4096, 256, 256, Precision::Int16, 0.0, 0.0, GemmClass::RegularDense));
+        let r4 = e.simulate_gemm(&test_op(4096, 256, 256, Precision::Int4, 0.0, 0.0, GemmClass::RegularDense));
+        assert_eq!(r16.latency.compute, r4.latency.compute, "INT4 runs as INT16");
+    }
+
+    #[test]
+    fn dense_traffic_is_uncompressed() {
+        let e = NeurexEngine::new(ArrayConfig::paper_default());
+        let op = test_op(1024, 128, 128, Precision::Int16, 0.9, 0.9, GemmClass::Sparse);
+        let r = e.simulate_gemm(&op);
+        let dense_bytes = (1024 * 128 + 128 * 128 + 1024 * 128) as u64 * 2;
+        assert_eq!(r.dram_bytes, dense_bytes);
+    }
+}

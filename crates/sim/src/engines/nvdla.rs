@@ -1,0 +1,138 @@
+use super::{stat_simulate, Compression, Engine, StatSpec};
+use crate::config::ArrayConfig;
+use crate::report::SimReport;
+use fnr_tensor::workload::{GemmClass, GemmOp};
+use fnr_tensor::Precision;
+
+/// NVIDIA-NVDLA-style fixed-function convolution engine (paper Fig. 4).
+///
+/// The MAC resource is a wide dot-product engine that parallelizes over
+/// input channels × output kernels. Convolutions with enough channel work
+/// fold onto it perfectly (Fig. 4(b): 100 %); shallow early layers waste
+/// lanes (Fig. 4(a)); and plain GEMM/GEMV — which has no feature-map reuse
+/// for the engine to exploit — degenerates to a serial rank-1 schedule with
+/// a single active multiplier group (Fig. 4(c)/(d): 6.25 % on the 16-MAC
+/// toy configuration).
+#[derive(Debug, Clone)]
+pub struct NvdlaEngine {
+    cfg: ArrayConfig,
+}
+
+impl NvdlaEngine {
+    /// Engine over the given array configuration.
+    pub fn new(cfg: ArrayConfig) -> Self {
+        NvdlaEngine { cfg }
+    }
+
+    /// Utilization of a conv-like layer with `k` channel work and `n`
+    /// kernels: the engine folds `k×n` lane work onto its `units` lanes.
+    pub fn conv_utilization(&self, k: usize, n: usize) -> f64 {
+        let lanes = self.cfg.units();
+        let work = k * n;
+        let passes = work.div_ceil(lanes);
+        work as f64 / (passes * lanes) as f64
+    }
+
+    /// Utilization of a GEMM/GEMV phase: one multiplier group active
+    /// (serial rank-1 schedule — no spatial feature reuse).
+    pub fn gemm_utilization(&self) -> f64 {
+        1.0 / self.cfg.units() as f64
+    }
+}
+
+impl Engine for NvdlaEngine {
+    fn name(&self) -> &'static str {
+        "NVDLA (fixed-function conv engine)"
+    }
+
+    fn config(&self) -> &ArrayConfig {
+        &self.cfg
+    }
+
+    fn exec_precision(&self, _requested: Precision) -> Precision {
+        Precision::Int16
+    }
+
+    fn supports_sparsity(&self) -> bool {
+        false
+    }
+
+    fn mapping_utilization(&self, op: &GemmOp) -> f64 {
+        match op.class {
+            // Convolutions fold channels×kernels onto the lanes.
+            GemmClass::RegularDense => self.conv_utilization(op.k, op.n),
+            // GEMM-shaped work degenerates.
+            GemmClass::Irregular | GemmClass::Gemv | GemmClass::Sparse => self.gemm_utilization(),
+        }
+    }
+
+    fn array_power_w(&self, _precision: Precision) -> f64 {
+        4.4
+    }
+
+    fn simulate_gemm(&self, op: &GemmOp) -> SimReport {
+        let spec = StatSpec {
+            name: "NVDLA (fixed-function conv engine)",
+            lanes: self.cfg.units(),
+            skip_a: false,
+            skip_b: false,
+            utilization: self.mapping_utilization(op),
+            compression: Compression::Dense,
+            fetch_on_demand: false,
+            codec_bytes_per_cycle: None,
+            codec_serial_fraction: 0.0,
+            fill_cycles: 16,
+            active_power_w: self.array_power_w(Precision::Int16),
+            noc_pj_per_mac: 0.10,
+            sram_pj_per_byte: 0.8,
+        };
+        let mut op = *op;
+        op.precision = Precision::Int16;
+        stat_simulate(&self.cfg, &spec, &op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::test_op;
+
+    fn toy() -> NvdlaEngine {
+        let mut cfg = ArrayConfig::paper_default();
+        cfg.rows = 4;
+        cfg.cols = 4;
+        NvdlaEngine::new(cfg)
+    }
+
+    #[test]
+    fn fig4a_early_layer_is_37_5_pct() {
+        // C=2 channels × K=3 kernels of work on 16 lanes → 6/16.
+        assert!((toy().conv_utilization(2, 3) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig4b_late_layer_is_100_pct() {
+        // C=8 × K=2 = 16 lanes of work folds perfectly.
+        assert!((toy().conv_utilization(8, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig4c_irregular_gemm_is_6_25_pct() {
+        let op = test_op(5, 4, 4, Precision::Int16, 0.0, 0.0, GemmClass::Irregular);
+        assert!((toy().mapping_utilization(&op) - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig4d_sparse_gemm_stays_6_25_pct() {
+        let op = test_op(5, 4, 4, Precision::Int16, 0.3, 0.3125, GemmClass::Sparse);
+        assert!((toy().mapping_utilization(&op) - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gemm_runs_are_very_slow() {
+        let e = NvdlaEngine::new(ArrayConfig::paper_default());
+        let conv = e.simulate_gemm(&test_op(4096, 256, 64, Precision::Int16, 0.0, 0.0, GemmClass::RegularDense));
+        let gemm = e.simulate_gemm(&test_op(4096, 256, 64, Precision::Int16, 0.0, 0.0, GemmClass::Irregular));
+        assert!(gemm.latency.compute > conv.latency.compute * 100);
+    }
+}

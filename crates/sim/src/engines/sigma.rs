@@ -1,0 +1,104 @@
+use super::{stat_simulate, Compression, Engine, StatSpec};
+use crate::config::ArrayConfig;
+use crate::report::SimReport;
+use fnr_tensor::workload::GemmOp;
+use fnr_tensor::Precision;
+
+/// SIGMA (Qin et al., HPCA 2020): a sparse, irregular-GEMM accelerator
+/// built from a Benes distribution network and a forwarding adder network
+/// over an INT16 weight-stationary substrate. Handles sparsity and
+/// irregularity well but has no precision flexibility.
+#[derive(Debug, Clone)]
+pub struct SigmaEngine {
+    cfg: ArrayConfig,
+}
+
+impl SigmaEngine {
+    /// Engine with the paper's comparison configuration.
+    pub fn new(cfg: ArrayConfig) -> Self {
+        SigmaEngine { cfg }
+    }
+}
+
+impl Engine for SigmaEngine {
+    fn name(&self) -> &'static str {
+        "SIGMA"
+    }
+
+    fn config(&self) -> &ArrayConfig {
+        &self.cfg
+    }
+
+    fn exec_precision(&self, _requested: Precision) -> Precision {
+        Precision::Int16
+    }
+
+    fn supports_sparsity(&self) -> bool {
+        true
+    }
+
+    fn mapping_utilization(&self, _op: &GemmOp) -> f64 {
+        // The Benes network packs irregular sparse operands almost
+        // perfectly (Table 3 effective/peak ≈ 0.91).
+        0.91
+    }
+
+    fn array_power_w(&self, _precision: Precision) -> f64 {
+        5.8 // Table 3, SIGMA column.
+    }
+
+    fn simulate_gemm(&self, op: &GemmOp) -> SimReport {
+        let spec = StatSpec {
+            name: "SIGMA",
+            lanes: self.cfg.units(),
+            skip_a: true,
+            skip_b: true,
+            utilization: self.mapping_utilization(op),
+            compression: Compression::Bitmap, // SIGMA's native format
+            fetch_on_demand: false,
+            codec_bytes_per_cycle: None,      // bitmap is produced upstream
+            codec_serial_fraction: 0.0,
+            fill_cycles: 11, // Benes stages for a 64-wide network
+            active_power_w: self.array_power_w(Precision::Int16),
+            noc_pj_per_mac: 0.90, // Benes + FAN switching dominates
+            sram_pj_per_byte: 0.8,
+        };
+        let mut op = *op;
+        op.precision = Precision::Int16;
+        stat_simulate(&self.cfg, &spec, &op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::test_op;
+    use fnr_tensor::workload::GemmClass;
+
+    #[test]
+    fn skips_zeros_like_flexnerfer() {
+        let e = SigmaEngine::new(ArrayConfig::paper_default());
+        let dense = e.simulate_gemm(&test_op(4096, 256, 256, Precision::Int16, 0.0, 0.0, GemmClass::Sparse));
+        let sparse = e.simulate_gemm(&test_op(4096, 256, 256, Precision::Int16, 0.8, 0.0, GemmClass::Sparse));
+        assert!(sparse.latency.compute * 3 < dense.latency.compute);
+    }
+
+    #[test]
+    fn no_precision_scaling() {
+        let e = SigmaEngine::new(ArrayConfig::paper_default());
+        let r16 = e.simulate_gemm(&test_op(4096, 256, 256, Precision::Int16, 0.0, 0.0, GemmClass::RegularDense));
+        let r4 = e.simulate_gemm(&test_op(4096, 256, 256, Precision::Int4, 0.0, 0.0, GemmClass::RegularDense));
+        assert_eq!(r16.latency.compute, r4.latency.compute);
+    }
+
+    #[test]
+    fn noc_energy_is_higher_than_flex() {
+        use crate::engines::FlexEngine;
+        let sigma = SigmaEngine::new(ArrayConfig::paper_default());
+        let flex = FlexEngine::new(ArrayConfig::paper_default());
+        let op = test_op(2048, 256, 256, Precision::Int16, 0.5, 0.5, GemmClass::Sparse);
+        let rs = sigma.simulate_gemm(&op);
+        let rf = flex.simulate_gemm(&op);
+        assert!(rs.energy.noc.0 > rf.energy.noc.0 * 2.0, "Benes switching costs more");
+    }
+}

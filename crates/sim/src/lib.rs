@@ -1,0 +1,38 @@
+//! Cycle-level accelerator simulator for the FlexNeRFer reproduction.
+//!
+//! This crate plays the role the modified STONNE simulator plays in the
+//! paper: it estimates compute cycles, memory cycles and energy for
+//! GEMM/GEMV workloads on FlexNeRFer's GEMM/GEMV acceleration unit and on
+//! every baseline the paper compares against:
+//!
+//! * [`engines::FlexEngine`] — sparse dense-mapping on the bit-scalable
+//!   array through the HMF-NoC + ART, with the online format codec;
+//! * [`engines::SigmaEngine`] — SIGMA (Benes + FAN, sparse, INT16-only);
+//! * [`engines::BitFusionEngine`] — Bit Fusion (bit-scalable, dense-only);
+//! * [`engines::BitScalableSigmaEngine`] — the combined baseline;
+//! * [`engines::NeurexEngine`] — NeuRex-style dense INT16 NeRF accelerator;
+//! * [`engines::TpuEngine`] / [`engines::NvdlaEngine`] — the commercial
+//!   dense architectures of Fig. 4.
+//!
+//! The mapping path is *functional*: [`mapping::gustavson_map`] expands a
+//! real sparse GEMM into lane assignments that execute on
+//! [`fnr_mac::MacArray`] and reproduce the reference result bit-exactly —
+//! the same validation style STONNE uses.
+
+#![warn(missing_docs)]
+
+mod config;
+mod mapping;
+mod report;
+mod table3;
+
+pub mod engines;
+
+pub use config::ArrayConfig;
+pub use engines::Engine;
+pub use mapping::{gustavson_map, partition_passes, DataflowMix, MappedGemm};
+pub use report::{EnergyBreakdown, LatencyBreakdown, SimReport};
+pub use table3::{
+    array_area_mm2, array_parts_list, array_power_w, table3_rows, ArrayKind, Table3Row,
+    TABLE3_PAPER,
+};

@@ -1,0 +1,190 @@
+//! Dense mapping of sparse GEMM onto the MAC array (paper Fig. 5 / Fig. 11).
+//!
+//! The mapping is Gustavson-style (row-wise product): every non-zero
+//! `A[i][k]` is paired with every non-zero `B[k][j]`; the pair's product
+//! contributes to output `(i, j)`. Pairs are laid out contiguously so the
+//! augmented reduction tree can merge same-output partials, and the
+//! distribution dataflow of each `A` element follows from its pair-group
+//! size: a group spanning a full array row is a broadcast, several lanes a
+//! multicast, one lane a unicast — exactly the 'B'/'M'/'U' boxes of Fig. 5.
+
+use fnr_mac::LaneAssignment;
+use fnr_noc::Dataflow;
+use fnr_tensor::sparse::{CsrLayout, CsrMatrix};
+use fnr_tensor::Matrix;
+
+/// Count of deliveries per dataflow class produced by a mapping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataflowMix {
+    /// Broadcast deliveries.
+    pub broadcast: u64,
+    /// Multicast deliveries.
+    pub multicast: u64,
+    /// Unicast deliveries.
+    pub unicast: u64,
+}
+
+impl DataflowMix {
+    /// Total deliveries.
+    pub fn total(&self) -> u64 {
+        self.broadcast + self.multicast + self.unicast
+    }
+
+    /// Records one delivery of the given class.
+    pub fn record(&mut self, flow: Dataflow) {
+        match flow {
+            Dataflow::Broadcast => self.broadcast += 1,
+            Dataflow::Multicast => self.multicast += 1,
+            Dataflow::Unicast => self.unicast += 1,
+        }
+    }
+}
+
+/// A sparse GEMM expanded into dense lane work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappedGemm {
+    /// Lane assignments in reduction-friendly order.
+    pub assignments: Vec<LaneAssignment>,
+    /// Distribution dataflow mix for the `A`-operand deliveries.
+    pub dataflow: DataflowMix,
+    /// Output matrix shape `(rows, cols)`.
+    pub out_shape: (usize, usize),
+}
+
+impl MappedGemm {
+    /// Number of effective (non-zero × non-zero) MACs.
+    pub fn effective_macs(&self) -> usize {
+        self.assignments.len()
+    }
+}
+
+/// Expands the sparse GEMM `A × B` into lane assignments.
+///
+/// `row_width` is the number of lanes an array row offers; an `A`-element
+/// whose pair group fills at least one full row is classified as broadcast,
+/// more than one lane as multicast, one lane as unicast.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+pub fn gustavson_map(a: &Matrix<i32>, b: &Matrix<i32>, row_width: usize) -> MappedGemm {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must match");
+    let b_rows = CsrMatrix::from_dense(b, CsrLayout::RowMajor, fnr_tensor::Precision::Int16);
+    let out_cols = b.cols();
+    let mut assignments = Vec::new();
+    let mut mix = DataflowMix::default();
+    for (i, k, av) in a.iter_nonzeros() {
+        let group = b_rows.line_nnz(k);
+        if group == 0 {
+            continue;
+        }
+        let flow = if group >= row_width {
+            Dataflow::Broadcast
+        } else if group > 1 {
+            Dataflow::Multicast
+        } else {
+            Dataflow::Unicast
+        };
+        mix.record(flow);
+        for (j, bv) in b_rows.line(k) {
+            assignments.push(LaneAssignment {
+                a: av,
+                b: bv,
+                out_idx: (i * out_cols + j) as u32,
+            });
+        }
+    }
+    MappedGemm { assignments, dataflow: mix, out_shape: (a.rows(), out_cols) }
+}
+
+/// Splits assignments into array passes of at most `lanes` each, never
+/// splitting in the middle of lanes destined to one output more than
+/// necessary (chunks preserve order, so reduction contiguity holds inside
+/// each pass and cross-pass partials accumulate in the output buffer).
+pub fn partition_passes(mapped: &MappedGemm, lanes: usize) -> Vec<Vec<LaneAssignment>> {
+    assert!(lanes > 0, "array must have at least one lane");
+    mapped.assignments.chunks(lanes).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fnr_mac::{MacArray, ReductionTreeKind};
+    use fnr_tensor::{gen, Precision};
+
+    #[test]
+    fn mapping_counts_effective_macs() {
+        let a = gen::random_sparse_i32(16, 16, 0.75, Precision::Int8, 1);
+        let b = gen::random_sparse_i32(16, 16, 0.5, Precision::Int8, 2);
+        let mapped = gustavson_map(&a, &b, 16);
+        // Expected pairs: Σ_k nnz(A[:,k]) · nnz(B[k,:]).
+        let mut expected = 0usize;
+        for k in 0..16 {
+            let a_col = (0..16).filter(|&i| a.get(i, k) != 0).count();
+            let b_row = (0..16).filter(|&j| b.get(k, j) != 0).count();
+            expected += a_col * b_row;
+        }
+        assert_eq!(mapped.effective_macs(), expected);
+    }
+
+    #[test]
+    fn mapped_gemm_executes_exactly() {
+        for (sa, sb, seed) in [(0.0, 0.0, 3u64), (0.6, 0.3, 4), (0.9, 0.7, 5), (0.98, 0.9, 6)] {
+            let a = gen::random_sparse_i32(12, 20, sa, Precision::Int8, seed);
+            let b = gen::random_sparse_i32(20, 9, sb, Precision::Int8, seed + 100);
+            let reference = a.matmul(&b).unwrap();
+            let mapped = gustavson_map(&a, &b, 16);
+            let arr = MacArray::new(8, 8, Precision::Int8, ReductionTreeKind::SharedShifter);
+            let passes = partition_passes(&mapped, arr.lanes());
+            let (out, _) = arr.execute_passes(&passes, 12 * 9);
+            let expected: Vec<i64> = reference.as_slice().iter().map(|&v| v as i64).collect();
+            assert_eq!(out, expected, "sa={sa} sb={sb}");
+        }
+    }
+
+    #[test]
+    fn dataflow_mix_reflects_group_sizes() {
+        // B row 0 dense (16 wide) → broadcast; row 1 has 3 nnz → multicast;
+        // row 2 has 1 nnz → unicast.
+        let mut b = fnr_tensor::Matrix::zeros(3, 16);
+        for j in 0..16 {
+            b.set(0, j, 1);
+        }
+        b.set(1, 0, 1);
+        b.set(1, 5, 1);
+        b.set(1, 9, 1);
+        b.set(2, 15, 1);
+        let mut a = fnr_tensor::Matrix::zeros(1, 3);
+        a.set(0, 0, 2);
+        a.set(0, 1, 3);
+        a.set(0, 2, 4);
+        let mapped = gustavson_map(&a, &b, 16);
+        assert_eq!(mapped.dataflow.broadcast, 1);
+        assert_eq!(mapped.dataflow.multicast, 1);
+        assert_eq!(mapped.dataflow.unicast, 1);
+        assert_eq!(mapped.dataflow.total(), 3);
+    }
+
+    #[test]
+    fn empty_b_row_skips_a_elements() {
+        let mut a = fnr_tensor::Matrix::zeros(1, 2);
+        a.set(0, 0, 5);
+        a.set(0, 1, 7);
+        let mut b = fnr_tensor::Matrix::zeros(2, 4);
+        b.set(1, 2, 3); // row 0 entirely zero
+        let mapped = gustavson_map(&a, &b, 4);
+        assert_eq!(mapped.effective_macs(), 1);
+        assert_eq!(mapped.dataflow.unicast, 1);
+    }
+
+    #[test]
+    fn partition_respects_lane_budget() {
+        let a = gen::random_sparse_i32(8, 8, 0.0, Precision::Int4, 9);
+        let b = gen::random_sparse_i32(8, 8, 0.0, Precision::Int4, 10);
+        let mapped = gustavson_map(&a, &b, 8);
+        let passes = partition_passes(&mapped, 100);
+        assert!(passes.iter().all(|p| p.len() <= 100));
+        let total: usize = passes.iter().map(|p| p.len()).sum();
+        assert_eq!(total, mapped.effective_macs());
+    }
+}

@@ -1,0 +1,363 @@
+use crate::{Precision, Result, TensorError};
+
+/// A dense row-major matrix.
+///
+/// `Matrix<i32>` is the working representation for quantized tensors (the
+/// precision mode decides how many of the low bits are meaningful);
+/// `Matrix<f32>` is used by the NeRF reference pipeline.
+///
+/// # Example
+///
+/// ```
+/// use fnr_tensor::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1, 2], &[3, 4]]);
+/// let b = Matrix::from_rows(&[&[5, 6], &[7, 8]]);
+/// let c = a.matmul(&b).unwrap();
+/// assert_eq!(c.get(0, 0), 19);
+/// assert_eq!(c.get(1, 1), 50);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Matrix<T> {
+    /// Creates a `rows`×`cols` matrix filled with `T::default()`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![T::default(); rows * cols] }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("{rows}x{cols} = {} elements", rows * cols),
+                actual: format!("{} elements", data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from row slices (all must share one length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[T]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> T {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: T) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major view of the data.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the underlying row-major buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Copies the tile starting at `(row0, col0)` with shape
+    /// `tile_rows`×`tile_cols`, zero-padding past the matrix edge.
+    pub fn tile(&self, row0: usize, col0: usize, tile_rows: usize, tile_cols: usize) -> Self {
+        let mut out = Matrix::zeros(tile_rows, tile_cols);
+        for r in 0..tile_rows {
+            for c in 0..tile_cols {
+                if row0 + r < self.rows && col0 + c < self.cols {
+                    out.set(r, c, self.get(row0 + r, col0 + c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies `f` element-wise, producing a new matrix (possibly of another
+    /// element type).
+    pub fn map<U: Copy + Default>(&self, mut f: impl FnMut(T) -> U) -> Matrix<U> {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+}
+
+impl Matrix<i32> {
+    /// Number of non-zero elements.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0).count()
+    }
+
+    /// Fraction of elements that are exactly zero, in `[0, 1]`.
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / self.data.len() as f64
+    }
+
+    /// Checks that every element fits in `precision`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ValueOutOfRange`] on the first offending value.
+    pub fn check_precision(&self, precision: Precision) -> Result<()> {
+        for &v in &self.data {
+            if !precision.contains(v) {
+                return Err(TensorError::ValueOutOfRange { value: v, precision });
+            }
+        }
+        Ok(())
+    }
+
+    /// Integer matrix product `self × rhs` with 64-bit accumulation,
+    /// saturated back to `i32` (reference model for the MAC array, whose
+    /// accumulators are wide enough in every supported mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix<i32>) -> Result<Matrix<i32>> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("rhs with {} rows", self.cols),
+                actual: format!("rhs with {} rows", rhs.rows),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k) as i64;
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let cur = out.get(i, j) as i64 + a * rhs.get(k, j) as i64;
+                    out.set(i, j, cur.clamp(i32::MIN as i64, i32::MAX as i64) as i32);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Iterator over `(row, col, value)` of the non-zero elements, row-major.
+    pub fn iter_nonzeros(&self) -> impl Iterator<Item = (usize, usize, i32)> + '_ {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0)
+            .map(move |(i, &v)| (i / cols, i % cols, v))
+    }
+
+    /// Number of non-zeros in each row.
+    pub fn row_nnz(&self) -> Vec<usize> {
+        (0..self.rows).map(|r| self.row(r).iter().filter(|&&v| v != 0).count()).collect()
+    }
+}
+
+impl Matrix<f32> {
+    /// Floating-point matrix product (reference model for GPU math).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix<f32>) -> Result<Matrix<f32>> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("rhs with {} rows", self.cols),
+                actual: format!("rhs with {} rows", rhs.rows),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let cur = out.get(i, j) + a * rhs.get(k, j);
+                    out.set(i, j, cur);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fraction of exactly-zero elements (e.g. post-ReLU activations).
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let z = self.data.iter().filter(|&&v| v == 0.0).count();
+        z as f64 / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::<i32>::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.len(), 12);
+        m.set(2, 3, 7);
+        assert_eq!(m.get(2, 3), 7);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_shapes() {
+        assert!(Matrix::from_vec(2, 2, vec![1, 2, 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1, 2, 3, 4]).is_ok());
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[&[1, 2, 3], &[4, 5, 6]]);
+        let b = Matrix::from_rows(&[&[7, 8], &[9, 10], &[11, 12]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.get(0, 0), 58);
+        assert_eq!(c.get(0, 1), 64);
+        assert_eq!(c.get(1, 0), 139);
+        assert_eq!(c.get(1, 1), 154);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::<i32>::zeros(2, 3);
+        let b = Matrix::<i32>::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[&[1, 2, 3], &[4, 5, 6]]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), 6);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn tile_zero_pads() {
+        let a = Matrix::from_rows(&[&[1, 2], &[3, 4]]);
+        let t = a.tile(1, 1, 2, 2);
+        assert_eq!(t.get(0, 0), 4);
+        assert_eq!(t.get(1, 1), 0);
+    }
+
+    #[test]
+    fn sparsity_counts_zeros() {
+        let a = Matrix::from_rows(&[&[0, 2], &[0, 0]]);
+        assert_eq!(a.nnz(), 1);
+        assert!((a.sparsity() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_nonzeros_row_major() {
+        let a = Matrix::from_rows(&[&[0, 5], &[7, 0]]);
+        let v: Vec<_> = a.iter_nonzeros().collect();
+        assert_eq!(v, vec![(0, 1, 5), (1, 0, 7)]);
+    }
+
+    #[test]
+    fn precision_check() {
+        let a = Matrix::from_rows(&[&[7, -8]]);
+        assert!(a.check_precision(Precision::Int4).is_ok());
+        let b = Matrix::from_rows(&[&[8]]);
+        assert!(b.check_precision(Precision::Int4).is_err());
+    }
+
+    #[test]
+    fn f32_matmul() {
+        let a = Matrix::from_rows(&[&[1.0f32, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0f32], &[4.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert!((c.get(0, 0) - 11.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,75 @@
+use std::fmt;
+
+/// Error type for tensor construction and format conversions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Matrix dimensions do not match the supplied data length or peer matrix.
+    ShapeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it actually received.
+        actual: String,
+    },
+    /// A value does not fit in the requested precision mode.
+    ValueOutOfRange {
+        /// The offending value.
+        value: i32,
+        /// The precision whose representable range was exceeded.
+        precision: crate::Precision,
+    },
+    /// A sparsity ratio outside `[0, 1]` was requested.
+    InvalidSparsity(f64),
+    /// An index was outside the matrix bounds.
+    IndexOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Requested column.
+        col: usize,
+        /// Matrix rows.
+        rows: usize,
+        /// Matrix cols.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::ValueOutOfRange { value, precision } => {
+                write!(f, "value {value} does not fit in {precision} range")
+            }
+            TensorError::InvalidSparsity(s) => {
+                write!(f, "sparsity ratio {s} is outside [0, 1]")
+            }
+            TensorError::IndexOutOfBounds { row, col, rows, cols } => {
+                write!(f, "index ({row}, {col}) out of bounds for {rows}x{cols} matrix")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Precision;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = TensorError::InvalidSparsity(1.5);
+        assert_eq!(e.to_string(), "sparsity ratio 1.5 is outside [0, 1]");
+        let e = TensorError::ValueOutOfRange { value: 9999, precision: Precision::Int4 };
+        assert!(e.to_string().contains("9999"));
+        assert!(e.to_string().contains("INT4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

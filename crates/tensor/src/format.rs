@@ -1,0 +1,326 @@
+use crate::Precision;
+use std::fmt;
+
+/// The sparsity (compression) formats studied in Section 3.2.3 of the paper.
+///
+/// CSC and CSR share one compression mechanism (row-wise vs column-wise
+/// storage) and are treated as a single category, exactly as in the paper's
+/// Table 2 and Fig. 7/8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SparsityFormat {
+    /// Uncompressed dense storage.
+    None,
+    /// Coordinate list: `(row, col, value)` triplets.
+    Coo,
+    /// Compressed sparse column / row: values + minor indices + pointer array.
+    CscCsr,
+    /// One presence bit per element plus packed non-zero values.
+    Bitmap,
+}
+
+impl SparsityFormat {
+    /// All four formats in the paper's legend order.
+    pub const ALL: [SparsityFormat; 4] =
+        [SparsityFormat::None, SparsityFormat::Coo, SparsityFormat::CscCsr, SparsityFormat::Bitmap];
+
+    /// Exact storage footprint in bits for an `rows`×`cols` tile holding
+    /// `nnz` non-zeros at the given precision.
+    ///
+    /// Index fields use the minimal fixed widths a hardware encoder would
+    /// provision: `ceil(log2(dim))` bits per coordinate and
+    /// `ceil(log2(rows*cols+1))` bits per CSR/CSC pointer entry.
+    pub fn footprint_bits(self, rows: usize, cols: usize, nnz: usize, precision: Precision) -> u64 {
+        let data_bits = precision.bits() as u64;
+        let n = (rows * cols) as u64;
+        let nnz = nnz as u64;
+        match self {
+            SparsityFormat::None => n * data_bits,
+            SparsityFormat::Coo => nnz * (data_bits + index_bits(rows) + index_bits(cols)),
+            SparsityFormat::CscCsr => {
+                // Row-wise (CSR) flavour: col index per nnz + (rows+1) pointers.
+                let ptr_bits = ceil_log2(n + 1);
+                nnz * (data_bits + index_bits(cols)) + (rows as u64 + 1) * ptr_bits
+            }
+            SparsityFormat::Bitmap => n + nnz * data_bits,
+        }
+    }
+
+    /// Footprint of this format normalized to uncompressed storage
+    /// (the y-axis of the paper's Fig. 7).
+    pub fn footprint_over_none(
+        self,
+        rows: usize,
+        cols: usize,
+        nnz: usize,
+        precision: Precision,
+    ) -> f64 {
+        let none = SparsityFormat::None.footprint_bits(rows, cols, nnz, precision) as f64;
+        self.footprint_bits(rows, cols, nnz, precision) as f64 / none
+    }
+
+    /// The format with the smallest footprint for a tile of the paper's
+    /// per-precision dimensions (64²/128²/256²) at `sparsity` ∈ `[0, 1]`.
+    ///
+    /// This is the decision function of the flexible format encoder and the
+    /// generator of the paper's Fig. 8.
+    pub fn optimal(precision: Precision, sparsity: f64) -> SparsityFormat {
+        let dim = precision.paper_tile_dim();
+        Self::optimal_for_tile(dim, dim, sparsity, precision)
+    }
+
+    /// The format with the smallest footprint for an arbitrary tile shape.
+    pub fn optimal_for_tile(
+        rows: usize,
+        cols: usize,
+        sparsity: f64,
+        precision: Precision,
+    ) -> SparsityFormat {
+        let nnz = nnz_for_sparsity(rows * cols, sparsity);
+        Self::ALL
+            .into_iter()
+            .min_by_key(|f| f.footprint_bits(rows, cols, nnz, precision))
+            .expect("ALL is non-empty")
+    }
+}
+
+impl fmt::Display for SparsityFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparsityFormat::None => write!(f, "None"),
+            SparsityFormat::Coo => write!(f, "COO"),
+            SparsityFormat::CscCsr => write!(f, "CSC/CSR"),
+            SparsityFormat::Bitmap => write!(f, "Bitmap"),
+        }
+    }
+}
+
+/// Number of non-zeros implied by a sparsity ratio over `len` elements.
+#[inline]
+pub(crate) fn nnz_for_sparsity(len: usize, sparsity: f64) -> usize {
+    ((len as f64) * (1.0 - sparsity)).round() as usize
+}
+
+/// Bits needed to index into a dimension of size `dim`.
+#[inline]
+fn index_bits(dim: usize) -> u64 {
+    ceil_log2(dim as u64)
+}
+
+#[inline]
+fn ceil_log2(x: u64) -> u64 {
+    if x <= 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros() as u64
+    }
+}
+
+/// One point of the Fig. 7 sweep: footprints (normalized to `None`) of every
+/// format at a given sparsity ratio and precision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormatSweepPoint {
+    /// Sparsity ratio in percent (the paper sweeps 1…99.9).
+    pub sparsity_pct: f64,
+    /// `(format, normalized footprint)` for each format in legend order.
+    pub normalized: [(SparsityFormat, f64); 4],
+    /// The winning (minimal footprint) format at this point.
+    pub optimal: SparsityFormat,
+}
+
+/// Analytic footprint model used to regenerate Fig. 7 and Fig. 8.
+///
+/// # Example
+///
+/// ```
+/// use fnr_tensor::{FootprintModel, Precision, SparsityFormat};
+///
+/// let sweep = FootprintModel::paper_tile(Precision::Int16).sweep_paper_ratios();
+/// // Dense wins at 1% sparsity, bitmap in the mid range, CSC/CSR near 90%.
+/// assert_eq!(sweep.first().unwrap().optimal, SparsityFormat::None);
+/// assert_eq!(sweep.iter().find(|p| p.sparsity_pct == 50.0).unwrap().optimal,
+///            SparsityFormat::Bitmap);
+/// assert_eq!(sweep.iter().find(|p| p.sparsity_pct == 90.0).unwrap().optimal,
+///            SparsityFormat::CscCsr);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FootprintModel {
+    rows: usize,
+    cols: usize,
+    precision: Precision,
+}
+
+impl FootprintModel {
+    /// Model for an arbitrary tile shape.
+    pub fn new(rows: usize, cols: usize, precision: Precision) -> Self {
+        FootprintModel { rows, cols, precision }
+    }
+
+    /// Model for the paper's per-precision tile (64²/128²/256²).
+    pub fn paper_tile(precision: Precision) -> Self {
+        let d = precision.paper_tile_dim();
+        FootprintModel { rows: d, cols: d, precision }
+    }
+
+    /// Tile rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Tile cols.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Precision mode of the model.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The sparsity ratios (percent) on the x-axis of Fig. 7.
+    pub fn paper_ratios() -> Vec<f64> {
+        let mut v = vec![1.0];
+        v.extend((1..=19).map(|i| i as f64 * 5.0)); // 5,10,…,95
+        v.push(99.0);
+        v.push(99.9);
+        v
+    }
+
+    /// Evaluates one sweep point at `sparsity_pct` percent.
+    pub fn point(&self, sparsity_pct: f64) -> FormatSweepPoint {
+        let sparsity = sparsity_pct / 100.0;
+        let nnz = nnz_for_sparsity(self.rows * self.cols, sparsity);
+        let normalized = SparsityFormat::ALL
+            .map(|f| (f, f.footprint_over_none(self.rows, self.cols, nnz, self.precision)));
+        let optimal =
+            SparsityFormat::optimal_for_tile(self.rows, self.cols, sparsity, self.precision);
+        FormatSweepPoint { sparsity_pct, normalized, optimal }
+    }
+
+    /// Full Fig. 7 sweep over the paper's sparsity ratios.
+    pub fn sweep_paper_ratios(&self) -> Vec<FormatSweepPoint> {
+        Self::paper_ratios().into_iter().map(|s| self.point(s)).collect()
+    }
+
+    /// The sparsity ratio (percent, resolution 0.1) at which `format` first
+    /// becomes the optimal choice, if it ever does.
+    pub fn first_optimal_at(&self, format: SparsityFormat) -> Option<f64> {
+        let mut s = 0.0f64;
+        while s <= 99.9 {
+            if SparsityFormat::optimal_for_tile(self.rows, self.cols, s / 100.0, self.precision)
+                == format
+            {
+                return Some(s);
+            }
+            s += 0.1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_footprint_is_exact() {
+        let bits = SparsityFormat::None.footprint_bits(64, 64, 100, Precision::Int16);
+        assert_eq!(bits, 64 * 64 * 16);
+    }
+
+    #[test]
+    fn coo_footprint_counts_two_indices() {
+        // 64x64 needs 6+6 index bits; INT16 data → 28 bits per nnz.
+        let bits = SparsityFormat::Coo.footprint_bits(64, 64, 10, Precision::Int16);
+        assert_eq!(bits, 10 * 28);
+    }
+
+    #[test]
+    fn csr_footprint_counts_pointers() {
+        // 64x64: col index 6 bits, ptr width = ceil(log2(4097)) = 13 bits.
+        let bits = SparsityFormat::CscCsr.footprint_bits(64, 64, 10, Precision::Int16);
+        assert_eq!(bits, 10 * (16 + 6) + 65 * 13);
+    }
+
+    #[test]
+    fn bitmap_footprint_has_one_bit_per_element() {
+        let bits = SparsityFormat::Bitmap.footprint_bits(64, 64, 10, Precision::Int16);
+        assert_eq!(bits, 4096 + 10 * 16);
+    }
+
+    #[test]
+    fn fig8_int16_band_structure() {
+        // Paper Fig. 8, 16-bit mode: None → Bitmap → CSC/CSR (→ COO only at
+        // the extreme tail).
+        assert_eq!(SparsityFormat::optimal(Precision::Int16, 0.01), SparsityFormat::None);
+        assert_eq!(SparsityFormat::optimal(Precision::Int16, 0.05), SparsityFormat::None);
+        assert_eq!(SparsityFormat::optimal(Precision::Int16, 0.10), SparsityFormat::Bitmap);
+        assert_eq!(SparsityFormat::optimal(Precision::Int16, 0.50), SparsityFormat::Bitmap);
+        assert_eq!(SparsityFormat::optimal(Precision::Int16, 0.90), SparsityFormat::CscCsr);
+        assert_eq!(SparsityFormat::optimal(Precision::Int16, 0.95), SparsityFormat::CscCsr);
+        // At the extreme tail the pointer array dominates and COO wins.
+        assert_eq!(SparsityFormat::optimal(Precision::Int16, 0.99), SparsityFormat::Coo);
+    }
+
+    #[test]
+    fn fig8_low_precision_shifts_thresholds_right() {
+        // Lower precision → metadata relatively more expensive → compressed
+        // formats become optimal only at higher sparsity (Fig. 7 text).
+        let m16 = FootprintModel::paper_tile(Precision::Int16);
+        let m8 = FootprintModel::paper_tile(Precision::Int8);
+        let m4 = FootprintModel::paper_tile(Precision::Int4);
+        let b16 = m16.first_optimal_at(SparsityFormat::Bitmap).unwrap();
+        let b8 = m8.first_optimal_at(SparsityFormat::Bitmap).unwrap();
+        let b4 = m4.first_optimal_at(SparsityFormat::Bitmap).unwrap();
+        assert!(b16 < b8 && b8 < b4, "bitmap onset should shift right: {b16} {b8} {b4}");
+        let c16 = m16.first_optimal_at(SparsityFormat::CscCsr).unwrap();
+        let c4 = m4.first_optimal_at(SparsityFormat::CscCsr).unwrap();
+        assert!(c16 < c4, "csc onset should shift right: {c16} {c4}");
+    }
+
+    #[test]
+    fn int4_bitmap_onset_near_25_percent() {
+        // 256x256 INT4: bitmap overhead is 1/4 of dense data, so the
+        // crossover is at 25% sparsity.
+        let m4 = FootprintModel::paper_tile(Precision::Int4);
+        let onset = m4.first_optimal_at(SparsityFormat::Bitmap).unwrap();
+        assert!((onset - 25.0).abs() < 1.0, "onset {onset}");
+    }
+
+    #[test]
+    fn compression_wins_grow_with_precision_reduction() {
+        // Fig. 7: the y-axis (reduction potential) expands at lower
+        // precision: at 99.9% sparsity CSC relative footprint shrinks more
+        // for INT16 than INT4? No — None baseline shrinks too. Check the
+        // paper's stated effect: normalized curves shift right and the max
+        // *memory reduction* (1/normalized at high sparsity) is larger for
+        // higher precision.
+        let p16 = FootprintModel::paper_tile(Precision::Int16).point(99.9);
+        let p4 = FootprintModel::paper_tile(Precision::Int4).point(99.9);
+        let csc16 = p16.normalized.iter().find(|(f, _)| *f == SparsityFormat::CscCsr).unwrap().1;
+        let csc4 = p4.normalized.iter().find(|(f, _)| *f == SparsityFormat::CscCsr).unwrap().1;
+        assert!(csc16 < csc4, "INT16 compresses relatively better: {csc16} vs {csc4}");
+    }
+
+    #[test]
+    fn sweep_has_22_points() {
+        let sweep = FootprintModel::paper_tile(Precision::Int8).sweep_paper_ratios();
+        assert_eq!(sweep.len(), 22);
+        assert_eq!(sweep[0].sparsity_pct, 1.0);
+        assert_eq!(sweep[21].sparsity_pct, 99.9);
+    }
+
+    #[test]
+    fn display_names_match_legend() {
+        let names: Vec<String> = SparsityFormat::ALL.iter().map(|f| f.to_string()).collect();
+        assert_eq!(names, vec!["None", "COO", "CSC/CSR", "Bitmap"]);
+    }
+
+    #[test]
+    fn ceil_log2_edges() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4096), 12);
+        assert_eq!(ceil_log2(4097), 13);
+    }
+}

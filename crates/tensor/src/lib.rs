@@ -1,0 +1,45 @@
+//! Tensor substrate for the FlexNeRFer reproduction.
+//!
+//! This crate provides everything the accelerator models need to talk about
+//! data: precision modes, dense matrices, the four sparsity formats studied in
+//! the paper (None / COO / CSR·CSC / Bitmap) with exact bit-level footprint
+//! accounting, quantizers (including the outlier-aware scheme used in
+//! Fig. 20(a)), seeded sparse-workload generators, and the online
+//! popcount-based sparsity-ratio calculator of Eq. (4).
+//!
+//! # Example
+//!
+//! ```
+//! use fnr_tensor::{Precision, SparsityFormat, gen};
+//!
+//! // A 64x64 INT16 tile at 90% sparsity.
+//! let m = gen::random_sparse_i32(64, 64, 0.90, Precision::Int16, 42);
+//! assert!((m.sparsity() - 0.90).abs() < 1e-3);
+//!
+//! // At 90% sparsity in 16-bit mode CSR/CSC is the smallest format.
+//! let best = SparsityFormat::optimal(Precision::Int16, 0.90);
+//! assert_eq!(best, SparsityFormat::CscCsr);
+//! ```
+
+#![warn(missing_docs)]
+
+mod dense;
+mod error;
+mod format;
+mod precision;
+mod quant;
+mod stats;
+
+pub mod gen;
+pub mod sparse;
+pub mod workload;
+
+pub use dense::Matrix;
+pub use error::TensorError;
+pub use format::{FootprintModel, FormatSweepPoint, SparsityFormat};
+pub use precision::Precision;
+pub use quant::{OutlierQuantized, Quantized, Quantizer};
+pub use stats::{ActivationStats, SrCalculator};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,175 @@
+use std::fmt;
+
+/// Numeric precision modes supported by the bit-scalable datapath.
+///
+/// FlexNeRFer's MAC array is built from Bit Fusion style fused units: sixteen
+/// 4-bit sub-multipliers that can be composed into one 16-bit, four 8-bit or
+/// sixteen 4-bit multipliers (paper Fig. 6(a)). The *logical* array dimension
+/// therefore grows as precision shrinks: a 64×64 array of fused units acts as
+/// a 64×64 INT16, 128×128 INT8 or 256×256 INT4 multiplier grid, and the data
+/// fetched per array fill doubles each time precision is halved (Fig. 6(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Precision {
+    /// 4-bit signed integers in `[-8, 7]`.
+    Int4,
+    /// 8-bit signed integers in `[-128, 127]`.
+    Int8,
+    /// 16-bit signed integers in `[-32768, 32767]`.
+    Int16,
+    /// 32-bit IEEE-754 floats; the GPU reference precision (not supported by
+    /// the MAC array, only by the software reference paths).
+    Fp32,
+}
+
+impl Precision {
+    /// All integer modes the MAC array supports, lowest precision first.
+    pub const INT_MODES: [Precision; 3] = [Precision::Int4, Precision::Int8, Precision::Int16];
+
+    /// Bit width of one element.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        match self {
+            Precision::Int4 => 4,
+            Precision::Int8 => 8,
+            Precision::Int16 => 16,
+            Precision::Fp32 => 32,
+        }
+    }
+
+    /// Inclusive representable range for the integer modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`Precision::Fp32`].
+    #[inline]
+    pub fn range(self) -> (i32, i32) {
+        match self {
+            Precision::Int4 => (-8, 7),
+            Precision::Int8 => (-128, 127),
+            Precision::Int16 => (-32768, 32767),
+            Precision::Fp32 => panic!("FP32 has no integer range"),
+        }
+    }
+
+    /// Whether `value` is representable in this integer mode.
+    #[inline]
+    pub fn contains(self, value: i32) -> bool {
+        let (lo, hi) = self.range();
+        value >= lo && value <= hi
+    }
+
+    /// Number of 4-bit sub-multipliers consumed by one multiplication in this
+    /// mode (16 for INT16, 4 for INT8, 1 for INT4).
+    #[inline]
+    pub fn submults_per_product(self) -> usize {
+        match self {
+            Precision::Int4 => 1,
+            Precision::Int8 => 4,
+            Precision::Int16 => 16,
+            Precision::Fp32 => panic!("FP32 is not supported by the MAC array"),
+        }
+    }
+
+    /// Logical multiplier-grid side length for a `base`-wide array of fused
+    /// MAC units (paper Fig. 6(b): 64 → 64 / 128 / 256).
+    #[inline]
+    pub fn logical_dim(self, base: usize) -> usize {
+        match self {
+            Precision::Int16 => base,
+            Precision::Int8 => base * 2,
+            Precision::Int4 => base * 4,
+            Precision::Fp32 => base,
+        }
+    }
+
+    /// Data fetch size in bytes for one full fill of one operand of a
+    /// `base`-wide array (paper Fig. 6(b): 16 KiB / 8 KiB doubling as
+    /// precision drops; 64-wide INT16 → 8192 B, INT8 → 16384 B, INT4 →
+    /// 65536 B... the fetch size *doubles* each halving because the logical
+    /// tile element count quadruples while element width halves).
+    #[inline]
+    pub fn fetch_bytes(self, base: usize) -> usize {
+        let d = self.logical_dim(base);
+        d * d * self.bits() as usize / 8
+    }
+
+    /// Speedup of peak throughput relative to INT16 on the same fused array
+    /// (1× / 4× / 16× for INT16 / INT8 / INT4).
+    #[inline]
+    pub fn throughput_factor(self) -> f64 {
+        match self {
+            Precision::Int4 => 16.0,
+            Precision::Int8 => 4.0,
+            Precision::Int16 => 1.0,
+            Precision::Fp32 => 1.0,
+        }
+    }
+
+    /// The paper's per-precision tile side used for the Fig. 7 footprint
+    /// study: 64 (INT16), 128 (INT8), 256 (INT4).
+    #[inline]
+    pub fn paper_tile_dim(self) -> usize {
+        self.logical_dim(64)
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Precision::Int4 => write!(f, "INT4"),
+            Precision::Int8 => write!(f, "INT8"),
+            Precision::Int16 => write!(f, "INT16"),
+            Precision::Fp32 => write!(f, "FP32"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_and_ranges() {
+        assert_eq!(Precision::Int4.bits(), 4);
+        assert_eq!(Precision::Int8.bits(), 8);
+        assert_eq!(Precision::Int16.bits(), 16);
+        assert_eq!(Precision::Int4.range(), (-8, 7));
+        assert!(Precision::Int4.contains(-8));
+        assert!(!Precision::Int4.contains(8));
+        assert!(Precision::Int16.contains(-32768));
+        assert!(!Precision::Int8.contains(200));
+    }
+
+    #[test]
+    fn logical_dims_match_fig6() {
+        assert_eq!(Precision::Int16.logical_dim(64), 64);
+        assert_eq!(Precision::Int8.logical_dim(64), 128);
+        assert_eq!(Precision::Int4.logical_dim(64), 256);
+    }
+
+    #[test]
+    fn fetch_sizes_double_as_precision_halves() {
+        let b16 = Precision::Int16.fetch_bytes(64);
+        let b8 = Precision::Int8.fetch_bytes(64);
+        let b4 = Precision::Int4.fetch_bytes(64);
+        assert_eq!(b16, 8192);
+        assert_eq!(b8, 2 * b16);
+        assert_eq!(b4, 2 * b8);
+    }
+
+    #[test]
+    fn submults_partition_the_unit() {
+        // In every mode all 16 sub-multipliers of a fused unit are used:
+        // products/unit * submults/product == 16.
+        for p in Precision::INT_MODES {
+            let products_per_unit = 16 / p.submults_per_product();
+            assert_eq!(products_per_unit * p.submults_per_product(), 16);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Precision::Int4.to_string(), "INT4");
+        assert_eq!(Precision::Fp32.to_string(), "FP32");
+    }
+}

@@ -1,0 +1,282 @@
+use crate::{Matrix, Precision};
+
+/// Symmetric linear quantizer mapping `f32` tensors into an integer
+/// precision mode.
+///
+/// The scale is chosen per tensor (or per row) so that the maximum absolute
+/// value maps to the edge of the representable range — the standard scheme
+/// used by the NeRF quantization studies the paper builds on.
+///
+/// # Example
+///
+/// ```
+/// use fnr_tensor::{Matrix, Precision, Quantizer};
+///
+/// let w = Matrix::from_rows(&[&[0.5f32, -1.0, 0.25]]);
+/// let q = Quantizer::per_tensor(Precision::Int8).quantize(&w);
+/// let back = q.dequantize();
+/// assert!((back.get(0, 1) - -1.0).abs() < 1e-2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    precision: Precision,
+    per_row: bool,
+}
+
+impl Quantizer {
+    /// One scale for the whole tensor.
+    pub fn per_tensor(precision: Precision) -> Self {
+        Quantizer { precision, per_row: false }
+    }
+
+    /// One scale per matrix row (finer grain, used for weight matrices).
+    pub fn per_row(precision: Precision) -> Self {
+        Quantizer { precision, per_row: true }
+    }
+
+    /// Target precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Quantizes `m`, returning integer values plus the scales needed to
+    /// dequantize.
+    pub fn quantize(&self, m: &Matrix<f32>) -> Quantized {
+        let (_, hi) = self.precision.range();
+        let qmax = hi as f32;
+        let scales = if self.per_row {
+            (0..m.rows())
+                .map(|r| {
+                    let amax = m.row(r).iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+                    if amax == 0.0 {
+                        1.0
+                    } else {
+                        amax / qmax
+                    }
+                })
+                .collect()
+        } else {
+            let amax = m.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+            vec![if amax == 0.0 { 1.0 } else { amax / qmax }]
+        };
+        let mut values = Matrix::zeros(m.rows(), m.cols());
+        for r in 0..m.rows() {
+            let s = scales[if self.per_row { r } else { 0 }];
+            for c in 0..m.cols() {
+                let q = (m.get(r, c) / s).round();
+                let (lo, hi) = self.precision.range();
+                values.set(r, c, (q as i32).clamp(lo, hi));
+            }
+        }
+        Quantized { precision: self.precision, per_row: self.per_row, values, scales }
+    }
+
+    /// Quantizes with the outlier-aware scheme of Fig. 20(a): the
+    /// `outlier_fraction` largest-magnitude elements are kept at INT16 in a
+    /// sparse side tensor while the body uses the low-precision mode with a
+    /// scale fitted to the *non-outlier* range (OLAccel-style).
+    pub fn quantize_outlier_aware(
+        &self,
+        m: &Matrix<f32>,
+        outlier_fraction: f64,
+    ) -> OutlierQuantized {
+        assert!(
+            (0.0..1.0).contains(&outlier_fraction),
+            "outlier fraction must be in [0, 1), got {outlier_fraction}"
+        );
+        let n = m.len();
+        let n_outliers = ((n as f64) * outlier_fraction).round() as usize;
+        // Find the magnitude threshold separating outliers from the body.
+        let mut mags: Vec<f32> = m.as_slice().iter().map(|v| v.abs()).collect();
+        mags.sort_by(|a, b| b.partial_cmp(a).expect("magnitudes are finite"));
+        let threshold = if n_outliers == 0 { f32::INFINITY } else { mags[n_outliers - 1] };
+
+        let mut body = Matrix::<f32>::zeros(m.rows(), m.cols());
+        let mut outliers = Vec::new();
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                let v = m.get(r, c);
+                if v.abs() >= threshold && outliers.len() < n_outliers {
+                    outliers.push((r, c, v));
+                } else {
+                    body.set(r, c, v);
+                }
+            }
+        }
+        let body_q = Quantizer { precision: self.precision, per_row: self.per_row }.quantize(&body);
+        // Outliers themselves are stored at INT16.
+        let omax = outliers.iter().fold(0.0f32, |a, &(_, _, v)| a.max(v.abs()));
+        let oscale = if omax == 0.0 { 1.0 } else { omax / Precision::Int16.range().1 as f32 };
+        let outliers_q: Vec<(usize, usize, i32)> = outliers
+            .iter()
+            .map(|&(r, c, v)| {
+                let (lo, hi) = Precision::Int16.range();
+                (r, c, ((v / oscale).round() as i32).clamp(lo, hi))
+            })
+            .collect();
+        OutlierQuantized { body: body_q, outliers: outliers_q, outlier_scale: oscale }
+    }
+}
+
+/// A quantized tensor: integer values plus dequantization scales.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantized {
+    precision: Precision,
+    per_row: bool,
+    values: Matrix<i32>,
+    scales: Vec<f32>,
+}
+
+impl Quantized {
+    /// Integer values (guaranteed to fit `precision()`).
+    pub fn values(&self) -> &Matrix<i32> {
+        &self.values
+    }
+
+    /// Target precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Scale of row `r` (constant across rows for per-tensor quantization).
+    pub fn scale(&self, r: usize) -> f32 {
+        self.scales[if self.per_row { r } else { 0 }]
+    }
+
+    /// Reconstructs the floating-point tensor.
+    pub fn dequantize(&self) -> Matrix<f32> {
+        let mut out = Matrix::zeros(self.values.rows(), self.values.cols());
+        for r in 0..out.rows() {
+            let s = self.scale(r);
+            for c in 0..out.cols() {
+                out.set(r, c, self.values.get(r, c) as f32 * s);
+            }
+        }
+        out
+    }
+
+    /// Root-mean-square quantization error against the original tensor.
+    pub fn rms_error(&self, original: &Matrix<f32>) -> f32 {
+        let deq = self.dequantize();
+        let mut acc = 0.0f64;
+        for (a, b) in deq.as_slice().iter().zip(original.as_slice()) {
+            acc += ((a - b) as f64).powi(2);
+        }
+        (acc / original.len() as f64).sqrt() as f32
+    }
+}
+
+/// Outlier-aware quantized tensor: low-precision body + sparse INT16
+/// outliers (paper §6.3.2, after Park et al. OLAccel).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutlierQuantized {
+    /// Low-precision dense body (outlier positions hold zero).
+    pub body: Quantized,
+    /// `(row, col, int16_value)` outliers.
+    pub outliers: Vec<(usize, usize, i32)>,
+    /// Dequantization scale of the outlier values.
+    pub outlier_scale: f32,
+}
+
+impl OutlierQuantized {
+    /// Reconstructs the floating-point tensor (body + outliers).
+    pub fn dequantize(&self) -> Matrix<f32> {
+        let mut out = self.body.dequantize();
+        for &(r, c, v) in &self.outliers {
+            out.set(r, c, v as f32 * self.outlier_scale);
+        }
+        out
+    }
+
+    /// Fraction of elements stored as outliers.
+    pub fn outlier_fraction(&self) -> f64 {
+        self.outliers.len() as f64 / self.body.values().len() as f64
+    }
+
+    /// Root-mean-square reconstruction error against the original tensor.
+    pub fn rms_error(&self, original: &Matrix<f32>) -> f32 {
+        let deq = self.dequantize();
+        let mut acc = 0.0f64;
+        for (a, b) in deq.as_slice().iter().zip(original.as_slice()) {
+            acc += ((a - b) as f64).powi(2);
+        }
+        (acc / original.len() as f64).sqrt() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn heavy_tailed(rows: usize, cols: usize, seed: u64) -> Matrix<f32> {
+        // Mostly small values with a few large outliers — the weight
+        // distribution where outlier-aware quantization shines.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let base: f32 = rng.gen_range(-0.1..0.1);
+                let v = if rng.gen_bool(0.01) { base * 100.0 } else { base };
+                m.set(r, c, v);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn int16_quantization_is_nearly_lossless() {
+        let m = heavy_tailed(16, 16, 1);
+        let q = Quantizer::per_tensor(Precision::Int16).quantize(&m);
+        assert!(q.rms_error(&m) < 1e-3);
+        assert!(q.values().check_precision(Precision::Int16).is_ok());
+    }
+
+    #[test]
+    fn lower_precision_has_larger_error() {
+        let m = heavy_tailed(32, 32, 2);
+        let e16 = Quantizer::per_tensor(Precision::Int16).quantize(&m).rms_error(&m);
+        let e8 = Quantizer::per_tensor(Precision::Int8).quantize(&m).rms_error(&m);
+        let e4 = Quantizer::per_tensor(Precision::Int4).quantize(&m).rms_error(&m);
+        assert!(e16 < e8 && e8 < e4, "errors must grow: {e16} {e8} {e4}");
+    }
+
+    #[test]
+    fn per_row_beats_per_tensor_on_heterogeneous_rows() {
+        let mut m = Matrix::<f32>::zeros(2, 64);
+        for c in 0..64 {
+            m.set(0, c, 0.001 * (c as f32 - 32.0));
+            m.set(1, c, 10.0 * (c as f32 - 32.0));
+        }
+        let per_tensor = Quantizer::per_tensor(Precision::Int8).quantize(&m).rms_error(&m);
+        let per_row = Quantizer::per_row(Precision::Int8).quantize(&m).rms_error(&m);
+        assert!(per_row < per_tensor, "{per_row} !< {per_tensor}");
+    }
+
+    #[test]
+    fn outlier_aware_recovers_low_precision_quality() {
+        // Fig. 20(a): keeping a small INT16 outlier set makes INT4/INT8
+        // approach FP32 quality.
+        let m = heavy_tailed(32, 32, 3);
+        let plain = Quantizer::per_tensor(Precision::Int4).quantize(&m).rms_error(&m);
+        let aware =
+            Quantizer::per_tensor(Precision::Int4).quantize_outlier_aware(&m, 0.02).rms_error(&m);
+        assert!(aware < plain * 0.5, "outlier-aware {aware} should beat plain {plain} by >2x");
+    }
+
+    #[test]
+    fn outlier_fraction_is_respected() {
+        let m = heavy_tailed(32, 32, 4);
+        let oq = Quantizer::per_tensor(Precision::Int8).quantize_outlier_aware(&m, 0.05);
+        assert!((oq.outlier_fraction() - 0.05).abs() < 0.01);
+        assert!(oq.body.values().check_precision(Precision::Int8).is_ok());
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_to_zero() {
+        let m = Matrix::<f32>::zeros(4, 4);
+        let q = Quantizer::per_tensor(Precision::Int8).quantize(&m);
+        assert_eq!(q.values().nnz(), 0);
+        assert_eq!(q.dequantize().as_slice(), m.as_slice());
+    }
+}

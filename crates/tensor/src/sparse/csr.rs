@@ -1,0 +1,206 @@
+use crate::{Matrix, Precision};
+
+/// Storage orientation of a compressed-sparse matrix.
+///
+/// The paper groups CSR and CSC into one category because they share the
+/// compression mechanism and differ only in whether the major axis is rows
+/// or columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsrLayout {
+    /// CSR: pointers over rows, indices over columns.
+    RowMajor,
+    /// CSC: pointers over columns, indices over rows.
+    ColMajor,
+}
+
+/// Compressed sparse row/column matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    layout: CsrLayout,
+    precision: Precision,
+    /// `major_dim + 1` pointers into `values`.
+    ptr: Vec<u32>,
+    /// Minor-axis index of each stored value.
+    minor_idx: Vec<u16>,
+    values: Vec<i32>,
+}
+
+impl CsrMatrix {
+    /// Encodes a dense matrix in the chosen orientation.
+    pub fn from_dense(m: &Matrix<i32>, layout: CsrLayout, precision: Precision) -> Self {
+        let (major, minor) = match layout {
+            CsrLayout::RowMajor => (m.rows(), m.cols()),
+            CsrLayout::ColMajor => (m.cols(), m.rows()),
+        };
+        let mut ptr = Vec::with_capacity(major + 1);
+        let mut minor_idx = Vec::new();
+        let mut values = Vec::new();
+        ptr.push(0);
+        for i in 0..major {
+            for j in 0..minor {
+                let (r, c) = match layout {
+                    CsrLayout::RowMajor => (i, j),
+                    CsrLayout::ColMajor => (j, i),
+                };
+                let v = m.get(r, c);
+                if v != 0 {
+                    minor_idx.push(j as u16);
+                    values.push(v);
+                }
+            }
+            ptr.push(values.len() as u32);
+        }
+        CsrMatrix { rows: m.rows(), cols: m.cols(), layout, precision, ptr, minor_idx, values }
+    }
+
+    /// Decodes back to a dense matrix.
+    pub fn to_dense(&self) -> Matrix<i32> {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        let major = self.major_dim();
+        for i in 0..major {
+            for k in self.ptr[i] as usize..self.ptr[i + 1] as usize {
+                let j = self.minor_idx[k] as usize;
+                let (r, c) = match self.layout {
+                    CsrLayout::RowMajor => (i, j),
+                    CsrLayout::ColMajor => (j, i),
+                };
+                m.set(r, c, self.values[k]);
+            }
+        }
+        m
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Matrix rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Matrix cols.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Storage orientation.
+    pub fn layout(&self) -> CsrLayout {
+        self.layout
+    }
+
+    /// Precision the values were encoded at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Length of the major (pointer) axis.
+    pub fn major_dim(&self) -> usize {
+        match self.layout {
+            CsrLayout::RowMajor => self.rows,
+            CsrLayout::ColMajor => self.cols,
+        }
+    }
+
+    /// Non-zeros of major line `i` as `(minor_index, value)` pairs.
+    ///
+    /// For CSR this is a row; for CSC, a column. This is the access pattern
+    /// the Gustavson-style dense mapping uses (paper Fig. 5: "A: a, b, c, d
+    /// => row-wise broadcast").
+    pub fn line(&self, i: usize) -> impl Iterator<Item = (usize, i32)> + '_ {
+        let lo = self.ptr[i] as usize;
+        let hi = self.ptr[i + 1] as usize;
+        (lo..hi).map(move |k| (self.minor_idx[k] as usize, self.values[k]))
+    }
+
+    /// Number of non-zeros in major line `i`.
+    pub fn line_nnz(&self, i: usize) -> usize {
+        (self.ptr[i + 1] - self.ptr[i]) as usize
+    }
+
+    /// Exact storage footprint in bits: value + minor index per non-zero,
+    /// plus `(major_dim + 1)` pointers wide enough to address every element.
+    pub fn footprint_bits(&self) -> u64 {
+        let minor = match self.layout {
+            CsrLayout::RowMajor => self.cols,
+            CsrLayout::ColMajor => self.rows,
+        };
+        let per_nnz = self.precision.bits() as u64 + index_bits(minor);
+        let ptr_bits = ceil_log2((self.rows * self.cols) as u64 + 1);
+        self.values.len() as u64 * per_nnz + (self.major_dim() as u64 + 1) * ptr_bits
+    }
+}
+
+/// Bits needed to index a dimension of size `dim` (shared with COO).
+#[inline]
+pub(crate) fn index_bits(dim: usize) -> u64 {
+    ceil_log2(dim as u64)
+}
+
+#[inline]
+fn ceil_log2(x: u64) -> u64 {
+    if x <= 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix<i32> {
+        Matrix::from_rows(&[&[1, 0, 2], &[0, 0, 0], &[3, 4, 0]])
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let m = sample();
+        let csr = CsrMatrix::from_dense(&m, CsrLayout::RowMajor, Precision::Int8);
+        assert_eq!(csr.nnz(), 4);
+        assert_eq!(csr.to_dense(), m);
+    }
+
+    #[test]
+    fn csc_roundtrip() {
+        let m = sample();
+        let csc = CsrMatrix::from_dense(&m, CsrLayout::ColMajor, Precision::Int8);
+        assert_eq!(csc.nnz(), 4);
+        assert_eq!(csc.to_dense(), m);
+    }
+
+    #[test]
+    fn line_access() {
+        let m = sample();
+        let csr = CsrMatrix::from_dense(&m, CsrLayout::RowMajor, Precision::Int8);
+        let row0: Vec<_> = csr.line(0).collect();
+        assert_eq!(row0, vec![(0, 1), (2, 2)]);
+        assert_eq!(csr.line_nnz(1), 0);
+        assert_eq!(csr.line_nnz(2), 2);
+
+        let csc = CsrMatrix::from_dense(&m, CsrLayout::ColMajor, Precision::Int8);
+        let col0: Vec<_> = csc.line(0).collect();
+        assert_eq!(col0, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn csr_and_csc_footprints_match_on_square_tiles() {
+        let m = sample();
+        let csr = CsrMatrix::from_dense(&m, CsrLayout::RowMajor, Precision::Int16);
+        let csc = CsrMatrix::from_dense(&m, CsrLayout::ColMajor, Precision::Int16);
+        assert_eq!(csr.footprint_bits(), csc.footprint_bits());
+    }
+
+    #[test]
+    fn footprint_formula() {
+        let mut m = Matrix::zeros(64, 64);
+        m.set(0, 0, 1);
+        let csr = CsrMatrix::from_dense(&m, CsrLayout::RowMajor, Precision::Int16);
+        // 1 nnz * (16 + 6) + 65 * 13
+        assert_eq!(csr.footprint_bits(), 22 + 65 * 13);
+    }
+}

@@ -1,0 +1,382 @@
+//! Workload descriptors exchanged between the NeRF pipeline (producer) and
+//! the GPU / accelerator performance models (consumers).
+//!
+//! A rendering pass is summarised as a [`WorkloadTrace`]: an ordered list of
+//! [`PhaseOp`]s, each describing one computational phase (a GEMM/GEMV batch,
+//! an encoding pass, or miscellaneous work such as ray sampling and volume
+//! rendering). This is the same abstraction level the paper uses to profile
+//! the seven NeRF models (Fig. 3) and to drive the accelerator comparisons
+//! (Figs. 18–20).
+
+use crate::Precision;
+
+/// Classification of a GEMM-like phase, which determines how efficiently a
+/// given architecture executes it (paper Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GemmClass {
+    /// Large, regular dense GEMM (late CNN layers, big MLP batches).
+    RegularDense,
+    /// Irregular dims that do not tile the array nicely (Fig. 4(c)).
+    Irregular,
+    /// Sparse operands (pruned weights / ReLU activations / ray-marching
+    /// filtered samples, Fig. 4(d)).
+    Sparse,
+    /// Matrix–vector products (single query batches).
+    Gemv,
+}
+
+/// One GEMM/GEMV phase: `batch` independent `m×k · k×n` products.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemmOp {
+    /// Output rows per product.
+    pub m: usize,
+    /// Contraction dimension.
+    pub k: usize,
+    /// Output columns per product.
+    pub n: usize,
+    /// Number of independent products in the phase.
+    pub batch: usize,
+    /// Element precision of the operands.
+    pub precision: Precision,
+    /// Sparsity of the activation operand in `[0, 1]`.
+    pub sparsity_a: f64,
+    /// Sparsity of the weight operand in `[0, 1]`.
+    pub sparsity_b: f64,
+    /// Workload class for utilization modelling.
+    pub class: GemmClass,
+    /// Whether the activation operand streams from off-chip memory
+    /// (`false` when it is produced on-chip by the previous layer or the
+    /// encoding unit and stays in the I/O buffers).
+    pub a_offchip: bool,
+    /// Whether the output must be written back off-chip.
+    pub out_offchip: bool,
+}
+
+impl GemmOp {
+    /// Dense multiply–accumulate count (`m·k·n·batch`).
+    pub fn dense_macs(&self) -> u64 {
+        (self.m as u64) * (self.k as u64) * (self.n as u64) * (self.batch as u64)
+    }
+
+    /// MACs that survive zero-skipping on both operands.
+    pub fn effective_macs(&self) -> u64 {
+        let keep = (1.0 - self.sparsity_a) * (1.0 - self.sparsity_b);
+        (self.dense_macs() as f64 * keep).round() as u64
+    }
+
+    /// Bytes touched for dense operands + output at `self.precision`
+    /// (one pass, no tiling reuse).
+    pub fn dense_bytes(&self) -> u64 {
+        let bits = self.precision.bits() as u64;
+        let elems = (self.m * self.k + self.k * self.n + self.m * self.n) as u64
+            * self.batch as u64;
+        elems * bits / 8
+    }
+}
+
+/// Neural-feature encoding families used by the seven models (paper §2, §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EncodingKind {
+    /// Sinusoidal positional encoding (NeRF, Mip-NeRF, KiloNeRF, NSVF).
+    Positional {
+        /// Number of frequency octaves `N` in Eq. (1).
+        frequencies: usize,
+    },
+    /// Multi-resolution hash encoding (Instant-NGP family).
+    Hash {
+        /// Number of resolution levels.
+        levels: usize,
+        /// Features per level.
+        features: usize,
+    },
+    /// No encoding / learned features baked into the representation
+    /// (TensoRF, IBRNet image features).
+    Learned,
+}
+
+/// One encoding phase over `points` input samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncodingOp {
+    /// Encoding family.
+    pub kind: EncodingKind,
+    /// Number of sample points encoded.
+    pub points: u64,
+    /// Input dimensionality per point (e.g. 3 for xyz, 5 with view dirs).
+    pub input_dims: usize,
+    /// Work multiplier relative to the plain encoding of `kind` (e.g.
+    /// Mip-NeRF's integrated positional encoding computes per-frustum
+    /// covariances on top of the sinusoids; KiloNeRF dispatches thousands
+    /// of tiny per-network encode kernels).
+    pub cost_factor: f64,
+}
+
+impl EncodingOp {
+    /// Output feature width per point.
+    pub fn output_dims(&self) -> usize {
+        match self.kind {
+            EncodingKind::Positional { frequencies } => self.input_dims * 2 * frequencies,
+            EncodingKind::Hash { levels, features } => levels * features,
+            EncodingKind::Learned => self.input_dims,
+        }
+    }
+
+    /// Scalar operations per point (trig evaluations or hash+interp ops),
+    /// before the [`EncodingOp::cost_factor`].
+    pub fn ops_per_point(&self) -> u64 {
+        match self.kind {
+            // sin+cos per frequency per input dim.
+            EncodingKind::Positional { frequencies } => (self.input_dims * 2 * frequencies) as u64,
+            // 8 corner lookups + trilinear interp (7 lerps × features) per level.
+            EncodingKind::Hash { levels, features } => (levels * (8 + 7 * features)) as u64,
+            EncodingKind::Learned => 0,
+        }
+    }
+
+    /// Total scalar operations of the phase, including the cost factor.
+    pub fn total_ops(&self) -> u64 {
+        (self.ops_per_point() as f64 * self.points as f64 * self.cost_factor).round() as u64
+    }
+}
+
+/// One phase of a rendering pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhaseOp {
+    /// A GEMM/GEMV batch.
+    Gemm(GemmOp),
+    /// A neural-feature encoding pass.
+    Encoding(EncodingOp),
+    /// Anything else (ray generation, sampling, compositing), summarised by
+    /// its scalar op count and memory traffic.
+    Other {
+        /// Label for reporting ("volume rendering", "ray sampling", …).
+        label: &'static str,
+        /// Scalar floating-point operations.
+        flops: u64,
+        /// Bytes moved to/from memory.
+        bytes: u64,
+    },
+}
+
+impl PhaseOp {
+    /// Phase category label used by the Fig. 3 runtime breakdown.
+    pub fn category(&self) -> PhaseCategory {
+        match self {
+            PhaseOp::Gemm(_) => PhaseCategory::Gemm,
+            PhaseOp::Encoding(_) => PhaseCategory::Encoding,
+            PhaseOp::Other { .. } => PhaseCategory::Other,
+        }
+    }
+}
+
+/// The three runtime-breakdown categories of the paper's Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseCategory {
+    /// GEMM/GEMV operations.
+    Gemm,
+    /// Neural feature encoding.
+    Encoding,
+    /// Everything else.
+    Other,
+}
+
+impl PhaseCategory {
+    /// All categories in the paper's legend order.
+    pub const ALL: [PhaseCategory; 3] =
+        [PhaseCategory::Gemm, PhaseCategory::Encoding, PhaseCategory::Other];
+}
+
+impl std::fmt::Display for PhaseCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhaseCategory::Gemm => write!(f, "GEMM/GEMV"),
+            PhaseCategory::Encoding => write!(f, "Encoding"),
+            PhaseCategory::Other => write!(f, "Others"),
+        }
+    }
+}
+
+/// An ordered list of phases describing one rendering pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkloadTrace {
+    /// Name of the workload (model + scene).
+    pub name: String,
+    /// Phases in execution order.
+    pub phases: Vec<PhaseOp>,
+}
+
+impl WorkloadTrace {
+    /// Creates an empty named trace.
+    pub fn new(name: impl Into<String>) -> Self {
+        WorkloadTrace { name: name.into(), phases: Vec::new() }
+    }
+
+    /// Appends a phase.
+    pub fn push(&mut self, op: PhaseOp) {
+        self.phases.push(op);
+    }
+
+    /// Total dense MACs across all GEMM phases.
+    pub fn total_dense_macs(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| match p {
+                PhaseOp::Gemm(g) => g.dense_macs(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total effective (zero-skipped) MACs across all GEMM phases.
+    pub fn total_effective_macs(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| match p {
+                PhaseOp::Gemm(g) => g.effective_macs(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Applies structured pruning to every GEMM phase's weight operand:
+    /// weight sparsity becomes `max(existing, ratio)` (pruning removes rows
+    /// on top of any intrinsic sparsity), reproducing the paper's Fig. 19
+    /// pruning sweep.
+    pub fn with_pruning(&self, ratio: f64) -> WorkloadTrace {
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| match p {
+                PhaseOp::Gemm(g) => {
+                    let mut g = *g;
+                    g.sparsity_b = g.sparsity_b.max(ratio);
+                    // Pruned dense layers become sparse workloads; already
+                    // irregular/GEMV shapes keep their (harder) class.
+                    if ratio > 0.0 && g.class == crate::workload::GemmClass::RegularDense {
+                        g.class = crate::workload::GemmClass::Sparse;
+                    }
+                    PhaseOp::Gemm(g)
+                }
+                other => other.clone(),
+            })
+            .collect();
+        WorkloadTrace { name: format!("{} (pruned {:.0}%)", self.name, ratio * 100.0), phases }
+    }
+
+    /// Re-targets every GEMM phase to `precision` (the quantization sweep of
+    /// Figs. 19–20).
+    pub fn with_precision(&self, precision: Precision) -> WorkloadTrace {
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| match p {
+                PhaseOp::Gemm(g) => {
+                    let mut g = *g;
+                    g.precision = precision;
+                    PhaseOp::Gemm(g)
+                }
+                other => other.clone(),
+            })
+            .collect();
+        WorkloadTrace { name: format!("{} @{}", self.name, precision), phases }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_gemm() -> GemmOp {
+        GemmOp {
+            m: 128,
+            k: 64,
+            n: 64,
+            batch: 2,
+            precision: Precision::Int16,
+            sparsity_a: 0.5,
+            sparsity_b: 0.0,
+            class: GemmClass::Sparse,
+            a_offchip: true,
+            out_offchip: true,
+        }
+    }
+
+    #[test]
+    fn mac_counting() {
+        let g = sample_gemm();
+        assert_eq!(g.dense_macs(), 128 * 64 * 64 * 2);
+        assert_eq!(g.effective_macs(), 128 * 64 * 64); // 50% skipped
+    }
+
+    #[test]
+    fn dense_bytes_at_precision() {
+        let g = GemmOp { precision: Precision::Int8, batch: 1, ..sample_gemm() };
+        let elems = 128 * 64 + 64 * 64 + 128 * 64;
+        assert_eq!(g.dense_bytes(), elems as u64);
+    }
+
+    #[test]
+    fn positional_encoding_dims() {
+        let e = EncodingOp {
+            kind: EncodingKind::Positional { frequencies: 10 },
+            points: 100,
+            input_dims: 3,
+            cost_factor: 1.0,
+        };
+        assert_eq!(e.output_dims(), 60);
+        assert_eq!(e.ops_per_point(), 60);
+    }
+
+    #[test]
+    fn hash_encoding_dims() {
+        let e =
+            EncodingOp { kind: EncodingKind::Hash { levels: 16, features: 2 }, points: 10, input_dims: 3, cost_factor: 1.0 };
+        assert_eq!(e.output_dims(), 32);
+        assert_eq!(e.ops_per_point(), 16 * (8 + 14));
+    }
+
+    #[test]
+    fn pruning_raises_weight_sparsity() {
+        let mut t = WorkloadTrace::new("unit");
+        t.push(PhaseOp::Gemm(sample_gemm()));
+        let pruned = t.with_pruning(0.7);
+        match &pruned.phases[0] {
+            PhaseOp::Gemm(g) => {
+                assert_eq!(g.sparsity_b, 0.7);
+                assert_eq!(g.class, GemmClass::Sparse);
+            }
+            _ => panic!("expected gemm"),
+        }
+        // Pruning never lowers sparsity.
+        let p2 = pruned.with_pruning(0.3);
+        match &p2.phases[0] {
+            PhaseOp::Gemm(g) => assert_eq!(g.sparsity_b, 0.7),
+            _ => panic!("expected gemm"),
+        }
+    }
+
+    #[test]
+    fn precision_retarget() {
+        let mut t = WorkloadTrace::new("unit");
+        t.push(PhaseOp::Gemm(sample_gemm()));
+        let t4 = t.with_precision(Precision::Int4);
+        match &t4.phases[0] {
+            PhaseOp::Gemm(g) => assert_eq!(g.precision, Precision::Int4),
+            _ => panic!("expected gemm"),
+        }
+    }
+
+    #[test]
+    fn trace_totals() {
+        let mut t = WorkloadTrace::new("unit");
+        t.push(PhaseOp::Gemm(sample_gemm()));
+        t.push(PhaseOp::Other { label: "compositing", flops: 10, bytes: 20 });
+        assert_eq!(t.total_dense_macs(), 128 * 64 * 64 * 2);
+        assert_eq!(t.total_effective_macs(), 128 * 64 * 64);
+    }
+
+    #[test]
+    fn categories_display() {
+        assert_eq!(PhaseCategory::Gemm.to_string(), "GEMM/GEMV");
+        assert_eq!(PhaseCategory::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,84 @@
+//! The Fig. 5 / Fig. 11 walkthrough: how a sparse irregular GEMM is
+//! densely mapped onto the MAC array through the flexible NoC.
+//!
+//! Reproduces the paper's example end to end: bitmap intersection, the
+//! source→destination pairs, the per-dataflow classification (broadcast /
+//! multicast / unicast), the HMF-NoC switch controls, and the functional
+//! execution, verified against the reference matmul.
+//!
+//! ```text
+//! cargo run --release --example mapping_walkthrough
+//! ```
+
+use fnr_mac::{MacArray, ReductionTreeKind};
+use fnr_noc::{Delivery, DistTree, NocKind};
+use fnr_sim::{gustavson_map, partition_passes};
+use fnr_tensor::sparse::BitmapMatrix;
+use fnr_tensor::{Matrix, Precision};
+
+fn main() {
+    // The example tiles of Fig. 5: sparse irregular operands.
+    let a = Matrix::from_rows(&[
+        &[2, 0, 0, 3],
+        &[0, 0, 5, 0],
+        &[0, 7, 0, 0],
+        &[0, 0, 0, 0],
+        &[1, 0, 0, 0],
+    ]);
+    let b = Matrix::from_rows(&[
+        &[4, 0, 6, 0], // row 0: 2 nnz → multicast
+        &[0, 0, 0, 9], // row 1: 1 nnz → unicast
+        &[1, 2, 3, 4], // row 2: full row → broadcast
+        &[0, 8, 0, 0], // row 3: 1 nnz → unicast
+    ]);
+
+    println!("== Step 1: bitmap metadata (stored in the LUT, Fig. 11) ==");
+    let bm_a = BitmapMatrix::from_dense(&a, Precision::Int16);
+    let bm_b = BitmapMatrix::from_dense(&b, Precision::Int16);
+    println!("A presence bits: {:020b}", bm_a.words()[0]);
+    println!("B presence bits: {:016b}", bm_b.words()[0]);
+
+    println!("\n== Step 2: Gustavson dense mapping (element-wise AND of pair structure) ==");
+    let mapped = gustavson_map(&a, &b, 4);
+    println!(
+        "{} effective MACs (dense would be {}), dataflow mix: {} broadcast / {} multicast / {} unicast",
+        mapped.effective_macs(),
+        a.rows() * a.cols() * b.cols(),
+        mapped.dataflow.broadcast,
+        mapped.dataflow.multicast,
+        mapped.dataflow.unicast,
+    );
+    for (i, asn) in mapped.assignments.iter().enumerate() {
+        println!(
+            "  lane {i}: A-elem {:>2} x B-elem {:>2} -> out ({}, {})",
+            asn.a,
+            asn.b,
+            asn.out_idx as usize / b.cols(),
+            asn.out_idx as usize % b.cols()
+        );
+    }
+
+    println!("\n== Step 3: HMF-NoC routing controls (paths per switch node) ==");
+    let tree = DistTree::new(4, NocKind::Hmf);
+    // Route one broadcast wavefront (the 'A' row-wise broadcast of Fig. 5).
+    let plan = tree.route(&[Delivery::new(42, vec![0, 1, 2, 3])]);
+    for (n, (l, r, f)) in plan.node_settings.iter().enumerate() {
+        println!("  sw{n}: path1(left)={} path2(right)={} path3(feedback)={}", l, r, f);
+    }
+
+    println!("\n== Step 4: functional execution on the bit-scalable array ==");
+    let arr = MacArray::new(4, 4, Precision::Int16, ReductionTreeKind::SharedShifter);
+    let passes = partition_passes(&mapped, arr.lanes());
+    let (out, stats) = arr.execute_passes(&passes, a.rows() * b.cols());
+    let reference = a.matmul(&b).expect("shapes agree");
+    let expected: Vec<i64> = reference.as_slice().iter().map(|&v| v as i64).collect();
+    assert_eq!(out, expected, "datapath must reproduce the reference GEMM");
+    println!("result rows (verified against reference matmul):");
+    for i in 0..a.rows() {
+        let row: Vec<i64> = out[i * b.cols()..(i + 1) * b.cols()].to_vec();
+        println!("  {row:?}");
+    }
+    let util: f64 =
+        stats.iter().map(|s| s.utilization()).sum::<f64>() / stats.len() as f64;
+    println!("mean lane utilization across passes: {:.0}%", util * 100.0);
+}

@@ -1,0 +1,53 @@
+//! Quickstart: build the accelerator, run one sparse GEMM and one
+//! Instant-NGP frame, print the reports.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use flexnerfer::{FlexNerfer, FlexNerferConfig};
+use fnr_nerf::models::{ModelKind, NerfModelConfig};
+use fnr_sim::engines::Engine;
+use fnr_tensor::workload::{GemmClass, GemmOp};
+use fnr_tensor::Precision;
+
+fn main() {
+    // 1. The paper's accelerator configuration (Fig. 14).
+    let accel = FlexNerfer::new(FlexNerferConfig::paper_default());
+    let ppa = accel.ppa(Precision::Int16);
+    println!("FlexNeRFer: {:.1} mm2, {:.2} W @INT16", ppa.area.mm2(), ppa.power.watts());
+
+    // 2. One sparse GEMM phase on the GEMM/GEMV acceleration unit.
+    let op = GemmOp {
+        m: 4096,
+        k: 256,
+        n: 256,
+        batch: 8,
+        precision: Precision::Int8,
+        sparsity_a: 0.78, // ray-marching input sparsity
+        sparsity_b: 0.5,  // pruned weights
+        class: GemmClass::Sparse,
+        a_offchip: true,
+        out_offchip: true,
+    };
+    let r = accel.gemm_engine().simulate_gemm(&op);
+    println!(
+        "sparse GEMM: {} cycles ({:.3} ms), utilization {:.0}%, {} effective MACs, {} DRAM bytes",
+        r.cycles,
+        r.seconds(800.0e6) * 1e3,
+        r.utilization * 100.0,
+        r.effective_macs,
+        r.dram_bytes
+    );
+
+    // 3. A full Instant-NGP frame, trace-driven.
+    let trace = NerfModelConfig::for_kind(ModelKind::InstantNgp).trace(800, 800, 4096);
+    for precision in [Precision::Int16, Precision::Int8, Precision::Int4] {
+        let report = accel.run_trace(&trace.with_precision(precision));
+        println!(
+            "Instant-NGP 800x800 @{precision}: {:.2} ms, {:.3} J",
+            report.seconds * 1e3,
+            report.energy_joules()
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Trains the hash-grid NeRF on a procedural scene, renders it at several
+//! precisions, reports PSNR, and compares frame time on FlexNeRFer, NeuRex
+//! and the RTX 2080 Ti model. Writes the rendered images as PPM files.
+//!
+//! ```text
+//! cargo run --release --example render_scene
+//! ```
+
+use flexnerfer::{FlexNerfer, FlexNerferConfig, NeurexAccelerator};
+use fnr_hw::gpu::{GpuModel, RTX_2080_TI};
+use fnr_nerf::camera::Camera;
+use fnr_nerf::hashgrid::HashGridConfig;
+use fnr_nerf::models::{ModelKind, NerfModelConfig};
+use fnr_nerf::psnr::psnr;
+use fnr_nerf::render::{render_reference, NgpModel};
+use fnr_nerf::scene::MicScene;
+use fnr_nerf::train::{train_ngp, TrainConfig};
+use fnr_nerf::Vec3;
+use fnr_sim::ArrayConfig;
+use fnr_tensor::Precision;
+
+fn main() {
+    // 1. Train the stand-in Instant-NGP model on the mic-like scene.
+    println!("training hash-grid NeRF on the mic-like scene…");
+    let mut model = NgpModel::new(HashGridConfig::small(), 32, 7);
+    let cfg = TrainConfig { iters: 600, batch_rays: 128, image_size: 32, ..TrainConfig::quick() };
+    let stats = train_ngp(&MicScene, &mut model, &cfg);
+    println!("final training loss: {:.5}", stats.final_loss);
+
+    // 2. Render a held-out close-up and measure quality per precision.
+    let cam = Camera::look_at(Vec3::new(1.05, 0.8, 1.05), Vec3::new(0.5, 0.45, 0.5), 0.55);
+    let size = 48;
+    let truth = render_reference(&MicScene, &cam, size, size, 48);
+    let out_dir = std::env::temp_dir().join("flexnerfer_renders");
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    std::fs::write(out_dir.join("truth.ppm"), truth.to_ppm()).expect("write ppm");
+
+    let fp32 = model.render(&cam, size, size, 24, None);
+    std::fs::write(out_dir.join("fp32.ppm"), fp32.to_ppm()).expect("write ppm");
+    println!("FP32 render: PSNR {:.2} dB", psnr(&truth, &fp32));
+    for p in [Precision::Int16, Precision::Int8, Precision::Int4] {
+        let img = model.render_quantized(&cam, size, size, 24, p);
+        std::fs::write(out_dir.join(format!("{p}.ppm")), img.to_ppm()).expect("write ppm");
+        println!("{p} render: PSNR {:.2} dB", psnr(&truth, &img));
+    }
+    println!("renders written to {}", out_dir.display());
+
+    // 3. Frame-time comparison on the Instant-NGP workload trace.
+    let trace = NerfModelConfig::for_kind(ModelKind::InstantNgp).trace(800, 800, 4096);
+    let gpu = GpuModel::new(RTX_2080_TI);
+    let flex = FlexNerfer::new(FlexNerferConfig::paper_default());
+    let neurex = NeurexAccelerator::new(ArrayConfig::paper_default());
+    let g = gpu.trace_time(&trace) * 1e3;
+    let n = neurex.run_trace(&trace).seconds * 1e3;
+    let f = flex.run_trace(&trace.with_precision(Precision::Int16)).seconds * 1e3;
+    println!("\nInstant-NGP 800x800 frame time:");
+    println!("  RTX 2080 Ti : {g:>8.1} ms (1.0x)");
+    println!("  NeuRex      : {n:>8.1} ms ({:.1}x)", g / n);
+    println!("  FlexNeRFer  : {f:>8.1} ms ({:.1}x)", g / f);
+}

@@ -1,0 +1,58 @@
+//! Explores the sparsity-format design space of §3.2.3: for each precision
+//! mode, sweeps the sparsity ratio, encodes real tiles in every format,
+//! and prints which format the flexible encoder would pick (Figs. 7–8),
+//! plus the online sparsity detection in action (Fig. 13(b)).
+//!
+//! ```text
+//! cargo run --release --example sparsity_explorer
+//! ```
+
+use flexnerfer::FlexibleFormatCodec;
+use fnr_hw::TechParams;
+use fnr_tensor::sparse::EncodedMatrix;
+use fnr_tensor::{gen, Precision, SparsityFormat};
+
+fn main() {
+    println!("== Fig. 7/8: measured footprints and the optimal-format bands ==\n");
+    for precision in [Precision::Int16, Precision::Int8, Precision::Int4] {
+        let dim = precision.paper_tile_dim();
+        println!("{precision} ({dim}x{dim} tiles):");
+        println!(
+            "  {:>9} | {:>8} {:>8} {:>8} {:>8} | {}",
+            "sparsity", "None", "COO", "CSC/CSR", "Bitmap", "chosen"
+        );
+        for pct in [1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9] {
+            let tile = gen::random_sparse_i32(dim, dim, pct / 100.0, precision, 99);
+            let dense_bits = (dim * dim) as u64 * precision.bits() as u64;
+            let footprint = |f: SparsityFormat| {
+                EncodedMatrix::encode(&tile, f, precision).footprint_bits_at(precision) as f64
+                    / dense_bits as f64
+            };
+            let best = SparsityFormat::optimal(precision, pct / 100.0);
+            println!(
+                "  {:>8.1}% | {:>8.3} {:>8.3} {:>8.3} {:>8.3} | {}",
+                pct,
+                footprint(SparsityFormat::None),
+                footprint(SparsityFormat::Coo),
+                footprint(SparsityFormat::CscCsr),
+                footprint(SparsityFormat::Bitmap),
+                best
+            );
+        }
+        println!();
+    }
+
+    println!("== Fig. 13(b): the online path — popcount, SR, format choice ==\n");
+    let mut codec = FlexibleFormatCodec::new(TechParams::CMOS_28NM);
+    for target in [0.05, 0.45, 0.82, 0.95] {
+        let tile = gen::random_sparse_i32(64, 64, target, Precision::Int16, 3);
+        let (encoded, measured_pct) = codec.encode_online(&tile, Precision::Int16);
+        println!(
+            "tile with {:.0}% zeros → SR calculator reads {measured_pct:.1}% → encoder picks {} ({} bits vs {} dense)",
+            target * 100.0,
+            encoded.format(),
+            encoded.footprint_bits_at(Precision::Int16),
+            64 * 64 * 16,
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Meta-crate of the FlexNeRFer reproduction workspace.
+//!
+//! Re-exports the public crates and hosts the runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`).
+//!
+//! * [`flexnerfer`] — the accelerator (paper's primary contribution);
+//! * [`fnr_tensor`] — precision modes, sparse formats, quantizers;
+//! * [`fnr_hw`] — 28 nm PPA models, DRAM, GPU roofline;
+//! * [`fnr_noc`] — HM/HMF trees, CLB, Benes network;
+//! * [`fnr_mac`] — bit-scalable MAC units and arrays;
+//! * [`fnr_mem`] — buffers, DMA, DRAM channels;
+//! * [`fnr_sim`] — cycle-level engines for every baseline;
+//! * [`fnr_nerf`] — the full NeRF pipeline (scenes → training → rendering).
+
+pub use flexnerfer;
+pub use fnr_hw;
+pub use fnr_mac;
+pub use fnr_mem;
+pub use fnr_nerf;
+pub use fnr_noc;
+pub use fnr_sim;
+pub use fnr_tensor;

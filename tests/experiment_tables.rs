@@ -1,0 +1,79 @@
+//! Smoke + structure tests over the full experiment-regeneration harness:
+//! every table the `repro` binary prints must build, carry the expected
+//! rows, and render to valid markdown.
+
+use fnr_bench::Table;
+
+fn all_tables() -> Vec<Table> {
+    fnr_bench::all_fast_tables()
+}
+
+#[test]
+fn every_experiment_regenerates() {
+    let tables = all_tables();
+    assert_eq!(tables.len(), 17, "one generator per fast table/figure");
+    for t in &tables {
+        assert!(!t.rows.is_empty(), "{} produced no rows", t.id);
+        let md = t.to_string();
+        assert!(md.starts_with("### "), "{} renders a markdown heading", t.id);
+        assert!(md.contains("|---|"), "{} renders a separator row", t.id);
+    }
+}
+
+#[test]
+fn experiment_ids_cover_the_paper() {
+    let ids: Vec<&str> = all_tables().iter().map(|t| t.id).collect();
+    for expected in [
+        "Table 1",
+        "Fig. 1",
+        "Fig. 3",
+        "Table 2",
+        "Fig. 4",
+        "Fig. 6",
+        "Fig. 7",
+        "Fig. 8",
+        "Fig. 12(c)",
+        "Fig. 13(a)",
+        "Table 3",
+        "Fig. 15",
+        "§4.1.2",
+        "Fig. 16/17",
+        "Fig. 18",
+        "Fig. 19",
+        "Fig. 20(b)",
+    ] {
+        assert!(ids.contains(&expected), "missing experiment {expected}");
+    }
+}
+
+#[test]
+fn row_counts_match_the_paper_series() {
+    let tables = all_tables();
+    let by_id = |id: &str| tables.iter().find(|t| t.id == id).unwrap();
+    assert_eq!(by_id("Table 1").rows.len(), 4, "four GPUs");
+    assert_eq!(by_id("Fig. 1").rows.len(), 7, "seven NeRF models");
+    assert_eq!(by_id("Fig. 3").rows.len(), 7);
+    assert_eq!(by_id("Table 2").rows.len(), 7, "six related works + FlexNeRFer");
+    assert_eq!(by_id("Fig. 4").rows.len(), 4, "four utilization scenarios");
+    assert_eq!(by_id("Fig. 6").rows.len(), 3, "three precision modes");
+    assert_eq!(by_id("Fig. 8").rows.len(), 3);
+    assert_eq!(by_id("Fig. 12(c)").rows.len(), 2, "unoptimized vs shared-shifter");
+    assert_eq!(by_id("Table 3").rows.len(), 10, "1 + 3x3 array/mode rows");
+    assert_eq!(by_id("Fig. 18").rows.len(), 4, "NeuRex + three precisions");
+    assert_eq!(by_id("Fig. 19").rows.len(), 20, "4 series x 5 pruning points");
+    assert_eq!(by_id("Fig. 20(b)").rows.len(), 8, "2 scenes x 4 batch sizes");
+}
+
+#[test]
+fn fig19_measured_cells_embed_paper_references() {
+    let tables = all_tables();
+    let fig19 = tables.iter().find(|t| t.id == "Fig. 19").unwrap();
+    // Every FlexNeRFer speedup cell carries "measured (paper)" formatting.
+    for row in fig19.rows.iter().filter(|r| r[0] == "FlexNeRFer") {
+        let cell = &row[3];
+        assert!(
+            cell.contains('(') && cell.ends_with(')'),
+            "speedup cell should embed the paper value: {cell}"
+        );
+    }
+}

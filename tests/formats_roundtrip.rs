@@ -1,0 +1,106 @@
+//! Property tests over the sparse formats and the adaptive format
+//! selector: every encoding round-trips, measured footprints equal the
+//! analytic model, and the online selector always picks a format that is
+//! genuinely minimal.
+
+use fnr_tensor::sparse::{CsrLayout, CsrMatrix, EncodedMatrix};
+use fnr_tensor::{gen, Precision, SparsityFormat, SrCalculator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_all_formats_roundtrip(
+        rows in 1usize..48,
+        cols in 1usize..48,
+        sparsity in 0.0f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        let m = gen::random_sparse_i32(rows, cols, sparsity, Precision::Int16, seed);
+        for f in SparsityFormat::ALL {
+            let enc = EncodedMatrix::encode(&m, f, Precision::Int16);
+            prop_assert_eq!(enc.to_dense(), m.clone(), "format {}", f);
+        }
+    }
+
+    #[test]
+    fn prop_measured_footprint_matches_analytic(
+        dim in 4usize..64,
+        sparsity in 0.0f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        let m = gen::random_sparse_i32(dim, dim, sparsity, Precision::Int8, seed);
+        for f in SparsityFormat::ALL {
+            let enc = EncodedMatrix::encode(&m, f, Precision::Int8);
+            let analytic = f.footprint_bits(dim, dim, m.nnz(), Precision::Int8);
+            prop_assert_eq!(enc.footprint_bits_at(Precision::Int8), analytic, "format {}", f);
+        }
+    }
+
+    #[test]
+    fn prop_selector_is_truly_minimal(
+        sparsity in 0.0f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        // On the paper tile, the chosen format's footprint must not exceed
+        // any alternative's.
+        let p = Precision::Int16;
+        let dim = 64;
+        let m = gen::random_sparse_i32(dim, dim, sparsity, p, seed);
+        let chosen = EncodedMatrix::encode_optimal(&m, p);
+        for f in SparsityFormat::ALL {
+            let alt = EncodedMatrix::encode(&m, f, p);
+            prop_assert!(
+                chosen.footprint_bits_at(p) <= alt.footprint_bits_at(p),
+                "chosen {} ({}) beaten by {} ({})",
+                chosen.format(),
+                chosen.footprint_bits_at(p),
+                f,
+                alt.footprint_bits_at(p)
+            );
+        }
+    }
+
+    #[test]
+    fn prop_sr_calculator_is_exact(
+        rows in 1usize..64,
+        cols in 1usize..64,
+        sparsity in 0.0f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        let m = gen::random_sparse_i32(rows, cols, sparsity, Precision::Int4, seed);
+        let mut sr = SrCalculator::new(64);
+        sr.feed_matrix(&m);
+        prop_assert!((sr.sparsity_ratio() - m.sparsity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prop_csr_csc_agree(
+        rows in 1usize..32,
+        cols in 1usize..32,
+        sparsity in 0.0f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        let m = gen::random_sparse_i32(rows, cols, sparsity, Precision::Int16, seed);
+        let csr = CsrMatrix::from_dense(&m, CsrLayout::RowMajor, Precision::Int16);
+        let csc = CsrMatrix::from_dense(&m, CsrLayout::ColMajor, Precision::Int16);
+        prop_assert_eq!(csr.to_dense(), csc.to_dense());
+        prop_assert_eq!(csr.nnz(), csc.nnz());
+    }
+}
+
+#[test]
+fn quantizer_outlier_fraction_edge_cases() {
+    use fnr_tensor::{Matrix, Quantizer};
+    let m = Matrix::from_rows(&[&[1.0f32, -2.0, 100.0, 0.5]]);
+    // Zero outliers behaves like plain quantization.
+    let plain = Quantizer::per_tensor(Precision::Int4).quantize(&m);
+    let zero = Quantizer::per_tensor(Precision::Int4).quantize_outlier_aware(&m, 0.0);
+    assert_eq!(zero.outliers.len(), 0);
+    assert_eq!(zero.body.values(), plain.values());
+    // Large fractions capture the heavy hitters first.
+    let some = Quantizer::per_tensor(Precision::Int4).quantize_outlier_aware(&m, 0.25);
+    assert_eq!(some.outliers.len(), 1);
+    assert_eq!(some.outliers[0].1, 2, "the 100.0 at column 2 is the outlier");
+}

@@ -1,0 +1,107 @@
+//! NoC substrate integration tests: delivery correctness under arbitrary
+//! wavefronts, Benes routing as a universal permuter, CLB bandwidth
+//! guarantees and the HMF feedback-energy advantage.
+
+use fnr_noc::{Benes, Clb, Delivery, DistTree, NocEnergyParams, NocKind};
+use fnr_tensor::Precision;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_tree_delivers_any_disjoint_wavefront(
+        seed in 0u64..1000,
+        n_values in 1usize..8,
+    ) {
+        use rand::{seq::SliceRandom, Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let leaves = 32;
+        // Partition a random subset of leaves into n_values groups.
+        let mut all: Vec<usize> = (0..leaves).collect();
+        all.shuffle(&mut rng);
+        let used = rng.gen_range(n_values..=leaves);
+        let chosen = &all[..used];
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_values];
+        for (i, &leaf) in chosen.iter().enumerate() {
+            groups[i % n_values].push(leaf);
+        }
+        let deliveries: Vec<Delivery> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(i, g)| Delivery::new(i as u64 + 1, g.clone()))
+            .collect();
+        for kind in [NocKind::Hm, NocKind::Hmf] {
+            let mut tree = DistTree::new(leaves, kind);
+            let out = tree.deliver(&deliveries);
+            for d in &deliveries {
+                for &leaf in &d.dests {
+                    prop_assert_eq!(out[leaf], Some(d.value_id));
+                }
+            }
+            let delivered = out.iter().flatten().count();
+            prop_assert_eq!(delivered, used);
+        }
+    }
+
+    #[test]
+    fn prop_benes_routes_any_permutation(seed in 0u64..2000, log_n in 1u32..7) {
+        use rand::{seq::SliceRandom, SeedableRng};
+        let n = 1usize << log_n;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut dest: Vec<usize> = (0..n).collect();
+        dest.shuffle(&mut rng);
+        let benes = Benes::new(n);
+        let values: Vec<u64> = (0..n as u64).map(|v| v * 7 + 3).collect();
+        let out = benes.permute(&dest, &values);
+        for i in 0..n {
+            prop_assert_eq!(out[dest[i]], values[i]);
+        }
+    }
+}
+
+#[test]
+fn clb_keeps_bandwidth_full_in_every_mode() {
+    for p in Precision::INT_MODES {
+        let clb = Clb::new(p);
+        assert!((clb.bandwidth_utilization() - 1.0).abs() < 1e-12, "{p}");
+        assert!(clb.bandwidth_utilization_without() <= 1.0);
+        // Fetch units × fanout always covers the 4 sub-multiplier rows.
+        assert_eq!(clb.fetch_units() * clb.forward_fanout(), 4);
+    }
+}
+
+#[test]
+fn hmf_energy_advantage_grows_with_reuse_depth() {
+    let params = NocEnergyParams::default();
+    let mut prev_ratio = 0.0;
+    for reuse in [2usize, 4, 8] {
+        let mut hm = DistTree::new(64, NocKind::Hm);
+        let mut hmf = DistTree::new(64, NocKind::Hmf);
+        for group in 0..50u64 {
+            let d = Delivery::new(group, (0..64).collect());
+            for _ in 0..reuse {
+                hm.deliver(std::slice::from_ref(&d));
+                hmf.deliver(std::slice::from_ref(&d));
+            }
+        }
+        let ratio = params.memory_access_energy(hm.stats()).0
+            / params.memory_access_energy(hmf.stats()).0;
+        assert!(ratio > prev_ratio, "reuse {reuse}: ratio {ratio} should grow");
+        prev_ratio = ratio;
+    }
+    assert!(prev_ratio > 2.5, "deep reuse should exceed the paper's 2.5x: {prev_ratio:.2}");
+}
+
+#[test]
+fn hm_and_hmf_are_functionally_identical() {
+    // The feedback loop is an energy optimization, not a semantic change.
+    let deliveries =
+        vec![Delivery::new(5, vec![0, 3, 7]), Delivery::new(9, vec![1, 2]), Delivery::new(4, vec![8])];
+    let mut hm = DistTree::new(16, NocKind::Hm);
+    let mut hmf = DistTree::new(16, NocKind::Hmf);
+    for _ in 0..3 {
+        assert_eq!(hm.deliver(&deliveries), hmf.deliver(&deliveries));
+    }
+}

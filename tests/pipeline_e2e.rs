@@ -1,0 +1,100 @@
+//! Whole-system end-to-end tests: all seven model traces through the GPU
+//! model, NeuRex and FlexNeRFer, with the orderings the paper's evaluation
+//! rests on.
+
+use flexnerfer::{controller, FlexNerfer, FlexNerferConfig, NeurexAccelerator};
+use fnr_hw::gpu::{GpuModel, JETSON_NANO, RTX_2080_TI, RTX_4090};
+use fnr_nerf::models::{ModelKind, NerfModelConfig};
+use fnr_sim::ArrayConfig;
+use fnr_tensor::Precision;
+
+#[test]
+fn all_seven_models_run_on_every_platform() {
+    let gpu = GpuModel::new(RTX_2080_TI);
+    let flex = FlexNerfer::new(FlexNerferConfig::paper_default());
+    let neurex = NeurexAccelerator::new(ArrayConfig::paper_default());
+    for kind in ModelKind::ALL {
+        let trace = NerfModelConfig::for_kind(kind).trace(400, 400, 4096);
+        let g = gpu.trace_time(&trace);
+        let f = flex.run_trace(&trace);
+        let n = neurex.run_trace(&trace);
+        assert!(g > 0.0 && f.seconds > 0.0 && n.seconds > 0.0, "{}", kind.name());
+        assert!(
+            f.seconds < g,
+            "{}: FlexNeRFer ({:.1} ms) must beat the GPU ({:.1} ms)",
+            kind.name(),
+            f.seconds * 1e3,
+            g * 1e3
+        );
+        assert!(
+            f.seconds < n.seconds,
+            "{}: FlexNeRFer must beat NeuRex",
+            kind.name()
+        );
+        assert!(f.energy_joules() > 0.0 && n.energy_joules() > 0.0);
+    }
+}
+
+#[test]
+fn controller_programs_execute_for_every_model() {
+    for kind in ModelKind::ALL {
+        let trace = NerfModelConfig::for_kind(kind).trace(800, 800, 4096);
+        let prog = controller::assemble(&trace, Precision::Int8, true);
+        assert!(prog.size_bytes() <= 16 * 1024, "{} program fits", kind.name());
+        assert!(controller::issue_overhead_cycles(&prog) > 0);
+    }
+}
+
+#[test]
+fn precision_scaling_monotone_for_every_model() {
+    let flex = FlexNerfer::new(FlexNerferConfig::paper_default());
+    for kind in ModelKind::ALL {
+        let trace = NerfModelConfig::for_kind(kind).trace(400, 400, 4096);
+        let t16 = flex.run_trace(&trace.with_precision(Precision::Int16)).cycles;
+        let t8 = flex.run_trace(&trace.with_precision(Precision::Int8)).cycles;
+        let t4 = flex.run_trace(&trace.with_precision(Precision::Int4)).cycles;
+        assert!(t8 <= t16, "{}: INT8 {t8} vs INT16 {t16}", kind.name());
+        assert!(t4 <= t8, "{}: INT4 {t4} vs INT8 {t8}", kind.name());
+    }
+}
+
+#[test]
+fn newer_gpus_are_faster_but_still_miss_constraints() {
+    let trace = NerfModelConfig::for_kind(ModelKind::Nerf).trace(400, 400, 4096);
+    let t2080 = GpuModel::new(RTX_2080_TI).trace_time(&trace);
+    let t4090 = GpuModel::new(RTX_4090).trace_time(&trace);
+    let tnano = GpuModel::new(JETSON_NANO).trace_time(&trace);
+    assert!(t4090 < t2080, "4090 beats 2080 Ti");
+    assert!(tnano > t2080 * 5.0, "Jetson Nano is far slower");
+    // But the desktop GPUs blow the on-device area budget regardless.
+    assert!(RTX_4090.area_mm2 > 100.0);
+}
+
+#[test]
+fn batch_size_sensitivity_matches_fig20b() {
+    // Larger batches amortize pipeline fills up to the buffer limit.
+    let flex = FlexNerfer::new(FlexNerferConfig::paper_default());
+    let cfg = NerfModelConfig::for_kind(ModelKind::InstantNgp);
+    let t_small = flex.run_trace(&cfg.trace(400, 400, 1024)).cycles;
+    let t_big = flex.run_trace(&cfg.trace(400, 400, 8192)).cycles;
+    assert!(t_big <= t_small, "batch 8192 ({t_big}) should not lose to 1024 ({t_small})");
+}
+
+#[test]
+fn ablations_compose() {
+    // Disabling both headline features reduces FlexNeRFer to a dense
+    // bit-scalable engine — it must cost cycles on sparse workloads.
+    let trace = NerfModelConfig::for_kind(ModelKind::InstantNgp).trace(400, 400, 4096);
+    let full = FlexNerfer::new(FlexNerferConfig::paper_default()).run_trace(&trace);
+    let no_sparse = FlexNerfer::new(FlexNerferConfig::paper_default().with_sparsity(false))
+        .run_trace(&trace);
+    let no_both = FlexNerfer::new(
+        FlexNerferConfig::paper_default().with_sparsity(false).with_codec(false),
+    )
+    .run_trace(&trace);
+    assert!(no_sparse.cycles > full.cycles);
+    // Without the codec there is no conversion time, but DRAM traffic can
+    // only grow (nothing is compressed any more).
+    assert_eq!(no_both.latency.format_conversion, 0);
+    assert!(no_both.dram_bytes >= no_sparse.dram_bytes);
+}
