@@ -1,8 +1,8 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! cargo run --release -p fnr-bench --bin repro            # fast set
-//! cargo run --release -p fnr-bench --bin repro -- --full  # + Fig. 20(a) (trains a NeRF)
+//! cargo run --release --bin repro            # fast set
+//! cargo run --release --bin repro -- --full  # + Fig. 20(a) (trains a NeRF)
 //! ```
 
 use fnr_bench::quality_experiments;

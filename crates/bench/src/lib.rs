@@ -42,3 +42,19 @@ pub fn all_fast_tables() -> Vec<Table> {
         system_experiments::fig20b_batch_scaling(),
     ]
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mirror of the CI smoke check on the `repro` binary: the fast table
+    /// set must be non-empty and its rendered output must contain Table 1.
+    #[test]
+    fn fast_tables_render_and_include_table1() {
+        let tables = all_fast_tables();
+        assert!(tables.len() >= 15, "expected the full fast set, got {}", tables.len());
+        let rendered: Vec<String> = tables.iter().map(|t| t.to_string()).collect();
+        assert!(rendered.iter().all(|r| !r.trim().is_empty()));
+        assert!(rendered.iter().any(|r| r.contains("Table 1")), "Table 1 missing from repro output");
+    }
+}

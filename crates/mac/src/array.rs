@@ -261,7 +261,8 @@ mod tests {
         }
         let mut work = Vec::new();
         for (i, k, av) in a.iter_nonzeros() {
-            for (j, bv) in [(k, 1)] {
+            {
+                let (j, bv) = (k, 1);
                 work.push(LaneAssignment { a: av, b: bv, out_idx: (i * 4 + j) as u32 });
             }
         }

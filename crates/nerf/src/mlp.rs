@@ -175,18 +175,17 @@ impl Mlp {
             }
             let input = &cache.activations[i];
             let layer = &self.layers[i];
-            for o in 0..layer.outputs() {
-                grads.bias[i][o] += delta[o];
+            for (o, &d) in delta.iter().enumerate() {
+                grads.bias[i][o] += d;
                 for (ii, &x) in input.iter().enumerate() {
                     let cur = grads.weights[i].get(o, ii);
-                    grads.weights[i].set(o, ii, cur + delta[o] * x);
+                    grads.weights[i].set(o, ii, cur + d * x);
                 }
             }
             // Propagate.
             let mut d_in = vec![0.0f32; layer.inputs()];
-            for o in 0..layer.outputs() {
+            for (o, &d) in delta.iter().enumerate() {
                 let row = layer.weights.row(o);
-                let d = delta[o];
                 if d != 0.0 {
                     for (ii, di) in d_in.iter_mut().enumerate() {
                         *di += row[ii] * d;
@@ -302,13 +301,13 @@ impl QuantizedMlp {
             let a_q = quantize_activations_static(&a, self.precision, amax);
             let w = qw.dequantize();
             let mut z = bias.clone();
-            for o in 0..w.rows() {
+            for (o, zo) in z.iter_mut().enumerate() {
                 let row = w.row(o);
                 let mut acc = 0.0f32;
                 for (ii, &xi) in a_q.iter().enumerate() {
                     acc += row[ii] * xi;
                 }
-                z[o] += acc;
+                *zo += acc;
             }
             if i != last {
                 for v in &mut z {
@@ -400,13 +399,13 @@ impl OutlierQuantizedMlp {
                 .collect();
             let w = qw.dequantize();
             let mut z = bias.clone();
-            for o in 0..w.rows() {
+            for (o, zo) in z.iter_mut().enumerate() {
                 let row = w.row(o);
                 let mut acc = 0.0f32;
                 for (ii, &xi) in a_q.iter().enumerate() {
                     acc += row[ii] * xi;
                 }
-                z[o] += acc;
+                *zo += acc;
             }
             if i != last {
                 for v in &mut z {
@@ -428,7 +427,7 @@ mod tests {
         let mlp = Mlp::new(&[8, 16, 4], 1);
         assert_eq!(mlp.inputs(), 8);
         assert_eq!(mlp.outputs(), 4);
-        let y = mlp.forward(&vec![0.1; 8]);
+        let y = mlp.forward(&[0.1; 8]);
         assert_eq!(y.len(), 4);
         assert_eq!(mlp.param_count(), 8 * 16 + 16 + 16 * 4 + 4);
     }

@@ -29,8 +29,8 @@ pub fn composite(samples: &[ShadedSample]) -> [f32; 3] {
     for s in samples {
         let alpha = 1.0 - (-s.sigma * s.delta).exp();
         let w = t * alpha;
-        for ch in 0..3 {
-            c[ch] += w * s.color[ch];
+        for (cc, &sc) in c.iter_mut().zip(&s.color) {
+            *cc += w * sc;
         }
         t *= 1.0 - alpha;
         if t < 1e-4 {
@@ -64,9 +64,7 @@ pub fn composite_backward(
     suffix[n] = [t[n], t[n], t[n]]; // background contribution
     for i in (0..n).rev() {
         let w = t[i] * alpha[i];
-        for ch in 0..3 {
-            suffix[i][ch] = suffix[i + 1][ch] + w * samples[i].color[ch];
-        }
+        suffix[i] = std::array::from_fn(|ch| suffix[i + 1][ch] + w * samples[i].color[ch]);
     }
     let mut d_sigma = vec![0.0f32; n];
     let mut d_color = vec![[0.0f32; 3]; n];
@@ -396,7 +394,7 @@ mod tests {
 
     #[test]
     fn activations_are_bounded() {
-        assert!((softplus(0.0) - 0.6931).abs() < 1e-3);
+        assert!((softplus(0.0) - std::f32::consts::LN_2).abs() < 1e-3);
         assert!(softplus(30.0) >= 30.0);
         assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
     }

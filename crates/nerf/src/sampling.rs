@@ -123,7 +123,7 @@ pub fn sample_ray(ray: &Ray, n: usize, grid: Option<&OccupancyGrid>) -> Vec<RayS
                 position: p,
                 dir: ray.dir,
                 delta: dt,
-                active: grid.map_or(true, |g| g.occupied(p)),
+                active: grid.is_none_or(|g| g.occupied(p)),
             }
         })
         .collect()

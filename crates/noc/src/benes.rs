@@ -124,8 +124,7 @@ fn route_and_carry<T: Copy>(
 
     // Looping algorithm: fix an undecided input switch, then alternate
     // between forced output-switch and input-switch constraints.
-    loop {
-        let Some(start) = in_sw.iter().position(|s| s.is_none()) else { break };
+    while let Some(start) = in_sw.iter().position(|s| s.is_none()) {
         in_sw[start] = Some(false);
         let mut frontier = vec![2 * start, 2 * start + 1];
         while let Some(input) = frontier.pop() {
@@ -136,7 +135,7 @@ fn route_and_carry<T: Copy>(
             let output = dest[input];
             let m = output / 2;
             // out_sw[m] = false ⇒ upper→2m, lower→2m+1; true flips.
-            let needed = if lower { output % 2 == 0 } else { output % 2 == 1 };
+            let needed = if lower { output.is_multiple_of(2) } else { output % 2 == 1 };
             match out_sw[m] {
                 Some(v) => debug_assert_eq!(v, needed, "looping conflict at output {m}"),
                 None => {

@@ -259,10 +259,13 @@ pub fn table3_rows(cfg: &ArrayConfig) -> Vec<Table3Row> {
     rows
 }
 
-/// Paper reference values for Table 3:
+/// One Table 3 reference row:
 /// `(kind, area mm², [power W at 4/8/16], [peak at 4/8/16], [effective])`.
+pub type Table3PaperRow = (&'static str, f64, [f64; 3], [f64; 3], [f64; 3]);
+
+/// Paper reference values for Table 3.
 /// SIGMA entries use the INT16 slot only.
-pub const TABLE3_PAPER: [(&str, f64, [f64; 3], [f64; 3], [f64; 3]); 4] = [
+pub const TABLE3_PAPER: [Table3PaperRow; 4] = [
     ("SIGMA", 20.5, [0.0, 0.0, 5.8], [0.0, 0.0, 1.1], [0.0, 0.0, 1.0]),
     ("Bit Fusion", 31.9, [5.8, 5.3, 4.8], [18.1, 4.9, 1.4], [3.2, 0.8, 0.2]),
     ("Bit-Scalable SIGMA", 40.8, [9.3, 8.7, 8.2], [5.7, 3.0, 0.8], [4.4, 2.5, 0.7]),

