@@ -1,20 +1,59 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! cargo run --release --bin repro            # fast set
-//! cargo run --release --bin repro -- --full  # + Fig. 20(a) (trains a NeRF)
+//! cargo run --release --bin repro                      # fast set
+//! cargo run --release --bin repro -- --full            # + Fig. 20(a) full training budget
+//! cargo run --release --bin repro -- --json BENCH.json # + machine-readable timings
 //! ```
+//!
+//! Table generators fan out across the thread pool (`FNR_THREADS` pins the
+//! width; output is byte-identical at any setting). With `--json <path>`
+//! the run also records its perf trajectory: per-generator wall-clock,
+//! thread count and git revision, in the `flexnerfer-repro-bench/1`
+//! schema — CI archives these so kernel/runtime changes stay measurable.
+
+use std::time::Instant;
 
 use fnr_bench::quality_experiments;
+use fnr_bench::Table;
 use fnr_nerf::train::TrainConfig;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => Some(p.clone()),
+            _ => {
+                eprintln!("[repro] --json requires a path operand");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+
+    let run_start = Instant::now();
     println!("# FlexNeRFer reproduction — regenerated tables & figures\n");
-    for table in fnr_bench::all_fast_tables() {
+
+    // Fan the fast generators out across the pool, timing each one. Wall
+    // times are per-generator (they include any contention with sibling
+    // generators); results print in paper order regardless of scheduling.
+    let timed: Vec<(Table, u64)> = fnr_par::par_map(fnr_bench::FAST_TABLE_GENERATORS, |&(_, generator)| {
+        let start = Instant::now();
+        let table = generator();
+        (table, start.elapsed().as_nanos() as u64)
+    });
+    for (table, _) in &timed {
         println!("{table}");
         println!();
     }
+    let mut timings: Vec<(&str, u64)> = fnr_bench::FAST_TABLE_GENERATORS
+        .iter()
+        .zip(&timed)
+        .map(|(&(name, _), &(_, ns))| (name, ns))
+        .collect();
+
+    let fig20a_start = Instant::now();
     if full {
         eprintln!("[repro] training the hash-grid NeRF for Fig. 20(a) (this takes a few minutes)…");
         let table = quality_experiments::fig20a_table(&TrainConfig::standard());
@@ -27,5 +66,61 @@ fn main() {
         println!(
             "> Run with --full for the standard training budget (higher absolute PSNR, same shape).\n"
         );
+    }
+    timings.push(("fig20a_psnr_study", fig20a_start.elapsed().as_nanos() as u64));
+
+    if let Some(path) = json_path {
+        let json = trajectory_json(&timings, run_start.elapsed().as_nanos() as u64, full);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("[repro] failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[repro] wrote bench trajectory to {path}");
+    }
+}
+
+/// Renders the `flexnerfer-repro-bench/1` record. Hand-rolled: every value
+/// is a number, a bool, or a string this binary controls (generator names
+/// and a git revision), so no escaping machinery is needed.
+fn trajectory_json(timings: &[(&str, u64)], total_wall_ns: u64, full: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"flexnerfer-repro-bench/1\",\n");
+    out.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
+    out.push_str(&format!("  \"threads\": {},\n", fnr_par::current_num_threads()));
+    out.push_str(&format!("  \"full_training_budget\": {full},\n"));
+    out.push_str(&format!("  \"total_wall_ns\": {total_wall_ns},\n"));
+    out.push_str("  \"tables\": [\n");
+    for (i, (name, ns)) in timings.iter().enumerate() {
+        let sep = if i + 1 == timings.len() { "" } else { "," };
+        out.push_str(&format!("    {{ \"name\": \"{name}\", \"wall_ns\": {ns} }}{sep}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Best-effort current git revision: follows `.git/HEAD` one level (the
+/// usual `ref: refs/heads/<branch>` indirection) without shelling out,
+/// falling back to `.git/packed-refs` for gc'd/freshly-cloned repos whose
+/// refs have no loose files.
+fn git_rev() -> String {
+    fn read_trimmed(path: &std::path::Path) -> Option<String> {
+        std::fs::read_to_string(path).ok().map(|s| s.trim().to_string())
+    }
+    fn packed_ref(git: &std::path::Path, wanted: &str) -> Option<String> {
+        let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+        packed.lines().find_map(|line| {
+            let (hash, name) = line.split_once(' ')?;
+            (name == wanted).then(|| hash.to_string())
+        })
+    }
+    let git = std::path::Path::new(".git");
+    let Some(head) = read_trimmed(&git.join("HEAD")) else {
+        return "unknown".into();
+    };
+    match head.strip_prefix("ref: ") {
+        Some(r) => read_trimmed(&git.join(r))
+            .or_else(|| packed_ref(git, r))
+            .unwrap_or_else(|| "unknown".into()),
+        None => head,
     }
 }

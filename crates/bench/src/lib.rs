@@ -19,28 +19,40 @@ pub mod system_experiments;
 
 pub use table::Table;
 
-/// All fast experiment generators in paper order (excludes the Fig. 20(a)
-/// training study, which is invoked separately because it trains a model).
+/// A named table generator: the stable name keyed in `--json` trajectory
+/// records, and the function producing the table.
+pub type NamedGenerator = (&'static str, fn() -> Table);
+
+/// The fast experiment generators in paper order, with stable names used
+/// by the `repro` binary's `--json` trajectory records. Excludes the
+/// Fig. 20(a) training study, which is invoked separately because it
+/// trains a model.
+pub const FAST_TABLE_GENERATORS: &[NamedGenerator] = &[
+    ("table1_gpu_specs", gpu_experiments::table1_gpu_specs),
+    ("fig1_gpu_latency", gpu_experiments::fig1_gpu_latency),
+    ("fig3_runtime_breakdown", gpu_experiments::fig3_runtime_breakdown),
+    ("table2_related_works", array_experiments::table2_related_works),
+    ("fig4_mac_utilization", array_experiments::fig4_mac_utilization),
+    ("fig6_bit_scalable_modes", format_experiments::fig6_bit_scalable_modes),
+    ("fig7_format_footprints", format_experiments::fig7_format_footprints),
+    ("fig8_optimal_formats", format_experiments::fig8_optimal_formats),
+    ("fig12_mac_unit_ppa", array_experiments::fig12_mac_unit_ppa),
+    ("fig13_stage_sparsity", format_experiments::fig13_stage_sparsity),
+    ("table3_mac_arrays", array_experiments::table3_mac_arrays),
+    ("fig15_array_breakdowns", array_experiments::fig15_array_breakdowns),
+    ("noc_energy_ablation", array_experiments::noc_energy_ablation),
+    ("fig16_fig17_accelerator_ppa", system_experiments::fig16_fig17_accelerator_ppa),
+    ("fig18_latency_density", system_experiments::fig18_latency_density),
+    ("fig19_speedup_efficiency", system_experiments::fig19_speedup_efficiency),
+    ("fig20b_batch_scaling", system_experiments::fig20b_batch_scaling),
+];
+
+/// All fast experiment tables in paper order. The generators fan out
+/// across the thread pool (each is independent and internally seeded), and
+/// results land in paper order regardless of completion order, so the
+/// rendered output is byte-identical at any `FNR_THREADS`.
 pub fn all_fast_tables() -> Vec<Table> {
-    vec![
-        gpu_experiments::table1_gpu_specs(),
-        gpu_experiments::fig1_gpu_latency(),
-        gpu_experiments::fig3_runtime_breakdown(),
-        array_experiments::table2_related_works(),
-        array_experiments::fig4_mac_utilization(),
-        format_experiments::fig6_bit_scalable_modes(),
-        format_experiments::fig7_format_footprints(),
-        format_experiments::fig8_optimal_formats(),
-        array_experiments::fig12_mac_unit_ppa(),
-        format_experiments::fig13_stage_sparsity(),
-        array_experiments::table3_mac_arrays(),
-        array_experiments::fig15_array_breakdowns(),
-        array_experiments::noc_energy_ablation(),
-        system_experiments::fig16_fig17_accelerator_ppa(),
-        system_experiments::fig18_latency_density(),
-        system_experiments::fig19_speedup_efficiency(),
-        system_experiments::fig20b_batch_scaling(),
-    ]
+    fnr_par::par_map(FAST_TABLE_GENERATORS, |&(_, generator)| generator())
 }
 
 #[cfg(test)]

@@ -26,7 +26,9 @@ pub struct Fig18Row {
     pub breakdown: (f64, f64, f64, f64, f64),
 }
 
-/// Fig. 18: NeuRex vs FlexNeRFer at INT16/8/4 on a rendering trace.
+/// Fig. 18: NeuRex vs FlexNeRFer at INT16/8/4 on a rendering trace. The
+/// NeuRex baseline runs first (it normalizes everything), then the three
+/// FlexNeRFer precision points fan out across the pool.
 pub fn fig18_rows(trace: &WorkloadTrace) -> Vec<Fig18Row> {
     let array = ArrayConfig::paper_default();
     let neurex = NeurexAccelerator::new(array);
@@ -35,14 +37,15 @@ pub fn fig18_rows(trace: &WorkloadTrace) -> Vec<Fig18Row> {
     let mut rows = vec![make_fig18_row("NeuRex", &n, n.cycles, n_area, n_area)];
     let flex = FlexNerfer::new(FlexNerferConfig::paper_default());
     let f_area = flex.ppa(Precision::Int16).area.mm2();
-    for (p, label) in [
+    let points = [
         (Precision::Int16, "FlexNeRFer (16)"),
         (Precision::Int8, "FlexNeRFer (8)"),
         (Precision::Int4, "FlexNeRFer (4)"),
-    ] {
+    ];
+    rows.extend(fnr_par::par_map(&points, |&(p, label)| {
         let r = flex.run_trace(&trace.with_precision(p));
-        rows.push(make_fig18_row(label, &r, n.cycles, f_area, n_area));
-    }
+        make_fig18_row(label, &r, n.cycles, f_area, n_area)
+    }));
     rows
 }
 
@@ -104,37 +107,37 @@ pub fn fig19_rows(width: usize, height: usize) -> Vec<Fig19Row> {
     let neurex = NeurexAccelerator::new(array);
     let flex = FlexNerfer::new(FlexNerferConfig::paper_default());
 
-    let mut rows = Vec::new();
+    // The full engine × precision × pruning sweep (20 points × 7 model
+    // traces each) fans out across the pool; each point is independent and
+    // produced into its own output slot, so row order and values match the
+    // serial sweep exactly.
+    let mut specs: Vec<(bool, Precision, f64)> = Vec::new();
     // NeuRex: constant across pruning (no sparsity support).
     for &p in &PRUNING_SWEEP {
-        let (s, e) = geomean_gains(&traces, &gpu_results, |t| {
-            let r = neurex.run_trace(&t.with_pruning(p));
-            (r.seconds, r.energy_joules())
-        });
-        rows.push(Fig19Row {
-            accelerator: "NeuRex".into(),
-            precision: Precision::Int16,
-            pruning: p,
-            speedup: s,
-            energy_gain: e,
-        });
+        specs.push((false, Precision::Int16, p));
     }
     for prec in [Precision::Int16, Precision::Int8, Precision::Int4] {
         for &p in &PRUNING_SWEEP {
-            let (s, e) = geomean_gains(&traces, &gpu_results, |t| {
-                let r = flex.run_trace(&t.with_precision(prec).with_pruning(p));
-                (r.seconds, r.energy_joules())
-            });
-            rows.push(Fig19Row {
-                accelerator: "FlexNeRFer".into(),
-                precision: prec,
-                pruning: p,
-                speedup: s,
-                energy_gain: e,
-            });
+            specs.push((true, prec, p));
         }
     }
-    rows
+    fnr_par::par_map(&specs, |&(is_flex, prec, p)| {
+        let (s, e) = geomean_gains(&traces, &gpu_results, |t| {
+            let r = if is_flex {
+                flex.run_trace(&t.with_precision(prec).with_pruning(p))
+            } else {
+                neurex.run_trace(&t.with_pruning(p))
+            };
+            (r.seconds, r.energy_joules())
+        });
+        Fig19Row {
+            accelerator: if is_flex { "FlexNeRFer" } else { "NeuRex" }.into(),
+            precision: prec,
+            pruning: p,
+            speedup: s,
+            energy_gain: e,
+        }
+    })
 }
 
 fn geomean_gains(
@@ -173,36 +176,38 @@ pub struct Fig20bRow {
 pub fn fig20b_rows() -> Vec<Fig20bRow> {
     let gpu = GpuModel::new(RTX_2080_TI);
     let flex = FlexNerfer::new(FlexNerferConfig::paper_default());
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for (scene, emptiness) in [("Mic (simple)", 0.85), ("Palace (complex)", 0.62)] {
         for batch in [2048usize, 4096, 8192, 16384] {
-            let mut cfg = NerfModelConfig::for_kind(ModelKind::InstantNgp);
-            cfg.empty_skip = emptiness;
-            let mut trace = cfg.trace(800, 800, batch);
-            // Beyond the encoding-buffer capacity the first layer's chunk
-            // no longer fits on-chip and the encoded features spill
-            // (§6.3.2: gains plateau past batch 8192).
-            let chunk_bytes = batch as u64 * cfg.mlp_widths[0] as u64 * 2;
-            if chunk_bytes > 512 * 1024 {
-                for phase in &mut trace.phases {
-                    if let PhaseOp::Gemm(g) = phase {
-                        if g.k == cfg.mlp_widths[0] {
-                            g.a_offchip = true;
-                        }
+            specs.push((scene, emptiness, batch));
+        }
+    }
+    fnr_par::par_map(&specs, |&(scene, emptiness, batch)| {
+        let mut cfg = NerfModelConfig::for_kind(ModelKind::InstantNgp);
+        cfg.empty_skip = emptiness;
+        let mut trace = cfg.trace(800, 800, batch);
+        // Beyond the encoding-buffer capacity the first layer's chunk
+        // no longer fits on-chip and the encoded features spill
+        // (§6.3.2: gains plateau past batch 8192).
+        let chunk_bytes = batch as u64 * cfg.mlp_widths[0] as u64 * 2;
+        if chunk_bytes > 512 * 1024 {
+            for phase in &mut trace.phases {
+                if let PhaseOp::Gemm(g) = phase {
+                    if g.k == cfg.mlp_widths[0] {
+                        g.a_offchip = true;
                     }
                 }
             }
-            let r = flex.run_trace(&trace.with_precision(Precision::Int16));
-            let g = gpu.trace_time(&trace);
-            rows.push(Fig20bRow {
-                scene: scene.into(),
-                batch,
-                speedup: g / r.seconds,
-                frame_ms: r.seconds * 1e3,
-            });
         }
-    }
-    rows
+        let r = flex.run_trace(&trace.with_precision(Precision::Int16));
+        let g = gpu.trace_time(&trace);
+        Fig20bRow {
+            scene: scene.into(),
+            batch,
+            speedup: g / r.seconds,
+            frame_ms: r.seconds * 1e3,
+        }
+    })
 }
 
 #[cfg(test)]

@@ -76,6 +76,25 @@ pub struct MlpGrads {
     pub bias: Vec<Vec<f32>>,
 }
 
+impl MlpGrads {
+    /// Accumulates `other` into `self`, element-wise. Lives next to the
+    /// field definitions so a future gradient field cannot be forgotten by
+    /// a merge loop in another crate (the sharded trainer relies on this
+    /// covering every field).
+    pub fn add_assign(&mut self, other: &MlpGrads) {
+        for (into, from) in self.weights.iter_mut().zip(&other.weights) {
+            for (a, b) in into.as_mut_slice().iter_mut().zip(from.as_slice()) {
+                *a += b;
+            }
+        }
+        for (into, from) in self.bias.iter_mut().zip(&other.bias) {
+            for (a, b) in into.iter_mut().zip(from) {
+                *a += b;
+            }
+        }
+    }
+}
+
 impl Mlp {
     /// Builds an MLP from layer widths, e.g. `[32, 64, 64, 4]`.
     ///

@@ -49,6 +49,12 @@ impl Image {
         &self.pixels
     }
 
+    /// Mutable raw pixel slice (row-major) — lets renderers fill whole
+    /// rows in parallel.
+    pub fn pixels_mut(&mut self) -> &mut [[f32; 3]] {
+        &mut self.pixels
+    }
+
     /// Mean per-channel value (useful sanity check: a rendered scene is
     /// neither black nor saturated).
     pub fn mean_luminance(&self) -> f32 {

@@ -82,11 +82,13 @@ pub fn composite_backward(
 }
 
 /// Renders the analytic scene directly (the ground-truth renderer standing
-/// in for the dataset photographs).
+/// in for the dataset photographs). Pixel rows render in parallel across
+/// the pool; every pixel is an independent deterministic computation, so
+/// the image is byte-identical at any `FNR_THREADS`.
 pub fn render_reference(scene: &dyn Scene, camera: &Camera, w: usize, h: usize, spp: usize) -> Image {
     let mut img = Image::new(w, h);
-    for y in 0..h {
-        for x in 0..w {
+    fnr_par::par_for_chunks(img.pixels_mut(), w.max(1), |y, row| {
+        for (x, px) in row.iter_mut().enumerate() {
             let ray = camera.ray(x, y, w, h);
             let shaded: Vec<ShadedSample> = sample_ray(&ray, spp, None)
                 .iter()
@@ -96,9 +98,9 @@ pub fn render_reference(scene: &dyn Scene, camera: &Camera, w: usize, h: usize, 
                     delta: s.delta,
                 })
                 .collect();
-            img.set(x, y, composite(&shaded));
+            *px = composite(&shaded);
         }
-    }
+    });
     img
 }
 
@@ -227,6 +229,9 @@ impl NgpModel {
         qmodel.render_with(camera, w, h, spp, None, |enc| qmlp.forward(enc))
     }
 
+    /// Shared image loop: pixel rows run in parallel on the pool (`head`
+    /// must therefore be `Fn + Sync`, which every quantized/FP32 head is —
+    /// they only read model weights).
     fn render_with(
         &self,
         camera: &Camera,
@@ -234,11 +239,11 @@ impl NgpModel {
         h: usize,
         spp: usize,
         occupancy: Option<&OccupancyGrid>,
-        mut head: impl FnMut(&[f32]) -> Vec<f32>,
+        head: impl Fn(&[f32]) -> Vec<f32> + Sync,
     ) -> Image {
         let mut img = Image::new(w, h);
-        for y in 0..h {
-            for x in 0..w {
+        fnr_par::par_for_chunks(img.pixels_mut(), w.max(1), |y, row| {
+            for (x, px) in row.iter_mut().enumerate() {
                 let ray = camera.ray(x, y, w, h);
                 let samples = sample_ray(&ray, spp, occupancy);
                 let shaded: Vec<ShadedSample> = samples
@@ -254,9 +259,9 @@ impl NgpModel {
                         }
                     })
                     .collect();
-                img.set(x, y, composite(&shaded));
+                *px = composite(&shaded);
             }
-        }
+        });
         img
     }
 }

@@ -12,7 +12,11 @@ use crate::vec3::Vec3;
 
 /// A volumetric scene: density and view-dependent color at any point in
 /// the unit cube `[0, 1]³`.
-pub trait Scene {
+///
+/// `Sync` is a supertrait because renderers and the trainer query scenes
+/// from every pool thread; scenes are analytic/stateless, so this costs
+/// implementors nothing.
+pub trait Scene: Sync {
     /// Scene name for reports.
     fn name(&self) -> &'static str;
 

@@ -96,14 +96,57 @@ impl Adam {
     }
 }
 
+/// The batch is always split into this many gradient shards, regardless of
+/// how many threads run them. The shard partition and the merge order are
+/// therefore pure functions of the config — which is what makes training
+/// bit-identical under `FNR_THREADS=1` and `FNR_THREADS=N` (floating-point
+/// accumulation order never depends on scheduling).
+const TRAIN_SHARDS: usize = 8;
+
+/// Per-ray RNG stream: every ray of every iteration draws from its own
+/// seeded generator, so a ray's pixel choice is independent of which shard
+/// or thread executes it.
+fn ray_rng(seed: u64, iter: usize, ray: usize, batch_rays: usize) -> rand::rngs::StdRng {
+    let stream = (iter * batch_rays + ray) as u64;
+    rand::rngs::StdRng::seed_from_u64(
+        seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)),
+    )
+}
+
+/// Gradients and loss contributed by one shard of the ray batch.
+struct ShardGrads {
+    mlp: crate::mlp::MlpGrads,
+    grid: Vec<Vec<f32>>,
+    loss: f32,
+}
+
+/// Splits `0..batch_rays` into [`TRAIN_SHARDS`] contiguous ranges (the
+/// first `batch_rays % TRAIN_SHARDS` shards take the extra ray).
+fn shard_ranges(batch_rays: usize) -> Vec<(usize, usize)> {
+    let base = batch_rays / TRAIN_SHARDS;
+    let extra = batch_rays % TRAIN_SHARDS;
+    let mut ranges = Vec::with_capacity(TRAIN_SHARDS);
+    let mut lo = 0;
+    for s in 0..TRAIN_SHARDS {
+        let hi = lo + base + usize::from(s < extra);
+        ranges.push((lo, hi));
+        lo = hi;
+    }
+    ranges
+}
+
 /// Trains `model` to reproduce `scene` from `cfg.views` orbit viewpoints.
 ///
 /// Ground-truth pixels come from the analytic reference renderer; the loss
 /// is the MSE between composited and reference colors. Gradients flow
 /// through the compositing equation, the sigmoid/softplus heads, the MLP
 /// and the trilinear hash-grid interpolation.
+///
+/// Each iteration fans the ray batch out across the thread pool in
+/// [`TRAIN_SHARDS`] fixed shards whose partial gradients merge in shard
+/// order — see [`TRAIN_SHARDS`] for why this keeps training bit-identical
+/// at any thread count.
 pub fn train_ngp(scene: &dyn Scene, model: &mut NgpModel, cfg: &TrainConfig) -> TrainStats {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
     // Pre-render ground-truth views.
     let cameras: Vec<Camera> = (0..cfg.views)
         .map(|i| Camera::orbit(i as f32 * std::f32::consts::TAU / cfg.views as f32, 1.6, 0.95))
@@ -115,68 +158,89 @@ pub fn train_ngp(scene: &dyn Scene, model: &mut NgpModel, cfg: &TrainConfig) -> 
 
     let mut mlp_adam = Adam::new(model.mlp.param_count());
     let mut grid_adam = Adam::new(model.grid.param_count());
+    let ranges = shard_ranges(cfg.batch_rays);
 
     let mut losses = Vec::new();
     let mut running = 0.0f32;
     for iter in 0..cfg.iters {
-        let mut mlp_grads = model.mlp.zero_grads();
-        let mut grid_grads = model.grid.zero_grad();
-        let mut batch_loss = 0.0f32;
-
-        for _ in 0..cfg.batch_rays {
-            let view = rng.gen_range(0..cfg.views);
-            let px = rng.gen_range(0..cfg.image_size);
-            let py = rng.gen_range(0..cfg.image_size);
-            let ray = cameras[view].ray(px, py, cfg.image_size, cfg.image_size);
-            let gt = truths[view].get(px, py);
-            let samples = sample_ray(&ray, cfg.samples_per_ray, None);
-            if samples.is_empty() {
-                continue;
-            }
-            // Forward: encode → MLP → heads → composite.
-            let mut encs = Vec::with_capacity(samples.len());
-            let mut caches = Vec::with_capacity(samples.len());
-            let mut raws = Vec::with_capacity(samples.len());
-            let mut shaded = Vec::with_capacity(samples.len());
-            for s in &samples {
-                let enc = model.grid.encode(s.position);
-                let (raw, cache) = model.mlp.forward_cached(&enc);
-                shaded.push(ShadedSample {
-                    sigma: softplus(raw[0]),
-                    color: [sigmoid(raw[1]), sigmoid(raw[2]), sigmoid(raw[3])],
-                    delta: s.delta,
-                });
-                encs.push(enc);
-                caches.push(cache);
-                raws.push(raw);
-            }
-            let c = composite(&shaded);
-            let d_out = [
-                2.0 * (c[0] - gt[0]) / 3.0,
-                2.0 * (c[1] - gt[1]) / 3.0,
-                2.0 * (c[2] - gt[2]) / 3.0,
-            ];
-            batch_loss += ((c[0] - gt[0]).powi(2) + (c[1] - gt[1]).powi(2)
-                + (c[2] - gt[2]).powi(2))
-                / 3.0;
-
-            // Backward.
-            let (d_sigma, d_color) = composite_backward(&shaded, d_out);
-            for (i, s) in samples.iter().enumerate() {
-                // Head gradients: σ = softplus(z0), c = sigmoid(z1..3).
-                let mut d_raw = vec![0.0f32; 4];
-                d_raw[0] = d_sigma[i] * sigmoid(raws[i][0]);
-                for ch in 0..3 {
-                    let cch = shaded[i].color[ch];
-                    d_raw[1 + ch] = d_color[i][ch] * cch * (1.0 - cch);
-                }
-                if d_raw.iter().all(|&v| v == 0.0) {
+        let frozen: &NgpModel = model;
+        let partials: Vec<ShardGrads> = fnr_par::par_map(&ranges, |&(lo, hi)| {
+            let mut shard = ShardGrads {
+                mlp: frozen.mlp.zero_grads(),
+                grid: frozen.grid.zero_grad(),
+                loss: 0.0,
+            };
+            for ray_idx in lo..hi {
+                let mut rng = ray_rng(cfg.seed, iter, ray_idx, cfg.batch_rays);
+                let view = rng.gen_range(0..cfg.views);
+                let px = rng.gen_range(0..cfg.image_size);
+                let py = rng.gen_range(0..cfg.image_size);
+                let ray = cameras[view].ray(px, py, cfg.image_size, cfg.image_size);
+                let gt = truths[view].get(px, py);
+                let samples = sample_ray(&ray, cfg.samples_per_ray, None);
+                if samples.is_empty() {
                     continue;
                 }
-                let d_enc = model.mlp.backward(&caches[i], &d_raw, &mut mlp_grads);
-                model.grid.accumulate_grad(s.position, &d_enc, &mut grid_grads);
+                // Forward: encode → MLP → heads → composite.
+                let mut caches = Vec::with_capacity(samples.len());
+                let mut raws = Vec::with_capacity(samples.len());
+                let mut shaded = Vec::with_capacity(samples.len());
+                for s in &samples {
+                    let enc = frozen.grid.encode(s.position);
+                    let (raw, cache) = frozen.mlp.forward_cached(&enc);
+                    shaded.push(ShadedSample {
+                        sigma: softplus(raw[0]),
+                        color: [sigmoid(raw[1]), sigmoid(raw[2]), sigmoid(raw[3])],
+                        delta: s.delta,
+                    });
+                    caches.push(cache);
+                    raws.push(raw);
+                }
+                let c = composite(&shaded);
+                let d_out = [
+                    2.0 * (c[0] - gt[0]) / 3.0,
+                    2.0 * (c[1] - gt[1]) / 3.0,
+                    2.0 * (c[2] - gt[2]) / 3.0,
+                ];
+                shard.loss += ((c[0] - gt[0]).powi(2) + (c[1] - gt[1]).powi(2)
+                    + (c[2] - gt[2]).powi(2))
+                    / 3.0;
+
+                // Backward.
+                let (d_sigma, d_color) = composite_backward(&shaded, d_out);
+                for (i, s) in samples.iter().enumerate() {
+                    // Head gradients: σ = softplus(z0), c = sigmoid(z1..3).
+                    let mut d_raw = vec![0.0f32; 4];
+                    d_raw[0] = d_sigma[i] * sigmoid(raws[i][0]);
+                    for ch in 0..3 {
+                        let cch = shaded[i].color[ch];
+                        d_raw[1 + ch] = d_color[i][ch] * cch * (1.0 - cch);
+                    }
+                    if d_raw.iter().all(|&v| v == 0.0) {
+                        continue;
+                    }
+                    let d_enc = frozen.mlp.backward(&caches[i], &d_raw, &mut shard.mlp);
+                    frozen.grid.accumulate_grad(s.position, &d_enc, &mut shard.grid);
+                }
             }
+            shard
+        });
+
+        // Merge shard partials in fixed shard order.
+        let mut partials = partials.into_iter();
+        let mut merged = partials.next().expect("TRAIN_SHARDS >= 1");
+        for shard in partials {
+            merged.mlp.add_assign(&shard.mlp);
+            for (into, from) in merged.grid.iter_mut().zip(&shard.grid) {
+                for (a, b) in into.iter_mut().zip(from) {
+                    *a += b;
+                }
+            }
+            merged.loss += shard.loss;
         }
+        let mlp_grads = merged.mlp;
+        let grid_grads = merged.grid;
+        let batch_loss = merged.loss;
 
         // Scale by batch size and update.
         let scale = 1.0 / cfg.batch_rays as f32;

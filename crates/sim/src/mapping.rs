@@ -38,6 +38,14 @@ impl DataflowMix {
             Dataflow::Unicast => self.unicast += 1,
         }
     }
+
+    /// Accumulates another mix's counts into this one (used to merge
+    /// per-row partial mixes from the parallel mapping expansion).
+    pub fn merge(&mut self, other: &DataflowMix) {
+        self.broadcast += other.broadcast;
+        self.multicast += other.multicast;
+        self.unicast += other.unicast;
+    }
 }
 
 /// A sparse GEMM expanded into dense lane work.
@@ -71,28 +79,42 @@ pub fn gustavson_map(a: &Matrix<i32>, b: &Matrix<i32>, row_width: usize) -> Mapp
     assert_eq!(a.cols(), b.rows(), "inner dimensions must match");
     let b_rows = CsrMatrix::from_dense(b, CsrLayout::RowMajor, fnr_tensor::Precision::Int16);
     let out_cols = b.cols();
+    // Expand each A row independently across the pool, then concatenate in
+    // row order — the assignment stream is identical to the serial
+    // row-major walk at any thread count.
+    let per_row = fnr_par::par_map_index(a.rows(), |i| {
+        let mut assignments = Vec::new();
+        let mut mix = DataflowMix::default();
+        for (k, av) in
+            a.row(i).iter().enumerate().filter_map(|(k, &v)| (v != 0).then_some((k, v)))
+        {
+            let group = b_rows.line_nnz(k);
+            if group == 0 {
+                continue;
+            }
+            let flow = if group >= row_width {
+                Dataflow::Broadcast
+            } else if group > 1 {
+                Dataflow::Multicast
+            } else {
+                Dataflow::Unicast
+            };
+            mix.record(flow);
+            for (j, bv) in b_rows.line(k) {
+                assignments.push(LaneAssignment {
+                    a: av,
+                    b: bv,
+                    out_idx: (i * out_cols + j) as u32,
+                });
+            }
+        }
+        (assignments, mix)
+    });
     let mut assignments = Vec::new();
     let mut mix = DataflowMix::default();
-    for (i, k, av) in a.iter_nonzeros() {
-        let group = b_rows.line_nnz(k);
-        if group == 0 {
-            continue;
-        }
-        let flow = if group >= row_width {
-            Dataflow::Broadcast
-        } else if group > 1 {
-            Dataflow::Multicast
-        } else {
-            Dataflow::Unicast
-        };
-        mix.record(flow);
-        for (j, bv) in b_rows.line(k) {
-            assignments.push(LaneAssignment {
-                a: av,
-                b: bv,
-                out_idx: (i * out_cols + j) as u32,
-            });
-        }
+    for (row_assignments, row_mix) in per_row {
+        assignments.extend(row_assignments);
+        mix.merge(&row_mix);
     }
     MappedGemm { assignments, dataflow: mix, out_shape: (a.rows(), out_cols) }
 }

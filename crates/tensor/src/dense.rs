@@ -162,6 +162,113 @@ impl<T: Copy + Default> Matrix<T> {
     }
 }
 
+/// Scalar glue for the shared matmul kernel: each element type brings its
+/// own zero test and its own accumulate rule (`i32` saturates through a
+/// 64-bit accumulator like the MAC array, `f32` adds in IEEE order).
+///
+/// Having one generic kernel keeps the i32 and f32 paths — previously two
+/// near-identical triple loops — from drifting apart.
+pub trait MacScalar: Copy + Default {
+    /// Whether this element contributes nothing to a product.
+    fn is_zero(self) -> bool;
+    /// One multiply-accumulate step: `acc ⊕ a·b` under the type's rule.
+    fn mac(acc: Self, a: Self, b: Self) -> Self;
+}
+
+impl MacScalar for i32 {
+    #[inline(always)]
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+
+    #[inline(always)]
+    fn mac(acc: Self, a: Self, b: Self) -> Self {
+        (acc as i64 + a as i64 * b as i64).clamp(i32::MIN as i64, i32::MAX as i64) as i32
+    }
+}
+
+impl MacScalar for f32 {
+    #[inline(always)]
+    fn is_zero(self) -> bool {
+        self == 0.0
+    }
+
+    #[inline(always)]
+    fn mac(acc: Self, a: Self, b: Self) -> Self {
+        acc + a * b
+    }
+}
+
+/// Column-block width of the blocked kernel: 256 × 4-byte elements = one
+/// 1 KiB output stripe that stays resident in L1 across the k loop.
+const BLOCK_COLS: usize = 256;
+/// Inner-dimension block depth: bounds the `B` tile touched per stripe to
+/// `BLOCK_K × BLOCK_COLS` elements (64 KiB) so it survives in L1/L2.
+const BLOCK_K: usize = 64;
+
+/// Cache-blocked, slice-based matmul shared by the `i32` and `f32` paths.
+///
+/// For every output element the inner dimension is walked in ascending
+/// order (blocks ascend, indices within a block ascend), so the result is
+/// bit-identical to the naive triple loop for both the saturating integer
+/// rule and IEEE float addition — only the traversal over *different*
+/// outputs is reordered for locality. Zero `A` elements are skipped, which
+/// is the software mirror of the accelerator never scheduling zero operands
+/// onto MAC lanes.
+fn matmul_blocked<T: MacScalar>(lhs: &Matrix<T>, rhs: &Matrix<T>) -> Matrix<T> {
+    let (m, inner, n) = (lhs.rows, lhs.cols, rhs.cols);
+    let mut out = Matrix::zeros(m, n);
+    let a = &lhs.data;
+    let b = &rhs.data;
+    for col0 in (0..n).step_by(BLOCK_COLS) {
+        let col1 = (col0 + BLOCK_COLS).min(n);
+        for k0 in (0..inner).step_by(BLOCK_K) {
+            let k1 = (k0 + BLOCK_K).min(inner);
+            for i in 0..m {
+                let a_row = &a[i * inner..(i + 1) * inner];
+                let out_row = &mut out.data[i * n + col0..i * n + col1];
+                for k in k0..k1 {
+                    let av = a_row[k];
+                    if av.is_zero() {
+                        continue;
+                    }
+                    let b_row = &b[k * n + col0..k * n + col1];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o = T::mac(*o, av, bv);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The original get/set triple loop, kept as the oracle the property suite
+/// checks the blocked and CSR kernels against.
+#[cfg(test)]
+fn matmul_naive<T: MacScalar>(lhs: &Matrix<T>, rhs: &Matrix<T>) -> Matrix<T> {
+    let mut out = Matrix::zeros(lhs.rows, rhs.cols);
+    for i in 0..lhs.rows {
+        for k in 0..lhs.cols {
+            let a = lhs.get(i, k);
+            if a.is_zero() {
+                continue;
+            }
+            for j in 0..rhs.cols {
+                out.set(i, j, T::mac(out.get(i, j), a, rhs.get(k, j)));
+            }
+        }
+    }
+    out
+}
+
+/// Don't bother with sparsity dispatch below this element count: the
+/// density scan would cost as much as the multiply.
+const SPARSE_DISPATCH_MIN_ELEMS: usize = 64 * 64;
+/// Density at or below which the CSR route wins (nnz/len ≤ 1/4, i.e. the
+/// ≥75 % sparsity regime the pruning sweeps operate in).
+const SPARSE_DISPATCH_MAX_DENSITY: f64 = 0.25;
+
 impl Matrix<i32> {
     /// Number of non-zero elements.
     pub fn nnz(&self) -> usize {
@@ -194,6 +301,13 @@ impl Matrix<i32> {
     /// saturated back to `i32` (reference model for the MAC array, whose
     /// accumulators are wide enough in every supported mode).
     ///
+    /// Large sparse operands (≤ 25 % density) route through the
+    /// [`CsrMatrix`](crate::sparse::CsrMatrix) Gustavson kernel — the
+    /// software mirror of the accelerator's sparsity-aware datapath —
+    /// everything else through the cache-blocked dense kernel. Both walk
+    /// the inner dimension in ascending order per output, so the result is
+    /// bit-identical whichever path runs.
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.rows`.
@@ -204,20 +318,18 @@ impl Matrix<i32> {
                 actual: format!("rhs with {} rows", rhs.rows),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k) as i64;
-                if a == 0 {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    let cur = out.get(i, j) as i64 + a * rhs.get(k, j) as i64;
-                    out.set(i, j, cur.clamp(i32::MIN as i64, i32::MAX as i64) as i32);
-                }
-            }
+        // u16 minor indices bound the CSR route to 65536 columns.
+        if self.len() >= SPARSE_DISPATCH_MIN_ELEMS
+            && self.cols <= u16::MAX as usize + 1
+            && self.is_sparser_than(SPARSE_DISPATCH_MAX_DENSITY)
+        {
+            // The precision tag is storage metadata only; the kernel
+            // operates on the full i32 values.
+            let csr =
+                crate::sparse::CsrMatrix::from_dense(self, crate::sparse::CsrLayout::RowMajor, Precision::Int16);
+            return csr.matmul_dense(rhs);
         }
-        Ok(out)
+        Ok(matmul_blocked(self, rhs))
     }
 
     /// Iterator over `(row, col, value)` of the non-zero elements, row-major.
@@ -230,14 +342,38 @@ impl Matrix<i32> {
             .map(move |(i, &v)| (i / cols, i % cols, v))
     }
 
-    /// Number of non-zeros in each row.
+    /// Whether the non-zero density is at most `max_density`, with an
+    /// early exit: a dense matrix stops the scan as soon as the budget is
+    /// exceeded, so the dispatch check never costs a full `nnz()` pass on
+    /// the matrices it rejects.
+    fn is_sparser_than(&self, max_density: f64) -> bool {
+        let budget = (max_density * self.data.len() as f64) as usize;
+        let mut nnz = 0usize;
+        for &v in &self.data {
+            if v != 0 {
+                nnz += 1;
+                if nnz > budget {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of non-zeros in each row, in one pass over the backing store.
     pub fn row_nnz(&self) -> Vec<usize> {
-        (0..self.rows).map(|r| self.row(r).iter().filter(|&&v| v != 0).count()).collect()
+        if self.cols == 0 {
+            return vec![0; self.rows];
+        }
+        self.data.chunks(self.cols).map(|row| row.iter().filter(|&&v| v != 0).count()).collect()
     }
 }
 
 impl Matrix<f32> {
-    /// Floating-point matrix product (reference model for GPU math).
+    /// Floating-point matrix product (reference model for GPU math),
+    /// through the cache-blocked kernel. Per output element the additions
+    /// happen in the same (ascending-k) order as the naive triple loop, so
+    /// results are bit-identical to it.
     ///
     /// # Errors
     ///
@@ -249,20 +385,7 @@ impl Matrix<f32> {
                 actual: format!("rhs with {} rows", rhs.rows),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    let cur = out.get(i, j) + a * rhs.get(k, j);
-                    out.set(i, j, cur);
-                }
-            }
-        }
-        Ok(out)
+        Ok(matmul_blocked(self, rhs))
     }
 
     /// Fraction of exactly-zero elements (e.g. post-ReLU activations).
@@ -359,5 +482,100 @@ mod tests {
         let b = Matrix::from_rows(&[&[3.0f32], &[4.0]]);
         let c = a.matmul(&b).unwrap();
         assert!((c.get(0, 0) - 11.0).abs() < 1e-6);
+    }
+
+    fn random_f32(rows: usize, cols: usize, seed: u64) -> Matrix<f32> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.as_mut_slice() {
+            // ~30 % exact zeros so the zero-skip path is exercised too.
+            *v = if rng.gen_bool(0.3) { 0.0 } else { rng.gen_range(-2.0f32..=2.0) };
+        }
+        m
+    }
+
+    #[test]
+    fn blocked_kernel_saturates_like_naive() {
+        // Extreme magnitudes drive the i64 accumulator past i32 in both
+        // directions; the blocked kernel must clamp update-by-update
+        // exactly as the naive oracle does.
+        let big = i32::MAX - 3;
+        let a = Matrix::from_rows(&[&[big, big, -big], &[-big, 2, big]]);
+        let b = Matrix::from_rows(&[&[big, -1], &[big, big], &[3, -big]]);
+        assert_eq!(a.matmul(&b).unwrap(), matmul_naive(&a, &b));
+    }
+
+    #[test]
+    fn blocked_kernel_crosses_block_boundaries() {
+        // Dims straddling BLOCK_K/BLOCK_COLS so multi-block traversal runs.
+        let a = crate::gen::random_sparse_i32(5, BLOCK_K + 9, 0.4, Precision::Int16, 11);
+        let b = crate::gen::random_sparse_i32(BLOCK_K + 9, BLOCK_COLS + 17, 0.5, Precision::Int16, 12);
+        assert_eq!(matmul_blocked(&a, &b), matmul_naive(&a, &b));
+    }
+
+    #[test]
+    fn sparse_dispatch_matches_dense_path() {
+        // 96x96 at 95 % sparsity crosses the CSR dispatch threshold.
+        let a = crate::gen::random_sparse_i32(96, 96, 0.95, Precision::Int8, 21);
+        let b = crate::gen::random_sparse_i32(96, 64, 0.3, Precision::Int8, 22);
+        assert!(a.len() >= SPARSE_DISPATCH_MIN_ELEMS);
+        assert!((a.nnz() as f64) <= SPARSE_DISPATCH_MAX_DENSITY * a.len() as f64);
+        assert_eq!(a.matmul(&b).unwrap(), matmul_naive(&a, &b));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            #[test]
+            fn prop_blocked_i32_matches_naive_oracle(
+                m in 1usize..24,
+                k in 1usize..80,
+                n in 1usize..300,
+                sparsity in 0.0f64..1.0,
+                seed in 0u64..1000,
+            ) {
+                let a = crate::gen::random_sparse_i32(m, k, sparsity, Precision::Int16, seed);
+                let b = crate::gen::random_sparse_i32(k, n, 0.3, Precision::Int16, seed + 7);
+                prop_assert_eq!(matmul_blocked(&a, &b), matmul_naive(&a, &b));
+            }
+
+            #[test]
+            fn prop_blocked_f32_is_bit_identical_to_naive(
+                m in 1usize..16,
+                k in 1usize..80,
+                n in 1usize..300,
+                seed in 0u64..1000,
+            ) {
+                let a = random_f32(m, k, seed);
+                let b = random_f32(k, n, seed + 13);
+                let blocked = matmul_blocked(&a, &b);
+                let naive = matmul_naive(&a, &b);
+                // PartialEq on f32 is exact equality — bit-identical sums.
+                prop_assert_eq!(blocked, naive);
+            }
+
+            #[test]
+            fn prop_csr_gustavson_matches_naive_oracle(
+                m in 1usize..24,
+                k in 1usize..40,
+                n in 1usize..40,
+                sparsity in 0.0f64..1.0,
+                seed in 0u64..1000,
+            ) {
+                use crate::sparse::{CsrLayout, CsrMatrix};
+                let a = crate::gen::random_sparse_i32(m, k, sparsity, Precision::Int16, seed);
+                let b = crate::gen::random_sparse_i32(k, n, 0.4, Precision::Int16, seed + 3);
+                let expect = matmul_naive(&a, &b);
+                for layout in [CsrLayout::RowMajor, CsrLayout::ColMajor] {
+                    let sp = CsrMatrix::from_dense(&a, layout, Precision::Int16);
+                    prop_assert_eq!(sp.matmul_dense(&b).unwrap(), expect.clone());
+                }
+            }
+        }
     }
 }

@@ -23,7 +23,7 @@
 
 #![warn(missing_docs)]
 
-mod dense;
+pub(crate) mod dense;
 mod error;
 mod format;
 mod precision;
@@ -34,7 +34,7 @@ pub mod gen;
 pub mod sparse;
 pub mod workload;
 
-pub use dense::Matrix;
+pub use dense::{MacScalar, Matrix};
 pub use error::TensorError;
 pub use format::{FootprintModel, FormatSweepPoint, SparsityFormat};
 pub use precision::Precision;

@@ -1,4 +1,5 @@
-use crate::{Matrix, Precision};
+use crate::dense::MacScalar;
+use crate::{Matrix, Precision, Result, TensorError};
 
 /// Storage orientation of a compressed-sparse matrix.
 ///
@@ -119,6 +120,57 @@ impl CsrMatrix {
     /// Number of non-zeros in major line `i`.
     pub fn line_nnz(&self, i: usize) -> usize {
         (self.ptr[i + 1] - self.ptr[i]) as usize
+    }
+
+    /// Sparse × dense product `self × rhs` — the Gustavson row-wise kernel
+    /// the paper's dense mapping implements in hardware (Fig. 5): each
+    /// stored non-zero `A[i][k]` scales dense row `B[k,:]` into output row
+    /// `i`. Works for both orientations; accumulation uses the same
+    /// saturating i32 rule as [`Matrix::matmul`], and per output element
+    /// the inner dimension is walked in ascending order, so the result is
+    /// bit-identical to the dense kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul_dense(&self, rhs: &Matrix<i32>) -> Result<Matrix<i32>> {
+        if self.cols != rhs.rows() {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("rhs with {} rows", self.cols),
+                actual: format!("rhs with {} rows", rhs.rows()),
+            });
+        }
+        let n = rhs.cols();
+        let mut out = Matrix::zeros(self.rows, n);
+        let out_data = out.as_mut_slice();
+        let rhs_data = rhs.as_slice();
+        let mut scale_into = |i: usize, k: usize, av: i32| {
+            let out_row = &mut out_data[i * n..(i + 1) * n];
+            let b_row = &rhs_data[k * n..(k + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o = MacScalar::mac(*o, av, bv);
+            }
+        };
+        match self.layout {
+            // CSR: line i holds row i's (k, A[i][k]) pairs, k ascending.
+            CsrLayout::RowMajor => {
+                for i in 0..self.rows {
+                    for (k, av) in self.line(i) {
+                        scale_into(i, k, av);
+                    }
+                }
+            }
+            // CSC: line k holds column k's (i, A[i][k]) pairs; the outer
+            // loop ascending over k keeps per-output accumulation order.
+            CsrLayout::ColMajor => {
+                for k in 0..self.cols {
+                    for (i, av) in self.line(k) {
+                        scale_into(i, k, av);
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Exact storage footprint in bits: value + minor index per non-zero,

@@ -10,7 +10,9 @@
 //! * [`fnr_mac`] — bit-scalable MAC units and arrays;
 //! * [`fnr_mem`] — buffers, DMA, DRAM channels;
 //! * [`fnr_sim`] — cycle-level engines for every baseline;
-//! * [`fnr_nerf`] — the full NeRF pipeline (scenes → training → rendering).
+//! * [`fnr_nerf`] — the full NeRF pipeline (scenes → training → rendering);
+//! * [`fnr_par`] — the vendored work-stealing thread pool behind the
+//!   parallel sweeps, rendering and training (`FNR_THREADS` knob).
 
 pub use flexnerfer;
 pub use fnr_hw;
@@ -18,5 +20,6 @@ pub use fnr_mac;
 pub use fnr_mem;
 pub use fnr_nerf;
 pub use fnr_noc;
+pub use fnr_par;
 pub use fnr_sim;
 pub use fnr_tensor;

@@ -1,0 +1,92 @@
+//! Serial-vs-parallel equivalence: everything the repro pipeline prints or
+//! measures must be *byte-identical* whether it runs on one thread or many.
+//!
+//! The pool distributes work dynamically, so these tests are the guard
+//! against accidentally introducing scheduling-dependent state: table
+//! generators are independent and slot-addressed, rendering is per-pixel
+//! pure, and training merges a fixed number of gradient shards in fixed
+//! order (see `fnr_nerf::train::TRAIN_SHARDS`).
+//!
+//! `fnr_par::set_num_threads` is process-global, and the test harness runs
+//! tests concurrently — every test here (and any future test touching the
+//! width) must hold `fnr_par::width_test_guard` for its whole body.
+
+use fnr_nerf::camera::Camera;
+use fnr_nerf::hashgrid::HashGridConfig;
+use fnr_nerf::render::{render_reference, NgpModel};
+use fnr_nerf::scene::MicScene;
+use fnr_nerf::train::{train_ngp, TrainConfig, TrainStats};
+use fnr_par::width_test_guard as width_guard;
+
+/// Runs `f` at width 1 and width 4 and returns both results.
+fn at_widths<R>(mut f: impl FnMut() -> R) -> (R, R) {
+    fnr_par::set_num_threads(1);
+    let serial = f();
+    fnr_par::set_num_threads(4);
+    let parallel = f();
+    fnr_par::set_num_threads(1);
+    (serial, parallel)
+}
+
+#[test]
+fn sweep_tables_are_byte_identical() {
+    let _g = width_guard();
+    // The three generators that actually fan out wide inside (engine
+    // sweeps + the batch study); rendering the full fast set here would
+    // re-run fig19 three times for little extra coverage.
+    let render = || {
+        [
+            fnr_bench::system_experiments::fig18_latency_density().to_string(),
+            fnr_bench::system_experiments::fig19_speedup_efficiency().to_string(),
+            fnr_bench::system_experiments::fig20b_batch_scaling().to_string(),
+        ]
+        .join("\n")
+    };
+    let (serial, parallel) = at_widths(render);
+    assert_eq!(serial, parallel, "sweep tables must not depend on thread count");
+}
+
+#[test]
+fn reference_render_is_byte_identical() {
+    let _g = width_guard();
+    let cam = Camera::orbit(0.8, 1.6, 0.9);
+    let (serial, parallel) = at_widths(|| render_reference(&MicScene, &cam, 24, 24, 24));
+    // Image: PartialEq over f32 pixels = exact bit equality (no NaNs).
+    assert_eq!(serial, parallel, "reference renderer must be schedule-independent");
+}
+
+#[test]
+fn model_render_is_byte_identical() {
+    let _g = width_guard();
+    let model = NgpModel::new(HashGridConfig::small(), 16, 7);
+    let cam = Camera::orbit(0.3, 1.6, 0.9);
+    let (serial, parallel) = at_widths(|| model.render(&cam, 20, 20, 12, None));
+    assert_eq!(serial, parallel, "NGP renderer must be schedule-independent");
+}
+
+#[test]
+fn training_is_bit_identical_and_psnr_matches() {
+    let _g = width_guard();
+    let cfg = TrainConfig { iters: 60, ..TrainConfig::quick() };
+    let run = || -> (TrainStats, Vec<f32>) {
+        let mut model = NgpModel::new(HashGridConfig::small(), 16, 5);
+        let stats = train_ngp(&MicScene, &mut model, &cfg);
+        let params: Vec<f32> = model
+            .mlp
+            .layers()
+            .iter()
+            .flat_map(|l| l.weights.as_slice().iter().chain(&l.bias).copied())
+            .chain(model.grid.tables().iter().flatten().copied())
+            .collect();
+        (stats, params)
+    };
+    let ((stats_1, params_1), (stats_n, params_n)) = at_widths(run);
+    assert_eq!(stats_1.losses, stats_n.losses, "loss curves must match exactly");
+    assert_eq!(stats_1.final_loss, stats_n.final_loss);
+    assert_eq!(params_1.len(), params_n.len());
+    // Bit-level equality of every trained parameter: the fixed-shard merge
+    // guarantees identical floating-point accumulation order.
+    for (i, (a, b)) in params_1.iter().zip(&params_n).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "param {i}: {a} vs {b}");
+    }
+}

@@ -3,9 +3,22 @@
 //! Offline build environments cannot fetch the real crate, so this shim
 //! provides the API surface the `fnr_bench` targets use — benchmark
 //! groups, `sample_size`, `bench_function`, `Bencher::iter`, `black_box`
-//! and the `criterion_group!`/`criterion_main!` macros — with a simple
-//! warm-up + median-of-samples timer instead of criterion's statistics.
-//! Timings print one line per benchmark: `name  median  (samples)`.
+//! and the `criterion_group!`/`criterion_main!` macros — with a
+//! calibrated warm-up + median/MAD timer instead of criterion's full
+//! statistics.
+//!
+//! Each benchmark prints one line, always in nanoseconds:
+//!
+//! ```text
+//! name        median 123456 ns   mad 789 ns   (20 samples x 1024 iters)
+//! ```
+//!
+//! The MAD (median absolute deviation from the median) is the robust
+//! spread estimate: a noisy neighbour inflates it instead of silently
+//! skewing a mean. Sample counts come from `sample_size`/the per-call
+//! default, and can be overridden globally with the `FNR_BENCH_SAMPLES`
+//! environment variable (useful for quick CI smoke runs vs long local
+//! measurement sessions).
 
 #![warn(missing_docs)]
 
@@ -84,7 +97,26 @@ impl Bencher {
     }
 }
 
+/// Global sample-count override, `FNR_BENCH_SAMPLES` (≥ 1 to take effect).
+fn env_samples() -> Option<usize> {
+    std::env::var("FNR_BENCH_SAMPLES").ok()?.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// Median of a sorted sample vector.
+fn median_ns(sorted: &[u64]) -> u64 {
+    sorted[sorted.len() / 2]
+}
+
+/// Median absolute deviation from `median` (robust spread estimate).
+fn mad_ns(samples: &[u64], median: u64) -> u64 {
+    let mut devs: Vec<u64> = samples.iter().map(|&s| s.abs_diff(median)).collect();
+    devs.sort_unstable();
+    median_ns(&devs)
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let samples = env_samples().unwrap_or(samples).max(1);
+
     // Calibrate the per-sample iteration count towards ~2 ms per sample so
     // fast kernels get enough iterations for a stable median while slow
     // table generators stay at 1 iteration.
@@ -93,15 +125,30 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
     let per_iter = probe.elapsed.max(Duration::from_nanos(1));
     let iters = (Duration::from_millis(2).as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
 
-    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    // Warm-up: settle caches, branch predictors and CPU frequency before
+    // the timed samples. Benchmarks whose single iteration already exceeds
+    // the warm-up budget skip it — the calibration probe was their warm-up.
+    const WARMUP: Duration = Duration::from_millis(6);
+    if per_iter < WARMUP {
+        let deadline = Instant::now() + WARMUP;
+        while Instant::now() < deadline {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+        }
+    }
+
+    let mut times: Vec<u64> = Vec::with_capacity(samples);
     for _ in 0..samples {
         let mut b = Bencher { iters, elapsed: Duration::ZERO };
         f(&mut b);
-        times.push(b.elapsed / iters as u32);
+        times.push((b.elapsed.as_nanos() / iters as u128) as u64);
     }
     times.sort_unstable();
-    let median = times[times.len() / 2];
-    println!("{name:<40} {median:>12.3?}  ({samples} samples x {iters} iters)");
+    let median = median_ns(&times);
+    let mad = mad_ns(&times, median);
+    println!(
+        "{name:<44} median {median:>12} ns   mad {mad:>9} ns   ({samples} samples x {iters} iters)"
+    );
 }
 
 /// Bundles bench functions into one runnable group function.
@@ -151,5 +198,22 @@ mod tests {
     #[test]
     fn macros_expand() {
         demo_group();
+    }
+
+    #[test]
+    fn median_and_mad_are_robust() {
+        // One wild outlier must not move either statistic much.
+        let mut samples = vec![100u64, 101, 99, 100, 102, 98, 100, 5000];
+        samples.sort_unstable();
+        let med = median_ns(&samples);
+        assert!((98..=102).contains(&med), "median {med}");
+        let mad = mad_ns(&samples, med);
+        assert!(mad <= 2, "mad {mad}");
+    }
+
+    #[test]
+    fn mad_of_constant_samples_is_zero() {
+        let samples = vec![7u64; 9];
+        assert_eq!(mad_ns(&samples, median_ns(&samples)), 0);
     }
 }
