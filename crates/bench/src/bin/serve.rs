@@ -1,0 +1,188 @@
+//! Batched render-request serving: seeded load generation against the
+//! `fnr_serve` runtime, with a determinism-checkable response digest.
+//!
+//! ```text
+//! cargo run --release --bin serve                            # 1000-request bursty workload
+//! cargo run --release --bin serve -- --requests 200 --pattern uniform
+//! cargo run --release --bin serve -- --mode closed --clients 8
+//! cargo run --release --bin serve -- --json SERVE.json      # metrics record
+//! cargo run --release --bin serve -- --expect-coalescing    # exit 1 if occupancy <= 1
+//! ```
+//!
+//! The workload is a pure function of `--seed`/`--pattern`/`--requests`,
+//! and every response payload is a pure function of its request, so the
+//! `response digest` line is byte-identical at any `FNR_THREADS`, worker
+//! count, or machine — CI runs two legs and diffs it.
+//!
+//! Knobs: `--requests N`, `--pattern bursty|uniform|heavy`, `--seed S`,
+//! `--mode open|closed`, `--clients K` (closed-loop), `--workers W`,
+//! `--queue-capacity C`, `--max-batch B`, `--linger-us U`,
+//! `--mean-gap-us U`, `--json PATH`, `--expect-coalescing`.
+
+use std::time::Duration;
+
+use fnr_serve::workload::{generate, ArrivalPattern, WorkloadSpec};
+use fnr_serve::{run_closed_loop, run_open_loop, ServeReport, ServerConfig};
+
+struct Args {
+    requests: usize,
+    pattern: ArrivalPattern,
+    seed: u64,
+    open_loop: bool,
+    clients: usize,
+    workers: usize,
+    queue_capacity: usize,
+    max_batch: usize,
+    linger: Duration,
+    mean_gap: Duration,
+    json: Option<String>,
+    expect_coalescing: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 1000,
+        pattern: ArrivalPattern::Bursty,
+        seed: 42,
+        open_loop: true,
+        clients: 8,
+        workers: 2,
+        queue_capacity: 256,
+        max_batch: 8,
+        linger: Duration::from_millis(2),
+        mean_gap: Duration::from_micros(150),
+        json: None,
+        expect_coalescing: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let operand = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        argv.get(*i).unwrap_or_else(|| usage(&format!("{flag} requires an operand"))).clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--requests" => args.requests = parse_num(&operand(&mut i, "--requests")),
+            "--pattern" => {
+                let p = operand(&mut i, "--pattern");
+                args.pattern = ArrivalPattern::parse(&p)
+                    .unwrap_or_else(|| usage(&format!("unknown pattern `{p}`")));
+            }
+            "--seed" => args.seed = parse_num(&operand(&mut i, "--seed")) as u64,
+            "--mode" => match operand(&mut i, "--mode").as_str() {
+                "open" => args.open_loop = true,
+                "closed" => args.open_loop = false,
+                m => usage(&format!("unknown mode `{m}` (open|closed)")),
+            },
+            "--clients" => args.clients = parse_num(&operand(&mut i, "--clients")).max(1),
+            "--workers" => args.workers = parse_num(&operand(&mut i, "--workers")).max(1),
+            "--queue-capacity" => args.queue_capacity = parse_num(&operand(&mut i, "--queue-capacity")),
+            "--max-batch" => args.max_batch = parse_num(&operand(&mut i, "--max-batch")).max(1),
+            "--linger-us" => {
+                args.linger = Duration::from_micros(parse_num(&operand(&mut i, "--linger-us")) as u64)
+            }
+            "--mean-gap-us" => {
+                args.mean_gap =
+                    Duration::from_micros(parse_num(&operand(&mut i, "--mean-gap-us")) as u64)
+            }
+            "--json" => args.json = Some(operand(&mut i, "--json")),
+            "--expect-coalescing" => args.expect_coalescing = true,
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn parse_num(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| usage(&format!("`{s}` is not a number")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("[serve] {msg}");
+    eprintln!(
+        "usage: serve [--requests N] [--pattern bursty|uniform|heavy] [--seed S] \
+         [--mode open|closed] [--clients K] [--workers W] [--queue-capacity C] \
+         [--max-batch B] [--linger-us U] [--mean-gap-us U] [--json PATH] [--expect-coalescing]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = WorkloadSpec {
+        requests: args.requests,
+        seed: args.seed,
+        pattern: args.pattern,
+        table_names: fnr_bench::serving::table_names(),
+        mean_gap: args.mean_gap,
+        ..WorkloadSpec::default()
+    };
+    let jobs = generate(&spec);
+    let cfg = ServerConfig {
+        queue_capacity: args.queue_capacity,
+        workers: args.workers,
+        max_batch: args.max_batch,
+        linger: args.linger,
+        tables: fnr_bench::serving::table_registry(),
+    };
+
+    eprintln!(
+        "[serve] {} requests, {} arrivals, {} loop, {} workers, max batch {}",
+        args.requests,
+        args.pattern.name(),
+        if args.open_loop { "open" } else { "closed" },
+        args.workers,
+        args.max_batch,
+    );
+    let report: ServeReport = if args.open_loop {
+        run_open_loop(&cfg, &jobs)
+    } else {
+        run_closed_loop(&cfg, &jobs, args.clients)
+    };
+
+    let m = &report.metrics;
+    println!("# fnr_serve — batched render-request serving report\n");
+    println!("workload: {} requests ({} arrivals, seed {})", args.requests, args.pattern.name(), args.seed);
+    println!("answered: {} responses in {} batches ({} rejected)", m.requests, m.batches, m.rejected);
+    println!("batch occupancy: {:.3} mean ({:.3} on the coalescable portion)", m.mean_occupancy, m.coalescable_occupancy);
+    println!("flushes: {} size / {} timeout / {} drain", m.flushed_size, m.flushed_timeout, m.flushed_drain);
+    println!(
+        "queue latency: mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms, max {:.3} ms",
+        m.queue_ns.mean as f64 / 1e6,
+        m.queue_ns.p50 as f64 / 1e6,
+        m.queue_ns.p95 as f64 / 1e6,
+        m.queue_ns.max as f64 / 1e6
+    );
+    println!(
+        "batch service: mean {:.3} ms, p95 {:.3} ms, max {:.3} ms",
+        m.service_ns.mean as f64 / 1e6,
+        m.service_ns.p95 as f64 / 1e6,
+        m.service_ns.max as f64 / 1e6
+    );
+    println!("wall: {:.1} ms, workers {}, fnr_par threads {}", m.wall_ns as f64 / 1e6, m.workers, m.threads);
+    println!("response digest: {:#018x} over {} responses", m.digest, report.responses.len());
+
+    if let Some(path) = args.json {
+        if let Err(e) = std::fs::write(&path, m.to_json()) {
+            eprintln!("[serve] failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[serve] wrote metrics to {path}");
+    }
+
+    if report.responses.len() != m.requests || m.requests + m.rejected != args.requests {
+        eprintln!(
+            "[serve] request accounting broken: {} answered + {} rejected != {}",
+            m.requests, m.rejected, args.requests
+        );
+        std::process::exit(1);
+    }
+    if args.expect_coalescing && m.coalescable_occupancy <= 1.0 {
+        eprintln!(
+            "[serve] coalescable occupancy {:.3} <= 1.0 — the batcher failed to coalesce",
+            m.coalescable_occupancy
+        );
+        std::process::exit(1);
+    }
+}

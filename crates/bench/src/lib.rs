@@ -15,6 +15,7 @@ pub mod array_experiments;
 pub mod format_experiments;
 pub mod gpu_experiments;
 pub mod quality_experiments;
+pub mod serving;
 pub mod system_experiments;
 
 pub use table::Table;

@@ -1,0 +1,38 @@
+//! Plumbing between the table generators and the serving front-end: a
+//! [`fnr_serve::TableRegistry`] exposing every fast generator, and the
+//! workload spec the `serve` binary (and the serve test suites) drive it
+//! with.
+
+use std::sync::Arc;
+
+use fnr_serve::TableRegistry;
+
+/// Registry serving all fast table generators by their stable `--json`
+/// names (`table1_gpu_specs`, `fig19_speedup_efficiency`, …). Payload
+/// bytes are the rendered markdown, identical to `repro` stdout.
+pub fn table_registry() -> TableRegistry {
+    let mut reg = TableRegistry::new();
+    for &(name, generator) in crate::FAST_TABLE_GENERATORS {
+        reg.register(name, Arc::new(move || generator().to_string().into_bytes()));
+    }
+    reg
+}
+
+/// The fast generator names, for seeding workload specs.
+pub fn table_names() -> Vec<String> {
+    crate::FAST_TABLE_GENERATORS.iter().map(|&(name, _)| name.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_serves_every_fast_generator() {
+        let reg = table_registry();
+        assert_eq!(reg.names().len(), crate::FAST_TABLE_GENERATORS.len());
+        let f = reg.resolve("table1_gpu_specs").expect("registered");
+        let bytes = f();
+        assert!(String::from_utf8(bytes).unwrap().contains("Table 1"));
+    }
+}

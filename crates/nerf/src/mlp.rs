@@ -82,12 +82,15 @@ impl MlpGrads {
     /// a merge loop in another crate (the sharded trainer relies on this
     /// covering every field).
     pub fn add_assign(&mut self, other: &MlpGrads) {
-        for (into, from) in self.weights.iter_mut().zip(&other.weights) {
+        // Exhaustive destructuring: adding a gradient field without
+        // merging it here becomes a compile error, not a silent drop.
+        let MlpGrads { weights, bias } = other;
+        for (into, from) in self.weights.iter_mut().zip(weights) {
             for (a, b) in into.as_mut_slice().iter_mut().zip(from.as_slice()) {
                 *a += b;
             }
         }
-        for (into, from) in self.bias.iter_mut().zip(&other.bias) {
+        for (into, from) in self.bias.iter_mut().zip(bias) {
             for (a, b) in into.iter_mut().zip(from) {
                 *a += b;
             }
@@ -229,17 +232,23 @@ impl Mlp {
     }
 
     /// Post-ReLU sparsity of each hidden layer for input batch `xs` — the
-    /// "ReLU output" bars of Fig. 13(a).
+    /// "ReLU output" bars of Fig. 13(a). The forward passes fan out across
+    /// the pool; the integer zero counts merge in input order, so the
+    /// result is identical at any `FNR_THREADS`.
     pub fn hidden_sparsity(&self, xs: &[Vec<f32>]) -> Vec<f64> {
         let hidden = self.layers.len().saturating_sub(1);
+        let per_input: Vec<Vec<u64>> = fnr_par::par_map(xs, |x| {
+            let (_, cache) = self.forward_cached(x);
+            (0..hidden)
+                .map(|li| cache.activations[li + 1].iter().filter(|&&v| v == 0.0).count() as u64)
+                .collect()
+        });
         let mut zeros = vec![0u64; hidden];
         let mut totals = vec![0u64; hidden];
-        for x in xs {
-            let (_, cache) = self.forward_cached(x);
-            for (li, zc) in zeros.iter_mut().enumerate() {
-                let act = &cache.activations[li + 1];
-                *zc += act.iter().filter(|&&v| v == 0.0).count() as u64;
-                totals[li] += act.len() as u64;
+        for counts in &per_input {
+            for (li, &c) in counts.iter().enumerate() {
+                zeros[li] += c;
+                totals[li] += self.layers[li].outputs() as u64;
             }
         }
         zeros

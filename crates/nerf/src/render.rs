@@ -104,6 +104,28 @@ pub fn render_reference(scene: &dyn Scene, camera: &Camera, w: usize, h: usize, 
     img
 }
 
+/// One view of a batched render call: camera plus output geometry. Batch
+/// members may differ in every field — the serving front-end coalesces on
+/// scene/model/precision only.
+#[derive(Debug, Clone)]
+pub struct BatchView {
+    /// Camera for this view.
+    pub camera: Camera,
+    /// Output width in pixels.
+    pub width: usize,
+    /// Output height in pixels.
+    pub height: usize,
+    /// Samples per ray.
+    pub spp: usize,
+}
+
+/// Renders several views of one analytic scene, fanning the views out
+/// across the pool. Each image is byte-identical to the corresponding
+/// single-view [`render_reference`] call at any `FNR_THREADS`.
+pub fn render_reference_batch(scene: &dyn Scene, views: &[BatchView]) -> Vec<Image> {
+    fnr_par::par_map(views, |v| render_reference(scene, &v.camera, v.width, v.height, v.spp))
+}
+
 /// An Instant-NGP-style model: multi-resolution hash grid + tiny MLP.
 ///
 /// The MLP head outputs `[σ_raw, r_raw, g_raw, b_raw]`; density goes
@@ -177,6 +199,31 @@ impl NgpModel {
         self.render_with(camera, w, h, spp, occupancy, |enc| self.mlp.forward(enc))
     }
 
+    /// Renders several views with this FP32 model in one call. The batch
+    /// fans out across the pool; each image is byte-identical to the
+    /// corresponding single-view [`NgpModel::render`].
+    pub fn render_batch(&self, views: &[BatchView], occupancy: Option<&OccupancyGrid>) -> Vec<Image> {
+        fnr_par::par_map(views, |v| self.render(&v.camera, v.width, v.height, v.spp, occupancy))
+    }
+
+    /// Renders several views with weights quantized to `precision`,
+    /// quantizing and calibrating the model **once** for the whole batch —
+    /// the amortization that makes request coalescing pay on the
+    /// accelerator (and in the serving front-end). Images are
+    /// byte-identical to per-view [`NgpModel::render_quantized`] calls,
+    /// which perform the same quantization independently.
+    pub fn render_batch_quantized(&self, views: &[BatchView], precision: Precision) -> Vec<Image> {
+        let mut qmlp = QuantizedMlp::quantize(&self.mlp, precision);
+        qmlp.calibrate(&self.mlp, &self.calibration_batch());
+        let qmodel = NgpModel {
+            grid: quantize_grid(&self.grid, precision, None),
+            mlp: self.mlp.clone(),
+        };
+        fnr_par::par_map(views, |v| {
+            qmodel.render_with(&v.camera, v.width, v.height, v.spp, None, |enc| qmlp.forward(enc))
+        })
+    }
+
     /// Encodings of a small calibration batch (corner-to-corner diagonal
     /// sweep through the volume), used to fix static activation scales.
     fn calibration_batch(&self) -> Vec<Vec<f32>> {
@@ -190,7 +237,8 @@ impl NgpModel {
 
     /// Renders with weights quantized to `precision` (Fig. 20(a), plain
     /// quantization: grid features, MLP weights and activations are all
-    /// quantized, with static calibrated activation scales).
+    /// quantized, with static calibrated activation scales). A one-view
+    /// batch, so the batched path is byte-identical by construction.
     pub fn render_quantized(
         &self,
         camera: &Camera,
@@ -199,13 +247,10 @@ impl NgpModel {
         spp: usize,
         precision: Precision,
     ) -> Image {
-        let mut qmlp = QuantizedMlp::quantize(&self.mlp, precision);
-        qmlp.calibrate(&self.mlp, &self.calibration_batch());
-        let qmodel = NgpModel {
-            grid: quantize_grid(&self.grid, precision, None),
-            mlp: self.mlp.clone(),
-        };
-        qmodel.render_with(camera, w, h, spp, None, |enc| qmlp.forward(enc))
+        let view = BatchView { camera: *camera, width: w, height: h, spp };
+        self.render_batch_quantized(std::slice::from_ref(&view), precision)
+            .pop()
+            .expect("one view in, one image out")
     }
 
     /// Renders with outlier-aware quantization: the top `outlier_fraction`
@@ -402,6 +447,34 @@ mod tests {
         assert!((softplus(0.0) - std::f32::consts::LN_2).abs() < 1e-3);
         assert!(softplus(30.0) >= 30.0);
         assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batched_renders_match_single_view_calls() {
+        let model = NgpModel::new(crate::hashgrid::HashGridConfig::small(), 16, 11);
+        let views: Vec<BatchView> = (0..3)
+            .map(|i| BatchView {
+                camera: Camera::orbit(0.4 + i as f32 * 0.7, 1.6, 0.9),
+                width: 6 + i,
+                height: 5,
+                spp: 6,
+            })
+            .collect();
+        let batch = model.render_batch(&views, None);
+        for (img, v) in batch.iter().zip(&views) {
+            let single = model.render(&v.camera, v.width, v.height, v.spp, None);
+            assert_eq!(img, &single, "FP32 batch view must match the single-view render");
+        }
+        let qbatch = model.render_batch_quantized(&views, Precision::Int8);
+        for (img, v) in qbatch.iter().zip(&views) {
+            let single = model.render_quantized(&v.camera, v.width, v.height, v.spp, Precision::Int8);
+            assert_eq!(img, &single, "quantized batch view must match the single-view render");
+        }
+        let rbatch = render_reference_batch(&MicScene, &views);
+        for (img, v) in rbatch.iter().zip(&views) {
+            let single = render_reference(&MicScene, &v.camera, v.width, v.height, v.spp);
+            assert_eq!(img, &single, "reference batch view must match the single-view render");
+        }
     }
 
     #[test]

@@ -21,8 +21,14 @@ impl OccupancyGrid {
     /// centres (cells with density above `threshold` are occupied, plus a
     /// one-cell dilation to avoid clipping surfaces).
     pub fn build(scene: &dyn Scene, res: usize, threshold: f32) -> Self {
+        if res == 0 {
+            return OccupancyGrid { res, bits: Vec::new() };
+        }
+        // Density sampling fans one i-plane per pool task; every cell is an
+        // independent scene query, so the grid is byte-identical at any
+        // `FNR_THREADS` (tests/parallel_equivalence.rs enforces).
         let mut raw = vec![false; res * res * res];
-        for i in 0..res {
+        fnr_par::par_for_chunks(&mut raw, res * res, |i, plane| {
             for j in 0..res {
                 for k in 0..res {
                     let p = Vec3::new(
@@ -30,24 +36,26 @@ impl OccupancyGrid {
                         (j as f32 + 0.5) / res as f32,
                         (k as f32 + 0.5) / res as f32,
                     );
-                    raw[(i * res + j) * res + k] = scene.density(p) > threshold;
+                    plane[j * res + k] = scene.density(p) > threshold;
                 }
             }
-        }
-        // Dilate by one cell (conservative: avoids clipping surfaces).
-        let mut bits = raw.clone();
-        dilate(&raw, &mut bits, res);
-        let raw2 = bits.clone();
-        dilate(&raw2, &mut bits, res);
+        });
+        // Dilate by one cell, twice (conservative: avoids clipping surfaces).
+        let bits = dilated(&dilated(&raw, res), res);
         OccupancyGrid { res, bits }
     }
 }
 
-fn dilate(raw: &[bool], bits: &mut [bool], res: usize) {
-    for i in 0..res {
+/// One 6-neighbourhood dilation pass, written as a gather (`out[c] =
+/// src[c] ∨ any-neighbour`) so planes can run in parallel without
+/// overlapping writes; equivalent to the scatter formulation.
+fn dilated(src: &[bool], res: usize) -> Vec<bool> {
+    let mut out = vec![false; src.len()];
+    fnr_par::par_for_chunks(&mut out, res * res, |i, plane| {
         for j in 0..res {
             for k in 0..res {
-                if raw[(i * res + j) * res + k] {
+                let mut v = src[(i * res + j) * res + k];
+                if !v {
                     for (di, dj, dk) in
                         [(1i32, 0i32, 0i32), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)]
                     {
@@ -55,14 +63,18 @@ fn dilate(raw: &[bool], bits: &mut [bool], res: usize) {
                         if (0..res as i32).contains(&ni)
                             && (0..res as i32).contains(&nj)
                             && (0..res as i32).contains(&nk)
+                            && src[((ni as usize) * res + nj as usize) * res + nk as usize]
                         {
-                            bits[((ni as usize) * res + nj as usize) * res + nk as usize] = true;
+                            v = true;
+                            break;
                         }
                     }
                 }
+                plane[j * res + k] = v;
             }
         }
-    }
+    });
+    out
 }
 
 impl OccupancyGrid {
@@ -86,9 +98,18 @@ impl OccupancyGrid {
         }
     }
 
-    /// Fraction of occupied cells.
+    /// Fraction of occupied cells (0 for an empty grid).
     pub fn occupancy(&self) -> f64 {
+        if self.bits.is_empty() {
+            return 0.0;
+        }
         self.bits.iter().filter(|&&b| b).count() as f64 / self.bits.len() as f64
+    }
+
+    /// The raw occupancy bits in `(i·res + j)·res + k` order — exposed so
+    /// equivalence tests can compare grids cell-for-cell.
+    pub fn cells(&self) -> &[bool] {
+        &self.bits
     }
 }
 
@@ -181,6 +202,14 @@ mod tests {
             (0.5..0.97).contains(&sparsity),
             "ray-marching sparsity should be high: {sparsity}"
         );
+    }
+
+    #[test]
+    fn zero_resolution_grid_is_empty_not_a_panic() {
+        let g = OccupancyGrid::build(&MicScene, 0, 0.5);
+        assert_eq!(g.resolution(), 0);
+        assert!(g.cells().is_empty());
+        assert!(!g.occupied(Vec3::splat(0.5)));
     }
 
     #[test]

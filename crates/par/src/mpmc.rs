@@ -1,0 +1,309 @@
+//! Bounded multi-producer/multi-consumer queue.
+//!
+//! The serving front-end (`fnr_serve`) needs a park-capable channel for
+//! request and batch hand-off between long-running roles (clients,
+//! batcher, workers), which the pool's fork-join primitives deliberately
+//! do not provide. [`Queue`] is the smallest such primitive: one
+//! `Mutex<VecDeque>` with two condvars (capacity and availability), a
+//! cloneable handle usable from any number of producer and consumer
+//! threads, and explicit [`Queue::close`] semantics so shutdown (or a
+//! worker failure) wakes every parked thread instead of deadlocking it.
+//!
+//! ```
+//! let q = fnr_par::mpmc::Queue::bounded(4);
+//! q.send(1).unwrap();
+//! q.send(2).unwrap();
+//! q.close();
+//! assert_eq!(q.recv(), Some(1));
+//! assert_eq!(q.recv(), Some(2));
+//! assert_eq!(q.recv(), None); // closed and drained
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Queue::send`]: the queue was closed (the item is
+/// handed back so the producer can recover it).
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Queue::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue was closed; the item is handed back.
+    Closed(T),
+}
+
+/// Outcome of [`Queue::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeout<T> {
+    /// An item arrived within the deadline.
+    Item(T),
+    /// The deadline passed with the queue still empty and open.
+    TimedOut,
+    /// The queue is closed and drained; no item will ever arrive.
+    Closed,
+}
+
+struct State<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when an item arrives or the queue closes (parks consumers).
+    available: Condvar,
+    /// Signalled when an item leaves or the queue closes (parks producers).
+    space: Condvar,
+    capacity: usize,
+}
+
+/// A bounded MPMC queue handle; clones share the same queue.
+pub struct Queue<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Queue<T> {
+    fn clone(&self) -> Self {
+        Queue { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Queue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` — a rendezvous channel is a different
+    /// primitive; callers that want "reject everything" (the serving
+    /// front-end's zero-capacity admission mode) must gate before the
+    /// queue.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "Queue::bounded requires capacity >= 1");
+        Queue {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State { buf: VecDeque::new(), closed: false }),
+                available: Condvar::new(),
+                space: Condvar::new(),
+                capacity,
+            }),
+        }
+    }
+
+    /// Enqueues `item`, parking while the queue is full. Fails only when
+    /// the queue is (or becomes, while parked) closed.
+    pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if st.closed {
+                return Err(SendError(item));
+            }
+            if st.buf.len() < self.inner.capacity {
+                st.buf.push_back(item);
+                drop(st);
+                self.inner.available.notify_one();
+                return Ok(());
+            }
+            st = self.inner.space.wait(st).unwrap();
+        }
+    }
+
+    /// Enqueues `item` without parking.
+    pub fn try_send(&self, item: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.closed {
+            return Err(TrySendError::Closed(item));
+        }
+        if st.buf.len() >= self.inner.capacity {
+            return Err(TrySendError::Full(item));
+        }
+        st.buf.push_back(item);
+        drop(st);
+        self.inner.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, parking while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.buf.pop_front() {
+                drop(st);
+                self.inner.space.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.inner.available.wait(st).unwrap();
+        }
+    }
+
+    /// Dequeues without parking; `None` when empty (open or closed — use
+    /// [`Queue::recv`] or [`Queue::recv_timeout`] to distinguish).
+    pub fn try_recv(&self) -> Option<T> {
+        let mut st = self.inner.state.lock().unwrap();
+        let item = st.buf.pop_front();
+        if item.is_some() {
+            drop(st);
+            self.inner.space.notify_one();
+        }
+        item
+    }
+
+    /// Dequeues the oldest item, parking up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> RecvTimeout<T> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.buf.pop_front() {
+                drop(st);
+                self.inner.space.notify_one();
+                return RecvTimeout::Item(item);
+            }
+            if st.closed {
+                return RecvTimeout::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return RecvTimeout::TimedOut;
+            }
+            let (guard, _) = self.inner.available.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
+    }
+
+    /// Closes the queue: parked producers fail, parked consumers drain the
+    /// remaining items and then observe the close. Idempotent.
+    pub fn close(&self) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.closed = true;
+        drop(st);
+        self.inner.available.notify_all();
+        self.inner.space.notify_all();
+    }
+
+    /// Whether [`Queue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.state.lock().unwrap().closed
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().unwrap().buf.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_order_single_consumer() {
+        let q = Queue::bounded(8);
+        for i in 0..8 {
+            q.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..8).map(|_| q.recv().unwrap()).collect();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn close_wakes_and_drains() {
+        let q = Queue::bounded(4);
+        q.send("a").unwrap();
+        q.close();
+        assert_eq!(q.send("b"), Err(SendError("b")));
+        assert_eq!(q.recv(), Some("a"));
+        assert_eq!(q.recv(), None);
+        assert_eq!(q.recv_timeout(Duration::from_millis(1)), RecvTimeout::Closed);
+    }
+
+    #[test]
+    fn try_send_reports_full_then_succeeds_after_recv() {
+        let q = Queue::bounded(1);
+        q.try_send(1).unwrap();
+        assert_eq!(q.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(q.recv(), Some(1));
+        q.try_send(2).unwrap();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_on_open_empty_queue() {
+        let q: Queue<u8> = Queue::bounded(1);
+        assert_eq!(q.recv_timeout(Duration::from_millis(5)), RecvTimeout::TimedOut);
+    }
+
+    #[test]
+    fn backpressure_parks_producer_until_consumed() {
+        let q = Queue::bounded(2);
+        let consumed = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            let qp = q.clone();
+            s.spawn(move || {
+                for i in 0..64 {
+                    qp.send(i).unwrap(); // parks when 2 items are in flight
+                }
+                qp.close();
+            });
+            let counter = Arc::clone(&consumed);
+            s.spawn(move || {
+                while let Some(_item) = q.recv() {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert_eq!(consumed.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn mpmc_conserves_items() {
+        let q = Queue::bounded(4);
+        let total = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            let producers: Vec<_> = (0..3)
+                .map(|p| {
+                    let qp = q.clone();
+                    s.spawn(move || {
+                        for i in 0..50usize {
+                            qp.send(p * 1000 + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..3 {
+                let qc = q.clone();
+                let sum = Arc::clone(&total);
+                s.spawn(move || {
+                    while let Some(v) = qc.recv() {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                    }
+                });
+            }
+            for h in producers {
+                h.join().unwrap();
+            }
+            q.close(); // consumers drain the tail, then exit
+        });
+        let expect: usize = (0..3).map(|p| (0..50).map(|i| p * 1000 + i).sum::<usize>()).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_capacity_is_rejected_at_construction() {
+        let _q: Queue<u8> = Queue::bounded(0);
+    }
+}

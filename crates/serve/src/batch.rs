@@ -1,0 +1,215 @@
+//! Request coalescing: a pure, clock-injected batching state machine.
+//!
+//! The batcher groups admitted requests by [`BatchKey`] and emits a
+//! [`Batch`] when a group reaches the size threshold, when its oldest
+//! member has lingered past the timeout, or when the server drains on
+//! shutdown. All time comes in through method arguments, so every flush
+//! policy is unit-testable without threads or sleeps.
+
+use std::time::{Duration, Instant};
+
+use crate::request::{BatchKey, Request};
+
+/// Why a batch left the batcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The group reached `max_batch` members.
+    Size,
+    /// The group's oldest member waited past the linger timeout.
+    Timeout,
+    /// The server is shutting down and flushed everything pending.
+    Drain,
+}
+
+impl FlushReason {
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlushReason::Size => "size",
+            FlushReason::Timeout => "timeout",
+            FlushReason::Drain => "drain",
+        }
+    }
+}
+
+/// A coalesced unit of work: same-key requests executed in one invocation.
+#[derive(Debug)]
+pub struct Batch {
+    /// The shared coalescing key.
+    pub key: BatchKey,
+    /// Members, in admission order within the key.
+    pub requests: Vec<Request>,
+    /// Why this batch flushed.
+    pub flush: FlushReason,
+}
+
+struct PendingGroup {
+    key: BatchKey,
+    requests: Vec<Request>,
+    opened_at: Instant,
+}
+
+/// Batching policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatcherConfig {
+    /// Flush a group as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Flush a group once its oldest member has waited this long.
+    pub linger: Duration,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig { max_batch: 8, linger: Duration::from_millis(2) }
+    }
+}
+
+/// The coalescing state machine. Groups are kept in open order (a `Vec`,
+/// not a hash map) so drain output is deterministic.
+pub struct Batcher {
+    cfg: BatcherConfig,
+    pending: Vec<PendingGroup>,
+}
+
+impl Batcher {
+    /// A batcher with the given policy.
+    pub fn new(cfg: BatcherConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        Batcher { cfg, pending: Vec::new() }
+    }
+
+    /// Admits one request at time `now`; returns a batch if the request's
+    /// group just hit the size threshold.
+    pub fn offer(&mut self, req: Request, now: Instant) -> Option<Batch> {
+        let key = req.job.key();
+        let group = match self.pending.iter_mut().find(|g| g.key == key) {
+            Some(g) => g,
+            None => {
+                self.pending.push(PendingGroup {
+                    key: key.clone(),
+                    requests: Vec::new(),
+                    opened_at: now,
+                });
+                self.pending.last_mut().expect("just pushed")
+            }
+        };
+        group.requests.push(req);
+        if group.requests.len() >= self.cfg.max_batch {
+            return self.take_key(&key, FlushReason::Size);
+        }
+        None
+    }
+
+    /// The instant at which the oldest pending group must flush, if any.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.pending.iter().map(|g| g.opened_at + self.cfg.linger).min()
+    }
+
+    /// Flushes every group whose linger expired at `now`, oldest first.
+    pub fn expire(&mut self, now: Instant) -> Vec<Batch> {
+        let mut out = Vec::new();
+        while let Some(pos) = self
+            .pending
+            .iter()
+            .position(|g| now.duration_since(g.opened_at) >= self.cfg.linger)
+        {
+            let g = self.pending.remove(pos);
+            out.push(Batch { key: g.key, requests: g.requests, flush: FlushReason::Timeout });
+        }
+        out
+    }
+
+    /// Flushes everything pending (shutdown), in group-open order.
+    pub fn drain(&mut self) -> Vec<Batch> {
+        self.pending
+            .drain(..)
+            .map(|g| Batch { key: g.key, requests: g.requests, flush: FlushReason::Drain })
+            .collect()
+    }
+
+    /// Whether any request is waiting in the batcher.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    fn take_key(&mut self, key: &BatchKey, flush: FlushReason) -> Option<Batch> {
+        let pos = self.pending.iter().position(|g| &g.key == key)?;
+        let g = self.pending.remove(pos);
+        Some(Batch { key: g.key, requests: g.requests, flush })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{RenderJob, RenderPrecision, SceneKind, Workload};
+
+    fn req(id: u64, scene: SceneKind, at: Instant) -> Request {
+        Request {
+            id,
+            submitted_at: at,
+            job: Workload::Render(RenderJob {
+                scene,
+                precision: RenderPrecision::Fp32,
+                width: 8,
+                height: 8,
+                spp: 4,
+                camera_seed: id,
+            }),
+        }
+    }
+
+    #[test]
+    fn size_threshold_flushes_exactly_at_max_batch() {
+        let t0 = Instant::now();
+        let mut b = Batcher::new(BatcherConfig { max_batch: 3, linger: Duration::from_secs(60) });
+        assert!(b.offer(req(0, SceneKind::Mic, t0), t0).is_none());
+        assert!(b.offer(req(1, SceneKind::Mic, t0), t0).is_none());
+        let batch = b.offer(req(2, SceneKind::Mic, t0), t0).expect("third member flushes");
+        assert_eq!(batch.flush, FlushReason::Size);
+        assert_eq!(batch.requests.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(b.is_empty(), "flushed group leaves the batcher");
+    }
+
+    #[test]
+    fn linger_timeout_flushes_undersized_groups() {
+        let t0 = Instant::now();
+        let linger = Duration::from_millis(5);
+        let mut b = Batcher::new(BatcherConfig { max_batch: 100, linger });
+        b.offer(req(0, SceneKind::Mic, t0), t0);
+        assert_eq!(b.next_deadline(), Some(t0 + linger));
+        assert!(b.expire(t0 + Duration::from_millis(1)).is_empty(), "not yet");
+        let flushed = b.expire(t0 + linger);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].flush, FlushReason::Timeout);
+        assert!(b.is_empty());
+        assert_eq!(b.next_deadline(), None);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let t0 = Instant::now();
+        let mut b = Batcher::new(BatcherConfig { max_batch: 2, linger: Duration::from_secs(1) });
+        assert!(b.offer(req(0, SceneKind::Mic, t0), t0).is_none());
+        assert!(b.offer(req(1, SceneKind::Lego, t0), t0).is_none(), "different scene, new group");
+        let batch = b.offer(req(2, SceneKind::Mic, t0), t0).expect("mic group full");
+        assert_eq!(batch.requests.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 2]);
+        let rest = b.drain();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].flush, FlushReason::Drain);
+        assert_eq!(rest[0].requests[0].id, 1);
+    }
+
+    #[test]
+    fn drain_preserves_group_open_order() {
+        let t0 = Instant::now();
+        let mut b = Batcher::new(BatcherConfig { max_batch: 10, linger: Duration::from_secs(1) });
+        b.offer(req(0, SceneKind::Palace, t0), t0);
+        b.offer(req(1, SceneKind::Mic, t0), t0);
+        b.offer(req(2, SceneKind::Palace, t0), t0);
+        let drained = b.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].requests.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(drained[1].requests[0].id, 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Batched render-request serving front-end for the FlexNeRFer
+//! reproduction.
+//!
+//! The ROADMAP's north star is serving heavy render traffic; this crate is
+//! the request-level runtime above the data-parallel substrate:
+//!
+//! * a bounded admission queue ([`fnr_par::mpmc`]) with backpressure and a
+//!   zero-capacity hard-reject posture,
+//! * a [`Batcher`] that coalesces compatible requests — same
+//!   scene/model/precision — into one batched render or one shared table
+//!   regeneration (the per-batch format/precision amortization is exactly
+//!   where the paper's adaptive datapath pays off per request),
+//! * a worker pool driving `fnr_nerf`'s batched render entry points and
+//!   registered `fnr_bench` table generators,
+//! * per-request / per-batch metrics ([`ServeMetrics`], queue latency,
+//!   service time, batch occupancy) with a JSON report in the
+//!   `flexnerfer-serve-bench/1` schema, sibling to `repro --json`'s
+//!   `flexnerfer-repro-bench/1`.
+//!
+//! # Determinism
+//!
+//! Response bytes are a pure function of each request, so the response
+//! *set* is byte-identical at any `FNR_THREADS`, worker count, or batch
+//! composition; [`response_set_digest`] is order-canonical over the set
+//! and is what CI diffs between its serial and parallel legs. Timing only
+//! moves metrics, never payloads.
+//!
+//! ```
+//! use fnr_serve::{run, ServerConfig, Workload, RenderJob, SceneKind, RenderPrecision};
+//!
+//! let cfg = ServerConfig::default();
+//! let (_ids, report) = run(&cfg, |client| {
+//!     let id = client
+//!         .submit(Workload::Render(RenderJob {
+//!             scene: SceneKind::Mic,
+//!             precision: RenderPrecision::Fp32,
+//!             width: 4,
+//!             height: 4,
+//!             spp: 2,
+//!             camera_seed: 7,
+//!         }))
+//!         .unwrap();
+//!     client.wait(id).expect("answered")
+//! });
+//! assert_eq!(report.responses.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod batch;
+mod driver;
+mod metrics;
+mod request;
+mod server;
+pub mod workload;
+
+pub use batch::{Batch, Batcher, BatcherConfig, FlushReason};
+pub use driver::{run_closed_loop, run_open_loop};
+pub use metrics::{BatchMetric, NsStats, RequestMetric, ServeMetrics};
+pub use request::{
+    fnv1a, image_bytes, response_set_digest, BatchKey, RenderJob, RenderPrecision, Request,
+    Response, SceneKind, Workload,
+};
+pub use server::{run, Client, ServeReport, ServerConfig, SubmitError, TableFn, TableRegistry};

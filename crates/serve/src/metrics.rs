@@ -1,0 +1,226 @@
+//! Per-request / per-batch accounting and the aggregate serving report.
+
+use std::collections::HashMap;
+
+use crate::batch::FlushReason;
+use crate::request::{BatchKey, Response};
+
+/// Timing record for one completed request.
+#[derive(Debug, Clone)]
+pub struct RequestMetric {
+    /// The request id.
+    pub id: u64,
+    /// Submit → batch-execution-start latency.
+    pub queue_ns: u64,
+    /// Batch execution wall time (shared by every member of the batch).
+    pub service_ns: u64,
+    /// Members in the batch this request rode in.
+    pub batch_size: usize,
+}
+
+/// Record for one executed batch.
+#[derive(Debug, Clone)]
+pub struct BatchMetric {
+    /// The coalescing key.
+    pub key: BatchKey,
+    /// Members executed together.
+    pub size: usize,
+    /// Execution wall time.
+    pub service_ns: u64,
+    /// Why the batch flushed.
+    pub flush: FlushReason,
+}
+
+/// Simple summary statistics over a set of nanosecond samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NsStats {
+    /// Arithmetic mean.
+    pub mean: u64,
+    /// 50th percentile (nearest-rank).
+    pub p50: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl NsStats {
+    /// Computes stats from samples (all zeros when empty).
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return NsStats::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = |p: f64| sorted[(((sorted.len() as f64) * p).ceil() as usize).clamp(1, sorted.len()) - 1];
+        NsStats {
+            mean: (sorted.iter().map(|&v| v as u128).sum::<u128>() / sorted.len() as u128) as u64,
+            p50: rank(0.50),
+            p95: rank(0.95),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Aggregate metrics for one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeMetrics {
+    /// Requests admitted (and answered).
+    pub requests: usize,
+    /// Requests rejected at admission (zero-capacity or closed queue).
+    pub rejected: usize,
+    /// Batches executed.
+    pub batches: usize,
+    /// Mean batch size over all batches.
+    pub mean_occupancy: f64,
+    /// Mean batch size restricted to the coalescable portion of the
+    /// workload: batches whose key received more than one request over the
+    /// whole run (a key requested once can never coalesce, so it says
+    /// nothing about the batcher).
+    pub coalescable_occupancy: f64,
+    /// Batches flushed by the size threshold.
+    pub flushed_size: usize,
+    /// Batches flushed by linger timeout.
+    pub flushed_timeout: usize,
+    /// Batches flushed by shutdown drain.
+    pub flushed_drain: usize,
+    /// Queue-latency stats (submit → execution start).
+    pub queue_ns: NsStats,
+    /// Batch service-time stats.
+    pub service_ns: NsStats,
+    /// Whole-run wall time.
+    pub wall_ns: u64,
+    /// Worker threads the server ran.
+    pub workers: usize,
+    /// `fnr_par` width during the run (inner render parallelism).
+    pub threads: usize,
+    /// Order-canonical digest of the response set.
+    pub digest: u64,
+}
+
+impl ServeMetrics {
+    /// Builds the aggregate from raw per-request/per-batch records.
+    #[allow(clippy::too_many_arguments)]
+    pub fn aggregate(
+        request_metrics: &[RequestMetric],
+        batch_metrics: &[BatchMetric],
+        responses: &[Response],
+        rejected: usize,
+        wall_ns: u64,
+        workers: usize,
+        threads: usize,
+    ) -> Self {
+        let mut key_totals: HashMap<&BatchKey, usize> = HashMap::new();
+        for b in batch_metrics {
+            *key_totals.entry(&b.key).or_insert(0) += b.size;
+        }
+        let coalescable: Vec<&BatchMetric> =
+            batch_metrics.iter().filter(|b| key_totals[&b.key] > 1).collect();
+        let mean = |batches: &[&BatchMetric]| {
+            if batches.is_empty() {
+                0.0
+            } else {
+                batches.iter().map(|b| b.size).sum::<usize>() as f64 / batches.len() as f64
+            }
+        };
+        let all: Vec<&BatchMetric> = batch_metrics.iter().collect();
+        ServeMetrics {
+            requests: request_metrics.len(),
+            rejected,
+            batches: batch_metrics.len(),
+            mean_occupancy: mean(&all),
+            coalescable_occupancy: mean(&coalescable),
+            flushed_size: batch_metrics.iter().filter(|b| b.flush == FlushReason::Size).count(),
+            flushed_timeout: batch_metrics.iter().filter(|b| b.flush == FlushReason::Timeout).count(),
+            flushed_drain: batch_metrics.iter().filter(|b| b.flush == FlushReason::Drain).count(),
+            queue_ns: NsStats::from_samples(
+                &request_metrics.iter().map(|m| m.queue_ns).collect::<Vec<_>>(),
+            ),
+            service_ns: NsStats::from_samples(
+                &batch_metrics.iter().map(|m| m.service_ns).collect::<Vec<_>>(),
+            ),
+            wall_ns,
+            workers,
+            threads,
+            digest: crate::request::response_set_digest(responses),
+        }
+    }
+
+    /// Renders the `flexnerfer-serve-bench/1` JSON record (hand-rolled,
+    /// mirroring the `flexnerfer-repro-bench/1` trajectory format: every
+    /// value is a number or a string this crate controls).
+    pub fn to_json(&self) -> String {
+        let stats = |s: &NsStats| {
+            format!(
+                "{{ \"mean\": {}, \"p50\": {}, \"p95\": {}, \"max\": {} }}",
+                s.mean, s.p50, s.p95, s.max
+            )
+        };
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"flexnerfer-serve-bench/1\",\n");
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!("  \"requests\": {},\n", self.requests));
+        out.push_str(&format!("  \"rejected\": {},\n", self.rejected));
+        out.push_str(&format!("  \"batches\": {},\n", self.batches));
+        out.push_str(&format!("  \"mean_batch_occupancy\": {:.4},\n", self.mean_occupancy));
+        out.push_str(&format!("  \"coalescable_occupancy\": {:.4},\n", self.coalescable_occupancy));
+        out.push_str(&format!(
+            "  \"flushes\": {{ \"size\": {}, \"timeout\": {}, \"drain\": {} }},\n",
+            self.flushed_size, self.flushed_timeout, self.flushed_drain
+        ));
+        out.push_str(&format!("  \"queue_ns\": {},\n", stats(&self.queue_ns)));
+        out.push_str(&format!("  \"service_ns\": {},\n", stats(&self.service_ns)));
+        out.push_str(&format!("  \"wall_ns\": {},\n", self.wall_ns));
+        out.push_str(&format!("  \"digest\": \"{:#018x}\"\n", self.digest));
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::SceneKind;
+
+    fn bm(key: BatchKey, size: usize, flush: FlushReason) -> BatchMetric {
+        BatchMetric { key, size, service_ns: 1000, flush }
+    }
+
+    #[test]
+    fn ns_stats_percentiles() {
+        let s = NsStats::from_samples(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 100);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.mean, 55);
+        assert_eq!(NsStats::from_samples(&[]).max, 0);
+    }
+
+    #[test]
+    fn coalescable_occupancy_excludes_singleton_keys() {
+        let k1 = BatchKey::Render(SceneKind::Mic, crate::request::RenderPrecision::Fp32);
+        let k2 = BatchKey::Table("lonely".into());
+        // k1 got 4 requests over 2 batches (coalescable); k2 got exactly 1.
+        let batches = vec![
+            bm(k1.clone(), 3, FlushReason::Size),
+            bm(k1.clone(), 1, FlushReason::Drain),
+            bm(k2, 1, FlushReason::Timeout),
+        ];
+        let m = ServeMetrics::aggregate(&[], &batches, &[], 0, 0, 1, 1);
+        assert!((m.mean_occupancy - 5.0 / 3.0).abs() < 1e-9);
+        assert!((m.coalescable_occupancy - 2.0).abs() < 1e-9, "k2 excluded: (3+1)/2");
+        assert_eq!(m.flushed_size, 1);
+        assert_eq!(m.flushed_timeout, 1);
+        assert_eq!(m.flushed_drain, 1);
+    }
+
+    #[test]
+    fn json_contains_schema_and_digest() {
+        let m = ServeMetrics::aggregate(&[], &[], &[], 2, 42, 3, 4);
+        let j = m.to_json();
+        assert!(j.contains("\"schema\": \"flexnerfer-serve-bench/1\""));
+        assert!(j.contains("\"rejected\": 2"));
+        assert!(j.contains("\"digest\": \"0x"));
+    }
+}

@@ -1,0 +1,283 @@
+//! Render-request model: what a client asks for, what the server answers,
+//! and the digest that makes a whole run's response set comparable
+//! byte-for-byte across thread widths and machines.
+
+use std::fmt;
+use std::time::Instant;
+
+use fnr_nerf::camera::Camera;
+use fnr_nerf::scene::{LegoScene, MicScene, PalaceScene, Scene};
+use fnr_tensor::Precision;
+
+/// Which stand-in dataset scene a render request targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SceneKind {
+    /// The simple mostly-empty scene (paper's *Mic*).
+    Mic,
+    /// The medium-complexity scene (paper's *Lego*).
+    Lego,
+    /// The complex scene (NSVF's *Palace*).
+    Palace,
+}
+
+impl SceneKind {
+    /// All scenes, in complexity order.
+    pub const ALL: [SceneKind; 3] = [SceneKind::Mic, SceneKind::Lego, SceneKind::Palace];
+
+    /// The analytic scene object.
+    pub fn scene(self) -> &'static dyn Scene {
+        match self {
+            SceneKind::Mic => &MicScene,
+            SceneKind::Lego => &LegoScene,
+            SceneKind::Palace => &PalaceScene,
+        }
+    }
+
+    /// Stable short name (batch keys, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            SceneKind::Mic => "mic",
+            SceneKind::Lego => "lego",
+            SceneKind::Palace => "palace",
+        }
+    }
+
+    /// Seed for the deterministic per-scene NGP model the quantized render
+    /// path uses (untrained but fixed, so every batch of the same scene
+    /// renders with identical weights).
+    pub fn model_seed(self) -> u64 {
+        match self {
+            SceneKind::Mic => 101,
+            SceneKind::Lego => 202,
+            SceneKind::Palace => 303,
+        }
+    }
+}
+
+/// The numeric path a render request runs on: FP32 renders the analytic
+/// reference scene; integer modes render the scene's NGP model through
+/// the batched quantized path (weights quantized once per batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RenderPrecision {
+    /// FP32 reference render.
+    Fp32,
+    /// Quantized NGP render at an integer precision.
+    Quantized(Precision),
+}
+
+impl RenderPrecision {
+    /// Stable short name (batch keys, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            RenderPrecision::Fp32 => "fp32",
+            RenderPrecision::Quantized(Precision::Int4) => "int4",
+            RenderPrecision::Quantized(Precision::Int8) => "int8",
+            RenderPrecision::Quantized(Precision::Int16) => "int16",
+            RenderPrecision::Quantized(Precision::Fp32) => "qfp32",
+        }
+    }
+}
+
+/// One render job: everything needed to produce the pixels, and nothing
+/// that depends on when or where it runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderJob {
+    /// Scene to render.
+    pub scene: SceneKind,
+    /// Numeric path.
+    pub precision: RenderPrecision,
+    /// Output width in pixels.
+    pub width: usize,
+    /// Output height in pixels.
+    pub height: usize,
+    /// Samples per ray.
+    pub spp: usize,
+    /// Seed deriving the orbit camera (angle/radius/height), so every job
+    /// is a deterministic function of its fields.
+    pub camera_seed: u64,
+}
+
+impl RenderJob {
+    /// The deterministic orbit camera this job renders from.
+    pub fn camera(&self) -> Camera {
+        // Spread seeds over the orbit: angle over the full circle, radius
+        // and height over small safe bands. SplitMix-style mixing keeps
+        // nearby seeds uncorrelated.
+        let mut z = self.camera_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = || {
+            z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9) ^ (z >> 31);
+            (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        };
+        let theta = (next() * std::f64::consts::TAU) as f32;
+        let r = (1.4 + 0.4 * next()) as f32;
+        let h = (0.7 + 0.4 * next()) as f32;
+        Camera::orbit(theta, r, h)
+    }
+}
+
+/// What a request asks the server to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// Render one view (coalesced with same-scene/same-precision peers).
+    Render(RenderJob),
+    /// Regenerate a named repro table (coalesced by name: the generator
+    /// runs once per batch and every member shares the bytes).
+    Table(String),
+}
+
+/// The coalescing key: requests with equal keys may share one batched
+/// invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BatchKey {
+    /// Render batches coalesce on scene and precision; geometry and
+    /// cameras may differ per member.
+    Render(SceneKind, RenderPrecision),
+    /// Table batches coalesce on the generator name.
+    Table(String),
+}
+
+impl Workload {
+    /// This workload's coalescing key.
+    pub fn key(&self) -> BatchKey {
+        match self {
+            Workload::Render(j) => BatchKey::Render(j.scene, j.precision),
+            Workload::Table(name) => BatchKey::Table(name.clone()),
+        }
+    }
+}
+
+impl fmt::Display for BatchKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchKey::Render(s, p) => write!(f, "render/{}/{}", s.name(), p.name()),
+            BatchKey::Table(name) => write!(f, "table/{name}"),
+        }
+    }
+}
+
+/// A request in flight: the id the server assigned at admission, the
+/// submission instant (queue-latency metrics) and the work itself.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Monotone admission id.
+    pub id: u64,
+    /// When the client's submit was accepted.
+    pub submitted_at: Instant,
+    /// The work.
+    pub job: Workload,
+}
+
+/// A completed request: the id plus the response payload. Render payloads
+/// are `[width u32 LE][height u32 LE][pixels as f32 LE, RGB row-major]`;
+/// table payloads are the rendered markdown bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Id of the request this answers.
+    pub id: u64,
+    /// Payload bytes (see type docs for the layout).
+    pub bytes: Vec<u8>,
+}
+
+/// Serializes an image into the response payload layout.
+pub fn image_bytes(img: &fnr_nerf::psnr::Image) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + img.pixels().len() * 12);
+    out.extend_from_slice(&(img.width() as u32).to_le_bytes());
+    out.extend_from_slice(&(img.height() as u32).to_le_bytes());
+    for px in img.pixels() {
+        for c in px {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// FNV-1a 64-bit hash of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Order-canonical digest of a response set: hash each payload, sort the
+/// hashes, then hash the sorted sequence. Independent of request-id
+/// assignment order, so open- and closed-loop drivers of the same job set
+/// produce the same digest — and any `FNR_THREADS`/worker-count setting
+/// must too (the serve equivalence suite enforces it).
+pub fn response_set_digest(responses: &[Response]) -> u64 {
+    let mut hashes: Vec<u64> = responses.iter().map(|r| fnv1a(&r.bytes)).collect();
+    hashes.sort_unstable();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for x in hashes {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cameras_are_deterministic_and_seed_sensitive() {
+        let job = |seed| RenderJob {
+            scene: SceneKind::Mic,
+            precision: RenderPrecision::Fp32,
+            width: 8,
+            height: 8,
+            spp: 4,
+            camera_seed: seed,
+        };
+        let a = job(1).camera();
+        let b = job(1).camera();
+        let c = job(2).camera();
+        assert_eq!(a.position(), b.position(), "same seed, same camera");
+        assert_ne!(a.position(), c.position(), "different seed, different camera");
+    }
+
+    #[test]
+    fn batch_keys_ignore_geometry_but_not_precision() {
+        let mk = |w, p| {
+            Workload::Render(RenderJob {
+                scene: SceneKind::Lego,
+                precision: p,
+                width: w,
+                height: 8,
+                spp: 4,
+                camera_seed: 0,
+            })
+        };
+        assert_eq!(mk(8, RenderPrecision::Fp32).key(), mk(16, RenderPrecision::Fp32).key());
+        assert_ne!(
+            mk(8, RenderPrecision::Fp32).key(),
+            mk(8, RenderPrecision::Quantized(Precision::Int8)).key()
+        );
+        assert_eq!(
+            Workload::Table("t1".into()).key(),
+            Workload::Table("t1".into()).key()
+        );
+    }
+
+    #[test]
+    fn digest_is_order_canonical() {
+        let a = Response { id: 0, bytes: vec![1, 2, 3] };
+        let b = Response { id: 1, bytes: vec![4, 5] };
+        let d1 = response_set_digest(&[a.clone(), b.clone()]);
+        let d2 = response_set_digest(&[b, a]);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn image_bytes_roundtrip_header() {
+        let img = fnr_nerf::psnr::Image::new(3, 2);
+        let bytes = image_bytes(&img);
+        assert_eq!(bytes.len(), 8 + 3 * 2 * 12);
+        assert_eq!(u32::from_le_bytes(bytes[0..4].try_into().unwrap()), 3);
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 2);
+    }
+}

@@ -1,0 +1,542 @@
+//! The serving runtime: admission queue → batcher → worker pool → completion
+//! board, with panic propagation and metrics.
+//!
+//! Serving concurrency (client / batcher / worker threads) is decoupled
+//! from data-parallel width: the roles run on dedicated `std::thread`s,
+//! while the *work* inside a batch (pixel rows, batch views) fans out over
+//! `fnr_par`'s pool and therefore honours `FNR_THREADS`. Response bytes
+//! are a pure function of each request, so the response set is
+//! byte-identical at any width, worker count, or batching outcome —
+//! timing only moves metrics.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use fnr_nerf::hashgrid::HashGridConfig;
+use fnr_nerf::render::{render_reference_batch, BatchView, NgpModel};
+use fnr_par::mpmc::{Queue, RecvTimeout};
+
+use crate::batch::{Batch, Batcher, BatcherConfig};
+use crate::metrics::{BatchMetric, RequestMetric, ServeMetrics};
+use crate::request::{image_bytes, BatchKey, RenderPrecision, Request, Response, Workload};
+
+/// A named table generator the server can execute: `name → payload bytes`.
+pub type TableFn = Arc<dyn Fn() -> Vec<u8> + Send + Sync>;
+
+/// Registry of table generators servable through [`Workload::Table`].
+#[derive(Default, Clone)]
+pub struct TableRegistry {
+    entries: Vec<(String, TableFn)>,
+}
+
+impl TableRegistry {
+    /// An empty registry (render-only server).
+    pub fn new() -> Self {
+        TableRegistry::default()
+    }
+
+    /// Registers `name`; later registrations shadow earlier ones.
+    pub fn register(&mut self, name: impl Into<String>, f: TableFn) {
+        self.entries.insert(0, (name.into(), f));
+    }
+
+    /// Looks a generator up by name.
+    pub fn resolve(&self, name: &str) -> Option<&TableFn> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, f)| f)
+    }
+
+    /// Registered names, most recently registered first.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+/// Serving-runtime knobs.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Admission queue capacity. **Zero rejects every request** (the
+    /// hard-overload posture); blocking submits otherwise park on a full
+    /// queue (backpressure).
+    pub queue_capacity: usize,
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Flush a batch at this many members.
+    pub max_batch: usize,
+    /// Flush an undersized batch once its oldest member waited this long.
+    pub linger: Duration,
+    /// Table generators servable through [`Workload::Table`].
+    pub tables: TableRegistry,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 64,
+            workers: 2,
+            max_batch: 8,
+            linger: Duration::from_millis(2),
+            tables: TableRegistry::new(),
+        }
+    }
+}
+
+/// Why a submit was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity (non-blocking submit) or has capacity zero.
+    Rejected,
+    /// The server is shutting down (or a worker died).
+    Closed,
+}
+
+/// Completion board: responses parked until their submitter collects them.
+struct Board {
+    state: Mutex<BoardState>,
+    ready: Condvar,
+}
+
+struct BoardState {
+    done: HashMap<u64, Response>,
+    closed: bool,
+}
+
+impl Board {
+    fn new() -> Self {
+        Board { state: Mutex::new(BoardState { done: HashMap::new(), closed: false }), ready: Condvar::new() }
+    }
+
+    fn post(&self, responses: &[Response]) {
+        let mut st = self.state.lock().unwrap();
+        for r in responses {
+            st.done.insert(r.id, r.clone());
+        }
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    fn wait(&self, id: u64) -> Option<Response> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(r) = st.done.get(&id) {
+                return Some(r.clone());
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap();
+        }
+    }
+
+    fn drain_sorted(&self) -> Vec<Response> {
+        let mut st = self.state.lock().unwrap();
+        let mut out: Vec<Response> = st.done.drain().map(|(_, r)| r).collect();
+        out.sort_unstable_by_key(|r| r.id);
+        out
+    }
+}
+
+/// The submission handle handed to the drive closure of [`run`]. `Sync`,
+/// so closed-loop drivers can share it across client threads.
+pub struct Client<'s> {
+    zero_capacity: bool,
+    queue: Queue<Request>,
+    next_id: AtomicU64,
+    rejected: AtomicUsize,
+    board: &'s Board,
+}
+
+impl Client<'_> {
+    /// Admits `job`, parking while the queue is full (backpressure).
+    /// Returns the monotone request id.
+    pub fn submit(&self, job: Workload) -> Result<u64, SubmitError> {
+        if self.zero_capacity {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Rejected);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let req = Request { id, submitted_at: Instant::now(), job };
+        match self.queue.send(req) {
+            Ok(()) => Ok(id),
+            Err(_) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Closed)
+            }
+        }
+    }
+
+    /// Admits `job` without parking; a full queue rejects.
+    pub fn try_submit(&self, job: Workload) -> Result<u64, SubmitError> {
+        if self.zero_capacity {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Rejected);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let req = Request { id, submitted_at: Instant::now(), job };
+        match self.queue.try_send(req) {
+            Ok(()) => Ok(id),
+            Err(fnr_par::mpmc::TrySendError::Full(_)) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Rejected)
+            }
+            Err(fnr_par::mpmc::TrySendError::Closed(_)) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Closed)
+            }
+        }
+    }
+
+    /// Parks until request `id` completes (closed-loop clients). `None` if
+    /// the server shut down without answering it.
+    pub fn wait(&self, id: u64) -> Option<Response> {
+        self.board.wait(id)
+    }
+}
+
+/// Everything a serving run produced.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// All responses, sorted by request id.
+    pub responses: Vec<Response>,
+    /// Aggregate metrics (including the response-set digest).
+    pub metrics: ServeMetrics,
+}
+
+/// Runs a server for the lifetime of `drive`: spawns the batcher and
+/// worker threads, hands `drive` a [`Client`], and shuts the pipeline
+/// down when it returns (pending requests are drained, not dropped).
+///
+/// # Panics
+///
+/// Re-raises any panic from a worker (a poisoned batch takes the run
+/// down rather than silently losing requests).
+pub fn run<R: Send>(cfg: &ServerConfig, drive: impl FnOnce(&Client) -> R + Send) -> (R, ServeReport) {
+    let start = Instant::now();
+    let request_queue: Queue<Request> = Queue::bounded(cfg.queue_capacity.max(1));
+    // Batch hand-off is sized to keep workers busy without unbounded
+    // buffering ahead of them.
+    let batch_queue: Queue<Batch> = Queue::bounded(cfg.workers.max(1) * 2);
+    let board = Board::new();
+    let request_metrics: Mutex<Vec<RequestMetric>> = Mutex::new(Vec::new());
+    let batch_metrics: Mutex<Vec<BatchMetric>> = Mutex::new(Vec::new());
+    let worker_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+
+    let client = Client {
+        zero_capacity: cfg.queue_capacity == 0,
+        queue: request_queue.clone(),
+        next_id: AtomicU64::new(0),
+        rejected: AtomicUsize::new(0),
+        board: &board,
+    };
+
+    let drive_result = std::thread::scope(|s| {
+        let batcher_cfg = BatcherConfig { max_batch: cfg.max_batch, linger: cfg.linger };
+        {
+            let reqs = request_queue.clone();
+            let batches = batch_queue.clone();
+            s.spawn(move || batcher_loop(batcher_cfg, &reqs, &batches));
+        }
+        for _ in 0..cfg.workers.max(1) {
+            let reqs = request_queue.clone();
+            let batches = batch_queue.clone();
+            let board = &board;
+            let req_m = &request_metrics;
+            let batch_m = &batch_metrics;
+            let panic_slot = &worker_panic;
+            let tables = &cfg.tables;
+            s.spawn(move || {
+                worker_loop(&reqs, &batches, tables, board, req_m, batch_m, panic_slot);
+            });
+        }
+        // A panicking drive closure must still close the admission queue,
+        // or scope would join batcher/workers parked forever in recv();
+        // catch, shut down, rethrow below.
+        let r = catch_unwind(AssertUnwindSafe(|| drive(&client)));
+        // Shutdown: no more admissions; the batcher drains what is queued
+        // and closes the batch queue; workers drain that and exit.
+        request_queue.close();
+        r
+    });
+    let drive_result = match drive_result {
+        Ok(r) => r,
+        Err(payload) => resume_unwind(payload),
+    };
+
+    if let Some(payload) = worker_panic.into_inner().unwrap() {
+        resume_unwind(payload);
+    }
+
+    let responses = board.drain_sorted();
+    let metrics = ServeMetrics::aggregate(
+        &request_metrics.into_inner().unwrap(),
+        &batch_metrics.into_inner().unwrap(),
+        &responses,
+        client.rejected.load(Ordering::Relaxed),
+        start.elapsed().as_nanos() as u64,
+        cfg.workers.max(1),
+        fnr_par::current_num_threads(),
+    );
+    (drive_result, ServeReport { responses, metrics })
+}
+
+/// Pulls admitted requests, coalesces them, and forwards flushed batches.
+/// Greedily drains the request queue after every pop so bursts coalesce
+/// even when workers are idle.
+fn batcher_loop(cfg: BatcherConfig, requests: &Queue<Request>, batches: &Queue<Batch>) {
+    let mut batcher = Batcher::new(cfg);
+    loop {
+        let popped = match batcher.next_deadline() {
+            None => match requests.recv() {
+                Some(r) => Some(r),
+                None => break,
+            },
+            Some(deadline) => {
+                let now = Instant::now();
+                if deadline <= now {
+                    for b in batcher.expire(now) {
+                        if batches.send(b).is_err() {
+                            return; // workers died; nothing left to do
+                        }
+                    }
+                    continue;
+                }
+                match requests.recv_timeout(deadline - now) {
+                    RecvTimeout::Item(r) => Some(r),
+                    RecvTimeout::TimedOut => continue,
+                    RecvTimeout::Closed => break,
+                }
+            }
+        };
+        if let Some(first) = popped {
+            let mut flushed = Vec::new();
+            if let Some(b) = batcher.offer(first, Instant::now()) {
+                flushed.push(b);
+            }
+            while let Some(more) = requests.try_recv() {
+                if let Some(b) = batcher.offer(more, Instant::now()) {
+                    flushed.push(b);
+                }
+            }
+            for b in flushed {
+                if batches.send(b).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+    for b in batcher.drain() {
+        if batches.send(b).is_err() {
+            return;
+        }
+    }
+    batches.close();
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    requests: &Queue<Request>,
+    batches: &Queue<Batch>,
+    tables: &TableRegistry,
+    board: &Board,
+    request_metrics: &Mutex<Vec<RequestMetric>>,
+    batch_metrics: &Mutex<Vec<BatchMetric>>,
+    panic_slot: &Mutex<Option<Box<dyn Any + Send>>>,
+) {
+    while let Some(batch) = batches.recv() {
+        let exec_start = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| execute_batch(&batch, tables))) {
+            Ok(responses) => {
+                let service_ns = exec_start.elapsed().as_nanos() as u64;
+                {
+                    let mut bm = batch_metrics.lock().unwrap();
+                    bm.push(BatchMetric {
+                        key: batch.key.clone(),
+                        size: batch.requests.len(),
+                        service_ns,
+                        flush: batch.flush,
+                    });
+                }
+                {
+                    let mut rm = request_metrics.lock().unwrap();
+                    for req in &batch.requests {
+                        rm.push(RequestMetric {
+                            id: req.id,
+                            queue_ns: exec_start.duration_since(req.submitted_at).as_nanos() as u64,
+                            service_ns,
+                            batch_size: batch.requests.len(),
+                        });
+                    }
+                }
+                board.post(&responses);
+            }
+            Err(payload) => {
+                // First panic wins; unblock every parked thread so the run
+                // unwinds instead of deadlocking, then rethrow in `run`.
+                panic_slot.lock().unwrap().get_or_insert(payload);
+                requests.close();
+                batches.close();
+                board.close();
+                return;
+            }
+        }
+    }
+}
+
+/// The per-scene NGP model, built once per process: it is a pure function
+/// of the scene's fixed seed, so caching it cannot move response bytes —
+/// it only takes hash-grid + MLP construction off the per-batch hot path.
+fn scene_model(scene: crate::request::SceneKind) -> &'static NgpModel {
+    use crate::request::SceneKind;
+    static MODELS: std::sync::OnceLock<[NgpModel; 3]> = std::sync::OnceLock::new();
+    let models = MODELS.get_or_init(|| {
+        [SceneKind::Mic, SceneKind::Lego, SceneKind::Palace]
+            .map(|s| NgpModel::new(HashGridConfig::small(), 16, s.model_seed()))
+    });
+    match scene {
+        SceneKind::Mic => &models[0],
+        SceneKind::Lego => &models[1],
+        SceneKind::Palace => &models[2],
+    }
+}
+
+/// Executes one coalesced batch. Render batches share one model (and for
+/// quantized precisions, one quantization + calibration); table batches
+/// run the generator once and share the bytes.
+fn execute_batch(batch: &Batch, tables: &TableRegistry) -> Vec<Response> {
+    match &batch.key {
+        BatchKey::Render(scene, precision) => {
+            let views: Vec<BatchView> = batch
+                .requests
+                .iter()
+                .map(|r| match &r.job {
+                    Workload::Render(j) => BatchView {
+                        camera: j.camera(),
+                        width: j.width,
+                        height: j.height,
+                        spp: j.spp,
+                    },
+                    Workload::Table(_) => unreachable!("table job under a render key"),
+                })
+                .collect();
+            let images = match precision {
+                RenderPrecision::Fp32 => render_reference_batch(scene.scene(), &views),
+                RenderPrecision::Quantized(p) => {
+                    scene_model(*scene).render_batch_quantized(&views, *p)
+                }
+            };
+            batch
+                .requests
+                .iter()
+                .zip(&images)
+                .map(|(r, img)| Response { id: r.id, bytes: image_bytes(img) })
+                .collect()
+        }
+        BatchKey::Table(name) => {
+            let generator = tables
+                .resolve(name)
+                .unwrap_or_else(|| panic!("unknown table generator `{name}`"));
+            let bytes = generator();
+            batch.requests.iter().map(|r| Response { id: r.id, bytes: bytes.clone() }).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{RenderJob, SceneKind};
+
+    fn tiny_render(seed: u64) -> Workload {
+        Workload::Render(RenderJob {
+            scene: SceneKind::Mic,
+            precision: RenderPrecision::Fp32,
+            width: 4,
+            height: 4,
+            spp: 2,
+            camera_seed: seed,
+        })
+    }
+
+    #[test]
+    fn serves_render_and_table_requests() {
+        let mut cfg = ServerConfig { workers: 2, ..ServerConfig::default() };
+        cfg.tables.register("hello", Arc::new(|| b"hello table".to_vec()));
+        let (ids, report) = run(&cfg, |client| {
+            let a = client.submit(tiny_render(1)).unwrap();
+            let b = client.submit(tiny_render(2)).unwrap();
+            let t = client.submit(Workload::Table("hello".into())).unwrap();
+            let resp = client.wait(t).expect("table answered");
+            assert_eq!(resp.bytes, b"hello table");
+            (a, b, t)
+        });
+        assert_eq!(ids, (0, 1, 2), "ids are monotone from zero");
+        assert_eq!(report.responses.len(), 3);
+        assert_eq!(report.metrics.requests, 3);
+        assert!(report.metrics.batches >= 1 && report.metrics.batches <= 3);
+        // Render payload header: 4×4.
+        assert_eq!(&report.responses[0].bytes[0..4], &4u32.to_le_bytes());
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let cfg = ServerConfig { queue_capacity: 0, ..ServerConfig::default() };
+        let (result, report) = run(&cfg, |client| {
+            let r = client.submit(tiny_render(0));
+            let t = client.try_submit(tiny_render(1));
+            (r, t)
+        });
+        assert_eq!(result, (Err(SubmitError::Rejected), Err(SubmitError::Rejected)));
+        assert!(report.responses.is_empty());
+        assert_eq!(report.metrics.rejected, 2);
+        assert_eq!(report.metrics.requests, 0);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_unblocks_waiters() {
+        let cfg = ServerConfig::default(); // empty registry: unknown table panics
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run(&cfg, |client| {
+                let id = client.submit(Workload::Table("no-such-generator".into())).unwrap();
+                // The waiter must unblock (None), not deadlock, before the
+                // panic resurfaces from `run`.
+                assert!(client.wait(id).is_none(), "waiter unblocked by worker failure");
+            })
+        }));
+        let payload = outcome.expect_err("worker panic must cross run()");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".into());
+        assert!(msg.contains("no-such-generator"), "panic message surfaced: {msg}");
+    }
+
+    #[test]
+    fn responses_survive_shutdown_drain() {
+        // Submit with a huge linger and no waiting: shutdown must flush the
+        // batcher (Drain) and still answer everything.
+        let cfg = ServerConfig {
+            linger: Duration::from_secs(60),
+            max_batch: 1000,
+            ..ServerConfig::default()
+        };
+        let (n, report) = run(&cfg, |client| {
+            for i in 0..10 {
+                client.submit(tiny_render(i)).unwrap();
+            }
+            10
+        });
+        assert_eq!(n, 10);
+        assert_eq!(report.responses.len(), 10);
+        assert!(report.metrics.flushed_drain >= 1, "drain flush recorded");
+        let ids: Vec<u64> = report.responses.iter().map(|r| r.id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>(), "sorted by id");
+    }
+}

@@ -1,0 +1,226 @@
+//! Seeded workload generation: the request mixes and arrival patterns the
+//! load generators drive the server with.
+//!
+//! Everything is a pure function of the spec (seed included), so two legs
+//! of a CI run — or an open-loop and a closed-loop driver — operate on
+//! the *same* job multiset and must produce the same response-set digest.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fnr_tensor::Precision;
+
+use crate::request::{RenderJob, RenderPrecision, SceneKind, Workload};
+
+/// Arrival-time shape of a generated workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalPattern {
+    /// Constant inter-arrival gap, one request at a time.
+    Uniform,
+    /// Same-key bursts separated by idle gaps — the coalescable shape
+    /// (many users requesting the same scene/model around an event).
+    Bursty,
+    /// Pareto-like gaps: long quiet stretches punctured by dense arrivals.
+    HeavyTailed,
+}
+
+impl ArrivalPattern {
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "uniform" => Some(ArrivalPattern::Uniform),
+            "bursty" => Some(ArrivalPattern::Bursty),
+            "heavy" | "heavy-tailed" => Some(ArrivalPattern::HeavyTailed),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArrivalPattern::Uniform => "uniform",
+            ArrivalPattern::Bursty => "bursty",
+            ArrivalPattern::HeavyTailed => "heavy-tailed",
+        }
+    }
+}
+
+/// What to generate.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Total requests.
+    pub requests: usize,
+    /// RNG seed; same seed ⇒ same job sequence, byte for byte.
+    pub seed: u64,
+    /// Arrival shape.
+    pub pattern: ArrivalPattern,
+    /// Table-generator names eligible for table requests (empty disables
+    /// table traffic).
+    pub table_names: Vec<String>,
+    /// Fraction of bursts (or single arrivals) that request a table
+    /// instead of a render.
+    pub table_fraction: f64,
+    /// Pacing scale: mean inter-arrival gap an open-loop driver sleeps.
+    pub mean_gap: Duration,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            requests: 1000,
+            seed: 42,
+            pattern: ArrivalPattern::Bursty,
+            table_names: Vec::new(),
+            table_fraction: 0.15,
+            mean_gap: Duration::from_micros(150),
+        }
+    }
+}
+
+/// One scheduled job: how long an open-loop driver waits before
+/// submitting it (closed-loop drivers ignore the delay).
+#[derive(Debug, Clone)]
+pub struct TimedJob {
+    /// Idle time before this submission.
+    pub delay_before: Duration,
+    /// The work.
+    pub job: Workload,
+}
+
+fn random_scene(rng: &mut StdRng) -> SceneKind {
+    SceneKind::ALL[rng.gen_range(0usize..SceneKind::ALL.len())]
+}
+
+fn random_precision(rng: &mut StdRng) -> RenderPrecision {
+    // FP32-heavy mix with a long integer tail, echoing the paper's
+    // precision study: most traffic at reference quality, the rest
+    // exercising the quantized datapath.
+    match rng.gen_range(0u32..10) {
+        0..=3 => RenderPrecision::Fp32,
+        4..=6 => RenderPrecision::Quantized(Precision::Int8),
+        7..=8 => RenderPrecision::Quantized(Precision::Int16),
+        _ => RenderPrecision::Quantized(Precision::Int4),
+    }
+}
+
+fn random_render(rng: &mut StdRng, scene: SceneKind, precision: RenderPrecision) -> Workload {
+    const SIZES: [usize; 4] = [6, 8, 10, 12];
+    const SPP: [usize; 3] = [4, 6, 8];
+    Workload::Render(RenderJob {
+        scene,
+        precision,
+        width: SIZES[rng.gen_range(0usize..SIZES.len())],
+        height: SIZES[rng.gen_range(0usize..SIZES.len())],
+        spp: SPP[rng.gen_range(0usize..SPP.len())],
+        camera_seed: rng.gen_range(0u64..u64::MAX),
+    })
+}
+
+/// Generates the job schedule for `spec`.
+pub fn generate(spec: &WorkloadSpec) -> Vec<TimedJob> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let gap_ns = spec.mean_gap.as_nanos() as u64;
+    let mut out = Vec::with_capacity(spec.requests);
+    while out.len() < spec.requests {
+        match spec.pattern {
+            ArrivalPattern::Uniform => {
+                let job = pick_job(&mut rng, spec, 1).remove(0);
+                out.push(TimedJob { delay_before: Duration::from_nanos(gap_ns), job });
+            }
+            ArrivalPattern::Bursty => {
+                let burst = rng.gen_range(2usize..=12).min(spec.requests - out.len());
+                // The burst's members share one coalescing key and arrive
+                // back to back; the idle gap before it preserves the mean
+                // arrival rate.
+                let jobs = pick_job(&mut rng, spec, burst);
+                let idle = Duration::from_nanos(gap_ns * burst as u64);
+                for (i, job) in jobs.into_iter().enumerate() {
+                    let delay = if i == 0 { idle } else { Duration::ZERO };
+                    out.push(TimedJob { delay_before: delay, job });
+                }
+            }
+            ArrivalPattern::HeavyTailed => {
+                // Pareto(α = 1.5) gap, capped at 50× the mean: mostly short
+                // gaps, occasionally a very long one.
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let pareto = 1.0 / u.powf(1.0 / 1.5);
+                let scaled = ((gap_ns as f64) * pareto.min(50.0) / 3.0) as u64;
+                let job = pick_job(&mut rng, spec, 1).remove(0);
+                out.push(TimedJob { delay_before: Duration::from_nanos(scaled), job });
+            }
+        }
+    }
+    out.truncate(spec.requests);
+    out
+}
+
+/// Picks one coalescing key and emits `n` jobs under it.
+fn pick_job(rng: &mut StdRng, spec: &WorkloadSpec, n: usize) -> Vec<Workload> {
+    let want_table = !spec.table_names.is_empty() && rng.gen_bool(spec.table_fraction);
+    if want_table {
+        let name = &spec.table_names[rng.gen_range(0usize..spec.table_names.len())];
+        vec![Workload::Table(name.clone()); n]
+    } else {
+        let scene = random_scene(rng);
+        let precision = random_precision(rng);
+        (0..n).map(|_| random_render(rng, scene, precision)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let spec = WorkloadSpec { requests: 64, ..WorkloadSpec::default() };
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.job, y.job);
+            assert_eq!(x.delay_before, y.delay_before);
+        }
+        let c = generate(&WorkloadSpec { seed: 43, ..spec });
+        assert!(a.iter().zip(&c).any(|(x, y)| x.job != y.job), "different seed moves the jobs");
+    }
+
+    #[test]
+    fn bursty_workloads_share_keys_within_bursts() {
+        let spec = WorkloadSpec { requests: 100, ..WorkloadSpec::default() };
+        let jobs = generate(&spec);
+        // Every zero-delay job continues the burst of its predecessor and
+        // must share that key.
+        let mut coalescable = 0;
+        for w in jobs.windows(2) {
+            if w[1].delay_before.is_zero() {
+                assert_eq!(w[0].job.key(), w[1].job.key(), "burst member changed key");
+                coalescable += 1;
+            }
+        }
+        assert!(coalescable > 20, "bursty pattern must offer coalescing ({coalescable} pairs)");
+    }
+
+    #[test]
+    fn table_traffic_appears_when_registered() {
+        let spec = WorkloadSpec {
+            requests: 200,
+            table_names: vec!["t1".into(), "t2".into()],
+            table_fraction: 0.5,
+            ..WorkloadSpec::default()
+        };
+        let jobs = generate(&spec);
+        let tables = jobs.iter().filter(|t| matches!(t.job, Workload::Table(_))).count();
+        assert!(tables > 10, "expected table traffic, got {tables}");
+    }
+
+    #[test]
+    fn patterns_parse() {
+        assert_eq!(ArrivalPattern::parse("bursty"), Some(ArrivalPattern::Bursty));
+        assert_eq!(ArrivalPattern::parse("heavy"), Some(ArrivalPattern::HeavyTailed));
+        assert_eq!(ArrivalPattern::parse("uniform"), Some(ArrivalPattern::Uniform));
+        assert_eq!(ArrivalPattern::parse("nope"), None);
+    }
+}

@@ -1,0 +1,57 @@
+//! Serving front-end quickstart: stand a server up, drive a small seeded
+//! bursty workload through it, and read the report.
+//!
+//! ```text
+//! cargo run --release --example serve_quickstart
+//! ```
+
+use std::time::Duration;
+
+use fnr_serve::workload::{generate, ArrivalPattern, WorkloadSpec};
+use fnr_serve::{run, run_open_loop, RenderJob, RenderPrecision, SceneKind, ServerConfig, Workload};
+use fnr_tensor::Precision;
+
+fn main() {
+    // 1. One request end to end: submit, wait, inspect the payload.
+    let cfg = ServerConfig::default();
+    let (pixels, _report) = run(&cfg, |client| {
+        let id = client
+            .submit(Workload::Render(RenderJob {
+                scene: SceneKind::Lego,
+                precision: RenderPrecision::Quantized(Precision::Int8),
+                width: 8,
+                height: 8,
+                spp: 6,
+                camera_seed: 7,
+            }))
+            .expect("admitted");
+        let response = client.wait(id).expect("answered");
+        response.bytes.len()
+    });
+    println!("single INT8 render answered: {pixels} payload bytes (8x8 RGB f32 + header)");
+
+    // 2. A seeded bursty workload through the open-loop driver, with the
+    //    repro tables registered as servable workloads.
+    let spec = WorkloadSpec {
+        requests: 60,
+        seed: 42,
+        pattern: ArrivalPattern::Bursty,
+        table_names: fnr_bench::serving::table_names(),
+        mean_gap: Duration::from_micros(100),
+        ..WorkloadSpec::default()
+    };
+    let cfg = ServerConfig { tables: fnr_bench::serving::table_registry(), ..ServerConfig::default() };
+    let report = run_open_loop(&cfg, &generate(&spec));
+    let m = &report.metrics;
+    println!(
+        "served {} requests in {} batches: occupancy {:.2} (coalescable {:.2}), \
+         queue p95 {:.2} ms, digest {:#018x}",
+        m.requests,
+        m.batches,
+        m.mean_occupancy,
+        m.coalescable_occupancy,
+        m.queue_ns.p95 as f64 / 1e6,
+        m.digest
+    );
+    println!("rerun with FNR_THREADS=1: the digest will not move.");
+}

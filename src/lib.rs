@@ -12,7 +12,9 @@
 //! * [`fnr_sim`] — cycle-level engines for every baseline;
 //! * [`fnr_nerf`] — the full NeRF pipeline (scenes → training → rendering);
 //! * [`fnr_par`] — the vendored work-stealing thread pool behind the
-//!   parallel sweeps, rendering and training (`FNR_THREADS` knob).
+//!   parallel sweeps, rendering and training (`FNR_THREADS` knob);
+//! * [`fnr_serve`] — the batched render-request serving front-end
+//!   (admission queue → batcher → worker pool → metrics).
 
 pub use flexnerfer;
 pub use fnr_hw;
@@ -21,5 +23,6 @@ pub use fnr_mem;
 pub use fnr_nerf;
 pub use fnr_noc;
 pub use fnr_par;
+pub use fnr_serve;
 pub use fnr_sim;
 pub use fnr_tensor;

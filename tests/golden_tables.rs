@@ -1,0 +1,115 @@
+//! Golden snapshots of all 18 repro tables.
+//!
+//! Every generator is a pure function of its inputs (analytic models and
+//! seeded RNG; training is bit-deterministic at any thread count), so its
+//! rendered markdown must match the committed snapshot under
+//! `tests/golden/` **exactly** — a one-character drift is a real output
+//! change and fails with a line-level diff.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! FNR_UPDATE_GOLDEN=1 cargo test --test golden_tables
+//! ```
+//!
+//! then commit the updated `tests/golden/*.md` with the change that moved
+//! them.
+
+use std::path::PathBuf;
+
+use fnr_nerf::train::TrainConfig;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+fn update_mode() -> bool {
+    std::env::var("FNR_UPDATE_GOLDEN").is_ok_and(|v| v == "1")
+}
+
+/// Canonical text form: `\r\n` → `\n`, trailing whitespace stripped per
+/// line, exactly one trailing newline. Everything else is significant.
+fn normalize(s: &str) -> String {
+    let mut out: String = s
+        .replace("\r\n", "\n")
+        .lines()
+        .map(|l| l.trim_end())
+        .collect::<Vec<_>>()
+        .join("\n");
+    while out.ends_with('\n') {
+        out.pop();
+    }
+    out.push('\n');
+    out
+}
+
+/// First differing line as a loud, locatable message.
+fn first_diff(expected: &str, actual: &str) -> String {
+    let (mut e, mut a) = (expected.lines(), actual.lines());
+    let mut line_no = 1usize;
+    loop {
+        match (e.next(), a.next()) {
+            (Some(el), Some(al)) if el == al => line_no += 1,
+            (Some(el), Some(al)) => {
+                return format!("line {line_no}:\n  golden: {el}\n  actual: {al}");
+            }
+            (Some(el), None) => return format!("line {line_no}: actual output ends early\n  golden: {el}"),
+            (None, Some(al)) => return format!("line {line_no}: actual output has extra lines\n  actual: {al}"),
+            (None, None) => return "contents equal after normalization?!".into(),
+        }
+    }
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_dir().join(format!("{name}.md"));
+    let actual = normalize(rendered);
+    if update_mode() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, &actual).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden snapshot {} — regenerate with FNR_UPDATE_GOLDEN=1 cargo test --test golden_tables",
+            path.display()
+        )
+    });
+    let golden = normalize(&golden);
+    assert_eq!(
+        golden,
+        actual,
+        "golden snapshot `{name}` diverged; first difference at {}\n\
+         (intentional change? FNR_UPDATE_GOLDEN=1 cargo test --test golden_tables)",
+        first_diff(&golden, &actual)
+    );
+}
+
+/// The 17 fast generators, snapshot against their stable `--json` names.
+#[test]
+fn fast_tables_match_golden_snapshots() {
+    let tables = fnr_bench::all_fast_tables();
+    assert_eq!(tables.len(), fnr_bench::FAST_TABLE_GENERATORS.len());
+    for (&(name, _), table) in fnr_bench::FAST_TABLE_GENERATORS.iter().zip(&tables) {
+        check_golden(name, &table.to_string());
+    }
+}
+
+/// Table 18 of 18: the Fig. 20(a) PSNR study at the repro binary's quick
+/// budget (the exact configuration `repro` prints without `--full`).
+#[test]
+fn fig20a_quick_budget_matches_golden_snapshot() {
+    let cfg = TrainConfig { iters: 700, batch_rays: 128, image_size: 32, ..TrainConfig::quick() };
+    let table = fnr_bench::quality_experiments::fig20a_table(&cfg);
+    check_golden("fig20a_psnr_study", &table.to_string());
+}
+
+/// The suite must fail loudly on a one-character drift: exercise the
+/// comparator itself rather than trusting it silently.
+#[test]
+fn golden_comparator_rejects_one_character_drift() {
+    let golden = normalize("| a | b |\n| 1 | 2 |\n");
+    let drifted = normalize("| a | b |\n| 1 | 3 |\n");
+    assert_ne!(golden, drifted);
+    let diff = first_diff(&golden, &drifted);
+    assert!(diff.contains("line 2"), "diff must locate the drifted line: {diff}");
+    assert!(diff.contains("| 1 | 2 |") && diff.contains("| 1 | 3 |"), "diff shows both sides: {diff}");
+}

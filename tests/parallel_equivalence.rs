@@ -14,8 +14,10 @@
 use fnr_nerf::camera::Camera;
 use fnr_nerf::hashgrid::HashGridConfig;
 use fnr_nerf::render::{render_reference, NgpModel};
-use fnr_nerf::scene::MicScene;
+use fnr_nerf::sampling::OccupancyGrid;
+use fnr_nerf::scene::{LegoScene, MicScene};
 use fnr_nerf::train::{train_ngp, TrainConfig, TrainStats};
+use fnr_nerf::vec3::Vec3;
 use fnr_par::width_test_guard as width_guard;
 
 /// Runs `f` at width 1 and width 4 and returns both results.
@@ -62,6 +64,36 @@ fn model_render_is_byte_identical() {
     let cam = Camera::orbit(0.3, 1.6, 0.9);
     let (serial, parallel) = at_widths(|| model.render(&cam, 20, 20, 12, None));
     assert_eq!(serial, parallel, "NGP renderer must be schedule-independent");
+}
+
+#[test]
+fn occupancy_grid_build_is_byte_identical() {
+    let _g = width_guard();
+    // Both dilation passes and the density sampling run on the pool now
+    // (the Fig. 13 path); the resulting bitset must be cell-for-cell
+    // identical to the serial build.
+    let (serial, parallel) = at_widths(|| {
+        let mic = OccupancyGrid::build(&MicScene, 24, 0.5);
+        let lego = OccupancyGrid::build(&LegoScene, 24, 0.5);
+        (mic.cells().to_vec(), lego.cells().to_vec(), mic.occupancy())
+    });
+    assert_eq!(serial, parallel, "occupancy grids must be schedule-independent");
+}
+
+#[test]
+fn hidden_sparsity_is_byte_identical() {
+    let _g = width_guard();
+    let model = NgpModel::new(HashGridConfig::small(), 16, 9);
+    let xs: Vec<Vec<f32>> = (0..64)
+        .map(|i| {
+            let t = i as f32 / 63.0;
+            model.grid.encode(Vec3::new(t, (t * 3.7).fract(), (t * 1.9).fract()))
+        })
+        .collect();
+    let (serial, parallel) = at_widths(|| model.mlp.hidden_sparsity(&xs));
+    // f64 ratios derive from integer zero counts merged in input order, so
+    // exact equality must hold at any width.
+    assert_eq!(serial, parallel, "hidden sparsity must be schedule-independent");
 }
 
 #[test]

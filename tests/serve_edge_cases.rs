@@ -1,0 +1,196 @@
+//! Serving-runtime edge cases: admission under zero capacity, worker
+//! failure, flush-policy behaviour under real threading, and a short
+//! closed-loop soak.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use fnr_serve::workload::{generate, ArrivalPattern, WorkloadSpec};
+use fnr_serve::{
+    run, run_closed_loop, RenderJob, RenderPrecision, SceneKind, ServerConfig, SubmitError,
+    Workload,
+};
+
+fn tiny_render(seed: u64) -> Workload {
+    Workload::Render(RenderJob {
+        scene: SceneKind::Mic,
+        precision: RenderPrecision::Fp32,
+        width: 4,
+        height: 4,
+        spp: 2,
+        camera_seed: seed,
+    })
+}
+
+#[test]
+fn zero_capacity_queue_rejects_blocking_and_nonblocking_submits() {
+    let cfg = ServerConfig { queue_capacity: 0, ..ServerConfig::default() };
+    let (results, report) = run(&cfg, |client| {
+        let blocking = client.submit(tiny_render(0));
+        let nonblocking = client.try_submit(tiny_render(1));
+        (blocking, nonblocking)
+    });
+    assert_eq!(results.0, Err(SubmitError::Rejected), "blocking submit must not park forever");
+    assert_eq!(results.1, Err(SubmitError::Rejected));
+    assert_eq!(report.metrics.rejected, 2);
+    assert_eq!(report.metrics.requests, 0);
+    assert!(report.responses.is_empty());
+}
+
+#[test]
+fn worker_panic_propagates_through_the_pool_and_frees_waiters() {
+    // Unknown table name → the executing worker panics. The panic must:
+    // unblock the in-flight wait(), then resurface from run() itself.
+    let cfg = ServerConfig::default(); // empty registry
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run(&cfg, |client| {
+            let poisoned = client.submit(Workload::Table("definitely-not-registered".into())).unwrap();
+            assert!(
+                client.wait(poisoned).is_none(),
+                "waiter must observe the failure, not deadlock"
+            );
+            // Follow-up submits must fail fast (closed), not hang.
+            let follow_up = client.submit(tiny_render(0));
+            assert_eq!(follow_up, Err(SubmitError::Closed));
+        })
+    }));
+    let payload = outcome.expect_err("worker panic must cross the pool boundary");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string payload>".into());
+    assert!(msg.contains("definitely-not-registered"), "original panic surfaced: {msg}");
+}
+
+#[test]
+fn drive_closure_panic_shuts_down_instead_of_deadlocking() {
+    // A panic in the drive closure must close the admission queue on the
+    // way out (otherwise run() joins role threads parked forever) and
+    // resurface from run().
+    let cfg = ServerConfig::default();
+    let start = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run(&cfg, |client| {
+            client.submit(tiny_render(0)).unwrap();
+            panic!("driver exploded mid-flight");
+        })
+    }));
+    assert!(start.elapsed() < Duration::from_secs(30), "run() must not hang on a drive panic");
+    let payload = outcome.expect_err("drive panic must resurface");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or("<other>");
+    assert!(msg.contains("driver exploded"), "original panic preserved: {msg}");
+}
+
+#[test]
+fn batcher_flushes_on_size_threshold_before_linger_expires() {
+    // Huge linger: only the size threshold can flush. Submitting exactly
+    // max_batch same-key requests must produce one full batch, quickly.
+    let cfg = ServerConfig {
+        max_batch: 4,
+        linger: Duration::from_secs(3600),
+        ..ServerConfig::default()
+    };
+    let start = Instant::now();
+    let (_, report) = run(&cfg, |client| {
+        let ids: Vec<u64> = (0..4).map(|i| client.submit(tiny_render(i)).unwrap()).collect();
+        for id in ids {
+            assert!(client.wait(id).is_some(), "size-flushed batch answers before shutdown");
+        }
+    });
+    assert!(start.elapsed() < Duration::from_secs(60), "must not wait out the linger");
+    assert!(report.metrics.flushed_size >= 1, "size flush recorded");
+    assert_eq!(report.metrics.requests, 4);
+}
+
+#[test]
+fn batcher_flushes_on_linger_timeout_when_undersized() {
+    // Huge size threshold: only the linger can flush. A single request
+    // must still be answered (while the server is up — not at drain).
+    let cfg = ServerConfig {
+        max_batch: 1000,
+        linger: Duration::from_millis(5),
+        ..ServerConfig::default()
+    };
+    let (_, report) = run(&cfg, |client| {
+        let id = client.submit(tiny_render(7)).unwrap();
+        assert!(client.wait(id).is_some(), "linger flush answers a lone request");
+    });
+    assert!(
+        report.metrics.flushed_timeout >= 1,
+        "timeout flush recorded: {} size / {} timeout / {} drain",
+        report.metrics.flushed_size,
+        report.metrics.flushed_timeout,
+        report.metrics.flushed_drain
+    );
+}
+
+/// Closed-loop soak (~1 s budget): several clients hammering a small
+/// server must neither deadlock nor skip requests, and admission ids must
+/// be monotone.
+#[test]
+fn closed_loop_soak_completes_without_deadlock_and_ids_are_monotone() {
+    let spec = WorkloadSpec {
+        requests: 160,
+        seed: 7,
+        pattern: ArrivalPattern::Bursty,
+        mean_gap: Duration::from_micros(10),
+        ..WorkloadSpec::default()
+    };
+    let jobs = generate(&spec);
+    let cfg = ServerConfig { workers: 3, queue_capacity: 8, ..ServerConfig::default() };
+    let start = Instant::now();
+    let report = run_closed_loop(&cfg, &jobs, 6);
+    assert!(start.elapsed() < Duration::from_secs(30), "soak must terminate promptly");
+    assert_eq!(report.metrics.requests, 160, "every request answered");
+    assert_eq!(report.metrics.rejected, 0, "blocking submits never drop");
+    let ids: Vec<u64> = report.responses.iter().map(|r| r.id).collect();
+    assert_eq!(ids.len(), 160);
+    for w in ids.windows(2) {
+        assert!(w[0] < w[1], "sorted response ids must be strictly increasing");
+    }
+    assert_eq!(*ids.last().unwrap(), 159, "admission ids are dense 0..n");
+}
+
+/// Per-client monotonicity under contention: ids observed by each client
+/// thread must strictly increase in its own submission order.
+#[test]
+fn request_ids_are_monotone_per_client_under_contention() {
+    let cfg = ServerConfig { workers: 2, ..ServerConfig::default() };
+    let sequences: Arc<Mutex<Vec<Vec<u64>>>> = Arc::new(Mutex::new(Vec::new()));
+    let counter = AtomicU64::new(0);
+    let (_, report) = run(&cfg, |client| {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let seqs = Arc::clone(&sequences);
+                let counter = &counter;
+                let client = &*client;
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    for _ in 0..20 {
+                        let seed = counter.fetch_add(1, Ordering::Relaxed);
+                        if let Ok(id) = client.submit(tiny_render(seed)) {
+                            mine.push(id);
+                        }
+                    }
+                    seqs.lock().unwrap().push(mine);
+                });
+            }
+        });
+    });
+    assert_eq!(report.metrics.requests, 80);
+    let seqs = sequences.lock().unwrap();
+    assert_eq!(seqs.len(), 4);
+    let mut all: Vec<u64> = Vec::new();
+    for seq in seqs.iter() {
+        assert_eq!(seq.len(), 20);
+        for w in seq.windows(2) {
+            assert!(w[0] < w[1], "a client observed non-monotone ids: {seq:?}");
+        }
+        all.extend_from_slice(seq);
+    }
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), 80, "ids are globally unique");
+}

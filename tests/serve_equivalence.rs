@@ -1,0 +1,98 @@
+//! Serving determinism: with a fixed seed, the response *set* of a served
+//! workload must be byte-identical at any `FNR_THREADS` — the same
+//! contract `tests/parallel_equivalence.rs` enforces for the repro
+//! pipeline, lifted to the request level. Batch composition and metrics
+//! may move with timing; payload bytes may not.
+//!
+//! Width flips are process-global, so every test here holds
+//! `fnr_par::width_test_guard` for its whole body.
+
+use std::time::Duration;
+
+use fnr_par::width_test_guard as width_guard;
+use fnr_serve::workload::{generate, ArrivalPattern, WorkloadSpec};
+use fnr_serve::{run_open_loop, ServeReport, ServerConfig};
+
+fn bursty_spec(requests: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        requests,
+        seed: 42,
+        pattern: ArrivalPattern::Bursty,
+        table_names: fnr_bench::serving::table_names(),
+        mean_gap: Duration::from_micros(30),
+        ..WorkloadSpec::default()
+    }
+}
+
+fn serve_bursty(requests: usize) -> ServeReport {
+    let cfg = ServerConfig { tables: fnr_bench::serving::table_registry(), ..ServerConfig::default() };
+    run_open_loop(&cfg, &generate(&bursty_spec(requests)))
+}
+
+#[test]
+fn response_set_is_byte_identical_at_any_width() {
+    let _g = width_guard();
+    fnr_par::set_num_threads(1);
+    let serial = serve_bursty(120);
+    fnr_par::set_num_threads(4);
+    let parallel = serve_bursty(120);
+    fnr_par::set_num_threads(1);
+
+    assert_eq!(serial.responses.len(), 120);
+    assert_eq!(parallel.responses.len(), 120);
+    assert_eq!(
+        serial.metrics.digest, parallel.metrics.digest,
+        "response-set digest must not depend on FNR_THREADS"
+    );
+    // Open-loop single-submitter ids equal schedule order, so the full
+    // response vectors (ids + payload bytes) must also match exactly.
+    for (a, b) in serial.responses.iter().zip(&parallel.responses) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.bytes, b.bytes, "payload of request {} moved with thread width", a.id);
+    }
+}
+
+#[test]
+fn bursty_workload_actually_coalesces() {
+    let _g = width_guard();
+    fnr_par::set_num_threads(2);
+    let report = serve_bursty(150);
+    fnr_par::set_num_threads(1);
+    let m = &report.metrics;
+    assert_eq!(m.requests, 150, "every request answered");
+    assert!(
+        m.coalescable_occupancy > 1.0,
+        "bursty same-key traffic must batch: coalescable occupancy {:.3} over {} batches",
+        m.coalescable_occupancy,
+        m.batches
+    );
+    assert!(m.batches < 150, "coalescing must produce fewer batches than requests");
+}
+
+#[test]
+fn digest_is_independent_of_batching_policy() {
+    let _g = width_guard();
+    fnr_par::set_num_threads(2);
+    let jobs = generate(&bursty_spec(60));
+    let tables = fnr_bench::serving::table_registry();
+    // Radically different batching outcomes: eager singletons vs patient
+    // wide batches — payloads must not care.
+    let singleton = ServerConfig {
+        max_batch: 1,
+        linger: Duration::ZERO,
+        tables: tables.clone(),
+        ..ServerConfig::default()
+    };
+    let wide = ServerConfig {
+        max_batch: 64,
+        linger: Duration::from_millis(20),
+        workers: 4,
+        tables,
+        ..ServerConfig::default()
+    };
+    let a = run_open_loop(&singleton, &jobs);
+    let b = run_open_loop(&wide, &jobs);
+    fnr_par::set_num_threads(1);
+    assert_eq!(a.metrics.digest, b.metrics.digest, "batch composition leaked into payloads");
+    assert!((a.metrics.mean_occupancy - 1.0).abs() < 1e-9, "max_batch=1 forces singletons");
+}

@@ -1,0 +1,85 @@
+//! Collection strategies (the subset this workspace uses: `vec`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+use crate::Strategy;
+
+/// Strategy producing `Vec<S::Value>` with a length drawn from `len` and
+/// elements drawn from `element`. Build one with [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// `Vec` strategy: `vec(0u32..10, 0..16)` yields vectors of 0–15 elements
+/// in `[0, 10)`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "vec strategy requires a non-empty length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone + Debug,
+{
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+
+    /// Prefix shrink: try the shortest legal prefix (biggest jump), the
+    /// halfway prefix (binary search on length), then one element shorter
+    /// (linear polish). Element values are left as sampled — length is
+    /// the dimension this shim minimizes.
+    fn shrink(&self, failing: &Self::Value) -> Vec<Self::Value> {
+        let min = self.len.start;
+        let n = failing.len();
+        if n <= min {
+            return Vec::new();
+        }
+        let mut lens = vec![min];
+        let half = min + (n - min) / 2;
+        if half != min && half != n {
+            lens.push(half);
+        }
+        if n - 1 != min && Some(&(n - 1)) != lens.last() {
+            lens.push(n - 1);
+        }
+        lens.into_iter().map(|l| failing[..l].to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Strategy;
+
+    #[test]
+    fn samples_respect_length_and_element_ranges() {
+        let s = vec(0u32..10, 2..6);
+        let mut rng = crate::case_rng(3);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn prefix_shrink_orders_min_half_pred() {
+        let s = vec(0u32..10, 1..32);
+        let failing: Vec<u32> = (0..9).collect();
+        let shrunk = s.shrink(&failing);
+        let lens: Vec<usize> = shrunk.iter().map(|v| v.len()).collect();
+        assert_eq!(lens, vec![1, 5, 8]);
+        // Prefixes, not arbitrary subsets.
+        assert_eq!(shrunk[1], (0..5).collect::<Vec<u32>>());
+        assert!(s.shrink(&vec![7u32]).is_empty(), "minimal length cannot shrink");
+    }
+}

@@ -2,18 +2,32 @@
 //!
 //! Supports the subset this workspace's property suites use: the
 //! [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
-//! range strategies (`0u64..1000`, `-128i32..=127`, `0.0f64..1.0`),
-//! [`ProptestConfig::with_cases`] and the `prop_assert*` macros.
+//! range strategies (`0u64..1000`, `-128i32..=127`, `0.0f64..1.0`), a
+//! [`collection::vec`] strategy, [`ProptestConfig::with_cases`] and the
+//! `prop_assert*` macros.
 //!
-//! Unlike real proptest there is no shrinking: a failing case panics
-//! immediately with the sampled arguments in the panic message (every
-//! strategy here is seed-deterministic, so failures reproduce exactly).
+//! # Shrinking
+//!
+//! Like real proptest, a failing case is **shrunk** before being
+//! reported: scalar strategies binary-search from the failing value
+//! toward the range's origin (its start), and collection strategies
+//! shrink by prefix truncation, until no smaller input still fails (or
+//! [`ProptestConfig::max_shrink_iters`] attempts are spent). The panic
+//! message reports the *minimal* failing input, e.g.
+//! `minimal failing input: x = 500`. Every strategy is
+//! seed-deterministic, so both the original failure and the shrink are
+//! exactly reproducible.
 
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;
 use rand::{Rng, SampleUniform, SeedableRng};
+use std::cell::Cell;
+use std::fmt::Debug;
 use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod collection;
 
 /// Everything a property-test module needs.
 pub mod prelude {
@@ -21,47 +35,138 @@ pub mod prelude {
     pub use crate::{ProptestConfig, Strategy};
 }
 
-/// Runner configuration (only `cases` is honoured).
+/// Runner configuration.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
     /// Number of random cases each property is executed with.
     pub cases: u32,
+    /// Ceiling on shrink attempts once a case fails (attempts, not
+    /// accepted steps, so pathological properties cannot loop).
+    pub max_shrink_iters: u32,
 }
 
 impl ProptestConfig {
     /// Config running each property `cases` times.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig { cases, ..ProptestConfig::default() }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        // Real proptest defaults to 256; keep the same ceiling so suites
-        // that omit a config stay within the tier-1 time budget.
-        ProptestConfig { cases: 256 }
+        // Real proptest defaults to 256 cases; keep the same ceiling so
+        // suites that omit a config stay within the tier-1 time budget.
+        ProptestConfig { cases: 256, max_shrink_iters: 4096 }
     }
 }
 
 /// A source of random values for one property argument.
 pub trait Strategy {
     /// The value type produced.
-    type Value;
+    type Value: Clone + Debug;
+
     /// Draws one value.
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Ordered shrink candidates for a failing value — strictly "smaller"
+    /// inputs, most aggressive first. The runner greedily accepts the
+    /// first candidate that still fails and re-shrinks from there; an
+    /// empty list means `failing` is locally minimal.
+    fn shrink(&self, failing: &Self::Value) -> Vec<Self::Value> {
+        let _ = failing;
+        Vec::new()
+    }
 }
 
-impl<T: SampleUniform> Strategy for Range<T> {
+/// Scalar types the range strategies can binary-search toward an origin.
+pub trait Shrinkable: Copy + PartialEq {
+    /// Candidates between `origin` and `failing`, most aggressive first: a
+    /// geometric ladder `origin, failing − span/2, failing − span/4, …,
+    /// failing − 1`. The runner accepts the *first* candidate that still
+    /// fails, so each accepted step lands just past the failure boundary
+    /// from above and re-ladders — true bisection, converging in
+    /// O(log² span) attempts rather than a linear walk, with the
+    /// predecessor entry guaranteeing the reported integer minimum is
+    /// exact.
+    fn shrink_toward(origin: Self, failing: Self) -> Vec<Self>;
+}
+
+macro_rules! impl_shrinkable_int {
+    ($($t:ty),*) => {$(
+        impl Shrinkable for $t {
+            fn shrink_toward(origin: Self, failing: Self) -> Vec<Self> {
+                if failing == origin {
+                    return Vec::new();
+                }
+                let mut out = vec![origin];
+                let span = failing as i128 - origin as i128;
+                for k in 1..128u32 {
+                    let delta = span / (1i128 << k);
+                    if delta == 0 {
+                        break;
+                    }
+                    let cand = (failing as i128 - delta) as $t;
+                    if cand != origin && cand != failing && out.last() != Some(&cand) {
+                        out.push(cand);
+                    }
+                }
+                let step = if failing > origin { failing - 1 } else { failing + 1 };
+                if step != origin && out.last() != Some(&step) {
+                    out.push(step);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrinkable_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_shrinkable_float {
+    ($($t:ty),*) => {$(
+        impl Shrinkable for $t {
+            fn shrink_toward(origin: Self, failing: Self) -> Vec<Self> {
+                if failing == origin {
+                    return Vec::new();
+                }
+                let mut out = vec![origin];
+                let span = failing - origin;
+                let mut divisor: $t = 2.0;
+                for _ in 0..64 {
+                    let cand = failing - span / divisor;
+                    if cand == failing || !cand.is_finite() {
+                        break;
+                    }
+                    if cand != origin && out.last() != Some(&cand) {
+                        out.push(cand);
+                    }
+                    divisor *= 2.0;
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrinkable_float!(f32, f64);
+
+impl<T: SampleUniform + Shrinkable + Debug> Strategy for Range<T> {
     type Value = T;
     fn sample(&self, rng: &mut StdRng) -> T {
         rng.gen_range(self.clone())
     }
+    fn shrink(&self, failing: &T) -> Vec<T> {
+        T::shrink_toward(self.start, *failing)
+    }
 }
 
-impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+impl<T: SampleUniform + Shrinkable + Debug> Strategy for RangeInclusive<T> {
     type Value = T;
     fn sample(&self, rng: &mut StdRng) -> T {
         rng.gen_range(self.clone())
+    }
+    fn shrink(&self, failing: &T) -> Vec<T> {
+        T::shrink_toward(*self.start(), *failing)
     }
 }
 
@@ -69,6 +174,155 @@ impl<T: SampleUniform> Strategy for RangeInclusive<T> {
 /// index through a multiplicative hash decorrelates consecutive cases.
 pub fn case_rng(case: u32) -> StdRng {
     StdRng::seed_from_u64((case as u64 + 1).wrapping_mul(0x2545_f491_4f6c_dd1d))
+}
+
+// ---------------------------------------------------------------------------
+// The runner
+// ---------------------------------------------------------------------------
+
+/// A tuple of strategies, one per property argument. Implemented for
+/// arities 1–8; the [`proptest!`] macro drives properties through it.
+pub trait StrategyTuple {
+    /// Tuple of the component value types.
+    type Value: Clone;
+
+    /// Samples every component.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// All single-component shrink candidates of `failing`, in component
+    /// order (component 0's candidates first).
+    fn component_candidates(&self, failing: &Self::Value) -> Vec<Self::Value>;
+
+    /// Renders `v` as `name = value, …` for failure reports.
+    fn display(&self, names: &[&str], v: &Self::Value) -> String;
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($S:ident, $idx:tt)),+) => {
+        impl<$($S: Strategy),+> StrategyTuple for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+
+            fn component_candidates(&self, failing: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&failing.$idx) {
+                        let mut next = failing.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+
+            fn display(&self, names: &[&str], v: &Self::Value) -> String {
+                let parts: Vec<String> = vec![$(format!("{} = {:?}", names[$idx], v.$idx)),+];
+                parts.join(", ")
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!((S0, 0));
+impl_strategy_tuple!((S0, 0), (S1, 1));
+impl_strategy_tuple!((S0, 0), (S1, 1), (S2, 2));
+impl_strategy_tuple!((S0, 0), (S1, 1), (S2, 2), (S3, 3));
+impl_strategy_tuple!((S0, 0), (S1, 1), (S2, 2), (S3, 3), (S4, 4));
+impl_strategy_tuple!((S0, 0), (S1, 1), (S2, 2), (S3, 3), (S4, 4), (S5, 5));
+impl_strategy_tuple!((S0, 0), (S1, 1), (S2, 2), (S3, 3), (S4, 4), (S5, 5), (S6, 6));
+impl_strategy_tuple!((S0, 0), (S1, 1), (S2, 2), (S3, 3), (S4, 4), (S5, 5), (S6, 6), (S7, 7));
+
+thread_local! {
+    /// Set while the runner probes candidates: the wrapping panic hook
+    /// suppresses the default "thread panicked" chatter for these
+    /// intentional panics (hundreds can fire during one shrink).
+    static PROBING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that delegates to the
+/// previous hook unless the current thread is probing a candidate.
+fn install_probe_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !PROBING.with(|p| p.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `body` against `v`, returning the panic message on failure.
+fn probe<V>(body: &impl Fn(V), v: V) -> Option<String> {
+    PROBING.with(|p| p.set(true));
+    let result = catch_unwind(AssertUnwindSafe(|| body(v)));
+    PROBING.with(|p| p.set(false));
+    result.err().map(panic_message)
+}
+
+/// Executes one property: samples `cfg.cases` cases, and on the first
+/// failure shrinks it to a minimal counterexample and panics with it.
+/// The [`proptest!`] macro expands each property function into a call of
+/// this runner.
+pub fn run_property<S: StrategyTuple>(
+    property_name: &str,
+    cfg: &ProptestConfig,
+    arg_names: &[&str],
+    strategies: &S,
+    body: impl Fn(S::Value),
+) {
+    install_probe_hook();
+    for case in 0..cfg.cases {
+        let mut rng = case_rng(case);
+        let sampled = strategies.sample(&mut rng);
+        let Some(first_failure) = probe(&body, sampled.clone()) else {
+            continue;
+        };
+        // Greedy shrink: accept the first candidate that still fails and
+        // restart candidate generation from it; stop at a local minimum
+        // (every candidate passes) or at the attempt ceiling.
+        let mut minimal = sampled;
+        let mut last_failure = first_failure.clone();
+        let mut attempts = 0u32;
+        let mut accepted = 0u32;
+        'shrinking: loop {
+            for cand in strategies.component_candidates(&minimal) {
+                if attempts >= cfg.max_shrink_iters {
+                    break 'shrinking;
+                }
+                attempts += 1;
+                if let Some(msg) = probe(&body, cand.clone()) {
+                    minimal = cand;
+                    last_failure = msg;
+                    accepted += 1;
+                    continue 'shrinking;
+                }
+            }
+            break;
+        }
+        panic!(
+            "proptest shim: property `{property_name}` failed (case {case}; \
+             {accepted} shrink steps in {attempts} attempts)\n  \
+             minimal failing input: {}\n  failure: {last_failure}\n  \
+             original failure: {first_failure}",
+            strategies.display(arg_names, &minimal),
+        );
+    }
 }
 
 /// Property-test entry point; see the crate docs for the supported shape.
@@ -99,11 +353,14 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
-            for __case in 0..__cfg.cases {
-                let mut __rng = $crate::case_rng(__case);
-                $( let $arg = $crate::Strategy::sample(&($strat), &mut __rng); )+
-                $body
-            }
+            let __strategies = ($($strat,)+);
+            $crate::run_property(
+                stringify!($name),
+                &__cfg,
+                &[$(stringify!($arg)),+],
+                &__strategies,
+                |($($arg,)+)| $body,
+            );
         }
         $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
     };
@@ -156,5 +413,111 @@ mod tests {
         let a: Vec<u64> = (0..8).map(|c| s.sample(&mut crate::case_rng(c))).collect();
         let b: Vec<u64> = (0..8).map(|c| s.sample(&mut crate::case_rng(c))).collect();
         assert_eq!(a, b);
+    }
+
+    // -- shrinking self-tests -----------------------------------------------
+
+    proptest! {
+        // Known minimum: the property first fails at exactly 500.
+        fn fails_at_500(x in 0u64..1000) {
+            prop_assert!(x < 500);
+        }
+
+        // Two arguments with a joint failure region; each shrinks to its
+        // own minimum independently (x -> 30, y -> 4).
+        fn fails_jointly(x in 0i32..100, y in 0i32..10) {
+            prop_assert!(x < 30 || y < 4);
+        }
+
+        // Known minimal prefix: sums of ones first reach 10 at length 10.
+        fn fails_at_len_10(v in crate::collection::vec(1u64..=1, 0usize..32)) {
+            prop_assert!(v.iter().sum::<u64>() < 10);
+        }
+    }
+
+    fn failure_message(f: fn()) -> String {
+        let payload = std::panic::catch_unwind(f).expect_err("property must fail");
+        crate::panic_message(payload)
+    }
+
+    #[test]
+    fn scalar_failure_shrinks_to_known_minimum() {
+        let msg = failure_message(fails_at_500);
+        assert!(
+            msg.contains("minimal failing input: x = 500"),
+            "binary search must land on the boundary: {msg}"
+        );
+    }
+
+    #[test]
+    fn multi_argument_failure_shrinks_each_component() {
+        let msg = failure_message(fails_jointly);
+        assert!(
+            msg.contains("minimal failing input: x = 30, y = 4"),
+            "both components must reach their minima: {msg}"
+        );
+    }
+
+    #[test]
+    fn collection_failure_prefix_shrinks_to_known_minimum() {
+        let msg = failure_message(fails_at_len_10);
+        assert!(
+            msg.contains("minimal failing input: v = [1, 1, 1, 1, 1, 1, 1, 1, 1, 1]"),
+            "prefix shrink must stop at the 10-element boundary: {msg}"
+        );
+    }
+
+    #[test]
+    fn shrink_candidates_form_a_geometric_ladder_toward_origin() {
+        use crate::Strategy;
+        let s = 0u64..1000;
+        let cands = s.shrink(&800);
+        assert_eq!(cands.first(), Some(&0), "most aggressive first: the origin");
+        assert_eq!(cands.last(), Some(&799), "predecessor last: exact-minimum polish");
+        assert!(cands.contains(&400), "midpoint present");
+        assert!(cands.windows(2).all(|w| w[0] < w[1]), "strictly increasing: {cands:?}");
+        assert!(s.shrink(&0).is_empty(), "origin is minimal");
+        let inclusive = -8i32..=7;
+        assert_eq!(inclusive.shrink(&7), vec![-8, 0, 4, 6]);
+    }
+
+    #[test]
+    fn float_shrink_ladders_toward_origin() {
+        use crate::Strategy;
+        let s = 0.0f64..1.0;
+        let cands = s.shrink(&0.5);
+        assert_eq!(cands[0], 0.0);
+        assert_eq!(cands[1], 0.25, "midpoint second");
+        assert!(cands.windows(2).all(|w| w[0] < w[1]), "monotone ladder: {cands:?}");
+        assert!(*cands.last().unwrap() < 0.5);
+    }
+
+    proptest! {
+        // Wide range: a linear descent would burn the whole attempt budget
+        // ~4.5M steps short; the geometric ladder must land exactly on the
+        // 5_000_000 boundary within max_shrink_iters.
+        fn fails_at_five_million(x in 0u64..10_000_000) {
+            prop_assert!(x < 5_000_000);
+        }
+    }
+
+    #[test]
+    fn wide_range_failure_bisects_to_exact_minimum() {
+        let msg = failure_message(fails_at_five_million);
+        assert!(
+            msg.contains("minimal failing input: x = 5000000"),
+            "bisection must reach the exact boundary of a wide range: {msg}"
+        );
+    }
+
+    #[test]
+    fn passing_properties_do_not_shrink_report() {
+        // A property that never fails must simply return.
+        proptest! {
+            fn always_passes(x in 0u32..10) {
+                prop_assert!(x < 10);
+            }
+        }
+        always_passes();
     }
 }
