@@ -1,0 +1,109 @@
+//! A counting global allocator for CI-diffable allocation accounting.
+//!
+//! Wall-clock measurements move with the machine; allocator traffic does
+//! not. With the `alloc-count` feature the `repro` binary installs
+//! [`CountingAllocator`] as the global allocator and reports per-table
+//! `alloc_count`/`alloc_bytes` deltas in its `--json` trajectory, so a
+//! hot-path regression (a reintroduced per-iteration buffer, say) shows up
+//! as an exact integer diff in CI rather than a noisy timing shift.
+//!
+//! Counting runs pin the `fnr_par` width to 1 (the pool runs inline at
+//! width 1 and allocates nothing of its own), which is what makes the
+//! counts *exact*: independent of `FNR_THREADS`, scheduling, and the
+//! machine. The normal non-counting legs still exercise the parallel
+//! runtime.
+//!
+//! The module always compiles; the counters only tick once a binary
+//! actually installs the allocator (`#[global_allocator]`), so `snapshot`
+//! reads zeros everywhere else.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Whether this build of `fnr_bench` was compiled with allocation
+/// tracking (`--features alloc-count`).
+pub const ENABLED: bool = cfg!(feature = "alloc-count");
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Forwards to the [`System`] allocator, counting every allocation and the
+/// bytes it requested. Reallocations count as one allocation of the new
+/// size (the allocator may move the block, which is the traffic being
+/// measured); deallocations are not tracked — the metric is cumulative
+/// allocator pressure, not live heap size.
+pub struct CountingAllocator;
+
+// SAFETY: pure pass-through to `System`; the atomics add no aliasing and
+// the methods uphold exactly the contracts `System` does.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Cumulative allocator counters at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocSnapshot {
+    /// Allocations (including reallocations) since process start.
+    pub count: u64,
+    /// Bytes requested by those allocations.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Traffic between `earlier` and `self`.
+    pub fn since(self, earlier: AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            count: self.count.wrapping_sub(earlier.count),
+            bytes: self.bytes.wrapping_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Reads the counters (zeros unless a binary installed the allocator).
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        count: ALLOC_COUNT.load(Ordering::Relaxed),
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta_is_monotone_arithmetic() {
+        let a = AllocSnapshot { count: 10, bytes: 1000 };
+        let b = AllocSnapshot { count: 17, bytes: 1900 };
+        assert_eq!(b.since(a), AllocSnapshot { count: 7, bytes: 900 });
+        assert_eq!(a.since(a), AllocSnapshot::default());
+    }
+
+    #[test]
+    fn counters_read_without_installation() {
+        // The test binary does not install the allocator; the read must
+        // still be well-defined (all zeros or whatever ticked — never UB).
+        let s = snapshot();
+        assert_eq!(s.since(s), AllocSnapshot::default());
+    }
+}

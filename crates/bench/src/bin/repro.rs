@@ -14,11 +14,27 @@
 
 use std::time::Instant;
 
+use fnr_bench::alloc_track::{self, AllocSnapshot};
 use fnr_bench::quality_experiments;
 use fnr_bench::Table;
 use fnr_nerf::train::TrainConfig;
 
+/// With `--features alloc-count` every heap allocation is counted and the
+/// `--json` trajectory gains exact per-table `alloc_count`/`alloc_bytes`
+/// deltas (see [`fnr_bench::alloc_track`]).
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static COUNTING_ALLOCATOR: alloc_track::CountingAllocator = alloc_track::CountingAllocator;
+
 fn main() {
+    if alloc_track::ENABLED {
+        // Exact, machine-independent counts require serial execution: at
+        // width 1 the pool runs inline and allocates nothing of its own,
+        // so per-table deltas attribute every allocation to its table and
+        // cannot move with FNR_THREADS (CI diffs the counting legs).
+        fnr_par::set_num_threads(1);
+        eprintln!("[repro] alloc-count build: pinning FNR_THREADS to 1 for exact counts");
+    }
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
     let json_path = match args.iter().position(|a| a == "--json") {
@@ -38,21 +54,26 @@ fn main() {
     // Fan the fast generators out across the pool, timing each one. Wall
     // times are per-generator (they include any contention with sibling
     // generators); results print in paper order regardless of scheduling.
-    let timed: Vec<(Table, u64)> = fnr_par::par_map(fnr_bench::FAST_TABLE_GENERATORS, |&(_, generator)| {
-        let start = Instant::now();
-        let table = generator();
-        (table, start.elapsed().as_nanos() as u64)
-    });
-    for (table, _) in &timed {
+    // Allocation deltas are only exact in the serial alloc-count mode,
+    // where generators cannot interleave.
+    let timed: Vec<(Table, u64, AllocSnapshot)> =
+        fnr_par::par_map(fnr_bench::FAST_TABLE_GENERATORS, |&(_, generator)| {
+            let alloc0 = alloc_track::snapshot();
+            let start = Instant::now();
+            let table = generator();
+            (table, start.elapsed().as_nanos() as u64, alloc_track::snapshot().since(alloc0))
+        });
+    for (table, _, _) in &timed {
         println!("{table}");
         println!();
     }
-    let mut timings: Vec<(&str, u64)> = fnr_bench::FAST_TABLE_GENERATORS
+    let mut timings: Vec<TableTiming> = fnr_bench::FAST_TABLE_GENERATORS
         .iter()
         .zip(&timed)
-        .map(|(&(name, _), &(_, ns))| (name, ns))
+        .map(|(&(name, _), &(_, ns, alloc))| TableTiming { name, wall_ns: ns, alloc })
         .collect();
 
+    let fig20a_alloc0 = alloc_track::snapshot();
     let fig20a_start = Instant::now();
     if full {
         eprintln!("[repro] training the hash-grid NeRF for Fig. 20(a) (this takes a few minutes)…");
@@ -67,7 +88,11 @@ fn main() {
             "> Run with --full for the standard training budget (higher absolute PSNR, same shape).\n"
         );
     }
-    timings.push(("fig20a_psnr_study", fig20a_start.elapsed().as_nanos() as u64));
+    timings.push(TableTiming {
+        name: "fig20a_psnr_study",
+        wall_ns: fig20a_start.elapsed().as_nanos() as u64,
+        alloc: alloc_track::snapshot().since(fig20a_alloc0),
+    });
 
     if let Some(path) = json_path {
         let json = trajectory_json(&timings, run_start.elapsed().as_nanos() as u64, full);
@@ -79,20 +104,33 @@ fn main() {
     }
 }
 
-/// Renders the `flexnerfer-repro-bench/1` record. Hand-rolled: every value
+/// One table's measurements for the trajectory record.
+struct TableTiming {
+    name: &'static str,
+    wall_ns: u64,
+    alloc: AllocSnapshot,
+}
+
+/// Renders the `flexnerfer-repro-bench/2` record. Hand-rolled: every value
 /// is a number, a bool, or a string this binary controls (generator names
-/// and a git revision), so no escaping machinery is needed.
-fn trajectory_json(timings: &[(&str, u64)], total_wall_ns: u64, full: bool) -> String {
+/// and a git revision), so no escaping machinery is needed. Version 2 adds
+/// `alloc_tracking` and per-table `alloc_count`/`alloc_bytes` (exact under
+/// `--features alloc-count`, zero otherwise).
+fn trajectory_json(timings: &[TableTiming], total_wall_ns: u64, full: bool) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"flexnerfer-repro-bench/1\",\n");
+    out.push_str("  \"schema\": \"flexnerfer-repro-bench/2\",\n");
     out.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
     out.push_str(&format!("  \"threads\": {},\n", fnr_par::current_num_threads()));
     out.push_str(&format!("  \"full_training_budget\": {full},\n"));
+    out.push_str(&format!("  \"alloc_tracking\": {},\n", alloc_track::ENABLED));
     out.push_str(&format!("  \"total_wall_ns\": {total_wall_ns},\n"));
     out.push_str("  \"tables\": [\n");
-    for (i, (name, ns)) in timings.iter().enumerate() {
+    for (i, t) in timings.iter().enumerate() {
         let sep = if i + 1 == timings.len() { "" } else { "," };
-        out.push_str(&format!("    {{ \"name\": \"{name}\", \"wall_ns\": {ns} }}{sep}\n"));
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"wall_ns\": {}, \"alloc_count\": {}, \"alloc_bytes\": {} }}{sep}\n",
+            t.name, t.wall_ns, t.alloc.count, t.alloc.bytes
+        ));
     }
     out.push_str("  ]\n}\n");
     out

@@ -22,7 +22,7 @@
 use std::time::Duration;
 
 use fnr_serve::workload::{generate, ArrivalPattern, WorkloadSpec};
-use fnr_serve::{run_closed_loop, run_open_loop, ServeReport, ServerConfig};
+use fnr_serve::{run_closed_loop_thinking, run_open_loop, ServeReport, ServerConfig, ThinkTime};
 
 struct Args {
     requests: usize,
@@ -35,8 +35,17 @@ struct Args {
     max_batch: usize,
     linger: Duration,
     mean_gap: Duration,
+    think: ThinkKind,
+    think_us: u64,
     json: Option<String>,
     expect_coalescing: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum ThinkKind {
+    None,
+    Constant,
+    Exponential,
 }
 
 fn parse_args() -> Args {
@@ -51,6 +60,8 @@ fn parse_args() -> Args {
         max_batch: 8,
         linger: Duration::from_millis(2),
         mean_gap: Duration::from_micros(150),
+        think: ThinkKind::None,
+        think_us: 200,
         json: None,
         expect_coalescing: false,
     };
@@ -85,6 +96,13 @@ fn parse_args() -> Args {
                 args.mean_gap =
                     Duration::from_micros(parse_num(&operand(&mut i, "--mean-gap-us")) as u64)
             }
+            "--think" => match operand(&mut i, "--think").as_str() {
+                "none" => args.think = ThinkKind::None,
+                "constant" => args.think = ThinkKind::Constant,
+                "exp" | "exponential" => args.think = ThinkKind::Exponential,
+                t => usage(&format!("unknown think model `{t}` (none|constant|exp)")),
+            },
+            "--think-us" => args.think_us = parse_num(&operand(&mut i, "--think-us")) as u64,
             "--json" => args.json = Some(operand(&mut i, "--json")),
             "--expect-coalescing" => args.expect_coalescing = true,
             other => usage(&format!("unknown flag `{other}`")),
@@ -103,7 +121,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: serve [--requests N] [--pattern bursty|uniform|heavy] [--seed S] \
          [--mode open|closed] [--clients K] [--workers W] [--queue-capacity C] \
-         [--max-batch B] [--linger-us U] [--mean-gap-us U] [--json PATH] [--expect-coalescing]"
+         [--max-batch B] [--linger-us U] [--mean-gap-us U] \
+         [--think none|constant|exp] [--think-us U] [--json PATH] [--expect-coalescing]"
     );
     std::process::exit(2);
 }
@@ -135,10 +154,19 @@ fn main() {
         args.workers,
         args.max_batch,
     );
+    let think = match args.think {
+        ThinkKind::None => ThinkTime::None,
+        ThinkKind::Constant => ThinkTime::Constant(Duration::from_micros(args.think_us)),
+        ThinkKind::Exponential => {
+            ThinkTime::Exponential { mean: Duration::from_micros(args.think_us) }
+        }
+    };
     let report: ServeReport = if args.open_loop {
         run_open_loop(&cfg, &jobs)
     } else {
-        run_closed_loop(&cfg, &jobs, args.clients)
+        // Think-time streams derive from the workload seed, so a closed-loop
+        // run's sleep schedule is reproducible end to end.
+        run_closed_loop_thinking(&cfg, &jobs, args.clients, think, args.seed)
     };
 
     let m = &report.metrics;

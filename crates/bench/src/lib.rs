@@ -11,6 +11,7 @@
 
 mod table;
 
+pub mod alloc_track;
 pub mod array_experiments;
 pub mod format_experiments;
 pub mod gpu_experiments;

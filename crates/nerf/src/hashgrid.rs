@@ -145,8 +145,22 @@ impl HashGrid {
 
     /// Encodes a point: concatenated interpolated features of every level.
     pub fn encode(&self, p: Vec3) -> Vec<f32> {
-        let f = self.config.features;
         let mut out = vec![0.0f32; self.config.output_dims()];
+        self.encode_into(p, &mut out);
+        out
+    }
+
+    /// Encodes a point into a caller-provided buffer of length
+    /// [`HashGridConfig::output_dims`] — the allocation-free form the
+    /// training arena uses. Bit-identical to [`HashGrid::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has the wrong length.
+    pub fn encode_into(&self, p: Vec3, out: &mut [f32]) {
+        let f = self.config.features;
+        assert_eq!(out.len(), self.config.output_dims(), "encoding width mismatch");
+        out.fill(0.0);
         for l in 0..self.config.levels {
             for (idx, w) in self.corner_lookups(l, p) {
                 for fi in 0..f {
@@ -154,7 +168,6 @@ impl HashGrid {
                 }
             }
         }
-        out
     }
 
     /// Accumulates the gradient of a point's encoding into `grad_tables`

@@ -2,7 +2,7 @@
 //! quantized integer forward paths (plain and outlier-aware) for the
 //! Fig. 20(a) study.
 
-use fnr_tensor::{Matrix, OutlierQuantized, Precision, Quantized, Quantizer};
+use fnr_tensor::{Matrix, Precision, Quantizer};
 
 /// One dense layer: `y = W x + b`, with `W` stored `out × in` row-major.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,8 +38,17 @@ impl Linear {
 
     /// `W x + b`.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.outputs()];
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// `W x + b`, written into a caller-provided buffer (the allocation-free
+    /// form the scratch-arena paths use). Bit-identical to [`Linear::forward`].
+    pub fn forward_into(&self, x: &[f32], out: &mut [f32]) {
         assert_eq!(x.len(), self.inputs(), "input width mismatch");
-        let mut out = self.bias.clone();
+        assert_eq!(out.len(), self.outputs(), "output width mismatch");
+        out.copy_from_slice(&self.bias);
         for (o, out_v) in out.iter_mut().enumerate() {
             let row = self.weights.row(o);
             let mut acc = 0.0f32;
@@ -48,7 +57,6 @@ impl Linear {
             }
             *out_v += acc;
         }
-        out
     }
 }
 
@@ -59,12 +67,57 @@ pub struct Mlp {
 }
 
 /// Cached per-layer values from a forward pass, needed for backprop.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct MlpCache {
     /// Input and every post-activation layer output (length `layers+1`).
     pub activations: Vec<Vec<f32>>,
     /// Pre-activation values of every layer.
     pub pre_activations: Vec<Vec<f32>>,
+}
+
+/// Reusable per-layer buffers for the allocation-free MLP paths: the
+/// forward cache (activations + pre-activations, the same layout as
+/// [`MlpCache`]) plus two ping-pong work buffers the plain-forward and
+/// backward passes propagate through.
+///
+/// One scratch serves one in-flight forward/backward pair; hot loops hold
+/// one scratch per concurrently-live sample (see `fnr_nerf::train`) and
+/// reuse them across iterations, so steady-state training performs no
+/// per-step heap allocation in the MLP. All `*_into` methods are
+/// bit-identical to their `Vec`-returning counterparts (the equivalence
+/// property suite enforces this).
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    cache: MlpCache,
+    ping: Vec<f32>,
+    pong: Vec<f32>,
+}
+
+impl MlpScratch {
+    /// The forward cache filled by [`Mlp::forward_cached_into`].
+    pub fn cache(&self) -> &MlpCache {
+        &self.cache
+    }
+
+    /// The network output of the last [`Mlp::forward_cached_into`] call
+    /// (the final activation row of the cache). A pre-sized scratch from
+    /// [`Mlp::scratch`] that has not run a forward pass yet returns its
+    /// zeroed buffer — only call this after a forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a default-constructed scratch that was never sized.
+    pub fn output(&self) -> &[f32] {
+        self.cache.activations.last().expect("scratch holds sized buffers")
+    }
+}
+
+/// Grows `buf` to exactly `n` elements (newly exposed slots zeroed).
+#[inline]
+fn ensure_len(buf: &mut Vec<f32>, n: usize) {
+    if buf.len() != n {
+        buf.resize(n, 0.0);
+    }
 }
 
 /// Parameter gradients matching an [`Mlp`]'s layout.
@@ -77,6 +130,19 @@ pub struct MlpGrads {
 }
 
 impl MlpGrads {
+    /// Resets every gradient to zero in place — the arena form of
+    /// [`Mlp::zero_grads`], so pooled shards reuse their buffers across
+    /// training steps instead of reallocating them.
+    pub fn zero(&mut self) {
+        let MlpGrads { weights, bias } = self;
+        for w in weights {
+            w.as_mut_slice().fill(0.0);
+        }
+        for b in bias {
+            b.fill(0.0);
+        }
+    }
+
     /// Accumulates `other` into `self`, element-wise. Lives next to the
     /// field definitions so a future gradient field cannot be forgotten by
     /// a merge loop in another crate (the sharded trainer relies on this
@@ -142,50 +208,123 @@ impl Mlp {
         self.layers.iter().map(|l| l.weights.len() + l.bias.len()).sum()
     }
 
+    /// A reusable scratch arena pre-sized for this network: every per-layer
+    /// buffer is allocated up front, so the `*_into` methods below never
+    /// touch the heap once the scratch is warm.
+    pub fn scratch(&self) -> MlpScratch {
+        let mut s = MlpScratch::default();
+        self.size_cache(&mut s.cache);
+        let widest = self.layers.iter().map(|l| l.outputs()).max().unwrap_or(0).max(self.inputs());
+        ensure_len(&mut s.ping, widest);
+        ensure_len(&mut s.pong, widest);
+        s
+    }
+
+    /// Sizes `cache`'s per-layer buffers to this network's widths.
+    fn size_cache(&self, cache: &mut MlpCache) {
+        cache.activations.resize_with(self.layers.len() + 1, Vec::new);
+        cache.pre_activations.resize_with(self.layers.len(), Vec::new);
+        ensure_len(&mut cache.activations[0], self.inputs());
+        for (i, layer) in self.layers.iter().enumerate() {
+            ensure_len(&mut cache.activations[i + 1], layer.outputs());
+            ensure_len(&mut cache.pre_activations[i], layer.outputs());
+        }
+    }
+
     /// Plain forward pass.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
-        let mut a = x.to_vec();
+        let mut s = MlpScratch::default();
+        self.forward_into(x, &mut s).to_vec()
+    }
+
+    /// Allocation-free plain forward pass through `scratch`'s ping-pong
+    /// buffers; bit-identical to [`Mlp::forward`].
+    pub fn forward_into<'s>(&self, x: &[f32], scratch: &'s mut MlpScratch) -> &'s [f32] {
+        let MlpScratch { ping, pong, .. } = scratch;
+        ping.clear();
+        ping.extend_from_slice(x);
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            let mut z = layer.forward(&a);
+            ensure_len(pong, layer.outputs());
+            layer.forward_into(ping, pong);
             if i != last {
-                for v in &mut z {
+                for v in pong.iter_mut() {
                     *v = v.max(0.0);
                 }
             }
-            a = z;
+            std::mem::swap(ping, pong);
         }
-        a
+        ping
     }
 
     /// Forward pass that caches intermediates for backprop.
     pub fn forward_cached(&self, x: &[f32]) -> (Vec<f32>, MlpCache) {
-        let mut cache = MlpCache {
-            activations: vec![x.to_vec()],
-            pre_activations: Vec::with_capacity(self.layers.len()),
-        };
+        let mut s = MlpScratch::default();
+        let out = self.forward_cached_into(x, &mut s).to_vec();
+        (out, s.cache)
+    }
+
+    /// Allocation-free caching forward pass: fills `scratch.cache()` with
+    /// the same per-layer values [`Mlp::forward_cached`] returns and hands
+    /// back the output row. Bit-identical to the `Vec`-returning path.
+    pub fn forward_cached_into<'s>(&self, x: &[f32], scratch: &'s mut MlpScratch) -> &'s [f32] {
+        self.size_cache(&mut scratch.cache);
+        let MlpCache { activations, pre_activations } = &mut scratch.cache;
+        activations[0].copy_from_slice(x);
         let last = self.layers.len() - 1;
-        let mut a = x.to_vec();
         for (i, layer) in self.layers.iter().enumerate() {
-            let z = layer.forward(&a);
-            cache.pre_activations.push(z.clone());
-            let mut act = z;
+            let (inputs, outputs) = activations.split_at_mut(i + 1);
+            let z = &mut pre_activations[i];
+            layer.forward_into(&inputs[i], z);
+            let act = &mut outputs[0];
+            act.copy_from_slice(z);
             if i != last {
-                for v in &mut act {
+                for v in act.iter_mut() {
                     *v = v.max(0.0);
                 }
             }
-            cache.activations.push(act.clone());
-            a = act;
         }
-        (a, cache)
+        activations.last().expect("layers + 1 activations")
     }
 
     /// Backward pass: given `d_out` = ∂L/∂output, accumulates parameter
     /// gradients into `grads` and returns ∂L/∂input.
     pub fn backward(&self, cache: &MlpCache, d_out: &[f32], grads: &mut MlpGrads) -> Vec<f32> {
+        let mut delta = Vec::new();
+        let mut d_in = Vec::new();
+        self.backward_core(cache, d_out, grads, &mut delta, &mut d_in);
+        delta
+    }
+
+    /// Allocation-free backward pass over the forward cache held in
+    /// `scratch` (from a prior [`Mlp::forward_cached_into`] on the same
+    /// scratch); returns ∂L/∂input. Bit-identical to [`Mlp::backward`].
+    pub fn backward_into<'s>(
+        &self,
+        scratch: &'s mut MlpScratch,
+        d_out: &[f32],
+        grads: &mut MlpGrads,
+    ) -> &'s [f32] {
+        let MlpScratch { cache, ping, pong } = scratch;
+        self.backward_core(cache, d_out, grads, ping, pong);
+        ping
+    }
+
+    /// The shared backward kernel: `delta`/`d_in` are the ping-pong
+    /// propagation buffers; on return `delta` holds ∂L/∂input. Gradient
+    /// accumulation walks each weight row as a slice, but performs the
+    /// exact per-element `g + d·x` update of the original get/set loop.
+    fn backward_core(
+        &self,
+        cache: &MlpCache,
+        d_out: &[f32],
+        grads: &mut MlpGrads,
+        delta: &mut Vec<f32>,
+        d_in: &mut Vec<f32>,
+    ) {
         let last = self.layers.len() - 1;
-        let mut delta = d_out.to_vec();
+        delta.clear();
+        delta.extend_from_slice(d_out);
         for i in (0..self.layers.len()).rev() {
             if i != last {
                 // ReLU mask.
@@ -197,26 +336,28 @@ impl Mlp {
             }
             let input = &cache.activations[i];
             let layer = &self.layers[i];
+            let cols = layer.inputs();
+            let weight_grads = grads.weights[i].as_mut_slice();
             for (o, &d) in delta.iter().enumerate() {
                 grads.bias[i][o] += d;
-                for (ii, &x) in input.iter().enumerate() {
-                    let cur = grads.weights[i].get(o, ii);
-                    grads.weights[i].set(o, ii, cur + d * x);
+                let g_row = &mut weight_grads[o * cols..(o + 1) * cols];
+                for (g, &x) in g_row.iter_mut().zip(input) {
+                    *g += d * x;
                 }
             }
             // Propagate.
-            let mut d_in = vec![0.0f32; layer.inputs()];
+            d_in.clear();
+            d_in.resize(cols, 0.0);
             for (o, &d) in delta.iter().enumerate() {
                 let row = layer.weights.row(o);
                 if d != 0.0 {
-                    for (ii, di) in d_in.iter_mut().enumerate() {
-                        *di += row[ii] * d;
+                    for (di, &w) in d_in.iter_mut().zip(row) {
+                        *di += w * d;
                     }
                 }
             }
-            delta = d_in;
+            std::mem::swap(delta, d_in);
         }
-        delta
     }
 
     /// Fresh zeroed gradients matching this MLP.
@@ -229,6 +370,53 @@ impl Mlp {
                 .collect(),
             bias: self.layers.iter().map(|l| vec![0.0; l.bias.len()]).collect(),
         }
+    }
+
+    /// Batched forward pass: stacks `xs` into a row-per-sample activation
+    /// matrix and drives each layer as one `X · Wᵀ + b` product through
+    /// [`Matrix::matmul`] — so batched post-ReLU activations at ≥75 %
+    /// sparsity automatically take the `CsrMatrix<f32>` Gustavson route,
+    /// the software mirror of the accelerator exploiting ReLU sparsity.
+    ///
+    /// Returns every activation matrix, input first (length `layers + 1`;
+    /// entry `i` is the input to layer `i`, the last entry the network
+    /// output). Values equal the per-sample [`Mlp::forward_cached`]
+    /// activations except possibly on the sign of exact zeros (the matmul
+    /// kernels skip zero operands instead of adding `±0.0`), which is why
+    /// the calibration consumers below reduce through `abs()`.
+    pub fn forward_batch(&self, xs: &[Vec<f32>]) -> Vec<Matrix<f32>> {
+        let n = xs.len();
+        let mut input = Matrix::zeros(n, self.inputs());
+        for (r, x) in xs.iter().enumerate() {
+            assert_eq!(x.len(), self.inputs(), "input width mismatch");
+            let row = &mut input.as_mut_slice()[r * self.inputs()..(r + 1) * self.inputs()];
+            row.copy_from_slice(x);
+        }
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(input);
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let w_t = layer.weights.transpose();
+            let mut z = activations
+                .last()
+                .expect("non-empty")
+                .matmul(&w_t)
+                .expect("layer widths chain");
+            let outs = layer.outputs();
+            for r in 0..n {
+                let row = &mut z.as_mut_slice()[r * outs..(r + 1) * outs];
+                for (v, &b) in row.iter_mut().zip(&layer.bias) {
+                    *v += b;
+                }
+                if i != last {
+                    for v in row.iter_mut() {
+                        *v = v.max(0.0);
+                    }
+                }
+            }
+            activations.push(z);
+        }
+        activations
     }
 
     /// Post-ReLU sparsity of each hidden layer for input batch `xs` — the
@@ -268,7 +456,11 @@ impl Mlp {
 /// the exact failure mode the outlier-aware variant fixes.
 #[derive(Debug, Clone)]
 pub struct QuantizedMlp {
-    layers: Vec<(Quantized, Vec<f32>)>,
+    /// Per-layer `(dequantized weights, bias)`. The quantize→dequantize
+    /// round trip is baked once at construction — numerically identical to
+    /// dequantizing inside every forward call, but it takes the per-sample
+    /// weight materialization off the inference hot path entirely.
+    layers: Vec<(Matrix<f32>, Vec<f32>)>,
     precision: Precision,
     /// Per-layer static activation scales (absolute max seen during
     /// calibration), `None` before calibration (falls back to dynamic).
@@ -296,23 +488,25 @@ impl QuantizedMlp {
     /// [`QuantizedMlp::calibrate`] before inference.
     pub fn quantize(mlp: &Mlp, precision: Precision) -> Self {
         let q = Quantizer::per_tensor(precision);
-        let layers =
-            mlp.layers().iter().map(|l| (q.quantize(&l.weights), l.bias.clone())).collect();
+        let layers = mlp
+            .layers()
+            .iter()
+            .map(|l| (q.quantize(&l.weights).dequantize(), l.bias.clone()))
+            .collect();
         QuantizedMlp { layers, precision, act_amax: None }
     }
 
     /// Calibrates per-layer static activation ranges by running the FP32
-    /// reference over a calibration batch.
+    /// reference over a calibration batch — one batched forward pass
+    /// through the auto-routed matmul kernels ([`Mlp::forward_batch`])
+    /// rather than a per-sample loop. `amax` reduces through `abs()`, so
+    /// the result is identical to per-sample calibration.
     pub fn calibrate(&mut self, reference: &Mlp, samples: &[Vec<f32>]) {
-        let mut amax = vec![0.0f32; reference.layers().len()];
-        for x in samples {
-            let (_, cache) = reference.forward_cached(x);
-            for (li, act) in cache.activations[..reference.layers().len()].iter().enumerate() {
-                for &v in act {
-                    amax[li] = amax[li].max(v.abs());
-                }
-            }
-        }
+        let activations = reference.forward_batch(samples);
+        let amax = activations[..reference.layers().len()]
+            .iter()
+            .map(|act| act.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs())))
+            .collect();
         self.act_amax = Some(amax);
     }
 
@@ -321,13 +515,12 @@ impl QuantizedMlp {
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
         let last = self.layers.len() - 1;
         let mut a = x.to_vec();
-        for (i, (qw, bias)) in self.layers.iter().enumerate() {
+        for (i, (w, bias)) in self.layers.iter().enumerate() {
             let amax = match &self.act_amax {
                 Some(v) => v[i],
                 None => a.iter().fold(0.0f32, |m, &v| m.max(v.abs())),
             };
             let a_q = quantize_activations_static(&a, self.precision, amax);
-            let w = qw.dequantize();
             let mut z = bias.clone();
             for (o, zo) in z.iter_mut().enumerate() {
                 let row = w.row(o);
@@ -353,7 +546,9 @@ impl QuantizedMlp {
 /// of §6.3.2).
 #[derive(Debug, Clone)]
 pub struct OutlierQuantizedMlp {
-    layers: Vec<(OutlierQuantized, Vec<f32>)>,
+    /// Per-layer `(dequantized weights, bias)` — body + INT16 outliers
+    /// baked once at construction, exactly as [`QuantizedMlp`] does.
+    layers: Vec<(Matrix<f32>, Vec<f32>)>,
     precision: Precision,
     outlier_fraction: f64,
     /// Per-layer `(body threshold, full amax)` activation calibration.
@@ -367,23 +562,26 @@ impl OutlierQuantizedMlp {
         let layers = mlp
             .layers()
             .iter()
-            .map(|l| (q.quantize_outlier_aware(&l.weights, outlier_fraction), l.bias.clone()))
+            .map(|l| {
+                (q.quantize_outlier_aware(&l.weights, outlier_fraction).dequantize(), l.bias.clone())
+            })
             .collect();
         OutlierQuantizedMlp { layers, precision, outlier_fraction, act_ranges: None }
     }
 
     /// Calibrates per-layer activation ranges: the body threshold is the
     /// `(1 − outlier_fraction)` quantile of magnitudes, so the low-precision
-    /// scale stays tight while the INT16 side path covers the tail.
+    /// scale stays tight while the INT16 side path covers the tail. Like
+    /// [`QuantizedMlp::calibrate`], the reference activations come from one
+    /// batched [`Mlp::forward_batch`] pass; the quantile reduces magnitudes
+    /// (`abs()`), so the result is identical to per-sample calibration.
     pub fn calibrate(&mut self, reference: &Mlp, samples: &[Vec<f32>]) {
         let n_layers = reference.layers().len();
-        let mut mags: Vec<Vec<f32>> = vec![Vec::new(); n_layers];
-        for x in samples {
-            let (_, cache) = reference.forward_cached(x);
-            for (li, act) in cache.activations[..n_layers].iter().enumerate() {
-                mags[li].extend(act.iter().map(|v| v.abs()));
-            }
-        }
+        let activations = reference.forward_batch(samples);
+        let mags: Vec<Vec<f32>> = activations[..n_layers]
+            .iter()
+            .map(|act| act.as_slice().iter().map(|v| v.abs()).collect())
+            .collect();
         let ranges = mags
             .into_iter()
             .map(|mut m| {
@@ -403,7 +601,7 @@ impl OutlierQuantizedMlp {
         let last = self.layers.len() - 1;
         let (_, hi) = self.precision.range();
         let mut a = x.to_vec();
-        for (i, (qw, bias)) in self.layers.iter().enumerate() {
+        for (i, (w, bias)) in self.layers.iter().enumerate() {
             let (thr, amax) = match &self.act_ranges {
                 Some(v) => v[i],
                 None => {
@@ -425,7 +623,6 @@ impl OutlierQuantizedMlp {
                     }
                 })
                 .collect();
-            let w = qw.dequantize();
             let mut z = bias.clone();
             for (o, zo) in z.iter_mut().enumerate() {
                 let row = w.row(o);

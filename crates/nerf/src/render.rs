@@ -212,16 +212,27 @@ impl NgpModel {
     /// accelerator (and in the serving front-end). Images are
     /// byte-identical to per-view [`NgpModel::render_quantized`] calls,
     /// which perform the same quantization independently.
+    ///
+    /// Callers that render many batches from one model should
+    /// [`NgpModel::prepare_quantized`] once and reuse the result (as the
+    /// serving front-end's per-scene cache does) — this method is the
+    /// one-shot wrapper.
     pub fn render_batch_quantized(&self, views: &[BatchView], precision: Precision) -> Vec<Image> {
+        self.prepare_quantized(precision).render_batch(views)
+    }
+
+    /// Quantizes and calibrates this model for `precision` once, returning
+    /// a handle that renders any number of batches with zero further
+    /// quantize/calibrate work. Rendering through the handle is
+    /// byte-identical to [`NgpModel::render_batch_quantized`].
+    pub fn prepare_quantized(&self, precision: Precision) -> PreparedQuantized {
         let mut qmlp = QuantizedMlp::quantize(&self.mlp, precision);
         qmlp.calibrate(&self.mlp, &self.calibration_batch());
         let qmodel = NgpModel {
             grid: quantize_grid(&self.grid, precision, None),
             mlp: self.mlp.clone(),
         };
-        fnr_par::par_map(views, |v| {
-            qmodel.render_with(&v.camera, v.width, v.height, v.spp, None, |enc| qmlp.forward(enc))
-        })
+        PreparedQuantized { qmlp, qmodel }
     }
 
     /// Encodings of a small calibration batch (corner-to-corner diagonal
@@ -308,6 +319,30 @@ impl NgpModel {
             }
         });
         img
+    }
+}
+
+/// A quantized-and-calibrated model ready for repeated batched rendering:
+/// the output of [`NgpModel::prepare_quantized`]. Holds the calibrated
+/// [`QuantizedMlp`] and the grid-quantized model, so rendering performs no
+/// quantize/calibrate work at all — the hot-path property the serving
+/// front-end's per-(scene, precision) cache relies on.
+#[derive(Debug, Clone)]
+pub struct PreparedQuantized {
+    qmlp: QuantizedMlp,
+    qmodel: NgpModel,
+}
+
+impl PreparedQuantized {
+    /// Renders several views through the prepared integer datapath,
+    /// fanning out across the pool. Byte-identical to
+    /// [`NgpModel::render_batch_quantized`] on the source model.
+    pub fn render_batch(&self, views: &[BatchView]) -> Vec<Image> {
+        fnr_par::par_map(views, |v| {
+            self.qmodel.render_with(&v.camera, v.width, v.height, v.spp, None, |enc| {
+                self.qmlp.forward(enc)
+            })
+        })
     }
 }
 

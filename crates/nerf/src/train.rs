@@ -113,11 +113,45 @@ fn ray_rng(seed: u64, iter: usize, ray: usize, batch_rays: usize) -> rand::rngs:
     )
 }
 
-/// Gradients and loss contributed by one shard of the ray batch.
+/// One shard's pooled working set: partial gradients plus every scratch
+/// buffer its rays need. Slots are built once before the training loop and
+/// reused by every iteration (zeroed in place), so steady-state training
+/// performs no per-step gradient/activation allocation — the arena the
+/// ROADMAP called for after PR 2.
 struct ShardGrads {
     mlp: crate::mlp::MlpGrads,
     grid: Vec<Vec<f32>>,
     loss: f32,
+    /// One forward-cache + backward scratch per concurrently-live sample
+    /// along a ray (grown to `samples_per_ray` on first use).
+    sample_scratch: Vec<crate::mlp::MlpScratch>,
+    /// Shaded samples of the ray in flight.
+    shaded: Vec<ShadedSample>,
+    /// Hash-grid encoding buffer.
+    enc: Vec<f32>,
+}
+
+impl ShardGrads {
+    /// A fresh slot sized for `model`.
+    fn new(model: &NgpModel) -> Self {
+        ShardGrads {
+            mlp: model.mlp.zero_grads(),
+            grid: model.grid.zero_grad(),
+            loss: 0.0,
+            sample_scratch: Vec::new(),
+            shaded: Vec::new(),
+            enc: vec![0.0; model.grid.config().output_dims()],
+        }
+    }
+
+    /// Zeroes the gradient accumulators in place for the next iteration.
+    fn reset(&mut self) {
+        self.mlp.zero();
+        for table in &mut self.grid {
+            table.fill(0.0);
+        }
+        self.loss = 0.0;
+    }
 }
 
 /// Splits `0..batch_rays` into [`TRAIN_SHARDS`] contiguous ranges (the
@@ -160,16 +194,30 @@ pub fn train_ngp(scene: &dyn Scene, model: &mut NgpModel, cfg: &TrainConfig) -> 
     let mut grid_adam = Adam::new(model.grid.param_count());
     let ranges = shard_ranges(cfg.batch_rays);
 
+    // The pooled per-shard arenas: every gradient/activation buffer the
+    // shards need, allocated once and reused by every iteration.
+    let mut slots: Vec<ShardGrads> = (0..TRAIN_SHARDS).map(|_| ShardGrads::new(model)).collect();
+    // Flat parameter/gradient staging buffers for the optimizer, likewise
+    // reused across iterations.
+    let mut flat_p: Vec<f32> = Vec::with_capacity(model.mlp.param_count());
+    let mut flat_g: Vec<f32> = Vec::with_capacity(model.mlp.param_count());
+    let mut grid_p: Vec<f32> = Vec::with_capacity(model.grid.param_count());
+    let mut grid_g: Vec<f32> = Vec::with_capacity(model.grid.param_count());
+
     let mut losses = Vec::new();
     let mut running = 0.0f32;
     for iter in 0..cfg.iters {
         let frozen: &NgpModel = model;
-        let partials: Vec<ShardGrads> = fnr_par::par_map(&ranges, |&(lo, hi)| {
-            let mut shard = ShardGrads {
-                mlp: frozen.mlp.zero_grads(),
-                grid: frozen.grid.zero_grad(),
-                loss: 0.0,
-            };
+        // One chunk = one shard slot: each slot is written only by the
+        // pool task that claimed its index, and `ranges[si]` is a pure
+        // function of the config, so the partial gradients are identical
+        // at any thread count.
+        fnr_par::par_for_chunks(&mut slots, 1, |si, slot| {
+            let shard = &mut slot[0];
+            shard.reset();
+            // Split the slot into its independently-borrowed working sets.
+            let ShardGrads { mlp: g_mlp, grid: g_grid, loss, sample_scratch, shaded, enc } = shard;
+            let (lo, hi) = ranges[si];
             for ray_idx in lo..hi {
                 let mut rng = ray_rng(cfg.seed, iter, ray_idx, cfg.batch_rays);
                 let view = rng.gen_range(0..cfg.views);
@@ -181,37 +229,37 @@ pub fn train_ngp(scene: &dyn Scene, model: &mut NgpModel, cfg: &TrainConfig) -> 
                 if samples.is_empty() {
                     continue;
                 }
+                while sample_scratch.len() < samples.len() {
+                    sample_scratch.push(frozen.mlp.scratch());
+                }
                 // Forward: encode → MLP → heads → composite.
-                let mut caches = Vec::with_capacity(samples.len());
-                let mut raws = Vec::with_capacity(samples.len());
-                let mut shaded = Vec::with_capacity(samples.len());
-                for s in &samples {
-                    let enc = frozen.grid.encode(s.position);
-                    let (raw, cache) = frozen.mlp.forward_cached(&enc);
+                shaded.clear();
+                for (s, scratch) in samples.iter().zip(sample_scratch.iter_mut()) {
+                    frozen.grid.encode_into(s.position, enc);
+                    let raw = frozen.mlp.forward_cached_into(enc, scratch);
                     shaded.push(ShadedSample {
                         sigma: softplus(raw[0]),
                         color: [sigmoid(raw[1]), sigmoid(raw[2]), sigmoid(raw[3])],
                         delta: s.delta,
                     });
-                    caches.push(cache);
-                    raws.push(raw);
                 }
-                let c = composite(&shaded);
+                let c = composite(shaded);
                 let d_out = [
                     2.0 * (c[0] - gt[0]) / 3.0,
                     2.0 * (c[1] - gt[1]) / 3.0,
                     2.0 * (c[2] - gt[2]) / 3.0,
                 ];
-                shard.loss += ((c[0] - gt[0]).powi(2) + (c[1] - gt[1]).powi(2)
+                *loss += ((c[0] - gt[0]).powi(2) + (c[1] - gt[1]).powi(2)
                     + (c[2] - gt[2]).powi(2))
                     / 3.0;
 
                 // Backward.
-                let (d_sigma, d_color) = composite_backward(&shaded, d_out);
+                let (d_sigma, d_color) = composite_backward(shaded, d_out);
                 for (i, s) in samples.iter().enumerate() {
+                    let scratch = &mut sample_scratch[i];
                     // Head gradients: σ = softplus(z0), c = sigmoid(z1..3).
-                    let mut d_raw = vec![0.0f32; 4];
-                    d_raw[0] = d_sigma[i] * sigmoid(raws[i][0]);
+                    let mut d_raw = [0.0f32; 4];
+                    d_raw[0] = d_sigma[i] * sigmoid(scratch.output()[0]);
                     for ch in 0..3 {
                         let cch = shaded[i].color[ch];
                         d_raw[1 + ch] = d_color[i][ch] * cch * (1.0 - cch);
@@ -219,17 +267,16 @@ pub fn train_ngp(scene: &dyn Scene, model: &mut NgpModel, cfg: &TrainConfig) -> 
                     if d_raw.iter().all(|&v| v == 0.0) {
                         continue;
                     }
-                    let d_enc = frozen.mlp.backward(&caches[i], &d_raw, &mut shard.mlp);
-                    frozen.grid.accumulate_grad(s.position, &d_enc, &mut shard.grid);
+                    let d_enc = frozen.mlp.backward_into(scratch, &d_raw, g_mlp);
+                    frozen.grid.accumulate_grad(s.position, d_enc, g_grid);
                 }
             }
-            shard
         });
 
-        // Merge shard partials in fixed shard order.
-        let mut partials = partials.into_iter();
-        let mut merged = partials.next().expect("TRAIN_SHARDS >= 1");
-        for shard in partials {
+        // Merge shard partials in fixed shard order (into slot 0, whose
+        // buffers double as the merged accumulator until the next reset).
+        let (merged, rest) = slots.split_first_mut().expect("TRAIN_SHARDS >= 1");
+        for shard in rest.iter() {
             merged.mlp.add_assign(&shard.mlp);
             for (into, from) in merged.grid.iter_mut().zip(&shard.grid) {
                 for (a, b) in into.iter_mut().zip(from) {
@@ -238,24 +285,23 @@ pub fn train_ngp(scene: &dyn Scene, model: &mut NgpModel, cfg: &TrainConfig) -> 
             }
             merged.loss += shard.loss;
         }
-        let mlp_grads = merged.mlp;
-        let grid_grads = merged.grid;
         let batch_loss = merged.loss;
 
         // Scale by batch size and update.
         let scale = 1.0 / cfg.batch_rays as f32;
-        let (mut mp, mut mg) = flatten_mlp(model, &mlp_grads, scale);
-        mlp_adam.step(&mut mp, &mg, cfg.lr);
-        unflatten_mlp(model, &mp);
-        mg.clear();
+        flatten_mlp(model, &merged.mlp, scale, &mut flat_p, &mut flat_g);
+        mlp_adam.step(&mut flat_p, &flat_g, cfg.lr);
+        unflatten_mlp(model, &flat_p);
 
-        let mut gp: Vec<f32> = model.grid.tables().iter().flatten().copied().collect();
-        let gg: Vec<f32> = grid_grads.iter().flatten().map(|&g| g * scale).collect();
-        grid_adam.step(&mut gp, &gg, cfg.lr * 2.0);
+        grid_p.clear();
+        grid_p.extend(model.grid.tables().iter().flatten().copied());
+        grid_g.clear();
+        grid_g.extend(merged.grid.iter().flatten().map(|&g| g * scale));
+        grid_adam.step(&mut grid_p, &grid_g, cfg.lr * 2.0);
         let mut off = 0;
         for t in model.grid.tables_mut() {
             let len = t.len();
-            t.copy_from_slice(&gp[off..off + len]);
+            t.copy_from_slice(&grid_p[off..off + len]);
             off += len;
         }
 
@@ -267,20 +313,23 @@ pub fn train_ngp(scene: &dyn Scene, model: &mut NgpModel, cfg: &TrainConfig) -> 
     TrainStats { losses, final_loss: running }
 }
 
+/// Flattens MLP parameters and scaled gradients into the reusable staging
+/// buffers (cleared, then filled — no per-iteration allocation once warm).
 fn flatten_mlp(
     model: &NgpModel,
     grads: &crate::mlp::MlpGrads,
     scale: f32,
-) -> (Vec<f32>, Vec<f32>) {
-    let mut p = Vec::with_capacity(model.mlp.param_count());
-    let mut g = Vec::with_capacity(model.mlp.param_count());
+    p: &mut Vec<f32>,
+    g: &mut Vec<f32>,
+) {
+    p.clear();
+    g.clear();
     for (li, layer) in model.mlp.layers().iter().enumerate() {
         p.extend_from_slice(layer.weights.as_slice());
         p.extend_from_slice(&layer.bias);
         g.extend(grads.weights[li].as_slice().iter().map(|&v| v * scale));
         g.extend(grads.bias[li].iter().map(|&v| v * scale));
     }
-    (p, g)
 }
 
 fn unflatten_mlp(model: &mut NgpModel, flat: &[f32]) {

@@ -1,8 +1,52 @@
 //! Load generators: open-loop (arrival-timed) and closed-loop (response-
 //! gated) drivers over a generated workload schedule.
 
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
 use crate::server::{run, ServeReport, ServerConfig};
 use crate::workload::TimedJob;
+
+/// How long a closed-loop client "thinks" between receiving a response and
+/// submitting its next request. `None` reproduces the pure soak shape
+/// (arrival rate tracks service rate exactly); the distributions model
+/// interactive clients, whose pauses let the batcher see sparser arrivals.
+///
+/// Think times are drawn from a per-client seeded stream, so a run's sleep
+/// schedule is a pure function of `(seed, clients)` — timing moves
+/// metrics, never response bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThinkTime {
+    /// No pause: submit the next request as soon as the response lands.
+    None,
+    /// A fixed pause after every response.
+    Constant(Duration),
+    /// Exponentially-distributed pauses with the given mean (capped at
+    /// 50× the mean so one unlucky draw cannot stall a client forever).
+    Exponential {
+        /// Mean of the distribution.
+        mean: Duration,
+    },
+}
+
+impl ThinkTime {
+    /// Draws the next pause from this model.
+    fn sample(&self, rng: &mut StdRng) -> Duration {
+        match *self {
+            ThinkTime::None => Duration::ZERO,
+            ThinkTime::Constant(d) => d,
+            ThinkTime::Exponential { mean } => {
+                // Inverse-CDF sampling; u ∈ (0, 1) keeps ln finite.
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let pause = -(1.0 - u).ln() * mean.as_nanos() as f64;
+                let cap = mean.as_nanos() as f64 * 50.0;
+                Duration::from_nanos(pause.min(cap) as u64)
+            }
+        }
+    }
+}
 
 /// Open-loop driver: submits each job after its scheduled inter-arrival
 /// delay, never waiting for responses — arrival rate is independent of
@@ -29,13 +73,32 @@ pub fn run_open_loop(cfg: &ServerConfig, jobs: &[TimedJob]) -> ServeReport {
 /// arrives (arrival rate tracks service rate — the soak-test shape).
 /// Scheduled delays are ignored; the response wait is the pacing.
 pub fn run_closed_loop(cfg: &ServerConfig, jobs: &[TimedJob], clients: usize) -> ServeReport {
+    run_closed_loop_thinking(cfg, jobs, clients, ThinkTime::None, 0)
+}
+
+/// Closed-loop driver with a think-time model: like [`run_closed_loop`],
+/// but every client pauses per `think` between its response and its next
+/// submission, from a deterministic per-client stream derived from `seed`.
+pub fn run_closed_loop_thinking(
+    cfg: &ServerConfig,
+    jobs: &[TimedJob],
+    clients: usize,
+    think: ThinkTime,
+    seed: u64,
+) -> ServeReport {
     let clients = clients.max(1);
     let (_done, report) = run(cfg, |client| {
         std::thread::scope(|s| {
             for ci in 0..clients {
                 let client = &*client;
                 s.spawn(move || {
-                    for tj in jobs.iter().skip(ci).step_by(clients) {
+                    // SplitMix-style per-client stream: nearby client
+                    // indices get uncorrelated schedules.
+                    let mut rng = StdRng::seed_from_u64(
+                        seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ci as u64 + 1),
+                    );
+                    let mut stride = jobs.iter().skip(ci).step_by(clients).peekable();
+                    while let Some(tj) = stride.next() {
                         match client.submit(tj.job.clone()) {
                             Ok(id) => {
                                 if client.wait(id).is_none() {
@@ -43,6 +106,16 @@ pub fn run_closed_loop(cfg: &ServerConfig, jobs: &[TimedJob], clients: usize) ->
                                 }
                             }
                             Err(_) => break,
+                        }
+                        // Think only *between* requests: a pause after the
+                        // final response would pad wall time (and every
+                        // throughput figure derived from it) with dead tail
+                        // sleep.
+                        if stride.peek().is_some() {
+                            let pause = think.sample(&mut rng);
+                            if !pause.is_zero() {
+                                std::thread::sleep(pause);
+                            }
                         }
                     }
                 });
@@ -78,5 +151,40 @@ mod tests {
         // Same job multiset ⇒ same order-canonical digest, even though id
         // assignment differs between the drivers.
         assert_eq!(open.metrics.digest, closed.metrics.digest);
+    }
+
+    #[test]
+    fn think_time_only_moves_timing_never_payloads() {
+        let jobs = generate(&tiny_spec(16));
+        let cfg = ServerConfig::default();
+        let baseline = run_closed_loop(&cfg, &jobs, 2);
+        for think in [
+            ThinkTime::Constant(Duration::from_micros(200)),
+            ThinkTime::Exponential { mean: Duration::from_micros(150) },
+        ] {
+            let paused = run_closed_loop_thinking(&cfg, &jobs, 2, think, 42);
+            assert_eq!(paused.responses.len(), 16, "{think:?} answered everything");
+            assert_eq!(
+                paused.metrics.digest, baseline.metrics.digest,
+                "{think:?} must not move response bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_think_samples_are_seeded_and_bounded() {
+        let mean = Duration::from_micros(100);
+        let think = ThinkTime::Exponential { mean };
+        let draw = |seed: u64| -> Vec<Duration> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..64).map(|_| think.sample(&mut rng)).collect()
+        };
+        let a = draw(7);
+        let b = draw(7);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.iter().any(|d| !d.is_zero()), "exponential draws are non-trivial");
+        let cap = mean * 50;
+        assert!(a.iter().all(|&d| d <= cap), "pauses are capped at 50x the mean");
+        assert_ne!(a, draw(8), "different seed moves the schedule");
     }
 }

@@ -55,10 +55,16 @@ mod server;
 pub mod workload;
 
 pub use batch::{Batch, Batcher, BatcherConfig, FlushReason};
-pub use driver::{run_closed_loop, run_open_loop};
-pub use metrics::{BatchMetric, NsStats, RequestMetric, ServeMetrics};
+pub use driver::{run_closed_loop, run_closed_loop_thinking, run_open_loop, ThinkTime};
+pub use metrics::{
+    BatchMetric, LatencyHistogram, NsStats, RequestMetric, ServeMetrics, LATENCY_BUCKETS,
+    LATENCY_EDGES_NS,
+};
 pub use request::{
     fnv1a, image_bytes, response_set_digest, BatchKey, RenderJob, RenderPrecision, Request,
     Response, SceneKind, Workload,
 };
-pub use server::{run, Client, ServeReport, ServerConfig, SubmitError, TableFn, TableRegistry};
+pub use server::{
+    quantized_cache_stats, run, Client, QuantCacheStats, ServeReport, ServerConfig, SubmitError,
+    TableFn, TableRegistry,
+};

@@ -62,6 +62,91 @@ impl NsStats {
     }
 }
 
+/// Number of histogram buckets: one per edge plus the overflow bucket.
+pub const LATENCY_BUCKETS: usize = LATENCY_EDGES_NS.len() + 1;
+
+/// Fixed upper edges (exclusive, ns) of the latency histogram: log-4
+/// spaced from 1 µs to ~16.8 s. Fixed — never derived from the data — so
+/// bucket counts from different runs, machines and CI legs are directly
+/// comparable, and a tail shift shows up as counts migrating to higher
+/// buckets.
+pub const LATENCY_EDGES_NS: [u64; 13] = [
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    4_096_000,
+    16_384_000,
+    65_536_000,
+    262_144_000,
+    1_048_576_000,
+    4_194_304_000,
+    16_777_216_000,
+];
+
+/// Fixed-bucket latency histogram (see [`LATENCY_EDGES_NS`]). Bucket `i`
+/// counts samples in `[edge(i-1), edge(i))`; the last bucket counts
+/// everything at or above the final edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { counts: [0; LATENCY_BUCKETS] }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Adds one nanosecond sample.
+    pub fn record(&mut self, ns: u64) {
+        let bucket = LATENCY_EDGES_NS
+            .iter()
+            .position(|&edge| ns < edge)
+            .unwrap_or(LATENCY_EDGES_NS.len());
+        self.counts[bucket] += 1;
+    }
+
+    /// Builds a histogram from samples.
+    pub fn from_samples(samples: &[u64]) -> Self {
+        let mut h = LatencyHistogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        h
+    }
+
+    /// Per-bucket counts, lowest bucket first (overflow last).
+    pub fn counts(&self) -> &[u64; LATENCY_BUCKETS] {
+        &self.counts
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `{ "edges_ns": [...], "counts": [...] }` JSON fragment.
+    fn to_json(self) -> String {
+        let join = |it: &mut dyn Iterator<Item = u64>| {
+            it.map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+        };
+        format!(
+            "{{ \"edges_ns\": [{}], \"counts\": [{}] }}",
+            join(&mut LATENCY_EDGES_NS.iter().copied()),
+            join(&mut self.counts.iter().copied())
+        )
+    }
+}
+
 /// Aggregate metrics for one serving run.
 #[derive(Debug, Clone)]
 pub struct ServeMetrics {
@@ -88,6 +173,9 @@ pub struct ServeMetrics {
     pub queue_ns: NsStats,
     /// Batch service-time stats.
     pub service_ns: NsStats,
+    /// Fixed-bucket histogram of per-request end-to-end latency
+    /// (queue wait + batch service), for CI-diffable tail tracking.
+    pub latency_hist: LatencyHistogram,
     /// Whole-run wall time.
     pub wall_ns: u64,
     /// Worker threads the server ran.
@@ -139,6 +227,9 @@ impl ServeMetrics {
             service_ns: NsStats::from_samples(
                 &batch_metrics.iter().map(|m| m.service_ns).collect::<Vec<_>>(),
             ),
+            latency_hist: LatencyHistogram::from_samples(
+                &request_metrics.iter().map(|m| m.queue_ns + m.service_ns).collect::<Vec<_>>(),
+            ),
             wall_ns,
             workers,
             threads,
@@ -171,6 +262,7 @@ impl ServeMetrics {
         ));
         out.push_str(&format!("  \"queue_ns\": {},\n", stats(&self.queue_ns)));
         out.push_str(&format!("  \"service_ns\": {},\n", stats(&self.service_ns)));
+        out.push_str(&format!("  \"request_latency_hist\": {},\n", self.latency_hist.to_json()));
         out.push_str(&format!("  \"wall_ns\": {},\n", self.wall_ns));
         out.push_str(&format!("  \"digest\": \"{:#018x}\"\n", self.digest));
         out.push_str("}\n");
@@ -222,5 +314,32 @@ mod tests {
         assert!(j.contains("\"schema\": \"flexnerfer-serve-bench/1\""));
         assert!(j.contains("\"rejected\": 2"));
         assert!(j.contains("\"digest\": \"0x"));
+        assert!(j.contains("\"request_latency_hist\": { \"edges_ns\": [1000, "));
+    }
+
+    #[test]
+    fn histogram_buckets_by_fixed_edges() {
+        let mut h = LatencyHistogram::new();
+        h.record(0); // below the first edge
+        h.record(999);
+        h.record(1_000); // exactly an edge → next bucket
+        h.record(5_000_000); // 5 ms → the (4.096 ms, 16.384 ms] bucket
+        h.record(u64::MAX); // overflow bucket
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[7], 1);
+        assert_eq!(h.counts()[LATENCY_BUCKETS - 1], 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_totals_match_request_count_in_aggregate() {
+        let reqs: Vec<RequestMetric> = (0..17)
+            .map(|i| RequestMetric { id: i, queue_ns: i * 100_000, service_ns: 50_000, batch_size: 1 })
+            .collect();
+        let m = ServeMetrics::aggregate(&reqs, &[], &[], 0, 0, 1, 1);
+        assert_eq!(m.latency_hist.total(), 17);
+        // Edges are compile-time constants, so bucket identity is stable.
+        assert_eq!(m.latency_hist.counts().len(), LATENCY_BUCKETS);
     }
 }

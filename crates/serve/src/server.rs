@@ -13,12 +13,13 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use fnr_nerf::hashgrid::HashGridConfig;
-use fnr_nerf::render::{render_reference_batch, BatchView, NgpModel};
+use fnr_nerf::render::{render_reference_batch, BatchView, NgpModel, PreparedQuantized};
 use fnr_par::mpmc::{Queue, RecvTimeout};
+use fnr_tensor::Precision;
 
 use crate::batch::{Batch, Batcher, BatcherConfig};
 use crate::metrics::{BatchMetric, RequestMetric, ServeMetrics};
@@ -407,6 +408,80 @@ fn scene_model(scene: crate::request::SceneKind) -> &'static NgpModel {
     }
 }
 
+/// One entry of the prepared-quantized-model cache: the lazily-built
+/// prepared model plus its usage counters.
+struct QuantEntry {
+    prepared: OnceLock<PreparedQuantized>,
+    /// Times the quantize+calibrate closure actually ran (1 after first
+    /// use, forever — the invariant [`quantized_cache_stats`] exposes).
+    builds: AtomicU64,
+    /// Batches served through this entry.
+    uses: AtomicU64,
+}
+
+/// Counters for one `(scene, precision)` entry of the prepared-model cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuantCacheStats {
+    /// Times the model was quantized+calibrated (stays at 1 after the
+    /// first batch — later batches perform zero quantize/calibrate work).
+    pub builds: u64,
+    /// Batches rendered through the cached model.
+    pub uses: u64,
+}
+
+/// Key and map types of the prepared-quantized-model cache.
+type QuantKey = (crate::request::SceneKind, Precision);
+type QuantMap = Mutex<HashMap<QuantKey, Arc<QuantEntry>>>;
+
+fn quant_cache() -> &'static QuantMap {
+    static CACHE: std::sync::OnceLock<QuantMap> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The process-wide memoized [`PreparedQuantized`] for `(scene,
+/// precision)`: quantize+calibrate runs exactly once per key (the first
+/// batch pays it; every later batch is pure rendering). The prepared model
+/// is a deterministic function of the scene's fixed-seed [`NgpModel`] and
+/// the precision, so caching cannot move response bytes.
+fn prepared_quantized(
+    scene: crate::request::SceneKind,
+    precision: Precision,
+) -> Arc<QuantEntry> {
+    let entry = {
+        let mut map = quant_cache().lock().unwrap();
+        Arc::clone(map.entry((scene, precision)).or_insert_with(|| {
+            Arc::new(QuantEntry {
+                prepared: OnceLock::new(),
+                builds: AtomicU64::new(0),
+                uses: AtomicU64::new(0),
+            })
+        }))
+    };
+    // Build outside the map lock: a slow calibration for one key must not
+    // serialize unrelated keys. OnceLock makes concurrent same-key callers
+    // race to run the closure at most once.
+    entry.prepared.get_or_init(|| {
+        entry.builds.fetch_add(1, Ordering::Relaxed);
+        scene_model(scene).prepare_quantized(precision)
+    });
+    entry
+}
+
+/// Usage counters of the prepared-quantized-model cache entry for
+/// `(scene, precision)` — all zeros if no quantized batch has touched that
+/// key yet. Test hook for the hot-path contract: after the first batch,
+/// `builds` stays at 1 while `uses` keeps growing.
+pub fn quantized_cache_stats(
+    scene: crate::request::SceneKind,
+    precision: Precision,
+) -> QuantCacheStats {
+    let map = quant_cache().lock().unwrap();
+    map.get(&(scene, precision)).map_or(QuantCacheStats::default(), |e| QuantCacheStats {
+        builds: e.builds.load(Ordering::Relaxed),
+        uses: e.uses.load(Ordering::Relaxed),
+    })
+}
+
 /// Executes one coalesced batch. Render batches share one model (and for
 /// quantized precisions, one quantization + calibration); table batches
 /// run the generator once and share the bytes.
@@ -429,7 +504,9 @@ fn execute_batch(batch: &Batch, tables: &TableRegistry) -> Vec<Response> {
             let images = match precision {
                 RenderPrecision::Fp32 => render_reference_batch(scene.scene(), &views),
                 RenderPrecision::Quantized(p) => {
-                    scene_model(*scene).render_batch_quantized(&views, *p)
+                    let entry = prepared_quantized(*scene, *p);
+                    entry.uses.fetch_add(1, Ordering::Relaxed);
+                    entry.prepared.get().expect("initialized by prepared_quantized").render_batch(&views)
                 }
             };
             batch
@@ -516,6 +593,38 @@ mod tests {
             .cloned()
             .unwrap_or_else(|| "non-string panic".into());
         assert!(msg.contains("no-such-generator"), "panic message surfaced: {msg}");
+    }
+
+    #[test]
+    fn quantize_and_calibrate_run_once_per_scene_precision() {
+        // `builds` is a per-key process-wide invariant: whichever test (or
+        // concurrent batch) touches the key first builds it, and it must
+        // never be built again.
+        let key_scene = SceneKind::Palace;
+        let key_precision = Precision::Int16;
+        let job = |seed| {
+            Workload::Render(RenderJob {
+                scene: key_scene,
+                precision: RenderPrecision::Quantized(key_precision),
+                width: 4,
+                height: 4,
+                spp: 2,
+                camera_seed: seed,
+            })
+        };
+        let cfg = ServerConfig::default();
+        let (bytes, _report) = run(&cfg, |client| {
+            // Sequential submit+wait pairs force two separate batches.
+            let a = client.submit(job(9)).unwrap();
+            let first = client.wait(a).expect("answered").bytes;
+            let b = client.submit(job(9)).unwrap();
+            let second = client.wait(b).expect("answered").bytes;
+            (first, second)
+        });
+        assert_eq!(bytes.0, bytes.1, "cached prepared model must not move response bytes");
+        let stats = quantized_cache_stats(key_scene, key_precision);
+        assert_eq!(stats.builds, 1, "quantize+calibrate must run exactly once for the key");
+        assert!(stats.uses >= 2, "both batches served through the cache: {stats:?}");
     }
 
     #[test]

@@ -269,13 +269,14 @@ const SPARSE_DISPATCH_MIN_ELEMS: usize = 64 * 64;
 /// ≥75 % sparsity regime the pruning sweeps operate in).
 const SPARSE_DISPATCH_MAX_DENSITY: f64 = 0.25;
 
-impl Matrix<i32> {
+impl<T: MacScalar> Matrix<T> {
     /// Number of non-zero elements.
     pub fn nnz(&self) -> usize {
-        self.data.iter().filter(|&&v| v != 0).count()
+        self.data.iter().filter(|&&v| !v.is_zero()).count()
     }
 
-    /// Fraction of elements that are exactly zero, in `[0, 1]`.
+    /// Fraction of elements that are exactly zero, in `[0, 1]` — ReLU
+    /// sparsity for `f32` activations, pruning sparsity for `i32` weights.
     pub fn sparsity(&self) -> f64 {
         if self.data.is_empty() {
             return 0.0;
@@ -283,6 +284,52 @@ impl Matrix<i32> {
         1.0 - self.nnz() as f64 / self.data.len() as f64
     }
 
+    /// Whether the non-zero density is at most `max_density`, with an
+    /// early exit: a dense matrix stops the scan as soon as the budget is
+    /// exceeded, so the dispatch check never costs a full `nnz()` pass on
+    /// the matrices it rejects.
+    fn is_sparser_than(&self, max_density: f64) -> bool {
+        let budget = (max_density * self.data.len() as f64) as usize;
+        let mut nnz = 0usize;
+        for &v in &self.data {
+            if !v.is_zero() {
+                nnz += 1;
+                if nnz > budget {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The shared auto-routing product: large operands at ≥75 % sparsity go
+    /// through the CSR Gustavson kernel (the software mirror of the
+    /// accelerator's sparsity-aware datapath), everything else through the
+    /// cache-blocked dense kernel. Both walk the inner dimension in
+    /// ascending order per output and skip zero `A` operands, so the result
+    /// is bit-identical whichever path runs. `tag` is the storage-metadata
+    /// precision recorded on the CSR encoding.
+    fn matmul_auto(&self, rhs: &Matrix<T>, tag: Precision) -> Result<Matrix<T>> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("rhs with {} rows", self.cols),
+                actual: format!("rhs with {} rows", rhs.rows),
+            });
+        }
+        // u16 minor indices bound the CSR route to 65536 columns.
+        if self.len() >= SPARSE_DISPATCH_MIN_ELEMS
+            && self.cols <= u16::MAX as usize + 1
+            && self.is_sparser_than(SPARSE_DISPATCH_MAX_DENSITY)
+        {
+            let csr =
+                crate::sparse::CsrMatrix::from_dense(self, crate::sparse::CsrLayout::RowMajor, tag);
+            return csr.matmul_dense(rhs);
+        }
+        Ok(matmul_blocked(self, rhs))
+    }
+}
+
+impl Matrix<i32> {
     /// Checks that every element fits in `precision`.
     ///
     /// # Errors
@@ -312,24 +359,9 @@ impl Matrix<i32> {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix<i32>) -> Result<Matrix<i32>> {
-        if self.cols != rhs.rows {
-            return Err(TensorError::ShapeMismatch {
-                expected: format!("rhs with {} rows", self.cols),
-                actual: format!("rhs with {} rows", rhs.rows),
-            });
-        }
-        // u16 minor indices bound the CSR route to 65536 columns.
-        if self.len() >= SPARSE_DISPATCH_MIN_ELEMS
-            && self.cols <= u16::MAX as usize + 1
-            && self.is_sparser_than(SPARSE_DISPATCH_MAX_DENSITY)
-        {
-            // The precision tag is storage metadata only; the kernel
-            // operates on the full i32 values.
-            let csr =
-                crate::sparse::CsrMatrix::from_dense(self, crate::sparse::CsrLayout::RowMajor, Precision::Int16);
-            return csr.matmul_dense(rhs);
-        }
-        Ok(matmul_blocked(self, rhs))
+        // The precision tag is storage metadata only; the kernel operates
+        // on the full i32 values.
+        self.matmul_auto(rhs, Precision::Int16)
     }
 
     /// Iterator over `(row, col, value)` of the non-zero elements, row-major.
@@ -342,24 +374,6 @@ impl Matrix<i32> {
             .map(move |(i, &v)| (i / cols, i % cols, v))
     }
 
-    /// Whether the non-zero density is at most `max_density`, with an
-    /// early exit: a dense matrix stops the scan as soon as the budget is
-    /// exceeded, so the dispatch check never costs a full `nnz()` pass on
-    /// the matrices it rejects.
-    fn is_sparser_than(&self, max_density: f64) -> bool {
-        let budget = (max_density * self.data.len() as f64) as usize;
-        let mut nnz = 0usize;
-        for &v in &self.data {
-            if v != 0 {
-                nnz += 1;
-                if nnz > budget {
-                    return false;
-                }
-            }
-        }
-        true
-    }
-
     /// Number of non-zeros in each row, in one pass over the backing store.
     pub fn row_nnz(&self) -> Vec<usize> {
         if self.cols == 0 {
@@ -370,31 +384,19 @@ impl Matrix<i32> {
 }
 
 impl Matrix<f32> {
-    /// Floating-point matrix product (reference model for GPU math),
-    /// through the cache-blocked kernel. Per output element the additions
-    /// happen in the same (ascending-k) order as the naive triple loop, so
-    /// results are bit-identical to it.
+    /// Floating-point matrix product (reference model for GPU math). Large
+    /// operands at ≥75 % sparsity — batched post-ReLU activations, above
+    /// all — route through the `CsrMatrix<f32>` Gustavson kernel, mirroring
+    /// the integer path's dispatch; everything else takes the cache-blocked
+    /// dense kernel. Per output element the additions happen in the same
+    /// (ascending-k, zero-`A`-skipping) order on every path, so results are
+    /// bit-identical to the naive triple loop whichever kernel runs.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix<f32>) -> Result<Matrix<f32>> {
-        if self.cols != rhs.rows {
-            return Err(TensorError::ShapeMismatch {
-                expected: format!("rhs with {} rows", self.cols),
-                actual: format!("rhs with {} rows", rhs.rows),
-            });
-        }
-        Ok(matmul_blocked(self, rhs))
-    }
-
-    /// Fraction of exactly-zero elements (e.g. post-ReLU activations).
-    pub fn sparsity(&self) -> f64 {
-        if self.data.is_empty() {
-            return 0.0;
-        }
-        let z = self.data.iter().filter(|&&v| v == 0.0).count();
-        z as f64 / self.data.len() as f64
+        self.matmul_auto(rhs, Precision::Fp32)
     }
 }
 
@@ -521,6 +523,22 @@ mod tests {
         let b = crate::gen::random_sparse_i32(96, 64, 0.3, Precision::Int8, 22);
         assert!(a.len() >= SPARSE_DISPATCH_MIN_ELEMS);
         assert!((a.nnz() as f64) <= SPARSE_DISPATCH_MAX_DENSITY * a.len() as f64);
+        assert_eq!(a.matmul(&b).unwrap(), matmul_naive(&a, &b));
+    }
+
+    #[test]
+    fn f32_sparse_dispatch_matches_dense_path() {
+        // Post-ReLU-style operand: large and ≥75 % exact zeros, so the f32
+        // matmul must take the CsrMatrix<f32> route — and stay bit-identical.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let mut a = Matrix::<f32>::zeros(96, 96);
+        for v in a.as_mut_slice() {
+            *v = if rng.gen_bool(0.92) { 0.0 } else { rng.gen_range(-2.0f32..=2.0) };
+        }
+        let b = random_f32(96, 64, 34);
+        assert!(a.len() >= SPARSE_DISPATCH_MIN_ELEMS);
+        assert!(a.is_sparser_than(SPARSE_DISPATCH_MAX_DENSITY));
         assert_eq!(a.matmul(&b).unwrap(), matmul_naive(&a, &b));
     }
 

@@ -14,9 +14,16 @@ pub enum CsrLayout {
     ColMajor,
 }
 
-/// Compressed sparse row/column matrix.
+/// Compressed sparse row/column matrix, generic over the stored scalar.
+///
+/// `CsrMatrix<i32>` (the default) is the quantized-tensor encoding the
+/// format studies measure; `CsrMatrix<f32>` carries the same compression
+/// for floating-point operands — the software mirror of the accelerator
+/// applying its sparsity-aware dataflow to post-ReLU activations
+/// regardless of the datapath's numeric mode. Both share every encoder,
+/// decoder and kernel below through [`MacScalar`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CsrMatrix {
+pub struct CsrMatrix<T = i32> {
     rows: usize,
     cols: usize,
     layout: CsrLayout,
@@ -25,16 +32,26 @@ pub struct CsrMatrix {
     ptr: Vec<u32>,
     /// Minor-axis index of each stored value.
     minor_idx: Vec<u16>,
-    values: Vec<i32>,
+    values: Vec<T>,
 }
 
-impl CsrMatrix {
+impl<T: MacScalar> CsrMatrix<T> {
     /// Encodes a dense matrix in the chosen orientation.
-    pub fn from_dense(m: &Matrix<i32>, layout: CsrLayout, precision: Precision) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the minor dimension exceeds `u16::MAX + 1` (stored minor
+    /// indices are `u16`; silently wrapping them would corrupt the
+    /// encoding).
+    pub fn from_dense(m: &Matrix<T>, layout: CsrLayout, precision: Precision) -> Self {
         let (major, minor) = match layout {
             CsrLayout::RowMajor => (m.rows(), m.cols()),
             CsrLayout::ColMajor => (m.cols(), m.rows()),
         };
+        assert!(
+            minor <= u16::MAX as usize + 1,
+            "CSR minor dimension {minor} exceeds the u16 index range"
+        );
         let mut ptr = Vec::with_capacity(major + 1);
         let mut minor_idx = Vec::new();
         let mut values = Vec::new();
@@ -46,7 +63,7 @@ impl CsrMatrix {
                     CsrLayout::ColMajor => (j, i),
                 };
                 let v = m.get(r, c);
-                if v != 0 {
+                if !v.is_zero() {
                     minor_idx.push(j as u16);
                     values.push(v);
                 }
@@ -57,7 +74,7 @@ impl CsrMatrix {
     }
 
     /// Decodes back to a dense matrix.
-    pub fn to_dense(&self) -> Matrix<i32> {
+    pub fn to_dense(&self) -> Matrix<T> {
         let mut m = Matrix::zeros(self.rows, self.cols);
         let major = self.major_dim();
         for i in 0..major {
@@ -111,7 +128,7 @@ impl CsrMatrix {
     /// For CSR this is a row; for CSC, a column. This is the access pattern
     /// the Gustavson-style dense mapping uses (paper Fig. 5: "A: a, b, c, d
     /// => row-wise broadcast").
-    pub fn line(&self, i: usize) -> impl Iterator<Item = (usize, i32)> + '_ {
+    pub fn line(&self, i: usize) -> impl Iterator<Item = (usize, T)> + '_ {
         let lo = self.ptr[i] as usize;
         let hi = self.ptr[i + 1] as usize;
         (lo..hi).map(move |k| (self.minor_idx[k] as usize, self.values[k]))
@@ -125,15 +142,16 @@ impl CsrMatrix {
     /// Sparse × dense product `self × rhs` — the Gustavson row-wise kernel
     /// the paper's dense mapping implements in hardware (Fig. 5): each
     /// stored non-zero `A[i][k]` scales dense row `B[k,:]` into output row
-    /// `i`. Works for both orientations; accumulation uses the same
-    /// saturating i32 rule as [`Matrix::matmul`], and per output element
-    /// the inner dimension is walked in ascending order, so the result is
-    /// bit-identical to the dense kernels.
+    /// `i`. Works for both orientations; accumulation follows the scalar's
+    /// [`MacScalar::mac`] rule (saturating through i64 for `i32`, IEEE
+    /// addition for `f32`), and per output element the inner dimension is
+    /// walked in ascending order, so the result is bit-identical to the
+    /// dense kernels (which skip zero `A` operands the same way).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
-    pub fn matmul_dense(&self, rhs: &Matrix<i32>) -> Result<Matrix<i32>> {
+    pub fn matmul_dense(&self, rhs: &Matrix<T>) -> Result<Matrix<T>> {
         if self.cols != rhs.rows() {
             return Err(TensorError::ShapeMismatch {
                 expected: format!("rhs with {} rows", self.cols),
@@ -144,11 +162,11 @@ impl CsrMatrix {
         let mut out = Matrix::zeros(self.rows, n);
         let out_data = out.as_mut_slice();
         let rhs_data = rhs.as_slice();
-        let mut scale_into = |i: usize, k: usize, av: i32| {
+        let mut scale_into = |i: usize, k: usize, av: T| {
             let out_row = &mut out_data[i * n..(i + 1) * n];
             let b_row = &rhs_data[k * n..(k + 1) * n];
             for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o = MacScalar::mac(*o, av, bv);
+                *o = T::mac(*o, av, bv);
             }
         };
         match self.layout {

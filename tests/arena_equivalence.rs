@@ -1,0 +1,198 @@
+//! Scratch-arena (`*_into`) vs `Vec`-returning MLP paths, and the
+//! `CsrMatrix<f32>` Gustavson kernel vs a naive oracle.
+//!
+//! The allocation-free hot paths introduced for the training arena must be
+//! *bit-identical* to the original allocating APIs — not approximately
+//! equal: the repro tables and the serve response digest are byte-compared
+//! in CI, so a single ULP of drift anywhere in the MLP stack would fail
+//! the golden suite. These properties drive both implementations over
+//! random networks and inputs, **reusing one scratch across many calls**
+//! (the condition the training loop runs under) to prove no state leaks
+//! between uses.
+
+use fnr_nerf::hashgrid::{HashGrid, HashGridConfig};
+use fnr_nerf::mlp::Mlp;
+use fnr_nerf::vec3::Vec3;
+use fnr_tensor::sparse::{CsrLayout, CsrMatrix};
+use fnr_tensor::{Matrix, Precision};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// A random MLP whose widths and weights derive from `seed`.
+fn random_mlp(seed: u64) -> Mlp {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let depth = rng.gen_range(1usize..4);
+    let mut widths = vec![rng.gen_range(1usize..10)];
+    for _ in 0..depth {
+        widths.push(rng.gen_range(1usize..12));
+    }
+    Mlp::new(&widths, seed)
+}
+
+fn random_input(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.5f32..=1.5)).collect()
+}
+
+/// Exact bit equality over f32 slices (NaN-free by construction).
+fn bits_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `forward_into` through a reused scratch is bit-identical to the
+    /// `Vec`-returning `forward`, call after call.
+    #[test]
+    fn prop_forward_into_matches_forward(seed in 0u64..500, calls in 1usize..4) {
+        let mlp = random_mlp(seed);
+        let mut scratch = mlp.scratch();
+        for c in 0..calls as u64 {
+            let x = random_input(mlp.inputs(), seed ^ ((c + 1) * 7919));
+            let vec_path = mlp.forward(&x);
+            let arena_path = mlp.forward_into(&x, &mut scratch);
+            prop_assert!(bits_eq(&vec_path, arena_path), "call {c}: {vec_path:?} vs {arena_path:?}");
+        }
+    }
+
+    /// `forward_cached_into` + `backward_into` through one reused scratch
+    /// reproduce the cache, the parameter gradients and ∂L/∂input of the
+    /// allocating pair bit for bit.
+    #[test]
+    fn prop_cached_forward_and_backward_into_match(seed in 0u64..500, calls in 1usize..4) {
+        let mlp = random_mlp(seed);
+        let mut scratch = mlp.scratch();
+        let mut grads_vec = mlp.zero_grads();
+        let mut grads_arena = mlp.zero_grads();
+        for c in 0..calls as u64 {
+            let x = random_input(mlp.inputs(), seed ^ ((c + 1) * 104_729));
+            let d_out = random_input(mlp.outputs(), seed ^ ((c + 1) * 1_299_709));
+
+            let (out_vec, cache) = mlp.forward_cached(&x);
+            let d_in_vec = mlp.backward(&cache, &d_out, &mut grads_vec);
+
+            let out_arena = mlp.forward_cached_into(&x, &mut scratch).to_vec();
+            for (li, (a, b)) in cache.activations.iter()
+                .zip(&scratch.cache().activations).enumerate() {
+                prop_assert!(bits_eq(a, b), "activation {li} drifted");
+            }
+            for (li, (a, b)) in cache.pre_activations.iter()
+                .zip(&scratch.cache().pre_activations).enumerate() {
+                prop_assert!(bits_eq(a, b), "pre-activation {li} drifted");
+            }
+            let d_in_arena = mlp.backward_into(&mut scratch, &d_out, &mut grads_arena);
+            prop_assert!(bits_eq(&out_vec, &out_arena));
+            prop_assert!(bits_eq(&d_in_vec, d_in_arena));
+        }
+        // Accumulated gradients across every call must agree exactly.
+        for (li, (a, b)) in grads_vec.weights.iter().zip(&grads_arena.weights).enumerate() {
+            prop_assert!(bits_eq(a.as_slice(), b.as_slice()), "weight grads {li} drifted");
+        }
+        for (li, (a, b)) in grads_vec.bias.iter().zip(&grads_arena.bias).enumerate() {
+            prop_assert!(bits_eq(a, b), "bias grads {li} drifted");
+        }
+    }
+
+    /// `HashGrid::encode_into` through a reused buffer matches `encode`.
+    #[test]
+    fn prop_encode_into_matches_encode(seed in 0u64..200) {
+        let grid = HashGrid::new(HashGridConfig::small(), 0.1, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut buf = vec![0.0f32; grid.config().output_dims()];
+        for _ in 0..4 {
+            let p = Vec3::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+            let owned = grid.encode(p);
+            grid.encode_into(p, &mut buf);
+            prop_assert!(bits_eq(&owned, &buf));
+        }
+    }
+
+    /// The f32 CSR Gustavson kernel matches a naive zero-skipping triple
+    /// loop bit for bit, in both orientations, across sparsity levels.
+    #[test]
+    fn prop_csr_f32_matches_naive_oracle(
+        m in 1usize..24,
+        k in 1usize..40,
+        n in 1usize..40,
+        sparsity in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let a = random_sparse_f32(m, k, sparsity, seed);
+        let b = random_sparse_f32(k, n, 0.4, seed + 3);
+        let expect = matmul_naive_f32(&a, &b);
+        for layout in [CsrLayout::RowMajor, CsrLayout::ColMajor] {
+            let sp = CsrMatrix::from_dense(&a, layout, Precision::Fp32);
+            let got = sp.matmul_dense(&b).unwrap();
+            prop_assert!(
+                bits_eq(got.as_slice(), expect.as_slice()),
+                "{layout:?} kernel drifted from the oracle"
+            );
+        }
+    }
+}
+
+/// Random f32 matrix with approximately `sparsity` exact zeros.
+fn random_sparse_f32(rows: usize, cols: usize, sparsity: f64, seed: u64) -> Matrix<f32> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = if rng.gen_bool(sparsity.clamp(0.0, 1.0)) {
+            0.0
+        } else {
+            rng.gen_range(-2.0f32..=2.0)
+        };
+    }
+    m
+}
+
+/// The naive zero-skipping oracle both dense kernels are proven against in
+/// `fnr_tensor`; restated here because the in-crate oracle is test-only.
+fn matmul_naive_f32(lhs: &Matrix<f32>, rhs: &Matrix<f32>) -> Matrix<f32> {
+    let mut out = Matrix::zeros(lhs.rows(), rhs.cols());
+    for i in 0..lhs.rows() {
+        for k in 0..lhs.cols() {
+            let a = lhs.get(i, k);
+            if a == 0.0 {
+                continue;
+            }
+            for j in 0..rhs.cols() {
+                out.set(i, j, out.get(i, j) + a * rhs.get(k, j));
+            }
+        }
+    }
+    out
+}
+
+// (The f32 auto-dispatch itself is covered white-box next to its
+// thresholds, in `fnr_tensor::dense::tests::f32_sparse_dispatch_matches_dense_path`.)
+
+/// Batched-forward activations must agree with the per-sample path under
+/// `abs()` — the reduction every calibration consumer applies. (Exact zero
+/// signs may differ: the batched kernels skip zero operands instead of
+/// adding `±0.0`.)
+#[test]
+fn forward_batch_matches_per_sample_forward_under_abs() {
+    let mlp = Mlp::new(&[6, 16, 16, 3], 42);
+    let xs: Vec<Vec<f32>> = (0..32).map(|i| random_input(6, 1000 + i)).collect();
+    let batched = mlp.forward_batch(&xs);
+    assert_eq!(batched.len(), 4, "input + one activation matrix per layer");
+    for (r, x) in xs.iter().enumerate() {
+        let (out, cache) = mlp.forward_cached(x);
+        for (li, act) in cache.activations.iter().enumerate() {
+            let row = batched[li].row(r);
+            assert_eq!(row.len(), act.len());
+            for (a, b) in act.iter().zip(row) {
+                assert_eq!(
+                    a.abs().to_bits(),
+                    b.abs().to_bits(),
+                    "sample {r} layer {li}: {a} vs {b}"
+                );
+            }
+        }
+        let last = batched.last().unwrap().row(r);
+        for (a, b) in out.iter().zip(last) {
+            assert_eq!(a.abs().to_bits(), b.abs().to_bits());
+        }
+    }
+}

@@ -122,3 +122,38 @@ fn training_is_bit_identical_and_psnr_matches() {
         assert_eq!(a.to_bits(), b.to_bits(), "param {i}: {a} vs {b}");
     }
 }
+
+#[test]
+fn arena_training_is_bit_identical_across_many_widths() {
+    // Training now reuses pooled per-shard scratch arenas (gradients,
+    // forward caches, backward buffers) across iterations; each arena slot
+    // is written only by the pool task that claimed its shard index, so
+    // widths that divide the shards unevenly — including widths above
+    // TRAIN_SHARDS — must still produce bit-identical parameters.
+    let _g = width_guard();
+    let cfg = TrainConfig { iters: 25, ..TrainConfig::quick() };
+    let run = || -> (TrainStats, Vec<f32>) {
+        let mut model = NgpModel::new(HashGridConfig::small(), 16, 13);
+        let stats = train_ngp(&MicScene, &mut model, &cfg);
+        let params: Vec<f32> = model
+            .mlp
+            .layers()
+            .iter()
+            .flat_map(|l| l.weights.as_slice().iter().chain(&l.bias).copied())
+            .chain(model.grid.tables().iter().flatten().copied())
+            .collect();
+        (stats, params)
+    };
+    fnr_par::set_num_threads(1);
+    let (ref_stats, ref_params) = run();
+    for width in [2, 3, 5, 8, 12] {
+        fnr_par::set_num_threads(width);
+        let (stats, params) = run();
+        assert_eq!(ref_stats.losses, stats.losses, "width {width}: loss curve moved");
+        assert_eq!(params.len(), ref_params.len());
+        for (i, (a, b)) in ref_params.iter().zip(&params).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "width {width}, param {i}: {a} vs {b}");
+        }
+    }
+    fnr_par::set_num_threads(1);
+}
