@@ -1,34 +1,45 @@
 //! Batched render-request serving: seeded load generation against the
-//! `fnr_serve` runtime, with a determinism-checkable response digest.
+//! `fnr_serve` runtime, with a determinism-checkable response digest and
+//! priority-lane scheduling.
 //!
 //! ```text
 //! cargo run --release --bin serve                            # 1000-request bursty workload
 //! cargo run --release --bin serve -- --requests 200 --pattern uniform
 //! cargo run --release --bin serve -- --mode closed --clients 8
+//! cargo run --release --bin serve -- --mode virtual --deadline-us 4000
 //! cargo run --release --bin serve -- --json SERVE.json      # metrics record
 //! cargo run --release --bin serve -- --expect-coalescing    # exit 1 if occupancy <= 1
 //! ```
 //!
-//! The workload is a pure function of `--seed`/`--pattern`/`--requests`,
-//! and every response payload is a pure function of its request, so the
-//! `response digest` line is byte-identical at any `FNR_THREADS`, worker
-//! count, or machine — CI runs two legs and diffs it.
+//! The workload is a pure function of `--seed`/`--pattern`/`--requests`
+//! (traffic classes come from a separate seeded stream keyed by
+//! `--priority-mix`), and every response payload is a pure function of its
+//! request, so the `response digest` line is byte-identical at any
+//! `FNR_THREADS`, worker count, or machine — CI runs two legs and diffs
+//! it. Under `--mode virtual` the whole schedule replays on a virtual
+//! clock: the digest *and* every `lane` counter line are deterministic,
+//! which is what CI's mixed-priority deadline leg diffs.
 //!
 //! Knobs: `--requests N`, `--pattern bursty|uniform|heavy`, `--seed S`,
-//! `--mode open|closed`, `--clients K` (closed-loop), `--workers W`,
+//! `--mode open|closed|virtual`, `--clients K` (closed-loop), `--workers W`,
 //! `--queue-capacity C`, `--max-batch B`, `--linger-us U`,
-//! `--mean-gap-us U`, `--json PATH`, `--expect-coalescing`.
+//! `--mean-gap-us U`, `--sched lanes|fifo`, `--priority-mix I,S,B`,
+//! `--deadline-us U`, `--service-us U` (virtual batch service time),
+//! `--json PATH`, `--expect-coalescing`.
 
 use std::time::Duration;
 
 use fnr_serve::workload::{generate, ArrivalPattern, WorkloadSpec};
-use fnr_serve::{run_closed_loop_thinking, run_open_loop, ServeReport, ServerConfig, ThinkTime};
+use fnr_serve::{
+    run_closed_loop_thinking, run_open_loop, run_virtual, SchedConfig, ServeReport, ServerConfig,
+    ThinkTime, VirtualService,
+};
 
 struct Args {
     requests: usize,
     pattern: ArrivalPattern,
     seed: u64,
-    open_loop: bool,
+    mode: Mode,
     clients: usize,
     workers: usize,
     queue_capacity: usize,
@@ -37,8 +48,19 @@ struct Args {
     mean_gap: Duration,
     think: ThinkKind,
     think_us: u64,
+    sched: SchedKind,
+    priority_mix: [f64; 3],
+    deadline: Option<Duration>,
+    service: Duration,
     json: Option<String>,
     expect_coalescing: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Open,
+    Closed,
+    Virtual,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -48,12 +70,20 @@ enum ThinkKind {
     Exponential,
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum SchedKind {
+    /// Three priority lanes with 4/2/1 weighted-deficit drain.
+    Lanes,
+    /// Single-lane degenerate config (the pre-scheduler FIFO posture).
+    Fifo,
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
         requests: 1000,
         pattern: ArrivalPattern::Bursty,
         seed: 42,
-        open_loop: true,
+        mode: Mode::Open,
         clients: 8,
         workers: 2,
         queue_capacity: 256,
@@ -62,6 +92,10 @@ fn parse_args() -> Args {
         mean_gap: Duration::from_micros(150),
         think: ThinkKind::None,
         think_us: 200,
+        sched: SchedKind::Lanes,
+        priority_mix: [0.25, 0.5, 0.25],
+        deadline: None,
+        service: Duration::from_micros(500),
         json: None,
         expect_coalescing: false,
     };
@@ -81,9 +115,10 @@ fn parse_args() -> Args {
             }
             "--seed" => args.seed = parse_num(&operand(&mut i, "--seed")) as u64,
             "--mode" => match operand(&mut i, "--mode").as_str() {
-                "open" => args.open_loop = true,
-                "closed" => args.open_loop = false,
-                m => usage(&format!("unknown mode `{m}` (open|closed)")),
+                "open" => args.mode = Mode::Open,
+                "closed" => args.mode = Mode::Closed,
+                "virtual" => args.mode = Mode::Virtual,
+                m => usage(&format!("unknown mode `{m}` (open|closed|virtual)")),
             },
             "--clients" => args.clients = parse_num(&operand(&mut i, "--clients")).max(1),
             "--workers" => args.workers = parse_num(&operand(&mut i, "--workers")).max(1),
@@ -103,6 +138,34 @@ fn parse_args() -> Args {
                 t => usage(&format!("unknown think model `{t}` (none|constant|exp)")),
             },
             "--think-us" => args.think_us = parse_num(&operand(&mut i, "--think-us")) as u64,
+            "--sched" => match operand(&mut i, "--sched").as_str() {
+                "lanes" | "priority" => args.sched = SchedKind::Lanes,
+                "fifo" | "single" => args.sched = SchedKind::Fifo,
+                s => usage(&format!("unknown scheduler `{s}` (lanes|fifo)")),
+            },
+            "--priority-mix" => {
+                let spec = operand(&mut i, "--priority-mix");
+                let parts: Vec<f64> = spec
+                    .split(',')
+                    .map(|p| {
+                        p.trim()
+                            .parse()
+                            .unwrap_or_else(|_| usage(&format!("bad weight `{p}` in --priority-mix")))
+                    })
+                    .collect();
+                if parts.len() != 3 || parts.iter().any(|&w| w < 0.0) || parts.iter().sum::<f64>() <= 0.0 {
+                    usage("--priority-mix wants three non-negative weights, e.g. 0.3,0.5,0.2");
+                }
+                args.priority_mix = [parts[0], parts[1], parts[2]];
+            }
+            "--deadline-us" => {
+                args.deadline =
+                    Some(Duration::from_micros(parse_num(&operand(&mut i, "--deadline-us")) as u64))
+            }
+            "--service-us" => {
+                args.service =
+                    Duration::from_micros(parse_num(&operand(&mut i, "--service-us")).max(1) as u64)
+            }
             "--json" => args.json = Some(operand(&mut i, "--json")),
             "--expect-coalescing" => args.expect_coalescing = true,
             other => usage(&format!("unknown flag `{other}`")),
@@ -120,9 +183,11 @@ fn usage(msg: &str) -> ! {
     eprintln!("[serve] {msg}");
     eprintln!(
         "usage: serve [--requests N] [--pattern bursty|uniform|heavy] [--seed S] \
-         [--mode open|closed] [--clients K] [--workers W] [--queue-capacity C] \
+         [--mode open|closed|virtual] [--clients K] [--workers W] [--queue-capacity C] \
          [--max-batch B] [--linger-us U] [--mean-gap-us U] \
-         [--think none|constant|exp] [--think-us U] [--json PATH] [--expect-coalescing]"
+         [--think none|constant|exp] [--think-us U] [--sched lanes|fifo] \
+         [--priority-mix I,S,B] [--deadline-us U] [--service-us U] \
+         [--json PATH] [--expect-coalescing]"
     );
     std::process::exit(2);
 }
@@ -135,6 +200,8 @@ fn main() {
         pattern: args.pattern,
         table_names: fnr_bench::serving::table_names(),
         mean_gap: args.mean_gap,
+        priority_mix: args.priority_mix,
+        deadline: args.deadline,
         ..WorkloadSpec::default()
     };
     let jobs = generate(&spec);
@@ -143,16 +210,28 @@ fn main() {
         workers: args.workers,
         max_batch: args.max_batch,
         linger: args.linger,
+        sched: match args.sched {
+            SchedKind::Lanes => SchedConfig::priority_lanes(),
+            SchedKind::Fifo => SchedConfig::single_lane(),
+        },
         tables: fnr_bench::serving::table_registry(),
     };
 
     eprintln!(
-        "[serve] {} requests, {} arrivals, {} loop, {} workers, max batch {}",
+        "[serve] {} requests, {} arrivals, {} loop, {} workers, max batch {}, {} scheduler",
         args.requests,
         args.pattern.name(),
-        if args.open_loop { "open" } else { "closed" },
+        match args.mode {
+            Mode::Open => "open",
+            Mode::Closed => "closed",
+            Mode::Virtual => "virtual",
+        },
         args.workers,
         args.max_batch,
+        match args.sched {
+            SchedKind::Lanes => "priority-lane",
+            SchedKind::Fifo => "single-lane",
+        },
     );
     let think = match args.think {
         ThinkKind::None => ThinkTime::None,
@@ -161,18 +240,34 @@ fn main() {
             ThinkTime::Exponential { mean: Duration::from_micros(args.think_us) }
         }
     };
-    let report: ServeReport = if args.open_loop {
-        run_open_loop(&cfg, &jobs)
-    } else {
+    let report: ServeReport = match args.mode {
+        Mode::Open => run_open_loop(&cfg, &jobs),
         // Think-time streams derive from the workload seed, so a closed-loop
         // run's sleep schedule is reproducible end to end.
-        run_closed_loop_thinking(&cfg, &jobs, args.clients, think, args.seed)
+        Mode::Closed => run_closed_loop_thinking(&cfg, &jobs, args.clients, think, args.seed),
+        Mode::Virtual => run_virtual(
+            &cfg,
+            &jobs,
+            VirtualService { service_ns: args.service.as_nanos() as u64 },
+        ),
     };
 
     let m = &report.metrics;
     println!("# fnr_serve — batched render-request serving report\n");
     println!("workload: {} requests ({} arrivals, seed {})", args.requests, args.pattern.name(), args.seed);
-    println!("answered: {} responses in {} batches ({} rejected)", m.requests, m.batches, m.rejected);
+    println!(
+        "answered: {} responses in {} batches ({} rejected, {} shed, {} expired)",
+        m.requests, m.batches, m.rejected, m.shed, m.expired
+    );
+    for lane in &m.lanes {
+        // One greppable line per lane: CI's virtual leg diffs these (and
+        // the digest) byte for byte between its serial/parallel runs.
+        println!(
+            "lane {}[w{}]: submitted {} served {} shed {} expired {} rejected {}",
+            lane.name, lane.weight, lane.submitted, lane.served, lane.shed, lane.expired,
+            lane.rejected
+        );
+    }
     println!("batch occupancy: {:.3} mean ({:.3} on the coalescable portion)", m.mean_occupancy, m.coalescable_occupancy);
     println!("flushes: {} size / {} timeout / {} drain", m.flushed_size, m.flushed_timeout, m.flushed_drain);
     println!(
@@ -199,10 +294,10 @@ fn main() {
         eprintln!("[serve] wrote metrics to {path}");
     }
 
-    if report.responses.len() != m.requests || m.requests + m.rejected != args.requests {
+    if report.responses.len() != m.requests || m.requests + m.rejected + m.shed != args.requests {
         eprintln!(
-            "[serve] request accounting broken: {} answered + {} rejected != {}",
-            m.requests, m.rejected, args.requests
+            "[serve] request accounting broken: {} answered + {} rejected + {} shed != {}",
+            m.requests, m.rejected, m.shed, args.requests
         );
         std::process::exit(1);
     }

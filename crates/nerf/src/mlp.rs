@@ -467,19 +467,55 @@ pub struct QuantizedMlp {
     act_amax: Option<Vec<f32>>,
 }
 
-/// Quantizes an activation vector with a fixed absolute-max `amax` scale.
-fn quantize_activations_static(a: &[f32], precision: Precision, amax: f32) -> Vec<f32> {
+/// Reusable activation staging for the quantized per-sample forward
+/// paths: the running activation, its quantized image, and the next
+/// layer's accumulator. One scratch serves one in-flight forward; the
+/// `Vec`-returning [`QuantizedMlp::forward`] / [`OutlierQuantizedMlp::forward`]
+/// wrappers borrow a thread-local one, so per-sample quantized inference
+/// (the rendering hot path) performs no heap allocation beyond its output.
+/// The `*_into` methods are bit-identical to the `Vec` wrappers.
+#[derive(Debug, Clone, Default)]
+pub struct QuantScratch {
+    a: Vec<f32>,
+    aq: Vec<f32>,
+    z: Vec<f32>,
+}
+
+thread_local! {
+    /// Per-thread scratch backing the `Vec`-returning quantized forwards —
+    /// pool workers rendering pixel rows each warm their own once and
+    /// then run allocation-free per sample.
+    static QUANT_TLS: std::cell::RefCell<QuantScratch> =
+        std::cell::RefCell::new(QuantScratch::default());
+}
+
+/// Runs `f` on this thread's shared quantized-forward scratch — the same
+/// buffers the `Vec`-returning wrappers use, so in-crate hot paths (the
+/// render heads) reuse one warm scratch per thread instead of keeping a
+/// second set. Not re-entrant: `f` must not call back into the wrappers.
+pub(crate) fn with_quant_tls<R>(f: impl FnOnce(&mut QuantScratch) -> R) -> R {
+    QUANT_TLS.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// Quantizes an activation vector with a fixed absolute-max `amax` scale
+/// into `out` (cleared first).
+fn quantize_activations_static_into(
+    a: &[f32],
+    precision: Precision,
+    amax: f32,
+    out: &mut Vec<f32>,
+) {
+    out.clear();
     let (lo, hi) = precision.range();
     if amax == 0.0 {
-        return a.to_vec();
+        out.extend_from_slice(a);
+        return;
     }
     let scale = amax / hi as f32;
-    a.iter()
-        .map(|&v| {
-            let q = (v / scale).round().clamp(lo as f32, hi as f32);
-            q * scale
-        })
-        .collect()
+    out.extend(a.iter().map(|&v| {
+        let q = (v / scale).round().clamp(lo as f32, hi as f32);
+        q * scale
+    }));
 }
 
 impl QuantizedMlp {
@@ -511,31 +547,41 @@ impl QuantizedMlp {
     }
 
     /// Forward pass through the integer datapath: quantized weights and
-    /// statically-scaled quantized activations.
+    /// statically-scaled quantized activations. Allocates only the
+    /// returned `Vec` — staging rides a thread-local [`QuantScratch`].
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        QUANT_TLS.with(|s| self.forward_into(x, &mut s.borrow_mut()).to_vec())
+    }
+
+    /// Allocation-free forward pass through `scratch`'s staging buffers;
+    /// bit-identical to [`QuantizedMlp::forward`].
+    pub fn forward_into<'s>(&self, x: &[f32], scratch: &'s mut QuantScratch) -> &'s [f32] {
+        let QuantScratch { a, aq, z } = scratch;
+        a.clear();
+        a.extend_from_slice(x);
         let last = self.layers.len() - 1;
-        let mut a = x.to_vec();
         for (i, (w, bias)) in self.layers.iter().enumerate() {
             let amax = match &self.act_amax {
                 Some(v) => v[i],
                 None => a.iter().fold(0.0f32, |m, &v| m.max(v.abs())),
             };
-            let a_q = quantize_activations_static(&a, self.precision, amax);
-            let mut z = bias.clone();
+            quantize_activations_static_into(a, self.precision, amax, aq);
+            z.clear();
+            z.extend_from_slice(bias);
             for (o, zo) in z.iter_mut().enumerate() {
                 let row = w.row(o);
                 let mut acc = 0.0f32;
-                for (ii, &xi) in a_q.iter().enumerate() {
+                for (ii, &xi) in aq.iter().enumerate() {
                     acc += row[ii] * xi;
                 }
                 *zo += acc;
             }
             if i != last {
-                for v in &mut z {
+                for v in z.iter_mut() {
                     *v = v.max(0.0);
                 }
             }
-            a = z;
+            std::mem::swap(a, z);
         }
         a
     }
@@ -597,10 +643,20 @@ impl OutlierQuantizedMlp {
 
     /// Forward pass: body activations quantize at the tight threshold
     /// scale; activations beyond the threshold ride the INT16 side path.
+    /// Allocates only the returned `Vec` — staging rides a thread-local
+    /// [`QuantScratch`].
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        QUANT_TLS.with(|s| self.forward_into(x, &mut s.borrow_mut()).to_vec())
+    }
+
+    /// Allocation-free forward pass through `scratch`'s staging buffers;
+    /// bit-identical to [`OutlierQuantizedMlp::forward`].
+    pub fn forward_into<'s>(&self, x: &[f32], scratch: &'s mut QuantScratch) -> &'s [f32] {
+        let QuantScratch { a, aq, z } = scratch;
+        a.clear();
+        a.extend_from_slice(x);
         let last = self.layers.len() - 1;
         let (_, hi) = self.precision.range();
-        let mut a = x.to_vec();
         for (i, (w, bias)) in self.layers.iter().enumerate() {
             let (thr, amax) = match &self.act_ranges {
                 Some(v) => v[i],
@@ -609,35 +665,34 @@ impl OutlierQuantizedMlp {
                     (m, m)
                 }
             };
-            let a_q: Vec<f32> = a
-                .iter()
-                .map(|&v| {
-                    if v.abs() <= thr || thr == 0.0 {
-                        let scale = if thr == 0.0 { 1.0 } else { thr / hi as f32 };
-                        (v / scale).round().clamp(self.precision.range().0 as f32, hi as f32)
-                            * scale
-                    } else {
-                        // INT16 side path over the full range.
-                        let scale = amax.max(v.abs()) / 32767.0;
-                        (v / scale).round().clamp(-32768.0, 32767.0) * scale
-                    }
-                })
-                .collect();
-            let mut z = bias.clone();
+            aq.clear();
+            aq.extend(a.iter().map(|&v| {
+                if v.abs() <= thr || thr == 0.0 {
+                    let scale = if thr == 0.0 { 1.0 } else { thr / hi as f32 };
+                    (v / scale).round().clamp(self.precision.range().0 as f32, hi as f32)
+                        * scale
+                } else {
+                    // INT16 side path over the full range.
+                    let scale = amax.max(v.abs()) / 32767.0;
+                    (v / scale).round().clamp(-32768.0, 32767.0) * scale
+                }
+            }));
+            z.clear();
+            z.extend_from_slice(bias);
             for (o, zo) in z.iter_mut().enumerate() {
                 let row = w.row(o);
                 let mut acc = 0.0f32;
-                for (ii, &xi) in a_q.iter().enumerate() {
+                for (ii, &xi) in aq.iter().enumerate() {
                     acc += row[ii] * xi;
                 }
                 *zo += acc;
             }
             if i != last {
-                for v in &mut z {
+                for v in z.iter_mut() {
                     *v = v.max(0.0);
                 }
             }
-            a = z;
+            std::mem::swap(a, z);
         }
         a
     }

@@ -3,7 +3,7 @@
 
 use crate::camera::Camera;
 use crate::hashgrid::{HashGrid, HashGridConfig};
-use crate::mlp::{Mlp, OutlierQuantizedMlp, QuantizedMlp};
+use crate::mlp::{Mlp, MlpScratch, OutlierQuantizedMlp, QuantizedMlp};
 use crate::psnr::Image;
 use crate::sampling::{sample_ray, OccupancyGrid, RaySample};
 use crate::scene::Scene;
@@ -196,7 +196,9 @@ impl NgpModel {
         spp: usize,
         occupancy: Option<&OccupancyGrid>,
     ) -> Image {
-        self.render_with(camera, w, h, spp, occupancy, |enc| self.mlp.forward(enc))
+        self.render_with(camera, w, h, spp, occupancy, |enc| {
+            MLP_TLS.with(|s| head4(self.mlp.forward_into(enc, &mut s.borrow_mut())))
+        })
     }
 
     /// Renders several views with this FP32 model in one call. The batch
@@ -282,12 +284,14 @@ impl NgpModel {
             grid: quantize_grid(&self.grid, precision, Some(outlier_fraction)),
             mlp: self.mlp.clone(),
         };
-        qmodel.render_with(camera, w, h, spp, None, |enc| qmlp.forward(enc))
+        qmodel.render_with(camera, w, h, spp, None, |enc| {
+            crate::mlp::with_quant_tls(|s| head4(qmlp.forward_into(enc, s)))
+        })
     }
 
     /// Shared image loop: pixel rows run in parallel on the pool (`head`
     /// must therefore be `Fn + Sync`, which every quantized/FP32 head is —
-    /// they only read model weights).
+    /// they only read model weights and per-thread scratch).
     fn render_with(
         &self,
         camera: &Camera,
@@ -295,7 +299,7 @@ impl NgpModel {
         h: usize,
         spp: usize,
         occupancy: Option<&OccupancyGrid>,
-        head: impl Fn(&[f32]) -> Vec<f32> + Sync,
+        head: impl Fn(&[f32]) -> [f32; 4] + Sync,
     ) -> Image {
         let mut img = Image::new(w, h);
         fnr_par::par_for_chunks(img.pixels_mut(), w.max(1), |y, row| {
@@ -336,14 +340,28 @@ pub struct PreparedQuantized {
 impl PreparedQuantized {
     /// Renders several views through the prepared integer datapath,
     /// fanning out across the pool. Byte-identical to
-    /// [`NgpModel::render_batch_quantized`] on the source model.
+    /// [`NgpModel::render_batch_quantized`] on the source model. The
+    /// per-sample MLP forwards run allocation-free on per-thread
+    /// [`QuantScratch`](crate::mlp::QuantScratch) buffers.
     pub fn render_batch(&self, views: &[BatchView]) -> Vec<Image> {
         fnr_par::par_map(views, |v| {
             self.qmodel.render_with(&v.camera, v.width, v.height, v.spp, None, |enc| {
-                self.qmlp.forward(enc)
+                crate::mlp::with_quant_tls(|s| head4(self.qmlp.forward_into(enc, s)))
             })
         })
     }
+}
+
+/// First four outputs of a NeRF head (`[σ_raw, r_raw, g_raw, b_raw]`).
+#[inline]
+fn head4(out: &[f32]) -> [f32; 4] {
+    [out[0], out[1], out[2], out[3]]
+}
+
+thread_local! {
+    /// Per-thread FP32 MLP scratch for the per-sample render heads.
+    static MLP_TLS: std::cell::RefCell<MlpScratch> =
+        std::cell::RefCell::new(MlpScratch::default());
 }
 
 /// Quantizes the grid's feature tables and bakes the dequantized values

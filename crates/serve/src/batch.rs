@@ -148,6 +148,9 @@ mod tests {
         Request {
             id,
             submitted_at: at,
+            priority: crate::sched::Priority::Standard,
+            arrival_ns: 0,
+            deadline_ns: None,
             job: Workload::Render(RenderJob {
                 scene,
                 precision: RenderPrecision::Fp32,

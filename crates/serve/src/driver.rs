@@ -1,12 +1,19 @@
 //! Load generators: open-loop (arrival-timed) and closed-loop (response-
-//! gated) drivers over a generated workload schedule.
+//! gated) drivers over a generated workload schedule, plus the
+//! deterministic **virtual-clock harness** ([`run_virtual`]) that replays
+//! a schedule against the scheduling layer without real time.
 
-use std::time::Duration;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::server::{run, ServeReport, ServerConfig};
+use crate::batch::{Batch, Batcher, BatcherConfig};
+use crate::metrics::{BatchMetric, LaneAccounting, RequestMetric, ServeMetrics, ShedMetric};
+use crate::request::{Request, Response};
+use crate::sched::{LaneScheduler, SchedStep};
+use crate::server::{execute_batch, run, ServeReport, ServerConfig, WaitOutcome};
 use crate::workload::TimedJob;
 
 /// How long a closed-loop client "thinks" between receiving a response and
@@ -51,7 +58,8 @@ impl ThinkTime {
 /// Open-loop driver: submits each job after its scheduled inter-arrival
 /// delay, never waiting for responses — arrival rate is independent of
 /// service rate, so queueing and coalescing behave like production
-/// traffic. Single submitter ⇒ request ids equal schedule order.
+/// traffic. Jobs carry their schedule's traffic class and deadline.
+/// Single submitter ⇒ request ids equal schedule order.
 pub fn run_open_loop(cfg: &ServerConfig, jobs: &[TimedJob]) -> ServeReport {
     let (_submitted, report) = run(cfg, |client| {
         let mut ok = 0usize;
@@ -59,7 +67,7 @@ pub fn run_open_loop(cfg: &ServerConfig, jobs: &[TimedJob]) -> ServeReport {
             if !tj.delay_before.is_zero() {
                 std::thread::sleep(tj.delay_before);
             }
-            if client.submit(tj.job.clone()).is_ok() {
+            if client.submit_with(tj.job.clone(), tj.priority, tj.deadline).is_ok() {
                 ok += 1;
             }
         }
@@ -69,15 +77,17 @@ pub fn run_open_loop(cfg: &ServerConfig, jobs: &[TimedJob]) -> ServeReport {
 }
 
 /// Closed-loop driver: `clients` threads share the schedule round-robin;
-/// each submits its next job only after the previous one's response
+/// each submits its next job only after the previous one's outcome
 /// arrives (arrival rate tracks service rate — the soak-test shape).
-/// Scheduled delays are ignored; the response wait is the pacing.
+/// A shed outcome releases the client just like a response does; only
+/// shutdown stops it. Scheduled delays are ignored; the outcome wait is
+/// the pacing.
 pub fn run_closed_loop(cfg: &ServerConfig, jobs: &[TimedJob], clients: usize) -> ServeReport {
     run_closed_loop_thinking(cfg, jobs, clients, ThinkTime::None, 0)
 }
 
 /// Closed-loop driver with a think-time model: like [`run_closed_loop`],
-/// but every client pauses per `think` between its response and its next
+/// but every client pauses per `think` between its outcome and its next
 /// submission, from a deterministic per-client stream derived from `seed`.
 pub fn run_closed_loop_thinking(
     cfg: &ServerConfig,
@@ -99,9 +109,9 @@ pub fn run_closed_loop_thinking(
                     );
                     let mut stride = jobs.iter().skip(ci).step_by(clients).peekable();
                     while let Some(tj) = stride.next() {
-                        match client.submit(tj.job.clone()) {
+                        match client.submit_with(tj.job.clone(), tj.priority, tj.deadline) {
                             Ok(id) => {
-                                if client.wait(id).is_none() {
+                                if client.wait_outcome(id) == WaitOutcome::Closed {
                                     break; // server shut down under us
                                 }
                             }
@@ -125,9 +135,292 @@ pub fn run_closed_loop_thinking(
     report
 }
 
+/// Virtual service model for [`run_virtual`].
+#[derive(Debug, Clone, Copy)]
+pub struct VirtualService {
+    /// Virtual wall time one batch occupies one of the
+    /// `ServerConfig::workers` virtual workers.
+    pub service_ns: u64,
+}
+
+impl Default for VirtualService {
+    fn default() -> Self {
+        VirtualService { service_ns: 500_000 }
+    }
+}
+
+/// Replays `jobs` through the scheduling layer under a **virtual clock**:
+/// arrivals advance time by their scheduled gaps, batches occupy virtual
+/// workers for `service.service_ns`, and every scheduling decision —
+/// lane order, per-key fairness, linger flushes, deadline shedding,
+/// admission rejects — is made single-threaded in trace order against
+/// that clock. The decided batches are then rendered for real (fanning
+/// out over `fnr_par`), so payload bytes are the production ones.
+///
+/// This is the deterministic scheduling harness: for a fixed schedule the
+/// response-set digest, the per-lane served/shed/expired/rejected
+/// counters, the queue-latency histograms and the virtual wall clock are
+/// all byte-identical at any `FNR_THREADS` or machine — real parallelism
+/// only accelerates the rendering of already-decided batches. The serve
+/// equivalence suite and CI's mixed-priority leg diff exactly that.
+///
+/// The virtual pipeline mirrors the threaded one: per-lane bounded
+/// admission (a full lane *rejects* — an open-loop virtual submitter
+/// cannot park), a batch queue of `2 × workers` slots that blocks the
+/// scheduler when full (which is where queueing — and therefore deadline
+/// shedding — comes from under saturation), and the same
+/// size/linger/drain batcher.
+pub fn run_virtual(cfg: &ServerConfig, jobs: &[TimedJob], service: VirtualService) -> ServeReport {
+    cfg.sched.validate();
+    let mut pipe = VirtualPipeline::new(cfg, service);
+    let mut now = 0u64;
+    for (id, tj) in jobs.iter().enumerate() {
+        let at = now + tj.delay_before.as_nanos() as u64;
+        pipe.advance_to(&mut now, at);
+        pipe.admit(id as u64, at, tj);
+        pipe.pump(at);
+    }
+    pipe.drain(&mut now);
+
+    // Decisions are locked in; now render them for real. The fan-out is
+    // pure per-batch work, so `FNR_THREADS` moves wall time only.
+    let nested: Vec<Vec<Response>> =
+        fnr_par::par_map(&pipe.decided, |batch| execute_batch(batch, &cfg.tables));
+    let mut responses: Vec<Response> = nested.into_iter().flatten().collect();
+    responses.sort_unstable_by_key(|r| r.id);
+
+    let lane_acct: Vec<LaneAccounting> = cfg
+        .sched
+        .lanes
+        .iter()
+        .zip(&pipe.rejected)
+        .map(|(l, &r)| LaneAccounting { name: l.name.clone(), weight: l.weight, rejected: r })
+        .collect();
+    let metrics = ServeMetrics::aggregate(
+        &pipe.request_metrics,
+        &pipe.batch_metrics,
+        &pipe.shed_metrics,
+        &responses,
+        &lane_acct,
+        pipe.wall_ns,
+        cfg.workers.max(1),
+        fnr_par::current_num_threads(),
+    );
+    ServeReport { responses, metrics }
+}
+
+/// The single-threaded discrete-event mirror of the threaded pipeline:
+/// per-lane bounded queues → [`LaneScheduler`] → [`Batcher`] → a
+/// `2 × workers` batch queue → virtual workers, all on one virtual clock.
+struct VirtualPipeline<'c> {
+    cfg: &'c ServerConfig,
+    /// Arbitrary real-clock origin the virtual clock is rendered onto (the
+    /// [`Batcher`] speaks `Instant`); never a measurement.
+    epoch: Instant,
+    caps: Vec<usize>,
+    batch_q_cap: usize,
+    service_ns: u64,
+    sched: LaneScheduler,
+    batcher: Batcher,
+    vlanes: Vec<VecDeque<Request>>,
+    /// Batches flushed while the batch queue was full: the scheduler
+    /// stalls behind them, exactly like the threaded batcher parked in
+    /// `send()` — which is where queueing (and deadline shedding) comes
+    /// from under saturation.
+    stalled: VecDeque<Batch>,
+    batch_q: VecDeque<Batch>,
+    worker_free_at: Vec<u64>,
+    decided: Vec<Batch>,
+    request_metrics: Vec<RequestMetric>,
+    batch_metrics: Vec<BatchMetric>,
+    shed_metrics: Vec<ShedMetric>,
+    rejected: Vec<usize>,
+    wall_ns: u64,
+}
+
+impl<'c> VirtualPipeline<'c> {
+    fn new(cfg: &'c ServerConfig, service: VirtualService) -> Self {
+        let caps = cfg.sched.capacities(cfg.queue_capacity);
+        let workers = cfg.workers.max(1);
+        VirtualPipeline {
+            cfg,
+            epoch: Instant::now(),
+            batch_q_cap: workers * 2,
+            service_ns: service.service_ns.max(1),
+            sched: LaneScheduler::new(&cfg.sched),
+            batcher: Batcher::new(BatcherConfig { max_batch: cfg.max_batch, linger: cfg.linger }),
+            vlanes: caps.iter().map(|_| VecDeque::new()).collect(),
+            stalled: VecDeque::new(),
+            batch_q: VecDeque::new(),
+            worker_free_at: vec![0; workers],
+            decided: Vec::new(),
+            request_metrics: Vec::new(),
+            batch_metrics: Vec::new(),
+            shed_metrics: Vec::new(),
+            rejected: vec![0; caps.len()],
+            wall_ns: 0,
+            caps,
+        }
+    }
+
+    fn inst(&self, vt: u64) -> Instant {
+        self.epoch + Duration::from_nanos(vt)
+    }
+
+    /// Admits one scheduled job at virtual time `at`. A full (or
+    /// zero-capacity) lane rejects: a virtual open-loop submitter cannot
+    /// park.
+    fn admit(&mut self, id: u64, at: u64, tj: &TimedJob) {
+        let lane = self.cfg.sched.lane_of(tj.priority);
+        if self.vlanes[lane].len() >= self.caps[lane] || self.caps[lane] == 0 {
+            self.rejected[lane] += 1;
+        } else {
+            let submitted_at = self.inst(at);
+            self.vlanes[lane].push_back(Request {
+                id,
+                submitted_at,
+                priority: tj.priority,
+                arrival_ns: at,
+                deadline_ns: tj.deadline.map(|d| at + d.as_nanos() as u64),
+                job: tj.job.clone(),
+            });
+        }
+        self.wall_ns = self.wall_ns.max(at);
+    }
+
+    /// Earliest pending timer: a busy worker finishing or a linger expiry.
+    fn next_event(&self, now: u64) -> Option<u64> {
+        let completion = self.worker_free_at.iter().copied().filter(|&t| t > now).min();
+        let linger = self
+            .batcher
+            .next_deadline()
+            .map(|d| (d.saturating_duration_since(self.epoch).as_nanos() as u64).max(now));
+        match (completion, linger) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Fires every timer up to `to` (in time order), pumping after each.
+    fn advance_to(&mut self, now: &mut u64, to: u64) {
+        while let Some(t) = self.next_event(*now) {
+            if t > to {
+                break;
+            }
+            *now = t;
+            self.fire(t);
+        }
+        *now = to.max(*now);
+    }
+
+    /// One timer firing at `t`: linger-expired groups flush, then the
+    /// pipeline pumps to its fixpoint.
+    fn fire(&mut self, t: u64) {
+        let when = self.inst(t);
+        for b in self.batcher.expire(when) {
+            self.stalled.push_back(b);
+        }
+        self.pump(t);
+    }
+
+    /// One fixpoint pass of the virtual pipeline at time `now`: idle
+    /// workers take queued batches, freed queue slots unblock stalled
+    /// flushes, and an unblocked scheduler keeps draining the lanes.
+    fn pump(&mut self, now: u64) {
+        loop {
+            let mut progress = false;
+            // Idle workers pick up queued batches (in queue order).
+            while !self.batch_q.is_empty() {
+                match self.worker_free_at.iter_mut().find(|t| **t <= now) {
+                    Some(free_at) => {
+                        *free_at = now + self.service_ns;
+                        let batch = self.batch_q.pop_front().expect("non-empty");
+                        self.start_batch(batch, now);
+                        progress = true;
+                    }
+                    None => break,
+                }
+            }
+            // Freed slots admit stalled flushes.
+            while !self.stalled.is_empty() && self.batch_q.len() < self.batch_q_cap {
+                self.batch_q.push_back(self.stalled.pop_front().expect("non-empty"));
+                progress = true;
+            }
+            // The scheduler drains lanes only while nothing is stalled
+            // ahead of it (the threaded batcher parks in send() likewise).
+            if self.stalled.is_empty() {
+                match self.sched.step(&mut self.vlanes, now) {
+                    Some(SchedStep::Serve { req, .. }) => {
+                        if let Some(b) = self.batcher.offer(req, self.inst(now)) {
+                            self.stalled.push_back(b);
+                        }
+                        progress = true;
+                    }
+                    Some(SchedStep::Shed { lane, req }) => {
+                        self.shed_metrics.push(ShedMetric {
+                            id: req.id,
+                            lane,
+                            queue_ns: now - req.arrival_ns,
+                        });
+                        progress = true;
+                    }
+                    None => {}
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    /// Records a batch starting execution on a virtual worker at `now`.
+    fn start_batch(&mut self, batch: Batch, now: u64) {
+        self.batch_metrics.push(BatchMetric {
+            key: batch.key.clone(),
+            size: batch.requests.len(),
+            service_ns: self.service_ns,
+            flush: batch.flush,
+        });
+        for req in &batch.requests {
+            self.request_metrics.push(RequestMetric {
+                id: req.id,
+                lane: self.cfg.sched.lane_of(req.priority),
+                queue_ns: now - req.arrival_ns,
+                service_ns: self.service_ns,
+                batch_size: batch.requests.len(),
+                deadline_missed: req.deadline_ns.is_some_and(|d| now + self.service_ns >= d),
+            });
+        }
+        self.decided.push(batch);
+    }
+
+    /// Keeps firing timers until the pipeline is empty. Every queued
+    /// request either rides a linger/size flush or sheds; termination
+    /// needs no shutdown drain because virtual time always reaches the
+    /// linger.
+    fn drain(&mut self, now: &mut u64) {
+        while self.vlanes.iter().any(|l| !l.is_empty())
+            || !self.batcher.is_empty()
+            || !self.stalled.is_empty()
+            || !self.batch_q.is_empty()
+        {
+            let t = self
+                .next_event(*now)
+                .expect("pending virtual work always has a next timer");
+            *now = t;
+            self.fire(t);
+        }
+        self.wall_ns = self
+            .wall_ns
+            .max(*now)
+            .max(self.worker_free_at.iter().copied().max().unwrap_or(0));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::{Priority, SchedConfig};
     use crate::workload::{generate, ArrivalPattern, WorkloadSpec};
     use std::time::Duration;
 
@@ -186,5 +479,139 @@ mod tests {
         let cap = mean * 50;
         assert!(a.iter().all(|&d| d <= cap), "pauses are capped at 50x the mean");
         assert_ne!(a, draw(8), "different seed moves the schedule");
+    }
+
+    #[test]
+    fn virtual_harness_is_deterministic_and_answers_everything_without_deadlines() {
+        let jobs = generate(&tiny_spec(40));
+        let cfg = ServerConfig::default();
+        let a = run_virtual(&cfg, &jobs, VirtualService::default());
+        let b = run_virtual(&cfg, &jobs, VirtualService::default());
+        assert_eq!(a.responses.len(), 40, "no deadline, no shed: everything answers");
+        assert_eq!(a.metrics.digest, b.metrics.digest);
+        assert_eq!(a.metrics.wall_ns, b.metrics.wall_ns, "virtual wall clock is exact");
+        for (x, y) in a.metrics.lanes.iter().zip(&b.metrics.lanes) {
+            assert_eq!(x.served, y.served);
+            assert_eq!(x.shed, y.shed);
+            assert_eq!(x.queue_hist, y.queue_hist);
+        }
+        // The open-loop threaded server over the same schedule produces
+        // the same response set: the harness decides scheduling, not
+        // payloads.
+        let threaded = run_open_loop(&cfg, &jobs);
+        assert_eq!(a.metrics.digest, threaded.metrics.digest);
+    }
+
+    #[test]
+    fn virtual_saturation_sheds_deadlined_requests_deterministically() {
+        // 1 worker, slow virtual service, tight deadlines, dense arrivals:
+        // the backlog must shed — and identically on every replay.
+        let jobs = generate(&WorkloadSpec {
+            requests: 60,
+            mean_gap: Duration::from_micros(50),
+            deadline: Some(Duration::from_millis(2)),
+            ..tiny_spec(60)
+        });
+        let cfg = ServerConfig { workers: 1, ..ServerConfig::default() };
+        let service = VirtualService { service_ns: 3_000_000 };
+        let a = run_virtual(&cfg, &jobs, service);
+        let b = run_virtual(&cfg, &jobs, service);
+        assert!(a.metrics.shed > 0, "saturation must shed: {:?}", a.metrics.shed);
+        assert!(a.metrics.requests > 0, "early arrivals are served");
+        assert_eq!(a.metrics.requests + a.metrics.shed + a.metrics.rejected, 60);
+        assert_eq!(a.metrics.digest, b.metrics.digest);
+        let counts = |r: &ServeReport| -> Vec<(usize, usize, usize, usize)> {
+            r.metrics.lanes.iter().map(|l| (l.served, l.shed, l.expired, l.rejected)).collect()
+        };
+        assert_eq!(counts(&a), counts(&b), "per-lane counters are exact");
+    }
+
+    #[test]
+    fn virtual_priority_lanes_favour_interactive_queue_latency() {
+        // A symmetric simultaneous backlog — one scene per class so each
+        // class forms its own batches — on one slow worker: the 4/2/1
+        // weights must drain interactive earlier than batch, visible as a
+        // lower queue-latency distribution.
+        use crate::request::{RenderJob, RenderPrecision, SceneKind, Workload};
+        let class_job = |p: Priority, seed: u64| TimedJob {
+            delay_before: Duration::ZERO,
+            priority: p,
+            deadline: None,
+            job: Workload::Render(RenderJob {
+                scene: match p {
+                    Priority::Interactive => SceneKind::Mic,
+                    Priority::Standard => SceneKind::Lego,
+                    Priority::Batch => SceneKind::Palace,
+                },
+                precision: RenderPrecision::Fp32,
+                width: 4,
+                height: 4,
+                spp: 2,
+                camera_seed: seed,
+            }),
+        };
+        let jobs: Vec<TimedJob> = (0..24)
+            .flat_map(|i| Priority::ALL.map(|p| class_job(p, i)))
+            .collect();
+        let cfg = ServerConfig { workers: 1, queue_capacity: 256, ..ServerConfig::default() };
+        let report = run_virtual(&cfg, &jobs, VirtualService { service_ns: 2_000_000 });
+        assert_eq!(report.responses.len(), 72);
+        // Deterministic order statistic over the fixed log-4 buckets:
+        // higher score = more mass in slower buckets.
+        let score = |lane: usize| {
+            let hist = &report.metrics.lanes[lane].queue_hist;
+            hist.counts().iter().enumerate().map(|(i, &c)| i as u64 * c).sum::<u64>() as f64
+                / hist.total().max(1) as f64
+        };
+        assert!(
+            score(0) < score(1) && score(1) <= score(2),
+            "weighted drain must order queue waits interactive < standard <= batch: \
+             {:.3} / {:.3} / {:.3}",
+            score(0),
+            score(1),
+            score(2)
+        );
+    }
+
+    #[test]
+    fn virtual_single_lane_equals_priority_lane_digest() {
+        // Scheduling may only reorder (no deadlines) — so lane policy must
+        // never move the digest, single-lane degenerate config included.
+        let jobs = generate(&tiny_spec(32));
+        let multi = run_virtual(&ServerConfig::default(), &jobs, VirtualService::default());
+        let single = run_virtual(
+            &ServerConfig { sched: SchedConfig::single_lane(), ..ServerConfig::default() },
+            &jobs,
+            VirtualService::default(),
+        );
+        assert_eq!(multi.metrics.digest, single.metrics.digest);
+        assert_eq!(single.metrics.lanes.len(), 1);
+        assert_eq!(single.metrics.lanes[0].served, 32);
+    }
+
+    #[test]
+    fn virtual_full_lane_rejects_open_loop_arrivals() {
+        // Bursty arrivals into a 2-slot lane with a stalled pipeline must
+        // reject the overflow (the virtual submitter cannot park).
+        let mut jobs = generate(&tiny_spec(30));
+        for tj in &mut jobs {
+            tj.delay_before = Duration::ZERO; // one instantaneous burst
+            tj.priority = Priority::Standard;
+        }
+        // max_batch 1 stalls the scheduler after 1 in-service + 2 queued +
+        // 1 stalled singleton batches, so the 2-slot lane then overflows.
+        let cfg = ServerConfig {
+            workers: 1,
+            queue_capacity: 2,
+            max_batch: 1,
+            ..ServerConfig::default()
+        };
+        let report = run_virtual(&cfg, &jobs, VirtualService { service_ns: 10_000_000 });
+        assert!(report.metrics.rejected > 0, "overflow must reject");
+        assert_eq!(
+            report.metrics.requests + report.metrics.rejected + report.metrics.shed,
+            30,
+            "every arrival is accounted for"
+        );
     }
 }

@@ -4,8 +4,10 @@
 //! The ROADMAP's north star is serving heavy render traffic; this crate is
 //! the request-level runtime above the data-parallel substrate:
 //!
-//! * a bounded admission queue ([`fnr_par::mpmc`]) with backpressure and a
-//!   zero-capacity hard-reject posture,
+//! * bounded per-class admission lanes ([`fnr_par::mpmc::Lanes`]) with
+//!   backpressure and a zero-capacity hard-reject posture, drained by a
+//!   clock-injected weighted-deficit scheduler ([`sched`]) with per-key
+//!   fairness and deadline shedding,
 //! * a [`Batcher`] that coalesces compatible requests — same
 //!   scene/model/precision — into one batched render or one shared table
 //!   regeneration (the per-batch format/precision amortization is exactly
@@ -51,20 +53,25 @@ mod batch;
 mod driver;
 mod metrics;
 mod request;
+pub mod sched;
 mod server;
 pub mod workload;
 
 pub use batch::{Batch, Batcher, BatcherConfig, FlushReason};
-pub use driver::{run_closed_loop, run_closed_loop_thinking, run_open_loop, ThinkTime};
+pub use driver::{
+    run_closed_loop, run_closed_loop_thinking, run_open_loop, run_virtual, ThinkTime,
+    VirtualService,
+};
 pub use metrics::{
-    BatchMetric, LatencyHistogram, NsStats, RequestMetric, ServeMetrics, LATENCY_BUCKETS,
-    LATENCY_EDGES_NS,
+    BatchMetric, LaneAccounting, LaneStats, LatencyHistogram, NsStats, RequestMetric,
+    ServeMetrics, ShedMetric, LATENCY_BUCKETS, LATENCY_EDGES_NS,
 };
 pub use request::{
     fnv1a, image_bytes, response_set_digest, BatchKey, RenderJob, RenderPrecision, Request,
     Response, SceneKind, Workload,
 };
+pub use sched::{LaneConfig, LaneScheduler, Priority, SchedConfig, SchedStep};
 pub use server::{
     quantized_cache_stats, run, Client, QuantCacheStats, ServeReport, ServerConfig, SubmitError,
-    TableFn, TableRegistry,
+    TableFn, TableRegistry, WaitOutcome,
 };

@@ -10,12 +10,68 @@ use crate::request::{BatchKey, Response};
 pub struct RequestMetric {
     /// The request id.
     pub id: u64,
+    /// Scheduler lane the request was served from.
+    pub lane: usize,
     /// Submit → batch-execution-start latency.
     pub queue_ns: u64,
     /// Batch execution wall time (shared by every member of the batch).
     pub service_ns: u64,
     /// Members in the batch this request rode in.
     pub batch_size: usize,
+    /// The request was answered, but only after its deadline had passed
+    /// (it started in time — else it would have been shed — but finished
+    /// late). Counted as `expired` in the per-lane stats.
+    pub deadline_missed: bool,
+}
+
+/// Record for one request the scheduler shed at dequeue: its deadline
+/// passed while it queued, so it was dropped and counted, never rendered.
+#[derive(Debug, Clone)]
+pub struct ShedMetric {
+    /// The request id.
+    pub id: u64,
+    /// Scheduler lane the request was shed from.
+    pub lane: usize,
+    /// Submit → shed-decision latency (time spent queued).
+    pub queue_ns: u64,
+}
+
+/// Per-lane admission accounting the server hands to
+/// [`ServeMetrics::aggregate`] (the lane identity plus what never entered
+/// the queue).
+#[derive(Debug, Clone)]
+pub struct LaneAccounting {
+    /// Lane label.
+    pub name: String,
+    /// Drain weight.
+    pub weight: u64,
+    /// Requests rejected at admission (full or zero-capacity lane).
+    pub rejected: usize,
+}
+
+/// Aggregated per-lane serving outcome: every admitted request of the lane
+/// is either `served` or `shed`; `expired` is the subset of `served` that
+/// finished past its deadline.
+#[derive(Debug, Clone)]
+pub struct LaneStats {
+    /// Lane label.
+    pub name: String,
+    /// Drain weight.
+    pub weight: u64,
+    /// Requests admitted to this lane (`served + shed`).
+    pub submitted: usize,
+    /// Requests rendered and answered.
+    pub served: usize,
+    /// Requests dropped at dequeue because their deadline passed while
+    /// queued.
+    pub shed: usize,
+    /// Served requests that finished after their deadline.
+    pub expired: usize,
+    /// Requests rejected at admission.
+    pub rejected: usize,
+    /// Queue-latency histogram over every admitted request (served and
+    /// shed alike — both experienced the queue).
+    pub queue_hist: LatencyHistogram,
 }
 
 /// Record for one executed batch.
@@ -60,6 +116,25 @@ impl NsStats {
             max: *sorted.last().expect("non-empty"),
         }
     }
+}
+
+/// Escapes a string for embedding in the hand-rolled JSON record. Lane
+/// names are the one string callers control (every other string in the
+/// record is a literal this crate owns), so they must not be able to
+/// break the document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Number of histogram buckets: one per edge plus the overflow bucket.
@@ -150,10 +225,19 @@ impl LatencyHistogram {
 /// Aggregate metrics for one serving run.
 #[derive(Debug, Clone)]
 pub struct ServeMetrics {
-    /// Requests admitted (and answered).
+    /// Requests admitted and answered.
     pub requests: usize,
-    /// Requests rejected at admission (zero-capacity or closed queue).
+    /// Requests rejected at admission (zero-capacity or full lane, or a
+    /// closed queue), summed over lanes.
     pub rejected: usize,
+    /// Requests shed at dequeue (deadline passed while queued), summed
+    /// over lanes.
+    pub shed: usize,
+    /// Served requests that finished after their deadline, summed over
+    /// lanes.
+    pub expired: usize,
+    /// Per-lane outcome counters and queue-latency histograms.
+    pub lanes: Vec<LaneStats>,
     /// Batches executed.
     pub batches: usize,
     /// Mean batch size over all batches.
@@ -187,17 +271,46 @@ pub struct ServeMetrics {
 }
 
 impl ServeMetrics {
-    /// Builds the aggregate from raw per-request/per-batch records.
+    /// Builds the aggregate from raw per-request/per-batch/per-shed
+    /// records plus the lane identities (`lane_acct` order defines lane
+    /// indices).
     #[allow(clippy::too_many_arguments)]
     pub fn aggregate(
         request_metrics: &[RequestMetric],
         batch_metrics: &[BatchMetric],
+        shed_metrics: &[ShedMetric],
         responses: &[Response],
-        rejected: usize,
+        lane_acct: &[LaneAccounting],
         wall_ns: u64,
         workers: usize,
         threads: usize,
     ) -> Self {
+        let lanes: Vec<LaneStats> = lane_acct
+            .iter()
+            .enumerate()
+            .map(|(li, acct)| {
+                let served: Vec<&RequestMetric> =
+                    request_metrics.iter().filter(|m| m.lane == li).collect();
+                let shed: Vec<&ShedMetric> = shed_metrics.iter().filter(|m| m.lane == li).collect();
+                let mut queue_hist = LatencyHistogram::new();
+                for m in &served {
+                    queue_hist.record(m.queue_ns);
+                }
+                for m in &shed {
+                    queue_hist.record(m.queue_ns);
+                }
+                LaneStats {
+                    name: acct.name.clone(),
+                    weight: acct.weight,
+                    submitted: served.len() + shed.len(),
+                    served: served.len(),
+                    shed: shed.len(),
+                    expired: served.iter().filter(|m| m.deadline_missed).count(),
+                    rejected: acct.rejected,
+                    queue_hist,
+                }
+            })
+            .collect();
         let mut key_totals: HashMap<&BatchKey, usize> = HashMap::new();
         for b in batch_metrics {
             *key_totals.entry(&b.key).or_insert(0) += b.size;
@@ -214,7 +327,10 @@ impl ServeMetrics {
         let all: Vec<&BatchMetric> = batch_metrics.iter().collect();
         ServeMetrics {
             requests: request_metrics.len(),
-            rejected,
+            rejected: lanes.iter().map(|l| l.rejected).sum(),
+            shed: shed_metrics.len(),
+            expired: lanes.iter().map(|l| l.expired).sum(),
+            lanes,
             batches: batch_metrics.len(),
             mean_occupancy: mean(&all),
             coalescable_occupancy: mean(&coalescable),
@@ -237,9 +353,11 @@ impl ServeMetrics {
         }
     }
 
-    /// Renders the `flexnerfer-serve-bench/1` JSON record (hand-rolled,
-    /// mirroring the `flexnerfer-repro-bench/1` trajectory format: every
-    /// value is a number or a string this crate controls).
+    /// Renders the `flexnerfer-serve-bench/2` JSON record (hand-rolled,
+    /// mirroring the `flexnerfer-repro-bench/2` trajectory format: every
+    /// value is a number or a string this crate controls). Schema `/2`
+    /// extends `/1` with the scheduler's `shed`/`expired` totals and the
+    /// per-lane `lanes` array (counters + queue-latency histograms).
     pub fn to_json(&self) -> String {
         let stats = |s: &NsStats| {
             format!(
@@ -248,11 +366,30 @@ impl ServeMetrics {
             )
         };
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"flexnerfer-serve-bench/1\",\n");
+        out.push_str("  \"schema\": \"flexnerfer-serve-bench/2\",\n");
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"workers\": {},\n", self.workers));
         out.push_str(&format!("  \"requests\": {},\n", self.requests));
         out.push_str(&format!("  \"rejected\": {},\n", self.rejected));
+        out.push_str(&format!("  \"shed\": {},\n", self.shed));
+        out.push_str(&format!("  \"expired\": {},\n", self.expired));
+        out.push_str("  \"lanes\": [\n");
+        for (i, lane) in self.lanes.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"weight\": {}, \"submitted\": {}, \"served\": {}, \
+                 \"shed\": {}, \"expired\": {}, \"rejected\": {}, \"queue_hist\": {} }}{}\n",
+                json_escape(&lane.name),
+                lane.weight,
+                lane.submitted,
+                lane.served,
+                lane.shed,
+                lane.expired,
+                lane.rejected,
+                lane.queue_hist.to_json(),
+                if i + 1 == self.lanes.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str(&format!("  \"batches\": {},\n", self.batches));
         out.push_str(&format!("  \"mean_batch_occupancy\": {:.4},\n", self.mean_occupancy));
         out.push_str(&format!("  \"coalescable_occupancy\": {:.4},\n", self.coalescable_occupancy));
@@ -279,6 +416,16 @@ mod tests {
         BatchMetric { key, size, service_ns: 1000, flush }
     }
 
+    fn acct(n: usize) -> Vec<LaneAccounting> {
+        (0..n)
+            .map(|i| LaneAccounting { name: format!("lane{i}"), weight: 1, rejected: 0 })
+            .collect()
+    }
+
+    fn rm(id: u64, lane: usize, queue_ns: u64, deadline_missed: bool) -> RequestMetric {
+        RequestMetric { id, lane, queue_ns, service_ns: 50_000, batch_size: 1, deadline_missed }
+    }
+
     #[test]
     fn ns_stats_percentiles() {
         let s = NsStats::from_samples(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
@@ -299,7 +446,7 @@ mod tests {
             bm(k1.clone(), 1, FlushReason::Drain),
             bm(k2, 1, FlushReason::Timeout),
         ];
-        let m = ServeMetrics::aggregate(&[], &batches, &[], 0, 0, 1, 1);
+        let m = ServeMetrics::aggregate(&[], &batches, &[], &[], &acct(1), 0, 1, 1);
         assert!((m.mean_occupancy - 5.0 / 3.0).abs() < 1e-9);
         assert!((m.coalescable_occupancy - 2.0).abs() < 1e-9, "k2 excluded: (3+1)/2");
         assert_eq!(m.flushed_size, 1);
@@ -308,13 +455,59 @@ mod tests {
     }
 
     #[test]
-    fn json_contains_schema_and_digest() {
-        let m = ServeMetrics::aggregate(&[], &[], &[], 2, 42, 3, 4);
+    fn json_contains_schema_lanes_and_digest() {
+        let mut lanes = acct(2);
+        lanes[0].rejected = 2;
+        let sheds = vec![ShedMetric { id: 9, lane: 1, queue_ns: 5_000 }];
+        let m = ServeMetrics::aggregate(&[rm(0, 0, 100, true)], &[], &sheds, &[], &lanes, 42, 3, 4);
         let j = m.to_json();
-        assert!(j.contains("\"schema\": \"flexnerfer-serve-bench/1\""));
+        // The schema bump: /2 carries the scheduler's lane array and
+        // shed/expired totals alongside everything /1 had.
+        assert!(j.contains("\"schema\": \"flexnerfer-serve-bench/2\""));
         assert!(j.contains("\"rejected\": 2"));
+        assert!(j.contains("\"shed\": 1,"));
+        assert!(j.contains("\"expired\": 1,"));
+        assert!(j.contains("\"lanes\": ["));
+        assert!(j.contains(
+            "\"name\": \"lane0\", \"weight\": 1, \"submitted\": 1, \"served\": 1, \"shed\": 0, \
+             \"expired\": 1, \"rejected\": 2, \"queue_hist\": { \"edges_ns\": [1000, "
+        ));
+        assert!(j.contains("\"name\": \"lane1\", \"weight\": 1, \"submitted\": 1, \"served\": 0, \"shed\": 1,"));
         assert!(j.contains("\"digest\": \"0x"));
         assert!(j.contains("\"request_latency_hist\": { \"edges_ns\": [1000, "));
+    }
+
+    #[test]
+    fn lane_names_are_json_escaped() {
+        let lanes = vec![LaneAccounting { name: "ti\"er\\1\n".into(), weight: 1, rejected: 0 }];
+        let j = ServeMetrics::aggregate(&[], &[], &[], &[], &lanes, 0, 1, 1).to_json();
+        assert!(
+            j.contains("\"name\": \"ti\\\"er\\\\1\\u000a\""),
+            "hostile lane name must not break the record: {j}"
+        );
+    }
+
+    #[test]
+    fn lane_stats_partition_admitted_requests() {
+        let reqs = vec![rm(0, 0, 100, false), rm(1, 0, 200, true), rm(2, 1, 300, false)];
+        let sheds = vec![
+            ShedMetric { id: 3, lane: 0, queue_ns: 400 },
+            ShedMetric { id: 4, lane: 2, queue_ns: 500 },
+        ];
+        let m = ServeMetrics::aggregate(&reqs, &[], &sheds, &[], &acct(3), 0, 1, 1);
+        assert_eq!(m.requests, 3);
+        assert_eq!(m.shed, 2);
+        assert_eq!(m.expired, 1);
+        for lane in &m.lanes {
+            assert_eq!(lane.submitted, lane.served + lane.shed, "{}", lane.name);
+            // Served and shed both pass through the queue: the histogram
+            // counts every admitted request.
+            assert_eq!(lane.queue_hist.total() as usize, lane.submitted, "{}", lane.name);
+        }
+        assert_eq!(m.lanes[0].submitted, 3);
+        assert_eq!(m.lanes[0].expired, 1);
+        assert_eq!(m.lanes[1].submitted, 1);
+        assert_eq!(m.lanes[2].shed, 1);
     }
 
     #[test]
@@ -334,10 +527,8 @@ mod tests {
 
     #[test]
     fn histogram_totals_match_request_count_in_aggregate() {
-        let reqs: Vec<RequestMetric> = (0..17)
-            .map(|i| RequestMetric { id: i, queue_ns: i * 100_000, service_ns: 50_000, batch_size: 1 })
-            .collect();
-        let m = ServeMetrics::aggregate(&reqs, &[], &[], 0, 0, 1, 1);
+        let reqs: Vec<RequestMetric> = (0..17).map(|i| rm(i, 0, i * 100_000, false)).collect();
+        let m = ServeMetrics::aggregate(&reqs, &[], &[], &[], &acct(1), 0, 1, 1);
         assert_eq!(m.latency_hist.total(), 17);
         // Edges are compile-time constants, so bucket identity is stable.
         assert_eq!(m.latency_hist.counts().len(), LATENCY_BUCKETS);

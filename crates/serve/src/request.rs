@@ -144,6 +144,29 @@ impl Workload {
             Workload::Table(name) => BatchKey::Table(name.clone()),
         }
     }
+
+    /// Whether this workload coalesces under `key` — equivalent to
+    /// `self.key() == *key`, but without constructing (and for table
+    /// jobs, cloning) a key. Hot scheduler loops compare this way.
+    pub fn matches_key(&self, key: &BatchKey) -> bool {
+        match (self, key) {
+            (Workload::Render(j), BatchKey::Render(s, p)) => j.scene == *s && j.precision == *p,
+            (Workload::Table(name), BatchKey::Table(t)) => name == t,
+            _ => false,
+        }
+    }
+
+    /// Whether two workloads share a coalescing key (the allocation-free
+    /// form of `a.key() == b.key()`).
+    pub fn same_key(&self, other: &Workload) -> bool {
+        match (self, other) {
+            (Workload::Render(a), Workload::Render(b)) => {
+                a.scene == b.scene && a.precision == b.precision
+            }
+            (Workload::Table(a), Workload::Table(b)) => a == b,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for BatchKey {
@@ -155,16 +178,34 @@ impl fmt::Display for BatchKey {
     }
 }
 
-/// A request in flight: the id the server assigned at admission, the
-/// submission instant (queue-latency metrics) and the work itself.
+/// A request in flight: the id the server assigned at admission, its
+/// traffic class and deadline, the clock-injected admission timestamp, and
+/// the work itself.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// Monotone admission id.
     pub id: u64,
-    /// When the client's submit was accepted.
+    /// When the client's submit was accepted (real-clock metrics).
     pub submitted_at: Instant,
+    /// Traffic class — selects the scheduler lane.
+    pub priority: crate::sched::Priority,
+    /// Admission time on the scheduler's clock (nanoseconds since the
+    /// server epoch; virtual ticks under the trace harness).
+    pub arrival_ns: u64,
+    /// Absolute deadline on the same clock as [`Request::arrival_ns`]:
+    /// service must *start* strictly before this instant or the scheduler
+    /// sheds the request at dequeue. `None` never sheds.
+    pub deadline_ns: Option<u64>,
     /// The work.
     pub job: Workload,
+}
+
+impl Request {
+    /// Whether this request's deadline has passed at scheduler time
+    /// `now_ns` (a request popped exactly at its deadline is expired).
+    pub fn expired_at(&self, now_ns: u64) -> bool {
+        self.deadline_ns.is_some_and(|d| now_ns >= d)
+    }
 }
 
 /// A completed request: the id plus the response payload. Render payloads

@@ -1,13 +1,22 @@
-//! The serving runtime: admission queue → batcher → worker pool → completion
-//! board, with panic propagation and metrics.
+//! The serving runtime: multi-lane admission → scheduler → batcher →
+//! worker pool → completion board, with panic propagation and metrics.
 //!
-//! Serving concurrency (client / batcher / worker threads) is decoupled
+//! Serving concurrency (client / scheduler / worker threads) is decoupled
 //! from data-parallel width: the roles run on dedicated `std::thread`s,
 //! while the *work* inside a batch (pixel rows, batch views) fans out over
 //! `fnr_par`'s pool and therefore honours `FNR_THREADS`. Response bytes
 //! are a pure function of each request, so the response set is
 //! byte-identical at any width, worker count, or batching outcome —
-//! timing only moves metrics.
+//! timing only moves metrics. With deadlines disabled (the default)
+//! scheduling can only *reorder* requests, never drop them, so any lane
+//! policy — including the degenerate single-lane config — reproduces the
+//! FIFO server's response-set digest exactly.
+//!
+//! Admission is no longer one FIFO queue: requests enter the per-class
+//! bounded lane of [`fnr_par::mpmc::Lanes`] (backpressure per lane), and
+//! the scheduler thread drains them through [`LaneScheduler`] — weighted
+//! deficit across lanes, per-key round robin within a lane, and
+//! shed-on-dequeue for requests whose deadline passed while queued.
 
 use std::any::Any;
 use std::collections::HashMap;
@@ -18,12 +27,13 @@ use std::time::{Duration, Instant};
 
 use fnr_nerf::hashgrid::HashGridConfig;
 use fnr_nerf::render::{render_reference_batch, BatchView, NgpModel, PreparedQuantized};
-use fnr_par::mpmc::{Queue, RecvTimeout};
+use fnr_par::mpmc::{Lanes, Queue, RecvTimeout};
 use fnr_tensor::Precision;
 
 use crate::batch::{Batch, Batcher, BatcherConfig};
-use crate::metrics::{BatchMetric, RequestMetric, ServeMetrics};
+use crate::metrics::{BatchMetric, LaneAccounting, RequestMetric, ServeMetrics, ShedMetric};
 use crate::request::{image_bytes, BatchKey, RenderPrecision, Request, Response, Workload};
+use crate::sched::{LaneScheduler, Priority, SchedConfig, SchedStep};
 
 /// A named table generator the server can execute: `name → payload bytes`.
 pub type TableFn = Arc<dyn Fn() -> Vec<u8> + Send + Sync>;
@@ -59,9 +69,10 @@ impl TableRegistry {
 /// Serving-runtime knobs.
 #[derive(Clone)]
 pub struct ServerConfig {
-    /// Admission queue capacity. **Zero rejects every request** (the
-    /// hard-overload posture); blocking submits otherwise park on a full
-    /// queue (backpressure).
+    /// Default per-lane admission capacity (lanes may override via
+    /// [`SchedConfig`]). **Zero rejects every request** whose lane does
+    /// not override it (the hard-overload posture); blocking submits
+    /// otherwise park on a full lane (backpressure).
     pub queue_capacity: usize,
     /// Worker threads executing batches.
     pub workers: usize,
@@ -69,6 +80,8 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// Flush an undersized batch once its oldest member waited this long.
     pub linger: Duration,
+    /// The scheduling policy: lanes, weights, class mapping.
+    pub sched: SchedConfig,
     /// Table generators servable through [`Workload::Table`].
     pub tables: TableRegistry,
 }
@@ -80,6 +93,7 @@ impl Default for ServerConfig {
             workers: 2,
             max_batch: 8,
             linger: Duration::from_millis(2),
+            sched: SchedConfig::priority_lanes(),
             tables: TableRegistry::new(),
         }
     }
@@ -88,20 +102,39 @@ impl Default for ServerConfig {
 /// Why a submit was not admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The queue is at capacity (non-blocking submit) or has capacity zero.
+    /// The lane is at capacity (non-blocking submit) or has capacity zero.
     Rejected,
     /// The server is shutting down (or a worker died).
     Closed,
 }
 
-/// Completion board: responses parked until their submitter collects them.
+/// How a request left the server, as seen by its submitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The request was rendered; here is the payload.
+    Answered(Response),
+    /// The request's deadline passed while it queued: the scheduler shed
+    /// it without rendering.
+    Shed,
+    /// The server shut down (or a worker died) before answering.
+    Closed,
+}
+
+/// What the board parks for a finished request.
+#[derive(Debug, Clone)]
+enum Completion {
+    Answered(Response),
+    Shed,
+}
+
+/// Completion board: outcomes parked until their submitter collects them.
 struct Board {
     state: Mutex<BoardState>,
     ready: Condvar,
 }
 
 struct BoardState {
-    done: HashMap<u64, Response>,
+    done: HashMap<u64, Completion>,
     closed: bool,
 }
 
@@ -113,9 +146,14 @@ impl Board {
     fn post(&self, responses: &[Response]) {
         let mut st = self.state.lock().unwrap();
         for r in responses {
-            st.done.insert(r.id, r.clone());
+            st.done.insert(r.id, Completion::Answered(r.clone()));
         }
         drop(st);
+        self.ready.notify_all();
+    }
+
+    fn post_shed(&self, id: u64) {
+        self.state.lock().unwrap().done.insert(id, Completion::Shed);
         self.ready.notify_all();
     }
 
@@ -124,14 +162,17 @@ impl Board {
         self.ready.notify_all();
     }
 
-    fn wait(&self, id: u64) -> Option<Response> {
+    fn wait(&self, id: u64) -> WaitOutcome {
         let mut st = self.state.lock().unwrap();
         loop {
-            if let Some(r) = st.done.get(&id) {
-                return Some(r.clone());
+            if let Some(c) = st.done.get(&id) {
+                return match c {
+                    Completion::Answered(r) => WaitOutcome::Answered(r.clone()),
+                    Completion::Shed => WaitOutcome::Shed,
+                };
             }
             if st.closed {
-                return None;
+                return WaitOutcome::Closed;
             }
             st = self.ready.wait(st).unwrap();
         }
@@ -139,7 +180,14 @@ impl Board {
 
     fn drain_sorted(&self) -> Vec<Response> {
         let mut st = self.state.lock().unwrap();
-        let mut out: Vec<Response> = st.done.drain().map(|(_, r)| r).collect();
+        let mut out: Vec<Response> = st
+            .done
+            .drain()
+            .filter_map(|(_, c)| match c {
+                Completion::Answered(r) => Some(r),
+                Completion::Shed => None,
+            })
+            .collect();
         out.sort_unstable_by_key(|r| r.id);
         out
     }
@@ -148,56 +196,107 @@ impl Board {
 /// The submission handle handed to the drive closure of [`run`]. `Sync`,
 /// so closed-loop drivers can share it across client threads.
 pub struct Client<'s> {
-    zero_capacity: bool,
-    queue: Queue<Request>,
+    lanes: Lanes<Request>,
+    /// Resolved per-lane capacities; zero means hard-reject at admission.
+    lane_caps: Vec<usize>,
+    sched: SchedConfig,
+    epoch: Instant,
     next_id: AtomicU64,
-    rejected: AtomicUsize,
+    rejected: Vec<AtomicUsize>,
     board: &'s Board,
 }
 
 impl Client<'_> {
-    /// Admits `job`, parking while the queue is full (backpressure).
-    /// Returns the monotone request id.
+    fn admit(
+        &self,
+        job: Workload,
+        priority: Priority,
+        deadline: Option<Duration>,
+        blocking: bool,
+    ) -> Result<u64, SubmitError> {
+        let lane = self.sched.lane_of(priority);
+        if self.lane_caps[lane] == 0 {
+            self.rejected[lane].fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Rejected);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let arrival_ns = self.epoch.elapsed().as_nanos() as u64;
+        let req = Request {
+            id,
+            submitted_at: Instant::now(),
+            priority,
+            arrival_ns,
+            deadline_ns: deadline.map(|d| arrival_ns.saturating_add(d.as_nanos() as u64)),
+            job,
+        };
+        let sent = if blocking {
+            self.lanes.send(lane, req).map_err(|_| SubmitError::Closed)
+        } else {
+            match self.lanes.try_send(lane, req) {
+                Ok(()) => Ok(()),
+                Err(fnr_par::mpmc::TrySendError::Full(_)) => Err(SubmitError::Rejected),
+                Err(fnr_par::mpmc::TrySendError::Closed(_)) => Err(SubmitError::Closed),
+            }
+        };
+        match sent {
+            Ok(()) => Ok(id),
+            Err(e) => {
+                self.rejected[lane].fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Admits `job` at [`Priority::Standard`] with no deadline, parking
+    /// while its lane is full (backpressure). Returns the monotone
+    /// request id.
     pub fn submit(&self, job: Workload) -> Result<u64, SubmitError> {
-        if self.zero_capacity {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(SubmitError::Rejected);
-        }
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let req = Request { id, submitted_at: Instant::now(), job };
-        match self.queue.send(req) {
-            Ok(()) => Ok(id),
-            Err(_) => {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
-                Err(SubmitError::Closed)
-            }
-        }
+        self.admit(job, Priority::Standard, None, true)
     }
 
-    /// Admits `job` without parking; a full queue rejects.
+    /// Admits `job` with an explicit traffic class and optional relative
+    /// deadline (measured from admission; service must *start* before it
+    /// or the scheduler sheds the request). Parks while the class's lane
+    /// is full.
+    pub fn submit_with(
+        &self,
+        job: Workload,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<u64, SubmitError> {
+        self.admit(job, priority, deadline, true)
+    }
+
+    /// Admits `job` at [`Priority::Standard`] without parking; a full
+    /// lane rejects.
     pub fn try_submit(&self, job: Workload) -> Result<u64, SubmitError> {
-        if self.zero_capacity {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(SubmitError::Rejected);
-        }
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let req = Request { id, submitted_at: Instant::now(), job };
-        match self.queue.try_send(req) {
-            Ok(()) => Ok(id),
-            Err(fnr_par::mpmc::TrySendError::Full(_)) => {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
-                Err(SubmitError::Rejected)
-            }
-            Err(fnr_par::mpmc::TrySendError::Closed(_)) => {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
-                Err(SubmitError::Closed)
-            }
+        self.admit(job, Priority::Standard, None, false)
+    }
+
+    /// Non-parking [`Client::submit_with`].
+    pub fn try_submit_with(
+        &self,
+        job: Workload,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<u64, SubmitError> {
+        self.admit(job, priority, deadline, false)
+    }
+
+    /// Parks until request `id` completes (closed-loop clients). `None`
+    /// if it was shed or the server shut down without answering — use
+    /// [`Client::wait_outcome`] to tell the two apart.
+    pub fn wait(&self, id: u64) -> Option<Response> {
+        match self.board.wait(id) {
+            WaitOutcome::Answered(r) => Some(r),
+            WaitOutcome::Shed | WaitOutcome::Closed => None,
         }
     }
 
-    /// Parks until request `id` completes (closed-loop clients). `None` if
-    /// the server shut down without answering it.
-    pub fn wait(&self, id: u64) -> Option<Response> {
+    /// Parks until request `id` completes and reports how it left the
+    /// server: answered, shed by the deadline policy, or lost to
+    /// shutdown.
+    pub fn wait_outcome(&self, id: u64) -> WaitOutcome {
         self.board.wait(id)
     }
 }
@@ -207,63 +306,81 @@ impl Client<'_> {
 pub struct ServeReport {
     /// All responses, sorted by request id.
     pub responses: Vec<Response>,
-    /// Aggregate metrics (including the response-set digest).
+    /// Aggregate metrics (including the response-set digest and per-lane
+    /// served/shed/expired counters).
     pub metrics: ServeMetrics,
 }
 
-/// Runs a server for the lifetime of `drive`: spawns the batcher and
+/// Runs a server for the lifetime of `drive`: spawns the scheduler and
 /// worker threads, hands `drive` a [`Client`], and shuts the pipeline
-/// down when it returns (pending requests are drained, not dropped).
+/// down when it returns (pending unexpired requests are drained and
+/// served; pending expired requests are shed).
 ///
 /// # Panics
 ///
 /// Re-raises any panic from a worker (a poisoned batch takes the run
-/// down rather than silently losing requests).
+/// down rather than silently losing requests). Panics on a malformed
+/// [`SchedConfig`].
 pub fn run<R: Send>(cfg: &ServerConfig, drive: impl FnOnce(&Client) -> R + Send) -> (R, ServeReport) {
+    cfg.sched.validate();
     let start = Instant::now();
-    let request_queue: Queue<Request> = Queue::bounded(cfg.queue_capacity.max(1));
+    let lane_caps = cfg.sched.capacities(cfg.queue_capacity);
+    // Lanes require capacity >= 1; zero-capacity lanes are gated at the
+    // client and never reach the queue.
+    let floored: Vec<usize> = lane_caps.iter().map(|&c| c.max(1)).collect();
+    let request_lanes: Lanes<Request> = Lanes::bounded(&floored);
     // Batch hand-off is sized to keep workers busy without unbounded
     // buffering ahead of them.
     let batch_queue: Queue<Batch> = Queue::bounded(cfg.workers.max(1) * 2);
     let board = Board::new();
     let request_metrics: Mutex<Vec<RequestMetric>> = Mutex::new(Vec::new());
     let batch_metrics: Mutex<Vec<BatchMetric>> = Mutex::new(Vec::new());
+    let shed_metrics: Mutex<Vec<ShedMetric>> = Mutex::new(Vec::new());
     let worker_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
 
     let client = Client {
-        zero_capacity: cfg.queue_capacity == 0,
-        queue: request_queue.clone(),
+        lanes: request_lanes.clone(),
+        lane_caps,
+        sched: cfg.sched.clone(),
+        epoch: start,
         next_id: AtomicU64::new(0),
-        rejected: AtomicUsize::new(0),
+        rejected: cfg.sched.lanes.iter().map(|_| AtomicUsize::new(0)).collect(),
         board: &board,
     };
 
     let drive_result = std::thread::scope(|s| {
         let batcher_cfg = BatcherConfig { max_batch: cfg.max_batch, linger: cfg.linger };
         {
-            let reqs = request_queue.clone();
+            let lanes = request_lanes.clone();
             let batches = batch_queue.clone();
-            s.spawn(move || batcher_loop(batcher_cfg, &reqs, &batches));
+            let sched_cfg = cfg.sched.clone();
+            let board = &board;
+            let sheds = &shed_metrics;
+            s.spawn(move || {
+                scheduler_loop(&sched_cfg, batcher_cfg, start, &lanes, &batches, board, sheds)
+            });
         }
         for _ in 0..cfg.workers.max(1) {
-            let reqs = request_queue.clone();
+            let lanes = request_lanes.clone();
             let batches = batch_queue.clone();
             let board = &board;
             let req_m = &request_metrics;
             let batch_m = &batch_metrics;
             let panic_slot = &worker_panic;
             let tables = &cfg.tables;
+            let sched_cfg = &cfg.sched;
             s.spawn(move || {
-                worker_loop(&reqs, &batches, tables, board, req_m, batch_m, panic_slot);
+                worker_loop(start, sched_cfg, &lanes, &batches, tables, board, req_m, batch_m, panic_slot);
             });
         }
-        // A panicking drive closure must still close the admission queue,
-        // or scope would join batcher/workers parked forever in recv();
+        // A panicking drive closure must still close the admission lanes,
+        // or scope would join scheduler/workers parked forever in recv();
         // catch, shut down, rethrow below.
         let r = catch_unwind(AssertUnwindSafe(|| drive(&client)));
-        // Shutdown: no more admissions; the batcher drains what is queued
-        // and closes the batch queue; workers drain that and exit.
-        request_queue.close();
+        // Shutdown: no more admissions; the scheduler drains what is
+        // queued (serving the unexpired, shedding the expired) and closes
+        // the batch queue; workers drain that and exit.
+        request_lanes.close();
         r
     });
     let drive_result = match drive_result {
@@ -276,11 +393,23 @@ pub fn run<R: Send>(cfg: &ServerConfig, drive: impl FnOnce(&Client) -> R + Send)
     }
 
     let responses = board.drain_sorted();
+    let lane_acct: Vec<LaneAccounting> = cfg
+        .sched
+        .lanes
+        .iter()
+        .zip(&client.rejected)
+        .map(|(l, r)| LaneAccounting {
+            name: l.name.clone(),
+            weight: l.weight,
+            rejected: r.load(Ordering::Relaxed),
+        })
+        .collect();
     let metrics = ServeMetrics::aggregate(
         &request_metrics.into_inner().unwrap(),
         &batch_metrics.into_inner().unwrap(),
+        &shed_metrics.into_inner().unwrap(),
         &responses,
-        client.rejected.load(Ordering::Relaxed),
+        &lane_acct,
         start.elapsed().as_nanos() as u64,
         cfg.workers.max(1),
         fnr_par::current_num_threads(),
@@ -288,15 +417,43 @@ pub fn run<R: Send>(cfg: &ServerConfig, drive: impl FnOnce(&Client) -> R + Send)
     (drive_result, ServeReport { responses, metrics })
 }
 
-/// Pulls admitted requests, coalesces them, and forwards flushed batches.
-/// Greedily drains the request queue after every pop so bursts coalesce
-/// even when workers are idle.
-fn batcher_loop(cfg: BatcherConfig, requests: &Queue<Request>, batches: &Queue<Batch>) {
-    let mut batcher = Batcher::new(cfg);
+/// The scheduler role: drains the admission lanes through the
+/// weighted-deficit [`LaneScheduler`] (multi-lane pop), sheds expired
+/// requests, coalesces the served ones, and forwards flushed batches.
+/// Greedily re-steps after every pop so bursts coalesce even when workers
+/// are idle.
+fn scheduler_loop(
+    sched_cfg: &SchedConfig,
+    batcher_cfg: BatcherConfig,
+    epoch: Instant,
+    lanes: &Lanes<Request>,
+    batches: &Queue<Batch>,
+    board: &Board,
+    shed_metrics: &Mutex<Vec<ShedMetric>>,
+) {
+    let mut sched = LaneScheduler::new(sched_cfg);
+    let mut batcher = Batcher::new(batcher_cfg);
+    let now_ns = || epoch.elapsed().as_nanos() as u64;
+    // Applies one scheduling decision; returns a flushed batch if the
+    // served request completed one.
+    let apply = |step: SchedStep, batcher: &mut Batcher| -> Option<Batch> {
+        match step {
+            SchedStep::Serve { req, .. } => batcher.offer(req, Instant::now()),
+            SchedStep::Shed { lane, req } => {
+                shed_metrics.lock().unwrap().push(ShedMetric {
+                    id: req.id,
+                    lane,
+                    queue_ns: epoch.elapsed().as_nanos() as u64 - req.arrival_ns,
+                });
+                board.post_shed(req.id);
+                None
+            }
+        }
+    };
     loop {
-        let popped = match batcher.next_deadline() {
-            None => match requests.recv() {
-                Some(r) => Some(r),
+        let step = match batcher.next_deadline() {
+            None => match lanes.recv_with(|ls| sched.step(ls, now_ns())) {
+                Some(s) => s,
                 None => break,
             },
             Some(deadline) => {
@@ -309,27 +466,25 @@ fn batcher_loop(cfg: BatcherConfig, requests: &Queue<Request>, batches: &Queue<B
                     }
                     continue;
                 }
-                match requests.recv_timeout(deadline - now) {
-                    RecvTimeout::Item(r) => Some(r),
+                match lanes.recv_with_timeout(deadline - now, |ls| sched.step(ls, now_ns())) {
+                    RecvTimeout::Item(s) => s,
                     RecvTimeout::TimedOut => continue,
                     RecvTimeout::Closed => break,
                 }
             }
         };
-        if let Some(first) = popped {
-            let mut flushed = Vec::new();
-            if let Some(b) = batcher.offer(first, Instant::now()) {
+        let mut flushed = Vec::new();
+        if let Some(b) = apply(step, &mut batcher) {
+            flushed.push(b);
+        }
+        while let Some(more) = lanes.try_recv_with(|ls| sched.step(ls, now_ns())) {
+            if let Some(b) = apply(more, &mut batcher) {
                 flushed.push(b);
             }
-            while let Some(more) = requests.try_recv() {
-                if let Some(b) = batcher.offer(more, Instant::now()) {
-                    flushed.push(b);
-                }
-            }
-            for b in flushed {
-                if batches.send(b).is_err() {
-                    return;
-                }
+        }
+        for b in flushed {
+            if batches.send(b).is_err() {
+                return;
             }
         }
     }
@@ -343,7 +498,9 @@ fn batcher_loop(cfg: BatcherConfig, requests: &Queue<Request>, batches: &Queue<B
 
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
-    requests: &Queue<Request>,
+    epoch: Instant,
+    sched_cfg: &SchedConfig,
+    lanes: &Lanes<Request>,
     batches: &Queue<Batch>,
     tables: &TableRegistry,
     board: &Board,
@@ -356,6 +513,7 @@ fn worker_loop(
         match catch_unwind(AssertUnwindSafe(|| execute_batch(&batch, tables))) {
             Ok(responses) => {
                 let service_ns = exec_start.elapsed().as_nanos() as u64;
+                let end_ns = epoch.elapsed().as_nanos() as u64;
                 {
                     let mut bm = batch_metrics.lock().unwrap();
                     bm.push(BatchMetric {
@@ -370,9 +528,11 @@ fn worker_loop(
                     for req in &batch.requests {
                         rm.push(RequestMetric {
                             id: req.id,
+                            lane: sched_cfg.lane_of(req.priority),
                             queue_ns: exec_start.duration_since(req.submitted_at).as_nanos() as u64,
                             service_ns,
                             batch_size: batch.requests.len(),
+                            deadline_missed: req.deadline_ns.is_some_and(|d| end_ns >= d),
                         });
                     }
                 }
@@ -382,7 +542,7 @@ fn worker_loop(
                 // First panic wins; unblock every parked thread so the run
                 // unwinds instead of deadlocking, then rethrow in `run`.
                 panic_slot.lock().unwrap().get_or_insert(payload);
-                requests.close();
+                lanes.close();
                 batches.close();
                 board.close();
                 return;
@@ -485,7 +645,7 @@ pub fn quantized_cache_stats(
 /// Executes one coalesced batch. Render batches share one model (and for
 /// quantized precisions, one quantization + calibration); table batches
 /// run the generator once and share the bytes.
-fn execute_batch(batch: &Batch, tables: &TableRegistry) -> Vec<Response> {
+pub(crate) fn execute_batch(batch: &Batch, tables: &TableRegistry) -> Vec<Response> {
     match &batch.key {
         BatchKey::Render(scene, precision) => {
             let views: Vec<BatchView> = batch
@@ -548,8 +708,8 @@ mod tests {
         cfg.tables.register("hello", Arc::new(|| b"hello table".to_vec()));
         let (ids, report) = run(&cfg, |client| {
             let a = client.submit(tiny_render(1)).unwrap();
-            let b = client.submit(tiny_render(2)).unwrap();
-            let t = client.submit(Workload::Table("hello".into())).unwrap();
+            let b = client.submit_with(tiny_render(2), Priority::Interactive, None).unwrap();
+            let t = client.submit_with(Workload::Table("hello".into()), Priority::Batch, None).unwrap();
             let resp = client.wait(t).expect("table answered");
             assert_eq!(resp.bytes, b"hello table");
             (a, b, t)
@@ -558,6 +718,10 @@ mod tests {
         assert_eq!(report.responses.len(), 3);
         assert_eq!(report.metrics.requests, 3);
         assert!(report.metrics.batches >= 1 && report.metrics.batches <= 3);
+        // Per-lane accounting: one request per class, none shed.
+        let served: Vec<usize> = report.metrics.lanes.iter().map(|l| l.served).collect();
+        assert_eq!(served, vec![1, 1, 1]);
+        assert_eq!(report.metrics.shed, 0);
         // Render payload header: 4×4.
         assert_eq!(&report.responses[0].bytes[0..4], &4u32.to_le_bytes());
     }
@@ -577,14 +741,37 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_lane_rejects_only_its_class() {
+        // An explicit capacity-0 batch lane sheds that class at admission
+        // while the other lanes keep serving.
+        let mut sched = SchedConfig::priority_lanes();
+        sched.lanes[2].capacity = Some(0);
+        let cfg = ServerConfig { sched, ..ServerConfig::default() };
+        let (results, report) = run(&cfg, |client| {
+            let ok = client.submit_with(tiny_render(0), Priority::Interactive, None);
+            let no = client.submit_with(tiny_render(1), Priority::Batch, None);
+            (ok, no)
+        });
+        assert!(results.0.is_ok());
+        assert_eq!(results.1, Err(SubmitError::Rejected));
+        assert_eq!(report.responses.len(), 1);
+        assert_eq!(report.metrics.lanes[2].rejected, 1);
+        assert_eq!(report.metrics.lanes[0].rejected, 0);
+    }
+
+    #[test]
     fn worker_panic_propagates_and_unblocks_waiters() {
         let cfg = ServerConfig::default(); // empty registry: unknown table panics
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             run(&cfg, |client| {
                 let id = client.submit(Workload::Table("no-such-generator".into())).unwrap();
-                // The waiter must unblock (None), not deadlock, before the
-                // panic resurfaces from `run`.
-                assert!(client.wait(id).is_none(), "waiter unblocked by worker failure");
+                // The waiter must unblock (Closed), not deadlock, before
+                // the panic resurfaces from `run`.
+                assert_eq!(
+                    client.wait_outcome(id),
+                    WaitOutcome::Closed,
+                    "waiter unblocked by worker failure"
+                );
             })
         }));
         let payload = outcome.expect_err("worker panic must cross run()");
@@ -647,5 +834,41 @@ mod tests {
         assert!(report.metrics.flushed_drain >= 1, "drain flush recorded");
         let ids: Vec<u64> = report.responses.iter().map(|r| r.id).collect();
         assert_eq!(ids, (0..10).collect::<Vec<_>>(), "sorted by id");
+    }
+
+    #[test]
+    fn deadline_zero_sheds_instead_of_rendering() {
+        // A zero deadline is expired the instant it can be dequeued: the
+        // scheduler must shed it (WaitOutcome::Shed), never render it.
+        let cfg = ServerConfig::default();
+        let (outcomes, report) = run(&cfg, |client| {
+            (0..4)
+                .map(|i| {
+                    let id = client
+                        .submit_with(tiny_render(i), Priority::Interactive, Some(Duration::ZERO))
+                        .unwrap();
+                    client.wait_outcome(id)
+                })
+                .collect::<Vec<_>>()
+        });
+        assert!(outcomes.iter().all(|o| *o == WaitOutcome::Shed), "all shed: {outcomes:?}");
+        assert!(report.responses.is_empty(), "a shed request is never rendered");
+        assert_eq!(report.metrics.shed, 4);
+        assert_eq!(report.metrics.lanes[0].shed, 4);
+        assert_eq!(report.metrics.requests, 0);
+    }
+
+    #[test]
+    fn generous_deadline_serves_normally() {
+        let cfg = ServerConfig::default();
+        let (outcome, report) = run(&cfg, |client| {
+            let id = client
+                .submit_with(tiny_render(3), Priority::Interactive, Some(Duration::from_secs(300)))
+                .unwrap();
+            client.wait_outcome(id)
+        });
+        assert!(matches!(outcome, WaitOutcome::Answered(_)), "unexpired request served");
+        assert_eq!(report.metrics.shed, 0);
+        assert_eq!(report.metrics.lanes[0].served, 1);
     }
 }

@@ -13,6 +13,7 @@ use rand::{Rng, SeedableRng};
 use fnr_tensor::Precision;
 
 use crate::request::{RenderJob, RenderPrecision, SceneKind, Workload};
+use crate::sched::Priority;
 
 /// Arrival-time shape of a generated workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +65,15 @@ pub struct WorkloadSpec {
     pub table_fraction: f64,
     /// Pacing scale: mean inter-arrival gap an open-loop driver sleeps.
     pub mean_gap: Duration,
+    /// Relative weights of the [`Priority`] classes (interactive,
+    /// standard, batch) a burst's traffic class is drawn from. Priorities
+    /// come from a *separate* seeded stream, so changing the mix never
+    /// moves the job sequence itself (the response-set digest is a pure
+    /// function of the jobs).
+    pub priority_mix: [f64; 3],
+    /// Relative deadline stamped on every generated job (`None` disables
+    /// shedding — the pre-scheduler behaviour).
+    pub deadline: Option<Duration>,
 }
 
 impl Default for WorkloadSpec {
@@ -75,16 +85,23 @@ impl Default for WorkloadSpec {
             table_names: Vec::new(),
             table_fraction: 0.15,
             mean_gap: Duration::from_micros(150),
+            priority_mix: [0.25, 0.5, 0.25],
+            deadline: None,
         }
     }
 }
 
 /// One scheduled job: how long an open-loop driver waits before
-/// submitting it (closed-loop drivers ignore the delay).
+/// submitting it (closed-loop drivers ignore the delay), its traffic
+/// class, and its relative deadline.
 #[derive(Debug, Clone)]
 pub struct TimedJob {
     /// Idle time before this submission.
     pub delay_before: Duration,
+    /// Traffic class (burst members share their burst's class).
+    pub priority: Priority,
+    /// Relative deadline from admission; `None` never sheds.
+    pub deadline: Option<Duration>,
     /// The work.
     pub job: Workload,
 }
@@ -119,15 +136,27 @@ fn random_render(rng: &mut StdRng, scene: SceneKind, precision: RenderPrecision)
 }
 
 /// Generates the job schedule for `spec`.
+///
+/// Jobs and arrival times come from the stream seeded by `spec.seed`
+/// exactly as they always have; traffic classes come from a *separate*
+/// stream (`assign_priorities`), so a priority-mix change can never move
+/// the job multiset — and therefore never the response-set digest.
 pub fn generate(spec: &WorkloadSpec) -> Vec<TimedJob> {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let gap_ns = spec.mean_gap.as_nanos() as u64;
     let mut out = Vec::with_capacity(spec.requests);
+    let timed = |delay_before: Duration, job: Workload| TimedJob {
+        delay_before,
+        // Placeholder class; `assign_priorities` rewrites it below.
+        priority: Priority::Standard,
+        deadline: spec.deadline,
+        job,
+    };
     while out.len() < spec.requests {
         match spec.pattern {
             ArrivalPattern::Uniform => {
                 let job = pick_job(&mut rng, spec, 1).remove(0);
-                out.push(TimedJob { delay_before: Duration::from_nanos(gap_ns), job });
+                out.push(timed(Duration::from_nanos(gap_ns), job));
             }
             ArrivalPattern::Bursty => {
                 let burst = rng.gen_range(2usize..=12).min(spec.requests - out.len());
@@ -138,7 +167,7 @@ pub fn generate(spec: &WorkloadSpec) -> Vec<TimedJob> {
                 let idle = Duration::from_nanos(gap_ns * burst as u64);
                 for (i, job) in jobs.into_iter().enumerate() {
                     let delay = if i == 0 { idle } else { Duration::ZERO };
-                    out.push(TimedJob { delay_before: delay, job });
+                    out.push(timed(delay, job));
                 }
             }
             ArrivalPattern::HeavyTailed => {
@@ -148,12 +177,45 @@ pub fn generate(spec: &WorkloadSpec) -> Vec<TimedJob> {
                 let pareto = 1.0 / u.powf(1.0 / 1.5);
                 let scaled = ((gap_ns as f64) * pareto.min(50.0) / 3.0) as u64;
                 let job = pick_job(&mut rng, spec, 1).remove(0);
-                out.push(TimedJob { delay_before: Duration::from_nanos(scaled), job });
+                out.push(timed(Duration::from_nanos(scaled), job));
             }
         }
     }
     out.truncate(spec.requests);
+    assign_priorities(&mut out, spec);
     out
+}
+
+/// Seed salt separating the priority stream from the job stream.
+const PRIORITY_STREAM_SALT: u64 = 0x70_72_69_6f_72_69_74_79; // "priority"
+
+/// Stamps seeded traffic classes onto a generated schedule: one draw from
+/// `spec.priority_mix` per burst (a zero-delay job continues its
+/// predecessor's burst and inherits its class — the whole burst is one
+/// user-visible event, so it travels in one lane).
+fn assign_priorities(jobs: &mut [TimedJob], spec: &WorkloadSpec) {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ PRIORITY_STREAM_SALT);
+    let total: f64 = spec.priority_mix.iter().sum();
+    let mut current = Priority::Standard;
+    for (i, tj) in jobs.iter_mut().enumerate() {
+        if i == 0 || !tj.delay_before.is_zero() {
+            current = if total <= 0.0 {
+                Priority::Standard
+            } else {
+                let mut u = rng.gen_range(0.0f64..1.0) * total;
+                let mut drawn = *Priority::ALL.last().expect("non-empty");
+                for (p, &w) in Priority::ALL.iter().zip(&spec.priority_mix) {
+                    if u < w {
+                        drawn = *p;
+                        break;
+                    }
+                    u -= w;
+                }
+                drawn
+            };
+        }
+        tj.priority = current;
+    }
 }
 
 /// Picks one coalescing key and emits `n` jobs under it.
@@ -214,6 +276,41 @@ mod tests {
         let jobs = generate(&spec);
         let tables = jobs.iter().filter(|t| matches!(t.job, Workload::Table(_))).count();
         assert!(tables > 10, "expected table traffic, got {tables}");
+    }
+
+    #[test]
+    fn priorities_are_seeded_burst_coherent_and_job_neutral() {
+        let spec = WorkloadSpec { requests: 120, ..WorkloadSpec::default() };
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.priority == y.priority), "same seed, same classes");
+        // Burst members inherit the burst head's class.
+        for w in a.windows(2) {
+            if w[1].delay_before.is_zero() {
+                assert_eq!(w[0].priority, w[1].priority, "burst member changed class");
+            }
+        }
+        // The default mix exercises more than one class.
+        let distinct: std::collections::HashSet<_> = a.iter().map(|t| t.priority).collect();
+        assert!(distinct.len() >= 2, "mix produced a single class: {distinct:?}");
+        // Moving the mix must move classes but never the job sequence.
+        let skewed = generate(&WorkloadSpec { priority_mix: [1.0, 0.0, 0.0], ..spec.clone() });
+        assert!(skewed.iter().all(|t| t.priority == Priority::Interactive));
+        for (x, y) in a.iter().zip(&skewed) {
+            assert_eq!(x.job, y.job, "priority mix leaked into the job stream");
+            assert_eq!(x.delay_before, y.delay_before);
+        }
+    }
+
+    #[test]
+    fn deadlines_stamp_every_job() {
+        let spec = WorkloadSpec {
+            requests: 16,
+            deadline: Some(Duration::from_micros(500)),
+            ..WorkloadSpec::default()
+        };
+        assert!(generate(&spec).iter().all(|t| t.deadline == Some(Duration::from_micros(500))));
+        assert!(generate(&WorkloadSpec { deadline: None, ..spec }).iter().all(|t| t.deadline.is_none()));
     }
 
     #[test]

@@ -8,7 +8,10 @@
 use std::time::Duration;
 
 use fnr_serve::workload::{generate, ArrivalPattern, WorkloadSpec};
-use fnr_serve::{run, run_open_loop, RenderJob, RenderPrecision, SceneKind, ServerConfig, Workload};
+use fnr_serve::{
+    run, run_open_loop, Priority, RenderJob, RenderPrecision, SceneKind, ServerConfig,
+    WaitOutcome, Workload,
+};
 use fnr_tensor::Precision;
 
 fn main() {
@@ -54,4 +57,35 @@ fn main() {
         m.digest
     );
     println!("rerun with FNR_THREADS=1: the digest will not move.");
+
+    // 3. Traffic classes and deadlines: an interactive request with a
+    //    generous deadline renders; one whose deadline already passed is
+    //    shed at dequeue — dropped and counted, never rendered.
+    let cfg = ServerConfig::default();
+    let (outcomes, report) = run(&cfg, |client| {
+        let job = |seed| {
+            Workload::Render(RenderJob {
+                scene: SceneKind::Mic,
+                precision: RenderPrecision::Fp32,
+                width: 8,
+                height: 8,
+                spp: 4,
+                camera_seed: seed,
+            })
+        };
+        let fast = client
+            .submit_with(job(1), Priority::Interactive, Some(Duration::from_secs(60)))
+            .expect("admitted");
+        let late = client
+            .submit_with(job(2), Priority::Batch, Some(Duration::ZERO))
+            .expect("admitted");
+        (client.wait_outcome(fast), client.wait_outcome(late))
+    });
+    assert!(matches!(outcomes.0, WaitOutcome::Answered(_)));
+    assert_eq!(outcomes.1, WaitOutcome::Shed);
+    println!(
+        "deadlines: interactive answered, expired batch request shed \
+         ({} shed total; interactive lane served {})",
+        report.metrics.shed, report.metrics.lanes[0].served
+    );
 }

@@ -1,16 +1,17 @@
-//! Serving-runtime edge cases: admission under zero capacity, worker
-//! failure, flush-policy behaviour under real threading, and a short
-//! closed-loop soak.
+//! Serving-runtime edge cases: admission under zero capacity, all-lanes-
+//! full backpressure, shed-everything deadlines, the single-lane FIFO
+//! digest pin, worker failure under multi-lane pop, flush-policy
+//! behaviour under real threading, and a short closed-loop soak.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use fnr_serve::workload::{generate, ArrivalPattern, WorkloadSpec};
 use fnr_serve::{
-    run, run_closed_loop, RenderJob, RenderPrecision, SceneKind, ServerConfig, SubmitError,
-    Workload,
+    response_set_digest, run, run_closed_loop, run_open_loop, Priority, RenderJob,
+    RenderPrecision, SceneKind, SchedConfig, ServerConfig, SubmitError, WaitOutcome, Workload,
 };
 
 fn tiny_render(seed: u64) -> Workload {
@@ -39,6 +40,138 @@ fn zero_capacity_queue_rejects_blocking_and_nonblocking_submits() {
     assert!(report.responses.is_empty());
 }
 
+/// All lanes full: non-blocking submits must reject and blocking submits
+/// must park (true backpressure) — then drain once capacity returns.
+#[test]
+fn all_lanes_full_backpressure_rejects_try_submit_and_parks_blocking_submit() {
+    // A gated generator wedges the lone worker; max_batch 1 makes every
+    // request its own batch, so the pipeline saturates (1 executing +
+    // 2 batch-queue slots + the scheduler blocked on its hand-off) and
+    // further arrivals stack in their 2-slot lane until it fills.
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let mut cfg = ServerConfig {
+        workers: 1,
+        queue_capacity: 2,
+        max_batch: 1,
+        ..ServerConfig::default()
+    };
+    let gate_in_worker = Arc::clone(&gate);
+    cfg.tables.register(
+        "gated",
+        Arc::new(move || {
+            let (lock, cv) = &*gate_in_worker;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            b"gated".to_vec()
+        }),
+    );
+    let (all_ids, report) = run(&cfg, |client| {
+        let mut admitted = Vec::new();
+        let mut saw_reject = false;
+        // The pipeline absorbs a bounded handful; well before 32 submits
+        // the standard lane must report Full.
+        for _ in 0..32 {
+            match client.try_submit(Workload::Table("gated".into())) {
+                Ok(id) => admitted.push(id),
+                Err(SubmitError::Rejected) => {
+                    saw_reject = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected submit error {e:?}"),
+            }
+            // Give the scheduler a beat so absorption settles and the
+            // rejection genuinely means "every slot ahead is taken".
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(saw_reject, "a wedged pipeline must eventually reject try_submit");
+        // A blocking submit on the full lane parks instead of rejecting.
+        let parked_returned = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let flag = &parked_returned;
+            let parked = s.spawn(move || {
+                let id = client.submit(Workload::Table("gated".into())).expect("parks, then admits");
+                flag.store(true, Ordering::SeqCst);
+                id
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            assert!(
+                !parked_returned.load(Ordering::SeqCst),
+                "blocking submit must park while every lane slot is taken"
+            );
+            // Open the gate: the pipeline drains and the parked submit lands.
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+            admitted.push(parked.join().expect("parked submitter"));
+        });
+        for &id in &admitted {
+            assert!(
+                matches!(client.wait_outcome(id), WaitOutcome::Answered(_)),
+                "request {id} must answer after the gate opens"
+            );
+        }
+        admitted
+    });
+    assert_eq!(report.metrics.requests, all_ids.len(), "everything admitted was answered");
+    assert!(report.metrics.rejected >= 1, "the rejection was counted");
+    assert_eq!(report.metrics.shed, 0);
+}
+
+/// Deadline zero: the whole workload is expired on arrival — every
+/// request sheds, none renders, and the digest is the empty set's.
+#[test]
+fn deadline_zero_sheds_the_entire_workload() {
+    let spec = WorkloadSpec {
+        requests: 40,
+        seed: 11,
+        pattern: ArrivalPattern::Bursty,
+        mean_gap: Duration::from_micros(10),
+        deadline: Some(Duration::ZERO),
+        ..WorkloadSpec::default()
+    };
+    let report = run_open_loop(&ServerConfig::default(), &generate(&spec));
+    assert!(report.responses.is_empty(), "an expired request is never rendered");
+    assert_eq!(report.metrics.requests, 0);
+    assert_eq!(report.metrics.shed + report.metrics.rejected, 40, "all 40 accounted");
+    assert!(report.metrics.shed > 0, "sheds, not rejects, do the dropping here");
+    assert_eq!(report.metrics.digest, response_set_digest(&[]), "empty-set digest");
+    for lane in &report.metrics.lanes {
+        assert_eq!(lane.served, 0, "lane {} served an expired request", lane.name);
+        assert_eq!(lane.submitted, lane.shed);
+    }
+}
+
+/// The degenerate single-lane no-deadline config is the pre-scheduler
+/// FIFO server: on CI's exact 1000-request seed-42 bursty workload it
+/// must reproduce the pre-PR response-set digest bit for bit.
+#[test]
+fn single_lane_no_deadline_reproduces_the_pre_scheduler_fifo_digest() {
+    let spec = WorkloadSpec {
+        requests: 1000,
+        seed: 42,
+        pattern: ArrivalPattern::Bursty,
+        table_names: fnr_bench::serving::table_names(),
+        mean_gap: Duration::from_micros(150),
+        ..WorkloadSpec::default()
+    };
+    let cfg = ServerConfig {
+        queue_capacity: 256,
+        sched: SchedConfig::single_lane(),
+        tables: fnr_bench::serving::table_registry(),
+        ..ServerConfig::default()
+    };
+    let report = run_open_loop(&cfg, &generate(&spec));
+    assert_eq!(report.responses.len(), 1000);
+    assert_eq!(
+        report.metrics.digest, 0xda74_9e53_2f3d_ecd8,
+        "single-lane scheduling moved the FIFO workload's response bytes"
+    );
+    assert_eq!(report.metrics.lanes.len(), 1);
+    assert_eq!(report.metrics.lanes[0].served, 1000);
+}
+
 #[test]
 fn worker_panic_propagates_through_the_pool_and_frees_waiters() {
     // Unknown table name → the executing worker panics. The panic must:
@@ -51,9 +184,17 @@ fn worker_panic_propagates_through_the_pool_and_frees_waiters() {
                 client.wait(poisoned).is_none(),
                 "waiter must observe the failure, not deadlock"
             );
-            // Follow-up submits must fail fast (closed), not hang.
-            let follow_up = client.submit(tiny_render(0));
-            assert_eq!(follow_up, Err(SubmitError::Closed));
+            // Follow-up submits on *every* lane of the multi-lane queue
+            // must fail fast (closed), not hang — the dying worker closed
+            // all of them at once.
+            for p in Priority::ALL {
+                assert_eq!(
+                    client.submit_with(tiny_render(p.index() as u64), p, None),
+                    Err(SubmitError::Closed),
+                    "lane {} kept admitting after worker death",
+                    p.name()
+                );
+            }
         })
     }));
     let payload = outcome.expect_err("worker panic must cross the pool boundary");

@@ -2,7 +2,10 @@
 //! workload must be byte-identical at any `FNR_THREADS` — the same
 //! contract `tests/parallel_equivalence.rs` enforces for the repro
 //! pipeline, lifted to the request level. Batch composition and metrics
-//! may move with timing; payload bytes may not.
+//! may move with timing; payload bytes may not. The scheduling layer
+//! tightens this further: under the virtual-clock harness the per-lane
+//! served/shed/expired counters, queue histograms and virtual wall clock
+//! are *also* byte-identical at any width.
 //!
 //! Width flips are process-global, so every test here holds
 //! `fnr_par::width_test_guard` for its whole body.
@@ -11,7 +14,10 @@ use std::time::Duration;
 
 use fnr_par::width_test_guard as width_guard;
 use fnr_serve::workload::{generate, ArrivalPattern, WorkloadSpec};
-use fnr_serve::{run_open_loop, ServeReport, ServerConfig};
+use fnr_serve::{
+    run_open_loop, run_virtual, SchedConfig, ServeMetrics, ServeReport, ServerConfig,
+    VirtualService,
+};
 
 fn bursty_spec(requests: usize) -> WorkloadSpec {
     WorkloadSpec {
@@ -95,4 +101,103 @@ fn digest_is_independent_of_batching_policy() {
     fnr_par::set_num_threads(1);
     assert_eq!(a.metrics.digest, b.metrics.digest, "batch composition leaked into payloads");
     assert!((a.metrics.mean_occupancy - 1.0).abs() < 1e-9, "max_batch=1 forces singletons");
+}
+
+#[test]
+fn digest_is_independent_of_lane_policy() {
+    // With no deadlines the scheduler may only reorder, never drop: the
+    // 4/2/1 priority lanes and the degenerate single lane must produce
+    // the same response set as each other (and CI pins that set to the
+    // pre-scheduler FIFO digest).
+    let _g = width_guard();
+    fnr_par::set_num_threads(2);
+    let jobs = generate(&bursty_spec(90));
+    let tables = fnr_bench::serving::table_registry();
+    let multi = run_open_loop(
+        &ServerConfig { tables: tables.clone(), ..ServerConfig::default() },
+        &jobs,
+    );
+    let single = run_open_loop(
+        &ServerConfig { sched: SchedConfig::single_lane(), tables, ..ServerConfig::default() },
+        &jobs,
+    );
+    fnr_par::set_num_threads(1);
+    assert_eq!(multi.responses.len(), 90);
+    assert_eq!(
+        multi.metrics.digest, single.metrics.digest,
+        "lane policy leaked into payload bytes"
+    );
+    assert_eq!(multi.metrics.shed, 0);
+    assert_eq!(single.metrics.shed, 0);
+}
+
+/// The scheduling fields of [`ServeMetrics`] that must be *exactly*
+/// equal between two virtual-clock runs, whatever the pool width.
+fn sched_fingerprint(m: &ServeMetrics) -> String {
+    let mut out = format!(
+        "digest={:#018x} requests={} shed={} expired={} rejected={} wall={}\n",
+        m.digest, m.requests, m.shed, m.expired, m.rejected, m.wall_ns
+    );
+    for lane in &m.lanes {
+        out.push_str(&format!(
+            "lane {} w{} submitted={} served={} shed={} expired={} rejected={} hist={:?}\n",
+            lane.name,
+            lane.weight,
+            lane.submitted,
+            lane.served,
+            lane.shed,
+            lane.expired,
+            lane.rejected,
+            lane.queue_hist.counts()
+        ));
+    }
+    out
+}
+
+#[test]
+fn virtual_clock_scheduling_is_byte_identical_at_any_width() {
+    // The acceptance contract of the scheduling layer: for a fixed seed
+    // and virtual-clock trace, the response-set digest *and* the per-lane
+    // shed/served counters are byte-identical across FNR_THREADS — the
+    // harness decides scheduling single-threaded; width only renders the
+    // decided batches faster.
+    let _g = width_guard();
+    let spec = WorkloadSpec {
+        requests: 150,
+        seed: 1905,
+        pattern: ArrivalPattern::Bursty,
+        table_names: fnr_bench::serving::table_names(),
+        mean_gap: Duration::from_micros(50),
+        priority_mix: [0.3, 0.4, 0.3],
+        deadline: Some(Duration::from_millis(4)),
+        ..WorkloadSpec::default()
+    };
+    let jobs = generate(&spec);
+    // One slow virtual worker: saturation makes the deadline policy bite.
+    let cfg = ServerConfig {
+        workers: 1,
+        tables: fnr_bench::serving::table_registry(),
+        ..ServerConfig::default()
+    };
+    let service = VirtualService { service_ns: 1_500_000 };
+
+    fnr_par::set_num_threads(1);
+    let serial = run_virtual(&cfg, &jobs, service);
+    fnr_par::set_num_threads(4);
+    let parallel = run_virtual(&cfg, &jobs, service);
+    fnr_par::set_num_threads(1);
+
+    assert!(serial.metrics.shed > 0, "the trace must exercise shedding");
+    assert!(serial.metrics.requests > 0, "the trace must serve something");
+    assert_eq!(
+        sched_fingerprint(&serial.metrics),
+        sched_fingerprint(&parallel.metrics),
+        "virtual-clock scheduling moved with FNR_THREADS"
+    );
+    // Full response vectors too: ids and payload bytes.
+    assert_eq!(serial.responses.len(), parallel.responses.len());
+    for (a, b) in serial.responses.iter().zip(&parallel.responses) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.bytes, b.bytes, "payload of request {} moved with thread width", a.id);
+    }
 }
