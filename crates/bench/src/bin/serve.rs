@@ -20,18 +20,29 @@
 //! clock: the digest *and* every `lane` counter line are deterministic,
 //! which is what CI's mixed-priority deadline leg diffs.
 //!
-//! Knobs: `--requests N`, `--pattern bursty|uniform|heavy`, `--seed S`,
-//! `--mode open|closed|virtual`, `--clients K` (closed-loop), `--workers W`,
-//! `--queue-capacity C`, `--max-batch B`, `--linger-us U`,
-//! `--mean-gap-us U`, `--sched lanes|fifo`, `--priority-mix I,S,B`,
-//! `--deadline-us U`, `--service-us U` (virtual batch service time),
-//! `--json PATH`, `--expect-coalescing`.
+//! Knobs: `--requests N`, `--pattern bursty|uniform|heavy|diurnal|flash`,
+//! `--seed S`, `--mode open|closed|virtual|cluster`, `--clients K`
+//! (closed-loop), `--workers W`, `--queue-capacity C`, `--max-batch B`,
+//! `--linger-us U`, `--mean-gap-us U`, `--sched lanes|fifo`,
+//! `--priority-mix I,S,B`, `--deadline-us U`, `--service-us U` (virtual
+//! batch service time), `--json PATH`, `--expect-coalescing`.
+//!
+//! Cluster mode (`--mode cluster`) replays the schedule through the
+//! N-replica consistent-hash DES (`fnr_serve::cluster`): `--replicas N`,
+//! `--faults SPEC` (`kill@500ms:1,restart@900ms:1`; ns/us/ms/s suffixes)
+//! or `--fault-seed S --fault-kills K` for a seeded random plan,
+//! `--max-inflight N`, `--cold-start-us U`, `--vnodes V`,
+//! `--router-seed S`, `--payload render|synthetic`. The `cluster:` /
+//! `replica rN:` / `response digest:` lines and the
+//! `flexnerfer-cluster-bench/1` JSON are all byte-deterministic at any
+//! `FNR_THREADS` — CI's cluster leg diffs them.
 
 use std::time::Duration;
 
 use fnr_serve::workload::{generate, ArrivalPattern, WorkloadSpec};
 use fnr_serve::{
-    run_closed_loop_thinking, run_open_loop, run_virtual, SchedConfig, ServeReport, ServerConfig,
+    run_closed_loop_thinking, run_cluster, run_open_loop, run_virtual, ClusterConfig,
+    ClusterService, FaultPlan, PayloadMode, RouterConfig, SchedConfig, ServeReport, ServerConfig,
     ThinkTime, VirtualService,
 };
 
@@ -54,6 +65,15 @@ struct Args {
     service: Duration,
     json: Option<String>,
     expect_coalescing: bool,
+    replicas: usize,
+    faults: Option<String>,
+    fault_seed: u64,
+    fault_kills: usize,
+    max_inflight: usize,
+    cold_start: Duration,
+    vnodes: usize,
+    router_seed: u64,
+    payload: PayloadMode,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -61,6 +81,7 @@ enum Mode {
     Open,
     Closed,
     Virtual,
+    Cluster,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -98,6 +119,15 @@ fn parse_args() -> Args {
         service: Duration::from_micros(500),
         json: None,
         expect_coalescing: false,
+        replicas: 4,
+        faults: None,
+        fault_seed: 7,
+        fault_kills: 0,
+        max_inflight: 1024,
+        cold_start: Duration::from_millis(2),
+        vnodes: 64,
+        router_seed: 0,
+        payload: PayloadMode::Render,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -118,7 +148,8 @@ fn parse_args() -> Args {
                 "open" => args.mode = Mode::Open,
                 "closed" => args.mode = Mode::Closed,
                 "virtual" => args.mode = Mode::Virtual,
-                m => usage(&format!("unknown mode `{m}` (open|closed|virtual)")),
+                "cluster" => args.mode = Mode::Cluster,
+                m => usage(&format!("unknown mode `{m}` (open|closed|virtual|cluster)")),
             },
             "--clients" => args.clients = parse_num(&operand(&mut i, "--clients")).max(1),
             "--workers" => args.workers = parse_num(&operand(&mut i, "--workers")).max(1),
@@ -168,6 +199,24 @@ fn parse_args() -> Args {
             }
             "--json" => args.json = Some(operand(&mut i, "--json")),
             "--expect-coalescing" => args.expect_coalescing = true,
+            "--replicas" => args.replicas = parse_num(&operand(&mut i, "--replicas")).clamp(1, 128),
+            "--faults" => args.faults = Some(operand(&mut i, "--faults")),
+            "--fault-seed" => args.fault_seed = parse_num(&operand(&mut i, "--fault-seed")) as u64,
+            "--fault-kills" => args.fault_kills = parse_num(&operand(&mut i, "--fault-kills")),
+            "--max-inflight" => {
+                args.max_inflight = parse_num(&operand(&mut i, "--max-inflight")).max(1)
+            }
+            "--cold-start-us" => {
+                args.cold_start =
+                    Duration::from_micros(parse_num(&operand(&mut i, "--cold-start-us")) as u64)
+            }
+            "--vnodes" => args.vnodes = parse_num(&operand(&mut i, "--vnodes")).max(1),
+            "--router-seed" => args.router_seed = parse_num(&operand(&mut i, "--router-seed")) as u64,
+            "--payload" => {
+                let p = operand(&mut i, "--payload");
+                args.payload = PayloadMode::parse(&p)
+                    .unwrap_or_else(|| usage(&format!("unknown payload mode `{p}` (render|synthetic)")));
+            }
             other => usage(&format!("unknown flag `{other}`")),
         }
         i += 1;
@@ -182,12 +231,15 @@ fn parse_num(s: &str) -> usize {
 fn usage(msg: &str) -> ! {
     eprintln!("[serve] {msg}");
     eprintln!(
-        "usage: serve [--requests N] [--pattern bursty|uniform|heavy] [--seed S] \
-         [--mode open|closed|virtual] [--clients K] [--workers W] [--queue-capacity C] \
+        "usage: serve [--requests N] [--pattern bursty|uniform|heavy|diurnal|flash] [--seed S] \
+         [--mode open|closed|virtual|cluster] [--clients K] [--workers W] [--queue-capacity C] \
          [--max-batch B] [--linger-us U] [--mean-gap-us U] \
          [--think none|constant|exp] [--think-us U] [--sched lanes|fifo] \
          [--priority-mix I,S,B] [--deadline-us U] [--service-us U] \
-         [--json PATH] [--expect-coalescing]"
+         [--json PATH] [--expect-coalescing] \
+         [--replicas N] [--faults SPEC] [--fault-seed S] [--fault-kills K] \
+         [--max-inflight N] [--cold-start-us U] [--vnodes V] [--router-seed S] \
+         [--payload render|synthetic]"
     );
     std::process::exit(2);
 }
@@ -225,6 +277,7 @@ fn main() {
             Mode::Open => "open",
             Mode::Closed => "closed",
             Mode::Virtual => "virtual",
+            Mode::Cluster => "cluster",
         },
         args.workers,
         args.max_batch,
@@ -233,6 +286,10 @@ fn main() {
             SchedKind::Fifo => "single-lane",
         },
     );
+    if args.mode == Mode::Cluster {
+        run_cluster_mode(&args, &jobs, cfg);
+        return;
+    }
     let think = match args.think {
         ThinkKind::None => ThinkTime::None,
         ThinkKind::Constant => ThinkTime::Constant(Duration::from_micros(args.think_us)),
@@ -250,6 +307,7 @@ fn main() {
             &jobs,
             VirtualService { service_ns: args.service.as_nanos() as u64 },
         ),
+        Mode::Cluster => unreachable!("cluster mode returned above"),
     };
 
     let m = &report.metrics;
@@ -305,6 +363,121 @@ fn main() {
         eprintln!(
             "[serve] coalescable occupancy {:.3} <= 1.0 — the batcher failed to coalesce",
             m.coalescable_occupancy
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Cluster mode: replay the schedule through the N-replica DES, print the
+/// greppable `cluster:` / `replica rN:` / digest lines CI diffs, and emit
+/// the `flexnerfer-cluster-bench/1` record.
+fn run_cluster_mode(args: &Args, jobs: &[fnr_serve::workload::TimedJob], server: ServerConfig) {
+    let faults = if let Some(spec) = &args.faults {
+        FaultPlan::parse(spec).unwrap_or_else(|e| usage(&e))
+    } else if args.fault_kills > 0 {
+        // Seeded plan over the schedule's nominal span (requests x mean
+        // gap) — a pure function of the CLI arguments.
+        let horizon_ns = args.requests as u64 * args.mean_gap.as_nanos() as u64;
+        FaultPlan::seeded(args.fault_seed, args.replicas, horizon_ns, args.fault_kills)
+    } else {
+        FaultPlan::none()
+    };
+    let fault_events = faults.events().len();
+    let cfg = ClusterConfig {
+        replicas: args.replicas,
+        server,
+        router: RouterConfig { vnodes: args.vnodes, seed: args.router_seed },
+        max_inflight: args.max_inflight,
+        service: ClusterService {
+            service_ns: args.service.as_nanos() as u64,
+            cold_start_ns: args.cold_start.as_nanos() as u64,
+        },
+        faults,
+        payload: args.payload,
+    };
+    eprintln!(
+        "[serve] cluster: {} replicas, {} vnodes, inflight bound {}, {} fault events, {} payloads",
+        cfg.replicas,
+        cfg.router.vnodes,
+        cfg.max_inflight,
+        fault_events,
+        match cfg.payload {
+            PayloadMode::Render => "render",
+            PayloadMode::Synthetic => "synthetic",
+        }
+    );
+
+    let report = run_cluster(&cfg, jobs);
+    let m = &report.metrics;
+    println!("# fnr_serve — cluster simulation report\n");
+    println!(
+        "workload: {} requests ({} arrivals, seed {})",
+        args.requests,
+        args.pattern.name(),
+        args.seed
+    );
+    // Greppable, byte-deterministic lines: CI's cluster leg diffs every
+    // `cluster ` / `replica ` / `response digest` line between its
+    // FNR_THREADS=1 and default runs.
+    println!(
+        "cluster totals: submitted {} served {} shed {} front-door {} expired {} rejected {} \
+         failed-over {} kills {} restarts {}",
+        m.submitted,
+        m.served,
+        m.shed,
+        m.front_door_shed,
+        m.expired,
+        m.rejected,
+        m.failed_over,
+        m.kills,
+        m.restarts
+    );
+    for r in &m.replicas {
+        println!(
+            "replica r{}: {} routed {} served {} shed {} expired {} rejected {} fo-in {} fo-out {} \
+             cache {}/{} kills {} restarts {} digest {:#018x}",
+            r.replica,
+            if r.alive { "alive" } else { "dead" },
+            r.routed,
+            r.metrics.requests,
+            r.metrics.shed,
+            r.metrics.expired,
+            r.metrics.rejected,
+            r.failed_over_in,
+            r.failed_over_out,
+            r.cache_hits,
+            r.cache_misses,
+            r.kills,
+            r.restarts,
+            r.metrics.digest
+        );
+    }
+    println!(
+        "cluster latency hist: {:?} over {} samples",
+        m.latency_hist.counts(),
+        m.latency_hist.total()
+    );
+    println!("wall: {:.1} ms (virtual), fnr_par threads {}", m.wall_ns as f64 / 1e6, m.threads);
+    println!("response digest: {:#018x} over {} responses", m.digest, report.responses.len());
+
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, m.to_json()) {
+            eprintln!("[serve] failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[serve] wrote cluster metrics to {path}");
+    }
+
+    if !m.conserves_submitted() || report.responses.len() != m.served {
+        eprintln!(
+            "[serve] cluster accounting broken: {} served + {} shed + {} rejected + {} front-door \
+             != {} submitted (responses {})",
+            m.served,
+            m.shed,
+            m.rejected,
+            m.front_door_shed,
+            m.submitted,
+            report.responses.len()
         );
         std::process::exit(1);
     }

@@ -1,0 +1,628 @@
+//! Deterministic cluster discrete-event simulation: N replica serving
+//! pipelines behind a seeded consistent-hash front door, with fault
+//! injection, on one shared virtual clock.
+//!
+//! Each replica is a full [`VirtualPipeline`] — its own lanes,
+//! weighted-deficit scheduler, batcher, virtual workers and modeled
+//! per-`(scene, precision)` model cache. The front door routes every
+//! arrival by its coalescing key over a [`HashRing`] (scene affinity:
+//! same key, same replica, warm cache, fat batches), skipping replicas
+//! that are dead or at their inflight bound. A [`FaultPlan`] kills and
+//! restarts replicas on the virtual clock: a kill orphans everything in
+//! flight on that replica and the front door immediately re-routes the
+//! orphans over the surviving ring (failover) or drops them; the
+//! replica restarts with a cold cache.
+//!
+//! Everything that *decides* — routing, admission, scheduling, batching,
+//! cache hits, fault handling — runs single-threaded in event order, so
+//! for a fixed schedule and fault plan the cluster digest, per-replica
+//! counters, cache ratios and latency histograms are byte-identical at
+//! any `FNR_THREADS`; the decided batches then render for real over
+//! `fnr_par` (or produce tiny synthetic hash payloads for
+//! million-request runs). This extends the single-server `run_virtual`
+//! equivalence methodology to a cluster; `--replicas 1` with no faults
+//! reproduces `run_virtual` exactly (pinned in `tests/serve_equivalence.rs`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::{ClusterMetrics, LaneAccounting, ReplicaStats, ServeMetrics};
+use crate::request::{response_set_digest, synthetic_payload, Request, Response};
+use crate::router::{HashRing, RouterConfig};
+use crate::server::{execute_batch, ServerConfig};
+use crate::vclock::VirtualPipeline;
+use crate::workload::TimedJob;
+
+/// Virtual service model for the cluster simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterService {
+    /// Virtual time one batch occupies one virtual worker.
+    pub service_ns: u64,
+    /// Extra virtual time the *first* batch of a `(scene, precision)`
+    /// model pays after a cold start (quantize + calibrate + upload);
+    /// subsequent batches hit the replica's model cache.
+    pub cold_start_ns: u64,
+}
+
+impl Default for ClusterService {
+    fn default() -> Self {
+        ClusterService { service_ns: 500_000, cold_start_ns: 2_000_000 }
+    }
+}
+
+/// What a fault event does to its replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Crash: orphan all in-flight work, reset scheduler/batcher state,
+    /// drop the model cache. Ignored if the replica is already dead.
+    Kill,
+    /// Bring a dead replica back (cold). Ignored if already alive.
+    Restart,
+}
+
+/// One scheduled fault on the virtual clock.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultEvent {
+    /// Virtual time the fault fires.
+    pub at_ns: u64,
+    /// Target replica index.
+    pub replica: usize,
+    /// Kill or restart.
+    pub kind: FaultKind,
+}
+
+/// A time-sorted schedule of replica faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan over the given events, sorted by time (stable, so
+    /// same-instant events keep their listed order — a kill listed
+    /// before a restart at the same tick stays kill-first).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at_ns);
+        FaultPlan { events }
+    }
+
+    /// Parses the CLI fault grammar: a comma-separated list of
+    /// `kill@TIME:REPLICA` / `restart@TIME:REPLICA`, where `TIME` takes
+    /// an `ns`/`us`/`ms`/`s` suffix — e.g.
+    /// `kill@500ms:1,restart@900ms:1`. An empty string is no faults.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (kind_s, rest) = part
+                .split_once('@')
+                .ok_or_else(|| format!("fault `{part}`: expected KIND@TIME:REPLICA"))?;
+            let kind = match kind_s {
+                "kill" => FaultKind::Kill,
+                "restart" => FaultKind::Restart,
+                other => return Err(format!("unknown fault kind `{other}`")),
+            };
+            let (time_s, replica_s) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("fault `{part}`: expected KIND@TIME:REPLICA"))?;
+            let at_ns = parse_time_ns(time_s)
+                .ok_or_else(|| format!("fault `{part}`: bad time `{time_s}`"))?;
+            let replica: usize = replica_s
+                .parse()
+                .map_err(|_| format!("fault `{part}`: bad replica `{replica_s}`"))?;
+            events.push(FaultEvent { at_ns, replica, kind });
+        }
+        Ok(FaultPlan::new(events))
+    }
+
+    /// A seeded random plan: `kills` kill events at uniform times in the
+    /// middle of `[0, horizon_ns)`, each followed by a restart after a
+    /// seeded downtime — the chaos suite's generator.
+    pub fn seeded(seed: u64, replicas: usize, horizon_ns: u64, kills: usize) -> Self {
+        let horizon = horizon_ns.max(1_000);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        for _ in 0..kills {
+            let replica = rng.gen_range(0usize..replicas.max(1));
+            let at_ns = rng.gen_range(horizon / 10..horizon * 8 / 10);
+            let downtime = rng.gen_range(horizon / 50..horizon / 8);
+            events.push(FaultEvent { at_ns, replica, kind: FaultKind::Kill });
+            events.push(FaultEvent { at_ns: at_ns + downtime, replica, kind: FaultKind::Restart });
+        }
+        FaultPlan::new(events)
+    }
+
+    /// The schedule, time-sorted.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Parses `500ms` / `250us` / `3s` / `1200ns` into nanoseconds.
+fn parse_time_ns(s: &str) -> Option<u64> {
+    let (num, mul) = if let Some(n) = s.strip_suffix("ns") {
+        (n, 1u64)
+    } else if let Some(n) = s.strip_suffix("us") {
+        (n, 1_000)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1_000_000)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000_000_000)
+    } else {
+        (s, 1)
+    };
+    num.parse::<u64>().ok().map(|v| v.saturating_mul(mul))
+}
+
+/// How decided batches turn into response bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadMode {
+    /// Render for real through the production batch executor (pixels /
+    /// table bytes) — the default, digest-compatible with the threaded
+    /// server and `run_virtual`.
+    Render,
+    /// 16-byte deterministic hash payloads ([`synthetic_payload`]):
+    /// the same purity and digest-equivalence contract at a cost that
+    /// lets CI replay millions of requests.
+    Synthetic,
+}
+
+impl PayloadMode {
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "render" => Some(PayloadMode::Render),
+            "synthetic" => Some(PayloadMode::Synthetic),
+            _ => None,
+        }
+    }
+}
+
+/// Cluster shape and policy.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Replica count (1..=128).
+    pub replicas: usize,
+    /// Per-replica server configuration (lanes, workers, batcher).
+    pub server: ServerConfig,
+    /// Consistent-hash ring shape.
+    pub router: RouterConfig,
+    /// Per-replica inflight bound: the front door walks past a replica
+    /// holding this many un-terminated requests.
+    pub max_inflight: usize,
+    /// Virtual service model (per-batch cost + cache cold-start cost).
+    pub service: ClusterService,
+    /// Replica kill/restart schedule.
+    pub faults: FaultPlan,
+    /// Real renders or synthetic hash payloads.
+    pub payload: PayloadMode,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            replicas: 4,
+            server: ServerConfig::default(),
+            router: RouterConfig::default(),
+            max_inflight: 1024,
+            service: ClusterService::default(),
+            faults: FaultPlan::none(),
+            payload: PayloadMode::Render,
+        }
+    }
+}
+
+/// What [`run_cluster`] returns.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// All responses served anywhere in the cluster, sorted by request id.
+    pub responses: Vec<Response>,
+    /// Cluster-wide and per-replica metrics.
+    pub metrics: ClusterMetrics,
+}
+
+/// The mutable cluster state the event loop advances.
+struct ClusterState<'c> {
+    cfg: &'c ClusterConfig,
+    ring: HashRing,
+    pipes: Vec<VirtualPipeline>,
+    alive: Vec<bool>,
+    routed: Vec<usize>,
+    failed_over_out: Vec<usize>,
+    failed_over_in: Vec<usize>,
+    kills: Vec<usize>,
+    restarts: Vec<usize>,
+    front_door_shed: usize,
+    /// Index of the next unapplied fault in the sorted plan.
+    next_fault: usize,
+    /// Virtual time of the last event that touched a pipeline.
+    last_event_ns: u64,
+}
+
+impl<'c> ClusterState<'c> {
+    /// Picks the replica for `req_key_hash` that is alive and under its
+    /// inflight bound, walking the ring clockwise.
+    fn pick(&self, key_hash: u64) -> Option<usize> {
+        let (alive, pipes, max) = (&self.alive, &self.pipes, self.cfg.max_inflight);
+        self.ring.route(key_hash, |r| alive[r] && pipes[r].inflight() < max)
+    }
+
+    /// Fails an orphaned request over to a surviving replica (or drops it
+    /// at the front door). The request keeps its original arrival time
+    /// and deadline: time lost on the dead replica stays on its clock.
+    fn reroute(&mut self, req: Request, t: u64, from: usize) {
+        let key_hash = HashRing::key_hash(&req.job.key());
+        match self.pick(key_hash) {
+            Some(r) => {
+                if self.pipes[r].admit_request(req, t) {
+                    self.failed_over_in[r] += 1;
+                    self.failed_over_out[from] += 1;
+                }
+                // A lane-full reject is already counted by the target
+                // pipeline's admission accounting.
+            }
+            None => self.front_door_shed += 1,
+        }
+    }
+
+    /// Applies one fault at its scheduled time.
+    fn apply_fault(&mut self, ev: FaultEvent) {
+        let r = ev.replica;
+        if r >= self.pipes.len() {
+            return; // plan may name more replicas than the cluster has
+        }
+        match ev.kind {
+            FaultKind::Kill if self.alive[r] => {
+                self.alive[r] = false;
+                self.kills[r] += 1;
+                self.last_event_ns = self.last_event_ns.max(ev.at_ns);
+                for req in self.pipes[r].kill(ev.at_ns) {
+                    self.reroute(req, ev.at_ns, r);
+                }
+            }
+            FaultKind::Restart if !self.alive[r] => {
+                // The pipeline was reset at kill time; it comes back
+                // empty with a cold cache.
+                self.alive[r] = true;
+                self.restarts[r] += 1;
+            }
+            _ => {} // kill of a dead replica / restart of a live one: no-op
+        }
+    }
+
+    /// Advances the cluster through every timer and fault up to `target`
+    /// (faults win ties — a crash at `t` beats a linger flush at `t`).
+    /// Returns the clock position (`target`, unless `target` is the
+    /// drain sentinel `u64::MAX`, in which case the last event time).
+    fn process_until(&mut self, target: u64, now: u64) -> u64 {
+        let mut now = now;
+        loop {
+            let pipe_next = self
+                .pipes
+                .iter()
+                .filter_map(|p| p.next_event(now))
+                .min()
+                .filter(|&t| t <= target);
+            let fault_next = self
+                .cfg
+                .faults
+                .events()
+                .get(self.next_fault)
+                .map(|e| e.at_ns)
+                .filter(|&t| t <= target);
+            let t = match (pipe_next, fault_next) {
+                (None, None) => break,
+                (a, b) => a.into_iter().chain(b).min().expect("one is Some"),
+            };
+            if fault_next == Some(t) {
+                now = now.max(t);
+                while let Some(&ev) = self.cfg.faults.events().get(self.next_fault) {
+                    if ev.at_ns != t {
+                        break;
+                    }
+                    self.next_fault += 1;
+                    self.apply_fault(ev);
+                }
+                // Failover re-admissions (and survivors) pump at the
+                // fault instant, in replica-index order.
+                for i in 0..self.pipes.len() {
+                    if self.alive[i] {
+                        self.pipes[i].pump(t);
+                    }
+                }
+            } else {
+                // Fire this tick on every pipe that owns it, in index
+                // order; pipes never interact within one tick.
+                for i in 0..self.pipes.len() {
+                    if self.pipes[i].next_event(now) == Some(t) {
+                        self.pipes[i].fire(t);
+                    }
+                }
+                now = now.max(t);
+                self.last_event_ns = self.last_event_ns.max(t);
+            }
+        }
+        if target == u64::MAX {
+            now
+        } else {
+            target.max(now)
+        }
+    }
+}
+
+/// Replays `jobs` through an N-replica cluster on the virtual clock and
+/// renders the decided batches. See the module docs for the model; see
+/// [`ClusterMetrics::conserves_submitted`] for the accounting law the
+/// result is guaranteed (and asserted) to satisfy.
+pub fn run_cluster(cfg: &ClusterConfig, jobs: &[TimedJob]) -> ClusterReport {
+    cfg.server.sched.validate();
+    let replicas = cfg.replicas.max(1);
+    let mut state = ClusterState {
+        ring: HashRing::new(replicas, &cfg.router),
+        pipes: (0..replicas)
+            .map(|_| {
+                VirtualPipeline::new(
+                    &cfg.server,
+                    cfg.service.service_ns,
+                    cfg.service.cold_start_ns,
+                    true,
+                )
+            })
+            .collect(),
+        alive: vec![true; replicas],
+        routed: vec![0; replicas],
+        failed_over_out: vec![0; replicas],
+        failed_over_in: vec![0; replicas],
+        kills: vec![0; replicas],
+        restarts: vec![0; replicas],
+        front_door_shed: 0,
+        next_fault: 0,
+        last_event_ns: 0,
+        cfg,
+    };
+
+    // The decision loop: single-threaded, in trace order.
+    let mut now = 0u64;
+    for (id, tj) in jobs.iter().enumerate() {
+        let at = now + tj.delay_before.as_nanos() as u64;
+        now = state.process_until(at, now);
+        state.last_event_ns = state.last_event_ns.max(at);
+        let key_hash = HashRing::key_hash(&tj.job.key());
+        match state.pick(key_hash) {
+            Some(r) => {
+                state.routed[r] += 1;
+                state.pipes[r].admit(id as u64, at, tj);
+                state.pipes[r].pump(at);
+            }
+            None => state.front_door_shed += 1,
+        }
+    }
+    // Drain: remaining timers and faults, to quiescence.
+    let end = state.process_until(u64::MAX, now);
+    let wall_ns = state.last_event_ns.max(end);
+    for pipe in &mut state.pipes {
+        pipe.finalize(wall_ns);
+    }
+
+    // Decisions locked in — produce payloads. Per replica, fan the
+    // decided batches out over `fnr_par`; thread width moves wall time
+    // only.
+    let threads = fnr_par::current_num_threads();
+    let workers = cfg.server.workers.max(1);
+    let mut all_responses: Vec<Response> = Vec::new();
+    let mut replica_stats: Vec<ReplicaStats> = Vec::new();
+    for (i, pipe) in state.pipes.iter().enumerate() {
+        let nested: Vec<Vec<Response>> = match cfg.payload {
+            PayloadMode::Render => {
+                fnr_par::par_map(&pipe.decided, |batch| execute_batch(batch, &cfg.server.tables))
+            }
+            PayloadMode::Synthetic => fnr_par::par_map(&pipe.decided, |batch| {
+                batch
+                    .requests
+                    .iter()
+                    .map(|req| Response { id: req.id, bytes: synthetic_payload(&req.job) })
+                    .collect()
+            }),
+        };
+        let mut responses: Vec<Response> = nested.into_iter().flatten().collect();
+        responses.sort_unstable_by_key(|r| r.id);
+        let lane_acct: Vec<LaneAccounting> = cfg
+            .server
+            .sched
+            .lanes
+            .iter()
+            .zip(&pipe.rejected)
+            .map(|(l, &rej)| LaneAccounting { name: l.name.clone(), weight: l.weight, rejected: rej })
+            .collect();
+        let metrics = ServeMetrics::aggregate(
+            &pipe.request_metrics,
+            &pipe.batch_metrics,
+            &pipe.shed_metrics,
+            &responses,
+            &lane_acct,
+            pipe.wall_ns,
+            workers,
+            threads,
+        );
+        let (cache_hits, cache_misses) = pipe.cache_stats();
+        replica_stats.push(ReplicaStats {
+            replica: i,
+            alive: state.alive[i],
+            kills: state.kills[i],
+            restarts: state.restarts[i],
+            routed: state.routed[i],
+            failed_over_out: state.failed_over_out[i],
+            failed_over_in: state.failed_over_in[i],
+            cache_hits,
+            cache_misses,
+            busy_ns: pipe.busy_ns,
+            metrics,
+        });
+        all_responses.extend(responses);
+    }
+    all_responses.sort_unstable_by_key(|r| r.id);
+    let digest = response_set_digest(&all_responses);
+    let metrics = ClusterMetrics::aggregate(
+        replica_stats,
+        jobs.len(),
+        state.front_door_shed,
+        wall_ns,
+        workers,
+        threads,
+        digest,
+    );
+    assert!(
+        metrics.conserves_submitted(),
+        "request conservation violated: served {} + shed {} + rejected {} + front door {} != submitted {}",
+        metrics.served,
+        metrics.shed,
+        metrics.rejected,
+        metrics.front_door_shed,
+        metrics.submitted
+    );
+    ClusterReport { responses: all_responses, metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate, ArrivalPattern, WorkloadSpec};
+    use std::time::Duration;
+
+    fn spec(requests: usize, pattern: ArrivalPattern) -> WorkloadSpec {
+        WorkloadSpec {
+            requests,
+            pattern,
+            mean_gap: Duration::from_micros(30),
+            deadline: Some(Duration::from_millis(8)),
+            ..WorkloadSpec::default()
+        }
+    }
+
+    fn synth_cfg(replicas: usize) -> ClusterConfig {
+        ClusterConfig { replicas, payload: PayloadMode::Synthetic, ..ClusterConfig::default() }
+    }
+
+    #[test]
+    fn fault_plan_parses_and_sorts() {
+        let plan = FaultPlan::parse("restart@900ms:1, kill@500ms:1").expect("valid");
+        let evs = plan.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, FaultKind::Kill);
+        assert_eq!(evs[0].at_ns, 500_000_000);
+        assert_eq!(evs[1].kind, FaultKind::Restart);
+        assert_eq!(evs[1].at_ns, 900_000_000);
+        assert!(FaultPlan::parse("").expect("empty ok").is_empty());
+        assert!(FaultPlan::parse("explode@1s:0").is_err());
+        assert!(FaultPlan::parse("kill@xyz:0").is_err());
+        assert!(FaultPlan::parse("kill@1s").is_err());
+    }
+
+    #[test]
+    fn time_suffixes_parse() {
+        assert_eq!(parse_time_ns("1200ns"), Some(1_200));
+        assert_eq!(parse_time_ns("250us"), Some(250_000));
+        assert_eq!(parse_time_ns("500ms"), Some(500_000_000));
+        assert_eq!(parse_time_ns("3s"), Some(3_000_000_000));
+        assert_eq!(parse_time_ns("77"), Some(77));
+        assert_eq!(parse_time_ns("soon"), None);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_kill_restart_paired() {
+        let a = FaultPlan::seeded(7, 8, 1_000_000_000, 3);
+        let b = FaultPlan::seeded(7, 8, 1_000_000_000, 3);
+        assert_eq!(a.events().len(), 6);
+        for (x, y) in a.events().iter().zip(b.events()) {
+            assert_eq!((x.at_ns, x.replica, x.kind), (y.at_ns, y.replica, y.kind));
+        }
+        let kills = a.events().iter().filter(|e| e.kind == FaultKind::Kill).count();
+        assert_eq!(kills, 3);
+    }
+
+    #[test]
+    fn cluster_without_faults_serves_everything_or_accounts_for_it() {
+        let jobs = generate(&spec(300, ArrivalPattern::Bursty));
+        let report = run_cluster(&synth_cfg(4), &jobs);
+        let m = &report.metrics;
+        assert!(m.conserves_submitted());
+        assert_eq!(m.submitted, 300);
+        assert_eq!(m.kills, 0);
+        assert_eq!(m.failed_over, 0);
+        assert!(m.served > 0);
+        assert_eq!(report.responses.len(), m.served);
+        // Scene affinity: each coalescing key is served by exactly one
+        // replica, so the number of replicas that saw traffic is bounded
+        // by the number of distinct keys but at least one.
+        assert!(m.replicas.iter().any(|r| r.routed > 0));
+    }
+
+    #[test]
+    fn kill_fails_over_and_restart_comes_back_cold() {
+        let jobs = generate(&spec(600, ArrivalPattern::Bursty));
+        // Kill every replica but 0 early, restart later: traffic must
+        // fail over to replica 0 and the restarted replicas' caches
+        // re-miss.
+        let faults = FaultPlan::parse("kill@2ms:1,kill@2ms:2,kill@2ms:3,restart@9ms:1,restart@9ms:2,restart@9ms:3")
+            .expect("valid");
+        let cfg = ClusterConfig { faults, ..synth_cfg(4) };
+        let report = run_cluster(&cfg, &jobs);
+        let m = &report.metrics;
+        assert!(m.conserves_submitted());
+        assert_eq!(m.kills, 3);
+        assert_eq!(m.restarts, 3);
+        assert!(m.replicas.iter().all(|r| r.alive), "everyone restarted");
+        // Identical replay.
+        let again = run_cluster(&cfg, &jobs);
+        assert_eq!(m.digest, again.metrics.digest);
+        assert_eq!(m.served, again.metrics.served);
+        assert_eq!(m.failed_over, again.metrics.failed_over);
+    }
+
+    #[test]
+    fn single_dead_cluster_sheds_everything_at_the_front_door() {
+        let jobs = generate(&spec(50, ArrivalPattern::Uniform));
+        let faults = FaultPlan::parse("kill@0ns:0").expect("valid");
+        let cfg = ClusterConfig { replicas: 1, faults, ..synth_cfg(1) };
+        let report = run_cluster(&cfg, &jobs);
+        let m = &report.metrics;
+        assert!(m.conserves_submitted());
+        assert_eq!(m.served, 0);
+        assert_eq!(m.front_door_shed, 50);
+        assert!(report.responses.is_empty());
+    }
+
+    #[test]
+    fn cold_start_cost_is_observable_in_service_times() {
+        let jobs = generate(&spec(80, ArrivalPattern::Bursty));
+        let cheap = ClusterConfig {
+            service: ClusterService { service_ns: 100_000, cold_start_ns: 0 },
+            ..synth_cfg(2)
+        };
+        let costly = ClusterConfig {
+            service: ClusterService { service_ns: 100_000, cold_start_ns: 50_000_000 },
+            ..synth_cfg(2)
+        };
+        let a = run_cluster(&cheap, &jobs);
+        let b = run_cluster(&costly, &jobs);
+        assert!(
+            b.metrics.wall_ns > a.metrics.wall_ns,
+            "cold starts must cost virtual time: {} vs {}",
+            b.metrics.wall_ns,
+            a.metrics.wall_ns
+        );
+        let misses: u64 = b.metrics.replicas.iter().map(|r| r.cache_misses).sum();
+        let hits: u64 = b.metrics.replicas.iter().map(|r| r.cache_hits).sum();
+        assert!(misses > 0, "first batch of each render key misses");
+        assert!(hits > 0, "affinity keeps later batches warm");
+    }
+}

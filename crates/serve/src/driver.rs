@@ -3,17 +3,15 @@
 //! deterministic **virtual-clock harness** ([`run_virtual`]) that replays
 //! a schedule against the scheduling layer without real time.
 
-use std::collections::VecDeque;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::batch::{Batch, Batcher, BatcherConfig};
-use crate::metrics::{BatchMetric, LaneAccounting, RequestMetric, ServeMetrics, ShedMetric};
-use crate::request::{Request, Response};
-use crate::sched::{LaneScheduler, SchedStep};
+use crate::metrics::{LaneAccounting, ServeMetrics};
+use crate::request::Response;
 use crate::server::{execute_batch, run, ServeReport, ServerConfig, WaitOutcome};
+use crate::vclock::VirtualPipeline;
 use crate::workload::TimedJob;
 
 /// How long a closed-loop client "thinks" between receiving a response and
@@ -172,7 +170,7 @@ impl Default for VirtualService {
 /// size/linger/drain batcher.
 pub fn run_virtual(cfg: &ServerConfig, jobs: &[TimedJob], service: VirtualService) -> ServeReport {
     cfg.sched.validate();
-    let mut pipe = VirtualPipeline::new(cfg, service);
+    let mut pipe = VirtualPipeline::new(cfg, service.service_ns, 0, false);
     let mut now = 0u64;
     for (id, tj) in jobs.iter().enumerate() {
         let at = now + tj.delay_before.as_nanos() as u64;
@@ -207,214 +205,6 @@ pub fn run_virtual(cfg: &ServerConfig, jobs: &[TimedJob], service: VirtualServic
         fnr_par::current_num_threads(),
     );
     ServeReport { responses, metrics }
-}
-
-/// The single-threaded discrete-event mirror of the threaded pipeline:
-/// per-lane bounded queues → [`LaneScheduler`] → [`Batcher`] → a
-/// `2 × workers` batch queue → virtual workers, all on one virtual clock.
-struct VirtualPipeline<'c> {
-    cfg: &'c ServerConfig,
-    /// Arbitrary real-clock origin the virtual clock is rendered onto (the
-    /// [`Batcher`] speaks `Instant`); never a measurement.
-    epoch: Instant,
-    caps: Vec<usize>,
-    batch_q_cap: usize,
-    service_ns: u64,
-    sched: LaneScheduler,
-    batcher: Batcher,
-    vlanes: Vec<VecDeque<Request>>,
-    /// Batches flushed while the batch queue was full: the scheduler
-    /// stalls behind them, exactly like the threaded batcher parked in
-    /// `send()` — which is where queueing (and deadline shedding) comes
-    /// from under saturation.
-    stalled: VecDeque<Batch>,
-    batch_q: VecDeque<Batch>,
-    worker_free_at: Vec<u64>,
-    decided: Vec<Batch>,
-    request_metrics: Vec<RequestMetric>,
-    batch_metrics: Vec<BatchMetric>,
-    shed_metrics: Vec<ShedMetric>,
-    rejected: Vec<usize>,
-    wall_ns: u64,
-}
-
-impl<'c> VirtualPipeline<'c> {
-    fn new(cfg: &'c ServerConfig, service: VirtualService) -> Self {
-        let caps = cfg.sched.capacities(cfg.queue_capacity);
-        let workers = cfg.workers.max(1);
-        VirtualPipeline {
-            cfg,
-            epoch: Instant::now(),
-            batch_q_cap: workers * 2,
-            service_ns: service.service_ns.max(1),
-            sched: LaneScheduler::new(&cfg.sched),
-            batcher: Batcher::new(BatcherConfig { max_batch: cfg.max_batch, linger: cfg.linger }),
-            vlanes: caps.iter().map(|_| VecDeque::new()).collect(),
-            stalled: VecDeque::new(),
-            batch_q: VecDeque::new(),
-            worker_free_at: vec![0; workers],
-            decided: Vec::new(),
-            request_metrics: Vec::new(),
-            batch_metrics: Vec::new(),
-            shed_metrics: Vec::new(),
-            rejected: vec![0; caps.len()],
-            wall_ns: 0,
-            caps,
-        }
-    }
-
-    fn inst(&self, vt: u64) -> Instant {
-        self.epoch + Duration::from_nanos(vt)
-    }
-
-    /// Admits one scheduled job at virtual time `at`. A full (or
-    /// zero-capacity) lane rejects: a virtual open-loop submitter cannot
-    /// park.
-    fn admit(&mut self, id: u64, at: u64, tj: &TimedJob) {
-        let lane = self.cfg.sched.lane_of(tj.priority);
-        if self.vlanes[lane].len() >= self.caps[lane] || self.caps[lane] == 0 {
-            self.rejected[lane] += 1;
-        } else {
-            let submitted_at = self.inst(at);
-            self.vlanes[lane].push_back(Request {
-                id,
-                submitted_at,
-                priority: tj.priority,
-                arrival_ns: at,
-                deadline_ns: tj.deadline.map(|d| at + d.as_nanos() as u64),
-                job: tj.job.clone(),
-            });
-        }
-        self.wall_ns = self.wall_ns.max(at);
-    }
-
-    /// Earliest pending timer: a busy worker finishing or a linger expiry.
-    fn next_event(&self, now: u64) -> Option<u64> {
-        let completion = self.worker_free_at.iter().copied().filter(|&t| t > now).min();
-        let linger = self
-            .batcher
-            .next_deadline()
-            .map(|d| (d.saturating_duration_since(self.epoch).as_nanos() as u64).max(now));
-        match (completion, linger) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
-    }
-
-    /// Fires every timer up to `to` (in time order), pumping after each.
-    fn advance_to(&mut self, now: &mut u64, to: u64) {
-        while let Some(t) = self.next_event(*now) {
-            if t > to {
-                break;
-            }
-            *now = t;
-            self.fire(t);
-        }
-        *now = to.max(*now);
-    }
-
-    /// One timer firing at `t`: linger-expired groups flush, then the
-    /// pipeline pumps to its fixpoint.
-    fn fire(&mut self, t: u64) {
-        let when = self.inst(t);
-        for b in self.batcher.expire(when) {
-            self.stalled.push_back(b);
-        }
-        self.pump(t);
-    }
-
-    /// One fixpoint pass of the virtual pipeline at time `now`: idle
-    /// workers take queued batches, freed queue slots unblock stalled
-    /// flushes, and an unblocked scheduler keeps draining the lanes.
-    fn pump(&mut self, now: u64) {
-        loop {
-            let mut progress = false;
-            // Idle workers pick up queued batches (in queue order).
-            while !self.batch_q.is_empty() {
-                match self.worker_free_at.iter_mut().find(|t| **t <= now) {
-                    Some(free_at) => {
-                        *free_at = now + self.service_ns;
-                        let batch = self.batch_q.pop_front().expect("non-empty");
-                        self.start_batch(batch, now);
-                        progress = true;
-                    }
-                    None => break,
-                }
-            }
-            // Freed slots admit stalled flushes.
-            while !self.stalled.is_empty() && self.batch_q.len() < self.batch_q_cap {
-                self.batch_q.push_back(self.stalled.pop_front().expect("non-empty"));
-                progress = true;
-            }
-            // The scheduler drains lanes only while nothing is stalled
-            // ahead of it (the threaded batcher parks in send() likewise).
-            if self.stalled.is_empty() {
-                match self.sched.step(&mut self.vlanes, now) {
-                    Some(SchedStep::Serve { req, .. }) => {
-                        if let Some(b) = self.batcher.offer(req, self.inst(now)) {
-                            self.stalled.push_back(b);
-                        }
-                        progress = true;
-                    }
-                    Some(SchedStep::Shed { lane, req }) => {
-                        self.shed_metrics.push(ShedMetric {
-                            id: req.id,
-                            lane,
-                            queue_ns: now - req.arrival_ns,
-                        });
-                        progress = true;
-                    }
-                    None => {}
-                }
-            }
-            if !progress {
-                break;
-            }
-        }
-    }
-
-    /// Records a batch starting execution on a virtual worker at `now`.
-    fn start_batch(&mut self, batch: Batch, now: u64) {
-        self.batch_metrics.push(BatchMetric {
-            key: batch.key.clone(),
-            size: batch.requests.len(),
-            service_ns: self.service_ns,
-            flush: batch.flush,
-        });
-        for req in &batch.requests {
-            self.request_metrics.push(RequestMetric {
-                id: req.id,
-                lane: self.cfg.sched.lane_of(req.priority),
-                queue_ns: now - req.arrival_ns,
-                service_ns: self.service_ns,
-                batch_size: batch.requests.len(),
-                deadline_missed: req.deadline_ns.is_some_and(|d| now + self.service_ns >= d),
-            });
-        }
-        self.decided.push(batch);
-    }
-
-    /// Keeps firing timers until the pipeline is empty. Every queued
-    /// request either rides a linger/size flush or sheds; termination
-    /// needs no shutdown drain because virtual time always reaches the
-    /// linger.
-    fn drain(&mut self, now: &mut u64) {
-        while self.vlanes.iter().any(|l| !l.is_empty())
-            || !self.batcher.is_empty()
-            || !self.stalled.is_empty()
-            || !self.batch_q.is_empty()
-        {
-            let t = self
-                .next_event(*now)
-                .expect("pending virtual work always has a next timer");
-            *now = t;
-            self.fire(t);
-        }
-        self.wall_ns = self
-            .wall_ns
-            .max(*now)
-            .max(self.worker_free_at.iter().copied().max().unwrap_or(0));
-    }
 }
 
 #[cfg(test)]

@@ -50,26 +50,34 @@
 #![warn(missing_docs)]
 
 mod batch;
+pub mod cluster;
 mod driver;
 mod metrics;
 mod request;
+pub mod router;
 pub mod sched;
 mod server;
+mod vclock;
 pub mod workload;
 
 pub use batch::{Batch, Batcher, BatcherConfig, FlushReason};
+pub use cluster::{
+    run_cluster, ClusterConfig, ClusterReport, ClusterService, FaultEvent, FaultKind, FaultPlan,
+    PayloadMode,
+};
 pub use driver::{
     run_closed_loop, run_closed_loop_thinking, run_open_loop, run_virtual, ThinkTime,
     VirtualService,
 };
 pub use metrics::{
-    BatchMetric, LaneAccounting, LaneStats, LatencyHistogram, NsStats, RequestMetric,
-    ServeMetrics, ShedMetric, LATENCY_BUCKETS, LATENCY_EDGES_NS,
+    BatchMetric, ClusterMetrics, LaneAccounting, LaneStats, LatencyHistogram, NsStats,
+    ReplicaStats, RequestMetric, ServeMetrics, ShedMetric, LATENCY_BUCKETS, LATENCY_EDGES_NS,
 };
 pub use request::{
-    fnv1a, image_bytes, response_set_digest, BatchKey, RenderJob, RenderPrecision, Request,
-    Response, SceneKind, Workload,
+    fnv1a, image_bytes, response_set_digest, synthetic_payload, BatchKey, RenderJob,
+    RenderPrecision, Request, Response, SceneKind, Workload,
 };
+pub use router::{HashRing, RouterConfig};
 pub use sched::{LaneConfig, LaneScheduler, Priority, SchedConfig, SchedStep};
 pub use server::{
     quantized_cache_stats, run, Client, QuantCacheStats, ServeReport, ServerConfig, SubmitError,

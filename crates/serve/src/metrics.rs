@@ -209,6 +209,17 @@ impl LatencyHistogram {
         self.counts.iter().sum()
     }
 
+    /// The exact bucketwise sum of two histograms — the fixed edges make
+    /// merging lossless, so a cluster-wide histogram is *identical* to
+    /// re-bucketing every underlying sample (the schema tests pin this).
+    pub fn merge(&self, other: &LatencyHistogram) -> LatencyHistogram {
+        let mut out = *self;
+        for (a, b) in out.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        out
+    }
+
     /// The `{ "edges_ns": [...], "counts": [...] }` JSON fragment.
     fn to_json(self) -> String {
         let join = |it: &mut dyn Iterator<Item = u64>| {
@@ -374,21 +385,7 @@ impl ServeMetrics {
         out.push_str(&format!("  \"shed\": {},\n", self.shed));
         out.push_str(&format!("  \"expired\": {},\n", self.expired));
         out.push_str("  \"lanes\": [\n");
-        for (i, lane) in self.lanes.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{ \"name\": \"{}\", \"weight\": {}, \"submitted\": {}, \"served\": {}, \
-                 \"shed\": {}, \"expired\": {}, \"rejected\": {}, \"queue_hist\": {} }}{}\n",
-                json_escape(&lane.name),
-                lane.weight,
-                lane.submitted,
-                lane.served,
-                lane.shed,
-                lane.expired,
-                lane.rejected,
-                lane.queue_hist.to_json(),
-                if i + 1 == self.lanes.len() { "" } else { "," }
-            ));
-        }
+        out.push_str(&lanes_json(&self.lanes, "    "));
         out.push_str("  ],\n");
         out.push_str(&format!("  \"batches\": {},\n", self.batches));
         out.push_str(&format!("  \"mean_batch_occupancy\": {:.4},\n", self.mean_occupancy));
@@ -399,6 +396,219 @@ impl ServeMetrics {
         ));
         out.push_str(&format!("  \"queue_ns\": {},\n", stats(&self.queue_ns)));
         out.push_str(&format!("  \"service_ns\": {},\n", stats(&self.service_ns)));
+        out.push_str(&format!("  \"request_latency_hist\": {},\n", self.latency_hist.to_json()));
+        out.push_str(&format!("  \"wall_ns\": {},\n", self.wall_ns));
+        out.push_str(&format!("  \"digest\": \"{:#018x}\"\n", self.digest));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Renders a `lanes` array body (one line per lane, `indent`-prefixed),
+/// shared by the serve and cluster schemas so per-lane counter shapes
+/// stay identical between them.
+fn lanes_json(lanes: &[LaneStats], indent: &str) -> String {
+    let mut out = String::new();
+    for (i, lane) in lanes.iter().enumerate() {
+        out.push_str(&format!(
+            "{indent}{{ \"name\": \"{}\", \"weight\": {}, \"submitted\": {}, \"served\": {}, \
+             \"shed\": {}, \"expired\": {}, \"rejected\": {}, \"queue_hist\": {} }}{}\n",
+            json_escape(&lane.name),
+            lane.weight,
+            lane.submitted,
+            lane.served,
+            lane.shed,
+            lane.expired,
+            lane.rejected,
+            lane.queue_hist.to_json(),
+            if i + 1 == lanes.len() { "" } else { "," }
+        ));
+    }
+    out
+}
+
+/// One replica's view of a cluster run: its full single-server metrics
+/// plus the cluster-layer counters (routing, failover, faults, cache).
+#[derive(Debug, Clone)]
+pub struct ReplicaStats {
+    /// Replica index (ring identity).
+    pub replica: usize,
+    /// Whether the replica was alive when the run ended.
+    pub alive: bool,
+    /// Kill events this replica absorbed.
+    pub kills: usize,
+    /// Restart events this replica absorbed.
+    pub restarts: usize,
+    /// Fresh submissions the router sent here (failovers excluded).
+    pub routed: usize,
+    /// Orphans of this replica's kills that were re-admitted elsewhere.
+    pub failed_over_out: usize,
+    /// Orphans of other replicas' kills re-admitted here.
+    pub failed_over_in: usize,
+    /// Model-cache hits (a batch whose `(scene, precision)` model was
+    /// already resident).
+    pub cache_hits: u64,
+    /// Model-cache misses (the batch paid the modeled cold-start cost).
+    pub cache_misses: u64,
+    /// Virtual time this replica's workers spent serving batches.
+    pub busy_ns: u64,
+    /// The replica's own single-server aggregate (lane counters, queue
+    /// histograms, digest over the responses it served).
+    pub metrics: ServeMetrics,
+}
+
+/// Aggregate metrics for one cluster simulation run: cluster-wide totals
+/// plus every replica's [`ReplicaStats`]. The cluster latency histogram
+/// is the exact bucketwise merge of the replica histograms.
+#[derive(Debug, Clone)]
+pub struct ClusterMetrics {
+    /// Per-replica stats, in replica-index order.
+    pub replicas: Vec<ReplicaStats>,
+    /// Jobs in the submitted schedule.
+    pub submitted: usize,
+    /// Requests served (answered with payload bytes), summed over
+    /// replicas.
+    pub served: usize,
+    /// Requests shed by replica schedulers (deadline passed while
+    /// queued), summed over replicas.
+    pub shed: usize,
+    /// Requests the front door dropped because no alive replica with
+    /// inflight headroom existed (fresh submissions and failover
+    /// re-admissions alike).
+    pub front_door_shed: usize,
+    /// Served requests that finished past their deadline, summed over
+    /// replicas.
+    pub expired: usize,
+    /// Requests rejected at a replica's admission (full lane), summed
+    /// over replicas.
+    pub rejected: usize,
+    /// Orphaned requests successfully re-admitted on another replica.
+    pub failed_over: usize,
+    /// Kill events executed by the fault plan.
+    pub kills: usize,
+    /// Restart events executed by the fault plan.
+    pub restarts: usize,
+    /// Exact merge of the per-replica end-to-end latency histograms.
+    pub latency_hist: LatencyHistogram,
+    /// Virtual wall clock when the last replica went idle.
+    pub wall_ns: u64,
+    /// Virtual workers per replica.
+    pub workers_per_replica: usize,
+    /// `fnr_par` width during the run (render fan-out only).
+    pub threads: usize,
+    /// Order-canonical digest over the whole cluster's response set.
+    pub digest: u64,
+}
+
+impl ClusterMetrics {
+    /// Builds the cluster aggregate from per-replica stats plus the
+    /// front-door counters only the router knows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn aggregate(
+        replicas: Vec<ReplicaStats>,
+        submitted: usize,
+        front_door_shed: usize,
+        wall_ns: u64,
+        workers_per_replica: usize,
+        threads: usize,
+        digest: u64,
+    ) -> Self {
+        let mut latency_hist = LatencyHistogram::new();
+        for r in &replicas {
+            latency_hist = latency_hist.merge(&r.metrics.latency_hist);
+        }
+        ClusterMetrics {
+            submitted,
+            served: replicas.iter().map(|r| r.metrics.requests).sum(),
+            shed: replicas.iter().map(|r| r.metrics.shed).sum(),
+            front_door_shed,
+            expired: replicas.iter().map(|r| r.metrics.expired).sum(),
+            rejected: replicas.iter().map(|r| r.metrics.rejected).sum(),
+            failed_over: replicas.iter().map(|r| r.failed_over_in).sum(),
+            kills: replicas.iter().map(|r| r.kills).sum(),
+            restarts: replicas.iter().map(|r| r.restarts).sum(),
+            latency_hist,
+            wall_ns,
+            workers_per_replica,
+            threads,
+            digest,
+            replicas,
+        }
+    }
+
+    /// Every submitted request must terminate exactly once somewhere in
+    /// the cluster: served, scheduler-shed, rejected at an admission
+    /// edge, or dropped at the front door. Failover moves a request, it
+    /// never duplicates or loses one — this is the conservation law the
+    /// chaos suite (and the CLI self-check) enforce.
+    pub fn conserves_submitted(&self) -> bool {
+        self.served + self.shed + self.rejected + self.front_door_shed == self.submitted
+    }
+
+    /// Renders the `flexnerfer-cluster-bench/1` JSON record (hand-rolled
+    /// like the serve/repro records: every value is a number or a string
+    /// this crate controls).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"flexnerfer-cluster-bench/1\",\n");
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"replicas\": {},\n", self.replicas.len()));
+        out.push_str(&format!("  \"workers_per_replica\": {},\n", self.workers_per_replica));
+        out.push_str(&format!("  \"submitted\": {},\n", self.submitted));
+        out.push_str(&format!("  \"served\": {},\n", self.served));
+        out.push_str(&format!("  \"shed\": {},\n", self.shed));
+        out.push_str(&format!("  \"front_door_shed\": {},\n", self.front_door_shed));
+        out.push_str(&format!("  \"expired\": {},\n", self.expired));
+        out.push_str(&format!("  \"rejected\": {},\n", self.rejected));
+        out.push_str(&format!("  \"failed_over\": {},\n", self.failed_over));
+        out.push_str(&format!("  \"kills\": {},\n", self.kills));
+        out.push_str(&format!("  \"restarts\": {},\n", self.restarts));
+        out.push_str("  \"replica_stats\": [\n");
+        for (i, r) in self.replicas.iter().enumerate() {
+            let m = &r.metrics;
+            let hit_ratio = if r.cache_hits + r.cache_misses == 0 {
+                0.0
+            } else {
+                r.cache_hits as f64 / (r.cache_hits + r.cache_misses) as f64
+            };
+            let utilization = if self.wall_ns == 0 {
+                0.0
+            } else {
+                r.busy_ns as f64 / self.wall_ns as f64
+            };
+            out.push_str(&format!(
+                "    {{ \"replica\": {}, \"alive\": {}, \"kills\": {}, \"restarts\": {}, \
+                 \"routed\": {}, \"failed_over_out\": {}, \"failed_over_in\": {}, \
+                 \"served\": {}, \"shed\": {}, \"expired\": {}, \"rejected\": {}, \
+                 \"cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_ratio\": {:.4} }}, \
+                 \"utilization\": {:.4}, \"digest\": \"{:#018x}\",\n",
+                r.replica,
+                r.alive,
+                r.kills,
+                r.restarts,
+                r.routed,
+                r.failed_over_out,
+                r.failed_over_in,
+                m.requests,
+                m.shed,
+                m.expired,
+                m.rejected,
+                r.cache_hits,
+                r.cache_misses,
+                hit_ratio,
+                utilization,
+                m.digest,
+            ));
+            out.push_str("      \"lanes\": [\n");
+            out.push_str(&lanes_json(&m.lanes, "        "));
+            out.push_str("      ],\n");
+            out.push_str(&format!(
+                "      \"request_latency_hist\": {} }}{}\n",
+                m.latency_hist.to_json(),
+                if i + 1 == self.replicas.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str(&format!("  \"request_latency_hist\": {},\n", self.latency_hist.to_json()));
         out.push_str(&format!("  \"wall_ns\": {},\n", self.wall_ns));
         out.push_str(&format!("  \"digest\": \"{:#018x}\"\n", self.digest));

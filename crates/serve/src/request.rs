@@ -232,6 +232,33 @@ pub fn image_bytes(img: &fnr_nerf::psnr::Image) -> Vec<u8> {
     out
 }
 
+/// A small deterministic stand-in payload for cluster-scale simulation:
+/// a pure function of the job (like the real render, just 16 bytes of
+/// hash instead of pixels), so million-request runs keep the exact
+/// digest-equivalence contract without rendering a million images.
+/// Distinct jobs get distinct payloads with overwhelming probability;
+/// identical jobs always get identical bytes.
+pub fn synthetic_payload(job: &Workload) -> Vec<u8> {
+    let mut h = fnv1a(job.key().to_string().as_bytes());
+    if let Workload::Render(j) = job {
+        for field in [j.width as u64, j.height as u64, j.spp as u64, j.camera_seed] {
+            for b in field.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    // SplitMix finalize for a second uncorrelated word.
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&h.to_le_bytes());
+    out.extend_from_slice(&z.to_le_bytes());
+    out
+}
+
 /// FNV-1a 64-bit hash of a byte slice.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -302,6 +329,27 @@ mod tests {
             Workload::Table("t1".into()).key(),
             Workload::Table("t1".into()).key()
         );
+    }
+
+    #[test]
+    fn synthetic_payloads_are_pure_and_job_sensitive() {
+        let job = |seed| {
+            Workload::Render(RenderJob {
+                scene: SceneKind::Mic,
+                precision: RenderPrecision::Fp32,
+                width: 8,
+                height: 8,
+                spp: 4,
+                camera_seed: seed,
+            })
+        };
+        assert_eq!(synthetic_payload(&job(1)), synthetic_payload(&job(1)));
+        assert_ne!(synthetic_payload(&job(1)), synthetic_payload(&job(2)));
+        assert_ne!(
+            synthetic_payload(&Workload::Table("a".into())),
+            synthetic_payload(&Workload::Table("b".into()))
+        );
+        assert_eq!(synthetic_payload(&job(7)).len(), 16);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Seeded consistent-hash routing for the cluster simulator: a vnode ring
+//! mapping coalescing keys ([`BatchKey`]) to replicas.
+//!
+//! Routing by batch key gives the cluster *scene affinity*: every request
+//! for the same `(scene, precision)` — or the same table — lands on the
+//! same replica, so that replica's batcher coalesces them and its model
+//! cache stays warm. Each replica owns `vnodes` points whose positions
+//! are a pure function of `(seed, replica, vnode)` — independent of how
+//! many replicas exist — so adding or removing a replica only moves the
+//! keys that replica owned (the classic minimal-remap property, pinned by
+//! `tests/cluster_properties.rs`).
+
+use crate::request::{fnv1a, BatchKey};
+
+/// Ring shape knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Virtual nodes per replica: more vnodes, better key balance (at
+    /// linear ring-size cost).
+    pub vnodes: usize,
+    /// Seed mixed into every vnode position; changing it reshuffles the
+    /// whole key → replica assignment deterministically.
+    pub seed: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig { vnodes: 64, seed: 0 }
+    }
+}
+
+/// SplitMix64 finalizer: the bijective avalanche stage, used to turn
+/// structured inputs (replica/vnode indices, FNV key hashes) into
+/// uniformly spread ring positions.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The consistent-hash ring: sorted vnode positions, each owned by a
+/// replica. Supports at most 128 replicas (the route walk tracks visited
+/// replicas in a `u128` mask).
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(position, replica)` sorted by position.
+    points: Vec<(u64, u32)>,
+    replicas: usize,
+}
+
+impl HashRing {
+    /// A ring over `replicas` replicas with the given shape.
+    pub fn new(replicas: usize, cfg: &RouterConfig) -> Self {
+        assert!(replicas >= 1, "a ring needs at least one replica");
+        assert!(replicas <= 128, "the route walk's visited mask holds 128 replicas");
+        let vnodes = cfg.vnodes.max(1);
+        let mut points = Vec::with_capacity(replicas * vnodes);
+        for r in 0..replicas as u64 {
+            for v in 0..vnodes as u64 {
+                // Position depends only on (seed, replica, vnode) — never
+                // on `replicas` — which is what makes remap minimal when
+                // the replica set changes.
+                let pos = mix(cfg.seed ^ mix(r << 32 | v));
+                points.push((pos, r as u32));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, replicas }
+    }
+
+    /// Number of replicas the ring was built over.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The ring position of a coalescing key.
+    pub fn key_hash(key: &BatchKey) -> u64 {
+        mix(fnv1a(key.to_string().as_bytes()))
+    }
+
+    /// The replica owning `key_hash` ignoring liveness/capacity — the
+    /// pure ownership map the balance and remap properties quantify.
+    pub fn owner(&self, key_hash: u64) -> usize {
+        self.route(key_hash, |_| true).expect("accept-all routing always lands")
+    }
+
+    /// Routes `key_hash` clockwise: the first replica at or after the hash
+    /// that `accept`s (alive, inflight below bound, …). Each distinct
+    /// replica is consulted at most once; `None` means no replica in the
+    /// whole ring accepted.
+    pub fn route(&self, key_hash: u64, accept: impl Fn(usize) -> bool) -> Option<usize> {
+        let start = self.points.partition_point(|&(pos, _)| pos < key_hash);
+        let mut tried: u128 = 0;
+        for i in 0..self.points.len() {
+            let (_, r) = self.points[(start + i) % self.points.len()];
+            let bit = 1u128 << r;
+            if tried & bit != 0 {
+                continue;
+            }
+            tried |= bit;
+            if accept(r as usize) {
+                return Some(r as usize);
+            }
+            if tried.count_ones() as usize == self.replicas {
+                break;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{RenderPrecision, SceneKind};
+
+    #[test]
+    fn ring_is_seed_deterministic() {
+        let a = HashRing::new(5, &RouterConfig { vnodes: 32, seed: 9 });
+        let b = HashRing::new(5, &RouterConfig { vnodes: 32, seed: 9 });
+        let c = HashRing::new(5, &RouterConfig { vnodes: 32, seed: 10 });
+        let keys: Vec<u64> = (0..200).map(|i| HashRing::key_hash(&BatchKey::Table(format!("t{i}")))).collect();
+        assert!(keys.iter().all(|&k| a.owner(k) == b.owner(k)));
+        assert!(keys.iter().any(|&k| a.owner(k) != c.owner(k)), "seed must move the map");
+    }
+
+    #[test]
+    fn scene_affinity_same_key_same_owner() {
+        let ring = HashRing::new(8, &RouterConfig::default());
+        let k1 = HashRing::key_hash(&BatchKey::Render(SceneKind::Mic, RenderPrecision::Fp32));
+        let k2 = HashRing::key_hash(&BatchKey::Render(SceneKind::Mic, RenderPrecision::Fp32));
+        assert_eq!(ring.owner(k1), ring.owner(k2));
+    }
+
+    #[test]
+    fn route_skips_rejecting_replicas_and_gives_up_cleanly() {
+        let ring = HashRing::new(4, &RouterConfig::default());
+        let k = HashRing::key_hash(&BatchKey::Table("t".into()));
+        let home = ring.owner(k);
+        let alt = ring.route(k, |r| r != home).expect("three other replicas");
+        assert_ne!(alt, home);
+        assert_eq!(ring.route(k, |_| false), None, "nobody accepts, nobody routes");
+        assert_eq!(ring.route(k, |r| r == 2), Some(2), "a single acceptor is always found");
+    }
+}

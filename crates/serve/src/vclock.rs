@@ -1,0 +1,396 @@
+//! The single-threaded discrete-event mirror of the threaded serving
+//! pipeline, shared by the one-server virtual harness
+//! ([`crate::run_virtual`]) and the cluster simulator
+//! ([`crate::cluster::run_cluster`]): per-lane bounded queues →
+//! [`LaneScheduler`] → [`Batcher`] → a `2 × workers` batch queue →
+//! virtual workers, all on one injected virtual clock.
+//!
+//! Every scheduling decision is a deterministic function of the admitted
+//! schedule and the clock; batches are only *decided* here and rendered
+//! for real afterwards, so thread width can never move an outcome. The
+//! cluster layer adds three things the single-server harness leaves
+//! dormant: a per-replica inflight gauge (router admission control), a
+//! per-`(scene, precision)` model cache whose cold misses stretch the
+//! batch's virtual service time, and [`VirtualPipeline::kill`] — the
+//! fault-injection hook that orphans everything in flight so the front
+//! door can fail it over.
+
+use std::collections::{HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+use crate::batch::{Batch, Batcher, BatcherConfig};
+use crate::metrics::{BatchMetric, RequestMetric, ShedMetric};
+use crate::request::{BatchKey, Request};
+use crate::sched::{LaneScheduler, SchedStep};
+use crate::server::ServerConfig;
+use crate::workload::TimedJob;
+
+/// One virtual worker: when it frees up, and the batch it is serving (so
+/// a kill can orphan in-service work instead of silently completing it).
+struct VWorker {
+    free_at: u64,
+    running: Option<Running>,
+}
+
+/// A batch in service on a virtual worker.
+struct Running {
+    batch: Batch,
+    start_ns: u64,
+    service_ns: u64,
+}
+
+/// The modeled per-replica model cache: which `(scene, precision)` render
+/// keys are warm, plus cumulative hit/miss counters. A cold key stretches
+/// its first batch by the configured cold-start cost (quantize, calibrate,
+/// weight upload); a kill empties the warm set but keeps the counters —
+/// restarts are exactly what makes hit ratios interesting.
+struct ModelCache {
+    warm: HashSet<BatchKey>,
+    hits: u64,
+    misses: u64,
+}
+
+/// The deterministic virtual pipeline for one (replica) server.
+pub(crate) struct VirtualPipeline {
+    sched_cfg: crate::sched::SchedConfig,
+    /// Arbitrary real-clock origin the virtual clock is rendered onto (the
+    /// [`Batcher`] speaks `Instant`); never a measurement.
+    epoch: Instant,
+    caps: Vec<usize>,
+    batch_q_cap: usize,
+    batcher_cfg: BatcherConfig,
+    service_ns: u64,
+    cold_start_ns: u64,
+    cache: Option<ModelCache>,
+    sched: LaneScheduler,
+    batcher: Batcher,
+    vlanes: Vec<VecDeque<Request>>,
+    /// Batches flushed while the batch queue was full: the scheduler
+    /// stalls behind them, exactly like the threaded batcher parked in
+    /// `send()` — which is where queueing (and deadline shedding) comes
+    /// from under saturation.
+    stalled: VecDeque<Batch>,
+    batch_q: VecDeque<Batch>,
+    workers: Vec<VWorker>,
+    /// Requests admitted and not yet terminal (served, shed, or orphaned
+    /// by a kill) — the router's per-replica admission-control gauge.
+    inflight: usize,
+    pub(crate) decided: Vec<Batch>,
+    pub(crate) request_metrics: Vec<RequestMetric>,
+    pub(crate) batch_metrics: Vec<BatchMetric>,
+    pub(crate) shed_metrics: Vec<ShedMetric>,
+    pub(crate) rejected: Vec<usize>,
+    /// Total virtual time the workers spent serving completed batches.
+    pub(crate) busy_ns: u64,
+    pub(crate) wall_ns: u64,
+}
+
+impl VirtualPipeline {
+    /// A pipeline for `cfg` with flat per-batch service time `service_ns`;
+    /// `with_cache` enables the modeled model cache (cold render keys pay
+    /// `cold_start_ns` extra on their first batch after a cold start).
+    pub(crate) fn new(
+        cfg: &ServerConfig,
+        service_ns: u64,
+        cold_start_ns: u64,
+        with_cache: bool,
+    ) -> Self {
+        let caps = cfg.sched.capacities(cfg.queue_capacity);
+        let workers = cfg.workers.max(1);
+        let batcher_cfg = BatcherConfig { max_batch: cfg.max_batch, linger: cfg.linger };
+        VirtualPipeline {
+            sched_cfg: cfg.sched.clone(),
+            epoch: Instant::now(),
+            batch_q_cap: workers * 2,
+            batcher_cfg,
+            service_ns: service_ns.max(1),
+            cold_start_ns,
+            cache: with_cache.then(|| ModelCache {
+                warm: HashSet::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            sched: LaneScheduler::new(&cfg.sched),
+            batcher: Batcher::new(batcher_cfg),
+            vlanes: caps.iter().map(|_| VecDeque::new()).collect(),
+            stalled: VecDeque::new(),
+            batch_q: VecDeque::new(),
+            workers: (0..workers).map(|_| VWorker { free_at: 0, running: None }).collect(),
+            inflight: 0,
+            decided: Vec::new(),
+            request_metrics: Vec::new(),
+            batch_metrics: Vec::new(),
+            shed_metrics: Vec::new(),
+            rejected: vec![0; caps.len()],
+            busy_ns: 0,
+            wall_ns: 0,
+            caps,
+        }
+    }
+
+    fn inst(&self, vt: u64) -> Instant {
+        self.epoch + Duration::from_nanos(vt)
+    }
+
+    /// Requests admitted and not yet terminal.
+    pub(crate) fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// Cumulative `(hits, misses)` of the modeled model cache (zeros when
+    /// the cache is disabled).
+    pub(crate) fn cache_stats(&self) -> (u64, u64) {
+        self.cache.as_ref().map_or((0, 0), |c| (c.hits, c.misses))
+    }
+
+    /// Admits one scheduled job at virtual time `at`. A full (or
+    /// zero-capacity) lane rejects — a virtual open-loop submitter cannot
+    /// park. Returns whether the request entered its lane.
+    pub(crate) fn admit(&mut self, id: u64, at: u64, tj: &TimedJob) -> bool {
+        let arrival = Request {
+            id,
+            submitted_at: self.inst(at),
+            priority: tj.priority,
+            arrival_ns: at,
+            deadline_ns: tj.deadline.map(|d| at + d.as_nanos() as u64),
+            job: tj.job.clone(),
+        };
+        self.admit_request(arrival, at)
+    }
+
+    /// Admits an already-built request at virtual time `at` — the
+    /// failover path: a request orphaned by a kill keeps its original
+    /// `arrival_ns` and deadline, so its queue latency honestly includes
+    /// the time it wasted on the dead replica.
+    pub(crate) fn admit_request(&mut self, req: Request, at: u64) -> bool {
+        let lane = self.sched_cfg.lane_of(req.priority);
+        self.wall_ns = self.wall_ns.max(at);
+        if self.caps[lane] == 0 || self.vlanes[lane].len() >= self.caps[lane] {
+            self.rejected[lane] += 1;
+            return false;
+        }
+        self.vlanes[lane].push_back(req);
+        self.inflight += 1;
+        true
+    }
+
+    /// Earliest pending timer: a busy worker finishing or a linger expiry.
+    pub(crate) fn next_event(&self, now: u64) -> Option<u64> {
+        let completion = self
+            .workers
+            .iter()
+            .filter(|w| w.running.is_some())
+            .map(|w| w.free_at)
+            .filter(|&t| t > now)
+            .min();
+        let linger = self
+            .batcher
+            .next_deadline()
+            .map(|d| (d.saturating_duration_since(self.epoch).as_nanos() as u64).max(now));
+        match (completion, linger) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Fires every timer up to `to` (in time order), pumping after each.
+    pub(crate) fn advance_to(&mut self, now: &mut u64, to: u64) {
+        while let Some(t) = self.next_event(*now) {
+            if t > to {
+                break;
+            }
+            *now = t;
+            self.fire(t);
+        }
+        *now = to.max(*now);
+    }
+
+    /// One timer firing at `t`: finished batches complete, linger-expired
+    /// groups flush, then the pipeline pumps to its fixpoint.
+    pub(crate) fn fire(&mut self, t: u64) {
+        self.complete_finished(t);
+        let when = self.inst(t);
+        for b in self.batcher.expire(when) {
+            self.stalled.push_back(b);
+        }
+        self.pump(t);
+    }
+
+    /// Retires every in-service batch whose completion time has passed:
+    /// records its metrics (against its stored start time) and locks it
+    /// into the decided trace. Runs before any new work is assigned, so a
+    /// kill at `t` can only orphan batches still genuinely in service.
+    fn complete_finished(&mut self, now: u64) {
+        for w in &mut self.workers {
+            if w.free_at <= now {
+                if let Some(run) = w.running.take() {
+                    self.batch_metrics.push(BatchMetric {
+                        key: run.batch.key.clone(),
+                        size: run.batch.requests.len(),
+                        service_ns: run.service_ns,
+                        flush: run.batch.flush,
+                    });
+                    for req in &run.batch.requests {
+                        self.request_metrics.push(RequestMetric {
+                            id: req.id,
+                            lane: self.sched_cfg.lane_of(req.priority),
+                            queue_ns: run.start_ns - req.arrival_ns,
+                            service_ns: run.service_ns,
+                            batch_size: run.batch.requests.len(),
+                            deadline_missed: req
+                                .deadline_ns
+                                .is_some_and(|d| run.start_ns + run.service_ns >= d),
+                        });
+                    }
+                    self.busy_ns += run.service_ns;
+                    self.inflight -= run.batch.requests.len();
+                    self.decided.push(run.batch);
+                }
+            }
+        }
+    }
+
+    /// The virtual service time of `batch`: the flat per-batch cost, plus
+    /// the cold-start cost when the modeled cache misses on a render key
+    /// (table batches carry no model and never pay it).
+    fn service_for(&mut self, batch: &Batch) -> u64 {
+        let mut svc = self.service_ns;
+        if let Some(cache) = &mut self.cache {
+            if matches!(batch.key, BatchKey::Render(..)) {
+                if cache.warm.insert(batch.key.clone()) {
+                    cache.misses += 1;
+                    svc += self.cold_start_ns;
+                } else {
+                    cache.hits += 1;
+                }
+            }
+        }
+        svc
+    }
+
+    /// One fixpoint pass of the virtual pipeline at time `now`: idle
+    /// workers take queued batches, freed queue slots unblock stalled
+    /// flushes, and an unblocked scheduler keeps draining the lanes.
+    pub(crate) fn pump(&mut self, now: u64) {
+        self.complete_finished(now);
+        loop {
+            let mut progress = false;
+            // Idle workers pick up queued batches (in queue order).
+            while !self.batch_q.is_empty() {
+                match self.workers.iter_mut().position(|w| w.free_at <= now && w.running.is_none())
+                {
+                    Some(wi) => {
+                        let batch = self.batch_q.pop_front().expect("non-empty");
+                        let service_ns = self.service_for(&batch);
+                        self.workers[wi].free_at = now + service_ns;
+                        self.workers[wi].running =
+                            Some(Running { batch, start_ns: now, service_ns });
+                        progress = true;
+                    }
+                    None => break,
+                }
+            }
+            // Freed slots admit stalled flushes.
+            while !self.stalled.is_empty() && self.batch_q.len() < self.batch_q_cap {
+                self.batch_q.push_back(self.stalled.pop_front().expect("non-empty"));
+                progress = true;
+            }
+            // The scheduler drains lanes only while nothing is stalled
+            // ahead of it (the threaded batcher parks in send() likewise).
+            if self.stalled.is_empty() {
+                match self.sched.step(&mut self.vlanes, now) {
+                    Some(SchedStep::Serve { req, .. }) => {
+                        if let Some(b) = self.batcher.offer(req, self.inst(now)) {
+                            self.stalled.push_back(b);
+                        }
+                        progress = true;
+                    }
+                    Some(SchedStep::Shed { lane, req }) => {
+                        self.shed_metrics.push(ShedMetric {
+                            id: req.id,
+                            lane,
+                            queue_ns: now - req.arrival_ns,
+                        });
+                        self.inflight -= 1;
+                        progress = true;
+                    }
+                    None => {}
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    /// Whether any admitted request is still queued, pending, or in
+    /// service.
+    pub(crate) fn has_pending(&self) -> bool {
+        self.vlanes.iter().any(|l| !l.is_empty())
+            || !self.batcher.is_empty()
+            || !self.stalled.is_empty()
+            || !self.batch_q.is_empty()
+            || self.workers.iter().any(|w| w.running.is_some())
+    }
+
+    /// Keeps firing timers until the pipeline is empty. Every queued
+    /// request either rides a linger/size flush or sheds; termination
+    /// needs no shutdown drain because virtual time always reaches the
+    /// linger.
+    pub(crate) fn drain(&mut self, now: &mut u64) {
+        while self.has_pending() {
+            let t = self
+                .next_event(*now)
+                .expect("pending virtual work always has a next timer");
+            *now = t;
+            self.fire(t);
+        }
+        self.finalize(*now);
+    }
+
+    /// Locks in the final wall clock once no more events will reach this
+    /// pipeline.
+    pub(crate) fn finalize(&mut self, now: u64) {
+        self.wall_ns = self.wall_ns.max(now);
+    }
+
+    /// Kills the replica at virtual time `t`: everything in flight —
+    /// queued in a lane, pending in the batcher, stalled, queued for a
+    /// worker, or in service — is orphaned and returned (in admission-id
+    /// order) for the front door to fail over or shed. Scheduler and
+    /// batcher state restart fresh and the model cache goes cold; the
+    /// terminal counters (served/shed/rejected) and cache hit/miss
+    /// totals survive, because a crash cannot un-serve history.
+    pub(crate) fn kill(&mut self, t: u64) -> Vec<Request> {
+        // Work that finished strictly by `t` completed before the crash.
+        self.complete_finished(t);
+        let mut orphans: Vec<Request> = Vec::new();
+        for lane in &mut self.vlanes {
+            orphans.extend(lane.drain(..));
+        }
+        for b in self.batcher.drain() {
+            orphans.extend(b.requests);
+        }
+        for b in self.stalled.drain(..) {
+            orphans.extend(b.requests);
+        }
+        for b in self.batch_q.drain(..) {
+            orphans.extend(b.requests);
+        }
+        for w in &mut self.workers {
+            if let Some(run) = w.running.take() {
+                orphans.extend(run.batch.requests);
+            }
+            w.free_at = 0;
+        }
+        orphans.sort_unstable_by_key(|r| r.id);
+        self.sched = LaneScheduler::new(&self.sched_cfg);
+        self.batcher = Batcher::new(self.batcher_cfg);
+        if let Some(cache) = &mut self.cache {
+            cache.warm.clear();
+        }
+        self.inflight = 0;
+        self.wall_ns = self.wall_ns.max(t);
+        orphans
+    }
+}

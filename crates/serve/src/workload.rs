@@ -25,6 +25,16 @@ pub enum ArrivalPattern {
     Bursty,
     /// Pareto-like gaps: long quiet stretches punctured by dense arrivals.
     HeavyTailed,
+    /// Two sinusoidal day/night cycles over the schedule: the arrival
+    /// rate swings 8× between trough and peak, with small same-key bursts
+    /// at the peaks — the shape a planet-scale diurnal load curve
+    /// compresses to.
+    Diurnal,
+    /// A bursty baseline with a flash crowd in the middle 10% of the
+    /// schedule: dense zero-delay bursts at 8× the baseline rate, all
+    /// requesting one seeded hot scene at FP32 — the everyone-watches-
+    /// the-same-event shape that hammers a single consistent-hash owner.
+    FlashCrowd,
 }
 
 impl ArrivalPattern {
@@ -34,6 +44,8 @@ impl ArrivalPattern {
             "uniform" => Some(ArrivalPattern::Uniform),
             "bursty" => Some(ArrivalPattern::Bursty),
             "heavy" | "heavy-tailed" => Some(ArrivalPattern::HeavyTailed),
+            "diurnal" => Some(ArrivalPattern::Diurnal),
+            "flash" | "flash-crowd" => Some(ArrivalPattern::FlashCrowd),
             _ => None,
         }
     }
@@ -44,6 +56,8 @@ impl ArrivalPattern {
             ArrivalPattern::Uniform => "uniform",
             ArrivalPattern::Bursty => "bursty",
             ArrivalPattern::HeavyTailed => "heavy-tailed",
+            ArrivalPattern::Diurnal => "diurnal",
+            ArrivalPattern::FlashCrowd => "flash-crowd",
         }
     }
 }
@@ -178,6 +192,50 @@ pub fn generate(spec: &WorkloadSpec) -> Vec<TimedJob> {
                 let scaled = ((gap_ns as f64) * pareto.min(50.0) / 3.0) as u64;
                 let job = pick_job(&mut rng, spec, 1).remove(0);
                 out.push(timed(Duration::from_nanos(scaled), job));
+            }
+            ArrivalPattern::Diurnal => {
+                // Phase by schedule position: two full cycles, gap scaled
+                // from 2× the mean (trough) down to 0.25× (peak) — an 8×
+                // rate swing — with small same-key bursts near the peaks.
+                let p = out.len() as f64 / spec.requests.max(1) as f64;
+                let s = 0.5 * (1.0 + (std::f64::consts::TAU * 2.0 * p).sin());
+                let scale = 2.0 - 1.75 * s;
+                let burst = if s > 0.75 { rng.gen_range(2usize..=6) } else { 1 }
+                    .min(spec.requests - out.len());
+                let jobs = pick_job(&mut rng, spec, burst);
+                let idle = Duration::from_nanos((gap_ns as f64 * scale) as u64 * burst as u64);
+                for (i, job) in jobs.into_iter().enumerate() {
+                    let delay = if i == 0 { idle } else { Duration::ZERO };
+                    out.push(timed(delay, job));
+                }
+            }
+            ArrivalPattern::FlashCrowd => {
+                let lo = spec.requests * 45 / 100;
+                let hi = spec.requests * 55 / 100;
+                if (lo..hi).contains(&out.len()) {
+                    // The crowd: dense bursts at 8× the baseline rate, all
+                    // on one seeded hot scene at FP32 — a single
+                    // coalescing key, so one ring owner takes the spike.
+                    let burst = rng.gen_range(4usize..=16).min(spec.requests - out.len());
+                    let scene = SceneKind::ALL[(spec.seed % 3) as usize];
+                    let jobs: Vec<Workload> = (0..burst)
+                        .map(|_| random_render(&mut rng, scene, RenderPrecision::Fp32))
+                        .collect();
+                    let idle = Duration::from_nanos(gap_ns * burst as u64 / 8);
+                    for (i, job) in jobs.into_iter().enumerate() {
+                        let delay = if i == 0 { idle } else { Duration::ZERO };
+                        out.push(timed(delay, job));
+                    }
+                } else {
+                    // Outside the window: the bursty baseline.
+                    let burst = rng.gen_range(2usize..=12).min(spec.requests - out.len());
+                    let jobs = pick_job(&mut rng, spec, burst);
+                    let idle = Duration::from_nanos(gap_ns * burst as u64);
+                    for (i, job) in jobs.into_iter().enumerate() {
+                        let delay = if i == 0 { idle } else { Duration::ZERO };
+                        out.push(timed(delay, job));
+                    }
+                }
             }
         }
     }
@@ -318,6 +376,62 @@ mod tests {
         assert_eq!(ArrivalPattern::parse("bursty"), Some(ArrivalPattern::Bursty));
         assert_eq!(ArrivalPattern::parse("heavy"), Some(ArrivalPattern::HeavyTailed));
         assert_eq!(ArrivalPattern::parse("uniform"), Some(ArrivalPattern::Uniform));
+        assert_eq!(ArrivalPattern::parse("diurnal"), Some(ArrivalPattern::Diurnal));
+        assert_eq!(ArrivalPattern::parse("flash"), Some(ArrivalPattern::FlashCrowd));
+        assert_eq!(ArrivalPattern::parse("flash-crowd"), Some(ArrivalPattern::FlashCrowd));
         assert_eq!(ArrivalPattern::parse("nope"), None);
+    }
+
+    #[test]
+    fn diurnal_rate_actually_swings() {
+        let spec = WorkloadSpec {
+            requests: 400,
+            pattern: ArrivalPattern::Diurnal,
+            ..WorkloadSpec::default()
+        };
+        let jobs = generate(&spec);
+        assert_eq!(jobs.len(), 400);
+        assert_eq!(generate(&spec).iter().map(|t| t.delay_before).collect::<Vec<_>>(),
+                   jobs.iter().map(|t| t.delay_before).collect::<Vec<_>>(),
+                   "diurnal schedule is seed-deterministic");
+        // Two cycles over 400 requests put a peak (s≈1, gap scale 0.25)
+        // near index 50 and a trough (s≈0, gap scale 2.0) near index 150:
+        // the day/night swing must be visible in the mean per-request gap.
+        let mean_gap = |slice: &[TimedJob]| {
+            slice.iter().map(|t| t.delay_before.as_nanos()).sum::<u128>() / slice.len() as u128
+        };
+        let peak = mean_gap(&jobs[30..70]);
+        let trough = mean_gap(&jobs[130..170]);
+        assert!(
+            trough > peak * 2,
+            "diurnal trough gap {trough} must dwarf peak gap {peak}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_window_is_hot_keyed_and_dense() {
+        let spec = WorkloadSpec {
+            requests: 1000,
+            pattern: ArrivalPattern::FlashCrowd,
+            table_names: vec!["t1".into()],
+            ..WorkloadSpec::default()
+        };
+        let jobs = generate(&spec);
+        assert_eq!(jobs.len(), 1000);
+        let hot = SceneKind::ALL[(spec.seed % 3) as usize];
+        let window = &jobs[460..540]; // strictly inside the [45%, 55%) crowd
+        let hot_key = window.iter().all(|t| match &t.job {
+            Workload::Render(j) => j.scene == hot && j.precision == RenderPrecision::Fp32,
+            Workload::Table(_) => false,
+        });
+        assert!(hot_key, "the crowd window must request only the seeded hot scene");
+        // Dense: the window's total idle time is far below the baseline's.
+        let idle = |slice: &[TimedJob]| {
+            slice.iter().map(|t| t.delay_before.as_nanos()).sum::<u128>()
+        };
+        assert!(
+            idle(window) * 4 < idle(&jobs[100..180]),
+            "crowd arrivals must be much denser than baseline"
+        );
     }
 }

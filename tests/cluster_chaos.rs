@@ -1,0 +1,259 @@
+//! Chaos determinism for the cluster DES: random seeded fault plans
+//! (kills and restarts at random virtual times) must replay to
+//! byte-identical digests, per-replica counters and latency histograms
+//! at `FNR_THREADS=1` vs a parallel width, and the request accounting
+//! must conserve the submitted schedule — failover moves requests, it
+//! never loses or duplicates one.
+//!
+//! Width flips are process-global, so every test here holds
+//! `fnr_par::width_test_guard` for its whole body.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use fnr_par::width_test_guard as width_guard;
+use fnr_serve::workload::{generate, ArrivalPattern, WorkloadSpec};
+use fnr_serve::{run_cluster, ClusterConfig, ClusterReport, FaultPlan, PayloadMode};
+
+fn chaos_spec(requests: usize, seed: u64, pattern: ArrivalPattern) -> WorkloadSpec {
+    WorkloadSpec {
+        requests,
+        seed,
+        pattern,
+        table_names: fnr_bench::serving::table_names(),
+        mean_gap: Duration::from_micros(25),
+        priority_mix: [0.3, 0.4, 0.3],
+        deadline: Some(Duration::from_millis(6)),
+        ..WorkloadSpec::default()
+    }
+}
+
+fn chaos_cfg(replicas: usize, faults: FaultPlan) -> ClusterConfig {
+    ClusterConfig {
+        replicas,
+        max_inflight: 256,
+        faults,
+        payload: PayloadMode::Synthetic,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Everything about a cluster run that must be *exactly* equal between
+/// replays, whatever the pool width: cluster totals, the merged
+/// histogram, and every per-replica counter, histogram and digest.
+fn cluster_fingerprint(r: &ClusterReport) -> String {
+    let m = &r.metrics;
+    let mut out = format!(
+        "digest={:#018x} submitted={} served={} shed={} front={} expired={} rejected={} \
+         failed_over={} kills={} restarts={} wall={} hist={:?}\n",
+        m.digest,
+        m.submitted,
+        m.served,
+        m.shed,
+        m.front_door_shed,
+        m.expired,
+        m.rejected,
+        m.failed_over,
+        m.kills,
+        m.restarts,
+        m.wall_ns,
+        m.latency_hist.counts()
+    );
+    for rep in &m.replicas {
+        out.push_str(&format!(
+            "replica {} alive={} kills={} restarts={} routed={} fo_in={} fo_out={} \
+             cache={}/{} busy={} served={} shed={} expired={} rejected={} digest={:#018x} \
+             hist={:?}\n",
+            rep.replica,
+            rep.alive,
+            rep.kills,
+            rep.restarts,
+            rep.routed,
+            rep.failed_over_in,
+            rep.failed_over_out,
+            rep.cache_hits,
+            rep.cache_misses,
+            rep.busy_ns,
+            rep.metrics.requests,
+            rep.metrics.shed,
+            rep.metrics.expired,
+            rep.metrics.rejected,
+            rep.metrics.digest,
+            rep.metrics.latency_hist.counts()
+        ));
+        for lane in &rep.metrics.lanes {
+            out.push_str(&format!(
+                "  lane {} submitted={} served={} shed={} expired={} rejected={} hist={:?}\n",
+                lane.name,
+                lane.submitted,
+                lane.served,
+                lane.shed,
+                lane.expired,
+                lane.rejected,
+                lane.queue_hist.counts()
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn random_fault_plans_replay_identically_at_any_width() {
+    let _g = width_guard();
+    let mut saw_failover = false;
+    let mut saw_kill = false;
+    for seed in [11u64, 23, 47] {
+        let spec = chaos_spec(900, seed, ArrivalPattern::Bursty);
+        let jobs = generate(&spec);
+        // Horizon ~ the schedule's nominal span so kills land mid-flight.
+        let horizon_ns = 900 * 25_000;
+        let faults = FaultPlan::seeded(seed ^ 0xfa_u64, 5, horizon_ns, 2);
+        let cfg = chaos_cfg(5, faults);
+
+        fnr_par::set_num_threads(1);
+        let serial = run_cluster(&cfg, &jobs);
+        fnr_par::set_num_threads(4);
+        let parallel = run_cluster(&cfg, &jobs);
+        fnr_par::set_num_threads(1);
+
+        assert_eq!(
+            cluster_fingerprint(&serial),
+            cluster_fingerprint(&parallel),
+            "seed {seed}: cluster chaos replay moved with FNR_THREADS"
+        );
+        // Full response vectors too: ids and payload bytes.
+        assert_eq!(serial.responses.len(), parallel.responses.len());
+        for (a, b) in serial.responses.iter().zip(&parallel.responses) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.bytes, b.bytes, "payload of request {} moved with width", a.id);
+        }
+        saw_kill |= serial.metrics.kills > 0;
+        saw_failover |= serial.metrics.failed_over > 0;
+    }
+    assert!(saw_kill, "no seed produced a kill — the chaos suite isn't testing chaos");
+    assert!(saw_failover, "no seed produced a failover — kills never caught work in flight");
+}
+
+#[test]
+fn conservation_holds_under_chaos_and_ids_stay_unique() {
+    let _g = width_guard();
+    fnr_par::set_num_threads(2);
+    for seed in [3u64, 9, 31, 77] {
+        let spec = chaos_spec(700, seed, ArrivalPattern::FlashCrowd);
+        let jobs = generate(&spec);
+        let faults = FaultPlan::seeded(seed.wrapping_mul(97), 4, 700 * 25_000, 3);
+        let report = run_cluster(&chaos_cfg(4, faults), &jobs);
+        let m = &report.metrics;
+        assert!(
+            m.conserves_submitted(),
+            "seed {seed}: {} served + {} shed + {} rejected + {} front-door != {} submitted",
+            m.served,
+            m.shed,
+            m.rejected,
+            m.front_door_shed,
+            m.submitted
+        );
+        // No response is duplicated and every id is within the schedule:
+        // failover re-admits a request, it never forks it.
+        let ids: HashSet<u64> = report.responses.iter().map(|r| r.id).collect();
+        assert_eq!(ids.len(), report.responses.len(), "seed {seed}: duplicated response id");
+        assert!(ids.iter().all(|&id| id < 700), "seed {seed}: response id outside the schedule");
+        // The cluster histogram is the exact merge of the replica ones.
+        let merged = m
+            .replicas
+            .iter()
+            .fold(fnr_serve::LatencyHistogram::new(), |acc, r| {
+                acc.merge(&r.metrics.latency_hist)
+            });
+        assert_eq!(merged, m.latency_hist, "seed {seed}: cluster hist is not the replica merge");
+    }
+    fnr_par::set_num_threads(1);
+}
+
+#[test]
+fn degradation_is_monotone_in_fault_count() {
+    // More kills can only reduce (or hold) the served count for the same
+    // schedule — the shed/failed-over paths absorb the difference. This
+    // is the "degrades monotonically" face of conservation: the totals
+    // always balance, and harm scales with the fault plan.
+    let _g = width_guard();
+    fnr_par::set_num_threads(2);
+    let spec = chaos_spec(800, 5, ArrivalPattern::Bursty);
+    let jobs = generate(&spec);
+    let horizon = 800 * 25_000;
+    let served_with = |kills: usize| {
+        let faults = FaultPlan::seeded(1234, 4, horizon, kills);
+        run_cluster(&chaos_cfg(4, faults), &jobs).metrics.served
+    };
+    let healthy = served_with(0);
+    let faulty = served_with(4);
+    fnr_par::set_num_threads(1);
+    assert!(healthy > 0);
+    assert!(
+        faulty <= healthy,
+        "4 kills served {faulty} > fault-free {healthy} — faults must not create service"
+    );
+}
+
+#[test]
+fn cluster_json_schema_has_required_fields_and_exact_hist_merge() {
+    let _g = width_guard();
+    fnr_par::set_num_threads(1);
+    let spec = chaos_spec(400, 13, ArrivalPattern::Bursty);
+    let jobs = generate(&spec);
+    let faults = FaultPlan::parse("kill@3ms:1,restart@8ms:1").expect("valid");
+    let report = run_cluster(&chaos_cfg(3, faults), &jobs);
+    let j = report.metrics.to_json();
+    for field in [
+        "\"schema\": \"flexnerfer-cluster-bench/1\"",
+        "\"threads\": ",
+        "\"replicas\": 3",
+        "\"workers_per_replica\": ",
+        "\"submitted\": 400",
+        "\"served\": ",
+        "\"shed\": ",
+        "\"front_door_shed\": ",
+        "\"expired\": ",
+        "\"rejected\": ",
+        "\"failed_over\": ",
+        "\"kills\": 1",
+        "\"restarts\": 1",
+        "\"replica_stats\": [",
+        "\"cache\": { \"hits\": ",
+        "\"hit_ratio\": ",
+        "\"utilization\": ",
+        "\"lanes\": [",
+        "\"queue_hist\": { \"edges_ns\": [1000, ",
+        "\"request_latency_hist\": { \"edges_ns\": [1000, ",
+        "\"wall_ns\": ",
+        "\"digest\": \"0x",
+    ] {
+        assert!(j.contains(field), "cluster JSON missing `{field}`:\n{j}");
+    }
+    // Per-replica counter shape: one replica_stats entry per replica,
+    // each with its own three lanes.
+    assert_eq!(j.matches("\"replica\": ").count(), 3);
+    assert_eq!(j.matches("\"name\": \"interactive\"").count(), 3);
+    // Histogram-merge exactness, verified through the serialized record:
+    // the top-level counts equal the bucketwise sum of the replica counts.
+    let counts = |frag: &str| -> Vec<u64> {
+        frag.split('[').nth(1).unwrap().split(']').next().unwrap()
+            .split(',')
+            .map(|v| v.trim().parse().unwrap())
+            .collect()
+    };
+    let hists: Vec<Vec<u64>> = j
+        .match_indices("\"request_latency_hist\": ")
+        .map(|(pos, _)| {
+            let frag = &j[pos..];
+            let body = frag.split("\"counts\": ").nth(1).unwrap();
+            counts(body)
+        })
+        .collect();
+    assert_eq!(hists.len(), 4, "three replica hists + the cluster hist");
+    let cluster = hists.last().unwrap();
+    for (b, &total) in cluster.iter().enumerate() {
+        let sum: u64 = hists[..3].iter().map(|h| h[b]).sum();
+        assert_eq!(sum, total, "bucket {b}: cluster hist is not the exact replica merge");
+    }
+}

@@ -1,0 +1,131 @@
+//! Property suite for the cluster front door's consistent-hash ring:
+//! key balance within a constant factor of perfect, minimal remap on
+//! replica join/leave (only keys the changed replica owns move), and
+//! scene-affinity stability under seeded kill/restart churn. The ring is
+//! a pure function of `(seed, replicas, vnodes)`, so every property
+//! replays deterministically.
+
+use fnr_serve::{BatchKey, HashRing, RenderPrecision, RouterConfig, SceneKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A spread of synthetic coalescing keys: every render key the workload
+/// generator can produce plus a large population of table keys, so the
+/// balance statistics aren't dominated by the handful of render keys.
+fn key_population(n: usize) -> Vec<u64> {
+    let mut keys = Vec::with_capacity(n + 15);
+    for scene in SceneKind::ALL {
+        for prec in [
+            RenderPrecision::Fp32,
+            RenderPrecision::Quantized(fnr_tensor::Precision::Int4),
+            RenderPrecision::Quantized(fnr_tensor::Precision::Int8),
+            RenderPrecision::Quantized(fnr_tensor::Precision::Int16),
+        ] {
+            keys.push(HashRing::key_hash(&BatchKey::Render(scene, prec)));
+        }
+    }
+    for i in 0..n {
+        keys.push(HashRing::key_hash(&BatchKey::Table(format!("table-{i}"))));
+    }
+    keys
+}
+
+#[test]
+fn key_balance_is_within_bound() {
+    // 8 replicas x 128 vnodes over 20k keys: no replica may own more
+    // than 2.5x its fair share or less than 1/2.5 of it. The bound is
+    // loose enough to be seed-robust and tight enough to catch a broken
+    // point distribution (a non-mixed hash collapses to one replica).
+    let ring = HashRing::new(8, &RouterConfig { vnodes: 128, seed: 42 });
+    let keys = key_population(20_000);
+    let mut owned = [0usize; 8];
+    for &k in &keys {
+        owned[ring.owner(k)] += 1;
+    }
+    let mean = keys.len() as f64 / 8.0;
+    for (r, &count) in owned.iter().enumerate() {
+        assert!(
+            (count as f64) < mean * 2.5 && (count as f64) > mean / 2.5,
+            "replica {r} owns {count} of {} keys (mean {mean:.0}) — ring is unbalanced: {owned:?}",
+            keys.len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Leave-remap minimality: removing the last replica must not move
+    /// any key owned by a survivor — survivors keep exactly what they
+    /// had, and only the departed replica's keys are redistributed.
+    #[test]
+    fn prop_minimal_remap_on_leave(seed in 0u64..500, replicas in 3usize..12) {
+        let cfg = RouterConfig { vnodes: 48, seed };
+        let big = HashRing::new(replicas, &cfg);
+        let small = HashRing::new(replicas - 1, &cfg);
+        for &k in &key_population(2_000) {
+            let before = big.owner(k);
+            let after = small.owner(k);
+            if before != replicas - 1 {
+                prop_assert_eq!(
+                    before, after,
+                    "key moved between surviving replicas on leave"
+                );
+            } else {
+                prop_assert!(after < replicas - 1, "departed replica still owns a key");
+            }
+        }
+    }
+
+    /// Join-remap minimality: adding a replica may only move keys *to*
+    /// the newcomer — no key may migrate between pre-existing replicas.
+    #[test]
+    fn prop_minimal_remap_on_join(seed in 0u64..500, replicas in 2usize..11) {
+        let cfg = RouterConfig { vnodes: 48, seed };
+        let small = HashRing::new(replicas, &cfg);
+        let big = HashRing::new(replicas + 1, &cfg);
+        let mut moved = 0usize;
+        let keys = key_population(2_000);
+        for &k in &keys {
+            let before = small.owner(k);
+            let after = big.owner(k);
+            if before != after {
+                prop_assert_eq!(after, replicas, "join moved a key to an old replica");
+                moved += 1;
+            }
+        }
+        // The newcomer takes roughly 1/(n+1) of the space; it must take
+        // *something* (else it's not in the ring at all).
+        prop_assert!(moved > 0, "new replica received no keys");
+        prop_assert!(
+            moved < keys.len() / 2,
+            "join remapped {} of {} keys — far more than its share",
+            moved, keys.len()
+        );
+    }
+
+    /// Scene-affinity stability under churn: a kill + restart cycle (a
+    /// replica leaving and re-joining the accept set) returns every key
+    /// to its original owner, and while the replica is down its keys
+    /// all fail over to the same deterministic fallback.
+    #[test]
+    fn prop_affinity_stable_under_churn(seed in 0u64..500, replicas in 2usize..10, dead in 0usize..10) {
+        let dead = dead % replicas;
+        let ring = HashRing::new(replicas, &RouterConfig { vnodes: 48, seed });
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc1u64);
+        for _ in 0..200 {
+            let k = HashRing::key_hash(&BatchKey::Table(format!("k{}", rng.gen_range(0u64..10_000))));
+            let home = ring.owner(k);
+            // Kill `dead`: routing with it excluded must be deterministic
+            // and avoid it.
+            let fallback = ring.route(k, |r| r != dead).expect("survivors exist");
+            prop_assert_ne!(fallback, dead);
+            if home != dead {
+                prop_assert_eq!(fallback, home, "a healthy key moved during another replica's outage");
+            }
+            // Restart: full accept set routes exactly as before the kill.
+            prop_assert_eq!(ring.route(k, |_| true), Some(home), "restart failed to restore affinity");
+        }
+    }
+}

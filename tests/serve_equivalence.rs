@@ -15,8 +15,8 @@ use std::time::Duration;
 use fnr_par::width_test_guard as width_guard;
 use fnr_serve::workload::{generate, ArrivalPattern, WorkloadSpec};
 use fnr_serve::{
-    run_open_loop, run_virtual, SchedConfig, ServeMetrics, ServeReport, ServerConfig,
-    VirtualService,
+    run_cluster, run_open_loop, run_virtual, ClusterConfig, ClusterService, FaultPlan,
+    PayloadMode, SchedConfig, ServeMetrics, ServeReport, ServerConfig, VirtualService,
 };
 
 fn bursty_spec(requests: usize) -> WorkloadSpec {
@@ -199,5 +199,67 @@ fn virtual_clock_scheduling_is_byte_identical_at_any_width() {
     for (a, b) in serial.responses.iter().zip(&parallel.responses) {
         assert_eq!(a.id, b.id);
         assert_eq!(a.bytes, b.bytes, "payload of request {} moved with thread width", a.id);
+    }
+}
+
+#[test]
+fn single_replica_cluster_reproduces_run_virtual() {
+    // Regression pin for the cluster refactor: a 1-replica cluster with
+    // no faults, a free model cache and an unbounded front door is
+    // *exactly* `run_virtual` — same per-lane counters, same histograms,
+    // same virtual wall clock, same digest, same response bytes. If the
+    // cluster layer ever perturbs the single-pipeline semantics it
+    // extracted, this test names the field that moved.
+    let _g = width_guard();
+    fnr_par::set_num_threads(2);
+    let spec = WorkloadSpec {
+        requests: 200,
+        seed: 777,
+        pattern: ArrivalPattern::Bursty,
+        table_names: fnr_bench::serving::table_names(),
+        mean_gap: Duration::from_micros(40),
+        priority_mix: [0.3, 0.4, 0.3],
+        deadline: Some(Duration::from_millis(5)),
+        ..WorkloadSpec::default()
+    };
+    let jobs = generate(&spec);
+    let cfg = ServerConfig {
+        workers: 2,
+        tables: fnr_bench::serving::table_registry(),
+        ..ServerConfig::default()
+    };
+    let service_ns = 1_200_000;
+
+    let direct = run_virtual(&cfg, &jobs, VirtualService { service_ns });
+    let cluster = run_cluster(
+        &ClusterConfig {
+            replicas: 1,
+            server: cfg,
+            max_inflight: usize::MAX,
+            service: ClusterService { service_ns, cold_start_ns: 0 },
+            faults: FaultPlan::none(),
+            payload: PayloadMode::Render,
+            ..ClusterConfig::default()
+        },
+        &jobs,
+    );
+    fnr_par::set_num_threads(1);
+
+    assert!(direct.metrics.shed > 0, "the pin trace must exercise shedding");
+    let replica = &cluster.metrics.replicas[0];
+    assert_eq!(
+        sched_fingerprint(&direct.metrics),
+        sched_fingerprint(&replica.metrics),
+        "a 1-replica fault-free cluster diverged from run_virtual"
+    );
+    assert_eq!(cluster.metrics.digest, direct.metrics.digest);
+    assert_eq!(cluster.metrics.served, direct.metrics.requests);
+    assert_eq!(cluster.metrics.front_door_shed, 0);
+    assert_eq!(cluster.metrics.failed_over, 0);
+    assert_eq!(replica.routed as usize, jobs.len(), "every request routes to the only replica");
+    assert_eq!(cluster.responses.len(), direct.responses.len());
+    for (a, b) in cluster.responses.iter().zip(&direct.responses) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.bytes, b.bytes, "cluster payload of request {} differs from run_virtual", a.id);
     }
 }
