@@ -27,6 +27,15 @@
 //! `--priority-mix I,S,B`, `--deadline-us U`, `--service-us U` (virtual
 //! batch service time), `--json PATH`, `--expect-coalescing`.
 //!
+//! Robustness knobs: `--faults-live "panic=10,delay=30:150us,seed=7"`
+//! seeds a chaos injector (per-mille panic/delay rolls keyed by job
+//! hash — the same poisoned set live and virtual), `--retry N` allows N
+//! attempts per poisoned request before it resolves `failed`, and
+//! `--brownout DEPTH` downgrades Standard/Batch render precision when a
+//! lane backlog exceeds DEPTH. Every non-poisoned response stays
+//! byte-identical to the fault-free run; CI's chaos soak diffs exactly
+//! that, plus the `outcomes:` line, across `FNR_THREADS` widths.
+//!
 //! Cluster mode (`--mode cluster`) replays the schedule through the
 //! N-replica consistent-hash DES (`fnr_serve::cluster`): `--replicas N`,
 //! `--faults SPEC` (`kill@500ms:1,restart@900ms:1`; ns/us/ms/s suffixes)
@@ -41,9 +50,9 @@ use std::time::Duration;
 
 use fnr_serve::workload::{generate, ArrivalPattern, WorkloadSpec};
 use fnr_serve::{
-    run_closed_loop_thinking, run_cluster, run_open_loop, run_virtual, ClusterConfig,
-    ClusterService, FaultPlan, PayloadMode, RouterConfig, SchedConfig, ServeReport, ServerConfig,
-    ThinkTime, VirtualService,
+    run_closed_loop_thinking, run_cluster, run_open_loop, run_virtual_with_faults, BrownoutConfig,
+    ClusterConfig, ClusterService, FaultInjector, FaultPlan, PayloadMode, RetryPolicy,
+    RouterConfig, SchedConfig, ServeReport, ServerConfig, ThinkTime, VirtualService, MAX_REPLICAS,
 };
 
 struct Args {
@@ -74,6 +83,9 @@ struct Args {
     vnodes: usize,
     router_seed: u64,
     payload: PayloadMode,
+    faults_live: Option<String>,
+    retry: u32,
+    brownout: Option<usize>,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -128,6 +140,9 @@ fn parse_args() -> Args {
         vnodes: 64,
         router_seed: 0,
         payload: PayloadMode::Render,
+        faults_live: None,
+        retry: 1,
+        brownout: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -199,7 +214,15 @@ fn parse_args() -> Args {
             }
             "--json" => args.json = Some(operand(&mut i, "--json")),
             "--expect-coalescing" => args.expect_coalescing = true,
-            "--replicas" => args.replicas = parse_num(&operand(&mut i, "--replicas")).clamp(1, 128),
+            "--replicas" => {
+                let n = parse_num(&operand(&mut i, "--replicas"));
+                if !(1..=MAX_REPLICAS).contains(&n) {
+                    usage(&format!(
+                        "--replicas {n} is out of range (the ring supports 1..={MAX_REPLICAS} replicas)"
+                    ));
+                }
+                args.replicas = n;
+            }
             "--faults" => args.faults = Some(operand(&mut i, "--faults")),
             "--fault-seed" => args.fault_seed = parse_num(&operand(&mut i, "--fault-seed")) as u64,
             "--fault-kills" => args.fault_kills = parse_num(&operand(&mut i, "--fault-kills")),
@@ -217,6 +240,9 @@ fn parse_args() -> Args {
                 args.payload = PayloadMode::parse(&p)
                     .unwrap_or_else(|| usage(&format!("unknown payload mode `{p}` (render|synthetic)")));
             }
+            "--faults-live" => args.faults_live = Some(operand(&mut i, "--faults-live")),
+            "--retry" => args.retry = parse_num(&operand(&mut i, "--retry")).max(1) as u32,
+            "--brownout" => args.brownout = Some(parse_num(&operand(&mut i, "--brownout"))),
             other => usage(&format!("unknown flag `{other}`")),
         }
         i += 1;
@@ -239,7 +265,8 @@ fn usage(msg: &str) -> ! {
          [--json PATH] [--expect-coalescing] \
          [--replicas N] [--faults SPEC] [--fault-seed S] [--fault-kills K] \
          [--max-inflight N] [--cold-start-us U] [--vnodes V] [--router-seed S] \
-         [--payload render|synthetic]"
+         [--payload render|synthetic] \
+         [--faults-live panic=PM,delay=PM:DUR,seed=S] [--retry N] [--brownout DEPTH]"
     );
     std::process::exit(2);
 }
@@ -257,6 +284,13 @@ fn main() {
         ..WorkloadSpec::default()
     };
     let jobs = generate(&spec);
+    // A seeded chaos injector shared by live workers and the virtual
+    // pipeline: the poisoned-request set is a pure function of the spec,
+    // so CI can diff the surviving responses across thread widths.
+    let injector = args
+        .faults_live
+        .as_deref()
+        .map(|spec| FaultInjector::parse(spec).unwrap_or_else(|e| usage(&e)));
     let cfg = ServerConfig {
         queue_capacity: args.queue_capacity,
         workers: args.workers,
@@ -267,6 +301,17 @@ fn main() {
             SchedKind::Fifo => SchedConfig::single_lane(),
         },
         tables: fnr_bench::serving::table_registry(),
+        retry: RetryPolicy { max_attempts: args.retry, ..RetryPolicy::default() },
+        brownout: match args.brownout {
+            Some(depth) => BrownoutConfig {
+                enabled: true,
+                engage_depth: depth,
+                release_depth: depth / 4,
+            },
+            None => BrownoutConfig::default(),
+        },
+        injector,
+        ..ServerConfig::default()
     };
 
     eprintln!(
@@ -302,10 +347,11 @@ fn main() {
         // Think-time streams derive from the workload seed, so a closed-loop
         // run's sleep schedule is reproducible end to end.
         Mode::Closed => run_closed_loop_thinking(&cfg, &jobs, args.clients, think, args.seed),
-        Mode::Virtual => run_virtual(
+        Mode::Virtual => run_virtual_with_faults(
             &cfg,
             &jobs,
             VirtualService { service_ns: args.service.as_nanos() as u64 },
+            cfg.injector,
         ),
         Mode::Cluster => unreachable!("cluster mode returned above"),
     };
@@ -317,13 +363,25 @@ fn main() {
         "answered: {} responses in {} batches ({} rejected, {} shed, {} expired)",
         m.requests, m.batches, m.rejected, m.shed, m.expired
     );
+    // Greppable robustness roll-up: CI's chaos legs diff the
+    // width-invariant fields (served/failed/degraded; retried is
+    // deterministic too, worker restarts are timing-dependent and live
+    // on their own line).
+    println!(
+        "outcomes: served {} failed {} retried {} degraded {}",
+        m.requests, m.failed, m.retried, m.degraded
+    );
+    println!(
+        "supervision: {} worker restarts, breaker opened {} (half-open probes {})",
+        m.worker_restarts, m.breaker_opened, m.breaker_half_open_probes
+    );
     for lane in &m.lanes {
         // One greppable line per lane: CI's virtual leg diffs these (and
         // the digest) byte for byte between its serial/parallel runs.
         println!(
-            "lane {}[w{}]: submitted {} served {} shed {} expired {} rejected {}",
+            "lane {}[w{}]: submitted {} served {} shed {} expired {} rejected {} failed {} degraded {}",
             lane.name, lane.weight, lane.submitted, lane.served, lane.shed, lane.expired,
-            lane.rejected
+            lane.rejected, lane.failed, lane.degraded
         );
     }
     println!("batch occupancy: {:.3} mean ({:.3} on the coalescable portion)", m.mean_occupancy, m.coalescable_occupancy);
@@ -352,10 +410,12 @@ fn main() {
         eprintln!("[serve] wrote metrics to {path}");
     }
 
-    if report.responses.len() != m.requests || m.requests + m.rejected + m.shed != args.requests {
+    if report.responses.len() != m.requests
+        || m.requests + m.rejected + m.shed + m.failed != args.requests
+    {
         eprintln!(
-            "[serve] request accounting broken: {} answered + {} rejected + {} shed != {}",
-            m.requests, m.rejected, m.shed, args.requests
+            "[serve] request accounting broken: {} answered + {} rejected + {} shed + {} failed != {}",
+            m.requests, m.rejected, m.shed, m.failed, args.requests
         );
         std::process::exit(1);
     }
@@ -394,6 +454,9 @@ fn run_cluster_mode(args: &Args, jobs: &[fnr_serve::workload::TimedJob], server:
         },
         faults,
         payload: args.payload,
+        // The live/virtual chaos injector rides in via `server.injector`;
+        // a cluster-level override is only for programmatic callers.
+        injector: None,
     };
     eprintln!(
         "[serve] cluster: {} replicas, {} vnodes, inflight bound {}, {} fault events, {} payloads",
@@ -421,21 +484,22 @@ fn run_cluster_mode(args: &Args, jobs: &[fnr_serve::workload::TimedJob], server:
     // FNR_THREADS=1 and default runs.
     println!(
         "cluster totals: submitted {} served {} shed {} front-door {} expired {} rejected {} \
-         failed-over {} kills {} restarts {}",
+         failed {} failed-over {} kills {} restarts {}",
         m.submitted,
         m.served,
         m.shed,
         m.front_door_shed,
         m.expired,
         m.rejected,
+        m.failed,
         m.failed_over,
         m.kills,
         m.restarts
     );
     for r in &m.replicas {
         println!(
-            "replica r{}: {} routed {} served {} shed {} expired {} rejected {} fo-in {} fo-out {} \
-             cache {}/{} kills {} restarts {} digest {:#018x}",
+            "replica r{}: {} routed {} served {} shed {} expired {} rejected {} failed {} fo-in {} \
+             fo-out {} cache {}/{} kills {} restarts {} digest {:#018x}",
             r.replica,
             if r.alive { "alive" } else { "dead" },
             r.routed,
@@ -443,6 +507,7 @@ fn run_cluster_mode(args: &Args, jobs: &[fnr_serve::workload::TimedJob], server:
             r.metrics.shed,
             r.metrics.expired,
             r.metrics.rejected,
+            r.metrics.failed,
             r.failed_over_in,
             r.failed_over_out,
             r.cache_hits,
@@ -470,11 +535,12 @@ fn run_cluster_mode(args: &Args, jobs: &[fnr_serve::workload::TimedJob], server:
 
     if !m.conserves_submitted() || report.responses.len() != m.served {
         eprintln!(
-            "[serve] cluster accounting broken: {} served + {} shed + {} rejected + {} front-door \
-             != {} submitted (responses {})",
+            "[serve] cluster accounting broken: {} served + {} shed + {} rejected + {} failed + \
+             {} front-door != {} submitted (responses {})",
             m.served,
             m.shed,
             m.rejected,
+            m.failed,
             m.front_door_shed,
             m.submitted,
             report.responses.len()

@@ -26,7 +26,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::metrics::{ClusterMetrics, LaneAccounting, ReplicaStats, ServeMetrics};
+use crate::fault::FaultInjector;
+use crate::metrics::{ClusterMetrics, LaneAccounting, ReplicaStats, RobustTotals, ServeMetrics};
 use crate::request::{response_set_digest, synthetic_payload, Request, Response};
 use crate::router::{HashRing, RouterConfig};
 use crate::server::{execute_batch, ServerConfig};
@@ -98,22 +99,30 @@ impl FaultPlan {
     pub fn parse(s: &str) -> Result<Self, String> {
         let mut events = Vec::new();
         for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
-            let (kind_s, rest) = part
-                .split_once('@')
-                .ok_or_else(|| format!("fault `{part}`: expected KIND@TIME:REPLICA"))?;
+            let (kind_s, rest) = part.split_once('@').ok_or_else(|| {
+                format!("fault `{part}`: expected KIND@TIME:REPLICA (e.g. `kill@500ms:1`)")
+            })?;
             let kind = match kind_s {
                 "kill" => FaultKind::Kill,
                 "restart" => FaultKind::Restart,
-                other => return Err(format!("unknown fault kind `{other}`")),
+                other => {
+                    return Err(format!(
+                        "fault `{part}`: unknown fault kind `{other}` (expected `kill` or `restart`)"
+                    ))
+                }
             };
-            let (time_s, replica_s) = rest
-                .split_once(':')
-                .ok_or_else(|| format!("fault `{part}`: expected KIND@TIME:REPLICA"))?;
-            let at_ns = parse_time_ns(time_s)
-                .ok_or_else(|| format!("fault `{part}`: bad time `{time_s}`"))?;
-            let replica: usize = replica_s
-                .parse()
-                .map_err(|_| format!("fault `{part}`: bad replica `{replica_s}`"))?;
+            let (time_s, replica_s) = rest.split_once(':').ok_or_else(|| {
+                format!("fault `{part}`: expected KIND@TIME:REPLICA (e.g. `kill@500ms:1`)")
+            })?;
+            let at_ns = parse_time_ns(time_s).ok_or_else(|| {
+                format!(
+                    "fault `{part}`: bad time `{time_s}` (expected an integer with an \
+                     optional ns/us/ms/s suffix)"
+                )
+            })?;
+            let replica: usize = replica_s.parse().map_err(|_| {
+                format!("fault `{part}`: bad replica `{replica_s}` (expected a replica index)")
+            })?;
             events.push(FaultEvent { at_ns, replica, kind });
         }
         Ok(FaultPlan::new(events))
@@ -147,8 +156,9 @@ impl FaultPlan {
     }
 }
 
-/// Parses `500ms` / `250us` / `3s` / `1200ns` into nanoseconds.
-fn parse_time_ns(s: &str) -> Option<u64> {
+/// Parses `500ms` / `250us` / `3s` / `1200ns` into nanoseconds. Shared
+/// with the chaos-injector spec grammar ([`crate::fault::FaultInjector`]).
+pub(crate) fn parse_time_ns(s: &str) -> Option<u64> {
     let (num, mul) = if let Some(n) = s.strip_suffix("ns") {
         (n, 1u64)
     } else if let Some(n) = s.strip_suffix("us") {
@@ -203,6 +213,10 @@ pub struct ClusterConfig {
     pub service: ClusterService,
     /// Replica kill/restart schedule.
     pub faults: FaultPlan,
+    /// Per-request chaos injection, shared with live mode: the same seeds
+    /// poison the same requests in both. `None` falls back to the server
+    /// config's injector.
+    pub injector: Option<FaultInjector>,
     /// Real renders or synthetic hash payloads.
     pub payload: PayloadMode,
 }
@@ -216,6 +230,7 @@ impl Default for ClusterConfig {
             max_inflight: 1024,
             service: ClusterService::default(),
             faults: FaultPlan::none(),
+            injector: None,
             payload: PayloadMode::Render,
         }
     }
@@ -370,11 +385,12 @@ pub fn run_cluster(cfg: &ClusterConfig, jobs: &[TimedJob]) -> ClusterReport {
         ring: HashRing::new(replicas, &cfg.router),
         pipes: (0..replicas)
             .map(|_| {
-                VirtualPipeline::new(
+                VirtualPipeline::with_injector(
                     &cfg.server,
                     cfg.service.service_ns,
                     cfg.service.cold_start_ns,
                     true,
+                    cfg.injector.or(cfg.server.injector),
                 )
             })
             .collect(),
@@ -447,8 +463,11 @@ pub fn run_cluster(cfg: &ClusterConfig, jobs: &[TimedJob]) -> ClusterReport {
             &pipe.request_metrics,
             &pipe.batch_metrics,
             &pipe.shed_metrics,
+            &pipe.fail_metrics,
+            &[],
             &responses,
             &lane_acct,
+            RobustTotals::default(),
             pipe.wall_ns,
             workers,
             threads,
@@ -482,10 +501,11 @@ pub fn run_cluster(cfg: &ClusterConfig, jobs: &[TimedJob]) -> ClusterReport {
     );
     assert!(
         metrics.conserves_submitted(),
-        "request conservation violated: served {} + shed {} + rejected {} + front door {} != submitted {}",
+        "request conservation violated: served {} + shed {} + rejected {} + failed {} + front door {} != submitted {}",
         metrics.served,
         metrics.shed,
         metrics.rejected,
+        metrics.failed,
         metrics.front_door_shed,
         metrics.submitted
     );
@@ -525,6 +545,32 @@ mod tests {
         assert!(FaultPlan::parse("explode@1s:0").is_err());
         assert!(FaultPlan::parse("kill@xyz:0").is_err());
         assert!(FaultPlan::parse("kill@1s").is_err());
+    }
+
+    #[test]
+    fn fault_plan_parse_errors_are_descriptive() {
+        // Empty / whitespace / dangling-comma specs are "no faults", not
+        // errors — the CLI default is an empty string.
+        assert!(FaultPlan::parse("   ").expect("whitespace ok").is_empty());
+        assert!(FaultPlan::parse("kill@1ms:0,").expect("trailing comma ok").events().len() == 1);
+        // Unknown op: the message names the bad kind and the alternatives.
+        let e = FaultPlan::parse("explode@1s:0").unwrap_err();
+        assert!(e.contains("unknown fault kind `explode`") && e.contains("`kill` or `restart`"), "{e}");
+        // Bad duration: the message names the bad time and the grammar.
+        let e = FaultPlan::parse("kill@12parsecs:0").unwrap_err();
+        assert!(e.contains("bad time `12parsecs`") && e.contains("ns/us/ms/s"), "{e}");
+        let e = FaultPlan::parse("kill@:0").unwrap_err();
+        assert!(e.contains("bad time ``"), "{e}");
+        // Structural errors echo the expected shape with an example.
+        let e = FaultPlan::parse("kill").unwrap_err();
+        assert!(e.contains("KIND@TIME:REPLICA") && e.contains("kill@500ms:1"), "{e}");
+        let e = FaultPlan::parse("kill@1s").unwrap_err();
+        assert!(e.contains("KIND@TIME:REPLICA"), "{e}");
+        // Bad replica index.
+        let e = FaultPlan::parse("kill@1s:minus-one").unwrap_err();
+        assert!(e.contains("bad replica `minus-one`"), "{e}");
+        // One bad element poisons the whole spec (no partial plans).
+        assert!(FaultPlan::parse("kill@1ms:0,bogus").is_err());
     }
 
     #[test]

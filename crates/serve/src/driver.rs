@@ -8,7 +8,8 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::metrics::{LaneAccounting, ServeMetrics};
+use crate::fault::FaultInjector;
+use crate::metrics::{LaneAccounting, RobustTotals, ServeMetrics};
 use crate::request::Response;
 use crate::server::{execute_batch, run, ServeReport, ServerConfig, WaitOutcome};
 use crate::vclock::VirtualPipeline;
@@ -169,8 +170,23 @@ impl Default for VirtualService {
 /// shedding — comes from under saturation), and the same
 /// size/linger/drain batcher.
 pub fn run_virtual(cfg: &ServerConfig, jobs: &[TimedJob], service: VirtualService) -> ServeReport {
+    run_virtual_with_faults(cfg, jobs, service, None)
+}
+
+/// [`run_virtual`] plus a seeded chaos injector: poisoned requests fail
+/// at the instant a virtual worker would take their batch (the virtual
+/// analogue of the live supervisor's quarantine verdict), delayed batches
+/// stretch their virtual service time. The injector takes the same seeds
+/// as the live server's, so the poisoned-request *set* is identical in
+/// both modes — CI's chaos legs diff exactly that.
+pub fn run_virtual_with_faults(
+    cfg: &ServerConfig,
+    jobs: &[TimedJob],
+    service: VirtualService,
+    injector: Option<FaultInjector>,
+) -> ServeReport {
     cfg.sched.validate();
-    let mut pipe = VirtualPipeline::new(cfg, service.service_ns, 0, false);
+    let mut pipe = VirtualPipeline::with_injector(cfg, service.service_ns, 0, false, injector);
     let mut now = 0u64;
     for (id, tj) in jobs.iter().enumerate() {
         let at = now + tj.delay_before.as_nanos() as u64;
@@ -198,8 +214,11 @@ pub fn run_virtual(cfg: &ServerConfig, jobs: &[TimedJob], service: VirtualServic
         &pipe.request_metrics,
         &pipe.batch_metrics,
         &pipe.shed_metrics,
+        &pipe.fail_metrics,
+        &[],
         &responses,
         &lane_acct,
+        RobustTotals::default(),
         pipe.wall_ns,
         cfg.workers.max(1),
         fnr_par::current_num_threads(),

@@ -12,12 +12,16 @@
 //!   scene/model/precision — into one batched render or one shared table
 //!   regeneration (the per-batch format/precision amortization is exactly
 //!   where the paper's adaptive datapath pays off per request),
-//! * a worker pool driving `fnr_nerf`'s batched render entry points and
-//!   registered `fnr_bench` table generators,
+//! * a supervised worker pool ([`supervise`]) driving `fnr_nerf`'s
+//!   batched render entry points and registered `fnr_bench` table
+//!   generators — panicking batches are bisected to isolate poisoned
+//!   requests, crashed workers respawn within a bounded budget, and the
+//!   [`fault`] module adds retries, a per-key circuit breaker, precision
+//!   brownout under overload, and seeded chaos injection,
 //! * per-request / per-batch metrics ([`ServeMetrics`], queue latency,
-//!   service time, batch occupancy) with a JSON report in the
-//!   `flexnerfer-serve-bench/1` schema, sibling to `repro --json`'s
-//!   `flexnerfer-repro-bench/1`.
+//!   service time, batch occupancy, failure/degrade counters) with a JSON
+//!   report in the `flexnerfer-serve-bench/3` schema, sibling to
+//!   `repro --json`'s `flexnerfer-repro-bench/2`.
 //!
 //! # Determinism
 //!
@@ -52,11 +56,13 @@
 mod batch;
 pub mod cluster;
 mod driver;
+pub mod fault;
 mod metrics;
 mod request;
 pub mod router;
 pub mod sched;
 mod server;
+pub mod supervise;
 mod vclock;
 pub mod workload;
 
@@ -66,20 +72,26 @@ pub use cluster::{
     PayloadMode,
 };
 pub use driver::{
-    run_closed_loop, run_closed_loop_thinking, run_open_loop, run_virtual, ThinkTime,
-    VirtualService,
+    run_closed_loop, run_closed_loop_thinking, run_open_loop, run_virtual,
+    run_virtual_with_faults, ThinkTime, VirtualService,
+};
+pub use fault::{
+    degrade_precision, BreakerConfig, BreakerState, Brownout, BrownoutConfig, CircuitBreaker,
+    FaultInjector, InjectedFault, RetryPolicy,
 };
 pub use metrics::{
-    BatchMetric, ClusterMetrics, LaneAccounting, LaneStats, LatencyHistogram, NsStats,
-    ReplicaStats, RequestMetric, ServeMetrics, ShedMetric, LATENCY_BUCKETS, LATENCY_EDGES_NS,
+    BatchMetric, ClusterMetrics, DegradeMetric, FailMetric, LaneAccounting, LaneStats,
+    LatencyHistogram, NsStats, ReplicaStats, RequestMetric, RobustTotals, ServeMetrics,
+    ShedMetric, LATENCY_BUCKETS, LATENCY_EDGES_NS,
 };
 pub use request::{
-    fnv1a, image_bytes, response_set_digest, synthetic_payload, BatchKey, RenderJob,
+    fnv1a, image_bytes, job_hash, response_set_digest, synthetic_payload, BatchKey, RenderJob,
     RenderPrecision, Request, Response, SceneKind, Workload,
 };
-pub use router::{HashRing, RouterConfig};
+pub use router::{HashRing, RouterConfig, MAX_REPLICAS};
 pub use sched::{LaneConfig, LaneScheduler, Priority, SchedConfig, SchedStep};
 pub use server::{
-    quantized_cache_stats, run, Client, QuantCacheStats, ServeReport, ServerConfig, SubmitError,
-    TableFn, TableRegistry, WaitOutcome,
+    quantized_cache_stats, run, Client, QuantCacheStats, ServeReport, Server, ServerConfig,
+    SubmitError, TableFn, TableRegistry, WaitOutcome,
 };
+pub use supervise::{SuperviseConfig, MAX_RESPAWN_BACKOFF};

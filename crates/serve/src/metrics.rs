@@ -36,6 +36,44 @@ pub struct ShedMetric {
     pub queue_ns: u64,
 }
 
+/// Record for one request that terminated as `Failed`: it kept panicking
+/// under quarantine (or its key's circuit breaker was open), so the
+/// supervisor failed it instead of answering or hanging it.
+#[derive(Debug, Clone)]
+pub struct FailMetric {
+    /// The request id.
+    pub id: u64,
+    /// Scheduler lane the request was admitted to.
+    pub lane: usize,
+    /// Submit → final-failure latency.
+    pub queue_ns: u64,
+}
+
+/// Record for one request the brownout controller downgraded to a cheaper
+/// precision under overload (it was still served — with the downgraded
+/// payload — and is also counted in its lane's `served`).
+#[derive(Debug, Clone)]
+pub struct DegradeMetric {
+    /// The request id.
+    pub id: u64,
+    /// Scheduler lane the request was served from.
+    pub lane: usize,
+}
+
+/// Robustness totals only the supervisor/breaker know — handed to
+/// [`ServeMetrics::aggregate`] alongside the per-request records.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RobustTotals {
+    /// Crashed workers the supervisor respawned.
+    pub worker_restarts: usize,
+    /// Re-execution attempts of quarantined requests (each retry counts).
+    pub retried: usize,
+    /// Times a per-key circuit breaker tripped open.
+    pub breaker_opened: usize,
+    /// Half-open probes the breaker admitted after cooldowns.
+    pub breaker_half_open_probes: usize,
+}
+
 /// Per-lane admission accounting the server hands to
 /// [`ServeMetrics::aggregate`] (the lane identity plus what never entered
 /// the queue).
@@ -50,15 +88,16 @@ pub struct LaneAccounting {
 }
 
 /// Aggregated per-lane serving outcome: every admitted request of the lane
-/// is either `served` or `shed`; `expired` is the subset of `served` that
-/// finished past its deadline.
+/// is `served`, `shed`, or `failed`; `expired` is the subset of `served`
+/// that finished past its deadline and `degraded` the subset served at a
+/// browned-out precision.
 #[derive(Debug, Clone)]
 pub struct LaneStats {
     /// Lane label.
     pub name: String,
     /// Drain weight.
     pub weight: u64,
-    /// Requests admitted to this lane (`served + shed`).
+    /// Requests admitted to this lane (`served + shed + failed`).
     pub submitted: usize,
     /// Requests rendered and answered.
     pub served: usize,
@@ -69,8 +108,13 @@ pub struct LaneStats {
     pub expired: usize,
     /// Requests rejected at admission.
     pub rejected: usize,
-    /// Queue-latency histogram over every admitted request (served and
-    /// shed alike — both experienced the queue).
+    /// Requests that terminated as `Failed` under quarantine (or against
+    /// an open circuit breaker).
+    pub failed: usize,
+    /// Served requests the brownout downgraded to a cheaper precision.
+    pub degraded: usize,
+    /// Queue-latency histogram over every admitted request (served, shed
+    /// and failed alike — all experienced the queue).
     pub queue_hist: LatencyHistogram,
 }
 
@@ -247,6 +291,20 @@ pub struct ServeMetrics {
     /// Served requests that finished after their deadline, summed over
     /// lanes.
     pub expired: usize,
+    /// Requests that terminated as `Failed` (quarantine exhausted their
+    /// retries, or their key's breaker was open), summed over lanes.
+    pub failed: usize,
+    /// Served requests the brownout downgraded to a cheaper precision,
+    /// summed over lanes.
+    pub degraded: usize,
+    /// Re-execution attempts of quarantined requests.
+    pub retried: usize,
+    /// Crashed workers the supervisor respawned.
+    pub worker_restarts: usize,
+    /// Times a per-key circuit breaker tripped open.
+    pub breaker_opened: usize,
+    /// Half-open probes the breaker admitted after cooldowns.
+    pub breaker_half_open_probes: usize,
     /// Per-lane outcome counters and queue-latency histograms.
     pub lanes: Vec<LaneStats>,
     /// Batches executed.
@@ -290,8 +348,11 @@ impl ServeMetrics {
         request_metrics: &[RequestMetric],
         batch_metrics: &[BatchMetric],
         shed_metrics: &[ShedMetric],
+        fail_metrics: &[FailMetric],
+        degrade_metrics: &[DegradeMetric],
         responses: &[Response],
         lane_acct: &[LaneAccounting],
+        robust: RobustTotals,
         wall_ns: u64,
         workers: usize,
         threads: usize,
@@ -303,6 +364,8 @@ impl ServeMetrics {
                 let served: Vec<&RequestMetric> =
                     request_metrics.iter().filter(|m| m.lane == li).collect();
                 let shed: Vec<&ShedMetric> = shed_metrics.iter().filter(|m| m.lane == li).collect();
+                let failed: Vec<&FailMetric> =
+                    fail_metrics.iter().filter(|m| m.lane == li).collect();
                 let mut queue_hist = LatencyHistogram::new();
                 for m in &served {
                     queue_hist.record(m.queue_ns);
@@ -310,14 +373,19 @@ impl ServeMetrics {
                 for m in &shed {
                     queue_hist.record(m.queue_ns);
                 }
+                for m in &failed {
+                    queue_hist.record(m.queue_ns);
+                }
                 LaneStats {
                     name: acct.name.clone(),
                     weight: acct.weight,
-                    submitted: served.len() + shed.len(),
+                    submitted: served.len() + shed.len() + failed.len(),
                     served: served.len(),
                     shed: shed.len(),
                     expired: served.iter().filter(|m| m.deadline_missed).count(),
                     rejected: acct.rejected,
+                    failed: failed.len(),
+                    degraded: degrade_metrics.iter().filter(|m| m.lane == li).count(),
                     queue_hist,
                 }
             })
@@ -341,6 +409,12 @@ impl ServeMetrics {
             rejected: lanes.iter().map(|l| l.rejected).sum(),
             shed: shed_metrics.len(),
             expired: lanes.iter().map(|l| l.expired).sum(),
+            failed: fail_metrics.len(),
+            degraded: degrade_metrics.len(),
+            retried: robust.retried,
+            worker_restarts: robust.worker_restarts,
+            breaker_opened: robust.breaker_opened,
+            breaker_half_open_probes: robust.breaker_half_open_probes,
             lanes,
             batches: batch_metrics.len(),
             mean_occupancy: mean(&all),
@@ -364,11 +438,13 @@ impl ServeMetrics {
         }
     }
 
-    /// Renders the `flexnerfer-serve-bench/2` JSON record (hand-rolled,
+    /// Renders the `flexnerfer-serve-bench/3` JSON record (hand-rolled,
     /// mirroring the `flexnerfer-repro-bench/2` trajectory format: every
     /// value is a number or a string this crate controls). Schema `/2`
-    /// extends `/1` with the scheduler's `shed`/`expired` totals and the
-    /// per-lane `lanes` array (counters + queue-latency histograms).
+    /// extended `/1` with the scheduler's `shed`/`expired` totals and the
+    /// per-lane `lanes` array; `/3` adds the robustness counters —
+    /// `failed`/`retried`/`degraded`/`worker_restarts` totals, the
+    /// `breaker` object, and per-lane `failed`/`degraded`.
     pub fn to_json(&self) -> String {
         let stats = |s: &NsStats| {
             format!(
@@ -377,13 +453,21 @@ impl ServeMetrics {
             )
         };
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"flexnerfer-serve-bench/2\",\n");
+        out.push_str("  \"schema\": \"flexnerfer-serve-bench/3\",\n");
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"workers\": {},\n", self.workers));
         out.push_str(&format!("  \"requests\": {},\n", self.requests));
         out.push_str(&format!("  \"rejected\": {},\n", self.rejected));
         out.push_str(&format!("  \"shed\": {},\n", self.shed));
         out.push_str(&format!("  \"expired\": {},\n", self.expired));
+        out.push_str(&format!("  \"failed\": {},\n", self.failed));
+        out.push_str(&format!("  \"retried\": {},\n", self.retried));
+        out.push_str(&format!("  \"degraded\": {},\n", self.degraded));
+        out.push_str(&format!("  \"worker_restarts\": {},\n", self.worker_restarts));
+        out.push_str(&format!(
+            "  \"breaker\": {{ \"opened\": {}, \"half_open_probes\": {} }},\n",
+            self.breaker_opened, self.breaker_half_open_probes
+        ));
         out.push_str("  \"lanes\": [\n");
         out.push_str(&lanes_json(&self.lanes, "    "));
         out.push_str("  ],\n");
@@ -412,7 +496,8 @@ fn lanes_json(lanes: &[LaneStats], indent: &str) -> String {
     for (i, lane) in lanes.iter().enumerate() {
         out.push_str(&format!(
             "{indent}{{ \"name\": \"{}\", \"weight\": {}, \"submitted\": {}, \"served\": {}, \
-             \"shed\": {}, \"expired\": {}, \"rejected\": {}, \"queue_hist\": {} }}{}\n",
+             \"shed\": {}, \"expired\": {}, \"rejected\": {}, \"failed\": {}, \"degraded\": {}, \
+             \"queue_hist\": {} }}{}\n",
             json_escape(&lane.name),
             lane.weight,
             lane.submitted,
@@ -420,6 +505,8 @@ fn lanes_json(lanes: &[LaneStats], indent: &str) -> String {
             lane.shed,
             lane.expired,
             lane.rejected,
+            lane.failed,
+            lane.degraded,
             lane.queue_hist.to_json(),
             if i + 1 == lanes.len() { "" } else { "," }
         ));
@@ -482,6 +569,9 @@ pub struct ClusterMetrics {
     /// Requests rejected at a replica's admission (full lane), summed
     /// over replicas.
     pub rejected: usize,
+    /// Requests that terminated as `Failed` (fault injection / quarantine)
+    /// on a replica, summed over replicas.
+    pub failed: usize,
     /// Orphaned requests successfully re-admitted on another replica.
     pub failed_over: usize,
     /// Kill events executed by the fault plan.
@@ -524,6 +614,7 @@ impl ClusterMetrics {
             front_door_shed,
             expired: replicas.iter().map(|r| r.metrics.expired).sum(),
             rejected: replicas.iter().map(|r| r.metrics.rejected).sum(),
+            failed: replicas.iter().map(|r| r.metrics.failed).sum(),
             failed_over: replicas.iter().map(|r| r.failed_over_in).sum(),
             kills: replicas.iter().map(|r| r.kills).sum(),
             restarts: replicas.iter().map(|r| r.restarts).sum(),
@@ -538,19 +629,23 @@ impl ClusterMetrics {
 
     /// Every submitted request must terminate exactly once somewhere in
     /// the cluster: served, scheduler-shed, rejected at an admission
-    /// edge, or dropped at the front door. Failover moves a request, it
-    /// never duplicates or loses one — this is the conservation law the
-    /// chaos suite (and the CLI self-check) enforce.
+    /// edge, failed under fault injection, or dropped at the front door.
+    /// Failover moves a request, it never duplicates or loses one — this
+    /// is the conservation law the chaos suite (and the CLI self-check)
+    /// enforce.
     pub fn conserves_submitted(&self) -> bool {
-        self.served + self.shed + self.rejected + self.front_door_shed == self.submitted
+        self.served + self.shed + self.rejected + self.failed + self.front_door_shed
+            == self.submitted
     }
 
-    /// Renders the `flexnerfer-cluster-bench/1` JSON record (hand-rolled
+    /// Renders the `flexnerfer-cluster-bench/2` JSON record (hand-rolled
     /// like the serve/repro records: every value is a number or a string
-    /// this crate controls).
+    /// this crate controls). Schema `/2` adds the `failed` totals (and the
+    /// per-lane `failed`/`degraded` counters inherited from the serve
+    /// lanes array).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"flexnerfer-cluster-bench/1\",\n");
+        out.push_str("  \"schema\": \"flexnerfer-cluster-bench/2\",\n");
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"replicas\": {},\n", self.replicas.len()));
         out.push_str(&format!("  \"workers_per_replica\": {},\n", self.workers_per_replica));
@@ -560,6 +655,7 @@ impl ClusterMetrics {
         out.push_str(&format!("  \"front_door_shed\": {},\n", self.front_door_shed));
         out.push_str(&format!("  \"expired\": {},\n", self.expired));
         out.push_str(&format!("  \"rejected\": {},\n", self.rejected));
+        out.push_str(&format!("  \"failed\": {},\n", self.failed));
         out.push_str(&format!("  \"failed_over\": {},\n", self.failed_over));
         out.push_str(&format!("  \"kills\": {},\n", self.kills));
         out.push_str(&format!("  \"restarts\": {},\n", self.restarts));
@@ -580,6 +676,7 @@ impl ClusterMetrics {
                 "    {{ \"replica\": {}, \"alive\": {}, \"kills\": {}, \"restarts\": {}, \
                  \"routed\": {}, \"failed_over_out\": {}, \"failed_over_in\": {}, \
                  \"served\": {}, \"shed\": {}, \"expired\": {}, \"rejected\": {}, \
+                 \"failed\": {}, \
                  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_ratio\": {:.4} }}, \
                  \"utilization\": {:.4}, \"digest\": \"{:#018x}\",\n",
                 r.replica,
@@ -593,6 +690,7 @@ impl ClusterMetrics {
                 m.shed,
                 m.expired,
                 m.rejected,
+                m.failed,
                 r.cache_hits,
                 r.cache_misses,
                 hit_ratio,
@@ -656,7 +754,19 @@ mod tests {
             bm(k1.clone(), 1, FlushReason::Drain),
             bm(k2, 1, FlushReason::Timeout),
         ];
-        let m = ServeMetrics::aggregate(&[], &batches, &[], &[], &acct(1), 0, 1, 1);
+        let m = ServeMetrics::aggregate(
+            &[],
+            &batches,
+            &[],
+            &[],
+            &[],
+            &[],
+            &acct(1),
+            RobustTotals::default(),
+            0,
+            1,
+            1,
+        );
         assert!((m.mean_occupancy - 5.0 / 3.0).abs() < 1e-9);
         assert!((m.coalescable_occupancy - 2.0).abs() < 1e-9, "k2 excluded: (3+1)/2");
         assert_eq!(m.flushed_size, 1);
@@ -669,18 +779,44 @@ mod tests {
         let mut lanes = acct(2);
         lanes[0].rejected = 2;
         let sheds = vec![ShedMetric { id: 9, lane: 1, queue_ns: 5_000 }];
-        let m = ServeMetrics::aggregate(&[rm(0, 0, 100, true)], &[], &sheds, &[], &lanes, 42, 3, 4);
+        let fails = vec![FailMetric { id: 10, lane: 0, queue_ns: 7_000 }];
+        let degrades = vec![DegradeMetric { id: 0, lane: 0 }];
+        let robust = RobustTotals {
+            worker_restarts: 1,
+            retried: 2,
+            breaker_opened: 1,
+            breaker_half_open_probes: 1,
+        };
+        let m = ServeMetrics::aggregate(
+            &[rm(0, 0, 100, true)],
+            &[],
+            &sheds,
+            &fails,
+            &degrades,
+            &[],
+            &lanes,
+            robust,
+            42,
+            3,
+            4,
+        );
         let j = m.to_json();
-        // The schema bump: /2 carries the scheduler's lane array and
-        // shed/expired totals alongside everything /1 had.
-        assert!(j.contains("\"schema\": \"flexnerfer-serve-bench/2\""));
+        // The schema bump: /3 carries the robustness counters alongside
+        // everything /2 had (lanes array, shed/expired totals).
+        assert!(j.contains("\"schema\": \"flexnerfer-serve-bench/3\""));
         assert!(j.contains("\"rejected\": 2"));
         assert!(j.contains("\"shed\": 1,"));
         assert!(j.contains("\"expired\": 1,"));
+        assert!(j.contains("\n  \"failed\": 1,"));
+        assert!(j.contains("\n  \"retried\": 2,"));
+        assert!(j.contains("\n  \"degraded\": 1,"));
+        assert!(j.contains("\n  \"worker_restarts\": 1,"));
+        assert!(j.contains("\"breaker\": { \"opened\": 1, \"half_open_probes\": 1 }"));
         assert!(j.contains("\"lanes\": ["));
         assert!(j.contains(
-            "\"name\": \"lane0\", \"weight\": 1, \"submitted\": 1, \"served\": 1, \"shed\": 0, \
-             \"expired\": 1, \"rejected\": 2, \"queue_hist\": { \"edges_ns\": [1000, "
+            "\"name\": \"lane0\", \"weight\": 1, \"submitted\": 2, \"served\": 1, \"shed\": 0, \
+             \"expired\": 1, \"rejected\": 2, \"failed\": 1, \"degraded\": 1, \
+             \"queue_hist\": { \"edges_ns\": [1000, "
         ));
         assert!(j.contains("\"name\": \"lane1\", \"weight\": 1, \"submitted\": 1, \"served\": 0, \"shed\": 1,"));
         assert!(j.contains("\"digest\": \"0x"));
@@ -690,7 +826,20 @@ mod tests {
     #[test]
     fn lane_names_are_json_escaped() {
         let lanes = vec![LaneAccounting { name: "ti\"er\\1\n".into(), weight: 1, rejected: 0 }];
-        let j = ServeMetrics::aggregate(&[], &[], &[], &[], &lanes, 0, 1, 1).to_json();
+        let j = ServeMetrics::aggregate(
+            &[],
+            &[],
+            &[],
+            &[],
+            &[],
+            &[],
+            &lanes,
+            RobustTotals::default(),
+            0,
+            1,
+            1,
+        )
+        .to_json();
         assert!(
             j.contains("\"name\": \"ti\\\"er\\\\1\\u000a\""),
             "hostile lane name must not break the record: {j}"
@@ -704,19 +853,34 @@ mod tests {
             ShedMetric { id: 3, lane: 0, queue_ns: 400 },
             ShedMetric { id: 4, lane: 2, queue_ns: 500 },
         ];
-        let m = ServeMetrics::aggregate(&reqs, &[], &sheds, &[], &acct(3), 0, 1, 1);
+        let fails = vec![FailMetric { id: 5, lane: 1, queue_ns: 600 }];
+        let m = ServeMetrics::aggregate(
+            &reqs,
+            &[],
+            &sheds,
+            &fails,
+            &[],
+            &[],
+            &acct(3),
+            RobustTotals::default(),
+            0,
+            1,
+            1,
+        );
         assert_eq!(m.requests, 3);
         assert_eq!(m.shed, 2);
         assert_eq!(m.expired, 1);
+        assert_eq!(m.failed, 1);
         for lane in &m.lanes {
-            assert_eq!(lane.submitted, lane.served + lane.shed, "{}", lane.name);
-            // Served and shed both pass through the queue: the histogram
-            // counts every admitted request.
+            assert_eq!(lane.submitted, lane.served + lane.shed + lane.failed, "{}", lane.name);
+            // Served, shed and failed all pass through the queue: the
+            // histogram counts every admitted request.
             assert_eq!(lane.queue_hist.total() as usize, lane.submitted, "{}", lane.name);
         }
         assert_eq!(m.lanes[0].submitted, 3);
         assert_eq!(m.lanes[0].expired, 1);
-        assert_eq!(m.lanes[1].submitted, 1);
+        assert_eq!(m.lanes[1].submitted, 2);
+        assert_eq!(m.lanes[1].failed, 1);
         assert_eq!(m.lanes[2].shed, 1);
     }
 
@@ -738,7 +902,19 @@ mod tests {
     #[test]
     fn histogram_totals_match_request_count_in_aggregate() {
         let reqs: Vec<RequestMetric> = (0..17).map(|i| rm(i, 0, i * 100_000, false)).collect();
-        let m = ServeMetrics::aggregate(&reqs, &[], &[], &[], &acct(1), 0, 1, 1);
+        let m = ServeMetrics::aggregate(
+            &reqs,
+            &[],
+            &[],
+            &[],
+            &[],
+            &[],
+            &acct(1),
+            RobustTotals::default(),
+            0,
+            1,
+            1,
+        );
         assert_eq!(m.latency_hist.total(), 17);
         // Edges are compile-time constants, so bucket identity is stable.
         assert_eq!(m.latency_hist.counts().len(), LATENCY_BUCKETS);

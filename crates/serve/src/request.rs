@@ -239,15 +239,7 @@ pub fn image_bytes(img: &fnr_nerf::psnr::Image) -> Vec<u8> {
 /// Distinct jobs get distinct payloads with overwhelming probability;
 /// identical jobs always get identical bytes.
 pub fn synthetic_payload(job: &Workload) -> Vec<u8> {
-    let mut h = fnv1a(job.key().to_string().as_bytes());
-    if let Workload::Render(j) = job {
-        for field in [j.width as u64, j.height as u64, j.spp as u64, j.camera_seed] {
-            for b in field.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        }
-    }
+    let h = job_hash(job);
     // SplitMix finalize for a second uncorrelated word.
     let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -257,6 +249,23 @@ pub fn synthetic_payload(job: &Workload) -> Vec<u8> {
     out.extend_from_slice(&h.to_le_bytes());
     out.extend_from_slice(&z.to_le_bytes());
     out
+}
+
+/// Identity hash of a workload: FNV-1a over the coalescing key plus (for
+/// renders) the per-request geometry and camera seed — a pure function of
+/// the job, shared by [`synthetic_payload`] and the fault injector so the
+/// chaos-poisoned set is mode- and timing-independent.
+pub fn job_hash(job: &Workload) -> u64 {
+    let mut h = fnv1a(job.key().to_string().as_bytes());
+    if let Workload::Render(j) = job {
+        for field in [j.width as u64, j.height as u64, j.spp as u64, j.camera_seed] {
+            for b in field.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
 }
 
 /// FNV-1a 64-bit hash of a byte slice.

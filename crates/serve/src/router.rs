@@ -40,8 +40,8 @@ fn mix(mut z: u64) -> u64 {
 }
 
 /// The consistent-hash ring: sorted vnode positions, each owned by a
-/// replica. Supports at most 128 replicas (the route walk tracks visited
-/// replicas in a `u128` mask).
+/// replica. Supports at most [`MAX_REPLICAS`] replicas (the route walk
+/// tracks visited replicas in a `u128` mask).
 #[derive(Debug, Clone)]
 pub struct HashRing {
     /// `(position, replica)` sorted by position.
@@ -49,11 +49,38 @@ pub struct HashRing {
     replicas: usize,
 }
 
+/// The most replicas a ring supports: the route walk tracks visited
+/// replicas in a `u128` mask, one bit per replica.
+pub const MAX_REPLICAS: usize = 128;
+
 impl HashRing {
     /// A ring over `replicas` replicas with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a replica count [`HashRing::try_new`] would reject —
+    /// infallible construction for callers that already validated.
     pub fn new(replicas: usize, cfg: &RouterConfig) -> Self {
-        assert!(replicas >= 1, "a ring needs at least one replica");
-        assert!(replicas <= 128, "the route walk's visited mask holds 128 replicas");
+        match Self::try_new(replicas, cfg) {
+            Ok(ring) => ring,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// A ring over `replicas` replicas with the given shape, validating
+    /// the count: zero replicas cannot route, and more than
+    /// [`MAX_REPLICAS`] overflows the route walk's visited mask. The
+    /// error is a human-readable message for CLI surfaces.
+    pub fn try_new(replicas: usize, cfg: &RouterConfig) -> Result<Self, String> {
+        if replicas < 1 {
+            return Err("a ring needs at least one replica".to_string());
+        }
+        if replicas > MAX_REPLICAS {
+            return Err(format!(
+                "{replicas} replicas exceed the supported maximum of {MAX_REPLICAS} \
+                 (the route walk's visited mask holds {MAX_REPLICAS} replicas)"
+            ));
+        }
         let vnodes = cfg.vnodes.max(1);
         let mut points = Vec::with_capacity(replicas * vnodes);
         for r in 0..replicas as u64 {
@@ -66,7 +93,7 @@ impl HashRing {
             }
         }
         points.sort_unstable();
-        HashRing { points, replicas }
+        Ok(HashRing { points, replicas })
     }
 
     /// Number of replicas the ring was built over.
@@ -131,6 +158,19 @@ mod tests {
         let k1 = HashRing::key_hash(&BatchKey::Render(SceneKind::Mic, RenderPrecision::Fp32));
         let k2 = HashRing::key_hash(&BatchKey::Render(SceneKind::Mic, RenderPrecision::Fp32));
         assert_eq!(ring.owner(k1), ring.owner(k2));
+    }
+
+    #[test]
+    fn replica_count_is_validated_gracefully() {
+        assert!(HashRing::try_new(1, &RouterConfig::default()).is_ok());
+        assert!(HashRing::try_new(MAX_REPLICAS, &RouterConfig::default()).is_ok());
+        let e = HashRing::try_new(0, &RouterConfig::default()).unwrap_err();
+        assert!(e.contains("at least one replica"), "{e}");
+        let e = HashRing::try_new(MAX_REPLICAS + 1, &RouterConfig::default()).unwrap_err();
+        assert!(
+            e.contains("129 replicas") && e.contains("maximum of 128"),
+            "the error must name both the offending and the supported count: {e}"
+        );
     }
 
     #[test]

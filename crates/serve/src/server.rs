@@ -1,5 +1,5 @@
 //! The serving runtime: multi-lane admission → scheduler → batcher →
-//! worker pool → completion board, with panic propagation and metrics.
+//! worker pool → completion board, with worker supervision and metrics.
 //!
 //! Serving concurrency (client / scheduler / worker threads) is decoupled
 //! from data-parallel width: the roles run on dedicated `std::thread`s,
@@ -17,12 +17,27 @@
 //! the scheduler thread drains them through [`LaneScheduler`] — weighted
 //! deficit across lanes, per-key round robin within a lane, and
 //! shed-on-dequeue for requests whose deadline passed while queued.
+//!
+//! # Fault tolerance
+//!
+//! A panicking batch no longer takes the run down. Workers execute every
+//! batch under `catch_unwind`; a panic ships the batch to the supervisor
+//! ([`crate::supervise`]) and retires the worker thread. The supervisor
+//! respawns workers within a bounded restart budget and **bisects** the
+//! crashed batch to isolate the poisoned request(s): innocents are
+//! re-served with byte-identical payloads, the culprits retry per
+//! [`RetryPolicy`] and finally complete as [`WaitOutcome::Failed`] —
+//! every admitted request terminates, so waiters never hang. A per-key
+//! [`CircuitBreaker`] can fast-fail keys with persistent failure streaks,
+//! and under queue-depth overload the [`Brownout`] controller downgrades
+//! Standard/Batch renders one precision step instead of shedding them.
 
-use std::any::Any;
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fnr_nerf::hashgrid::HashGridConfig;
@@ -31,9 +46,17 @@ use fnr_par::mpmc::{Lanes, Queue, RecvTimeout};
 use fnr_tensor::Precision;
 
 use crate::batch::{Batch, Batcher, BatcherConfig};
-use crate::metrics::{BatchMetric, LaneAccounting, RequestMetric, ServeMetrics, ShedMetric};
+use crate::fault::{
+    degrade_precision, Brownout, BrownoutConfig, CircuitBreaker, FaultInjector, InjectedFault,
+    RetryPolicy,
+};
+use crate::metrics::{
+    BatchMetric, DegradeMetric, FailMetric, LaneAccounting, RequestMetric, RobustTotals,
+    ServeMetrics, ShedMetric,
+};
 use crate::request::{image_bytes, BatchKey, RenderPrecision, Request, Response, Workload};
 use crate::sched::{LaneScheduler, Priority, SchedConfig, SchedStep};
+use crate::supervise::{panic_reason, supervisor_loop, CrashReport, SuperviseConfig};
 
 /// A named table generator the server can execute: `name → payload bytes`.
 pub type TableFn = Arc<dyn Fn() -> Vec<u8> + Send + Sync>;
@@ -84,6 +107,16 @@ pub struct ServerConfig {
     pub sched: SchedConfig,
     /// Table generators servable through [`Workload::Table`].
     pub tables: TableRegistry,
+    /// Worker supervision: restart budget and respawn backoff.
+    pub supervise: SuperviseConfig,
+    /// Per-request retry policy for quarantined (panicking) requests.
+    pub retry: RetryPolicy,
+    /// Per-(scene, precision) circuit breaker (threshold 0 disables).
+    pub breaker: crate::fault::BreakerConfig,
+    /// Precision brownout under queue-depth overload (off by default).
+    pub brownout: BrownoutConfig,
+    /// Seeded chaos injection (None in production postures).
+    pub injector: Option<FaultInjector>,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +128,11 @@ impl Default for ServerConfig {
             linger: Duration::from_millis(2),
             sched: SchedConfig::priority_lanes(),
             tables: TableRegistry::new(),
+            supervise: SuperviseConfig::default(),
+            retry: RetryPolicy::default(),
+            breaker: crate::fault::BreakerConfig::default(),
+            brownout: BrownoutConfig::default(),
+            injector: None,
         }
     }
 }
@@ -104,7 +142,7 @@ impl Default for ServerConfig {
 pub enum SubmitError {
     /// The lane is at capacity (non-blocking submit) or has capacity zero.
     Rejected,
-    /// The server is shutting down (or a worker died).
+    /// The server is draining and no longer admits requests.
     Closed,
 }
 
@@ -116,7 +154,11 @@ pub enum WaitOutcome {
     /// The request's deadline passed while it queued: the scheduler shed
     /// it without rendering.
     Shed,
-    /// The server shut down (or a worker died) before answering.
+    /// The request kept panicking (or its key's breaker was open): the
+    /// supervisor quarantined it and exhausted its retry budget. The
+    /// string is the final failure reason.
+    Failed(String),
+    /// The server shut down before answering.
     Closed,
 }
 
@@ -125,10 +167,11 @@ pub enum WaitOutcome {
 enum Completion {
     Answered(Response),
     Shed,
+    Failed(String),
 }
 
 /// Completion board: outcomes parked until their submitter collects them.
-struct Board {
+pub(crate) struct Board {
     state: Mutex<BoardState>,
     ready: Condvar,
 }
@@ -143,7 +186,7 @@ impl Board {
         Board { state: Mutex::new(BoardState { done: HashMap::new(), closed: false }), ready: Condvar::new() }
     }
 
-    fn post(&self, responses: &[Response]) {
+    pub(crate) fn post(&self, responses: &[Response]) {
         let mut st = self.state.lock().unwrap();
         for r in responses {
             st.done.insert(r.id, Completion::Answered(r.clone()));
@@ -154,6 +197,11 @@ impl Board {
 
     fn post_shed(&self, id: u64) {
         self.state.lock().unwrap().done.insert(id, Completion::Shed);
+        self.ready.notify_all();
+    }
+
+    pub(crate) fn post_failed(&self, id: u64, reason: String) {
+        self.state.lock().unwrap().done.insert(id, Completion::Failed(reason));
         self.ready.notify_all();
     }
 
@@ -169,6 +217,7 @@ impl Board {
                 return match c {
                     Completion::Answered(r) => WaitOutcome::Answered(r.clone()),
                     Completion::Shed => WaitOutcome::Shed,
+                    Completion::Failed(reason) => WaitOutcome::Failed(reason.clone()),
                 };
             }
             if st.closed {
@@ -185,7 +234,7 @@ impl Board {
             .drain()
             .filter_map(|(_, c)| match c {
                 Completion::Answered(r) => Some(r),
-                Completion::Shed => None,
+                Completion::Shed | Completion::Failed(_) => None,
             })
             .collect();
         out.sort_unstable_by_key(|r| r.id);
@@ -193,20 +242,58 @@ impl Board {
     }
 }
 
-/// The submission handle handed to the drive closure of [`run`]. `Sync`,
-/// so closed-loop drivers can share it across client threads.
-pub struct Client<'s> {
-    lanes: Lanes<Request>,
+/// Everything the serving roles share: queues, board, metrics sinks,
+/// resilience policies and robustness counters. One `Arc` of this is held
+/// by the [`Server`], every [`Client`], and every role thread.
+pub(crate) struct ServerShared {
+    pub(crate) epoch: Instant,
+    pub(crate) sched: SchedConfig,
+    pub(crate) tables: TableRegistry,
+    pub(crate) batcher_cfg: BatcherConfig,
+    pub(crate) lanes: Lanes<Request>,
     /// Resolved per-lane capacities; zero means hard-reject at admission.
-    lane_caps: Vec<usize>,
-    sched: SchedConfig,
-    epoch: Instant,
-    next_id: AtomicU64,
-    rejected: Vec<AtomicUsize>,
-    board: &'s Board,
+    pub(crate) lane_caps: Vec<usize>,
+    pub(crate) batches: Queue<Batch>,
+    pub(crate) board: Board,
+    pub(crate) next_id: AtomicU64,
+    pub(crate) rejected: Vec<AtomicUsize>,
+    pub(crate) request_metrics: Mutex<Vec<RequestMetric>>,
+    pub(crate) batch_metrics: Mutex<Vec<BatchMetric>>,
+    pub(crate) shed_metrics: Mutex<Vec<ShedMetric>>,
+    pub(crate) fail_metrics: Mutex<Vec<FailMetric>>,
+    pub(crate) degrade_metrics: Mutex<Vec<DegradeMetric>>,
+    /// Batches completed successfully — the supervisor reads this to
+    /// reset its consecutive-crash streak.
+    pub(crate) served_batches: AtomicUsize,
+    pub(crate) worker_restarts: AtomicUsize,
+    pub(crate) retried: AtomicUsize,
+    pub(crate) breaker: Mutex<CircuitBreaker>,
+    pub(crate) injector: Option<FaultInjector>,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) supervise: SuperviseConfig,
+    pub(crate) brownout_cfg: BrownoutConfig,
+    /// Set by [`Server::drain`] once the pipeline threads are joined; the
+    /// supervisor exits on its next idle tick.
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) workers: usize,
 }
 
-impl Client<'_> {
+impl ServerShared {
+    /// Nanoseconds since the server epoch (the breaker clock).
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// The submission handle handed out by [`Server::client`] (and to the
+/// drive closure of [`run`]). `Sync`, so closed-loop drivers can share it
+/// across client threads; cheap to clone.
+#[derive(Clone)]
+pub struct Client {
+    shared: Arc<ServerShared>,
+}
+
+impl Client {
     fn admit(
         &self,
         job: Workload,
@@ -214,13 +301,14 @@ impl Client<'_> {
         deadline: Option<Duration>,
         blocking: bool,
     ) -> Result<u64, SubmitError> {
-        let lane = self.sched.lane_of(priority);
-        if self.lane_caps[lane] == 0 {
-            self.rejected[lane].fetch_add(1, Ordering::Relaxed);
+        let sh = &*self.shared;
+        let lane = sh.sched.lane_of(priority);
+        if sh.lane_caps[lane] == 0 {
+            sh.rejected[lane].fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::Rejected);
         }
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let arrival_ns = self.epoch.elapsed().as_nanos() as u64;
+        let id = sh.next_id.fetch_add(1, Ordering::Relaxed);
+        let arrival_ns = sh.epoch.elapsed().as_nanos() as u64;
         let req = Request {
             id,
             submitted_at: Instant::now(),
@@ -230,9 +318,9 @@ impl Client<'_> {
             job,
         };
         let sent = if blocking {
-            self.lanes.send(lane, req).map_err(|_| SubmitError::Closed)
+            sh.lanes.send(lane, req).map_err(|_| SubmitError::Closed)
         } else {
-            match self.lanes.try_send(lane, req) {
+            match sh.lanes.try_send(lane, req) {
                 Ok(()) => Ok(()),
                 Err(fnr_par::mpmc::TrySendError::Full(_)) => Err(SubmitError::Rejected),
                 Err(fnr_par::mpmc::TrySendError::Closed(_)) => Err(SubmitError::Closed),
@@ -241,7 +329,7 @@ impl Client<'_> {
         match sent {
             Ok(()) => Ok(id),
             Err(e) => {
-                self.rejected[lane].fetch_add(1, Ordering::Relaxed);
+                sh.rejected[lane].fetch_add(1, Ordering::Relaxed);
                 Err(e)
             }
         }
@@ -284,20 +372,20 @@ impl Client<'_> {
     }
 
     /// Parks until request `id` completes (closed-loop clients). `None`
-    /// if it was shed or the server shut down without answering — use
-    /// [`Client::wait_outcome`] to tell the two apart.
+    /// if it was shed, failed, or the server shut down without answering —
+    /// use [`Client::wait_outcome`] to tell the cases apart.
     pub fn wait(&self, id: u64) -> Option<Response> {
-        match self.board.wait(id) {
+        match self.shared.board.wait(id) {
             WaitOutcome::Answered(r) => Some(r),
-            WaitOutcome::Shed | WaitOutcome::Closed => None,
+            WaitOutcome::Shed | WaitOutcome::Failed(_) | WaitOutcome::Closed => None,
         }
     }
 
     /// Parks until request `id` completes and reports how it left the
-    /// server: answered, shed by the deadline policy, or lost to
-    /// shutdown.
+    /// server: answered, shed by the deadline policy, failed under
+    /// quarantine, or lost to shutdown.
     pub fn wait_outcome(&self, id: u64) -> WaitOutcome {
-        self.board.wait(id)
+        self.shared.board.wait(id)
     }
 }
 
@@ -307,152 +395,240 @@ pub struct ServeReport {
     /// All responses, sorted by request id.
     pub responses: Vec<Response>,
     /// Aggregate metrics (including the response-set digest and per-lane
-    /// served/shed/expired counters).
+    /// served/shed/expired/failed counters).
     pub metrics: ServeMetrics,
 }
 
-/// Runs a server for the lifetime of `drive`: spawns the scheduler and
-/// worker threads, hands `drive` a [`Client`], and shuts the pipeline
-/// down when it returns (pending unexpired requests are drained and
-/// served; pending expired requests are shed).
+/// A live serving pipeline: scheduler, supervised worker pool, and
+/// completion board. Create with [`Server::start`], submit through
+/// [`Server::client`] handles, and finish with [`Server::drain`] —
+/// admission closes, in-flight work completes, and the final metrics
+/// come back. Dropping an undrained server shuts it down and discards
+/// the metrics.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    scheduler: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawns the pipeline threads (scheduler, `workers` workers, one
+    /// supervisor) and returns the running server.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed [`SchedConfig`].
+    pub fn start(cfg: &ServerConfig) -> Server {
+        cfg.sched.validate();
+        let lane_caps = cfg.sched.capacities(cfg.queue_capacity);
+        // Lanes require capacity >= 1; zero-capacity lanes are gated at
+        // the client and never reach the queue.
+        let floored: Vec<usize> = lane_caps.iter().map(|&c| c.max(1)).collect();
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(ServerShared {
+            epoch: Instant::now(),
+            sched: cfg.sched.clone(),
+            tables: cfg.tables.clone(),
+            batcher_cfg: BatcherConfig { max_batch: cfg.max_batch, linger: cfg.linger },
+            lanes: Lanes::bounded(&floored),
+            lane_caps,
+            // Batch hand-off is sized to keep workers busy without
+            // unbounded buffering ahead of them.
+            batches: Queue::bounded(workers * 2),
+            board: Board::new(),
+            next_id: AtomicU64::new(0),
+            rejected: cfg.sched.lanes.iter().map(|_| AtomicUsize::new(0)).collect(),
+            request_metrics: Mutex::new(Vec::new()),
+            batch_metrics: Mutex::new(Vec::new()),
+            shed_metrics: Mutex::new(Vec::new()),
+            fail_metrics: Mutex::new(Vec::new()),
+            degrade_metrics: Mutex::new(Vec::new()),
+            served_batches: AtomicUsize::new(0),
+            worker_restarts: AtomicUsize::new(0),
+            retried: AtomicUsize::new(0),
+            breaker: Mutex::new(CircuitBreaker::new(cfg.breaker)),
+            injector: cfg.injector,
+            retry: cfg.retry,
+            supervise: cfg.supervise,
+            brownout_cfg: cfg.brownout,
+            shutdown: AtomicBool::new(false),
+            workers,
+        });
+
+        let scheduler = {
+            let sh = Arc::clone(&shared);
+            std::thread::spawn(move || scheduler_loop(&sh))
+        };
+        let (crash_tx, crash_rx) = mpsc::channel::<CrashReport>();
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                let tx = crash_tx.clone();
+                std::thread::spawn(move || worker_loop(&sh, tx))
+            })
+            .collect();
+        let supervisor = {
+            let sh = Arc::clone(&shared);
+            std::thread::spawn(move || supervisor_loop(&sh, crash_rx, crash_tx))
+        };
+        Server { shared, scheduler: Some(scheduler), workers: worker_handles, supervisor: Some(supervisor) }
+    }
+
+    /// A new submission handle. Handles share the server's id space and
+    /// stay valid (returning [`SubmitError::Closed`] /
+    /// [`WaitOutcome::Closed`]) after [`Server::drain`].
+    pub fn client(&self) -> Client {
+        Client { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Graceful drain: closes admission, lets the scheduler flush what is
+    /// queued (serving the unexpired, shedding the expired), waits for
+    /// every in-flight batch — including quarantine re-executions — to
+    /// terminate, and returns the final report. Late submits on surviving
+    /// [`Client`] handles fail with [`SubmitError::Closed`]; late waits
+    /// observe [`WaitOutcome::Closed`].
+    pub fn drain(mut self) -> ServeReport {
+        self.shutdown();
+        let sh = &self.shared;
+        let responses = sh.board.drain_sorted();
+        let lane_acct: Vec<LaneAccounting> = sh
+            .sched
+            .lanes
+            .iter()
+            .zip(&sh.rejected)
+            .map(|(l, r)| LaneAccounting {
+                name: l.name.clone(),
+                weight: l.weight,
+                rejected: r.load(Ordering::Relaxed),
+            })
+            .collect();
+        let robust = {
+            let breaker = sh.breaker.lock().unwrap();
+            RobustTotals {
+                worker_restarts: sh.worker_restarts.load(Ordering::Relaxed),
+                retried: sh.retried.load(Ordering::Relaxed),
+                breaker_opened: breaker.opened(),
+                breaker_half_open_probes: breaker.half_open_probes(),
+            }
+        };
+        let metrics = ServeMetrics::aggregate(
+            &std::mem::take(&mut *sh.request_metrics.lock().unwrap()),
+            &std::mem::take(&mut *sh.batch_metrics.lock().unwrap()),
+            &std::mem::take(&mut *sh.shed_metrics.lock().unwrap()),
+            &std::mem::take(&mut *sh.fail_metrics.lock().unwrap()),
+            &std::mem::take(&mut *sh.degrade_metrics.lock().unwrap()),
+            &responses,
+            &lane_acct,
+            robust,
+            sh.epoch.elapsed().as_nanos() as u64,
+            sh.workers,
+            fnr_par::current_num_threads(),
+        );
+        ServeReport { responses, metrics }
+    }
+
+    /// Joins every pipeline thread: scheduler first (it flushes the lanes
+    /// and closes the batch queue), then the original workers, then the
+    /// supervisor (which joins its respawns and fail-drains the batch
+    /// queue if the pool went extinct). Idempotent.
+    fn shutdown(&mut self) {
+        self.shared.lanes.close();
+        if let Some(h) = self.scheduler.take() {
+            h.join().expect("scheduler thread panicked");
+        }
+        for h in self.workers.drain(..) {
+            h.join().expect("worker thread panicked outside catch_unwind");
+        }
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.supervisor.take() {
+            h.join().expect("supervisor thread panicked");
+        }
+        self.shared.board.close();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // A dropped (undrained) server must not leak parked threads.
+        self.shutdown();
+    }
+}
+
+/// Runs a server for the lifetime of `drive`: starts the pipeline, hands
+/// `drive` a [`Client`], and [`Server::drain`]s when it returns (pending
+/// unexpired requests are served; pending expired requests are shed).
 ///
 /// # Panics
 ///
-/// Re-raises any panic from a worker (a poisoned batch takes the run
-/// down rather than silently losing requests). Panics on a malformed
-/// [`SchedConfig`].
+/// Re-raises a panic from the drive closure (after draining the server so
+/// nothing leaks). Worker panics do **not** propagate: they resolve the
+/// affected requests as [`WaitOutcome::Failed`] under quarantine. Panics
+/// on a malformed [`SchedConfig`].
 pub fn run<R: Send>(cfg: &ServerConfig, drive: impl FnOnce(&Client) -> R + Send) -> (R, ServeReport) {
-    cfg.sched.validate();
-    let start = Instant::now();
-    let lane_caps = cfg.sched.capacities(cfg.queue_capacity);
-    // Lanes require capacity >= 1; zero-capacity lanes are gated at the
-    // client and never reach the queue.
-    let floored: Vec<usize> = lane_caps.iter().map(|&c| c.max(1)).collect();
-    let request_lanes: Lanes<Request> = Lanes::bounded(&floored);
-    // Batch hand-off is sized to keep workers busy without unbounded
-    // buffering ahead of them.
-    let batch_queue: Queue<Batch> = Queue::bounded(cfg.workers.max(1) * 2);
-    let board = Board::new();
-    let request_metrics: Mutex<Vec<RequestMetric>> = Mutex::new(Vec::new());
-    let batch_metrics: Mutex<Vec<BatchMetric>> = Mutex::new(Vec::new());
-    let shed_metrics: Mutex<Vec<ShedMetric>> = Mutex::new(Vec::new());
-    let worker_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
-
-    let client = Client {
-        lanes: request_lanes.clone(),
-        lane_caps,
-        sched: cfg.sched.clone(),
-        epoch: start,
-        next_id: AtomicU64::new(0),
-        rejected: cfg.sched.lanes.iter().map(|_| AtomicUsize::new(0)).collect(),
-        board: &board,
-    };
-
-    let drive_result = std::thread::scope(|s| {
-        let batcher_cfg = BatcherConfig { max_batch: cfg.max_batch, linger: cfg.linger };
-        {
-            let lanes = request_lanes.clone();
-            let batches = batch_queue.clone();
-            let sched_cfg = cfg.sched.clone();
-            let board = &board;
-            let sheds = &shed_metrics;
-            s.spawn(move || {
-                scheduler_loop(&sched_cfg, batcher_cfg, start, &lanes, &batches, board, sheds)
-            });
-        }
-        for _ in 0..cfg.workers.max(1) {
-            let lanes = request_lanes.clone();
-            let batches = batch_queue.clone();
-            let board = &board;
-            let req_m = &request_metrics;
-            let batch_m = &batch_metrics;
-            let panic_slot = &worker_panic;
-            let tables = &cfg.tables;
-            let sched_cfg = &cfg.sched;
-            s.spawn(move || {
-                worker_loop(start, sched_cfg, &lanes, &batches, tables, board, req_m, batch_m, panic_slot);
-            });
-        }
-        // A panicking drive closure must still close the admission lanes,
-        // or scope would join scheduler/workers parked forever in recv();
-        // catch, shut down, rethrow below.
-        let r = catch_unwind(AssertUnwindSafe(|| drive(&client)));
-        // Shutdown: no more admissions; the scheduler drains what is
-        // queued (serving the unexpired, shedding the expired) and closes
-        // the batch queue; workers drain that and exit.
-        request_lanes.close();
-        r
-    });
-    let drive_result = match drive_result {
-        Ok(r) => r,
+    let server = Server::start(cfg);
+    let client = server.client();
+    // A panicking drive closure must still drain the pipeline, or its
+    // threads would leak parked; catch, drain, rethrow.
+    let result = catch_unwind(AssertUnwindSafe(|| drive(&client)));
+    let report = server.drain();
+    match result {
+        Ok(r) => (r, report),
         Err(payload) => resume_unwind(payload),
-    };
-
-    if let Some(payload) = worker_panic.into_inner().unwrap() {
-        resume_unwind(payload);
     }
-
-    let responses = board.drain_sorted();
-    let lane_acct: Vec<LaneAccounting> = cfg
-        .sched
-        .lanes
-        .iter()
-        .zip(&client.rejected)
-        .map(|(l, r)| LaneAccounting {
-            name: l.name.clone(),
-            weight: l.weight,
-            rejected: r.load(Ordering::Relaxed),
-        })
-        .collect();
-    let metrics = ServeMetrics::aggregate(
-        &request_metrics.into_inner().unwrap(),
-        &batch_metrics.into_inner().unwrap(),
-        &shed_metrics.into_inner().unwrap(),
-        &responses,
-        &lane_acct,
-        start.elapsed().as_nanos() as u64,
-        cfg.workers.max(1),
-        fnr_par::current_num_threads(),
-    );
-    (drive_result, ServeReport { responses, metrics })
 }
 
 /// The scheduler role: drains the admission lanes through the
 /// weighted-deficit [`LaneScheduler`] (multi-lane pop), sheds expired
-/// requests, coalesces the served ones, and forwards flushed batches.
-/// Greedily re-steps after every pop so bursts coalesce even when workers
-/// are idle.
-fn scheduler_loop(
-    sched_cfg: &SchedConfig,
-    batcher_cfg: BatcherConfig,
-    epoch: Instant,
-    lanes: &Lanes<Request>,
-    batches: &Queue<Batch>,
-    board: &Board,
-    shed_metrics: &Mutex<Vec<ShedMetric>>,
-) {
-    let mut sched = LaneScheduler::new(sched_cfg);
-    let mut batcher = Batcher::new(batcher_cfg);
-    let now_ns = || epoch.elapsed().as_nanos() as u64;
+/// requests, applies the brownout precision downgrade, coalesces the
+/// served ones, and forwards flushed batches. Greedily re-steps after
+/// every pop so bursts coalesce even when workers are idle.
+fn scheduler_loop(shared: &ServerShared) {
+    let mut sched = LaneScheduler::new(&shared.sched);
+    let mut batcher = Batcher::new(shared.batcher_cfg);
+    let mut brownout = Brownout::new(shared.brownout_cfg);
+    // Total queue depth observed by the picker on its most recent pass —
+    // the brownout's pressure signal, measured where it is free to read.
+    let depth = Cell::new(0usize);
+    let now_ns = || shared.epoch.elapsed().as_nanos() as u64;
+    let pick = |sched: &mut LaneScheduler, ls: &mut [std::collections::VecDeque<Request>]| {
+        depth.set(ls.iter().map(|l| l.len()).sum());
+        sched.step(ls, now_ns())
+    };
     // Applies one scheduling decision; returns a flushed batch if the
     // served request completed one.
-    let apply = |step: SchedStep, batcher: &mut Batcher| -> Option<Batch> {
+    let apply = |step: SchedStep, batcher: &mut Batcher, brownout: &mut Brownout| -> Option<Batch> {
         match step {
-            SchedStep::Serve { req, .. } => batcher.offer(req, Instant::now()),
+            SchedStep::Serve { lane, mut req } => {
+                if brownout.observe(depth.get()) && req.priority != Priority::Interactive {
+                    if let Workload::Render(j) = &mut req.job {
+                        if let Some(lower) = degrade_precision(j.precision) {
+                            j.precision = lower;
+                            shared
+                                .degrade_metrics
+                                .lock()
+                                .unwrap()
+                                .push(DegradeMetric { id: req.id, lane });
+                        }
+                    }
+                }
+                batcher.offer(req, Instant::now())
+            }
             SchedStep::Shed { lane, req } => {
-                shed_metrics.lock().unwrap().push(ShedMetric {
+                brownout.observe(depth.get());
+                shared.shed_metrics.lock().unwrap().push(ShedMetric {
                     id: req.id,
                     lane,
-                    queue_ns: epoch.elapsed().as_nanos() as u64 - req.arrival_ns,
+                    queue_ns: shared.epoch.elapsed().as_nanos() as u64 - req.arrival_ns,
                 });
-                board.post_shed(req.id);
+                shared.board.post_shed(req.id);
                 None
             }
         }
     };
     loop {
         let step = match batcher.next_deadline() {
-            None => match lanes.recv_with(|ls| sched.step(ls, now_ns())) {
+            None => match shared.lanes.recv_with(|ls| pick(&mut sched, ls)) {
                 Some(s) => s,
                 None => break,
             },
@@ -460,13 +636,13 @@ fn scheduler_loop(
                 let now = Instant::now();
                 if deadline <= now {
                     for b in batcher.expire(now) {
-                        if batches.send(b).is_err() {
-                            return; // workers died; nothing left to do
+                        if shared.batches.send(b).is_err() {
+                            return; // queue torn down; nothing left to do
                         }
                     }
                     continue;
                 }
-                match lanes.recv_with_timeout(deadline - now, |ls| sched.step(ls, now_ns())) {
+                match shared.lanes.recv_with_timeout(deadline - now, |ls| pick(&mut sched, ls)) {
                     RecvTimeout::Item(s) => s,
                     RecvTimeout::TimedOut => continue,
                     RecvTimeout::Closed => break,
@@ -474,80 +650,134 @@ fn scheduler_loop(
             }
         };
         let mut flushed = Vec::new();
-        if let Some(b) = apply(step, &mut batcher) {
+        if let Some(b) = apply(step, &mut batcher, &mut brownout) {
             flushed.push(b);
         }
-        while let Some(more) = lanes.try_recv_with(|ls| sched.step(ls, now_ns())) {
-            if let Some(b) = apply(more, &mut batcher) {
+        while let Some(more) = shared.lanes.try_recv_with(|ls| pick(&mut sched, ls)) {
+            if let Some(b) = apply(more, &mut batcher, &mut brownout) {
                 flushed.push(b);
             }
         }
         for b in flushed {
-            if batches.send(b).is_err() {
+            if shared.batches.send(b).is_err() {
                 return;
             }
         }
     }
     for b in batcher.drain() {
-        if batches.send(b).is_err() {
+        if shared.batches.send(b).is_err() {
             return;
         }
     }
-    batches.close();
+    shared.batches.close();
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker_loop(
-    epoch: Instant,
-    sched_cfg: &SchedConfig,
-    lanes: &Lanes<Request>,
-    batches: &Queue<Batch>,
-    tables: &TableRegistry,
-    board: &Board,
-    request_metrics: &Mutex<Vec<RequestMetric>>,
-    batch_metrics: &Mutex<Vec<BatchMetric>>,
-    panic_slot: &Mutex<Option<Box<dyn Any + Send>>>,
-) {
-    while let Some(batch) = batches.recv() {
-        let exec_start = Instant::now();
-        match catch_unwind(AssertUnwindSafe(|| execute_batch(&batch, tables))) {
-            Ok(responses) => {
-                let service_ns = exec_start.elapsed().as_nanos() as u64;
-                let end_ns = epoch.elapsed().as_nanos() as u64;
-                {
-                    let mut bm = batch_metrics.lock().unwrap();
-                    bm.push(BatchMetric {
-                        key: batch.key.clone(),
-                        size: batch.requests.len(),
-                        service_ns,
-                        flush: batch.flush,
-                    });
-                }
-                {
-                    let mut rm = request_metrics.lock().unwrap();
-                    for req in &batch.requests {
-                        rm.push(RequestMetric {
-                            id: req.id,
-                            lane: sched_cfg.lane_of(req.priority),
-                            queue_ns: exec_start.duration_since(req.submitted_at).as_nanos() as u64,
-                            service_ns,
-                            batch_size: batch.requests.len(),
-                            deadline_missed: req.deadline_ns.is_some_and(|d| end_ns >= d),
-                        });
-                    }
-                }
-                board.post(&responses);
-            }
-            Err(payload) => {
-                // First panic wins; unblock every parked thread so the run
-                // unwinds instead of deadlocking, then rethrow in `run`.
-                panic_slot.lock().unwrap().get_or_insert(payload);
-                lanes.close();
-                batches.close();
-                board.close();
-                return;
+/// The worker role: executes batches until the queue closes. A panicking
+/// batch retires this thread after shipping a [`CrashReport`] to the
+/// supervisor, which bisects the batch and respawns a replacement.
+pub(crate) fn worker_loop(shared: &Arc<ServerShared>, crash_tx: mpsc::Sender<CrashReport>) {
+    while let Some(batch) = shared.batches.recv() {
+        if let Err(report) = attempt_batch(shared, batch) {
+            // The channel outlives us (the supervisor holds the receiver
+            // and a template sender); a send can only fail during teardown
+            // races, in which case the supervisor fail-drains anyway.
+            let _ = crash_tx.send(report);
+            return;
+        }
+    }
+}
+
+/// Executes one batch end-to-end: breaker gate, injected chaos, the real
+/// work under `catch_unwind`, then metrics + completion posting. `Ok`
+/// means every member terminated (answered or fast-failed); `Err` hands
+/// the intact batch back for quarantine. Shared by workers and the
+/// supervisor's bisection re-executions so both paths stay identical.
+pub(crate) fn attempt_batch(shared: &ServerShared, batch: Batch) -> Result<(), CrashReport> {
+    // Circuit-breaker gate: an open key fast-fails the whole batch
+    // without executing (or crashing) anything.
+    if shared.breaker.lock().unwrap().enabled() {
+        let now = shared.now_ns();
+        let allowed = shared.breaker.lock().unwrap().allow(&batch.key, now);
+        if !allowed {
+            fail_batch(shared, &batch, &format!("circuit open for key {}", batch.key));
+            return Ok(());
+        }
+    }
+    // Injected delay: slow the batch down by the largest member delay.
+    // Timing-only — payload bytes cannot move.
+    if let Some(inj) = &shared.injector {
+        let delay = batch
+            .requests
+            .iter()
+            .filter_map(|r| match inj.decide(&r.job) {
+                Some(InjectedFault::Delay(d)) => Some(d),
+                _ => None,
+            })
+            .max();
+        if let Some(d) = delay {
+            std::thread::sleep(Duration::from_nanos(d));
+        }
+    }
+    let exec_start = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(inj) = &shared.injector {
+            if let Some(bad) = batch.requests.iter().find(|r| inj.poisons(&r.job)) {
+                panic!("injected fault: request {} is poisoned", bad.id);
             }
         }
+        execute_batch(&batch, &shared.tables)
+    }));
+    match result {
+        Ok(responses) => {
+            let service_ns = exec_start.elapsed().as_nanos() as u64;
+            let end_ns = shared.now_ns();
+            {
+                let mut bm = shared.batch_metrics.lock().unwrap();
+                bm.push(BatchMetric {
+                    key: batch.key.clone(),
+                    size: batch.requests.len(),
+                    service_ns,
+                    flush: batch.flush,
+                });
+            }
+            {
+                let mut rm = shared.request_metrics.lock().unwrap();
+                for req in &batch.requests {
+                    rm.push(RequestMetric {
+                        id: req.id,
+                        lane: shared.sched.lane_of(req.priority),
+                        queue_ns: exec_start.duration_since(req.submitted_at).as_nanos() as u64,
+                        service_ns,
+                        batch_size: batch.requests.len(),
+                        deadline_missed: req.deadline_ns.is_some_and(|d| end_ns >= d),
+                    });
+                }
+            }
+            shared.breaker.lock().unwrap().record_success(&batch.key);
+            shared.served_batches.fetch_add(1, Ordering::Relaxed);
+            shared.board.post(&responses);
+            Ok(())
+        }
+        Err(payload) => Err(CrashReport { batch, reason: panic_reason(payload) }),
+    }
+}
+
+/// Terminates every member of `batch` as [`WaitOutcome::Failed`] with
+/// `reason`, recording per-lane fail metrics. Waiters unblock immediately.
+pub(crate) fn fail_batch(shared: &ServerShared, batch: &Batch, reason: &str) {
+    let now = Instant::now();
+    {
+        let mut fm = shared.fail_metrics.lock().unwrap();
+        for req in &batch.requests {
+            fm.push(FailMetric {
+                id: req.id,
+                lane: shared.sched.lane_of(req.priority),
+                queue_ns: now.duration_since(req.submitted_at).as_nanos() as u64,
+            });
+        }
+    }
+    for req in &batch.requests {
+        shared.board.post_failed(req.id, reason.to_string());
     }
 }
 
@@ -760,26 +990,29 @@ mod tests {
     }
 
     #[test]
-    fn worker_panic_propagates_and_unblocks_waiters() {
+    fn worker_panic_is_quarantined_not_fatal() {
+        // The supervision contract: an organically panicking request (an
+        // unknown table generator) resolves as Failed with the panic
+        // message, the worker is respawned, and the server keeps serving.
         let cfg = ServerConfig::default(); // empty registry: unknown table panics
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            run(&cfg, |client| {
-                let id = client.submit(Workload::Table("no-such-generator".into())).unwrap();
-                // The waiter must unblock (Closed), not deadlock, before
-                // the panic resurfaces from `run`.
-                assert_eq!(
-                    client.wait_outcome(id),
-                    WaitOutcome::Closed,
-                    "waiter unblocked by worker failure"
-                );
-            })
-        }));
-        let payload = outcome.expect_err("worker panic must cross run()");
-        let msg = payload
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_else(|| "non-string panic".into());
-        assert!(msg.contains("no-such-generator"), "panic message surfaced: {msg}");
+        let (outcomes, report) = run(&cfg, |client| {
+            let bad = client.submit(Workload::Table("no-such-generator".into())).unwrap();
+            let bad_outcome = client.wait_outcome(bad);
+            // The pool survived the crash: later requests still serve.
+            let good = client.submit(tiny_render(1)).unwrap();
+            let good_outcome = client.wait_outcome(good);
+            (bad_outcome, good_outcome)
+        });
+        match &outcomes.0 {
+            WaitOutcome::Failed(reason) => {
+                assert!(reason.contains("no-such-generator"), "panic message surfaced: {reason}")
+            }
+            other => panic!("poisoned request must fail, got {other:?}"),
+        }
+        assert!(matches!(outcomes.1, WaitOutcome::Answered(_)), "server survived the panic");
+        assert_eq!(report.metrics.failed, 1);
+        assert_eq!(report.metrics.requests, 1);
+        assert!(report.metrics.worker_restarts >= 1, "crashed worker was respawned");
     }
 
     #[test]

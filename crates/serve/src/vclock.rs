@@ -19,7 +19,8 @@ use std::collections::{HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
 use crate::batch::{Batch, Batcher, BatcherConfig};
-use crate::metrics::{BatchMetric, RequestMetric, ShedMetric};
+use crate::fault::{FaultInjector, InjectedFault};
+use crate::metrics::{BatchMetric, FailMetric, RequestMetric, ShedMetric};
 use crate::request::{BatchKey, Request};
 use crate::sched::{LaneScheduler, SchedStep};
 use crate::server::ServerConfig;
@@ -62,6 +63,11 @@ pub(crate) struct VirtualPipeline {
     service_ns: u64,
     cold_start_ns: u64,
     cache: Option<ModelCache>,
+    /// Seeded chaos: a poisoned request fails the moment a worker would
+    /// take its batch (mirroring the live quarantine outcome, minus the
+    /// real-time retry loop); a delayed one stretches its batch's virtual
+    /// service time. Same seeds as live mode, same poisoned set.
+    injector: Option<FaultInjector>,
     sched: LaneScheduler,
     batcher: Batcher,
     vlanes: Vec<VecDeque<Request>>,
@@ -79,6 +85,7 @@ pub(crate) struct VirtualPipeline {
     pub(crate) request_metrics: Vec<RequestMetric>,
     pub(crate) batch_metrics: Vec<BatchMetric>,
     pub(crate) shed_metrics: Vec<ShedMetric>,
+    pub(crate) fail_metrics: Vec<FailMetric>,
     pub(crate) rejected: Vec<usize>,
     /// Total virtual time the workers spent serving completed batches.
     pub(crate) busy_ns: u64,
@@ -88,12 +95,15 @@ pub(crate) struct VirtualPipeline {
 impl VirtualPipeline {
     /// A pipeline for `cfg` with flat per-batch service time `service_ns`;
     /// `with_cache` enables the modeled model cache (cold render keys pay
-    /// `cold_start_ns` extra on their first batch after a cold start).
-    pub(crate) fn new(
+    /// `cold_start_ns` extra on their first batch after a cold start), and
+    /// `injector` optionally adds seeded chaos (the same injector type —
+    /// and seeds — the live server takes).
+    pub(crate) fn with_injector(
         cfg: &ServerConfig,
         service_ns: u64,
         cold_start_ns: u64,
         with_cache: bool,
+        injector: Option<FaultInjector>,
     ) -> Self {
         let caps = cfg.sched.capacities(cfg.queue_capacity);
         let workers = cfg.workers.max(1);
@@ -110,6 +120,7 @@ impl VirtualPipeline {
                 hits: 0,
                 misses: 0,
             }),
+            injector: injector.filter(|i| !i.is_empty()),
             sched: LaneScheduler::new(&cfg.sched),
             batcher: Batcher::new(batcher_cfg),
             vlanes: caps.iter().map(|_| VecDeque::new()).collect(),
@@ -121,6 +132,7 @@ impl VirtualPipeline {
             request_metrics: Vec::new(),
             batch_metrics: Vec::new(),
             shed_metrics: Vec::new(),
+            fail_metrics: Vec::new(),
             rejected: vec![0; caps.len()],
             busy_ns: 0,
             wall_ns: 0,
@@ -268,6 +280,40 @@ impl VirtualPipeline {
         svc
     }
 
+    /// Applies the chaos injector to a batch a worker is about to take:
+    /// poisoned members fail on the spot (the virtual analogue of the live
+    /// supervisor's quarantine verdict), delayed members stretch the
+    /// batch's service time by the largest member delay. Returns `None`
+    /// when no member survives, else the surviving batch and the extra
+    /// service nanoseconds.
+    fn apply_faults(&mut self, mut batch: Batch, now: u64) -> Option<(Batch, u64)> {
+        let Some(inj) = self.injector else { return Some((batch, 0)) };
+        let mut delay_ns = 0u64;
+        let mut survivors = Vec::with_capacity(batch.requests.len());
+        for req in batch.requests.drain(..) {
+            match inj.decide(&req.job) {
+                Some(InjectedFault::Panic) => {
+                    self.fail_metrics.push(FailMetric {
+                        id: req.id,
+                        lane: self.sched_cfg.lane_of(req.priority),
+                        queue_ns: now - req.arrival_ns,
+                    });
+                    self.inflight -= 1;
+                }
+                Some(InjectedFault::Delay(d)) => {
+                    delay_ns = delay_ns.max(d);
+                    survivors.push(req);
+                }
+                None => survivors.push(req),
+            }
+        }
+        if survivors.is_empty() {
+            return None;
+        }
+        batch.requests = survivors;
+        Some((batch, delay_ns))
+    }
+
     /// One fixpoint pass of the virtual pipeline at time `now`: idle
     /// workers take queued batches, freed queue slots unblock stalled
     /// flushes, and an unblocked scheduler keeps draining the lanes.
@@ -281,7 +327,15 @@ impl VirtualPipeline {
                 {
                     Some(wi) => {
                         let batch = self.batch_q.pop_front().expect("non-empty");
-                        let service_ns = self.service_for(&batch);
+                        let (batch, delay_ns) = match self.apply_faults(batch, now) {
+                            Some(survivors) => survivors,
+                            None => {
+                                // Every member was poisoned: nothing to run.
+                                progress = true;
+                                continue;
+                            }
+                        };
+                        let service_ns = self.service_for(&batch) + delay_ns;
                         self.workers[wi].free_at = now + service_ns;
                         self.workers[wi].running =
                             Some(Running { batch, start_ns: now, service_ns });

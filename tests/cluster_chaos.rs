@@ -205,7 +205,7 @@ fn cluster_json_schema_has_required_fields_and_exact_hist_merge() {
     let report = run_cluster(&chaos_cfg(3, faults), &jobs);
     let j = report.metrics.to_json();
     for field in [
-        "\"schema\": \"flexnerfer-cluster-bench/1\"",
+        "\"schema\": \"flexnerfer-cluster-bench/2\"",
         "\"threads\": ",
         "\"replicas\": 3",
         "\"workers_per_replica\": ",
@@ -215,6 +215,7 @@ fn cluster_json_schema_has_required_fields_and_exact_hist_merge() {
         "\"front_door_shed\": ",
         "\"expired\": ",
         "\"rejected\": ",
+        "\"failed\": ",
         "\"failed_over\": ",
         "\"kills\": 1",
         "\"restarts\": 1",

@@ -173,36 +173,39 @@ fn single_lane_no_deadline_reproduces_the_pre_scheduler_fifo_digest() {
 }
 
 #[test]
-fn worker_panic_propagates_through_the_pool_and_frees_waiters() {
-    // Unknown table name → the executing worker panics. The panic must:
-    // unblock the in-flight wait(), then resurface from run() itself.
-    let cfg = ServerConfig::default(); // empty registry
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        run(&cfg, |client| {
-            let poisoned = client.submit(Workload::Table("definitely-not-registered".into())).unwrap();
+fn worker_panic_is_quarantined_and_the_pool_keeps_serving() {
+    // Unknown table name → the executing worker panics. The supervisor
+    // must quarantine the poisoned request (a `Failed` outcome carrying
+    // the panic reason — the waiter unblocks, nothing deadlocks),
+    // respawn the worker, and keep every lane serving.
+    let cfg = ServerConfig::default(); // empty registry: any table lookup panics
+    let (_, report) = run(&cfg, |client| {
+        let poisoned =
+            client.submit(Workload::Table("definitely-not-registered".into())).unwrap();
+        match client.wait_outcome(poisoned) {
+            WaitOutcome::Failed(reason) => assert!(
+                reason.contains("definitely-not-registered"),
+                "original panic reason must surface in the failure: {reason}"
+            ),
+            other => panic!("poisoned request must resolve Failed, got {other:?}"),
+        }
+        // Follow-up submits on *every* lane must still be admitted and
+        // answered — worker death is the supervisor's problem, not the
+        // client's.
+        for p in Priority::ALL {
+            let id = client
+                .submit_with(tiny_render(p.index() as u64), p, None)
+                .unwrap_or_else(|e| panic!("lane {} stopped admitting: {e:?}", p.name()));
             assert!(
-                client.wait(poisoned).is_none(),
-                "waiter must observe the failure, not deadlock"
+                client.wait(id).is_some(),
+                "lane {} stopped serving after the quarantine",
+                p.name()
             );
-            // Follow-up submits on *every* lane of the multi-lane queue
-            // must fail fast (closed), not hang — the dying worker closed
-            // all of them at once.
-            for p in Priority::ALL {
-                assert_eq!(
-                    client.submit_with(tiny_render(p.index() as u64), p, None),
-                    Err(SubmitError::Closed),
-                    "lane {} kept admitting after worker death",
-                    p.name()
-                );
-            }
-        })
-    }));
-    let payload = outcome.expect_err("worker panic must cross the pool boundary");
-    let msg = payload
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_else(|| "<non-string payload>".into());
-    assert!(msg.contains("definitely-not-registered"), "original panic surfaced: {msg}");
+        }
+    });
+    assert_eq!(report.metrics.failed, 1, "exactly the poisoned request fails");
+    assert_eq!(report.metrics.requests, 3, "the three follow-ups all serve");
+    assert!(report.metrics.worker_restarts >= 1, "the crashed worker must respawn");
 }
 
 #[test]
