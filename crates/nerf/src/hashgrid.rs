@@ -58,16 +58,55 @@ impl HashGridConfig {
     }
 }
 
+/// Cached per-level lookup parameters — resolution and dense/hashed mode
+/// are functions of the (immutable) config, but recomputing them through
+/// `powi` on every corner lookup dominated the scalar encode cost.
+#[derive(Debug, Clone, Copy)]
+struct LevelParams {
+    /// Grid resolution `N_l`.
+    res: usize,
+    /// Whether the level indexes densely (no hash).
+    dense: bool,
+}
+
 /// The trainable multi-resolution hash grid.
 #[derive(Debug, Clone)]
 pub struct HashGrid {
     config: HashGridConfig,
-    /// Feature tables, one per level: `table[l][entry * F + f]`.
-    tables: Vec<Vec<f32>>,
+    /// All feature tables in one flat allocation, one level after another:
+    /// `tables[l * level_stride + entry * F + f]`. The flat layout lets the
+    /// optimizer and the shard-gradient merge treat the whole grid as a
+    /// single slice, and gives the AVX2 encode kernel one base pointer to
+    /// gather from.
+    tables: Vec<f32>,
+    /// `entries × F` — the span of one level inside [`HashGrid::tables`].
+    level_stride: usize,
+    /// Cached per-level resolution / dense flag.
+    params: Vec<LevelParams>,
 }
 
 /// The 8 corner contributions of one level lookup: `(table index, weight)`.
 pub type CornerLookups = [(usize, f32); 8];
+
+/// Precomputed corner lookups of one point across every level — the hash
+/// and trilinear-weight arithmetic computed **once** per sample and shared
+/// by the forward encode ([`HashGrid::encode_planned`]) and the backward
+/// scatter ([`HashGrid::accumulate_grad_planned`]), which the training
+/// loop runs on the same point. Buffers are reused across samples via
+/// [`HashGrid::plan_into`].
+///
+/// Layout is corner-major (`slot = ci * levels + l`) so the gather
+/// kernels read one corner's per-level indices as a contiguous vector.
+#[derive(Debug, Clone, Default)]
+pub struct EncodePlan {
+    /// Absolute f32 element index into [`HashGrid::tables`] of corner
+    /// `ci`'s feature 0 at level `l`: `l·level_stride + entry·F`.
+    idx: Vec<i32>,
+    /// Trilinear weight of that corner.
+    w: Vec<f32>,
+    /// Level count the plan was built for.
+    levels: usize,
+}
 
 impl HashGrid {
     /// Creates a grid with features initialized uniformly in `[-a, a]`
@@ -76,14 +115,16 @@ impl HashGrid {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let entries = 1usize << config.log2_table_size;
-        let tables = (0..config.levels)
-            .map(|_| {
-                (0..entries * config.features)
-                    .map(|_| rng.gen_range(-init_amplitude..=init_amplitude))
-                    .collect()
-            })
+        let level_stride = entries * config.features;
+        // One flat draw sequence — identical values, in the same order, as
+        // the per-level tables this layout replaced.
+        let tables = (0..config.levels * level_stride)
+            .map(|_| rng.gen_range(-init_amplitude..=init_amplitude))
             .collect();
-        HashGrid { config, tables }
+        let params = (0..config.levels)
+            .map(|l| LevelParams { res: config.resolution(l), dense: config.is_dense_level(l) })
+            .collect();
+        HashGrid { config, tables, level_stride, params }
     }
 
     /// Grid configuration.
@@ -91,27 +132,38 @@ impl HashGrid {
         &self.config
     }
 
-    /// Raw feature tables (for quantization studies).
-    pub fn tables(&self) -> &[Vec<f32>] {
+    /// All feature tables as one flat slice (levels concatenated; see
+    /// [`HashGrid::level_stride`] for the per-level span).
+    pub fn tables(&self) -> &[f32] {
         &self.tables
     }
 
-    /// Mutable feature tables (for the optimizer).
-    pub fn tables_mut(&mut self) -> &mut [Vec<f32>] {
+    /// Mutable flat feature tables (for the optimizer).
+    pub fn tables_mut(&mut self) -> &mut [f32] {
         &mut self.tables
+    }
+
+    /// Span of one level inside [`HashGrid::tables`] (`entries × F`).
+    pub fn level_stride(&self) -> usize {
+        self.level_stride
+    }
+
+    /// The feature table of level `l`: `table[entry * F + f]`.
+    pub fn level_table(&self, l: usize) -> &[f32] {
+        &self.tables[l * self.level_stride..(l + 1) * self.level_stride]
     }
 
     /// Total trainable parameters.
     pub fn param_count(&self) -> usize {
-        self.tables.iter().map(|t| t.len()).sum()
+        self.tables.len()
     }
 
     /// Table index of an integer corner at level `l` — dense indexing for
     /// coarse levels, XOR-of-primes hash for fine levels.
     pub fn corner_index(&self, l: usize, c: [usize; 3]) -> usize {
         let t = 1usize << self.config.log2_table_size;
-        if self.config.is_dense_level(l) {
-            let n = self.config.resolution(l) + 1;
+        if self.params[l].dense {
+            let n = self.params[l].res + 1;
             (c[0] * n + c[1]) * n + c[2]
         } else {
             let mut h = 0u64;
@@ -125,7 +177,7 @@ impl HashGrid {
     /// Computes the 8 corner `(index, trilinear weight)` pairs for point
     /// `p` at level `l` (positions clamped to the unit cube).
     pub fn corner_lookups(&self, l: usize, p: Vec3) -> CornerLookups {
-        let n = self.config.resolution(l);
+        let n = self.params[l].res;
         let clamp01 = |v: f32| v.clamp(0.0, 1.0);
         let scaled = [clamp01(p.x) * n as f32, clamp01(p.y) * n as f32, clamp01(p.z) * n as f32];
         let base = scaled.map(|v| (v.floor() as usize).min(n.saturating_sub(1)));
@@ -152,7 +204,11 @@ impl HashGrid {
 
     /// Encodes a point into a caller-provided buffer of length
     /// [`HashGridConfig::output_dims`] — the allocation-free form the
-    /// training arena uses. Bit-identical to [`HashGrid::encode`].
+    /// training arena uses. Bit-identical to [`HashGrid::encode`], and —
+    /// per the `fnr_tensor::simd` contract — bit-identical between the
+    /// AVX2 gather path and the scalar one: each output element receives
+    /// the same 8 `w · feature` products, multiplied then added in the
+    /// same (corner-ascending) order, whichever path runs.
     ///
     /// # Panics
     ///
@@ -161,33 +217,357 @@ impl HashGrid {
         let f = self.config.features;
         assert_eq!(out.len(), self.config.output_dims(), "encoding width mismatch");
         out.fill(0.0);
-        for l in 0..self.config.levels {
+        let mut l0 = 0;
+        #[cfg(target_arch = "x86_64")]
+        if f == 2 {
+            let lv = fnr_tensor::simd::level();
+            let mut idx = [0i32; 64];
+            let mut wts = [0f32; 64];
+            if lv == fnr_tensor::simd::SimdLevel::Avx512 {
+                // 8 levels × 2 features = one 512-bit accumulator.
+                while l0 + 8 <= self.config.levels {
+                    self.chunk_lookups(l0, 8, p, &mut idx, &mut wts);
+                    // SAFETY: AVX-512F runtime-detected; all indices are
+                    // in bounds (corner_index masks within level_stride).
+                    unsafe { self.encode8_avx512(l0, idx.as_ptr(), wts.as_ptr(), 8, out) };
+                    l0 += 8;
+                }
+            }
+            if lv >= fnr_tensor::simd::SimdLevel::Avx2 {
+                // 4 levels × 2 features = one 256-bit accumulator.
+                while l0 + 4 <= self.config.levels {
+                    self.chunk_lookups(l0, 4, p, &mut idx, &mut wts);
+                    // SAFETY: AVX2 runtime-detected; indices in bounds.
+                    unsafe { self.encode4_avx2(l0, idx.as_ptr(), wts.as_ptr(), 4, out) };
+                    l0 += 4;
+                }
+            }
+        }
+        for l in l0..self.config.levels {
+            let table = self.level_table(l);
             for (idx, w) in self.corner_lookups(l, p) {
                 for fi in 0..f {
-                    out[l * f + fi] += w * self.tables[l][idx * f + fi];
+                    out[l * f + fi] += w * table[idx * f + fi];
                 }
             }
         }
     }
 
-    /// Accumulates the gradient of a point's encoding into `grad_tables`
-    /// (same layout as [`HashGrid::tables`]): given `d_out` =
-    /// ∂L/∂encoding, adds `w · d_out` to each contributing corner feature.
-    pub fn accumulate_grad(&self, p: Vec3, d_out: &[f32], grad_tables: &mut [Vec<f32>]) {
+    /// Fills the corner-major `(absolute element index, weight)` staging
+    /// arrays for a `k_levels`-level chunk starting at `l0` — the shared
+    /// front half of the gather kernels (slot `ci * k_levels + k`).
+    #[cfg(target_arch = "x86_64")]
+    fn chunk_lookups(&self, l0: usize, k_levels: usize, p: Vec3, idx: &mut [i32; 64], wts: &mut [f32; 64]) {
+        if fnr_tensor::simd::level() >= fnr_tensor::simd::SimdLevel::Avx2 {
+            for k in 0..k_levels {
+                // SAFETY: AVX2 runtime-detected; slot `7 * k_levels + k`
+                // stays within the 64-entry staging arrays.
+                unsafe {
+                    self.corner_plan_avx2(
+                        l0 + k,
+                        p,
+                        idx.as_mut_ptr().add(k),
+                        wts.as_mut_ptr().add(k),
+                        k_levels,
+                    )
+                };
+            }
+            return;
+        }
+        let f = self.config.features;
+        for k in 0..k_levels {
+            let elem_base = (l0 + k) * self.level_stride;
+            for (ci, (index, w)) in self.corner_lookups(l0 + k, p).into_iter().enumerate() {
+                idx[ci * k_levels + k] = (elem_base + index * f) as i32;
+                wts[ci * k_levels + k] = w;
+            }
+        }
+    }
+
+    /// AVX2 encode of the 4-level chunk starting at `l0` (requires
+    /// `F == 2`): per corner, one 64-bit gather fetches the feature pair
+    /// of all 4 levels, and a duplicated-weight vector multiplies them in.
+    /// Corner-major iteration over the chunk is bit-identical to the
+    /// level-major scalar loop because each output element only ever sees
+    /// its own level's corners — in the same ascending order.
+    ///
+    /// `idx`/`wts` hold one entry per `(corner, level)` at slot
+    /// `ci * stride + k` — absolute f32 element indices into
+    /// [`HashGrid::tables`] (even, since `F == 2`) and trilinear weights,
+    /// from [`HashGrid::chunk_lookups`] or an [`EncodePlan`].
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2; `out` must hold at least `(l0 + 4) * 2`
+    /// elements; `idx`/`wts` must stay readable for `7 * stride + 4`
+    /// entries and every index must be in `tables` bounds.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn encode4_avx2(&self, l0: usize, idx: *const i32, wts: *const f32, stride: usize, out: &mut [f32]) {
+        use std::arch::x86_64::*;
+        let base = self.tables.as_ptr() as *const i64;
+        let mut acc = _mm256_loadu_ps(out.as_ptr().add(l0 * 2));
+        for ci in 0..8 {
+            let vi = _mm_loadu_si128(idx.add(ci * stride) as *const __m128i);
+            // Element index → i64 pair index (F == 2 keeps pairs aligned).
+            let pi = _mm_srli_epi32::<1>(vi);
+            // Lane k receives the f32 pair (2 × 4 bytes = one i64) of
+            // level l0+k — matching out[(l0+k)*2 .. (l0+k)*2+2].
+            let pairs = _mm256_castsi256_ps(_mm256_i32gather_epi64::<8>(base, pi));
+            let w4 = _mm_loadu_ps(wts.add(ci * stride));
+            let w8 = _mm256_set_m128(_mm_unpackhi_ps(w4, w4), _mm_unpacklo_ps(w4, w4));
+            // mul then add, never fused — the simd module's contract.
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(w8, pairs));
+        }
+        _mm256_storeu_ps(out.as_mut_ptr().add(l0 * 2), acc);
+    }
+
+    /// AVX-512 encode of the 8-level chunk starting at `l0` (requires
+    /// `F == 2`): the whole chunk's output — 8 levels × 2 features = 16
+    /// floats — lives in **one** 512-bit accumulator; per corner, one
+    /// 8-lane 64-bit gather fetches every level's feature pair and a
+    /// pair-duplicated weight vector multiplies them in. Same
+    /// corner-major bit-identity argument as [`HashGrid::encode4_avx2`].
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX-512F and AVX2; `out` must hold at least
+    /// `(l0 + 8) * 2` elements; `idx`/`wts` must stay readable for
+    /// `7 * stride + 8` entries and every index must be in bounds.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f", enable = "avx2")]
+    unsafe fn encode8_avx512(&self, l0: usize, idx: *const i32, wts: *const f32, stride: usize, out: &mut [f32]) {
+        use std::arch::x86_64::*;
+        let base = self.tables.as_ptr() as *const i64;
+        // Lane pair (2k, 2k+1) both select weight k.
+        let dup = _mm512_set_epi32(7, 7, 6, 6, 5, 5, 4, 4, 3, 3, 2, 2, 1, 1, 0, 0);
+        let mut acc = _mm512_loadu_ps(out.as_ptr().add(l0 * 2));
+        for ci in 0..8 {
+            let vi = _mm256_loadu_si256(idx.add(ci * stride) as *const __m256i);
+            let pi = _mm256_srli_epi32::<1>(vi);
+            let pairs = _mm512_castsi512_ps(_mm512_i32gather_epi64::<8>(pi, base));
+            let w8 = _mm256_loadu_ps(wts.add(ci * stride));
+            let w16 = _mm512_permutexvar_ps(dup, _mm512_castps256_ps512(w8));
+            acc = _mm512_add_ps(acc, _mm512_mul_ps(w16, pairs));
+        }
+        _mm512_storeu_ps(out.as_mut_ptr().add(l0 * 2), acc);
+    }
+
+    /// Fills `plan` with the corner lookups of `p` across every level,
+    /// reusing its buffers (no steady-state allocation). The plan holds
+    /// exactly the lookups [`HashGrid::encode_into`] and
+    /// [`HashGrid::accumulate_grad`] would each recompute — building it
+    /// once halves the hash/trilinear arithmetic of a training sample.
+    pub fn plan_into(&self, p: Vec3, plan: &mut EncodePlan) {
+        let levels = self.config.levels;
+        let f = self.config.features;
+        plan.levels = levels;
+        plan.idx.resize(levels * 8, 0);
+        plan.w.resize(levels * 8, 0.0);
+        #[cfg(target_arch = "x86_64")]
+        if fnr_tensor::simd::level() >= fnr_tensor::simd::SimdLevel::Avx2 {
+            for l in 0..levels {
+                // SAFETY: AVX2 runtime-detected; plan buffers sized above.
+                unsafe {
+                    self.corner_plan_avx2(
+                        l,
+                        p,
+                        plan.idx.as_mut_ptr().add(l),
+                        plan.w.as_mut_ptr().add(l),
+                        levels,
+                    )
+                };
+            }
+            return;
+        }
+        for l in 0..levels {
+            let elem_base = l * self.level_stride;
+            for (ci, (index, w)) in self.corner_lookups(l, p).into_iter().enumerate() {
+                plan.idx[ci * levels + l] = (elem_base + index * f) as i32;
+                plan.w[ci * levels + l] = w;
+            }
+        }
+    }
+
+    /// All 8 corner `(absolute element index, trilinear weight)` pairs of
+    /// one level computed across AVX2 lanes (lane = corner), written to
+    /// `idx_out`/`w_out` at slots `ci * stride`. Bit-identical to
+    /// [`HashGrid::corner_lookups`]:
+    ///
+    /// - weights: the scalar loop computes `((1·sx)·sy)·sz`; `1·x == x`
+    ///   bitwise for finite `x`, so `mul(mul(wx, wy), wz)` performs the
+    ///   same two roundings per lane;
+    /// - hashed indices: the table mask keeps only the low
+    ///   `log2_table_size` (< 32) bits, and the low 32 bits of the u64
+    ///   `corner · prime` product equal the u32 `mullo` of the low 32
+    ///   bits (both primes fit u32), so the masked index is exact;
+    /// - dense indices: `(c0·n + c1)·n + c2` stays far below 2³¹.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2; `idx_out`/`w_out` must be writable at
+    /// the 8 strided slots.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn corner_plan_avx2(
+        &self,
+        l: usize,
+        p: Vec3,
+        idx_out: *mut i32,
+        w_out: *mut f32,
+        stride: usize,
+    ) {
+        use std::arch::x86_64::*;
+        let n = self.params[l].res;
+        let clamp01 = |v: f32| v.clamp(0.0, 1.0);
+        let scaled = [clamp01(p.x) * n as f32, clamp01(p.y) * n as f32, clamp01(p.z) * n as f32];
+        let base = scaled.map(|v| (v.floor() as usize).min(n.saturating_sub(1)));
+        let frac =
+            [scaled[0] - base[0] as f32, scaled[1] - base[1] as f32, scaled[2] - base[2] as f32];
+        let (fx, fy, fz) = (frac[0], frac[1], frac[2]);
+        let (gx, gy, gz) = (1.0 - fx, 1.0 - fy, 1.0 - fz);
+        // Lane ci uses frac[d] when bit d of ci is set, 1 − frac[d]
+        // otherwise — the same selection as the scalar offs loop.
+        let wx = _mm256_set_ps(fx, gx, fx, gx, fx, gx, fx, gx);
+        let wy = _mm256_set_ps(fy, fy, gy, gy, fy, fy, gy, gy);
+        let wz = _mm256_set_ps(fz, fz, fz, fz, gz, gz, gz, gz);
+        let w = _mm256_mul_ps(_mm256_mul_ps(wx, wy), wz);
+        let c0 = _mm256_add_epi32(
+            _mm256_set1_epi32(base[0] as i32),
+            _mm256_setr_epi32(0, 1, 0, 1, 0, 1, 0, 1),
+        );
+        let c1 = _mm256_add_epi32(
+            _mm256_set1_epi32(base[1] as i32),
+            _mm256_setr_epi32(0, 0, 1, 1, 0, 0, 1, 1),
+        );
+        let c2 = _mm256_add_epi32(
+            _mm256_set1_epi32(base[2] as i32),
+            _mm256_setr_epi32(0, 0, 0, 0, 1, 1, 1, 1),
+        );
+        let idx = if self.params[l].dense {
+            let n1 = _mm256_set1_epi32((n + 1) as i32);
+            _mm256_add_epi32(
+                _mm256_mullo_epi32(_mm256_add_epi32(_mm256_mullo_epi32(c0, n1), c1), n1),
+                c2,
+            )
+        } else {
+            let h = _mm256_xor_si256(
+                c0,
+                _mm256_xor_si256(
+                    _mm256_mullo_epi32(c1, _mm256_set1_epi32(PRIMES[1] as u32 as i32)),
+                    _mm256_mullo_epi32(c2, _mm256_set1_epi32(PRIMES[2] as u32 as i32)),
+                ),
+            );
+            _mm256_and_si256(h, _mm256_set1_epi32(((1usize << self.config.log2_table_size) - 1) as i32))
+        };
+        // Absolute element index: level base + entry · F.
+        let elem = _mm256_add_epi32(
+            _mm256_set1_epi32((l * self.level_stride) as i32),
+            _mm256_mullo_epi32(idx, _mm256_set1_epi32(self.config.features as i32)),
+        );
+        let mut elems = [0i32; 8];
+        let mut weights = [0f32; 8];
+        _mm256_storeu_si256(elems.as_mut_ptr() as *mut __m256i, elem);
+        _mm256_storeu_ps(weights.as_mut_ptr(), w);
+        for ci in 0..8 {
+            *idx_out.add(ci * stride) = elems[ci];
+            *w_out.add(ci * stride) = weights[ci];
+        }
+    }
+
+    /// [`HashGrid::encode_into`] driven by a prebuilt [`EncodePlan`] —
+    /// bit-identical to the unplanned encode of the plan's point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has the wrong length or the plan's shape does not
+    /// match this grid.
+    pub fn encode_planned(&self, plan: &EncodePlan, out: &mut [f32]) {
+        let f = self.config.features;
+        let levels = self.config.levels;
+        assert_eq!(plan.levels, levels, "plan level mismatch");
+        assert_eq!(plan.idx.len(), levels * 8, "plan shape mismatch");
+        assert_eq!(out.len(), self.config.output_dims(), "encoding width mismatch");
+        out.fill(0.0);
+        let mut l0 = 0;
+        #[cfg(target_arch = "x86_64")]
+        if f == 2 {
+            let lv = fnr_tensor::simd::level();
+            if lv == fnr_tensor::simd::SimdLevel::Avx512 {
+                while l0 + 8 <= levels {
+                    // SAFETY: AVX-512F runtime-detected; plan indices come
+                    // from corner_index, hence in bounds.
+                    unsafe {
+                        self.encode8_avx512(l0, plan.idx.as_ptr().add(l0), plan.w.as_ptr().add(l0), levels, out)
+                    };
+                    l0 += 8;
+                }
+            }
+            if lv >= fnr_tensor::simd::SimdLevel::Avx2 {
+                while l0 + 4 <= levels {
+                    // SAFETY: AVX2 runtime-detected; indices in bounds.
+                    unsafe {
+                        self.encode4_avx2(l0, plan.idx.as_ptr().add(l0), plan.w.as_ptr().add(l0), levels, out)
+                    };
+                    l0 += 4;
+                }
+            }
+        }
+        for l in l0..levels {
+            for ci in 0..8 {
+                let slot = ci * levels + l;
+                let idx = plan.idx[slot] as usize;
+                let w = plan.w[slot];
+                for fi in 0..f {
+                    out[l * f + fi] += w * self.tables[idx + fi];
+                }
+            }
+        }
+    }
+
+    /// [`HashGrid::accumulate_grad`] driven by a prebuilt [`EncodePlan`]
+    /// — bit-identical to the unplanned scatter of the plan's point. The
+    /// scatter stays scalar at every SIMD level: distinct corners of one
+    /// level can hash to the same table entry, so the updates must apply
+    /// sequentially (a vector scatter would lose colliding contributions).
+    pub fn accumulate_grad_planned(&self, plan: &EncodePlan, d_out: &[f32], grad: &mut [f32]) {
+        let f = self.config.features;
+        let levels = self.config.levels;
+        assert_eq!(plan.levels, levels, "plan level mismatch");
+        debug_assert_eq!(d_out.len(), self.config.output_dims());
+        debug_assert_eq!(grad.len(), self.tables.len());
+        for l in 0..levels {
+            for ci in 0..8 {
+                let slot = ci * levels + l;
+                let idx = plan.idx[slot] as usize;
+                let w = plan.w[slot];
+                for fi in 0..f {
+                    grad[idx + fi] += w * d_out[l * f + fi];
+                }
+            }
+        }
+    }
+
+    /// Accumulates the gradient of a point's encoding into `grad` (flat,
+    /// same layout as [`HashGrid::tables`]): given `d_out` = ∂L/∂encoding,
+    /// adds `w · d_out` to each contributing corner feature.
+    pub fn accumulate_grad(&self, p: Vec3, d_out: &[f32], grad: &mut [f32]) {
         let f = self.config.features;
         debug_assert_eq!(d_out.len(), self.config.output_dims());
+        debug_assert_eq!(grad.len(), self.tables.len());
         for l in 0..self.config.levels {
+            let g = &mut grad[l * self.level_stride..(l + 1) * self.level_stride];
             for (idx, w) in self.corner_lookups(l, p) {
                 for fi in 0..f {
-                    grad_tables[l][idx * f + fi] += w * d_out[l * f + fi];
+                    g[idx * f + fi] += w * d_out[l * f + fi];
                 }
             }
         }
     }
 
-    /// Fresh zeroed gradient tables matching this grid's layout.
-    pub fn zero_grad(&self) -> Vec<Vec<f32>> {
-        self.tables.iter().map(|t| vec![0.0; t.len()]).collect()
+    /// A fresh zeroed flat gradient buffer matching this grid's layout.
+    pub fn zero_grad(&self) -> Vec<f32> {
+        vec![0.0; self.tables.len()]
     }
 }
 
@@ -234,7 +614,80 @@ mod tests {
         // Level 0 resolution 16: p = (0,0,0) is exactly corner [0,0,0].
         let enc = g.encode(Vec3::ZERO);
         let idx = g.corner_index(0, [0, 0, 0]);
-        assert!((enc[0] - g.tables()[0][idx * 2]).abs() < 1e-6);
+        assert!((enc[0] - g.level_table(0)[idx * 2]).abs() < 1e-6);
+    }
+
+    /// The dispatched encode (AVX2 gather on capable hosts) is bitwise
+    /// equal to an explicit level-major scalar reference.
+    #[test]
+    fn encode_matches_scalar_reference_bitwise() {
+        let g = grid();
+        let f = g.config().features;
+        for (i, p) in [
+            Vec3::ZERO,
+            Vec3::splat(1.0),
+            Vec3::new(0.37, 0.62, 0.18),
+            Vec3::new(0.999, 0.001, 0.5),
+            Vec3::new(-0.3, 1.7, 0.25), // clamped
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let enc = g.encode(p);
+            let mut reference = vec![0.0f32; g.config().output_dims()];
+            for l in 0..g.config().levels {
+                let table = g.level_table(l);
+                for (idx, w) in g.corner_lookups(l, p) {
+                    for fi in 0..f {
+                        reference[l * f + fi] += w * table[idx * f + fi];
+                    }
+                }
+            }
+            assert!(
+                enc.iter().zip(&reference).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "point {i}: {enc:?} vs {reference:?}"
+            );
+        }
+    }
+
+    /// The plan-driven encode and gradient scatter reproduce their
+    /// unplanned twins bit for bit — the property the training loop
+    /// depends on when it shares one plan between forward and backward.
+    #[test]
+    fn planned_encode_and_grad_match_unplanned_bitwise() {
+        let g = grid();
+        let mut plan = EncodePlan::default();
+        let mut planned = vec![0.0f32; g.config().output_dims()];
+        for (i, p) in [
+            Vec3::ZERO,
+            Vec3::splat(1.0),
+            Vec3::new(0.37, 0.62, 0.18),
+            Vec3::new(0.999, 0.001, 0.5),
+            Vec3::new(-0.3, 1.7, 0.25), // clamped
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            g.plan_into(p, &mut plan);
+            let direct = g.encode(p);
+            g.encode_planned(&plan, &mut planned);
+            assert!(
+                direct.iter().zip(&planned).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "point {i}: encode drifted: {direct:?} vs {planned:?}"
+            );
+            let mut d_out = vec![0.0f32; g.config().output_dims()];
+            for (j, d) in d_out.iter_mut().enumerate() {
+                *d = (j as f32 + 1.0) * 0.17 - 1.3;
+            }
+            let mut grad_direct = g.zero_grad();
+            let mut grad_planned = g.zero_grad();
+            g.accumulate_grad(p, &d_out, &mut grad_direct);
+            g.accumulate_grad_planned(&plan, &d_out, &mut grad_planned);
+            assert!(
+                grad_direct.iter().zip(&grad_planned).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "point {i}: gradient scatter drifted"
+            );
+        }
     }
 
     #[test]
@@ -251,10 +704,11 @@ mod tests {
             let (idx, _) = g.corner_lookups(0, p)[3];
             idx
         });
-        let analytic = grads[l][e * 2];
+        let stride = g.level_stride();
+        let analytic = grads[l * stride + e * 2];
         let eps = 1e-3;
         let base = g.encode(p)[0];
-        g.tables_mut()[l][e * 2] += eps;
+        g.tables_mut()[l * stride + e * 2] += eps;
         let bumped = g.encode(p)[0];
         let numeric = (bumped - base) / eps;
         assert!((analytic - numeric).abs() < 1e-3, "{analytic} vs {numeric}");

@@ -58,6 +58,34 @@ impl Linear {
             *out_v += acc;
         }
     }
+
+    /// `W x + b` through a transposed weight copy (`wt` is `in × out`,
+    /// from [`Mlp::pack`]): zero the accumulators, add `x[i] · wt[i][:]`
+    /// stripes in ascending `i` through the SIMD axpy kernel, then add the
+    /// bias. Per output element this performs the exact addition sequence
+    /// of [`Linear::forward_into`] (same ascending-`i` products, bias
+    /// joined last; IEEE `·`/`+` are commutative bitwise), so the two
+    /// paths are bit-identical — the packed-equivalence property suite
+    /// enforces it.
+    fn forward_packed_into(&self, wt: &Matrix<f32>, x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.inputs(), "input width mismatch");
+        debug_assert_eq!(out.len(), self.outputs(), "output width mismatch");
+        fnr_tensor::simd::layer_forward(out, wt.as_slice(), x, &self.bias);
+    }
+}
+
+/// Transposed (`in × out`) weight copies of an [`Mlp`]'s layers — the
+/// layout that turns the per-output dot products of the forward pass into
+/// per-input axpy stripes the SIMD kernels can run without reordering any
+/// per-element addition sequence (see [`Linear::forward_packed_into`]).
+///
+/// Weights change every optimizer step, so training re-packs once per
+/// iteration ([`Mlp::pack_into`] reuses the buffers) and amortizes the
+/// copy over the whole sample batch; inference packs once per render.
+#[derive(Debug, Clone)]
+pub struct PackedMlp {
+    /// One `inputs × outputs` transposed weight matrix per layer.
+    wt: Vec<Matrix<f32>>,
 }
 
 /// An MLP with ReLU hidden activations and a linear output layer.
@@ -152,14 +180,10 @@ impl MlpGrads {
         // merging it here becomes a compile error, not a silent drop.
         let MlpGrads { weights, bias } = other;
         for (into, from) in self.weights.iter_mut().zip(weights) {
-            for (a, b) in into.as_mut_slice().iter_mut().zip(from.as_slice()) {
-                *a += b;
-            }
+            fnr_tensor::simd::add_assign(into.as_mut_slice(), from.as_slice());
         }
         for (into, from) in self.bias.iter_mut().zip(bias) {
-            for (a, b) in into.iter_mut().zip(from) {
-                *a += b;
-            }
+            fnr_tensor::simd::add_assign(into, from);
         }
     }
 }
@@ -287,6 +311,92 @@ impl Mlp {
         activations.last().expect("layers + 1 activations")
     }
 
+    /// Transposed weight copies for the SIMD forward paths.
+    pub fn pack(&self) -> PackedMlp {
+        let mut packed = PackedMlp {
+            wt: self.layers.iter().map(|l| Matrix::zeros(l.inputs(), l.outputs())).collect(),
+        };
+        self.pack_into(&mut packed);
+        packed
+    }
+
+    /// Refreshes `packed` (from [`Mlp::pack`] on a same-shaped network)
+    /// with this network's current weights, reusing its buffers — the
+    /// per-iteration form the training loop calls after each optimizer
+    /// step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed` was built for a different architecture.
+    pub fn pack_into(&self, packed: &mut PackedMlp) {
+        assert_eq!(packed.wt.len(), self.layers.len(), "packed layer count mismatch");
+        for (layer, wt) in self.layers.iter().zip(&mut packed.wt) {
+            let (ins, outs) = (layer.inputs(), layer.outputs());
+            assert_eq!((wt.rows(), wt.cols()), (ins, outs), "packed layer shape mismatch");
+            let src = layer.weights.as_slice();
+            let dst = wt.as_mut_slice();
+            for o in 0..outs {
+                for i in 0..ins {
+                    dst[i * outs + o] = src[o * ins + i];
+                }
+            }
+        }
+    }
+
+    /// The packed twin of [`Mlp::forward_into`]: same signature plus the
+    /// transposed weights, bit-identical output (the per-layer kernel is
+    /// [`Linear::forward_packed_into`]).
+    pub fn forward_into_packed<'s>(
+        &self,
+        packed: &PackedMlp,
+        x: &[f32],
+        scratch: &'s mut MlpScratch,
+    ) -> &'s [f32] {
+        let MlpScratch { ping, pong, .. } = scratch;
+        ping.clear();
+        ping.extend_from_slice(x);
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            ensure_len(pong, layer.outputs());
+            layer.forward_packed_into(&packed.wt[i], ping, pong);
+            if i != last {
+                for v in pong.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            std::mem::swap(ping, pong);
+        }
+        ping
+    }
+
+    /// The packed twin of [`Mlp::forward_cached_into`]: fills the same
+    /// cache with bit-identical values, driving each layer through
+    /// [`Linear::forward_packed_into`].
+    pub fn forward_cached_into_packed<'s>(
+        &self,
+        packed: &PackedMlp,
+        x: &[f32],
+        scratch: &'s mut MlpScratch,
+    ) -> &'s [f32] {
+        self.size_cache(&mut scratch.cache);
+        let MlpCache { activations, pre_activations } = &mut scratch.cache;
+        activations[0].copy_from_slice(x);
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (inputs, outputs) = activations.split_at_mut(i + 1);
+            let z = &mut pre_activations[i];
+            layer.forward_packed_into(&packed.wt[i], &inputs[i], z);
+            let act = &mut outputs[0];
+            act.copy_from_slice(z);
+            if i != last {
+                for v in act.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+        }
+        activations.last().expect("layers + 1 activations")
+    }
+
     /// Backward pass: given `d_out` = ∂L/∂output, accumulates parameter
     /// gradients into `grads` and returns ∂L/∂input.
     pub fn backward(&self, cache: &MlpCache, d_out: &[f32], grads: &mut MlpGrads) -> Vec<f32> {
@@ -337,25 +447,23 @@ impl Mlp {
             let input = &cache.activations[i];
             let layer = &self.layers[i];
             let cols = layer.inputs();
-            let weight_grads = grads.weights[i].as_mut_slice();
-            for (o, &d) in delta.iter().enumerate() {
-                grads.bias[i][o] += d;
-                let g_row = &mut weight_grads[o * cols..(o + 1) * cols];
-                for (g, &x) in g_row.iter_mut().zip(input) {
-                    *g += d * x;
-                }
-            }
-            // Propagate.
+            // Bias gradients: `bg[o] += δ[o]`, the element-wise merge
+            // kernel (disjoint from the weight/input destinations, so the
+            // original interleaved order is preserved per element).
+            fnr_tensor::simd::add_assign(&mut grads.bias[i], delta);
+            // Weight gradients (`g += δ·x`, every row) and propagation
+            // (`d_in += δ·w_row`, ReLU-masked zeros skipped) through the
+            // whole-layer kernel — per-element update order identical to
+            // the original per-row axpy loops.
             d_in.clear();
             d_in.resize(cols, 0.0);
-            for (o, &d) in delta.iter().enumerate() {
-                let row = layer.weights.row(o);
-                if d != 0.0 {
-                    for (di, &w) in d_in.iter_mut().zip(row) {
-                        *di += w * d;
-                    }
-                }
-            }
+            fnr_tensor::simd::layer_backward(
+                d_in,
+                layer.weights.as_slice(),
+                grads.weights[i].as_mut_slice(),
+                delta,
+                input,
+            );
             std::mem::swap(delta, d_in);
         }
     }
@@ -461,6 +569,10 @@ pub struct QuantizedMlp {
     /// dequantizing inside every forward call, but it takes the per-sample
     /// weight materialization off the inference hot path entirely.
     layers: Vec<(Matrix<f32>, Vec<f32>)>,
+    /// Transposed (`in × out`) copies of the dequantized weights, likewise
+    /// baked at construction, so the forward MAC loop runs as SIMD axpy
+    /// stripes (see [`PackedMlp`] for the bit-identity argument).
+    packed: Vec<Matrix<f32>>,
     precision: Precision,
     /// Per-layer static activation scales (absolute max seen during
     /// calibration), `None` before calibration (falls back to dynamic).
@@ -524,12 +636,13 @@ impl QuantizedMlp {
     /// [`QuantizedMlp::calibrate`] before inference.
     pub fn quantize(mlp: &Mlp, precision: Precision) -> Self {
         let q = Quantizer::per_tensor(precision);
-        let layers = mlp
+        let layers: Vec<(Matrix<f32>, Vec<f32>)> = mlp
             .layers()
             .iter()
             .map(|l| (q.quantize(&l.weights).dequantize(), l.bias.clone()))
             .collect();
-        QuantizedMlp { layers, precision, act_amax: None }
+        let packed = layers.iter().map(|(w, _)| w.transpose()).collect();
+        QuantizedMlp { layers, packed, precision, act_amax: None }
     }
 
     /// Calibrates per-layer static activation ranges by running the FP32
@@ -566,16 +679,13 @@ impl QuantizedMlp {
                 None => a.iter().fold(0.0f32, |m, &v| m.max(v.abs())),
             };
             quantize_activations_static_into(a, self.precision, amax, aq);
+            // Packed MAC through the whole-layer kernel: zeroed
+            // accumulators + ascending-input stripes + bias last — the
+            // exact per-output addition sequence of the row-wise
+            // dot-product loop it replaces.
             z.clear();
-            z.extend_from_slice(bias);
-            for (o, zo) in z.iter_mut().enumerate() {
-                let row = w.row(o);
-                let mut acc = 0.0f32;
-                for (ii, &xi) in aq.iter().enumerate() {
-                    acc += row[ii] * xi;
-                }
-                *zo += acc;
-            }
+            z.resize(w.rows(), 0.0);
+            fnr_tensor::simd::layer_forward(z, self.packed[i].as_slice(), aq, bias);
             if i != last {
                 for v in z.iter_mut() {
                     *v = v.max(0.0);
@@ -595,6 +705,9 @@ pub struct OutlierQuantizedMlp {
     /// Per-layer `(dequantized weights, bias)` — body + INT16 outliers
     /// baked once at construction, exactly as [`QuantizedMlp`] does.
     layers: Vec<(Matrix<f32>, Vec<f32>)>,
+    /// Transposed (`in × out`) dequantized weights for the SIMD axpy
+    /// forward loop, baked at construction like [`QuantizedMlp`]'s.
+    packed: Vec<Matrix<f32>>,
     precision: Precision,
     outlier_fraction: f64,
     /// Per-layer `(body threshold, full amax)` activation calibration.
@@ -605,14 +718,15 @@ impl OutlierQuantizedMlp {
     /// Quantizes with `outlier_fraction` of weights kept at INT16.
     pub fn quantize(mlp: &Mlp, precision: Precision, outlier_fraction: f64) -> Self {
         let q = Quantizer::per_row(precision);
-        let layers = mlp
+        let layers: Vec<(Matrix<f32>, Vec<f32>)> = mlp
             .layers()
             .iter()
             .map(|l| {
                 (q.quantize_outlier_aware(&l.weights, outlier_fraction).dequantize(), l.bias.clone())
             })
             .collect();
-        OutlierQuantizedMlp { layers, precision, outlier_fraction, act_ranges: None }
+        let packed = layers.iter().map(|(w, _)| w.transpose()).collect();
+        OutlierQuantizedMlp { layers, packed, precision, outlier_fraction, act_ranges: None }
     }
 
     /// Calibrates per-layer activation ranges: the body threshold is the
@@ -677,16 +791,10 @@ impl OutlierQuantizedMlp {
                     (v / scale).round().clamp(-32768.0, 32767.0) * scale
                 }
             }));
+            // Packed MAC; same bit-identity argument as [`QuantizedMlp`].
             z.clear();
-            z.extend_from_slice(bias);
-            for (o, zo) in z.iter_mut().enumerate() {
-                let row = w.row(o);
-                let mut acc = 0.0f32;
-                for (ii, &xi) in aq.iter().enumerate() {
-                    acc += row[ii] * xi;
-                }
-                *zo += acc;
-            }
+            z.resize(w.rows(), 0.0);
+            fnr_tensor::simd::layer_forward(z, self.packed[i].as_slice(), aq, bias);
             if i != last {
                 for v in z.iter_mut() {
                     *v = v.max(0.0);

@@ -196,8 +196,12 @@ impl NgpModel {
         spp: usize,
         occupancy: Option<&OccupancyGrid>,
     ) -> Image {
+        // Transpose-pack the weights once per render; every per-sample
+        // forward then runs the SIMD axpy path (bit-identical to the
+        // row-major forward it replaces).
+        let packed = self.mlp.pack();
         self.render_with(camera, w, h, spp, occupancy, |enc| {
-            MLP_TLS.with(|s| head4(self.mlp.forward_into(enc, &mut s.borrow_mut())))
+            MLP_TLS.with(|s| head4(self.mlp.forward_into_packed(&packed, enc, &mut s.borrow_mut())))
         })
     }
 
@@ -377,23 +381,20 @@ pub fn quantize_grid(grid: &HashGrid, precision: Precision, outliers: Option<f64
     let mut out = grid.clone();
     match outliers {
         None => {
-            let amax = grid
-                .tables()
-                .iter()
-                .flatten()
-                .fold(0.0f32, |m, &v| m.max(v.abs()));
+            let amax = grid.tables().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
             let (lo, hi) = precision.range();
             let scale = if amax == 0.0 { 1.0 } else { amax / hi as f32 };
-            for (t_out, t_in) in out.tables_mut().iter_mut().zip(grid.tables()) {
-                for (o, &v) in t_out.iter_mut().zip(t_in) {
-                    *o = (v / scale).round().clamp(lo as f32, hi as f32) * scale;
-                }
+            for (o, &v) in out.tables_mut().iter_mut().zip(grid.tables()) {
+                *o = (v / scale).round().clamp(lo as f32, hi as f32) * scale;
             }
         }
         Some(frac) => {
             let q = Quantizer::per_tensor(precision);
-            for (t_out, t_in) in out.tables_mut().iter_mut().zip(grid.tables()) {
-                let m = Matrix::from_vec(1, t_in.len(), t_in.clone()).expect("shape");
+            let stride = grid.level_stride();
+            for (t_out, t_in) in
+                out.tables_mut().chunks_mut(stride).zip(grid.tables().chunks(stride))
+            {
+                let m = Matrix::from_vec(1, t_in.len(), t_in.to_vec()).expect("shape");
                 let deq = q.quantize_outlier_aware(&m, frac).dequantize();
                 t_out.copy_from_slice(deq.as_slice());
             }

@@ -85,14 +85,12 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - B1.powi(self.t);
         let bc2 = 1.0 - B2.powi(self.t);
-        for i in 0..params.len() {
-            let g = grads[i];
-            self.m[i] = B1 * self.m[i] + (1.0 - B1) * g;
-            self.v[i] = B2 * self.v[i] + (1.0 - B2) * g * g;
-            let mhat = self.m[i] / bc1;
-            let vhat = self.v[i] / bc2;
-            params[i] -= lr * mhat / (vhat.sqrt() + EPS);
-        }
+        // Element-wise update through the SIMD kernel (vector div/sqrt
+        // are correctly rounded, so this is bit-identical to the scalar
+        // expression at every dispatch level).
+        fnr_tensor::simd::adam_step(
+            params, grads, &mut self.m, &mut self.v, lr, bc1, bc2, B1, B2, EPS,
+        );
     }
 }
 
@@ -120,11 +118,16 @@ fn ray_rng(seed: u64, iter: usize, ray: usize, batch_rays: usize) -> rand::rngs:
 /// ROADMAP called for after PR 2.
 struct ShardGrads {
     mlp: crate::mlp::MlpGrads,
-    grid: Vec<Vec<f32>>,
+    /// Flat hash-grid gradient accumulator (layout of `HashGrid::tables`).
+    grid: Vec<f32>,
     loss: f32,
     /// One forward-cache + backward scratch per concurrently-live sample
     /// along a ray (grown to `samples_per_ray` on first use).
     sample_scratch: Vec<crate::mlp::MlpScratch>,
+    /// One hash-grid encode plan per concurrently-live sample: the corner
+    /// hashes/weights computed once in the forward pass and reused by the
+    /// backward scatter (same point, same lookups).
+    plans: Vec<crate::hashgrid::EncodePlan>,
     /// Shaded samples of the ray in flight.
     shaded: Vec<ShadedSample>,
     /// Hash-grid encoding buffer.
@@ -139,6 +142,7 @@ impl ShardGrads {
             grid: model.grid.zero_grad(),
             loss: 0.0,
             sample_scratch: Vec::new(),
+            plans: Vec::new(),
             shaded: Vec::new(),
             enc: vec![0.0; model.grid.config().output_dims()],
         }
@@ -147,9 +151,7 @@ impl ShardGrads {
     /// Zeroes the gradient accumulators in place for the next iteration.
     fn reset(&mut self) {
         self.mlp.zero();
-        for table in &mut self.grid {
-            table.fill(0.0);
-        }
+        self.grid.fill(0.0);
         self.loss = 0.0;
     }
 }
@@ -204,10 +206,16 @@ pub fn train_ngp(scene: &dyn Scene, model: &mut NgpModel, cfg: &TrainConfig) -> 
     let mut grid_p: Vec<f32> = Vec::with_capacity(model.grid.param_count());
     let mut grid_g: Vec<f32> = Vec::with_capacity(model.grid.param_count());
 
+    // Transposed-weight pack of the MLP, rebuilt (in place) after every
+    // optimizer step so the shards' forward passes run the SIMD axpy path.
+    let mut packed = model.mlp.pack();
+
     let mut losses = Vec::new();
     let mut running = 0.0f32;
     for iter in 0..cfg.iters {
+        model.mlp.pack_into(&mut packed);
         let frozen: &NgpModel = model;
+        let packed_ref = &packed;
         // One chunk = one shard slot: each slot is written only by the
         // pool task that claimed its index, and `ranges[si]` is a pure
         // function of the config, so the partial gradients are identical
@@ -216,7 +224,8 @@ pub fn train_ngp(scene: &dyn Scene, model: &mut NgpModel, cfg: &TrainConfig) -> 
             let shard = &mut slot[0];
             shard.reset();
             // Split the slot into its independently-borrowed working sets.
-            let ShardGrads { mlp: g_mlp, grid: g_grid, loss, sample_scratch, shaded, enc } = shard;
+            let ShardGrads { mlp: g_mlp, grid: g_grid, loss, sample_scratch, plans, shaded, enc } =
+                shard;
             let (lo, hi) = ranges[si];
             for ray_idx in lo..hi {
                 let mut rng = ray_rng(cfg.seed, iter, ray_idx, cfg.batch_rays);
@@ -232,11 +241,19 @@ pub fn train_ngp(scene: &dyn Scene, model: &mut NgpModel, cfg: &TrainConfig) -> 
                 while sample_scratch.len() < samples.len() {
                     sample_scratch.push(frozen.mlp.scratch());
                 }
-                // Forward: encode → MLP → heads → composite.
+                while plans.len() < samples.len() {
+                    plans.push(crate::hashgrid::EncodePlan::default());
+                }
+                // Forward: encode → MLP → heads → composite. The encode
+                // plan (corner hashes + trilinear weights) is built once
+                // per sample and reused by the backward scatter below.
                 shaded.clear();
-                for (s, scratch) in samples.iter().zip(sample_scratch.iter_mut()) {
-                    frozen.grid.encode_into(s.position, enc);
-                    let raw = frozen.mlp.forward_cached_into(enc, scratch);
+                for ((s, scratch), plan) in
+                    samples.iter().zip(sample_scratch.iter_mut()).zip(plans.iter_mut())
+                {
+                    frozen.grid.plan_into(s.position, plan);
+                    frozen.grid.encode_planned(plan, enc);
+                    let raw = frozen.mlp.forward_cached_into_packed(packed_ref, enc, scratch);
                     shaded.push(ShadedSample {
                         sigma: softplus(raw[0]),
                         color: [sigmoid(raw[1]), sigmoid(raw[2]), sigmoid(raw[3])],
@@ -255,7 +272,7 @@ pub fn train_ngp(scene: &dyn Scene, model: &mut NgpModel, cfg: &TrainConfig) -> 
 
                 // Backward.
                 let (d_sigma, d_color) = composite_backward(shaded, d_out);
-                for (i, s) in samples.iter().enumerate() {
+                for (i, _s) in samples.iter().enumerate() {
                     let scratch = &mut sample_scratch[i];
                     // Head gradients: σ = softplus(z0), c = sigmoid(z1..3).
                     let mut d_raw = [0.0f32; 4];
@@ -268,7 +285,7 @@ pub fn train_ngp(scene: &dyn Scene, model: &mut NgpModel, cfg: &TrainConfig) -> 
                         continue;
                     }
                     let d_enc = frozen.mlp.backward_into(scratch, &d_raw, g_mlp);
-                    frozen.grid.accumulate_grad(s.position, d_enc, g_grid);
+                    frozen.grid.accumulate_grad_planned(&plans[i], d_enc, g_grid);
                 }
             }
         });
@@ -278,11 +295,7 @@ pub fn train_ngp(scene: &dyn Scene, model: &mut NgpModel, cfg: &TrainConfig) -> 
         let (merged, rest) = slots.split_first_mut().expect("TRAIN_SHARDS >= 1");
         for shard in rest.iter() {
             merged.mlp.add_assign(&shard.mlp);
-            for (into, from) in merged.grid.iter_mut().zip(&shard.grid) {
-                for (a, b) in into.iter_mut().zip(from) {
-                    *a += b;
-                }
-            }
+            fnr_tensor::simd::add_assign(&mut merged.grid, &shard.grid);
             merged.loss += shard.loss;
         }
         let batch_loss = merged.loss;
@@ -294,16 +307,11 @@ pub fn train_ngp(scene: &dyn Scene, model: &mut NgpModel, cfg: &TrainConfig) -> 
         unflatten_mlp(model, &flat_p);
 
         grid_p.clear();
-        grid_p.extend(model.grid.tables().iter().flatten().copied());
+        grid_p.extend_from_slice(model.grid.tables());
         grid_g.clear();
-        grid_g.extend(merged.grid.iter().flatten().map(|&g| g * scale));
+        grid_g.extend(merged.grid.iter().map(|&g| g * scale));
         grid_adam.step(&mut grid_p, &grid_g, cfg.lr * 2.0);
-        let mut off = 0;
-        for t in model.grid.tables_mut() {
-            let len = t.len();
-            t.copy_from_slice(&grid_p[off..off + len]);
-            off += len;
-        }
+        model.grid.tables_mut().copy_from_slice(&grid_p);
 
         running = batch_loss / cfg.batch_rays as f32;
         if iter % 10 == 0 {

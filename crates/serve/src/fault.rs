@@ -335,7 +335,9 @@ pub struct BrownoutConfig {
     /// brownout engages.
     pub engage_depth: usize,
     /// Total queued requests strictly below which an engaged brownout
-    /// releases. Keep below `engage_depth` for hysteresis.
+    /// releases. Keep below `engage_depth` for hysteresis; values above
+    /// `engage_depth` are clamped to it at observation time (see
+    /// [`Brownout::observe`]).
     pub release_depth: usize,
 }
 
@@ -364,12 +366,22 @@ impl Brownout {
 
     /// Feeds one queue-depth observation; returns whether the brownout is
     /// engaged afterwards.
+    ///
+    /// The comparator is inclusive on exactly one side: depth ≥
+    /// `engage_depth` engages, depth < the release threshold releases, so
+    /// a depth sitting on a boundary maps to exactly one state and a
+    /// constant queue can never flap the controller. A misconfigured
+    /// `release_depth > engage_depth` would break that (depths in
+    /// `[engage, release)` would engage and release on alternate
+    /// observations), so the release threshold is clamped to
+    /// `engage_depth`; `release_depth == engage_depth` degenerates to a
+    /// plain threshold comparator, which is stable.
     pub fn observe(&mut self, queued: usize) -> bool {
         if !self.cfg.enabled {
             return false;
         }
         if self.engaged {
-            if queued < self.cfg.release_depth {
+            if queued < self.cfg.release_depth.min(self.cfg.engage_depth) {
                 self.engaged = false;
             }
         } else if queued >= self.cfg.engage_depth {
@@ -537,6 +549,103 @@ mod tests {
         assert!(!b.observe(3), "below release threshold: released");
         let mut off = Brownout::new(BrownoutConfig::default());
         assert!(!off.observe(usize::MAX), "disabled controller never engages");
+    }
+
+    /// A queue pinned exactly at `engage_depth` maps to one state — the
+    /// comparator is inclusive on the engage side only, so repeated
+    /// observations of the boundary depth never flip the controller.
+    #[test]
+    fn brownout_is_stable_at_the_engage_boundary() {
+        let mut b = Brownout::new(BrownoutConfig {
+            enabled: true,
+            engage_depth: 10,
+            release_depth: 4,
+        });
+        assert!(b.observe(10), "boundary engages");
+        for _ in 0..8 {
+            assert!(b.observe(10), "boundary depth must stay engaged, never flap");
+        }
+    }
+
+    /// Coinciding watermarks degenerate to a plain threshold comparator:
+    /// still stable at every depth, including the shared boundary.
+    #[test]
+    fn brownout_with_equal_watermarks_does_not_flap() {
+        let mut b = Brownout::new(BrownoutConfig {
+            enabled: true,
+            engage_depth: 8,
+            release_depth: 8,
+        });
+        assert!(!b.observe(7), "below threshold stays released");
+        for _ in 0..8 {
+            assert!(b.observe(8), "at threshold: engaged and stable");
+        }
+        assert!(!b.observe(7), "dropping below releases");
+        assert!(!b.observe(7), "and stays released");
+    }
+
+    /// An inverted configuration (`release_depth > engage_depth`) used to
+    /// engage and release on alternate observations of a constant depth in
+    /// `[engage, release)`; the release threshold is now clamped to
+    /// `engage_depth`, so the controller is stable for every config.
+    #[test]
+    fn brownout_with_inverted_watermarks_is_clamped_stable() {
+        let mut b = Brownout::new(BrownoutConfig {
+            enabled: true,
+            engage_depth: 5,
+            release_depth: 20,
+        });
+        let mut states = Vec::new();
+        for _ in 0..6 {
+            states.push(b.observe(10));
+        }
+        assert!(states.iter().all(|&s| s), "constant depth 10 ≥ engage must hold engaged: {states:?}");
+        assert!(!b.observe(4), "below engage releases under the clamped threshold");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// The post-jitter backoff can never exceed `MAX_BACKOFF_NS`,
+            /// for any attempt number (including the out-of-contract 0)
+            /// and any base — including `u64::MAX`, where the exponential
+            /// saturates before the cap applies.
+            #[test]
+            fn prop_backoff_never_exceeds_cap(
+                backoff_ns in 0u64..=u64::MAX,
+                attempt in 0u32..100,
+                seed in 0u64..=u64::MAX,
+                job_hash in 0u64..=u64::MAX,
+            ) {
+                let p = RetryPolicy { max_attempts: 5, backoff_ns, seed };
+                let b = p.backoff_for(job_hash, attempt);
+                prop_assert!(
+                    b <= MAX_BACKOFF_NS,
+                    "backoff {b} > cap for base {backoff_ns}, attempt {attempt}"
+                );
+            }
+
+            /// Attempt 0 and attempt 1 share the exponent (saturating_sub)
+            /// — pinned here so a refactor can't turn attempt 0 into a
+            /// shifted-by-minus-one overflow.
+            #[test]
+            fn prop_backoff_attempt_zero_is_bounded_by_attempt_one_base(
+                backoff_ns in 1u64..=MAX_BACKOFF_NS,
+                seed in 0u64..=u64::MAX,
+                job_hash in 0u64..=u64::MAX,
+            ) {
+                let p = RetryPolicy { max_attempts: 5, backoff_ns, seed };
+                for attempt in [0u32, 1] {
+                    let b = p.backoff_for(job_hash, attempt);
+                    prop_assert!(b >= backoff_ns.min(MAX_BACKOFF_NS));
+                    prop_assert!(b <= MAX_BACKOFF_NS);
+                }
+            }
+        }
     }
 
     #[test]

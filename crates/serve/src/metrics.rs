@@ -152,7 +152,13 @@ impl NsStats {
         }
         let mut sorted = samples.to_vec();
         sorted.sort_unstable();
-        let rank = |p: f64| sorted[(((sorted.len() as f64) * p).ceil() as usize).clamp(1, sorted.len()) - 1];
+        // Total on every input: `clamp(1, 0)` panics (min > max), so an
+        // empty set short-circuits to 0 instead of relying on the guard
+        // above staying in place.
+        let rank = |p: f64| match sorted.len() {
+            0 => 0,
+            n => sorted[(((n as f64) * p).ceil() as usize).clamp(1, n) - 1],
+        };
         NsStats {
             mean: (sorted.iter().map(|&v| v as u128).sum::<u128>() / sorted.len() as u128) as u64,
             p50: rank(0.50),
@@ -742,6 +748,40 @@ mod tests {
         assert_eq!(s.max, 100);
         assert_eq!(s.mean, 55);
         assert_eq!(NsStats::from_samples(&[]).max, 0);
+    }
+
+    /// A run that served nothing must yield all-zero stats everywhere a
+    /// percentile is computed — no panic from `clamp(1, 0)` on an empty
+    /// sorted set.
+    #[test]
+    fn ns_stats_empty_and_singleton_are_total() {
+        let empty = NsStats::from_samples(&[]);
+        assert_eq!((empty.mean, empty.p50, empty.p95, empty.max), (0, 0, 0, 0));
+        let one = NsStats::from_samples(&[7]);
+        assert_eq!((one.mean, one.p50, one.p95, one.max), (7, 7, 7, 7));
+    }
+
+    /// Aggregating a run with zero requests of any kind (the zero-served
+    /// case) must not panic and must report zeros.
+    #[test]
+    fn aggregate_of_zero_served_run_is_all_zero() {
+        let m = ServeMetrics::aggregate(
+            &[],
+            &[],
+            &[],
+            &[],
+            &[],
+            &[],
+            &acct(2),
+            RobustTotals::default(),
+            0,
+            1,
+            1,
+        );
+        assert_eq!(m.requests, 0);
+        assert_eq!(m.queue_ns.max, 0);
+        assert_eq!(m.service_ns.p95, 0);
+        assert!(!m.to_json().is_empty(), "empty run still serializes");
     }
 
     #[test]

@@ -173,6 +173,22 @@ pub trait MacScalar: Copy + Default {
     fn is_zero(self) -> bool;
     /// One multiply-accumulate step: `acc ⊕ a·b` under the type's rule.
     fn mac(acc: Self, a: Self, b: Self) -> Self;
+
+    /// Slice-wide multiply-accumulate, `out[j] = mac(out[j], a, b[j])` in
+    /// ascending `j` — the axpy stripe under both dense blocked GEMM and
+    /// the CSR Gustavson kernel. The default walks the scalar rule;
+    /// element types with vector kernels override it (the override must
+    /// stay bit-identical to this loop — see [`crate::simd`]).
+    ///
+    /// # Panics
+    ///
+    /// May panic if the slices differ in length.
+    #[inline]
+    fn mac_slice(out: &mut [Self], a: Self, b: &[Self]) {
+        for (o, &bv) in out.iter_mut().zip(b) {
+            *o = Self::mac(*o, a, bv);
+        }
+    }
 }
 
 impl MacScalar for i32 {
@@ -196,6 +212,11 @@ impl MacScalar for f32 {
     #[inline(always)]
     fn mac(acc: Self, a: Self, b: Self) -> Self {
         acc + a * b
+    }
+
+    #[inline]
+    fn mac_slice(out: &mut [Self], a: Self, b: &[Self]) {
+        crate::simd::axpy(out, a, b);
     }
 }
 
@@ -233,9 +254,7 @@ fn matmul_blocked<T: MacScalar>(lhs: &Matrix<T>, rhs: &Matrix<T>) -> Matrix<T> {
                         continue;
                     }
                     let b_row = &b[k * n + col0..k * n + col1];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o = T::mac(*o, av, bv);
-                    }
+                    T::mac_slice(out_row, av, b_row);
                 }
             }
         }

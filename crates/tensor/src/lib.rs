@@ -31,6 +31,7 @@ mod quant;
 mod stats;
 
 pub mod gen;
+pub mod simd;
 pub mod sparse;
 pub mod workload;
 

@@ -165,9 +165,7 @@ impl<T: MacScalar> CsrMatrix<T> {
         let mut scale_into = |i: usize, k: usize, av: T| {
             let out_row = &mut out_data[i * n..(i + 1) * n];
             let b_row = &rhs_data[k * n..(k + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o = T::mac(*o, av, bv);
-            }
+            T::mac_slice(out_row, av, b_row);
         };
         match self.layout {
             // CSR: line i holds row i's (k, A[i][k]) pairs, k ascending.

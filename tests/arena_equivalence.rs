@@ -94,6 +94,50 @@ proptest! {
         }
     }
 
+    /// The transposed-weight packed forward (`forward_into_packed`, the
+    /// SIMD axpy path) is bit-identical to the row-major `forward` over
+    /// random shapes — including widths below, at, and straddling the
+    /// 8-lane vector width.
+    #[test]
+    fn prop_packed_forward_matches_forward(seed in 0u64..500, calls in 1usize..4) {
+        let mlp = random_mlp(seed);
+        let packed = mlp.pack();
+        let mut scratch = mlp.scratch();
+        for c in 0..calls as u64 {
+            let x = random_input(mlp.inputs(), seed ^ ((c + 1) * 6007));
+            let vec_path = mlp.forward(&x);
+            let packed_path = mlp.forward_into_packed(&packed, &x, &mut scratch);
+            prop_assert!(
+                bits_eq(&vec_path, packed_path),
+                "call {c}: {vec_path:?} vs {packed_path:?}"
+            );
+        }
+    }
+
+    /// `forward_cached_into_packed` fills the same forward cache as
+    /// `forward_cached_into` bit for bit (the training loop depends on
+    /// this: the packed forward's cache feeds the scalar-shaped backward).
+    #[test]
+    fn prop_packed_cached_forward_matches_cached(seed in 0u64..500) {
+        let mlp = random_mlp(seed);
+        let mut packed = mlp.pack();
+        mlp.pack_into(&mut packed); // re-pack in place must be a no-op here
+        let mut s_plain = mlp.scratch();
+        let mut s_packed = mlp.scratch();
+        let x = random_input(mlp.inputs(), seed ^ 0x5EED);
+        let out_plain = mlp.forward_cached_into(&x, &mut s_plain).to_vec();
+        let out_packed = mlp.forward_cached_into_packed(&packed, &x, &mut s_packed).to_vec();
+        prop_assert!(bits_eq(&out_plain, &out_packed));
+        for (li, (a, b)) in s_plain.cache().activations.iter()
+            .zip(&s_packed.cache().activations).enumerate() {
+            prop_assert!(bits_eq(a, b), "activation {li} drifted");
+        }
+        for (li, (a, b)) in s_plain.cache().pre_activations.iter()
+            .zip(&s_packed.cache().pre_activations).enumerate() {
+            prop_assert!(bits_eq(a, b), "pre-activation {li} drifted");
+        }
+    }
+
     /// `HashGrid::encode_into` through a reused buffer matches `encode`.
     #[test]
     fn prop_encode_into_matches_encode(seed in 0u64..200) {

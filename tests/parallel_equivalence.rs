@@ -108,7 +108,7 @@ fn training_is_bit_identical_and_psnr_matches() {
             .layers()
             .iter()
             .flat_map(|l| l.weights.as_slice().iter().chain(&l.bias).copied())
-            .chain(model.grid.tables().iter().flatten().copied())
+            .chain(model.grid.tables().iter().copied())
             .collect();
         (stats, params)
     };
@@ -140,7 +140,7 @@ fn arena_training_is_bit_identical_across_many_widths() {
             .layers()
             .iter()
             .flat_map(|l| l.weights.as_slice().iter().chain(&l.bias).copied())
-            .chain(model.grid.tables().iter().flatten().copied())
+            .chain(model.grid.tables().iter().copied())
             .collect();
         (stats, params)
     };
@@ -156,4 +156,48 @@ fn arena_training_is_bit_identical_across_many_widths() {
         }
     }
     fnr_par::set_num_threads(1);
+}
+
+/// The `FNR_SIMD=off` A/B guarantee, in-process: training and rendering
+/// with the SIMD dispatch pinned to the scalar twins produce bit-identical
+/// parameters and pixels to the runtime-detected path. (The CI repro leg
+/// checks the same property across processes by diffing the printed
+/// tables; this test pins it at the API level and fails with a parameter
+/// index instead of a table diff.)
+///
+/// `force_scalar` is process-global like the pool width, so the test holds
+/// the width guard to serialize against the other global-state tests; a
+/// concurrent test observing the pinned level still computes identical
+/// bits — that is the property under test.
+#[test]
+fn training_and_render_are_bit_identical_with_simd_disabled() {
+    let _g = width_guard();
+    let cfg = TrainConfig { iters: 30, ..TrainConfig::quick() };
+    let run = || -> (Vec<f32>, fnr_nerf::psnr::Image) {
+        let mut model = NgpModel::new(HashGridConfig::small(), 16, 21);
+        train_ngp(&MicScene, &mut model, &cfg);
+        let params: Vec<f32> = model
+            .mlp
+            .layers()
+            .iter()
+            .flat_map(|l| l.weights.as_slice().iter().chain(&l.bias).copied())
+            .chain(model.grid.tables().iter().copied())
+            .collect();
+        let cam = Camera::orbit(0.6, 1.6, 0.9);
+        let img = model.render(&cam, 16, 16, 10, None);
+        (params, img)
+    };
+    fnr_tensor::simd::force_scalar(true);
+    assert_eq!(fnr_tensor::simd::level(), fnr_tensor::simd::SimdLevel::Scalar);
+    let (scalar_params, scalar_img) = run();
+    fnr_tensor::simd::force_scalar(false);
+    let detected = fnr_tensor::simd::level();
+    let (simd_params, simd_img) = run();
+    // On AVX2 hosts this compares two genuinely different code paths; on
+    // others it degenerates to scalar-vs-scalar (still a valid identity).
+    assert_eq!(scalar_params.len(), simd_params.len());
+    for (i, (a, b)) in scalar_params.iter().zip(&simd_params).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "param {i} differs under {detected:?}: {a} vs {b}");
+    }
+    assert_eq!(scalar_img, simd_img, "rendered pixels must not depend on the SIMD level");
 }
