@@ -38,21 +38,28 @@
 //!
 //! Cluster mode (`--mode cluster`) replays the schedule through the
 //! N-replica consistent-hash DES (`fnr_serve::cluster`): `--replicas N`,
-//! `--faults SPEC` (`kill@500ms:1,restart@900ms:1`; ns/us/ms/s suffixes)
-//! or `--fault-seed S --fault-kills K` for a seeded random plan,
-//! `--max-inflight N`, `--cold-start-us U`, `--vnodes V`,
-//! `--router-seed S`, `--payload render|synthetic`. The `cluster:` /
-//! `replica rN:` / `response digest:` lines and the
-//! `flexnerfer-cluster-bench/1` JSON are all byte-deterministic at any
-//! `FNR_THREADS` — CI's cluster leg diffs them.
+//! `--faults SPEC` (`kill@500ms:1,restart@900ms:1,slow@1s:2:8,join@2s,`
+//! `leave@3s:0`; ns/us/ms/s suffixes) or `--fault-seed S --fault-kills K`
+//! for a seeded random plan, `--max-inflight N`, `--cold-start-us U`,
+//! `--vnodes V`, `--router-seed S`, `--payload render|synthetic`,
+//! `--service-per-item-us U` (size-aware virtual service). Resilience:
+//! `--health` turns on the gray-failure detector (suspect replicas lose
+//! routing preference), `--hedge-us U` hedges requests un-started after
+//! U µs (first completion wins, losers cancelled), `--codel-target-us` /
+//! `--codel-interval-us` arm CoDel-style overload admission that sheds
+//! Batch-class arrivals at the front door. The `cluster ` / `replica rN:`
+//! / `response digest:` lines and the `flexnerfer-cluster-bench/3` JSON
+//! are all byte-deterministic at any `FNR_THREADS` — CI's cluster legs
+//! diff them.
 
 use std::time::Duration;
 
 use fnr_serve::workload::{generate, ArrivalPattern, WorkloadSpec};
 use fnr_serve::{
-    run_closed_loop_thinking, run_cluster, run_open_loop, run_virtual_with_faults, BrownoutConfig,
-    ClusterConfig, ClusterService, FaultInjector, FaultPlan, PayloadMode, RetryPolicy,
-    RouterConfig, SchedConfig, ServeReport, ServerConfig, ThinkTime, VirtualService, MAX_REPLICAS,
+    run_closed_loop_thinking, run_cluster, run_open_loop, run_virtual_with_faults,
+    AdmissionConfig, BrownoutConfig, ClusterConfig, ClusterService, FaultInjector, FaultPlan,
+    HealthConfig, HedgeConfig, PayloadMode, RetryPolicy, RouterConfig, SchedConfig, ServeReport,
+    ServerConfig, ThinkTime, VirtualService, MAX_REPLICAS,
 };
 
 struct Args {
@@ -86,6 +93,11 @@ struct Args {
     faults_live: Option<String>,
     retry: u32,
     brownout: Option<usize>,
+    service_per_item: Duration,
+    hedge_us: Option<u64>,
+    health: bool,
+    codel_target_us: Option<u64>,
+    codel_interval_us: Option<u64>,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -143,6 +155,11 @@ fn parse_args() -> Args {
         faults_live: None,
         retry: 1,
         brownout: None,
+        service_per_item: Duration::ZERO,
+        hedge_us: None,
+        health: false,
+        codel_target_us: None,
+        codel_interval_us: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -243,6 +260,22 @@ fn parse_args() -> Args {
             "--faults-live" => args.faults_live = Some(operand(&mut i, "--faults-live")),
             "--retry" => args.retry = parse_num(&operand(&mut i, "--retry")).max(1) as u32,
             "--brownout" => args.brownout = Some(parse_num(&operand(&mut i, "--brownout"))),
+            "--service-per-item-us" => {
+                args.service_per_item = Duration::from_micros(
+                    parse_num(&operand(&mut i, "--service-per-item-us")) as u64,
+                )
+            }
+            "--hedge-us" => {
+                args.hedge_us = Some(parse_num(&operand(&mut i, "--hedge-us")).max(1) as u64)
+            }
+            "--health" => args.health = true,
+            "--codel-target-us" => {
+                args.codel_target_us = Some(parse_num(&operand(&mut i, "--codel-target-us")) as u64)
+            }
+            "--codel-interval-us" => {
+                args.codel_interval_us =
+                    Some(parse_num(&operand(&mut i, "--codel-interval-us")) as u64)
+            }
             other => usage(&format!("unknown flag `{other}`")),
         }
         i += 1;
@@ -265,7 +298,8 @@ fn usage(msg: &str) -> ! {
          [--json PATH] [--expect-coalescing] \
          [--replicas N] [--faults SPEC] [--fault-seed S] [--fault-kills K] \
          [--max-inflight N] [--cold-start-us U] [--vnodes V] [--router-seed S] \
-         [--payload render|synthetic] \
+         [--payload render|synthetic] [--service-per-item-us U] [--hedge-us U] [--health] \
+         [--codel-target-us U] [--codel-interval-us U] \
          [--faults-live panic=PM,delay=PM:DUR,seed=S] [--retry N] [--brownout DEPTH]"
     );
     std::process::exit(2);
@@ -350,7 +384,10 @@ fn main() {
         Mode::Virtual => run_virtual_with_faults(
             &cfg,
             &jobs,
-            VirtualService { service_ns: args.service.as_nanos() as u64 },
+            VirtualService {
+                service_ns: args.service.as_nanos() as u64,
+                per_item_ns: args.service_per_item.as_nanos() as u64,
+            },
             cfg.injector,
         ),
         Mode::Cluster => unreachable!("cluster mode returned above"),
@@ -442,7 +479,9 @@ fn run_cluster_mode(args: &Args, jobs: &[fnr_serve::workload::TimedJob], server:
     } else {
         FaultPlan::none()
     };
+    faults.validate_for(args.replicas).unwrap_or_else(|e| usage(&e));
     let fault_events = faults.events().len();
+    let admission_on = args.codel_target_us.is_some() || args.codel_interval_us.is_some();
     let cfg = ClusterConfig {
         replicas: args.replicas,
         server,
@@ -450,6 +489,7 @@ fn run_cluster_mode(args: &Args, jobs: &[fnr_serve::workload::TimedJob], server:
         max_inflight: args.max_inflight,
         service: ClusterService {
             service_ns: args.service.as_nanos() as u64,
+            per_item_ns: args.service_per_item.as_nanos() as u64,
             cold_start_ns: args.cold_start.as_nanos() as u64,
         },
         faults,
@@ -457,9 +497,23 @@ fn run_cluster_mode(args: &Args, jobs: &[fnr_serve::workload::TimedJob], server:
         // The live/virtual chaos injector rides in via `server.injector`;
         // a cluster-level override is only for programmatic callers.
         injector: None,
+        health: HealthConfig { enabled: args.health, ..HealthConfig::default() },
+        hedge: match args.hedge_us {
+            Some(us) => HedgeConfig { delay_ns: us.saturating_mul(1_000) },
+            None => HedgeConfig::disabled(),
+        },
+        admission: AdmissionConfig {
+            enabled: admission_on,
+            target_ns: args
+                .codel_target_us
+                .map_or(AdmissionConfig::default().target_ns, |us| us.saturating_mul(1_000)),
+            interval_ns: args
+                .codel_interval_us
+                .map_or(AdmissionConfig::default().interval_ns, |us| us.saturating_mul(1_000)),
+        },
     };
     eprintln!(
-        "[serve] cluster: {} replicas, {} vnodes, inflight bound {}, {} fault events, {} payloads",
+        "[serve] cluster: {} replicas, {} vnodes, inflight bound {}, {} fault events, {} payloads{}{}{}",
         cfg.replicas,
         cfg.router.vnodes,
         cfg.max_inflight,
@@ -467,7 +521,10 @@ fn run_cluster_mode(args: &Args, jobs: &[fnr_serve::workload::TimedJob], server:
         match cfg.payload {
             PayloadMode::Render => "render",
             PayloadMode::Synthetic => "synthetic",
-        }
+        },
+        if cfg.health.enabled { ", health detector on" } else { "" },
+        if cfg.hedge.enabled() { ", hedging on" } else { "" },
+        if cfg.admission.enabled { ", codel admission on" } else { "" },
     );
 
     let report = run_cluster(&cfg, jobs);
@@ -483,12 +540,13 @@ fn run_cluster_mode(args: &Args, jobs: &[fnr_serve::workload::TimedJob], server:
     // `cluster ` / `replica ` / `response digest` line between its
     // FNR_THREADS=1 and default runs.
     println!(
-        "cluster totals: submitted {} served {} shed {} front-door {} expired {} rejected {} \
-         failed {} failed-over {} kills {} restarts {}",
+        "cluster totals: submitted {} served {} shed {} front-door {} overload {} expired {} \
+         rejected {} failed {} failed-over {} kills {} restarts {}",
         m.submitted,
         m.served,
         m.shed,
         m.front_door_shed,
+        m.overload_shed,
         m.expired,
         m.rejected,
         m.failed,
@@ -496,12 +554,22 @@ fn run_cluster_mode(args: &Args, jobs: &[fnr_serve::workload::TimedJob], server:
         m.kills,
         m.restarts
     );
+    println!(
+        "cluster resilience: hedged {} hedge-won {} hedge-wasted {} suspects {} joins {} leaves {}",
+        m.hedged, m.hedge_won, m.hedge_wasted, m.suspects, m.joins, m.leaves
+    );
     for r in &m.replicas {
         println!(
             "replica r{}: {} routed {} served {} shed {} expired {} rejected {} failed {} fo-in {} \
-             fo-out {} cache {}/{} kills {} restarts {} digest {:#018x}",
+             fo-out {} cache {}/{} kills {} restarts {} suspects {} slow x{} digest {:#018x}",
             r.replica,
-            if r.alive { "alive" } else { "dead" },
+            if !r.alive {
+                "dead"
+            } else if r.departed {
+                "departed"
+            } else {
+                "alive"
+            },
             r.routed,
             r.metrics.requests,
             r.metrics.shed,
@@ -514,6 +582,8 @@ fn run_cluster_mode(args: &Args, jobs: &[fnr_serve::workload::TimedJob], server:
             r.cache_misses,
             r.kills,
             r.restarts,
+            r.suspects,
+            r.slow_factor,
             r.metrics.digest
         );
     }

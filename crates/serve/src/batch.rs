@@ -132,6 +132,21 @@ impl Batcher {
         self.pending.is_empty()
     }
 
+    /// Removes (cancels) the pending request with `id`, if present. A
+    /// group emptied by the removal leaves the batcher entirely, so its
+    /// linger deadline dies with it. The hedging layer uses this to pull
+    /// a losing hedge copy that has not flushed yet.
+    pub fn remove(&mut self, id: u64) -> Option<Request> {
+        let (gi, ri) = self.pending.iter().enumerate().find_map(|(gi, g)| {
+            g.requests.iter().position(|r| r.id == id).map(|ri| (gi, ri))
+        })?;
+        let req = self.pending[gi].requests.remove(ri);
+        if self.pending[gi].requests.is_empty() {
+            self.pending.remove(gi);
+        }
+        Some(req)
+    }
+
     fn take_key(&mut self, key: &BatchKey, flush: FlushReason) -> Option<Batch> {
         let pos = self.pending.iter().position(|g| &g.key == key)?;
         let g = self.pending.remove(pos);
@@ -201,6 +216,21 @@ mod tests {
         assert_eq!(rest.len(), 1);
         assert_eq!(rest[0].flush, FlushReason::Drain);
         assert_eq!(rest[0].requests[0].id, 1);
+    }
+
+    #[test]
+    fn remove_cancels_a_pending_member_and_empties_its_group() {
+        let t0 = Instant::now();
+        let mut b = Batcher::new(BatcherConfig { max_batch: 10, linger: Duration::from_secs(1) });
+        b.offer(req(0, SceneKind::Mic, t0), t0);
+        b.offer(req(1, SceneKind::Mic, t0), t0);
+        b.offer(req(2, SceneKind::Lego, t0), t0);
+        assert_eq!(b.remove(1).map(|r| r.id), Some(1));
+        assert!(b.remove(1).is_none(), "already gone");
+        assert_eq!(b.remove(2).map(|r| r.id), Some(2), "sole member removes its group");
+        let drained = b.drain();
+        assert_eq!(drained.len(), 1, "lego group died with its only member");
+        assert_eq!(drained[0].requests.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0]);
     }
 
     #[test]

@@ -23,15 +23,22 @@
 //! equivalence methodology to a cluster; `--replicas 1` with no faults
 //! reproduces `run_virtual` exactly (pinned in `tests/serve_equivalence.rs`).
 
+use std::collections::{BTreeMap, VecDeque};
+use std::time::{Duration, Instant};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::fault::FaultInjector;
-use crate::metrics::{ClusterMetrics, LaneAccounting, ReplicaStats, RobustTotals, ServeMetrics};
+use crate::health::{AdmissionConfig, CoDelAdmission, HealthConfig, HealthDetector, HealthState, HedgeConfig};
+use crate::metrics::{
+    ClusterMetrics, FailMetric, FrontDoorTotals, LaneAccounting, ReplicaStats, RobustTotals,
+    ServeMetrics, ShedMetric,
+};
 use crate::request::{response_set_digest, synthetic_payload, Request, Response};
 use crate::router::{HashRing, RouterConfig};
 use crate::server::{execute_batch, ServerConfig};
-use crate::vclock::VirtualPipeline;
+use crate::vclock::{PipeEvent, VirtualPipeline};
 use crate::workload::TimedJob;
 
 /// Virtual service model for the cluster simulator.
@@ -39,6 +46,10 @@ use crate::workload::TimedJob;
 pub struct ClusterService {
     /// Virtual time one batch occupies one virtual worker.
     pub service_ns: u64,
+    /// Size-aware cost: extra virtual time per batch *member*, so a fat
+    /// batch costs more than a singleton. Zero (the default) reproduces
+    /// the flat per-batch model exactly.
+    pub per_item_ns: u64,
     /// Extra virtual time the *first* batch of a `(scene, precision)`
     /// model pays after a cold start (quantize + calibrate + upload);
     /// subsequent batches hit the replica's model cache.
@@ -47,7 +58,7 @@ pub struct ClusterService {
 
 impl Default for ClusterService {
     fn default() -> Self {
-        ClusterService { service_ns: 500_000, cold_start_ns: 2_000_000 }
+        ClusterService { service_ns: 500_000, per_item_ns: 0, cold_start_ns: 2_000_000 }
     }
 }
 
@@ -57,8 +68,24 @@ pub enum FaultKind {
     /// Crash: orphan all in-flight work, reset scheduler/batcher state,
     /// drop the model cache. Ignored if the replica is already dead.
     Kill,
-    /// Bring a dead replica back (cold). Ignored if already alive.
+    /// Bring a dead (or departed) replica back (cold), rejoining the
+    /// ring if it had left. Ignored if already alive.
     Restart,
+    /// Gray failure: multiply the replica's virtual service times by
+    /// `factor` from this instant on (factor 1 restores nominal speed).
+    /// The replica stays alive and keeps accepting work — exactly the
+    /// failure the health detector exists to catch.
+    Slow {
+        /// Service-time multiplier (≥ 1).
+        factor: u32,
+    },
+    /// Scale-out: add a brand-new replica (next free index, cold cache)
+    /// to the cluster and the ring. The event's `replica` field is
+    /// ignored — a join always takes the next index.
+    Join,
+    /// Graceful scale-in: the replica leaves the ring immediately,
+    /// admits nothing new, finishes everything in flight, then departs.
+    Leave,
 }
 
 /// One scheduled fault on the virtual clock.
@@ -93,39 +120,125 @@ impl FaultPlan {
     }
 
     /// Parses the CLI fault grammar: a comma-separated list of
-    /// `kill@TIME:REPLICA` / `restart@TIME:REPLICA`, where `TIME` takes
-    /// an `ns`/`us`/`ms`/`s` suffix — e.g.
-    /// `kill@500ms:1,restart@900ms:1`. An empty string is no faults.
+    /// `kill@TIME:REPLICA` / `restart@TIME:REPLICA` /
+    /// `slow@TIME:REPLICA:FACTOR` / `join@TIME` / `leave@TIME:REPLICA`,
+    /// where `TIME` takes an `ns`/`us`/`ms`/`s` suffix — e.g.
+    /// `kill@500ms:1,restart@900ms:1,slow@1s:2:8,join@2s,leave@3s:0`.
+    /// An empty string is no faults.
     pub fn parse(s: &str) -> Result<Self, String> {
         let mut events = Vec::new();
+        let mut left = Vec::new();
+        let mut joins = 0usize;
         for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             let (kind_s, rest) = part.split_once('@').ok_or_else(|| {
                 format!("fault `{part}`: expected KIND@TIME:REPLICA (e.g. `kill@500ms:1`)")
             })?;
-            let kind = match kind_s {
-                "kill" => FaultKind::Kill,
-                "restart" => FaultKind::Restart,
-                other => {
-                    return Err(format!(
-                        "fault `{part}`: unknown fault kind `{other}` (expected `kill` or `restart`)"
-                    ))
-                }
-            };
-            let (time_s, replica_s) = rest.split_once(':').ok_or_else(|| {
-                format!("fault `{part}`: expected KIND@TIME:REPLICA (e.g. `kill@500ms:1`)")
-            })?;
-            let at_ns = parse_time_ns(time_s).ok_or_else(|| {
+            let bad_time = |time_s: &str| {
                 format!(
                     "fault `{part}`: bad time `{time_s}` (expected an integer with an \
                      optional ns/us/ms/s suffix)"
                 )
-            })?;
-            let replica: usize = replica_s.parse().map_err(|_| {
+            };
+            let bad_replica = |replica_s: &str| {
                 format!("fault `{part}`: bad replica `{replica_s}` (expected a replica index)")
-            })?;
+            };
+            let time_replica = |shape: &str| {
+                let (time_s, replica_s) = rest
+                    .split_once(':')
+                    .ok_or_else(|| format!("fault `{part}`: expected {shape}"))?;
+                let at_ns = parse_time_ns(time_s).ok_or_else(|| bad_time(time_s))?;
+                Ok::<(u64, &str), String>((at_ns, replica_s))
+            };
+            let (at_ns, replica, kind) = match kind_s {
+                "kill" | "restart" | "leave" => {
+                    let (at_ns, replica_s) =
+                        time_replica(&format!("{kind_s}@TIME:REPLICA (e.g. `{kind_s}@500ms:1`)"))?;
+                    let replica: usize =
+                        replica_s.parse().map_err(|_| bad_replica(replica_s))?;
+                    let kind = match kind_s {
+                        "kill" => FaultKind::Kill,
+                        "restart" => FaultKind::Restart,
+                        _ => {
+                            if left.contains(&replica) {
+                                return Err(format!(
+                                    "fault `{part}`: replica {replica} already has a `leave` \
+                                     event (a replica can leave at most once)"
+                                ));
+                            }
+                            left.push(replica);
+                            FaultKind::Leave
+                        }
+                    };
+                    (at_ns, replica, kind)
+                }
+                "slow" => {
+                    let (at_ns, rest_s) =
+                        time_replica("slow@TIME:REPLICA:FACTOR (e.g. `slow@500ms:1:8`)")?;
+                    let (replica_s, factor_s) = rest_s.split_once(':').ok_or_else(|| {
+                        format!(
+                            "fault `{part}`: expected slow@TIME:REPLICA:FACTOR \
+                             (e.g. `slow@500ms:1:8`)"
+                        )
+                    })?;
+                    let replica: usize =
+                        replica_s.parse().map_err(|_| bad_replica(replica_s))?;
+                    let factor: u32 = factor_s.parse().ok().filter(|&f| f >= 1).ok_or_else(|| {
+                        format!(
+                            "fault `{part}`: bad slow factor `{factor_s}` (expected an \
+                             integer ≥ 1; 1 restores nominal speed)"
+                        )
+                    })?;
+                    (at_ns, replica, FaultKind::Slow { factor })
+                }
+                "join" => {
+                    if rest.contains(':') {
+                        return Err(format!(
+                            "fault `{part}`: expected join@TIME (a join always adds the next \
+                             replica index — it takes no replica argument)"
+                        ));
+                    }
+                    let at_ns = parse_time_ns(rest).ok_or_else(|| bad_time(rest))?;
+                    joins += 1;
+                    if joins > crate::router::MAX_REPLICAS {
+                        return Err(format!(
+                            "fault `{part}`: {joins} `join` events exceed the ring capacity \
+                             of {} replicas",
+                            crate::router::MAX_REPLICAS
+                        ));
+                    }
+                    (at_ns, usize::MAX, FaultKind::Join)
+                }
+                other => {
+                    return Err(format!(
+                        "fault `{part}`: unknown fault kind `{other}` (expected `kill`, \
+                         `restart`, `slow`, `join` or `leave`)"
+                    ))
+                }
+            };
             events.push(FaultEvent { at_ns, replica, kind });
         }
         Ok(FaultPlan::new(events))
+    }
+
+    /// Number of `join` (scale-out) events in the plan.
+    pub fn joins(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e.kind, FaultKind::Join)).count()
+    }
+
+    /// Checks the plan against a concrete cluster size: the base replica
+    /// count plus every scale-out join must fit the ring. The CLI calls
+    /// this before a run so the error points at the plan, not at a panic
+    /// deep in the simulator.
+    pub fn validate_for(&self, base_replicas: usize) -> Result<(), String> {
+        let joins = self.joins();
+        if base_replicas.saturating_add(joins) > crate::router::MAX_REPLICAS {
+            return Err(format!(
+                "fault plan: {base_replicas} base replicas + {joins} `join` events exceed \
+                 the ring capacity of {} replicas",
+                crate::router::MAX_REPLICAS
+            ));
+        }
+        Ok(())
     }
 
     /// A seeded random plan: `kills` kill events at uniform times in the
@@ -219,6 +332,16 @@ pub struct ClusterConfig {
     pub injector: Option<FaultInjector>,
     /// Real renders or synthetic hash payloads.
     pub payload: PayloadMode,
+    /// Failure detector (gray-failure suspicion scoring). Disabled by
+    /// default: routing is byte-identical to the pre-detector cluster.
+    pub health: HealthConfig,
+    /// Hedged-request policy. Disabled by default (`delay_ns ==
+    /// u64::MAX`): the disabled path reproduces pre-hedging digests
+    /// exactly.
+    pub hedge: HedgeConfig,
+    /// CoDel-style overload admission at the front door. Disabled by
+    /// default.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ClusterConfig {
@@ -232,6 +355,9 @@ impl Default for ClusterConfig {
             faults: FaultPlan::none(),
             injector: None,
             payload: PayloadMode::Render,
+            health: HealthConfig::default(),
+            hedge: HedgeConfig::disabled(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -245,79 +371,416 @@ pub struct ClusterReport {
     pub metrics: ClusterMetrics,
 }
 
+/// A replica's lifecycle in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Life {
+    /// Alive and (unless it left the ring) taking work.
+    Up,
+    /// Left the ring gracefully (`leave@T:R`): admits nothing new,
+    /// finishes everything in flight.
+    Draining,
+    /// Finished draining after a leave: idle, out of the ring.
+    Departed,
+    /// Crashed (fault-plan kill).
+    Down,
+}
+
+/// One request the hedging arbiter is tracking: where its live copies
+/// are and what its hedge status is. Exactly one terminal record is
+/// committed per tracked request, no matter how many copies raced.
+struct Tracked {
+    /// A clone of the admitted request, for hedge placement.
+    req: Request,
+    /// Replicas currently holding a live copy (one or two entries).
+    copies: Vec<usize>,
+    /// Whether any copy has started service — a started request is not
+    /// worth hedging, the work is already running.
+    started: bool,
+    /// Whether a hedge clone was placed (each request hedges at most
+    /// once; `hedged == hedge_won + hedge_wasted` is an invariant).
+    hedged: bool,
+    /// The hedge clone's replica, if placed.
+    clone_replica: Option<usize>,
+}
+
 /// The mutable cluster state the event loop advances.
 struct ClusterState<'c> {
     cfg: &'c ClusterConfig,
+    /// Real-clock origin requests' `submitted_at` instants are rendered
+    /// onto; never a measurement.
+    epoch: Instant,
     ring: HashRing,
     pipes: Vec<VirtualPipeline>,
-    alive: Vec<bool>,
+    life: Vec<Life>,
+    /// Whether each replica currently owns ring points (a leave removes
+    /// them, a restart-after-leave or join adds them back).
+    in_ring: Vec<bool>,
     routed: Vec<usize>,
     failed_over_out: Vec<usize>,
     failed_over_in: Vec<usize>,
     kills: Vec<usize>,
     restarts: Vec<usize>,
+    suspects: Vec<usize>,
     front_door_shed: usize,
+    overload_shed: usize,
+    hedged: usize,
+    hedge_won: usize,
+    hedge_wasted: usize,
+    joins: usize,
+    leaves: usize,
+    /// Replicas currently in `Life::Draining` (gates the drain check).
+    draining: usize,
+    health: HealthDetector,
+    codel: CoDelAdmission,
+    /// Whether pipelines emit [`PipeEvent`]s (any resilience feature on).
+    track: bool,
+    /// Whether hedging is on (implies `track`).
+    hedging: bool,
+    /// Hedge-arbitrated requests by id (`BTreeMap` so suspect-triggered
+    /// hedges fire in deterministic id order).
+    tracked: BTreeMap<u64, Tracked>,
+    /// Pending hedge timers `(due_ns, id)` — arrivals are monotone, so
+    /// this stays sorted by construction.
+    hedge_timers: VecDeque<(u64, u64)>,
     /// Index of the next unapplied fault in the sorted plan.
     next_fault: usize,
     /// Virtual time of the last event that touched a pipeline.
     last_event_ns: u64,
 }
 
+/// Builds one replica pipeline for `cfg` (cold cache, nominal speed).
+fn new_pipe(cfg: &ClusterConfig, track: bool) -> VirtualPipeline {
+    let mut pipe = VirtualPipeline::with_injector(
+        &cfg.server,
+        cfg.service.service_ns,
+        cfg.service.cold_start_ns,
+        true,
+        cfg.injector.or(cfg.server.injector),
+    );
+    pipe.set_per_item_ns(cfg.service.per_item_ns);
+    if track {
+        pipe.enable_event_tracking();
+    }
+    pipe
+}
+
 impl<'c> ClusterState<'c> {
-    /// Picks the replica for `req_key_hash` that is alive and under its
-    /// inflight bound, walking the ring clockwise.
-    fn pick(&self, key_hash: u64) -> Option<usize> {
-        let (alive, pipes, max) = (&self.alive, &self.pipes, self.cfg.max_inflight);
-        self.ring.route(key_hash, |r| alive[r] && pipes[r].inflight() < max)
+    /// Whether the front door may send work to replica `r` at all.
+    fn routable(&self, r: usize) -> bool {
+        self.life[r] == Life::Up && self.pipes[r].inflight() < self.cfg.max_inflight
+    }
+
+    /// Picks the replica for `key_hash`, walking the ring clockwise.
+    /// With the failure detector on this is a three-pass preference:
+    /// Healthy replicas first, then Suspect, then anything routable —
+    /// gray failures lose traffic without ever making the cluster
+    /// refuse work it could still do.
+    fn pick(&self, key_hash: u64, now: u64) -> Option<usize> {
+        if !self.health.enabled() {
+            return self.ring.route(key_hash, |r| self.routable(r));
+        }
+        self.ring
+            .route(key_hash, |r| {
+                self.routable(r) && self.health.state(r, now) == HealthState::Healthy
+            })
+            .or_else(|| {
+                self.ring.route(key_hash, |r| {
+                    self.routable(r) && self.health.state(r, now) < HealthState::Dead
+                })
+            })
+            .or_else(|| self.ring.route(key_hash, |r| self.routable(r)))
+    }
+
+    /// Picks a hedge target for `key_hash`: the same three-pass walk,
+    /// excluding the primary copy's replica.
+    fn pick_hedge(&self, key_hash: u64, now: u64, primary: usize) -> Option<usize> {
+        let ok = |r: usize| r != primary && self.routable(r);
+        if !self.health.enabled() {
+            return self.ring.route(key_hash, ok);
+        }
+        self.ring
+            .route(key_hash, |r| ok(r) && self.health.state(r, now) == HealthState::Healthy)
+            .or_else(|| {
+                self.ring
+                    .route(key_hash, |r| ok(r) && self.health.state(r, now) < HealthState::Dead)
+            })
+            .or_else(|| self.ring.route(key_hash, ok))
+    }
+
+    /// A tracked request's terminal happened outside any pipeline (front
+    /// door drop or lane-full reject on failover): close its book.
+    fn settle_terminal(&mut self, id: u64) {
+        if let Some(tr) = self.tracked.remove(&id) {
+            if tr.hedged {
+                self.hedge_wasted += 1;
+            }
+        }
     }
 
     /// Fails an orphaned request over to a surviving replica (or drops it
     /// at the front door). The request keeps its original arrival time
     /// and deadline: time lost on the dead replica stays on its clock.
     fn reroute(&mut self, req: Request, t: u64, from: usize) {
+        let id = req.id;
         let key_hash = HashRing::key_hash(&req.job.key());
-        match self.pick(key_hash) {
+        match self.pick(key_hash, t) {
             Some(r) => {
                 if self.pipes[r].admit_request(req, t) {
                     self.failed_over_in[r] += 1;
                     self.failed_over_out[from] += 1;
+                    if self.hedging {
+                        self.pipes[r].mark_hedged(id);
+                        if let Some(tr) = self.tracked.get_mut(&id) {
+                            tr.copies.retain(|&c| c != from);
+                            tr.copies.push(r);
+                        }
+                    }
+                } else if self.hedging {
+                    // A lane-full reject is counted by the target
+                    // pipeline's admission accounting — that is the
+                    // request's terminal.
+                    self.settle_terminal(id);
                 }
-                // A lane-full reject is already counted by the target
-                // pipeline's admission accounting.
+                // (Without hedging the reject is likewise already
+                // counted by the target pipeline.)
             }
-            None => self.front_door_shed += 1,
+            None => {
+                self.front_door_shed += 1;
+                if self.hedging {
+                    self.settle_terminal(id);
+                }
+            }
+        }
+    }
+
+    /// The last live copy of a tracked request shed or failed on replica
+    /// `r`: commit the terminal record there. While another copy is
+    /// live, a copy's loss records nothing — the survivor owns the
+    /// request.
+    fn settle_loss(&mut self, r: usize, id: u64, lane: usize, queue_ns: u64, failed: bool) {
+        let Some(tr) = self.tracked.get_mut(&id) else { return };
+        tr.copies.retain(|&c| c != r);
+        if !tr.copies.is_empty() {
+            return;
+        }
+        if failed {
+            self.pipes[r].fail_metrics.push(FailMetric { id, lane, queue_ns });
+        } else {
+            self.pipes[r].shed_metrics.push(ShedMetric { id, lane, queue_ns });
+        }
+        self.settle_terminal(id);
+    }
+
+    /// Drains replica `r`'s pipeline events at time `t`: feeds the CoDel
+    /// controller (queue delays at service start), arbitrates hedge
+    /// copies (first completion wins, losers are cancelled or
+    /// suppressed), and gives the failure detector its heartbeat
+    /// observation. Called after every fire/pump of `r`, so same-tick
+    /// races resolve in replica-index order — deterministically.
+    fn drain_events(&mut self, r: usize, t: u64) {
+        if !self.track {
+            return;
+        }
+        let events = self.pipes[r].take_events();
+        let mut progressed = false;
+        for ev in events {
+            match ev {
+                PipeEvent::Started { id, queue_ns } => {
+                    self.codel.observe(r, queue_ns, t);
+                    if let Some(tr) = self.tracked.get_mut(&id) {
+                        tr.started = true;
+                    }
+                }
+                PipeEvent::Completed { id } => {
+                    progressed = true;
+                    if let Some(tr) = self.tracked.remove(&id) {
+                        for &other in tr.copies.iter().filter(|&&c| c != r) {
+                            // The losing copy is pulled from its queue,
+                            // or suppressed if already in service.
+                            self.pipes[other].cancel(id);
+                        }
+                        if tr.hedged {
+                            if Some(r) == tr.clone_replica {
+                                self.hedge_won += 1;
+                            } else {
+                                self.hedge_wasted += 1;
+                            }
+                        }
+                    }
+                }
+                PipeEvent::Shed { id, lane, queue_ns } => {
+                    self.settle_loss(r, id, lane, queue_ns, false)
+                }
+                PipeEvent::Failed { id, lane, queue_ns } => {
+                    self.settle_loss(r, id, lane, queue_ns, true)
+                }
+            }
+        }
+        self.health.observe(r, self.pipes[r].is_busy(), progressed, t);
+    }
+
+    /// Places a hedge clone for `id` if it is still worth it (un-started,
+    /// un-hedged, single copy). Returns whether a clone was placed.
+    fn fire_hedge(&mut self, id: u64, t: u64) -> bool {
+        let Some(tr) = self.tracked.get(&id) else { return false };
+        if tr.started || tr.clone_replica.is_some() || tr.copies.len() != 1 {
+            return false;
+        }
+        let primary = tr.copies[0];
+        let key_hash = HashRing::key_hash(&tr.req.job.key());
+        let Some(r2) = self.pick_hedge(key_hash, t, primary) else { return false };
+        let req = tr.req.clone();
+        if !self.pipes[r2].admit_hedge(req, t) {
+            // No lane room on the alternate: the clone never existed.
+            return false;
+        }
+        self.pipes[r2].mark_hedged(id);
+        let tr = self.tracked.get_mut(&id).expect("still tracked");
+        tr.hedged = true;
+        tr.clone_replica = Some(r2);
+        tr.copies.push(r2);
+        self.hedged += 1;
+        self.last_event_ns = self.last_event_ns.max(t);
+        self.pipes[r2].pump(t);
+        self.drain_events(r2, t);
+        true
+    }
+
+    /// Hedges every pending un-started request whose only copy sits on
+    /// `r` — fired the instant the detector turns `r` Suspect, in id
+    /// order (deterministic by `BTreeMap` iteration).
+    fn hedge_suspect_replica(&mut self, r: usize, t: u64) {
+        let ids: Vec<u64> = self
+            .tracked
+            .iter()
+            .filter(|(_, tr)| {
+                !tr.started
+                    && tr.clone_replica.is_none()
+                    && tr.copies.len() == 1
+                    && tr.copies[0] == r
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            self.fire_hedge(id, t);
+        }
+    }
+
+    /// Re-scores every replica at `t`, counting `Healthy → Suspect`
+    /// crossings once and hedging the suspect's pending work.
+    fn refresh_health(&mut self, t: u64) {
+        if !self.health.enabled() {
+            return;
+        }
+        for r in 0..self.pipes.len() {
+            if let Some((old, new)) = self.health.refresh(r, t) {
+                if old == HealthState::Healthy && new >= HealthState::Suspect {
+                    self.suspects[r] += 1;
+                    if self.hedging {
+                        self.hedge_suspect_replica(r, t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Promotes drained leavers: a `Draining` replica with nothing
+    /// pending becomes `Departed`.
+    fn settle_drained(&mut self) {
+        if self.draining == 0 {
+            return;
+        }
+        for r in 0..self.pipes.len() {
+            if self.life[r] == Life::Draining && !self.pipes[r].has_pending() {
+                self.life[r] = Life::Departed;
+                self.draining -= 1;
+            }
         }
     }
 
     /// Applies one fault at its scheduled time.
     fn apply_fault(&mut self, ev: FaultEvent) {
+        if matches!(ev.kind, FaultKind::Join) {
+            // Scale-out: a brand-new replica at the next index, cold.
+            if self.pipes.len() >= crate::router::MAX_REPLICAS {
+                return;
+            }
+            let r = self.pipes.len();
+            self.pipes.push(new_pipe(self.cfg, self.track));
+            self.life.push(Life::Up);
+            self.in_ring.push(true);
+            self.routed.push(0);
+            self.failed_over_out.push(0);
+            self.failed_over_in.push(0);
+            self.kills.push(0);
+            self.restarts.push(0);
+            self.suspects.push(0);
+            self.ring.join(r).expect("index capacity checked above");
+            self.health.push_replica(ev.at_ns);
+            self.codel.push_replica();
+            self.joins += 1;
+            self.last_event_ns = self.last_event_ns.max(ev.at_ns);
+            return;
+        }
         let r = ev.replica;
         if r >= self.pipes.len() {
             return; // plan may name more replicas than the cluster has
         }
         match ev.kind {
-            FaultKind::Kill if self.alive[r] => {
-                self.alive[r] = false;
+            FaultKind::Kill if self.life[r] != Life::Down => {
+                if self.life[r] == Life::Draining {
+                    self.draining -= 1;
+                }
+                self.life[r] = Life::Down;
                 self.kills[r] += 1;
                 self.last_event_ns = self.last_event_ns.max(ev.at_ns);
                 for req in self.pipes[r].kill(ev.at_ns) {
+                    if self.hedging {
+                        if let Some(tr) = self.tracked.get_mut(&req.id) {
+                            if tr.copies.len() > 1 {
+                                // The other copy is live: this orphan
+                                // silently dies, no failover needed.
+                                tr.copies.retain(|&c| c != r);
+                                continue;
+                            }
+                        }
+                    }
                     self.reroute(req, ev.at_ns, r);
                 }
             }
-            FaultKind::Restart if !self.alive[r] => {
-                // The pipeline was reset at kill time; it comes back
-                // empty with a cold cache.
-                self.alive[r] = true;
+            FaultKind::Restart if matches!(self.life[r], Life::Down | Life::Departed) => {
+                // The pipeline was reset at kill time (or drained dry by
+                // a leave); it comes back empty with a cold cache, and
+                // rejoins the ring if it had left it.
+                self.life[r] = Life::Up;
                 self.restarts[r] += 1;
+                if !self.in_ring[r] {
+                    self.ring.join(r).expect("index was a member before");
+                    self.in_ring[r] = true;
+                }
+            }
+            FaultKind::Slow { factor } => {
+                self.pipes[r].set_slow_factor(factor);
+                self.last_event_ns = self.last_event_ns.max(ev.at_ns);
+            }
+            FaultKind::Leave if self.life[r] == Life::Up => {
+                self.life[r] = Life::Draining;
+                self.draining += 1;
+                self.leaves += 1;
+                self.last_event_ns = self.last_event_ns.max(ev.at_ns);
+                if self.in_ring[r] {
+                    self.ring.leave(r).expect("was a member");
+                    self.in_ring[r] = false;
+                }
             }
             _ => {} // kill of a dead replica / restart of a live one: no-op
         }
     }
 
-    /// Advances the cluster through every timer and fault up to `target`
-    /// (faults win ties — a crash at `t` beats a linger flush at `t`).
-    /// Returns the clock position (`target`, unless `target` is the
-    /// drain sentinel `u64::MAX`, in which case the last event time).
+    /// Advances the cluster through every timer, fault and hedge deadline
+    /// up to `target` (faults win ties, then pipeline timers, then hedge
+    /// timers). Returns the clock position (`target`, unless `target` is
+    /// the drain sentinel `u64::MAX`, in which case the last event time).
     fn process_until(&mut self, target: u64, now: u64) -> u64 {
         let mut now = now;
         loop {
@@ -334,9 +797,14 @@ impl<'c> ClusterState<'c> {
                 .get(self.next_fault)
                 .map(|e| e.at_ns)
                 .filter(|&t| t <= target);
-            let t = match (pipe_next, fault_next) {
-                (None, None) => break,
-                (a, b) => a.into_iter().chain(b).min().expect("one is Some"),
+            let hedge_next = self
+                .hedge_timers
+                .front()
+                .map(|&(due, _)| due)
+                .filter(|&t| t <= target);
+            let t = match [fault_next, pipe_next, hedge_next].into_iter().flatten().min() {
+                None => break,
+                Some(t) => t,
             };
             if fault_next == Some(t) {
                 now = now.max(t);
@@ -350,21 +818,43 @@ impl<'c> ClusterState<'c> {
                 // Failover re-admissions (and survivors) pump at the
                 // fault instant, in replica-index order.
                 for i in 0..self.pipes.len() {
-                    if self.alive[i] {
+                    if self.life[i] != Life::Down {
                         self.pipes[i].pump(t);
+                        self.drain_events(i, t);
                     }
                 }
-            } else {
+            } else if pipe_next == Some(t) {
                 // Fire this tick on every pipe that owns it, in index
-                // order; pipes never interact within one tick.
+                // order, draining events after each so a completion on a
+                // lower-index replica cancels its hedge twin before that
+                // twin's own tick runs — the tie-break is deterministic.
                 for i in 0..self.pipes.len() {
                     if self.pipes[i].next_event(now) == Some(t) {
                         self.pipes[i].fire(t);
+                        self.drain_events(i, t);
                     }
                 }
                 now = now.max(t);
                 self.last_event_ns = self.last_event_ns.max(t);
+            } else {
+                // Hedge timers due at t. A timer whose request already
+                // settled (or started) is a pure no-op and must not
+                // advance the clock — the drain would otherwise report
+                // wall time with no event behind it.
+                let mut acted = false;
+                while let Some(&(due, id)) = self.hedge_timers.front() {
+                    if due != t {
+                        break;
+                    }
+                    self.hedge_timers.pop_front();
+                    acted |= self.fire_hedge(id, t);
+                }
+                if acted {
+                    now = now.max(t);
+                }
             }
+            self.settle_drained();
+            self.refresh_health(now.max(t));
         }
         if target == u64::MAX {
             now
@@ -381,26 +871,34 @@ impl<'c> ClusterState<'c> {
 pub fn run_cluster(cfg: &ClusterConfig, jobs: &[TimedJob]) -> ClusterReport {
     cfg.server.sched.validate();
     let replicas = cfg.replicas.max(1);
+    let hedging = cfg.hedge.enabled();
+    let track = hedging || cfg.health.enabled || cfg.admission.enabled;
     let mut state = ClusterState {
+        epoch: Instant::now(),
         ring: HashRing::new(replicas, &cfg.router),
-        pipes: (0..replicas)
-            .map(|_| {
-                VirtualPipeline::with_injector(
-                    &cfg.server,
-                    cfg.service.service_ns,
-                    cfg.service.cold_start_ns,
-                    true,
-                    cfg.injector.or(cfg.server.injector),
-                )
-            })
-            .collect(),
-        alive: vec![true; replicas],
+        pipes: (0..replicas).map(|_| new_pipe(cfg, track)).collect(),
+        life: vec![Life::Up; replicas],
+        in_ring: vec![true; replicas],
         routed: vec![0; replicas],
         failed_over_out: vec![0; replicas],
         failed_over_in: vec![0; replicas],
         kills: vec![0; replicas],
         restarts: vec![0; replicas],
+        suspects: vec![0; replicas],
         front_door_shed: 0,
+        overload_shed: 0,
+        hedged: 0,
+        hedge_won: 0,
+        hedge_wasted: 0,
+        joins: 0,
+        leaves: 0,
+        draining: 0,
+        health: HealthDetector::new(cfg.health, replicas, cfg.service.service_ns),
+        codel: CoDelAdmission::new(cfg.admission, replicas),
+        track,
+        hedging,
+        tracked: BTreeMap::new(),
+        hedge_timers: VecDeque::new(),
         next_fault: 0,
         last_event_ns: 0,
         cfg,
@@ -412,22 +910,61 @@ pub fn run_cluster(cfg: &ClusterConfig, jobs: &[TimedJob]) -> ClusterReport {
         let at = now + tj.delay_before.as_nanos() as u64;
         now = state.process_until(at, now);
         state.last_event_ns = state.last_event_ns.max(at);
+        state.refresh_health(at);
         let key_hash = HashRing::key_hash(&tj.job.key());
-        match state.pick(key_hash) {
+        match state.pick(key_hash, at) {
             Some(r) => {
+                if state.codel.should_shed(r, tj.priority) {
+                    // Overload admission: shed Batch-class work early at
+                    // the front door instead of letting every class miss
+                    // its deadline behind a standing queue.
+                    state.front_door_shed += 1;
+                    state.overload_shed += 1;
+                    continue;
+                }
                 state.routed[r] += 1;
-                state.pipes[r].admit(id as u64, at, tj);
+                if hedging {
+                    let rid = id as u64;
+                    let req = Request {
+                        id: rid,
+                        submitted_at: state.epoch + Duration::from_nanos(at),
+                        priority: tj.priority,
+                        arrival_ns: at,
+                        deadline_ns: tj.deadline.map(|d| at + d.as_nanos() as u64),
+                        job: tj.job.clone(),
+                    };
+                    if state.pipes[r].admit_request(req.clone(), at) {
+                        state.pipes[r].mark_hedged(rid);
+                        state.tracked.insert(
+                            rid,
+                            Tracked {
+                                req,
+                                copies: vec![r],
+                                started: false,
+                                hedged: false,
+                                clone_replica: None,
+                            },
+                        );
+                        state
+                            .hedge_timers
+                            .push_back((at.saturating_add(cfg.hedge.delay_ns), rid));
+                    }
+                } else {
+                    state.pipes[r].admit(id as u64, at, tj);
+                }
                 state.pipes[r].pump(at);
+                state.drain_events(r, at);
             }
             None => state.front_door_shed += 1,
         }
     }
-    // Drain: remaining timers and faults, to quiescence.
+    // Drain: remaining timers, faults and hedge deadlines, to quiescence.
     let end = state.process_until(u64::MAX, now);
     let wall_ns = state.last_event_ns.max(end);
     for pipe in &mut state.pipes {
         pipe.finalize(wall_ns);
     }
+    debug_assert!(state.tracked.is_empty(), "every tracked request must settle by drain");
 
     // Decisions locked in — produce payloads. Per replica, fan the
     // decided batches out over `fnr_par`; thread width moves wall time
@@ -475,7 +1012,7 @@ pub fn run_cluster(cfg: &ClusterConfig, jobs: &[TimedJob]) -> ClusterReport {
         let (cache_hits, cache_misses) = pipe.cache_stats();
         replica_stats.push(ReplicaStats {
             replica: i,
-            alive: state.alive[i],
+            alive: state.life[i] != Life::Down,
             kills: state.kills[i],
             restarts: state.restarts[i],
             routed: state.routed[i],
@@ -484,16 +1021,28 @@ pub fn run_cluster(cfg: &ClusterConfig, jobs: &[TimedJob]) -> ClusterReport {
             cache_hits,
             cache_misses,
             busy_ns: pipe.busy_ns,
+            suspects: state.suspects[i],
+            slow_factor: pipe.slow_factor(),
+            departed: matches!(state.life[i], Life::Draining | Life::Departed),
             metrics,
         });
         all_responses.extend(responses);
     }
     all_responses.sort_unstable_by_key(|r| r.id);
     let digest = response_set_digest(&all_responses);
+    let front_door = FrontDoorTotals {
+        front_door_shed: state.front_door_shed,
+        overload_shed: state.overload_shed,
+        hedged: state.hedged,
+        hedge_won: state.hedge_won,
+        hedge_wasted: state.hedge_wasted,
+        joins: state.joins,
+        leaves: state.leaves,
+    };
     let metrics = ClusterMetrics::aggregate(
         replica_stats,
         jobs.len(),
-        state.front_door_shed,
+        front_door,
         wall_ns,
         workers,
         threads,
@@ -509,12 +1058,20 @@ pub fn run_cluster(cfg: &ClusterConfig, jobs: &[TimedJob]) -> ClusterReport {
         metrics.front_door_shed,
         metrics.submitted
     );
+    assert!(
+        metrics.hedged == metrics.hedge_won + metrics.hedge_wasted,
+        "hedge accounting violated: hedged {} != won {} + wasted {}",
+        metrics.hedged,
+        metrics.hedge_won,
+        metrics.hedge_wasted
+    );
     ClusterReport { responses: all_responses, metrics }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::router::MAX_REPLICAS;
     use crate::workload::{generate, ArrivalPattern, WorkloadSpec};
     use std::time::Duration;
 
@@ -555,7 +1112,13 @@ mod tests {
         assert!(FaultPlan::parse("kill@1ms:0,").expect("trailing comma ok").events().len() == 1);
         // Unknown op: the message names the bad kind and the alternatives.
         let e = FaultPlan::parse("explode@1s:0").unwrap_err();
-        assert!(e.contains("unknown fault kind `explode`") && e.contains("`kill` or `restart`"), "{e}");
+        assert!(
+            e.contains("unknown fault kind `explode`")
+                && ["`kill`", "`restart`", "`slow`", "`join`", "`leave`"]
+                    .iter()
+                    .all(|k| e.contains(k)),
+            "{e}"
+        );
         // Bad duration: the message names the bad time and the grammar.
         let e = FaultPlan::parse("kill@12parsecs:0").unwrap_err();
         assert!(e.contains("bad time `12parsecs`") && e.contains("ns/us/ms/s"), "{e}");
@@ -565,12 +1128,61 @@ mod tests {
         let e = FaultPlan::parse("kill").unwrap_err();
         assert!(e.contains("KIND@TIME:REPLICA") && e.contains("kill@500ms:1"), "{e}");
         let e = FaultPlan::parse("kill@1s").unwrap_err();
-        assert!(e.contains("KIND@TIME:REPLICA"), "{e}");
+        assert!(e.contains("kill@TIME:REPLICA"), "{e}");
         // Bad replica index.
         let e = FaultPlan::parse("kill@1s:minus-one").unwrap_err();
         assert!(e.contains("bad replica `minus-one`"), "{e}");
         // One bad element poisons the whole spec (no partial plans).
         assert!(FaultPlan::parse("kill@1ms:0,bogus").is_err());
+    }
+
+    #[test]
+    fn fault_plan_parses_resilience_verbs() {
+        let plan = FaultPlan::parse("slow@2ms:1:8,join@5ms,leave@9ms:0,slow@12ms:1:1")
+            .expect("valid resilience plan");
+        let kinds: Vec<FaultKind> = plan.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FaultKind::Slow { factor: 8 },
+                FaultKind::Join,
+                FaultKind::Leave,
+                FaultKind::Slow { factor: 1 },
+            ]
+        );
+        assert_eq!(plan.joins(), 1);
+        // A join carries no replica index — the event slot is a sentinel.
+        assert_eq!(plan.events()[1].replica, usize::MAX);
+        assert!(plan.validate_for(4).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_rejects_bad_resilience_specs_descriptively() {
+        // A slow factor must be an integer >= 1; the message says why 1
+        // is the floor.
+        let e = FaultPlan::parse("slow@1ms:0:0").unwrap_err();
+        assert!(e.contains("bad slow factor `0`") && e.contains("nominal speed"), "{e}");
+        let e = FaultPlan::parse("slow@1ms:0:fast").unwrap_err();
+        assert!(e.contains("bad slow factor `fast`"), "{e}");
+        // A truncated slow spec echoes the full three-field shape.
+        let e = FaultPlan::parse("slow@1ms:0").unwrap_err();
+        assert!(e.contains("slow@TIME:REPLICA:FACTOR"), "{e}");
+        // A replica can leave at most once.
+        let e = FaultPlan::parse("leave@1ms:2,leave@5ms:2").unwrap_err();
+        assert!(e.contains("replica 2 already has a `leave` event"), "{e}");
+        // A join takes no replica argument — the next index is implied.
+        let e = FaultPlan::parse("join@1ms:3").unwrap_err();
+        assert!(e.contains("join@TIME") && e.contains("no replica argument"), "{e}");
+        // More joins than the ring can ever hold fail at parse time...
+        let spec: Vec<String> = (0..=MAX_REPLICAS).map(|i| format!("join@{i}ms")).collect();
+        let e = FaultPlan::parse(&spec.join(",")).unwrap_err();
+        assert!(e.contains("exceed the ring capacity"), "{e}");
+        // ...and a plan that only overflows against a given base fleet
+        // fails validation with both terms of the sum named.
+        let plan = FaultPlan::parse("join@1ms,join@2ms").expect("two joins parse");
+        let e = plan.validate_for(MAX_REPLICAS - 1).unwrap_err();
+        assert!(e.contains("127 base replicas") && e.contains("2 `join` events"), "{e}");
+        assert!(plan.validate_for(MAX_REPLICAS - 2).is_ok());
     }
 
     #[test]
@@ -651,11 +1263,15 @@ mod tests {
     fn cold_start_cost_is_observable_in_service_times() {
         let jobs = generate(&spec(80, ArrivalPattern::Bursty));
         let cheap = ClusterConfig {
-            service: ClusterService { service_ns: 100_000, cold_start_ns: 0 },
+            service: ClusterService { service_ns: 100_000, per_item_ns: 0, cold_start_ns: 0 },
             ..synth_cfg(2)
         };
         let costly = ClusterConfig {
-            service: ClusterService { service_ns: 100_000, cold_start_ns: 50_000_000 },
+            service: ClusterService {
+                service_ns: 100_000,
+                per_item_ns: 0,
+                cold_start_ns: 50_000_000,
+            },
             ..synth_cfg(2)
         };
         let a = run_cluster(&cheap, &jobs);

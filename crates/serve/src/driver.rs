@@ -140,11 +140,15 @@ pub struct VirtualService {
     /// Virtual wall time one batch occupies one of the
     /// `ServerConfig::workers` virtual workers.
     pub service_ns: u64,
+    /// Size-aware cost: extra virtual time per batch member, so a fat
+    /// batch costs more than a singleton. Zero (the default) reproduces
+    /// the flat per-batch model exactly.
+    pub per_item_ns: u64,
 }
 
 impl Default for VirtualService {
     fn default() -> Self {
-        VirtualService { service_ns: 500_000 }
+        VirtualService { service_ns: 500_000, per_item_ns: 0 }
     }
 }
 
@@ -187,6 +191,7 @@ pub fn run_virtual_with_faults(
 ) -> ServeReport {
     cfg.sched.validate();
     let mut pipe = VirtualPipeline::with_injector(cfg, service.service_ns, 0, false, injector);
+    pipe.set_per_item_ns(service.per_item_ns);
     let mut now = 0u64;
     for (id, tj) in jobs.iter().enumerate() {
         let at = now + tj.delay_before.as_nanos() as u64;
@@ -322,7 +327,7 @@ mod tests {
             ..tiny_spec(60)
         });
         let cfg = ServerConfig { workers: 1, ..ServerConfig::default() };
-        let service = VirtualService { service_ns: 3_000_000 };
+        let service = VirtualService { service_ns: 3_000_000, per_item_ns: 0 };
         let a = run_virtual(&cfg, &jobs, service);
         let b = run_virtual(&cfg, &jobs, service);
         assert!(a.metrics.shed > 0, "saturation must shed: {:?}", a.metrics.shed);
@@ -363,7 +368,7 @@ mod tests {
             .flat_map(|i| Priority::ALL.map(|p| class_job(p, i)))
             .collect();
         let cfg = ServerConfig { workers: 1, queue_capacity: 256, ..ServerConfig::default() };
-        let report = run_virtual(&cfg, &jobs, VirtualService { service_ns: 2_000_000 });
+        let report = run_virtual(&cfg, &jobs, VirtualService { service_ns: 2_000_000, per_item_ns: 0 });
         assert_eq!(report.responses.len(), 72);
         // Deterministic order statistic over the fixed log-4 buckets:
         // higher score = more mass in slower buckets.
@@ -415,7 +420,7 @@ mod tests {
             max_batch: 1,
             ..ServerConfig::default()
         };
-        let report = run_virtual(&cfg, &jobs, VirtualService { service_ns: 10_000_000 });
+        let report = run_virtual(&cfg, &jobs, VirtualService { service_ns: 10_000_000, per_item_ns: 0 });
         assert!(report.metrics.rejected > 0, "overflow must reject");
         assert_eq!(
             report.metrics.requests + report.metrics.rejected + report.metrics.shed,

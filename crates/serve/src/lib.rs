@@ -57,6 +57,7 @@ mod batch;
 pub mod cluster;
 mod driver;
 pub mod fault;
+pub mod health;
 mod metrics;
 mod request;
 pub mod router;
@@ -79,9 +80,12 @@ pub use fault::{
     degrade_precision, BreakerConfig, BreakerState, Brownout, BrownoutConfig, CircuitBreaker,
     FaultInjector, InjectedFault, RetryPolicy,
 };
+pub use health::{
+    AdmissionConfig, CoDelAdmission, HealthConfig, HealthDetector, HealthState, HedgeConfig,
+};
 pub use metrics::{
-    BatchMetric, ClusterMetrics, DegradeMetric, FailMetric, LaneAccounting, LaneStats,
-    LatencyHistogram, NsStats, ReplicaStats, RequestMetric, RobustTotals, ServeMetrics,
+    BatchMetric, ClusterMetrics, DegradeMetric, FailMetric, FrontDoorTotals, LaneAccounting,
+    LaneStats, LatencyHistogram, NsStats, ReplicaStats, RequestMetric, RobustTotals, ServeMetrics,
     ShedMetric, LATENCY_BUCKETS, LATENCY_EDGES_NS,
 };
 pub use request::{

@@ -545,9 +545,44 @@ pub struct ReplicaStats {
     pub cache_misses: u64,
     /// Virtual time this replica's workers spent serving batches.
     pub busy_ns: u64,
+    /// Times the failure detector marked this replica Suspect (a
+    /// `Healthy → Suspect` crossing, counted once per crossing).
+    pub suspects: usize,
+    /// Gray-failure service-time multiplier in effect when the run ended
+    /// (1 = nominal; set by `slow@T:R:F` fault events).
+    pub slow_factor: u64,
+    /// Whether the replica left the ring gracefully (`leave@T:R`) and
+    /// finished draining before the run ended.
+    pub departed: bool,
     /// The replica's own single-server aggregate (lane counters, queue
     /// histograms, digest over the responses it served).
     pub metrics: ServeMetrics,
+}
+
+/// The counters only the cluster front door (router + hedging + admission
+/// control) knows — bundled so [`ClusterMetrics::aggregate`] stays
+/// readable as the layer grows.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrontDoorTotals {
+    /// Requests dropped at the front door for any reason (no routable
+    /// replica, or overload admission). Includes `overload_shed`.
+    pub front_door_shed: usize,
+    /// The CoDel-admission subset of `front_door_shed`: Batch-class
+    /// arrivals shed because the target replica was in its dropping
+    /// state.
+    pub overload_shed: usize,
+    /// Requests that got a hedge copy placed on a second replica.
+    pub hedged: usize,
+    /// Hedged requests whose *hedge* copy completed first.
+    pub hedge_won: usize,
+    /// Hedged requests where the hedge copy lost (primary won, or the
+    /// request terminated non-served). `hedged == hedge_won +
+    /// hedge_wasted` always.
+    pub hedge_wasted: usize,
+    /// Replicas added by `join@T` scale-out events.
+    pub joins: usize,
+    /// Replicas drained by `leave@T:R` scale-in events.
+    pub leaves: usize,
 }
 
 /// Aggregate metrics for one cluster simulation run: cluster-wide totals
@@ -565,10 +600,25 @@ pub struct ClusterMetrics {
     /// Requests shed by replica schedulers (deadline passed while
     /// queued), summed over replicas.
     pub shed: usize,
-    /// Requests the front door dropped because no alive replica with
+    /// Requests the front door dropped: no routable replica with
     /// inflight headroom existed (fresh submissions and failover
-    /// re-admissions alike).
+    /// re-admissions alike), or CoDel overload admission shed the
+    /// arrival. Superset of `overload_shed`.
     pub front_door_shed: usize,
+    /// The CoDel overload-admission subset of `front_door_shed`.
+    pub overload_shed: usize,
+    /// Requests that got a hedge copy placed on a second replica.
+    pub hedged: usize,
+    /// Hedged requests whose hedge copy completed first.
+    pub hedge_won: usize,
+    /// Hedged requests whose hedge copy lost or was wasted.
+    pub hedge_wasted: usize,
+    /// Replicas added by scale-out (`join@T`) events.
+    pub joins: usize,
+    /// Replicas drained by scale-in (`leave@T:R`) events.
+    pub leaves: usize,
+    /// `Healthy → Suspect` detector crossings, summed over replicas.
+    pub suspects: usize,
     /// Served requests that finished past their deadline, summed over
     /// replicas.
     pub expired: usize,
@@ -603,7 +653,7 @@ impl ClusterMetrics {
     pub fn aggregate(
         replicas: Vec<ReplicaStats>,
         submitted: usize,
-        front_door_shed: usize,
+        front_door: FrontDoorTotals,
         wall_ns: u64,
         workers_per_replica: usize,
         threads: usize,
@@ -617,7 +667,14 @@ impl ClusterMetrics {
             submitted,
             served: replicas.iter().map(|r| r.metrics.requests).sum(),
             shed: replicas.iter().map(|r| r.metrics.shed).sum(),
-            front_door_shed,
+            front_door_shed: front_door.front_door_shed,
+            overload_shed: front_door.overload_shed,
+            hedged: front_door.hedged,
+            hedge_won: front_door.hedge_won,
+            hedge_wasted: front_door.hedge_wasted,
+            joins: front_door.joins,
+            leaves: front_door.leaves,
+            suspects: replicas.iter().map(|r| r.suspects).sum(),
             expired: replicas.iter().map(|r| r.metrics.expired).sum(),
             rejected: replicas.iter().map(|r| r.metrics.rejected).sum(),
             failed: replicas.iter().map(|r| r.metrics.failed).sum(),
@@ -644,14 +701,17 @@ impl ClusterMetrics {
             == self.submitted
     }
 
-    /// Renders the `flexnerfer-cluster-bench/2` JSON record (hand-rolled
+    /// Renders the `flexnerfer-cluster-bench/3` JSON record (hand-rolled
     /// like the serve/repro records: every value is a number or a string
-    /// this crate controls). Schema `/2` adds the `failed` totals (and the
-    /// per-lane `failed`/`degraded` counters inherited from the serve
-    /// lanes array).
+    /// this crate controls). Schema `/3` adds the resilience-layer totals
+    /// (`overload_shed`, `hedged`/`hedge_won`/`hedge_wasted`, `joins`,
+    /// `leaves`, `suspects`) and per-replica `suspects`/`slow_factor`/
+    /// `departed`; `/2` added the `failed` totals (and the per-lane
+    /// `failed`/`degraded` counters inherited from the serve lanes
+    /// array).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"flexnerfer-cluster-bench/2\",\n");
+        out.push_str("  \"schema\": \"flexnerfer-cluster-bench/3\",\n");
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"replicas\": {},\n", self.replicas.len()));
         out.push_str(&format!("  \"workers_per_replica\": {},\n", self.workers_per_replica));
@@ -659,12 +719,20 @@ impl ClusterMetrics {
         out.push_str(&format!("  \"served\": {},\n", self.served));
         out.push_str(&format!("  \"shed\": {},\n", self.shed));
         out.push_str(&format!("  \"front_door_shed\": {},\n", self.front_door_shed));
+        out.push_str(&format!("  \"overload_shed\": {},\n", self.overload_shed));
         out.push_str(&format!("  \"expired\": {},\n", self.expired));
         out.push_str(&format!("  \"rejected\": {},\n", self.rejected));
         out.push_str(&format!("  \"failed\": {},\n", self.failed));
         out.push_str(&format!("  \"failed_over\": {},\n", self.failed_over));
+        out.push_str(&format!(
+            "  \"hedging\": {{ \"hedged\": {}, \"won\": {}, \"wasted\": {} }},\n",
+            self.hedged, self.hedge_won, self.hedge_wasted
+        ));
         out.push_str(&format!("  \"kills\": {},\n", self.kills));
         out.push_str(&format!("  \"restarts\": {},\n", self.restarts));
+        out.push_str(&format!("  \"joins\": {},\n", self.joins));
+        out.push_str(&format!("  \"leaves\": {},\n", self.leaves));
+        out.push_str(&format!("  \"suspects\": {},\n", self.suspects));
         out.push_str("  \"replica_stats\": [\n");
         for (i, r) in self.replicas.iter().enumerate() {
             let m = &r.metrics;
@@ -679,7 +747,8 @@ impl ClusterMetrics {
                 r.busy_ns as f64 / self.wall_ns as f64
             };
             out.push_str(&format!(
-                "    {{ \"replica\": {}, \"alive\": {}, \"kills\": {}, \"restarts\": {}, \
+                "    {{ \"replica\": {}, \"alive\": {}, \"departed\": {}, \"kills\": {}, \
+                 \"restarts\": {}, \"suspects\": {}, \"slow_factor\": {}, \
                  \"routed\": {}, \"failed_over_out\": {}, \"failed_over_in\": {}, \
                  \"served\": {}, \"shed\": {}, \"expired\": {}, \"rejected\": {}, \
                  \"failed\": {}, \
@@ -687,8 +756,11 @@ impl ClusterMetrics {
                  \"utilization\": {:.4}, \"digest\": \"{:#018x}\",\n",
                 r.replica,
                 r.alive,
+                r.departed,
                 r.kills,
                 r.restarts,
+                r.suspects,
+                r.slow_factor,
                 r.routed,
                 r.failed_over_out,
                 r.failed_over_in,

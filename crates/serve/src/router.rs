@@ -41,12 +41,20 @@ fn mix(mut z: u64) -> u64 {
 
 /// The consistent-hash ring: sorted vnode positions, each owned by a
 /// replica. Supports at most [`MAX_REPLICAS`] replicas (the route walk
-/// tracks visited replicas in a `u128` mask).
+/// tracks visited replicas in a `u128` mask). Membership is dynamic:
+/// [`HashRing::join`] and [`HashRing::leave`] add and remove a replica's
+/// vnodes after construction — because every vnode position is a pure
+/// function of `(seed, replica, vnode)`, a post-construction join is
+/// byte-identical to having built the ring with that replica from the
+/// start, which is what keeps remap minimal.
 #[derive(Debug, Clone)]
 pub struct HashRing {
     /// `(position, replica)` sorted by position.
     points: Vec<(u64, u32)>,
-    replicas: usize,
+    /// Ring shape, kept so joins can mint the newcomer's vnode positions.
+    cfg: RouterConfig,
+    /// Bitmask of member replica indices (one bit per replica).
+    members: u128,
 }
 
 /// The most replicas a ring supports: the route walk tracks visited
@@ -81,24 +89,68 @@ impl HashRing {
                  (the route walk's visited mask holds {MAX_REPLICAS} replicas)"
             ));
         }
-        let vnodes = cfg.vnodes.max(1);
-        let mut points = Vec::with_capacity(replicas * vnodes);
+        let mut points = Vec::with_capacity(replicas * cfg.vnodes.max(1));
         for r in 0..replicas as u64 {
-            for v in 0..vnodes as u64 {
-                // Position depends only on (seed, replica, vnode) — never
-                // on `replicas` — which is what makes remap minimal when
-                // the replica set changes.
-                let pos = mix(cfg.seed ^ mix(r << 32 | v));
-                points.push((pos, r as u32));
-            }
+            points.extend(Self::points_of(r as usize, cfg));
         }
         points.sort_unstable();
-        Ok(HashRing { points, replicas })
+        let members = if replicas == MAX_REPLICAS { u128::MAX } else { (1u128 << replicas) - 1 };
+        Ok(HashRing { points, cfg: *cfg, members })
     }
 
-    /// Number of replicas the ring was built over.
+    /// The vnode positions replica `r` owns — a pure function of
+    /// `(seed, r, vnode)`, never of the member set.
+    fn points_of(r: usize, cfg: &RouterConfig) -> impl Iterator<Item = (u64, u32)> + '_ {
+        let r = r as u64;
+        (0..cfg.vnodes.max(1) as u64).map(move |v| {
+            // Position depends only on (seed, replica, vnode) — never
+            // on the member set — which is what makes remap minimal when
+            // the replica set changes.
+            (mix(cfg.seed ^ mix(r << 32 | v)), r as u32)
+        })
+    }
+
+    /// Number of member replicas currently on the ring.
     pub fn replicas(&self) -> usize {
-        self.replicas
+        self.members.count_ones() as usize
+    }
+
+    /// Whether replica `r` is currently a ring member.
+    pub fn is_member(&self, r: usize) -> bool {
+        r < MAX_REPLICAS && self.members & (1u128 << r) != 0
+    }
+
+    /// Adds replica `r` to the ring (scale-out): its vnodes take exactly
+    /// the key ranges they would own in a freshly built ring — no key
+    /// moves between pre-existing members (pinned by
+    /// `tests/cluster_properties.rs`). Errors if `r` is out of range or
+    /// already a member.
+    pub fn join(&mut self, r: usize) -> Result<(), String> {
+        if r >= MAX_REPLICAS {
+            return Err(format!(
+                "replica {r} is out of range (the ring supports indices 0..{MAX_REPLICAS})"
+            ));
+        }
+        if self.is_member(r) {
+            return Err(format!("replica {r} is already a ring member"));
+        }
+        self.members |= 1u128 << r;
+        self.points.extend(Self::points_of(r, &self.cfg));
+        self.points.sort_unstable();
+        Ok(())
+    }
+
+    /// Removes replica `r` from the ring (graceful leave): only the keys
+    /// `r` owned remap, each to the member that owned it before `r`
+    /// existed. Errors if `r` is not a member. Leaving the last member is
+    /// allowed — an empty ring routes nothing.
+    pub fn leave(&mut self, r: usize) -> Result<(), String> {
+        if !self.is_member(r) {
+            return Err(format!("replica {r} is not a ring member"));
+        }
+        self.members &= !(1u128 << r);
+        self.points.retain(|&(_, p)| p as usize != r);
+        Ok(())
     }
 
     /// The ring position of a coalescing key.
@@ -129,7 +181,7 @@ impl HashRing {
             if accept(r as usize) {
                 return Some(r as usize);
             }
-            if tried.count_ones() as usize == self.replicas {
+            if tried.count_ones() == self.members.count_ones() {
                 break;
             }
         }
@@ -171,6 +223,43 @@ mod tests {
             e.contains("129 replicas") && e.contains("maximum of 128"),
             "the error must name both the offending and the supported count: {e}"
         );
+    }
+
+    #[test]
+    fn join_equals_construction_and_leave_inverts_it() {
+        let cfg = RouterConfig { vnodes: 32, seed: 5 };
+        let built = HashRing::new(5, &cfg);
+        let mut grown = HashRing::new(4, &cfg);
+        grown.join(4).expect("new index joins");
+        assert_eq!(grown.replicas(), 5);
+        let keys: Vec<u64> =
+            (0..500).map(|i| HashRing::key_hash(&BatchKey::Table(format!("t{i}")))).collect();
+        assert!(
+            keys.iter().all(|&k| grown.owner(k) == built.owner(k)),
+            "a post-construction join must be byte-identical to building with the replica"
+        );
+        grown.leave(4).expect("member leaves");
+        let small = HashRing::new(4, &cfg);
+        assert!(keys.iter().all(|&k| grown.owner(k) == small.owner(k)));
+        assert!(!grown.is_member(4) && grown.is_member(3));
+    }
+
+    #[test]
+    fn join_and_leave_validate_membership() {
+        let mut ring = HashRing::new(2, &RouterConfig::default());
+        let e = ring.join(1).unwrap_err();
+        assert!(e.contains("already a ring member"), "{e}");
+        let e = ring.join(MAX_REPLICAS).unwrap_err();
+        assert!(e.contains("out of range"), "{e}");
+        let e = ring.leave(7).unwrap_err();
+        assert!(e.contains("not a ring member"), "{e}");
+        ring.leave(0).expect("member leaves");
+        ring.leave(1).expect("last member may leave");
+        assert_eq!(ring.replicas(), 0);
+        let k = HashRing::key_hash(&BatchKey::Table("t".into()));
+        assert_eq!(ring.route(k, |_| true), None, "an empty ring routes nothing");
+        ring.join(1).expect("rejoin");
+        assert_eq!(ring.route(k, |_| true), Some(1));
     }
 
     #[test]

@@ -40,6 +40,40 @@ struct Running {
     service_ns: u64,
 }
 
+/// One externally visible pipeline event, emitted (only when event
+/// tracking is on — cluster mode) at the instant it happens, in event
+/// order. The cluster layer drains these after every fire/pump to feed
+/// the failure detector (completions are the heartbeat), the CoDel
+/// admission controller (queue delays at service start) and the hedging
+/// arbiter (who started/completed/lost first).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum PipeEvent {
+    /// A virtual worker took the request's batch after `queue_ns` waiting.
+    Started { id: u64, queue_ns: u64 },
+    /// The request's batch completed service (it will be served).
+    Completed { id: u64 },
+    /// A hedge-tracked request was shed by the scheduler; the terminal
+    /// record is deferred to the cluster arbiter (only emitted for ids
+    /// marked via [`VirtualPipeline::mark_hedged`]).
+    Shed { id: u64, lane: usize, queue_ns: u64 },
+    /// A hedge-tracked request was failed by the chaos injector; the
+    /// terminal record is deferred to the cluster arbiter.
+    Failed { id: u64, lane: usize, queue_ns: u64 },
+}
+
+/// What [`VirtualPipeline::cancel`] found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CancelOutcome {
+    /// The copy was still queued (lane, batcher, stalled or batch queue)
+    /// and has been removed without a trace.
+    Queued,
+    /// The copy is in service on a virtual worker: it will finish, but
+    /// its completion is suppressed — no metric, no response.
+    InService,
+    /// No live copy with that id exists here.
+    NotFound,
+}
+
 /// The modeled per-replica model cache: which `(scene, precision)` render
 /// keys are warm, plus cumulative hit/miss counters. A cold key stretches
 /// its first batch by the configured cold-start cost (quantize, calibrate,
@@ -61,6 +95,13 @@ pub(crate) struct VirtualPipeline {
     batch_q_cap: usize,
     batcher_cfg: BatcherConfig,
     service_ns: u64,
+    /// Size-aware service: extra virtual time per batch member, so a fat
+    /// batch costs more than a singleton and overload is a function of
+    /// batch composition. Zero (the default) reproduces the flat model.
+    per_item_ns: u64,
+    /// Gray-failure injection: every batch's virtual service time is
+    /// multiplied by this (the `slow@T:R:F` fault). 1 = nominal speed.
+    slow_factor: u64,
     cold_start_ns: u64,
     cache: Option<ModelCache>,
     /// Seeded chaos: a poisoned request fails the moment a worker would
@@ -81,6 +122,19 @@ pub(crate) struct VirtualPipeline {
     /// Requests admitted and not yet terminal (served, shed, or orphaned
     /// by a kill) — the router's per-replica admission-control gauge.
     inflight: usize,
+    /// Whether to emit [`PipeEvent`]s (cluster mode with health, hedging
+    /// or admission control on). Off by default: the single-server
+    /// harness and the plain cluster pay nothing.
+    track_events: bool,
+    /// Events since the last [`VirtualPipeline::take_events`].
+    events: Vec<PipeEvent>,
+    /// Ids whose terminal outcomes are arbitrated by the cluster hedging
+    /// layer: sheds/failures are emitted as events instead of recorded,
+    /// completions are recorded *and* emitted (first completion wins).
+    hedged: HashSet<u64>,
+    /// Losing hedge copies currently in service: their completion is
+    /// dropped — no request metric, no response, the work was wasted.
+    suppressed: HashSet<u64>,
     pub(crate) decided: Vec<Batch>,
     pub(crate) request_metrics: Vec<RequestMetric>,
     pub(crate) batch_metrics: Vec<BatchMetric>,
@@ -114,6 +168,8 @@ impl VirtualPipeline {
             batch_q_cap: workers * 2,
             batcher_cfg,
             service_ns: service_ns.max(1),
+            per_item_ns: 0,
+            slow_factor: 1,
             cold_start_ns,
             cache: with_cache.then(|| ModelCache {
                 warm: HashSet::new(),
@@ -128,6 +184,10 @@ impl VirtualPipeline {
             batch_q: VecDeque::new(),
             workers: (0..workers).map(|_| VWorker { free_at: 0, running: None }).collect(),
             inflight: 0,
+            track_events: false,
+            events: Vec::new(),
+            hedged: HashSet::new(),
+            suppressed: HashSet::new(),
             decided: Vec::new(),
             request_metrics: Vec::new(),
             batch_metrics: Vec::new(),
@@ -147,6 +207,88 @@ impl VirtualPipeline {
     /// Requests admitted and not yet terminal.
     pub(crate) fn inflight(&self) -> usize {
         self.inflight
+    }
+
+    /// Sets the size-aware per-member service cost.
+    pub(crate) fn set_per_item_ns(&mut self, per_item_ns: u64) {
+        self.per_item_ns = per_item_ns;
+    }
+
+    /// Sets the gray-failure service-time multiplier (`slow@T:R:F`);
+    /// factor 1 restores nominal speed. Batches already in service keep
+    /// their committed completion time — only future takes slow down.
+    pub(crate) fn set_slow_factor(&mut self, factor: u32) {
+        self.slow_factor = u64::from(factor).max(1);
+    }
+
+    /// The current gray-failure multiplier.
+    pub(crate) fn slow_factor(&self) -> u64 {
+        self.slow_factor
+    }
+
+    /// Turns on [`PipeEvent`] emission (cluster resilience mode).
+    pub(crate) fn enable_event_tracking(&mut self) {
+        self.track_events = true;
+    }
+
+    /// Drains the events emitted since the last call, in event order.
+    pub(crate) fn take_events(&mut self) -> Vec<PipeEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Marks `id` as hedge-arbitrated: its shed/failure is deferred to
+    /// the cluster (emitted as an event), its completion is emitted too.
+    pub(crate) fn mark_hedged(&mut self, id: u64) {
+        self.hedged.insert(id);
+    }
+
+    /// Whether any virtual worker is in service right now (the failure
+    /// detector only expects progress from a busy replica).
+    pub(crate) fn is_busy(&self) -> bool {
+        self.workers.iter().any(|w| w.running.is_some())
+    }
+
+    /// Cancels the live copy of `id`, wherever it sits: removed outright
+    /// if still queued, suppressed (completes without a trace) if already
+    /// in service. The hedging layer calls this on the losing copy the
+    /// instant the winning copy completes.
+    pub(crate) fn cancel(&mut self, id: u64) -> CancelOutcome {
+        self.hedged.remove(&id);
+        for lane in &mut self.vlanes {
+            if let Some(pos) = lane.iter().position(|r| r.id == id) {
+                lane.remove(pos);
+                self.inflight -= 1;
+                return CancelOutcome::Queued;
+            }
+        }
+        if self.batcher.remove(id).is_some() {
+            self.inflight -= 1;
+            return CancelOutcome::Queued;
+        }
+        fn pull(q: &mut VecDeque<Batch>, id: u64) -> bool {
+            for bi in 0..q.len() {
+                if let Some(ri) = q[bi].requests.iter().position(|r| r.id == id) {
+                    q[bi].requests.remove(ri);
+                    if q[bi].requests.is_empty() {
+                        q.remove(bi);
+                    }
+                    return true;
+                }
+            }
+            false
+        }
+        if pull(&mut self.stalled, id) || pull(&mut self.batch_q, id) {
+            self.inflight -= 1;
+            return CancelOutcome::Queued;
+        }
+        let in_service = self.workers.iter().any(|w| {
+            w.running.as_ref().is_some_and(|run| run.batch.requests.iter().any(|r| r.id == id))
+        });
+        if in_service {
+            self.suppressed.insert(id);
+            return CancelOutcome::InService;
+        }
+        CancelOutcome::NotFound
     }
 
     /// Cumulative `(hits, misses)` of the modeled model cache (zeros when
@@ -181,6 +323,21 @@ impl VirtualPipeline {
             self.rejected[lane] += 1;
             return false;
         }
+        self.vlanes[lane].push_back(req);
+        self.inflight += 1;
+        true
+    }
+
+    /// Admits a hedge clone at virtual time `at` **without** counting a
+    /// rejection on failure: a clone that finds no lane room simply never
+    /// existed (the primary copy still owns the request), so it must not
+    /// perturb the conservation law.
+    pub(crate) fn admit_hedge(&mut self, req: Request, at: u64) -> bool {
+        let lane = self.sched_cfg.lane_of(req.priority);
+        if self.caps[lane] == 0 || self.vlanes[lane].len() >= self.caps[lane] {
+            return false;
+        }
+        self.wall_ns = self.wall_ns.max(at);
         self.vlanes[lane].push_back(req);
         self.inflight += 1;
         true
@@ -236,48 +393,66 @@ impl VirtualPipeline {
         for w in &mut self.workers {
             if w.free_at <= now {
                 if let Some(run) = w.running.take() {
+                    let full_size = run.batch.requests.len();
                     self.batch_metrics.push(BatchMetric {
                         key: run.batch.key.clone(),
-                        size: run.batch.requests.len(),
+                        size: full_size,
                         service_ns: run.service_ns,
                         flush: run.batch.flush,
                     });
-                    for req in &run.batch.requests {
+                    let mut batch = run.batch;
+                    if !self.suppressed.is_empty() {
+                        // Losing hedge copies finish without a trace: the
+                        // winner already carries the request's record.
+                        let suppressed = &mut self.suppressed;
+                        batch.requests.retain(|req| !suppressed.remove(&req.id));
+                    }
+                    for req in &batch.requests {
                         self.request_metrics.push(RequestMetric {
                             id: req.id,
                             lane: self.sched_cfg.lane_of(req.priority),
                             queue_ns: run.start_ns - req.arrival_ns,
                             service_ns: run.service_ns,
-                            batch_size: run.batch.requests.len(),
+                            batch_size: full_size,
                             deadline_missed: req
                                 .deadline_ns
                                 .is_some_and(|d| run.start_ns + run.service_ns >= d),
                         });
+                        if self.track_events {
+                            self.hedged.remove(&req.id);
+                            self.events.push(PipeEvent::Completed { id: req.id });
+                        }
                     }
                     self.busy_ns += run.service_ns;
-                    self.inflight -= run.batch.requests.len();
-                    self.decided.push(run.batch);
+                    self.inflight -= full_size;
+                    if !batch.requests.is_empty() {
+                        self.decided.push(batch);
+                    }
                 }
             }
         }
     }
 
     /// The virtual service time of `batch`: the flat per-batch cost, plus
-    /// the cold-start cost when the modeled cache misses on a render key
-    /// (table batches carry no model and never pay it).
+    /// the size-aware per-member cost, plus the cold-start cost when the
+    /// modeled cache misses on a render key (table batches carry no model
+    /// and never pay it) — all stretched by the gray-failure slow factor.
+    /// Chaos-injected delays are added by the caller, unscaled.
     fn service_for(&mut self, batch: &Batch) -> u64 {
-        let mut svc = self.service_ns;
+        let mut svc = self
+            .service_ns
+            .saturating_add(self.per_item_ns.saturating_mul(batch.requests.len() as u64));
         if let Some(cache) = &mut self.cache {
             if matches!(batch.key, BatchKey::Render(..)) {
                 if cache.warm.insert(batch.key.clone()) {
                     cache.misses += 1;
-                    svc += self.cold_start_ns;
+                    svc = svc.saturating_add(self.cold_start_ns);
                 } else {
                     cache.hits += 1;
                 }
             }
         }
-        svc
+        svc.saturating_mul(self.slow_factor)
     }
 
     /// Applies the chaos injector to a batch a worker is about to take:
@@ -293,11 +468,15 @@ impl VirtualPipeline {
         for req in batch.requests.drain(..) {
             match inj.decide(&req.job) {
                 Some(InjectedFault::Panic) => {
-                    self.fail_metrics.push(FailMetric {
-                        id: req.id,
-                        lane: self.sched_cfg.lane_of(req.priority),
-                        queue_ns: now - req.arrival_ns,
-                    });
+                    let lane = self.sched_cfg.lane_of(req.priority);
+                    let queue_ns = now - req.arrival_ns;
+                    if self.track_events && self.hedged.remove(&req.id) {
+                        // A hedge-arbitrated id: the cluster decides which
+                        // copy's terminal outcome counts.
+                        self.events.push(PipeEvent::Failed { id: req.id, lane, queue_ns });
+                    } else if !self.suppressed.remove(&req.id) {
+                        self.fail_metrics.push(FailMetric { id: req.id, lane, queue_ns });
+                    }
                     self.inflight -= 1;
                 }
                 Some(InjectedFault::Delay(d)) => {
@@ -336,6 +515,14 @@ impl VirtualPipeline {
                             }
                         };
                         let service_ns = self.service_for(&batch) + delay_ns;
+                        if self.track_events {
+                            for req in &batch.requests {
+                                self.events.push(PipeEvent::Started {
+                                    id: req.id,
+                                    queue_ns: now - req.arrival_ns,
+                                });
+                            }
+                        }
                         self.workers[wi].free_at = now + service_ns;
                         self.workers[wi].running =
                             Some(Running { batch, start_ns: now, service_ns });
@@ -360,11 +547,14 @@ impl VirtualPipeline {
                         progress = true;
                     }
                     Some(SchedStep::Shed { lane, req }) => {
-                        self.shed_metrics.push(ShedMetric {
-                            id: req.id,
-                            lane,
-                            queue_ns: now - req.arrival_ns,
-                        });
+                        let queue_ns = now - req.arrival_ns;
+                        if self.track_events && self.hedged.remove(&req.id) {
+                            // Hedge-arbitrated: the cluster commits the
+                            // shed only if no other copy survives.
+                            self.events.push(PipeEvent::Shed { id: req.id, lane, queue_ns });
+                        } else {
+                            self.shed_metrics.push(ShedMetric { id: req.id, lane, queue_ns });
+                        }
                         self.inflight -= 1;
                         progress = true;
                     }
@@ -437,6 +627,13 @@ impl VirtualPipeline {
             }
             w.free_at = 0;
         }
+        if !self.suppressed.is_empty() {
+            // A losing hedge copy orphaned by the crash stays a loser:
+            // the winner already carries the request, so it just vanishes.
+            let suppressed = &mut self.suppressed;
+            orphans.retain(|r| !suppressed.remove(&r.id));
+        }
+        self.hedged.clear();
         orphans.sort_unstable_by_key(|r| r.id);
         self.sched = LaneScheduler::new(&self.sched_cfg);
         self.batcher = Batcher::new(self.batcher_cfg);

@@ -13,7 +13,9 @@ use std::time::Duration;
 
 use fnr_par::width_test_guard as width_guard;
 use fnr_serve::workload::{generate, ArrivalPattern, WorkloadSpec};
-use fnr_serve::{run_cluster, ClusterConfig, ClusterReport, FaultPlan, PayloadMode};
+use fnr_serve::{
+    run_cluster, ClusterConfig, ClusterReport, FaultPlan, HealthConfig, HedgeConfig, PayloadMode,
+};
 
 fn chaos_spec(requests: usize, seed: u64, pattern: ArrivalPattern) -> WorkloadSpec {
     WorkloadSpec {
@@ -44,30 +46,42 @@ fn chaos_cfg(replicas: usize, faults: FaultPlan) -> ClusterConfig {
 fn cluster_fingerprint(r: &ClusterReport) -> String {
     let m = &r.metrics;
     let mut out = format!(
-        "digest={:#018x} submitted={} served={} shed={} front={} expired={} rejected={} \
-         failed_over={} kills={} restarts={} wall={} hist={:?}\n",
+        "digest={:#018x} submitted={} served={} shed={} front={} overload={} expired={} \
+         rejected={} failed_over={} kills={} restarts={} hedged={} won={} wasted={} \
+         joins={} leaves={} suspects={} wall={} hist={:?}\n",
         m.digest,
         m.submitted,
         m.served,
         m.shed,
         m.front_door_shed,
+        m.overload_shed,
         m.expired,
         m.rejected,
         m.failed_over,
         m.kills,
         m.restarts,
+        m.hedged,
+        m.hedge_won,
+        m.hedge_wasted,
+        m.joins,
+        m.leaves,
+        m.suspects,
         m.wall_ns,
         m.latency_hist.counts()
     );
     for rep in &m.replicas {
         out.push_str(&format!(
-            "replica {} alive={} kills={} restarts={} routed={} fo_in={} fo_out={} \
+            "replica {} alive={} departed={} kills={} restarts={} suspects={} slow={} \
+             routed={} fo_in={} fo_out={} \
              cache={}/{} busy={} served={} shed={} expired={} rejected={} digest={:#018x} \
              hist={:?}\n",
             rep.replica,
             rep.alive,
+            rep.departed,
             rep.kills,
             rep.restarts,
+            rep.suspects,
+            rep.slow_factor,
             rep.routed,
             rep.failed_over_in,
             rep.failed_over_out,
@@ -196,6 +210,90 @@ fn degradation_is_monotone_in_fault_count() {
 }
 
 #[test]
+fn hedged_chaos_replays_identically_at_any_width() {
+    // The full resilience stack on at once — health detector, hedging,
+    // and a membership-churning fault plan (gray slowdown, join, leave,
+    // kill). Hedge arbitration races (two copies of one request in
+    // flight) must still resolve in deterministic event order, so the
+    // serial and parallel replays agree byte-for-byte, including the
+    // hedge counters and every response payload.
+    let _g = width_guard();
+    let mut saw_hedge = false;
+    for seed in [7u64, 19, 41] {
+        let spec = chaos_spec(900, seed, ArrivalPattern::FlashCrowd);
+        let jobs = generate(&spec);
+        let faults =
+            FaultPlan::parse("slow@2ms:1:8,join@6ms,leave@10ms:2,kill@14ms:0").expect("valid");
+        let cfg = ClusterConfig {
+            health: HealthConfig { enabled: true, ..HealthConfig::default() },
+            hedge: HedgeConfig { delay_ns: 300_000 },
+            ..chaos_cfg(4, faults)
+        };
+
+        fnr_par::set_num_threads(1);
+        let serial = run_cluster(&cfg, &jobs);
+        fnr_par::set_num_threads(4);
+        let parallel = run_cluster(&cfg, &jobs);
+        fnr_par::set_num_threads(1);
+
+        assert_eq!(
+            cluster_fingerprint(&serial),
+            cluster_fingerprint(&parallel),
+            "seed {seed}: hedged cluster replay moved with FNR_THREADS"
+        );
+        assert_eq!(serial.responses.len(), parallel.responses.len());
+        for (a, b) in serial.responses.iter().zip(&parallel.responses) {
+            assert_eq!(a.id, b.id, "response order moved with width");
+            assert_eq!(a.bytes, b.bytes, "payload of request {} moved with width", a.id);
+        }
+        let m = &serial.metrics;
+        assert!(m.conserves_submitted(), "seed {seed}: hedging broke conservation");
+        assert_eq!(
+            m.hedged,
+            m.hedge_won + m.hedge_wasted,
+            "seed {seed}: a hedge clone neither won nor was cancelled"
+        );
+        assert_eq!(m.joins, 1);
+        assert_eq!(m.leaves, 1);
+        saw_hedge |= m.hedged > 0;
+    }
+    assert!(saw_hedge, "no seed fired a hedge — the hedged chaos suite isn't hedging");
+}
+
+#[test]
+fn huge_hedge_delay_reproduces_the_unhedged_cluster_run() {
+    // Hedging with a delay beyond the horizon arms the whole tracking
+    // machinery (every request marked, a timer queued per request) but
+    // never clones anything: the timers fire as no-ops after their
+    // requests settle. That run must be indistinguishable from the
+    // hedge-disabled run — same fingerprint, same wall clock (no-op
+    // timers must not advance the drain clock), zero hedge counters —
+    // so turning the feature off reproduces the pre-resilience digests.
+    let _g = width_guard();
+    fnr_par::set_num_threads(2);
+    let spec = chaos_spec(800, 29, ArrivalPattern::Bursty);
+    let jobs = generate(&spec);
+    let faults = || FaultPlan::parse("kill@4ms:1,restart@9ms:1").expect("valid");
+    let plain = run_cluster(&chaos_cfg(4, faults()), &jobs);
+    let hedged_off = ClusterConfig {
+        hedge: HedgeConfig { delay_ns: u64::MAX / 4 },
+        ..chaos_cfg(4, faults())
+    };
+    let armed = run_cluster(&hedged_off, &jobs);
+    fnr_par::set_num_threads(1);
+    assert_eq!(armed.metrics.hedged, 0, "a beyond-horizon hedge delay still cloned a request");
+    assert_eq!(
+        cluster_fingerprint(&plain),
+        cluster_fingerprint(&armed),
+        "arming hedge tracking without firing a hedge perturbed the run"
+    );
+    assert_eq!(plain.responses.len(), armed.responses.len());
+    for (a, b) in plain.responses.iter().zip(&armed.responses) {
+        assert_eq!((a.id, &a.bytes), (b.id, &b.bytes));
+    }
+}
+
+#[test]
 fn cluster_json_schema_has_required_fields_and_exact_hist_merge() {
     let _g = width_guard();
     fnr_par::set_num_threads(1);
@@ -205,7 +303,7 @@ fn cluster_json_schema_has_required_fields_and_exact_hist_merge() {
     let report = run_cluster(&chaos_cfg(3, faults), &jobs);
     let j = report.metrics.to_json();
     for field in [
-        "\"schema\": \"flexnerfer-cluster-bench/2\"",
+        "\"schema\": \"flexnerfer-cluster-bench/3\"",
         "\"threads\": ",
         "\"replicas\": 3",
         "\"workers_per_replica\": ",
@@ -213,6 +311,13 @@ fn cluster_json_schema_has_required_fields_and_exact_hist_merge() {
         "\"served\": ",
         "\"shed\": ",
         "\"front_door_shed\": ",
+        "\"overload_shed\": ",
+        "\"hedging\": { \"hedged\": ",
+        "\"won\": ",
+        "\"wasted\": ",
+        "\"joins\": ",
+        "\"leaves\": ",
+        "\"suspects\": ",
         "\"expired\": ",
         "\"rejected\": ",
         "\"failed\": ",
@@ -220,6 +325,8 @@ fn cluster_json_schema_has_required_fields_and_exact_hist_merge() {
         "\"kills\": 1",
         "\"restarts\": 1",
         "\"replica_stats\": [",
+        "\"departed\": false",
+        "\"slow_factor\": 1",
         "\"cache\": { \"hits\": ",
         "\"hit_ratio\": ",
         "\"utilization\": ",

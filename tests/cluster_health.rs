@@ -1,0 +1,284 @@
+//! Property and behavior suite for the cluster's gray-failure
+//! resilience stack (`fnr_serve::health` + the cluster wiring):
+//!
+//! * the failure detector's suspicion score is monotone in missed
+//!   progress and collapses to zero the instant a replica completes
+//!   a batch (phi-accrual shape),
+//! * hedges never fire for healthy, on-time replicas — the hedge timer
+//!   is a deadline on *starting service*, not a random tax,
+//! * a gray-slow replica's tail latency is monotone in its slowdown
+//!   factor, and hedging claws most of that tail back,
+//! * CoDel admission sheds Batch-class work under sustained overload
+//!   while the conservation law keeps balancing to the request,
+//! * join/leave membership events scale the fleet out and in without
+//!   losing a request.
+//!
+//! Everything runs on the virtual clock, so every property replays
+//! deterministically; width flips hold `fnr_par::width_test_guard`.
+
+use std::time::Duration;
+
+use fnr_par::width_test_guard as width_guard;
+use fnr_serve::workload::{generate, ArrivalPattern, WorkloadSpec};
+use fnr_serve::{
+    run_cluster, AdmissionConfig, ClusterConfig, ClusterMetrics, FaultPlan, HealthConfig,
+    HealthDetector, HealthState, HedgeConfig, PayloadMode,
+};
+use proptest::prelude::*;
+
+fn health_spec(requests: usize, seed: u64, pattern: ArrivalPattern, gap_us: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        requests,
+        seed,
+        pattern,
+        table_names: fnr_bench::serving::table_names(),
+        mean_gap: Duration::from_micros(gap_us),
+        priority_mix: [0.3, 0.4, 0.3],
+        deadline: None,
+        ..WorkloadSpec::default()
+    }
+}
+
+fn resilient_cfg(replicas: usize, faults: FaultPlan) -> ClusterConfig {
+    ClusterConfig {
+        replicas,
+        max_inflight: 4096,
+        faults,
+        payload: PayloadMode::Synthetic,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Nearest-rank p99 read off the fixed-bucket latency histogram,
+/// reported as a bucket ordinal — coarse, but exactly monotone in the
+/// underlying latencies, which is all the monotonicity properties need.
+fn p99_bucket(m: &ClusterMetrics) -> usize {
+    let counts = m.latency_hist.counts();
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = total - total / 100;
+    let mut seen = 0u64;
+    for (b, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return b;
+        }
+    }
+    counts.len() - 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Phi-accrual shape, rising edge: while a replica is busy and not
+    /// completing, its suspicion score never decreases as virtual time
+    /// passes, and far enough past its expected pace it degrades through
+    /// Suspect to gray-Dead (in that order — Dead implies the Suspect
+    /// threshold was crossed first because the score is monotone).
+    #[test]
+    fn prop_suspicion_is_monotone_in_missed_progress(
+        gap in 1_000u64..1_000_000,
+        steps in 2usize..60,
+    ) {
+        let cfg = HealthConfig { enabled: true, baseline_gap_ns: gap, ..HealthConfig::default() };
+        let mut det = HealthDetector::new(cfg, 1, 0);
+        det.observe(0, true, false, 0); // goes busy: the progress clock arms here
+        let mut last = det.score_milli(0, 0);
+        let mut last_state = det.state(0, 0);
+        for i in 1..=steps as u64 {
+            let t = i.saturating_mul(gap);
+            let score = det.score_milli(0, t);
+            prop_assert!(score >= last, "suspicion fell from {last} to {score} with no progress");
+            let state = det.state(0, t);
+            prop_assert!(state >= last_state, "state improved with no progress");
+            last = score;
+            last_state = state;
+        }
+        // 100x the expected gap is unambiguously past both thresholds.
+        prop_assert_eq!(det.state(0, gap.saturating_mul(100)), HealthState::Dead);
+        // An idle replica owes no progress: going idle clears suspicion
+        // no matter how stale the last completion is.
+        det.observe(0, false, false, gap.saturating_mul(100));
+        prop_assert_eq!(det.score_milli(0, gap.saturating_mul(200)), 0);
+        prop_assert_eq!(det.state(0, gap.saturating_mul(200)), HealthState::Healthy);
+    }
+
+    /// Phi-accrual shape, falling edge: one completion heartbeat resets
+    /// the score to zero and returns a Suspect replica to Healthy, and
+    /// the EWMA absorbs the long observed gap so the replica is judged
+    /// against its *actual* pace afterwards (a legitimately slow service
+    /// model is not forever Suspect).
+    #[test]
+    fn prop_detector_recovers_after_progress(gap in 1_000u64..1_000_000) {
+        let cfg = HealthConfig { enabled: true, baseline_gap_ns: gap, ..HealthConfig::default() };
+        let mut det = HealthDetector::new(cfg, 1, 0);
+        det.observe(0, true, false, 0);
+        let stalled = gap.saturating_mul(10); // score 10_000: Suspect, not yet Dead
+        prop_assert_eq!(det.state(0, stalled), HealthState::Suspect);
+        det.observe(0, true, true, stalled); // the heartbeat: a batch completed
+        prop_assert_eq!(det.score_milli(0, stalled), 0);
+        prop_assert_eq!(det.state(0, stalled), HealthState::Healthy);
+        // The smoothed gap widened toward the observed 10x gap, so one
+        // more nominal gap of silence stays comfortably Healthy.
+        prop_assert_eq!(det.state(0, stalled + gap), HealthState::Healthy);
+    }
+}
+
+#[test]
+fn hedges_never_fire_for_healthy_on_time_replicas() {
+    // Light, steady load on a fault-free fleet: every request starts
+    // service long before the hedge delay elapses and no replica ever
+    // misses its pace, so arming the detector and the hedge policy must
+    // clone nothing and suspect no one.
+    let _g = width_guard();
+    fnr_par::set_num_threads(1);
+    for seed in [3u64, 17, 51] {
+        let spec = health_spec(400, seed, ArrivalPattern::Uniform, 2_000);
+        let jobs = generate(&spec);
+        let cfg = ClusterConfig {
+            // "On time" is judged against a pace that covers the 2ms
+            // cold-start a model's first batch legitimately pays.
+            health: HealthConfig {
+                enabled: true,
+                baseline_gap_ns: 4_000_000,
+                ..HealthConfig::default()
+            },
+            hedge: HedgeConfig { delay_ns: 50_000_000 },
+            ..resilient_cfg(4, FaultPlan::none())
+        };
+        let m = run_cluster(&cfg, &jobs).metrics;
+        assert!(m.conserves_submitted());
+        assert_eq!(m.hedged, 0, "seed {seed}: hedged a request on a healthy, on-time fleet");
+        assert_eq!(m.suspects, 0, "seed {seed}: suspected a replica that was keeping pace");
+        assert_eq!(m.served, m.submitted, "seed {seed}: light fault-free load lost a request");
+    }
+}
+
+#[test]
+fn slow_replica_p99_is_monotone_in_slowdown_factor() {
+    // One replica turns gray at 1ms with factor F, detector and hedging
+    // off: the cluster's p99 (as a histogram bucket ordinal) must not
+    // improve as F grows, and the extreme factor must visibly hurt the
+    // tail versus the fault-free run.
+    let _g = width_guard();
+    fnr_par::set_num_threads(1);
+    let spec = health_spec(800, 23, ArrivalPattern::FlashCrowd, 25);
+    let jobs = generate(&spec);
+    let mut tail = Vec::new();
+    for factor in [1u32, 4, 16, 64] {
+        let faults = FaultPlan::parse(&format!("slow@1ms:1:{factor}")).expect("valid");
+        let m = run_cluster(&resilient_cfg(4, faults), &jobs).metrics;
+        assert!(m.conserves_submitted(), "factor {factor} broke conservation");
+        tail.push(p99_bucket(&m));
+    }
+    for w in tail.windows(2) {
+        assert!(w[1] >= w[0], "p99 improved as the slowdown factor grew: {tail:?}");
+    }
+    assert!(
+        tail[3] > tail[0],
+        "a 64x gray slowdown left the p99 bucket unchanged: {tail:?}"
+    );
+}
+
+#[test]
+fn hedging_claws_back_the_gray_replica_tail() {
+    // The headline resilience property: with one replica slowed 8x,
+    // hedging + the detector pull the p99 back toward (within one
+    // histogram bucket of) the fault-free run, and strictly below the
+    // unhedged gray run when the gray tail is visible at all.
+    let _g = width_guard();
+    fnr_par::set_num_threads(1);
+    let spec = health_spec(800, 23, ArrivalPattern::FlashCrowd, 25);
+    let jobs = generate(&spec);
+    let slow = || FaultPlan::parse("slow@1ms:1:8").expect("valid");
+    let baseline = run_cluster(&resilient_cfg(4, FaultPlan::none()), &jobs).metrics;
+    let unhedged = run_cluster(&resilient_cfg(4, slow()), &jobs).metrics;
+    let hedged_cfg = ClusterConfig {
+        health: HealthConfig { enabled: true, ..HealthConfig::default() },
+        hedge: HedgeConfig { delay_ns: 2_000_000 },
+        ..resilient_cfg(4, slow())
+    };
+    let hedged = run_cluster(&hedged_cfg, &jobs).metrics;
+    assert!(hedged.conserves_submitted());
+    assert!(hedged.hedged > 0, "an 8x gray replica fired no hedges");
+    assert_eq!(hedged.hedged, hedged.hedge_won + hedged.hedge_wasted);
+    let (b, u, h) = (p99_bucket(&baseline), p99_bucket(&unhedged), p99_bucket(&hedged));
+    assert!(u >= b, "slowing a replica improved the p99 bucket ({u} < {b})");
+    assert!(
+        h <= b + 1,
+        "hedged p99 bucket {h} is not within one bucket of fault-free {b} (unhedged: {u})"
+    );
+    if u > b {
+        assert!(h < u, "hedging failed to improve the gray tail ({h} vs unhedged {u})");
+    }
+}
+
+#[test]
+fn codel_sheds_batch_class_under_sustained_overload() {
+    // Arrivals far above fleet capacity with CoDel armed: the controller
+    // observes the standing queue at service start and sheds Batch-class
+    // work at the front door. `overload_shed` is a sub-bucket of
+    // `front_door_shed`, so conservation still balances exactly.
+    let _g = width_guard();
+    fnr_par::set_num_threads(1);
+    let spec = WorkloadSpec {
+        priority_mix: [0.2, 0.2, 0.6],
+        ..health_spec(1_200, 41, ArrivalPattern::FlashCrowd, 10)
+    };
+    let jobs = generate(&spec);
+    let cfg = ClusterConfig {
+        admission: AdmissionConfig {
+            enabled: true,
+            target_ns: 500_000,
+            interval_ns: 2_000_000,
+        },
+        // Size-aware service: fat coalesced batches cost real time, so
+        // the overload builds a standing queue instead of being absorbed
+        // by flat-cost batching.
+        service: fnr_serve::ClusterService { per_item_ns: 200_000, ..Default::default() },
+        ..resilient_cfg(2, FaultPlan::none())
+    };
+    let m = run_cluster(&cfg, &jobs).metrics;
+    assert!(m.conserves_submitted());
+    assert!(m.overload_shed > 0, "sustained 25x overload never tripped CoDel admission");
+    assert!(
+        m.overload_shed <= m.front_door_shed,
+        "overload_shed {} exceeds front_door_shed {}",
+        m.overload_shed,
+        m.front_door_shed
+    );
+    // CoDel only ever drops Batch-class arrivals; it can't have shed
+    // more than the schedule's Batch population.
+    let batch_submitted = jobs
+        .iter()
+        .filter(|j| j.priority == fnr_serve::Priority::Batch)
+        .count();
+    assert!(m.overload_shed <= batch_submitted);
+}
+
+#[test]
+fn join_and_leave_scale_the_fleet_without_losing_requests() {
+    // Scale-out mid-run, then drain a founding replica: the joiner must
+    // actually take traffic, the leaver must finish its in-flight work
+    // and depart, and every request still terminates exactly once.
+    let _g = width_guard();
+    fnr_par::set_num_threads(1);
+    let spec = health_spec(900, 7, ArrivalPattern::Bursty, 25);
+    let jobs = generate(&spec);
+    let faults = FaultPlan::parse("join@4ms,leave@12ms:0").expect("valid");
+    let m = run_cluster(&resilient_cfg(3, faults), &jobs).metrics;
+    assert!(m.conserves_submitted());
+    assert_eq!(m.joins, 1);
+    assert_eq!(m.leaves, 1);
+    assert_eq!(m.replicas.len(), 4, "the joiner never materialized");
+    let joiner = &m.replicas[3];
+    assert!(joiner.routed > 0, "the joined replica took no traffic");
+    assert!(!joiner.departed);
+    let leaver = &m.replicas[0];
+    assert!(leaver.departed, "the drained replica is not marked departed");
+    assert!(leaver.alive, "a graceful leave is not a crash");
+    assert_eq!(m.kills, 0);
+    assert_eq!(m.served + m.shed + m.rejected + m.failed + m.front_door_shed, m.submitted);
+}

@@ -105,6 +105,64 @@ proptest! {
         );
     }
 
+    /// Post-construction `join` remaps at most a bounded slice of the
+    /// key space: the newcomer takes ~1/(n+1) of the keys, only ever
+    /// *from* existing replicas *to* itself, and never more than twice
+    /// its fair share. This is the live scale-out path (the `join@T`
+    /// fault verb), not a rebuilt ring.
+    #[test]
+    fn prop_live_join_moves_less_than_twice_fair_share(seed in 0u64..500, replicas in 2usize..11) {
+        let cfg = RouterConfig { vnodes: 48, seed };
+        let before = HashRing::new(replicas, &cfg);
+        let mut after = HashRing::new(replicas, &cfg);
+        after.join(replicas).expect("join next index");
+        prop_assert_eq!(after.replicas(), replicas + 1);
+        prop_assert!(after.is_member(replicas));
+        let keys = key_population(2_000);
+        let mut moved = 0usize;
+        for &k in &keys {
+            let (old, new) = (before.owner(k), after.owner(k));
+            if old != new {
+                prop_assert_eq!(new, replicas, "live join moved a key between old replicas");
+                moved += 1;
+            }
+        }
+        prop_assert!(moved > 0, "joined replica received no keys");
+        prop_assert!(
+            moved < 2 * keys.len() / (replicas + 1),
+            "live join moved {} of {} keys — more than twice the 1/{} fair share",
+            moved, keys.len(), replicas + 1
+        );
+    }
+
+    /// Post-construction `leave` strands nothing and disturbs no one:
+    /// survivors keep every key they owned, the departed replica owns
+    /// nothing, and a subsequent `join` of the same index restores the
+    /// original ownership exactly (leave/join are inverses because ring
+    /// points are a pure function of `(seed, replica, vnode)`).
+    #[test]
+    fn prop_live_leave_then_rejoin_restores_ownership(seed in 0u64..500, replicas in 3usize..12, gone in 0usize..12) {
+        let gone = gone % replicas;
+        let cfg = RouterConfig { vnodes: 48, seed };
+        let intact = HashRing::new(replicas, &cfg);
+        let mut churned = HashRing::new(replicas, &cfg);
+        churned.leave(gone).expect("leave member");
+        prop_assert!(!churned.is_member(gone));
+        let keys = key_population(1_000);
+        for &k in &keys {
+            let home = intact.owner(k);
+            let exiled = churned.owner(k);
+            prop_assert_ne!(exiled, gone, "departed replica still owns a key");
+            if home != gone {
+                prop_assert_eq!(exiled, home, "a survivor's key moved on another replica's leave");
+            }
+        }
+        churned.join(gone).expect("rejoin");
+        for &k in &keys {
+            prop_assert_eq!(churned.owner(k), intact.owner(k), "rejoin failed to restore ownership");
+        }
+    }
+
     /// Scene-affinity stability under churn: a kill + restart cycle (a
     /// replica leaving and re-joining the accept set) returns every key
     /// to its original owner, and while the replica is down its keys

@@ -179,7 +179,7 @@ fn virtual_clock_scheduling_is_byte_identical_at_any_width() {
         tables: fnr_bench::serving::table_registry(),
         ..ServerConfig::default()
     };
-    let service = VirtualService { service_ns: 1_500_000 };
+    let service = VirtualService { service_ns: 1_500_000, per_item_ns: 0 };
 
     fnr_par::set_num_threads(1);
     let serial = run_virtual(&cfg, &jobs, service);
@@ -230,13 +230,13 @@ fn single_replica_cluster_reproduces_run_virtual() {
     };
     let service_ns = 1_200_000;
 
-    let direct = run_virtual(&cfg, &jobs, VirtualService { service_ns });
+    let direct = run_virtual(&cfg, &jobs, VirtualService { service_ns, per_item_ns: 0 });
     let cluster = run_cluster(
         &ClusterConfig {
             replicas: 1,
             server: cfg,
             max_inflight: usize::MAX,
-            service: ClusterService { service_ns, cold_start_ns: 0 },
+            service: ClusterService { service_ns, per_item_ns: 0, cold_start_ns: 0 },
             faults: FaultPlan::none(),
             payload: PayloadMode::Render,
             ..ClusterConfig::default()

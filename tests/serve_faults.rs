@@ -134,7 +134,7 @@ fn chaos_digest_is_width_invariant_and_agrees_between_live_and_virtual() {
         .collect();
     let expected = response_set_digest(&survivors);
 
-    let service = VirtualService { service_ns: 200_000 };
+    let service = VirtualService { service_ns: 200_000, per_item_ns: 0 };
     fnr_par::set_num_threads(1);
     let serial = run_virtual_with_faults(&cfg, &jobs, service, cfg.injector);
     fnr_par::set_num_threads(4);
