@@ -27,6 +27,13 @@
 //! `--priority-mix I,S,B`, `--deadline-us U`, `--service-us U` (virtual
 //! batch service time), `--json PATH`, `--expect-coalescing`.
 //!
+//! Streaming: `--chunks K` splits each render at admission into a fixed
+//! row-band partition of up to K independently scheduled chunks; the
+//! response-set digest is invariant in K (CI diffs `--chunks 8` against
+//! `--chunks 1` byte for byte), and the report gains a `first-chunk
+//! latency:` line. `--expect-streaming` exits 1 unless the run actually
+//! produced more chunks than whole responses.
+//!
 //! Robustness knobs: `--faults-live "panic=10,delay=30:150us,seed=7"`
 //! seeds a chaos injector (per-mille panic/delay rolls keyed by job
 //! hash — the same poisoned set live and virtual), `--retry N` allows N
@@ -48,13 +55,13 @@
 //! U µs (first completion wins, losers cancelled), `--codel-target-us` /
 //! `--codel-interval-us` arm CoDel-style overload admission that sheds
 //! Batch-class arrivals at the front door. The `cluster ` / `replica rN:`
-//! / `response digest:` lines and the `flexnerfer-cluster-bench/3` JSON
+//! / `response digest:` lines and the `flexnerfer-cluster-bench/4` JSON
 //! are all byte-deterministic at any `FNR_THREADS` — CI's cluster legs
 //! diff them.
 
 use std::time::Duration;
 
-use fnr_serve::workload::{generate, ArrivalPattern, WorkloadSpec};
+use fnr_serve::workload::{generate, total_chunks, ArrivalPattern, WorkloadSpec};
 use fnr_serve::{
     run_closed_loop_thinking, run_cluster, run_open_loop, run_virtual_with_faults,
     AdmissionConfig, BrownoutConfig, ClusterConfig, ClusterService, FaultInjector, FaultPlan,
@@ -98,6 +105,8 @@ struct Args {
     health: bool,
     codel_target_us: Option<u64>,
     codel_interval_us: Option<u64>,
+    chunks: usize,
+    expect_streaming: bool,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -160,6 +169,8 @@ fn parse_args() -> Args {
         health: false,
         codel_target_us: None,
         codel_interval_us: None,
+        chunks: 1,
+        expect_streaming: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -276,6 +287,8 @@ fn parse_args() -> Args {
                 args.codel_interval_us =
                     Some(parse_num(&operand(&mut i, "--codel-interval-us")) as u64)
             }
+            "--chunks" => args.chunks = parse_num(&operand(&mut i, "--chunks")).max(1),
+            "--expect-streaming" => args.expect_streaming = true,
             other => usage(&format!("unknown flag `{other}`")),
         }
         i += 1;
@@ -300,7 +313,8 @@ fn usage(msg: &str) -> ! {
          [--max-inflight N] [--cold-start-us U] [--vnodes V] [--router-seed S] \
          [--payload render|synthetic] [--service-per-item-us U] [--hedge-us U] [--health] \
          [--codel-target-us U] [--codel-interval-us U] \
-         [--faults-live panic=PM,delay=PM:DUR,seed=S] [--retry N] [--brownout DEPTH]"
+         [--faults-live panic=PM,delay=PM:DUR,seed=S] [--retry N] [--brownout DEPTH] \
+         [--chunks K] [--expect-streaming]"
     );
     std::process::exit(2);
 }
@@ -345,6 +359,7 @@ fn main() {
             None => BrownoutConfig::default(),
         },
         injector,
+        chunks: args.chunks,
         ..ServerConfig::default()
     };
 
@@ -400,6 +415,10 @@ fn main() {
         "answered: {} responses in {} batches ({} rejected, {} shed, {} expired)",
         m.requests, m.batches, m.rejected, m.shed, m.expired
     );
+    println!(
+        "streaming: {} chunks requested, {} chunks served",
+        args.chunks, m.chunks_served
+    );
     // Greppable robustness roll-up: CI's chaos legs diff the
     // width-invariant fields (served/failed/degraded; retried is
     // deterministic too, worker restarts are timing-dependent and live
@@ -436,6 +455,24 @@ fn main() {
         m.service_ns.p95 as f64 / 1e6,
         m.service_ns.max as f64 / 1e6
     );
+    // Time to first byte vs time to whole render — the streaming win CI
+    // greps (`first-chunk latency: .* p99 `).
+    println!(
+        "first-chunk latency: mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+        m.first_chunk_ns.mean as f64 / 1e6,
+        m.first_chunk_ns.p50 as f64 / 1e6,
+        m.first_chunk_ns.p95 as f64 / 1e6,
+        m.first_chunk_ns.p99 as f64 / 1e6,
+        m.first_chunk_ns.max as f64 / 1e6
+    );
+    println!(
+        "full-render latency: mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+        m.render_ns.mean as f64 / 1e6,
+        m.render_ns.p50 as f64 / 1e6,
+        m.render_ns.p95 as f64 / 1e6,
+        m.render_ns.p99 as f64 / 1e6,
+        m.render_ns.max as f64 / 1e6
+    );
     println!("wall: {:.1} ms, workers {}, fnr_par threads {}", m.wall_ns as f64 / 1e6, m.workers, m.threads);
     println!("response digest: {:#018x} over {} responses", m.digest, report.responses.len());
 
@@ -447,12 +484,23 @@ fn main() {
         eprintln!("[serve] wrote metrics to {path}");
     }
 
+    // Conservation is chunk-granular: every admitted chunk unit must be
+    // served, rejected, shed, or failed, and whole responses must match
+    // the fully-served parent count.
+    let chunk_units = total_chunks(&jobs, args.chunks);
     if report.responses.len() != m.requests
-        || m.requests + m.rejected + m.shed + m.failed != args.requests
+        || m.chunks_served + m.rejected + m.shed + m.failed != chunk_units
     {
         eprintln!(
-            "[serve] request accounting broken: {} answered + {} rejected + {} shed + {} failed != {}",
-            m.requests, m.rejected, m.shed, m.failed, args.requests
+            "[serve] chunk accounting broken: {} served + {} rejected + {} shed + {} failed != {} \
+             ({} responses, {} whole requests)",
+            m.chunks_served,
+            m.rejected,
+            m.shed,
+            m.failed,
+            chunk_units,
+            report.responses.len(),
+            m.requests
         );
         std::process::exit(1);
     }
@@ -463,11 +511,19 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if args.expect_streaming && (args.chunks < 2 || m.chunks_served <= m.requests) {
+        eprintln!(
+            "[serve] streaming expected but not observed: {} chunks served over {} responses \
+             (--chunks {})",
+            m.chunks_served, m.requests, args.chunks
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Cluster mode: replay the schedule through the N-replica DES, print the
 /// greppable `cluster:` / `replica rN:` / digest lines CI diffs, and emit
-/// the `flexnerfer-cluster-bench/1` record.
+/// the `flexnerfer-cluster-bench/4` record.
 fn run_cluster_mode(args: &Args, jobs: &[fnr_serve::workload::TimedJob], server: ServerConfig) {
     let faults = if let Some(spec) = &args.faults {
         FaultPlan::parse(spec).unwrap_or_else(|e| usage(&e))
@@ -540,9 +596,11 @@ fn run_cluster_mode(args: &Args, jobs: &[fnr_serve::workload::TimedJob], server:
     // `cluster ` / `replica ` / `response digest` line between its
     // FNR_THREADS=1 and default runs.
     println!(
-        "cluster totals: submitted {} served {} shed {} front-door {} overload {} expired {} \
-         rejected {} failed {} failed-over {} kills {} restarts {}",
+        "cluster totals: submitted {} chunks {} completed {} served {} shed {} front-door {} \
+         overload {} expired {} rejected {} failed {} failed-over {} kills {} restarts {}",
         m.submitted,
+        m.submitted_chunks,
+        m.completed,
         m.served,
         m.shed,
         m.front_door_shed,
@@ -571,7 +629,7 @@ fn run_cluster_mode(args: &Args, jobs: &[fnr_serve::workload::TimedJob], server:
                 "alive"
             },
             r.routed,
-            r.metrics.requests,
+            r.metrics.chunks_served,
             r.metrics.shed,
             r.metrics.expired,
             r.metrics.rejected,
@@ -592,6 +650,11 @@ fn run_cluster_mode(args: &Args, jobs: &[fnr_serve::workload::TimedJob], server:
         m.latency_hist.counts(),
         m.latency_hist.total()
     );
+    println!(
+        "cluster first-chunk hist: {:?} over {} samples",
+        m.first_chunk_hist.counts(),
+        m.first_chunk_hist.total()
+    );
     println!("wall: {:.1} ms (virtual), fnr_par threads {}", m.wall_ns as f64 / 1e6, m.threads);
     println!("response digest: {:#018x} over {} responses", m.digest, report.responses.len());
 
@@ -603,17 +666,26 @@ fn run_cluster_mode(args: &Args, jobs: &[fnr_serve::workload::TimedJob], server:
         eprintln!("[serve] wrote cluster metrics to {path}");
     }
 
-    if !m.conserves_submitted() || report.responses.len() != m.served {
+    if !m.conserves_submitted() || report.responses.len() != m.completed {
         eprintln!(
             "[serve] cluster accounting broken: {} served + {} shed + {} rejected + {} failed + \
-             {} front-door != {} submitted (responses {})",
+             {} front-door != {} submitted chunks (responses {}, completed {})",
             m.served,
             m.shed,
             m.rejected,
             m.failed,
             m.front_door_shed,
-            m.submitted,
-            report.responses.len()
+            m.submitted_chunks,
+            report.responses.len(),
+            m.completed
+        );
+        std::process::exit(1);
+    }
+    if args.expect_streaming && (args.chunks < 2 || m.served <= m.completed) {
+        eprintln!(
+            "[serve] streaming expected but not observed: {} chunks served over {} completed \
+             (--chunks {})",
+            m.served, m.completed, args.chunks
         );
         std::process::exit(1);
     }

@@ -86,8 +86,27 @@ pub fn composite_backward(
 /// the pool; every pixel is an independent deterministic computation, so
 /// the image is byte-identical at any `FNR_THREADS`.
 pub fn render_reference(scene: &dyn Scene, camera: &Camera, w: usize, h: usize, spp: usize) -> Image {
-    let mut img = Image::new(w, h);
-    fnr_par::par_for_chunks(img.pixels_mut(), w.max(1), |y, row| {
+    render_reference_rows(scene, camera, w, h, spp, 0, h)
+}
+
+/// Renders only the pixel rows `[row0, row0 + rows)` of the full `w×h`
+/// analytic-scene frame. Rays are cast with absolute pixel coordinates
+/// against the full-frame geometry, and every pixel is independent, so
+/// the band is bit-identical to the same rows of [`render_reference`] —
+/// the property the serving front-end's chunked response path relies on.
+/// The returned image is `rows` tall.
+pub fn render_reference_rows(
+    scene: &dyn Scene,
+    camera: &Camera,
+    w: usize,
+    h: usize,
+    spp: usize,
+    row0: usize,
+    rows: usize,
+) -> Image {
+    let mut img = Image::new(w, rows);
+    fnr_par::par_for_chunks(img.pixels_mut(), w.max(1), |yy, row| {
+        let y = row0 + yy;
         for (x, px) in row.iter_mut().enumerate() {
             let ray = camera.ray(x, y, w, h);
             let shaded: Vec<ShadedSample> = sample_ray(&ray, spp, None)
@@ -205,6 +224,27 @@ impl NgpModel {
         })
     }
 
+    /// Renders only rows `[row0, row0 + rows)` of the full `w×h` FP32
+    /// frame — bit-identical to the same rows of [`NgpModel::render`]
+    /// (see [`render_reference_rows`] for why). The returned image is
+    /// `rows` tall.
+    #[allow(clippy::too_many_arguments)]
+    pub fn render_rows(
+        &self,
+        camera: &Camera,
+        w: usize,
+        h: usize,
+        spp: usize,
+        occupancy: Option<&OccupancyGrid>,
+        row0: usize,
+        rows: usize,
+    ) -> Image {
+        let packed = self.mlp.pack();
+        self.render_rows_with(camera, w, h, spp, occupancy, row0, rows, |enc| {
+            MLP_TLS.with(|s| head4(self.mlp.forward_into_packed(&packed, enc, &mut s.borrow_mut())))
+        })
+    }
+
     /// Renders several views with this FP32 model in one call. The batch
     /// fans out across the pool; each image is byte-identical to the
     /// corresponding single-view [`NgpModel::render`].
@@ -305,8 +345,28 @@ impl NgpModel {
         occupancy: Option<&OccupancyGrid>,
         head: impl Fn(&[f32]) -> [f32; 4] + Sync,
     ) -> Image {
-        let mut img = Image::new(w, h);
-        fnr_par::par_for_chunks(img.pixels_mut(), w.max(1), |y, row| {
+        self.render_rows_with(camera, w, h, spp, occupancy, 0, h, head)
+    }
+
+    /// Band form of [`NgpModel::render_with`]: renders rows
+    /// `[row0, row0 + rows)` of the full `w×h` frame into a `rows`-tall
+    /// image. Rays use absolute pixel coordinates, so each band pixel is
+    /// the same computation as in the full-frame loop.
+    #[allow(clippy::too_many_arguments)]
+    fn render_rows_with(
+        &self,
+        camera: &Camera,
+        w: usize,
+        h: usize,
+        spp: usize,
+        occupancy: Option<&OccupancyGrid>,
+        row0: usize,
+        rows: usize,
+        head: impl Fn(&[f32]) -> [f32; 4] + Sync,
+    ) -> Image {
+        let mut img = Image::new(w, rows);
+        fnr_par::par_for_chunks(img.pixels_mut(), w.max(1), |yy, row| {
+            let y = row0 + yy;
             for (x, px) in row.iter_mut().enumerate() {
                 let ray = camera.ray(x, y, w, h);
                 let samples = sample_ray(&ray, spp, occupancy);
@@ -353,6 +413,17 @@ impl PreparedQuantized {
                 crate::mlp::with_quant_tls(|s| head4(self.qmlp.forward_into(enc, s)))
             })
         })
+    }
+
+    /// Renders only rows `[row0, row0 + rows)` of the full frame `view`
+    /// describes, through the prepared integer datapath — bit-identical to
+    /// the same rows of the corresponding [`PreparedQuantized::render_batch`]
+    /// image. The returned image is `rows` tall.
+    pub fn render_rows(&self, view: &BatchView, row0: usize, rows: usize) -> Image {
+        self.qmodel
+            .render_rows_with(&view.camera, view.width, view.height, view.spp, None, row0, rows, |enc| {
+                crate::mlp::with_quant_tls(|s| head4(self.qmlp.forward_into(enc, s)))
+            })
     }
 }
 
@@ -528,6 +599,36 @@ mod tests {
         for (img, v) in rbatch.iter().zip(&views) {
             let single = render_reference(&MicScene, &v.camera, v.width, v.height, v.spp);
             assert_eq!(img, &single, "reference batch view must match the single-view render");
+        }
+    }
+
+    #[test]
+    fn row_band_renders_are_bitwise_slices_of_the_full_frame() {
+        let model = NgpModel::new(crate::hashgrid::HashGridConfig::small(), 16, 9);
+        let cam = Camera::orbit(1.1, 1.7, 0.8);
+        let (w, h, spp) = (5usize, 7usize, 6usize);
+        let view = BatchView { camera: cam, width: w, height: h, spp };
+        let prepared = model.prepare_quantized(Precision::Int8);
+        let fulls = [
+            render_reference(&MicScene, &cam, w, h, spp),
+            model.render(&cam, w, h, spp, None),
+            prepared.render_batch(std::slice::from_ref(&view)).pop().unwrap(),
+        ];
+        for (row0, rows) in [(0usize, 3usize), (3, 2), (5, 2), (0, 7)] {
+            let bands = [
+                render_reference_rows(&MicScene, &cam, w, h, spp, row0, rows),
+                model.render_rows(&cam, w, h, spp, None, row0, rows),
+                prepared.render_rows(&view, row0, rows),
+            ];
+            for (band, full) in bands.iter().zip(&fulls) {
+                assert_eq!(band.height(), rows);
+                assert_eq!(
+                    band.pixels(),
+                    &full.pixels()[row0 * w..(row0 + rows) * w],
+                    "band [{row0}, {}) must be a bitwise slice of the full frame",
+                    row0 + rows
+                );
+            }
         }
     }
 

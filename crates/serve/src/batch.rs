@@ -8,7 +8,7 @@
 
 use std::time::{Duration, Instant};
 
-use crate::request::{BatchKey, Request};
+use crate::request::{BatchKey, ChunkSpan, Request};
 
 /// Why a batch left the batcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,8 +45,30 @@ pub struct Batch {
 
 struct PendingGroup {
     key: BatchKey,
-    requests: Vec<Request>,
-    opened_at: Instant,
+    // Each member keeps its own arrival instant. The linger deadline is
+    // always anchored to the *oldest member still present* — never to a
+    // group-open timestamp that can outlive (or predate) its members.
+    // With a single `opened_at`, removing the oldest member (hedge
+    // cancellation) left the deadline anchored to a request no longer in
+    // the group, flushing the survivors early; and any scheme that
+    // re-anchors on arrival would let a continuous same-key trickle
+    // starve the flush forever.
+    entries: Vec<(Request, Instant)>,
+}
+
+impl PendingGroup {
+    /// Arrival instant of the oldest member still in the group.
+    fn oldest(&self) -> Instant {
+        self.entries.first().expect("groups are never empty").1
+    }
+
+    fn into_batch(self, flush: FlushReason) -> Batch {
+        Batch {
+            key: self.key,
+            requests: self.entries.into_iter().map(|(r, _)| r).collect(),
+            flush,
+        }
+    }
 }
 
 /// Batching policy knobs.
@@ -85,46 +107,42 @@ impl Batcher {
         let group = match self.pending.iter_mut().find(|g| g.key == key) {
             Some(g) => g,
             None => {
-                self.pending.push(PendingGroup {
-                    key: key.clone(),
-                    requests: Vec::new(),
-                    opened_at: now,
-                });
+                self.pending.push(PendingGroup { key: key.clone(), entries: Vec::new() });
                 self.pending.last_mut().expect("just pushed")
             }
         };
-        group.requests.push(req);
-        if group.requests.len() >= self.cfg.max_batch {
+        group.entries.push((req, now));
+        if group.entries.len() >= self.cfg.max_batch {
             return self.take_key(&key, FlushReason::Size);
         }
         None
     }
 
     /// The instant at which the oldest pending group must flush, if any.
+    /// Anchored to each group's oldest surviving member, so a trickle of
+    /// later same-key arrivals can never push the deadline out.
     pub fn next_deadline(&self) -> Option<Instant> {
-        self.pending.iter().map(|g| g.opened_at + self.cfg.linger).min()
+        self.pending.iter().map(|g| g.oldest() + self.cfg.linger).min()
     }
 
-    /// Flushes every group whose linger expired at `now`, oldest first.
+    /// Flushes every group whose oldest member lingered past the timeout
+    /// at `now`, oldest first.
     pub fn expire(&mut self, now: Instant) -> Vec<Batch> {
         let mut out = Vec::new();
         while let Some(pos) = self
             .pending
             .iter()
-            .position(|g| now.duration_since(g.opened_at) >= self.cfg.linger)
+            .position(|g| now.duration_since(g.oldest()) >= self.cfg.linger)
         {
             let g = self.pending.remove(pos);
-            out.push(Batch { key: g.key, requests: g.requests, flush: FlushReason::Timeout });
+            out.push(g.into_batch(FlushReason::Timeout));
         }
         out
     }
 
     /// Flushes everything pending (shutdown), in group-open order.
     pub fn drain(&mut self) -> Vec<Batch> {
-        self.pending
-            .drain(..)
-            .map(|g| Batch { key: g.key, requests: g.requests, flush: FlushReason::Drain })
-            .collect()
+        self.pending.drain(..).map(|g| g.into_batch(FlushReason::Drain)).collect()
     }
 
     /// Whether any request is waiting in the batcher.
@@ -132,16 +150,20 @@ impl Batcher {
         self.pending.is_empty()
     }
 
-    /// Removes (cancels) the pending request with `id`, if present. A
+    /// Removes (cancels) the pending chunk `(id, chunk)`, if present. A
     /// group emptied by the removal leaves the batcher entirely, so its
-    /// linger deadline dies with it. The hedging layer uses this to pull
-    /// a losing hedge copy that has not flushed yet.
-    pub fn remove(&mut self, id: u64) -> Option<Request> {
+    /// linger deadline dies with it; removing the oldest member re-anchors
+    /// the group's deadline to the next-oldest survivor. The hedging layer
+    /// uses this to pull a losing hedge copy that has not flushed yet.
+    pub fn remove(&mut self, id: u64, chunk: ChunkSpan) -> Option<Request> {
         let (gi, ri) = self.pending.iter().enumerate().find_map(|(gi, g)| {
-            g.requests.iter().position(|r| r.id == id).map(|ri| (gi, ri))
+            g.entries
+                .iter()
+                .position(|(r, _)| r.id == id && r.chunk == chunk)
+                .map(|ri| (gi, ri))
         })?;
-        let req = self.pending[gi].requests.remove(ri);
-        if self.pending[gi].requests.is_empty() {
+        let (req, _) = self.pending[gi].entries.remove(ri);
+        if self.pending[gi].entries.is_empty() {
             self.pending.remove(gi);
         }
         Some(req)
@@ -150,7 +172,7 @@ impl Batcher {
     fn take_key(&mut self, key: &BatchKey, flush: FlushReason) -> Option<Batch> {
         let pos = self.pending.iter().position(|g| &g.key == key)?;
         let g = self.pending.remove(pos);
-        Some(Batch { key: g.key, requests: g.requests, flush })
+        Some(g.into_batch(flush))
     }
 }
 
@@ -166,6 +188,7 @@ mod tests {
             priority: crate::sched::Priority::Standard,
             arrival_ns: 0,
             deadline_ns: None,
+            chunk: ChunkSpan::WHOLE,
             job: Workload::Render(RenderJob {
                 scene,
                 precision: RenderPrecision::Fp32,
@@ -225,12 +248,77 @@ mod tests {
         b.offer(req(0, SceneKind::Mic, t0), t0);
         b.offer(req(1, SceneKind::Mic, t0), t0);
         b.offer(req(2, SceneKind::Lego, t0), t0);
-        assert_eq!(b.remove(1).map(|r| r.id), Some(1));
-        assert!(b.remove(1).is_none(), "already gone");
-        assert_eq!(b.remove(2).map(|r| r.id), Some(2), "sole member removes its group");
+        assert_eq!(b.remove(1, ChunkSpan::WHOLE).map(|r| r.id), Some(1));
+        assert!(b.remove(1, ChunkSpan::WHOLE).is_none(), "already gone");
+        assert_eq!(
+            b.remove(2, ChunkSpan::WHOLE).map(|r| r.id),
+            Some(2),
+            "sole member removes its group"
+        );
         let drained = b.drain();
         assert_eq!(drained.len(), 1, "lego group died with its only member");
         assert_eq!(drained[0].requests.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn continuous_trickle_cannot_starve_the_linger_flush() {
+        // A same-key chunk arriving every linger/2 must not push the flush
+        // out: the deadline is anchored to the oldest member's arrival, so
+        // the group flushes exactly at t0 + linger no matter how many
+        // younger members keep trickling in.
+        let t0 = Instant::now();
+        let linger = Duration::from_millis(4);
+        let step = Duration::from_millis(2);
+        let mut b = Batcher::new(BatcherConfig { max_batch: 100, linger });
+        let mut flushed = Vec::new();
+        for i in 0..6u64 {
+            let at = t0 + step * i as u32;
+            if at < t0 + linger {
+                assert!(b.expire(at).is_empty(), "no flush strictly before t0 + linger");
+            } else {
+                flushed.extend(b.expire(at));
+            }
+            assert!(b.offer(req(i, SceneKind::Mic, at), at).is_none());
+            let deadline = b.next_deadline().expect("group pending");
+            assert!(
+                deadline <= at + linger,
+                "trickle member {i} must not push the deadline past its own arrival + linger"
+            );
+        }
+        // Members 0–1 flush at t0 + linger (while 2 arrives), 2–3 at
+        // t0 + 2·linger (while 4 arrives): the trickle never starves the
+        // timer because the deadline is pinned to the oldest survivor.
+        assert_eq!(flushed.len(), 2, "two linger flushes fired mid-trickle");
+        assert!(flushed.iter().all(|b| b.flush == FlushReason::Timeout));
+        assert_eq!(flushed[0].requests.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(flushed[1].requests.iter().map(|r| r.id).collect::<Vec<_>>(), vec![2, 3]);
+        let tail = b.expire(t0 + step * 5 + linger);
+        assert_eq!(tail.len(), 1, "the tail of the trickle flushes on time too");
+        assert_eq!(tail[0].requests.iter().map(|r| r.id).collect::<Vec<_>>(), vec![4, 5]);
+    }
+
+    #[test]
+    fn removing_the_oldest_member_reanchors_the_deadline() {
+        let t0 = Instant::now();
+        let linger = Duration::from_millis(10);
+        let mut b = Batcher::new(BatcherConfig { max_batch: 100, linger });
+        b.offer(req(0, SceneKind::Mic, t0), t0);
+        let t1 = t0 + Duration::from_millis(6);
+        b.offer(req(1, SceneKind::Mic, t1), t1);
+        assert_eq!(b.next_deadline(), Some(t0 + linger), "anchored to the oldest member");
+        b.remove(0, ChunkSpan::WHOLE);
+        assert_eq!(
+            b.next_deadline(),
+            Some(t1 + linger),
+            "removing the oldest member re-anchors to the survivor"
+        );
+        assert!(
+            b.expire(t0 + linger).is_empty(),
+            "the survivor has not lingered yet — no early flush off a departed member's clock"
+        );
+        let flushed = b.expire(t1 + linger);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].requests.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1]);
     }
 
     #[test]

@@ -35,7 +35,10 @@ use crate::metrics::{
     ClusterMetrics, FailMetric, FrontDoorTotals, LaneAccounting, ReplicaStats, RobustTotals,
     ServeMetrics, ShedMetric,
 };
-use crate::request::{response_set_digest, synthetic_payload, Request, Response};
+use crate::request::{
+    assemble_chunks, effective_chunks, response_set_digest, synthetic_chunk_payload, ChunkResponse,
+    ChunkSpan, Request, Response,
+};
 use crate::router::{HashRing, RouterConfig};
 use crate::server::{execute_batch, ServerConfig};
 use crate::vclock::{PipeEvent, VirtualPipeline};
@@ -385,18 +388,18 @@ enum Life {
     Down,
 }
 
-/// One request the hedging arbiter is tracking: where its live copies
-/// are and what its hedge status is. Exactly one terminal record is
-/// committed per tracked request, no matter how many copies raced.
+/// One request chunk the hedging arbiter is tracking: where its live
+/// copies are and what its hedge status is. Exactly one terminal record
+/// is committed per tracked chunk, no matter how many copies raced.
 struct Tracked {
-    /// A clone of the admitted request, for hedge placement.
+    /// A clone of the admitted chunk request, for hedge placement.
     req: Request,
     /// Replicas currently holding a live copy (one or two entries).
     copies: Vec<usize>,
-    /// Whether any copy has started service — a started request is not
+    /// Whether any copy has started service — a started chunk is not
     /// worth hedging, the work is already running.
     started: bool,
-    /// Whether a hedge clone was placed (each request hedges at most
+    /// Whether a hedge clone was placed (each chunk hedges at most
     /// once; `hedged == hedge_won + hedge_wasted` is an invariant).
     hedged: bool,
     /// The hedge clone's replica, if placed.
@@ -436,12 +439,13 @@ struct ClusterState<'c> {
     track: bool,
     /// Whether hedging is on (implies `track`).
     hedging: bool,
-    /// Hedge-arbitrated requests by id (`BTreeMap` so suspect-triggered
-    /// hedges fire in deterministic id order).
-    tracked: BTreeMap<u64, Tracked>,
-    /// Pending hedge timers `(due_ns, id)` — arrivals are monotone, so
-    /// this stays sorted by construction.
-    hedge_timers: VecDeque<(u64, u64)>,
+    /// Hedge-arbitrated chunks by `(id, chunk index)` (`BTreeMap` so
+    /// suspect-triggered hedges fire in deterministic id-then-chunk
+    /// order).
+    tracked: BTreeMap<(u64, u32), Tracked>,
+    /// Pending hedge timers `(due_ns, (id, chunk))` — arrivals are
+    /// monotone, so this stays sorted by construction.
+    hedge_timers: VecDeque<(u64, (u64, u32))>,
     /// Index of the next unapplied fault in the sorted plan.
     next_fault: usize,
     /// Virtual time of the last event that touched a pipeline.
@@ -507,21 +511,24 @@ impl<'c> ClusterState<'c> {
             .or_else(|| self.ring.route(key_hash, ok))
     }
 
-    /// A tracked request's terminal happened outside any pipeline (front
+    /// A tracked chunk's terminal happened outside any pipeline (front
     /// door drop or lane-full reject on failover): close its book.
-    fn settle_terminal(&mut self, id: u64) {
-        if let Some(tr) = self.tracked.remove(&id) {
+    fn settle_terminal(&mut self, key: (u64, u32)) {
+        if let Some(tr) = self.tracked.remove(&key) {
             if tr.hedged {
                 self.hedge_wasted += 1;
             }
         }
     }
 
-    /// Fails an orphaned request over to a surviving replica (or drops it
-    /// at the front door). The request keeps its original arrival time
+    /// Fails an orphaned chunk over to a surviving replica (or drops it
+    /// at the front door). The chunk keeps its original arrival time
     /// and deadline: time lost on the dead replica stays on its clock.
+    /// Only unserved chunks ever reach here — a kill cannot orphan (and
+    /// this cannot re-admit) a chunk whose completion already committed.
     fn reroute(&mut self, req: Request, t: u64, from: usize) {
-        let id = req.id;
+        let key = (req.id, req.chunk.index);
+        let chunk = req.chunk;
         let key_hash = HashRing::key_hash(&req.job.key());
         match self.pick(key_hash, t) {
             Some(r) => {
@@ -529,8 +536,8 @@ impl<'c> ClusterState<'c> {
                     self.failed_over_in[r] += 1;
                     self.failed_over_out[from] += 1;
                     if self.hedging {
-                        self.pipes[r].mark_hedged(id);
-                        if let Some(tr) = self.tracked.get_mut(&id) {
+                        self.pipes[r].mark_hedged(key.0, chunk.index);
+                        if let Some(tr) = self.tracked.get_mut(&key) {
                             tr.copies.retain(|&c| c != from);
                             tr.copies.push(r);
                         }
@@ -538,8 +545,8 @@ impl<'c> ClusterState<'c> {
                 } else if self.hedging {
                     // A lane-full reject is counted by the target
                     // pipeline's admission accounting — that is the
-                    // request's terminal.
-                    self.settle_terminal(id);
+                    // chunk's terminal.
+                    self.settle_terminal(key);
                 }
                 // (Without hedging the reject is likewise already
                 // counted by the target pipeline.)
@@ -547,28 +554,28 @@ impl<'c> ClusterState<'c> {
             None => {
                 self.front_door_shed += 1;
                 if self.hedging {
-                    self.settle_terminal(id);
+                    self.settle_terminal(key);
                 }
             }
         }
     }
 
-    /// The last live copy of a tracked request shed or failed on replica
+    /// The last live copy of a tracked chunk shed or failed on replica
     /// `r`: commit the terminal record there. While another copy is
     /// live, a copy's loss records nothing — the survivor owns the
-    /// request.
-    fn settle_loss(&mut self, r: usize, id: u64, lane: usize, queue_ns: u64, failed: bool) {
-        let Some(tr) = self.tracked.get_mut(&id) else { return };
+    /// chunk.
+    fn settle_loss(&mut self, r: usize, key: (u64, u32), lane: usize, queue_ns: u64, failed: bool) {
+        let Some(tr) = self.tracked.get_mut(&key) else { return };
         tr.copies.retain(|&c| c != r);
         if !tr.copies.is_empty() {
             return;
         }
         if failed {
-            self.pipes[r].fail_metrics.push(FailMetric { id, lane, queue_ns });
+            self.pipes[r].fail_metrics.push(FailMetric { id: key.0, lane, queue_ns });
         } else {
-            self.pipes[r].shed_metrics.push(ShedMetric { id, lane, queue_ns });
+            self.pipes[r].shed_metrics.push(ShedMetric { id: key.0, lane, queue_ns });
         }
-        self.settle_terminal(id);
+        self.settle_terminal(key);
     }
 
     /// Drains replica `r`'s pipeline events at time `t`: feeds the CoDel
@@ -585,19 +592,19 @@ impl<'c> ClusterState<'c> {
         let mut progressed = false;
         for ev in events {
             match ev {
-                PipeEvent::Started { id, queue_ns } => {
+                PipeEvent::Started { id, chunk, queue_ns } => {
                     self.codel.observe(r, queue_ns, t);
-                    if let Some(tr) = self.tracked.get_mut(&id) {
+                    if let Some(tr) = self.tracked.get_mut(&(id, chunk)) {
                         tr.started = true;
                     }
                 }
-                PipeEvent::Completed { id } => {
+                PipeEvent::Completed { id, chunk } => {
                     progressed = true;
-                    if let Some(tr) = self.tracked.remove(&id) {
+                    if let Some(tr) = self.tracked.remove(&(id, chunk)) {
                         for &other in tr.copies.iter().filter(|&&c| c != r) {
                             // The losing copy is pulled from its queue,
                             // or suppressed if already in service.
-                            self.pipes[other].cancel(id);
+                            self.pipes[other].cancel(id, tr.req.chunk);
                         }
                         if tr.hedged {
                             if Some(r) == tr.clone_replica {
@@ -608,21 +615,22 @@ impl<'c> ClusterState<'c> {
                         }
                     }
                 }
-                PipeEvent::Shed { id, lane, queue_ns } => {
-                    self.settle_loss(r, id, lane, queue_ns, false)
+                PipeEvent::Shed { id, chunk, lane, queue_ns } => {
+                    self.settle_loss(r, (id, chunk), lane, queue_ns, false)
                 }
-                PipeEvent::Failed { id, lane, queue_ns } => {
-                    self.settle_loss(r, id, lane, queue_ns, true)
+                PipeEvent::Failed { id, chunk, lane, queue_ns } => {
+                    self.settle_loss(r, (id, chunk), lane, queue_ns, true)
                 }
             }
         }
         self.health.observe(r, self.pipes[r].is_busy(), progressed, t);
     }
 
-    /// Places a hedge clone for `id` if it is still worth it (un-started,
-    /// un-hedged, single copy). Returns whether a clone was placed.
-    fn fire_hedge(&mut self, id: u64, t: u64) -> bool {
-        let Some(tr) = self.tracked.get(&id) else { return false };
+    /// Places a hedge clone for the tracked chunk `key` if it is still
+    /// worth it (un-started, un-hedged, single copy). Returns whether a
+    /// clone was placed.
+    fn fire_hedge(&mut self, key: (u64, u32), t: u64) -> bool {
+        let Some(tr) = self.tracked.get(&key) else { return false };
         if tr.started || tr.clone_replica.is_some() || tr.copies.len() != 1 {
             return false;
         }
@@ -634,8 +642,8 @@ impl<'c> ClusterState<'c> {
             // No lane room on the alternate: the clone never existed.
             return false;
         }
-        self.pipes[r2].mark_hedged(id);
-        let tr = self.tracked.get_mut(&id).expect("still tracked");
+        self.pipes[r2].mark_hedged(key.0, key.1);
+        let tr = self.tracked.get_mut(&key).expect("still tracked");
         tr.hedged = true;
         tr.clone_replica = Some(r2);
         tr.copies.push(r2);
@@ -646,11 +654,11 @@ impl<'c> ClusterState<'c> {
         true
     }
 
-    /// Hedges every pending un-started request whose only copy sits on
-    /// `r` — fired the instant the detector turns `r` Suspect, in id
-    /// order (deterministic by `BTreeMap` iteration).
+    /// Hedges every pending un-started chunk whose only copy sits on
+    /// `r` — fired the instant the detector turns `r` Suspect, in
+    /// id-then-chunk order (deterministic by `BTreeMap` iteration).
     fn hedge_suspect_replica(&mut self, r: usize, t: u64) {
-        let ids: Vec<u64> = self
+        let keys: Vec<(u64, u32)> = self
             .tracked
             .iter()
             .filter(|(_, tr)| {
@@ -659,10 +667,10 @@ impl<'c> ClusterState<'c> {
                     && tr.copies.len() == 1
                     && tr.copies[0] == r
             })
-            .map(|(&id, _)| id)
+            .map(|(&key, _)| key)
             .collect();
-        for id in ids {
-            self.fire_hedge(id, t);
+        for key in keys {
+            self.fire_hedge(key, t);
         }
     }
 
@@ -736,7 +744,7 @@ impl<'c> ClusterState<'c> {
                 self.last_event_ns = self.last_event_ns.max(ev.at_ns);
                 for req in self.pipes[r].kill(ev.at_ns) {
                     if self.hedging {
-                        if let Some(tr) = self.tracked.get_mut(&req.id) {
+                        if let Some(tr) = self.tracked.get_mut(&(req.id, req.chunk.index)) {
                             if tr.copies.len() > 1 {
                                 // The other copy is live: this orphan
                                 // silently dies, no failover needed.
@@ -842,12 +850,12 @@ impl<'c> ClusterState<'c> {
                 // advance the clock — the drain would otherwise report
                 // wall time with no event behind it.
                 let mut acted = false;
-                while let Some(&(due, id)) = self.hedge_timers.front() {
+                while let Some(&(due, key)) = self.hedge_timers.front() {
                     if due != t {
                         break;
                     }
                     self.hedge_timers.pop_front();
-                    acted |= self.fire_hedge(id, t);
+                    acted |= self.fire_hedge(key, t);
                 }
                 if acted {
                     now = now.max(t);
@@ -904,58 +912,70 @@ pub fn run_cluster(cfg: &ClusterConfig, jobs: &[TimedJob]) -> ClusterReport {
         cfg,
     };
 
-    // The decision loop: single-threaded, in trace order.
+    // The decision loop: single-threaded, in trace order. A job splits
+    // into its row-band chunks at the front door; all chunks of one
+    // arrival share one routing decision (same coalescing key, same
+    // replica — scene affinity would pick the same target anyway), and
+    // the front-door counters account in chunk units.
     let mut now = 0u64;
+    let mut submitted_chunks = 0usize;
     for (id, tj) in jobs.iter().enumerate() {
         let at = now + tj.delay_before.as_nanos() as u64;
         now = state.process_until(at, now);
         state.last_event_ns = state.last_event_ns.max(at);
         state.refresh_health(at);
+        let of = effective_chunks(cfg.server.chunks, &tj.job);
+        submitted_chunks += of as usize;
         let key_hash = HashRing::key_hash(&tj.job.key());
         match state.pick(key_hash, at) {
             Some(r) => {
                 if state.codel.should_shed(r, tj.priority) {
                     // Overload admission: shed Batch-class work early at
                     // the front door instead of letting every class miss
-                    // its deadline behind a standing queue.
-                    state.front_door_shed += 1;
-                    state.overload_shed += 1;
+                    // its deadline behind a standing queue. The whole
+                    // arrival drops — all of its chunk units.
+                    state.front_door_shed += of as usize;
+                    state.overload_shed += of as usize;
                     continue;
                 }
                 state.routed[r] += 1;
-                if hedging {
-                    let rid = id as u64;
-                    let req = Request {
-                        id: rid,
-                        submitted_at: state.epoch + Duration::from_nanos(at),
-                        priority: tj.priority,
-                        arrival_ns: at,
-                        deadline_ns: tj.deadline.map(|d| at + d.as_nanos() as u64),
-                        job: tj.job.clone(),
-                    };
-                    if state.pipes[r].admit_request(req.clone(), at) {
-                        state.pipes[r].mark_hedged(rid);
-                        state.tracked.insert(
-                            rid,
-                            Tracked {
-                                req,
-                                copies: vec![r],
-                                started: false,
-                                hedged: false,
-                                clone_replica: None,
-                            },
-                        );
-                        state
-                            .hedge_timers
-                            .push_back((at.saturating_add(cfg.hedge.delay_ns), rid));
+                for index in 0..of {
+                    let chunk = ChunkSpan { index, of };
+                    if hedging {
+                        let rid = id as u64;
+                        let req = Request {
+                            id: rid,
+                            submitted_at: state.epoch + Duration::from_nanos(at),
+                            priority: tj.priority,
+                            arrival_ns: at,
+                            deadline_ns: tj.deadline.map(|d| at + d.as_nanos() as u64),
+                            chunk,
+                            job: tj.job.clone(),
+                        };
+                        if state.pipes[r].admit_request(req.clone(), at) {
+                            state.pipes[r].mark_hedged(rid, index);
+                            state.tracked.insert(
+                                (rid, index),
+                                Tracked {
+                                    req,
+                                    copies: vec![r],
+                                    started: false,
+                                    hedged: false,
+                                    clone_replica: None,
+                                },
+                            );
+                            state
+                                .hedge_timers
+                                .push_back((at.saturating_add(cfg.hedge.delay_ns), (rid, index)));
+                        }
+                    } else {
+                        state.pipes[r].admit(id as u64, at, tj, chunk);
                     }
-                } else {
-                    state.pipes[r].admit(id as u64, at, tj);
                 }
                 state.pipes[r].pump(at);
                 state.drain_events(r, at);
             }
-            None => state.front_door_shed += 1,
+            None => state.front_door_shed += of as usize,
         }
     }
     // Drain: remaining timers, faults and hedge deadlines, to quiescence.
@@ -968,13 +988,15 @@ pub fn run_cluster(cfg: &ClusterConfig, jobs: &[TimedJob]) -> ClusterReport {
 
     // Decisions locked in — produce payloads. Per replica, fan the
     // decided batches out over `fnr_par`; thread width moves wall time
-    // only.
+    // only. Replicas serve *chunks*; whole responses are reassembled
+    // across the fleet afterwards (a failover can scatter one request's
+    // chunks over several replicas).
     let threads = fnr_par::current_num_threads();
     let workers = cfg.server.workers.max(1);
-    let mut all_responses: Vec<Response> = Vec::new();
+    let mut all_chunks: Vec<ChunkResponse> = Vec::new();
     let mut replica_stats: Vec<ReplicaStats> = Vec::new();
     for (i, pipe) in state.pipes.iter().enumerate() {
-        let nested: Vec<Vec<Response>> = match cfg.payload {
+        let nested: Vec<Vec<ChunkResponse>> = match cfg.payload {
             PayloadMode::Render => {
                 fnr_par::par_map(&pipe.decided, |batch| execute_batch(batch, &cfg.server.tables))
             }
@@ -982,12 +1004,20 @@ pub fn run_cluster(cfg: &ClusterConfig, jobs: &[TimedJob]) -> ClusterReport {
                 batch
                     .requests
                     .iter()
-                    .map(|req| Response { id: req.id, bytes: synthetic_payload(&req.job) })
+                    .map(|req| ChunkResponse {
+                        id: req.id,
+                        chunk: req.chunk,
+                        bytes: synthetic_chunk_payload(&req.job, req.chunk),
+                    })
                     .collect()
             }),
         };
-        let mut responses: Vec<Response> = nested.into_iter().flatten().collect();
-        responses.sort_unstable_by_key(|r| r.id);
+        let mut chunks: Vec<ChunkResponse> = nested.into_iter().flatten().collect();
+        chunks.sort_unstable_by_key(|c| (c.id, c.chunk.index));
+        // The per-replica digest is over the chunk payloads this replica
+        // served (identical to the response set at chunk count 1).
+        let responses: Vec<Response> =
+            chunks.iter().map(|c| Response { id: c.id, bytes: c.bytes.clone() }).collect();
         let lane_acct: Vec<LaneAccounting> = cfg
             .server
             .sched
@@ -1026,9 +1056,13 @@ pub fn run_cluster(cfg: &ClusterConfig, jobs: &[TimedJob]) -> ClusterReport {
             departed: matches!(state.life[i], Life::Draining | Life::Departed),
             metrics,
         });
-        all_responses.extend(responses);
+        all_chunks.extend(chunks);
     }
-    all_responses.sort_unstable_by_key(|r| r.id);
+    // Cross-fleet reassembly: only parents whose every chunk was served
+    // somewhere become responses; the digest is over those whole
+    // responses, byte-identical to the unchunked digest at any chunk
+    // count.
+    let all_responses = assemble_chunks(all_chunks);
     let digest = response_set_digest(&all_responses);
     let front_door = FrontDoorTotals {
         front_door_shed: state.front_door_shed,
@@ -1042,6 +1076,8 @@ pub fn run_cluster(cfg: &ClusterConfig, jobs: &[TimedJob]) -> ClusterReport {
     let metrics = ClusterMetrics::aggregate(
         replica_stats,
         jobs.len(),
+        submitted_chunks,
+        all_responses.len(),
         front_door,
         wall_ns,
         workers,
@@ -1050,12 +1086,13 @@ pub fn run_cluster(cfg: &ClusterConfig, jobs: &[TimedJob]) -> ClusterReport {
     );
     assert!(
         metrics.conserves_submitted(),
-        "request conservation violated: served {} + shed {} + rejected {} + failed {} + front door {} != submitted {}",
+        "chunk conservation violated: served {} + shed {} + rejected {} + failed {} + front door {} != submitted chunks {} ({} jobs)",
         metrics.served,
         metrics.shed,
         metrics.rejected,
         metrics.failed,
         metrics.front_door_shed,
+        metrics.submitted_chunks,
         metrics.submitted
     );
     assert!(
@@ -1217,7 +1254,11 @@ mod tests {
         assert_eq!(m.kills, 0);
         assert_eq!(m.failed_over, 0);
         assert!(m.served > 0);
-        assert_eq!(report.responses.len(), m.served);
+        assert_eq!(report.responses.len(), m.completed);
+        // At the default chunk count of 1, chunk units and whole-request
+        // units coincide.
+        assert_eq!(m.submitted_chunks, m.submitted);
+        assert_eq!(m.served, m.completed);
         // Scene affinity: each coalescing key is served by exactly one
         // replica, so the number of replicas that saw traffic is bounded
         // by the number of distinct keys but at least one.

@@ -10,7 +10,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::fault::FaultInjector;
 use crate::metrics::{LaneAccounting, RobustTotals, ServeMetrics};
-use crate::request::Response;
+use crate::request::{assemble_chunks, effective_chunks, ChunkResponse, ChunkSpan, Response};
 use crate::server::{execute_batch, run, ServeReport, ServerConfig, WaitOutcome};
 use crate::vclock::VirtualPipeline;
 use crate::workload::TimedJob;
@@ -196,17 +196,22 @@ pub fn run_virtual_with_faults(
     for (id, tj) in jobs.iter().enumerate() {
         let at = now + tj.delay_before.as_nanos() as u64;
         pipe.advance_to(&mut now, at);
-        pipe.admit(id as u64, at, tj);
+        let of = effective_chunks(cfg.chunks, &tj.job);
+        for index in 0..of {
+            pipe.admit(id as u64, at, tj, ChunkSpan { index, of });
+        }
         pipe.pump(at);
     }
     pipe.drain(&mut now);
 
     // Decisions are locked in; now render them for real. The fan-out is
-    // pure per-batch work, so `FNR_THREADS` moves wall time only.
-    let nested: Vec<Vec<Response>> =
+    // pure per-batch work, so `FNR_THREADS` moves wall time only. Chunks
+    // of the same parent may have ridden different batches; reassembly
+    // stitches them back in row order, dropping parents that lost any
+    // chunk to a shed or an injected failure.
+    let nested: Vec<Vec<ChunkResponse>> =
         fnr_par::par_map(&pipe.decided, |batch| execute_batch(batch, &cfg.tables));
-    let mut responses: Vec<Response> = nested.into_iter().flatten().collect();
-    responses.sort_unstable_by_key(|r| r.id);
+    let responses: Vec<Response> = assemble_chunks(nested.into_iter().flatten().collect());
 
     let lane_acct: Vec<LaneAccounting> = cfg
         .sched

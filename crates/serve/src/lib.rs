@@ -19,17 +19,27 @@
 //!   [`fault`] module adds retries, a per-key circuit breaker, precision
 //!   brownout under overload, and seeded chaos injection,
 //! * per-request / per-batch metrics ([`ServeMetrics`], queue latency,
-//!   service time, batch occupancy, failure/degrade counters) with a JSON
-//!   report in the `flexnerfer-serve-bench/3` schema, sibling to
-//!   `repro --json`'s `flexnerfer-repro-bench/2`.
+//!   service time, first-chunk latency, batch occupancy, failure/degrade
+//!   counters) with a JSON report in the `flexnerfer-serve-bench/4`
+//!   schema, sibling to `repro --json`'s `flexnerfer-repro-bench/2`.
+//!
+//! # Streaming
+//!
+//! A render request is split at admission into a fixed row-band partition
+//! of [`effective_chunks`] sub-jobs ([`ChunkSpan`]), each flowing through
+//! lanes, scheduler, batcher, and workers independently; chunk payloads
+//! ([`chunk_image_bytes`]) concatenate in row order to exactly the
+//! unchunked image bytes, so the whole-render digest is invariant in the
+//! chunk count. `chunks = 1` is byte-for-byte the old one-shot path.
 //!
 //! # Determinism
 //!
 //! Response bytes are a pure function of each request, so the response
-//! *set* is byte-identical at any `FNR_THREADS`, worker count, or batch
-//! composition; [`response_set_digest`] is order-canonical over the set
-//! and is what CI diffs between its serial and parallel legs. Timing only
-//! moves metrics, never payloads.
+//! *set* is byte-identical at any `FNR_THREADS`, worker count, batch
+//! composition, or chunk count; [`response_set_digest`] is
+//! order-canonical over the set and is what CI diffs between its serial
+//! and parallel legs (and between its chunked and unchunked legs). Timing
+//! only moves metrics, never payloads.
 //!
 //! ```
 //! use fnr_serve::{run, ServerConfig, Workload, RenderJob, SceneKind, RenderPrecision};
@@ -89,8 +99,10 @@ pub use metrics::{
     ShedMetric, LATENCY_BUCKETS, LATENCY_EDGES_NS,
 };
 pub use request::{
-    fnv1a, image_bytes, job_hash, response_set_digest, synthetic_payload, BatchKey, RenderJob,
-    RenderPrecision, Request, Response, SceneKind, Workload,
+    assemble_chunks, chunk_image_bytes, effective_chunks, fnv1a, fnv1a_with, image_bytes,
+    job_hash, response_set_digest, row_band, synthetic_chunk_payload, synthetic_payload, BatchKey,
+    ChunkOutcome, ChunkResponse, ChunkSpan, RenderJob, RenderPrecision, Request, Response,
+    SceneKind, Workload,
 };
 pub use router::{HashRing, RouterConfig, MAX_REPLICAS};
 pub use sched::{LaneConfig, LaneScheduler, Priority, SchedConfig, SchedStep};

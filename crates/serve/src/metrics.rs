@@ -5,20 +5,26 @@ use std::collections::HashMap;
 use crate::batch::FlushReason;
 use crate::request::{BatchKey, Response};
 
-/// Timing record for one completed request.
+/// Timing record for one completed request chunk. Unchunked requests are
+/// a single chunk (`chunk` 0 of 1), so at chunk count 1 these records are
+/// exactly the pre-streaming per-request records.
 #[derive(Debug, Clone)]
 pub struct RequestMetric {
-    /// The request id.
+    /// The parent request id.
     pub id: u64,
-    /// Scheduler lane the request was served from.
+    /// Scheduler lane the chunk was served from.
     pub lane: usize,
     /// Submit → batch-execution-start latency.
     pub queue_ns: u64,
     /// Batch execution wall time (shared by every member of the batch).
     pub service_ns: u64,
-    /// Members in the batch this request rode in.
+    /// Members in the batch this chunk rode in.
     pub batch_size: usize,
-    /// The request was answered, but only after its deadline had passed
+    /// Zero-based index of this chunk within its parent request.
+    pub chunk: u32,
+    /// Total chunks the parent request was split into.
+    pub chunk_of: u32,
+    /// The chunk was answered, but only after its deadline had passed
     /// (it started in time — else it would have been shed — but finished
     /// late). Counted as `expired` in the per-lane stats.
     pub deadline_missed: bool,
@@ -140,6 +146,8 @@ pub struct NsStats {
     pub p50: u64,
     /// 95th percentile (nearest-rank).
     pub p95: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
     /// Maximum.
     pub max: u64,
 }
@@ -163,6 +171,7 @@ impl NsStats {
             mean: (sorted.iter().map(|&v| v as u128).sum::<u128>() / sorted.len() as u128) as u64,
             p50: rank(0.50),
             p95: rank(0.95),
+            p99: rank(0.99),
             max: *sorted.last().expect("non-empty"),
         }
     }
@@ -284,10 +293,19 @@ impl LatencyHistogram {
 }
 
 /// Aggregate metrics for one serving run.
+///
+/// With streaming on (`chunks > 1`) the per-lane counters, `shed`,
+/// `rejected`, `failed` and the queue/service stats are **chunk units**;
+/// `requests` counts whole answered renders and `chunks_served` the
+/// served chunk units. At chunk count 1 the two units coincide and every
+/// field reproduces its pre-streaming value exactly.
 #[derive(Debug, Clone)]
 pub struct ServeMetrics {
-    /// Requests admitted and answered.
+    /// Whole requests answered (every chunk served and reassembled).
     pub requests: usize,
+    /// Chunk units served, summed over requests (`== requests` at chunk
+    /// count 1).
+    pub chunks_served: usize,
     /// Requests rejected at admission (zero-capacity or full lane, or a
     /// closed queue), summed over lanes.
     pub rejected: usize,
@@ -328,13 +346,23 @@ pub struct ServeMetrics {
     pub flushed_timeout: usize,
     /// Batches flushed by shutdown drain.
     pub flushed_drain: usize,
-    /// Queue-latency stats (submit → execution start).
+    /// Queue-latency stats (submit → execution start), per chunk.
     pub queue_ns: NsStats,
     /// Batch service-time stats.
     pub service_ns: NsStats,
-    /// Fixed-bucket histogram of per-request end-to-end latency
-    /// (queue wait + batch service), for CI-diffable tail tracking.
+    /// Time-to-first-chunk stats: per answered request, the *smallest*
+    /// chunk end-to-end latency — when the stream's first byte band was
+    /// ready. Equals `render_ns` at chunk count 1.
+    pub first_chunk_ns: NsStats,
+    /// Full-render latency stats: per answered request, the *largest*
+    /// chunk end-to-end latency — when the whole response was ready.
+    pub render_ns: NsStats,
+    /// Fixed-bucket histogram of per-request end-to-end latency (the
+    /// `render_ns` samples: queue wait + batch service of the slowest
+    /// chunk), for CI-diffable tail tracking.
     pub latency_hist: LatencyHistogram,
+    /// Fixed-bucket histogram of the time-to-first-chunk samples.
+    pub first_chunk_hist: LatencyHistogram,
     /// Whole-run wall time.
     pub wall_ns: u64,
     /// Worker threads the server ran.
@@ -410,8 +438,31 @@ impl ServeMetrics {
             }
         };
         let all: Vec<&BatchMetric> = batch_metrics.iter().collect();
+        // Group chunk records by parent request: a parent every chunk of
+        // which was served is an answered request. Its *fastest* chunk
+        // latency is the time-to-first-chunk (the stream had bytes), its
+        // *slowest* is the full-render latency (the stream completed). At
+        // chunk count 1 both equal the single chunk's latency, so the
+        // histograms and stats reproduce their pre-streaming values.
+        let mut parents: HashMap<u64, (u32, u32, u64, u64)> = HashMap::new();
+        for m in request_metrics {
+            let lat = m.queue_ns + m.service_ns;
+            let e = parents.entry(m.id).or_insert((0, m.chunk_of, u64::MAX, 0));
+            e.0 += 1;
+            e.2 = e.2.min(lat);
+            e.3 = e.3.max(lat);
+        }
+        let mut first_samples = Vec::new();
+        let mut full_samples = Vec::new();
+        for &(count, of, min, max) in parents.values() {
+            if count == of {
+                first_samples.push(min);
+                full_samples.push(max);
+            }
+        }
         ServeMetrics {
-            requests: request_metrics.len(),
+            requests: full_samples.len(),
+            chunks_served: request_metrics.len(),
             rejected: lanes.iter().map(|l| l.rejected).sum(),
             shed: shed_metrics.len(),
             expired: lanes.iter().map(|l| l.expired).sum(),
@@ -434,9 +485,10 @@ impl ServeMetrics {
             service_ns: NsStats::from_samples(
                 &batch_metrics.iter().map(|m| m.service_ns).collect::<Vec<_>>(),
             ),
-            latency_hist: LatencyHistogram::from_samples(
-                &request_metrics.iter().map(|m| m.queue_ns + m.service_ns).collect::<Vec<_>>(),
-            ),
+            first_chunk_ns: NsStats::from_samples(&first_samples),
+            render_ns: NsStats::from_samples(&full_samples),
+            latency_hist: LatencyHistogram::from_samples(&full_samples),
+            first_chunk_hist: LatencyHistogram::from_samples(&first_samples),
             wall_ns,
             workers,
             threads,
@@ -444,25 +496,30 @@ impl ServeMetrics {
         }
     }
 
-    /// Renders the `flexnerfer-serve-bench/3` JSON record (hand-rolled,
+    /// Renders the `flexnerfer-serve-bench/4` JSON record (hand-rolled,
     /// mirroring the `flexnerfer-repro-bench/2` trajectory format: every
     /// value is a number or a string this crate controls). Schema `/2`
     /// extended `/1` with the scheduler's `shed`/`expired` totals and the
-    /// per-lane `lanes` array; `/3` adds the robustness counters —
+    /// per-lane `lanes` array; `/3` added the robustness counters —
     /// `failed`/`retried`/`degraded`/`worker_restarts` totals, the
-    /// `breaker` object, and per-lane `failed`/`degraded`.
+    /// `breaker` object, and per-lane `failed`/`degraded`; `/4` adds the
+    /// streaming fields — `chunks_served`, the `first_chunk_ns` /
+    /// `render_ns` stats, `first_chunk_hist`, a `p99` in every stats
+    /// object — and re-bases the per-lane counters on chunk units
+    /// (identical to `/3` at chunk count 1).
     pub fn to_json(&self) -> String {
         let stats = |s: &NsStats| {
             format!(
-                "{{ \"mean\": {}, \"p50\": {}, \"p95\": {}, \"max\": {} }}",
-                s.mean, s.p50, s.p95, s.max
+                "{{ \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {} }}",
+                s.mean, s.p50, s.p95, s.p99, s.max
             )
         };
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"flexnerfer-serve-bench/3\",\n");
+        out.push_str("  \"schema\": \"flexnerfer-serve-bench/4\",\n");
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"workers\": {},\n", self.workers));
         out.push_str(&format!("  \"requests\": {},\n", self.requests));
+        out.push_str(&format!("  \"chunks_served\": {},\n", self.chunks_served));
         out.push_str(&format!("  \"rejected\": {},\n", self.rejected));
         out.push_str(&format!("  \"shed\": {},\n", self.shed));
         out.push_str(&format!("  \"expired\": {},\n", self.expired));
@@ -486,7 +543,10 @@ impl ServeMetrics {
         ));
         out.push_str(&format!("  \"queue_ns\": {},\n", stats(&self.queue_ns)));
         out.push_str(&format!("  \"service_ns\": {},\n", stats(&self.service_ns)));
+        out.push_str(&format!("  \"first_chunk_ns\": {},\n", stats(&self.first_chunk_ns)));
+        out.push_str(&format!("  \"render_ns\": {},\n", stats(&self.render_ns)));
         out.push_str(&format!("  \"request_latency_hist\": {},\n", self.latency_hist.to_json()));
+        out.push_str(&format!("  \"first_chunk_hist\": {},\n", self.first_chunk_hist.to_json()));
         out.push_str(&format!("  \"wall_ns\": {},\n", self.wall_ns));
         out.push_str(&format!("  \"digest\": \"{:#018x}\"\n", self.digest));
         out.push_str("}\n");
@@ -594,9 +654,17 @@ pub struct ClusterMetrics {
     pub replicas: Vec<ReplicaStats>,
     /// Jobs in the submitted schedule.
     pub submitted: usize,
-    /// Requests served (answered with payload bytes), summed over
-    /// replicas.
+    /// Chunk units across the submitted schedule (`== submitted` at
+    /// chunk count 1). The conservation law balances in these units.
+    pub submitted_chunks: usize,
+    /// Chunk units served (answered with payload bytes), summed over
+    /// replicas. With streaming on, one request's chunks may be served
+    /// by different replicas after a failover.
     pub served: usize,
+    /// Whole requests answered: parents whose every chunk was served
+    /// somewhere in the cluster and reassembled (`== served` at chunk
+    /// count 1).
+    pub completed: usize,
     /// Requests shed by replica schedulers (deadline passed while
     /// queued), summed over replicas.
     pub shed: usize,
@@ -636,6 +704,8 @@ pub struct ClusterMetrics {
     pub restarts: usize,
     /// Exact merge of the per-replica end-to-end latency histograms.
     pub latency_hist: LatencyHistogram,
+    /// Exact merge of the per-replica time-to-first-chunk histograms.
+    pub first_chunk_hist: LatencyHistogram,
     /// Virtual wall clock when the last replica went idle.
     pub wall_ns: u64,
     /// Virtual workers per replica.
@@ -653,6 +723,8 @@ impl ClusterMetrics {
     pub fn aggregate(
         replicas: Vec<ReplicaStats>,
         submitted: usize,
+        submitted_chunks: usize,
+        completed: usize,
         front_door: FrontDoorTotals,
         wall_ns: u64,
         workers_per_replica: usize,
@@ -660,12 +732,16 @@ impl ClusterMetrics {
         digest: u64,
     ) -> Self {
         let mut latency_hist = LatencyHistogram::new();
+        let mut first_chunk_hist = LatencyHistogram::new();
         for r in &replicas {
             latency_hist = latency_hist.merge(&r.metrics.latency_hist);
+            first_chunk_hist = first_chunk_hist.merge(&r.metrics.first_chunk_hist);
         }
         ClusterMetrics {
             submitted,
-            served: replicas.iter().map(|r| r.metrics.requests).sum(),
+            submitted_chunks,
+            completed,
+            served: replicas.iter().map(|r| r.metrics.chunks_served).sum(),
             shed: replicas.iter().map(|r| r.metrics.shed).sum(),
             front_door_shed: front_door.front_door_shed,
             overload_shed: front_door.overload_shed,
@@ -682,6 +758,7 @@ impl ClusterMetrics {
             kills: replicas.iter().map(|r| r.kills).sum(),
             restarts: replicas.iter().map(|r| r.restarts).sum(),
             latency_hist,
+            first_chunk_hist,
             wall_ns,
             workers_per_replica,
             threads,
@@ -690,32 +767,38 @@ impl ClusterMetrics {
         }
     }
 
-    /// Every submitted request must terminate exactly once somewhere in
-    /// the cluster: served, scheduler-shed, rejected at an admission
+    /// Every submitted chunk unit must terminate exactly once somewhere
+    /// in the cluster: served, scheduler-shed, rejected at an admission
     /// edge, failed under fault injection, or dropped at the front door.
-    /// Failover moves a request, it never duplicates or loses one — this
+    /// Failover moves a chunk, it never duplicates or loses one — this
     /// is the conservation law the chaos suite (and the CLI self-check)
-    /// enforce.
+    /// enforce. At chunk count 1 the units are whole requests and the
+    /// balance is against `submitted` itself.
     pub fn conserves_submitted(&self) -> bool {
         self.served + self.shed + self.rejected + self.failed + self.front_door_shed
-            == self.submitted
+            == self.submitted_chunks
     }
 
-    /// Renders the `flexnerfer-cluster-bench/3` JSON record (hand-rolled
+    /// Renders the `flexnerfer-cluster-bench/4` JSON record (hand-rolled
     /// like the serve/repro records: every value is a number or a string
-    /// this crate controls). Schema `/3` adds the resilience-layer totals
+    /// this crate controls). Schema `/3` added the resilience-layer totals
     /// (`overload_shed`, `hedged`/`hedge_won`/`hedge_wasted`, `joins`,
     /// `leaves`, `suspects`) and per-replica `suspects`/`slow_factor`/
     /// `departed`; `/2` added the `failed` totals (and the per-lane
     /// `failed`/`degraded` counters inherited from the serve lanes
-    /// array).
+    /// array); `/4` adds the streaming fields — `submitted_chunks`,
+    /// `completed`, `first_chunk_hist` — and re-bases `served`/`shed`/
+    /// `rejected`/`failed` on chunk units (identical to `/3` at chunk
+    /// count 1).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"flexnerfer-cluster-bench/3\",\n");
+        out.push_str("  \"schema\": \"flexnerfer-cluster-bench/4\",\n");
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"replicas\": {},\n", self.replicas.len()));
         out.push_str(&format!("  \"workers_per_replica\": {},\n", self.workers_per_replica));
         out.push_str(&format!("  \"submitted\": {},\n", self.submitted));
+        out.push_str(&format!("  \"submitted_chunks\": {},\n", self.submitted_chunks));
+        out.push_str(&format!("  \"completed\": {},\n", self.completed));
         out.push_str(&format!("  \"served\": {},\n", self.served));
         out.push_str(&format!("  \"shed\": {},\n", self.shed));
         out.push_str(&format!("  \"front_door_shed\": {},\n", self.front_door_shed));
@@ -764,7 +847,7 @@ impl ClusterMetrics {
                 r.routed,
                 r.failed_over_out,
                 r.failed_over_in,
-                m.requests,
+                m.chunks_served,
                 m.shed,
                 m.expired,
                 m.rejected,
@@ -786,6 +869,7 @@ impl ClusterMetrics {
         }
         out.push_str("  ],\n");
         out.push_str(&format!("  \"request_latency_hist\": {},\n", self.latency_hist.to_json()));
+        out.push_str(&format!("  \"first_chunk_hist\": {},\n", self.first_chunk_hist.to_json()));
         out.push_str(&format!("  \"wall_ns\": {},\n", self.wall_ns));
         out.push_str(&format!("  \"digest\": \"{:#018x}\"\n", self.digest));
         out.push_str("}\n");
@@ -809,7 +893,16 @@ mod tests {
     }
 
     fn rm(id: u64, lane: usize, queue_ns: u64, deadline_missed: bool) -> RequestMetric {
-        RequestMetric { id, lane, queue_ns, service_ns: 50_000, batch_size: 1, deadline_missed }
+        RequestMetric {
+            id,
+            lane,
+            queue_ns,
+            service_ns: 50_000,
+            batch_size: 1,
+            chunk: 0,
+            chunk_of: 1,
+            deadline_missed,
+        }
     }
 
     #[test]
@@ -817,9 +910,12 @@ mod tests {
         let s = NsStats::from_samples(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
         assert_eq!(s.p50, 50);
         assert_eq!(s.p95, 100);
+        assert_eq!(s.p99, 100);
         assert_eq!(s.max, 100);
         assert_eq!(s.mean, 55);
         assert_eq!(NsStats::from_samples(&[]).max, 0);
+        let wide: Vec<u64> = (1..=200).collect();
+        assert_eq!(NsStats::from_samples(&wide).p99, 198, "nearest-rank p99 of 1..=200");
     }
 
     /// A run that served nothing must yield all-zero stats everywhere a
@@ -913,9 +1009,14 @@ mod tests {
             4,
         );
         let j = m.to_json();
-        // The schema bump: /3 carries the robustness counters alongside
-        // everything /2 had (lanes array, shed/expired totals).
-        assert!(j.contains("\"schema\": \"flexnerfer-serve-bench/3\""));
+        // The schema bump: /4 carries the streaming fields alongside
+        // everything /3 had (robustness counters, lanes array, totals).
+        assert!(j.contains("\"schema\": \"flexnerfer-serve-bench/4\""));
+        assert!(j.contains("\"chunks_served\": 1,"));
+        assert!(j.contains("\"first_chunk_ns\": {"));
+        assert!(j.contains("\"render_ns\": {"));
+        assert!(j.contains("\"first_chunk_hist\": { \"edges_ns\": [1000, "));
+        assert!(j.contains("\"p99\": "));
         assert!(j.contains("\"rejected\": 2"));
         assert!(j.contains("\"shed\": 1,"));
         assert!(j.contains("\"expired\": 1,"));
@@ -996,6 +1097,45 @@ mod tests {
         assert_eq!(m.lanes[2].shed, 1);
     }
 
+    fn rmc(id: u64, queue_ns: u64, chunk: u32, chunk_of: u32) -> RequestMetric {
+        RequestMetric { chunk, chunk_of, ..rm(id, 0, queue_ns, false) }
+    }
+
+    #[test]
+    fn first_chunk_and_full_render_latencies_group_per_parent() {
+        // Parent 0: two chunks at latencies 50_100 / 50_300 (queue +
+        // 50_000 service). Parent 1: one whole chunk at 50_200. Parent 2
+        // is incomplete (1 of 2 chunks served) — chunk counted, request
+        // not.
+        let reqs = vec![
+            rmc(0, 100, 0, 2),
+            rmc(0, 300, 1, 2),
+            rmc(1, 200, 0, 1),
+            rmc(2, 400, 0, 2),
+        ];
+        let m = ServeMetrics::aggregate(
+            &reqs,
+            &[],
+            &[],
+            &[],
+            &[],
+            &[],
+            &acct(1),
+            RobustTotals::default(),
+            0,
+            1,
+            1,
+        );
+        assert_eq!(m.requests, 2, "only complete parents are answered requests");
+        assert_eq!(m.chunks_served, 4);
+        assert_eq!(m.first_chunk_ns.max, 50_200, "per-parent minima: 50_100 and 50_200");
+        assert_eq!(m.render_ns.max, 50_300, "per-parent maxima: 50_300 and 50_200");
+        assert_eq!(m.first_chunk_hist.total(), 2);
+        assert_eq!(m.latency_hist.total(), 2);
+        // The lane counters stay chunk-granular.
+        assert_eq!(m.lanes[0].served, 4);
+    }
+
     #[test]
     fn histogram_buckets_by_fixed_edges() {
         let mut h = LatencyHistogram::new();
@@ -1009,6 +1149,44 @@ mod tests {
         assert_eq!(h.counts()[7], 1);
         assert_eq!(h.counts()[LATENCY_BUCKETS - 1], 1);
         assert_eq!(h.total(), 5);
+    }
+
+    /// A latency exactly at a log-4 bucket edge must land deterministically
+    /// in the bucket *above* the edge (edges are exclusive upper bounds) on
+    /// every recording path — `record`, `from_samples`, and a `merge` of
+    /// partial histograms. Pins every one of the 13 edges so an off-by-one
+    /// in any path shows up as a bucket migration.
+    #[test]
+    fn every_log4_edge_value_lands_in_one_deterministic_bucket() {
+        for (i, &edge) in LATENCY_EDGES_NS.iter().enumerate() {
+            let mut at = LatencyHistogram::new();
+            at.record(edge);
+            assert_eq!(at.counts()[i + 1], 1, "sample == edge {edge} lands above the edge");
+            assert_eq!(at.total(), 1, "edge {edge} is counted exactly once");
+            let mut below = LatencyHistogram::new();
+            below.record(edge - 1);
+            assert_eq!(below.counts()[i], 1, "edge-1 stays below edge {edge}");
+            assert_eq!(
+                LatencyHistogram::from_samples(&[edge, edge - 1]),
+                at.merge(&below),
+                "from_samples and record agree at edge {edge}"
+            );
+        }
+    }
+
+    /// Merging histograms whose samples straddle the edges is exactly the
+    /// histogram of the combined sample set — the cluster-wide merge can
+    /// never move an edge-valued sample to a different bucket.
+    #[test]
+    fn histogram_merge_is_exact_for_edge_valued_samples() {
+        let samples: Vec<u64> =
+            LATENCY_EDGES_NS.iter().flat_map(|&e| [e - 1, e, e + 1]).collect();
+        for split in [1, 7, samples.len() / 2, samples.len() - 1] {
+            let (a, b) = samples.split_at(split);
+            let merged =
+                LatencyHistogram::from_samples(a).merge(&LatencyHistogram::from_samples(b));
+            assert_eq!(merged, LatencyHistogram::from_samples(&samples), "split at {split}");
+        }
     }
 
     #[test]

@@ -178,6 +178,50 @@ impl fmt::Display for BatchKey {
     }
 }
 
+/// Position of one row-band chunk within its parent render: chunk
+/// `index` of `of`. The partition is a pure function of the job (see
+/// [`effective_chunks`] / [`row_band`]), so the split is byte-stable
+/// across machines, thread widths, and live-vs-virtual execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChunkSpan {
+    /// Zero-based chunk index within the parent request.
+    pub index: u32,
+    /// Total number of chunks the parent request was split into.
+    pub of: u32,
+}
+
+impl ChunkSpan {
+    /// The unchunked span: one chunk covering the whole response.
+    pub const WHOLE: ChunkSpan = ChunkSpan { index: 0, of: 1 };
+
+    /// Whether this span is the entire response (chunk 0 of 1).
+    pub fn is_whole(self) -> bool {
+        self == ChunkSpan::WHOLE
+    }
+}
+
+/// How many chunks a job splits into under a configured chunk count `k`.
+/// Tables never split (the generator runs once and every member shares
+/// the bytes); renders split into at most one chunk per pixel row. A pure
+/// function of `(k, job)`, so the partition is identical everywhere.
+pub fn effective_chunks(k: usize, job: &Workload) -> u32 {
+    match job {
+        Workload::Table(_) => 1,
+        Workload::Render(j) => k.max(1).min(j.height.max(1)) as u32,
+    }
+}
+
+/// The row range `[row0, row0 + rows)` of chunk `index` in an `of`-way
+/// split of a `height`-row image. Bands partition `[0, height)` exactly,
+/// differ in size by at most one row, and depend only on the arguments.
+pub fn row_band(height: usize, index: u32, of: u32) -> (usize, usize) {
+    let of = of.max(1) as usize;
+    let i = index as usize;
+    let row0 = i * height / of;
+    let end = (i + 1) * height / of;
+    (row0, end - row0)
+}
+
 /// A request in flight: the id the server assigned at admission, its
 /// traffic class and deadline, the clock-injected admission timestamp, and
 /// the work itself.
@@ -196,6 +240,9 @@ pub struct Request {
     /// service must *start* strictly before this instant or the scheduler
     /// sheds the request at dequeue. `None` never sheds.
     pub deadline_ns: Option<u64>,
+    /// Which row-band chunk of the parent render this request carries.
+    /// [`ChunkSpan::WHOLE`] for unchunked requests and tables.
+    pub chunk: ChunkSpan,
     /// The work.
     pub job: Workload,
 }
@@ -219,11 +266,61 @@ pub struct Response {
     pub bytes: Vec<u8>,
 }
 
+/// One completed chunk of a request: the parent id, the chunk's span,
+/// and the chunk's slice of the payload. Concatenating a request's chunk
+/// payloads in index order reproduces the unchunked [`Response`] bytes
+/// exactly; the whole-render digest is the FNV fold of the chunk bytes
+/// in that order (see [`fnv1a_with`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkResponse {
+    /// Id of the parent request.
+    pub id: u64,
+    /// Which chunk of the parent this is.
+    pub chunk: ChunkSpan,
+    /// This chunk's slice of the payload bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// The terminal state of one chunk, observable while the rest of the
+/// request is still in flight (see `Client::wait_chunk`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkOutcome {
+    /// The chunk completed; these are its payload bytes.
+    Served(Vec<u8>),
+    /// The chunk was shed (deadline expired before service started).
+    Shed,
+    /// The chunk failed terminally (quarantine, breaker, budget).
+    Failed(String),
+    /// The server shut down before the chunk resolved.
+    Closed,
+}
+
 /// Serializes an image into the response payload layout.
 pub fn image_bytes(img: &fnr_nerf::psnr::Image) -> Vec<u8> {
     let mut out = Vec::with_capacity(8 + img.pixels().len() * 12);
     out.extend_from_slice(&(img.width() as u32).to_le_bytes());
     out.extend_from_slice(&(img.height() as u32).to_le_bytes());
+    for px in img.pixels() {
+        for c in px {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Serializes one rendered row band into its chunk payload slice. `img`
+/// holds only the band's rows; `full_height` is the parent frame height.
+/// Chunk 0 carries the 8-byte `[width][height]` header (with the *full*
+/// frame height) so the stream is self-describing from the first chunk;
+/// later chunks carry bare pixel rows. Concatenating all chunks in index
+/// order is byte-identical to [`image_bytes`] of the full frame.
+pub fn chunk_image_bytes(img: &fnr_nerf::psnr::Image, full_height: usize, chunk: ChunkSpan) -> Vec<u8> {
+    let header = if chunk.index == 0 { 8 } else { 0 };
+    let mut out = Vec::with_capacity(header + img.pixels().len() * 12);
+    if chunk.index == 0 {
+        out.extend_from_slice(&(img.width() as u32).to_le_bytes());
+        out.extend_from_slice(&(full_height as u32).to_le_bytes());
+    }
     for px in img.pixels() {
         for c in px {
             out.extend_from_slice(&c.to_le_bytes());
@@ -251,6 +348,43 @@ pub fn synthetic_payload(job: &Workload) -> Vec<u8> {
     out
 }
 
+/// The chunked form of [`synthetic_payload`]: chunk 0 carries the whole
+/// 16-byte stand-in payload, later chunks are empty (empty slices leave
+/// the FNV fold unchanged), so concatenation in index order reproduces
+/// the unchunked bytes at any chunk count.
+pub fn synthetic_chunk_payload(job: &Workload, chunk: ChunkSpan) -> Vec<u8> {
+    if chunk.index == 0 { synthetic_payload(job) } else { Vec::new() }
+}
+
+/// Reassembles completed chunks into whole [`Response`]s: chunks are
+/// sorted by `(id, chunk index)`, grouped by parent id, and a parent
+/// whose every chunk arrived (count equals the span's `of`) concatenates
+/// to one response in row order. Parents missing any chunk (shed, failed,
+/// or still owned by a dead replica) are dropped — a partial render is
+/// not a response. Output is in ascending id order.
+pub fn assemble_chunks(mut chunks: Vec<ChunkResponse>) -> Vec<Response> {
+    chunks.sort_unstable_by_key(|c| (c.id, c.chunk.index));
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < chunks.len() {
+        let id = chunks[i].id;
+        let of = chunks[i].chunk.of as usize;
+        let mut j = i;
+        while j < chunks.len() && chunks[j].id == id {
+            j += 1;
+        }
+        if j - i == of {
+            let mut bytes = Vec::new();
+            for c in &chunks[i..j] {
+                bytes.extend_from_slice(&c.bytes);
+            }
+            out.push(Response { id, bytes });
+        }
+        i = j;
+    }
+    out
+}
+
 /// Identity hash of a workload: FNV-1a over the coalescing key plus (for
 /// renders) the per-request geometry and camera seed — a pure function of
 /// the job, shared by [`synthetic_payload`] and the fault injector so the
@@ -270,7 +404,17 @@ pub fn job_hash(job: &Workload) -> u64 {
 
 /// FNV-1a 64-bit hash of a byte slice.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv1a_with(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continues an FNV-1a fold from a prior state. Because FNV-1a is a byte
+/// fold, hashing a payload in pieces reproduces the one-shot hash:
+/// `fnv1a_with(fnv1a(a), b) == fnv1a(a ++ b)`. This is the whole-render
+/// digest contract — folding a request's chunk payloads in row order
+/// yields the same hash as the unchunked response bytes, at any chunk
+/// count.
+pub fn fnv1a_with(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -377,5 +521,114 @@ mod tests {
         assert_eq!(bytes.len(), 8 + 3 * 2 * 12);
         assert_eq!(u32::from_le_bytes(bytes[0..4].try_into().unwrap()), 3);
         assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 2);
+    }
+
+    #[test]
+    fn fnv1a_fold_reproduces_one_shot_hash() {
+        let payload: Vec<u8> = (0u16..997).map(|x| (x % 251) as u8).collect();
+        for split in [0, 1, 13, 500, 996, 997] {
+            let (a, b) = payload.split_at(split);
+            assert_eq!(fnv1a_with(fnv1a(a), b), fnv1a(&payload), "split at {split}");
+        }
+        // Three-way fold, including an empty middle piece.
+        let h = fnv1a_with(fnv1a_with(fnv1a(&payload[..100]), &[]), &payload[100..]);
+        assert_eq!(h, fnv1a(&payload));
+    }
+
+    #[test]
+    fn row_bands_partition_exactly() {
+        for height in [0usize, 1, 2, 5, 7, 12, 13, 64] {
+            for of in [1u32, 2, 3, 7, 16] {
+                let mut next = 0usize;
+                let mut total = 0usize;
+                for i in 0..of {
+                    let (row0, rows) = row_band(height, i, of);
+                    assert_eq!(row0, next, "bands contiguous (h={height} of={of} i={i})");
+                    next = row0 + rows;
+                    total += rows;
+                }
+                assert_eq!(total, height, "bands cover [0, h) (h={height} of={of})");
+            }
+        }
+    }
+
+    #[test]
+    fn effective_chunks_caps_at_height_and_skips_tables() {
+        let render = |h| {
+            Workload::Render(RenderJob {
+                scene: SceneKind::Mic,
+                precision: RenderPrecision::Fp32,
+                width: 4,
+                height: h,
+                spp: 2,
+                camera_seed: 0,
+            })
+        };
+        assert_eq!(effective_chunks(1, &render(8)), 1);
+        assert_eq!(effective_chunks(4, &render(8)), 4);
+        assert_eq!(effective_chunks(16, &render(8)), 8, "at most one chunk per row");
+        assert_eq!(effective_chunks(0, &render(8)), 1, "zero is clamped to one");
+        assert_eq!(effective_chunks(4, &render(0)), 1, "empty frames stay whole");
+        assert_eq!(effective_chunks(8, &Workload::Table("t".into())), 1);
+    }
+
+    #[test]
+    fn chunk_payload_concat_matches_unchunked_image_bytes() {
+        let mut img = fnr_nerf::psnr::Image::new(3, 7);
+        for (i, px) in img.pixels_mut().iter_mut().enumerate() {
+            *px = [i as f32, (i * 2) as f32, -(i as f32)];
+        }
+        let whole = image_bytes(&img);
+        for of in [1u32, 2, 3, 7] {
+            let mut concat = Vec::new();
+            let mut folded = 0xcbf2_9ce4_8422_2325u64;
+            for index in 0..of {
+                let (row0, rows) = row_band(7, index, of);
+                let mut band = fnr_nerf::psnr::Image::new(3, rows);
+                for yy in 0..rows {
+                    for x in 0..3 {
+                        band.pixels_mut()[yy * 3 + x] = img.pixels()[(row0 + yy) * 3 + x];
+                    }
+                }
+                let bytes = chunk_image_bytes(&band, 7, ChunkSpan { index, of });
+                folded = fnv1a_with(folded, &bytes);
+                concat.extend_from_slice(&bytes);
+            }
+            assert_eq!(concat, whole, "concat of {of} chunks == unchunked bytes");
+            assert_eq!(folded, fnv1a(&whole), "chunk-digest fold == one-shot digest");
+        }
+    }
+
+    #[test]
+    fn assemble_drops_incomplete_parents_and_concats_in_row_order() {
+        let chunk = |id, index, of, bytes: &[u8]| ChunkResponse {
+            id,
+            chunk: ChunkSpan { index, of },
+            bytes: bytes.to_vec(),
+        };
+        // Parent 5 complete (out of order), parent 9 missing chunk 1 of 2,
+        // parent 2 whole.
+        let assembled = assemble_chunks(vec![
+            chunk(5, 2, 3, b"c"),
+            chunk(9, 0, 2, b"x"),
+            chunk(5, 0, 3, b"a"),
+            chunk(2, 0, 1, b"solo"),
+            chunk(5, 1, 3, b"b"),
+        ]);
+        assert_eq!(assembled.len(), 2);
+        assert_eq!(assembled[0], Response { id: 2, bytes: b"solo".to_vec() });
+        assert_eq!(assembled[1], Response { id: 5, bytes: b"abc".to_vec() });
+    }
+
+    #[test]
+    fn synthetic_chunks_concat_to_unchunked_payload() {
+        let job = Workload::Table("t".into());
+        let whole = synthetic_payload(&job);
+        let mut concat = Vec::new();
+        for index in 0..3u32 {
+            concat.extend(synthetic_chunk_payload(&job, ChunkSpan { index, of: 3 }));
+        }
+        assert_eq!(concat, whole);
+        assert_eq!(synthetic_chunk_payload(&job, ChunkSpan::WHOLE), whole);
     }
 }

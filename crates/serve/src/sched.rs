@@ -296,6 +296,7 @@ mod tests {
             priority,
             arrival_ns: 0,
             deadline_ns,
+            chunk: crate::request::ChunkSpan::WHOLE,
             job: Workload::Render(RenderJob {
                 scene,
                 precision: RenderPrecision::Fp32,

@@ -41,7 +41,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fnr_nerf::hashgrid::HashGridConfig;
-use fnr_nerf::render::{render_reference_batch, BatchView, NgpModel, PreparedQuantized};
+use fnr_nerf::render::{render_reference_rows, BatchView, NgpModel, PreparedQuantized};
 use fnr_par::mpmc::{Lanes, Queue, RecvTimeout};
 use fnr_tensor::Precision;
 
@@ -54,7 +54,10 @@ use crate::metrics::{
     BatchMetric, DegradeMetric, FailMetric, LaneAccounting, RequestMetric, RobustTotals,
     ServeMetrics, ShedMetric,
 };
-use crate::request::{image_bytes, BatchKey, RenderPrecision, Request, Response, Workload};
+use crate::request::{
+    chunk_image_bytes, effective_chunks, row_band, BatchKey, ChunkOutcome, ChunkResponse,
+    ChunkSpan, RenderPrecision, Request, Response, Workload,
+};
 use crate::sched::{LaneScheduler, Priority, SchedConfig, SchedStep};
 use crate::supervise::{panic_reason, supervisor_loop, CrashReport, SuperviseConfig};
 
@@ -103,6 +106,12 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// Flush an undersized batch once its oldest member waited this long.
     pub linger: Duration,
+    /// Row-band chunks a render request splits into at admission (clamped
+    /// to the frame height per request; tables never split). Chunks flow
+    /// through the lanes/scheduler/batcher independently and stream back
+    /// in row order through a per-request reassembly slot; `1` (the
+    /// default) reproduces the unchunked server byte-for-byte.
+    pub chunks: usize,
     /// The scheduling policy: lanes, weights, class mapping.
     pub sched: SchedConfig,
     /// Table generators servable through [`Workload::Table`].
@@ -126,6 +135,7 @@ impl Default for ServerConfig {
             workers: 2,
             max_batch: 8,
             linger: Duration::from_millis(2),
+            chunks: 1,
             sched: SchedConfig::priority_lanes(),
             tables: TableRegistry::new(),
             supervise: SuperviseConfig::default(),
@@ -170,38 +180,83 @@ enum Completion {
     Failed(String),
 }
 
+/// One chunk's slot in a request's reassembly stream.
+#[derive(Debug, Clone)]
+enum ChunkCell {
+    Pending,
+    Served(Vec<u8>),
+    Shed,
+    Failed(String),
+}
+
+/// Per-request reassembly slot: one cell per chunk, opened at admission.
+/// Chunks land in any order; the request resolves once every cell is
+/// terminal. Cells stay readable afterwards so streaming clients can
+/// still collect chunks they have not consumed yet.
+struct StreamSlot {
+    cells: Vec<ChunkCell>,
+    pending: usize,
+}
+
 /// Completion board: outcomes parked until their submitter collects them.
+/// Chunked requests reassemble here — workers post individual chunks, and
+/// the whole-request [`Completion`] materializes (failure-first, then
+/// shed, then the row-order concatenation of the chunk payloads) when the
+/// last chunk lands.
 pub(crate) struct Board {
     state: Mutex<BoardState>,
     ready: Condvar,
 }
 
 struct BoardState {
+    streams: HashMap<u64, StreamSlot>,
     done: HashMap<u64, Completion>,
     closed: bool,
 }
 
 impl Board {
     fn new() -> Self {
-        Board { state: Mutex::new(BoardState { done: HashMap::new(), closed: false }), ready: Condvar::new() }
+        Board {
+            state: Mutex::new(BoardState {
+                streams: HashMap::new(),
+                done: HashMap::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
     }
 
-    pub(crate) fn post(&self, responses: &[Response]) {
+    /// Opens the reassembly slot for request `id` with `of` chunk cells.
+    /// Must happen before the first chunk is enqueued, so no completion
+    /// can race the slot's existence.
+    fn open(&self, id: u64, of: u32) {
+        let mut st = self.state.lock().unwrap();
+        st.streams.insert(id, StreamSlot { cells: vec![ChunkCell::Pending; of as usize], pending: of as usize });
+    }
+
+    /// Discards a slot opened by [`Board::open`] when admission of the
+    /// first chunk failed — the request was never in the server.
+    fn abandon(&self, id: u64) {
+        self.state.lock().unwrap().streams.remove(&id);
+    }
+
+    /// Posts a batch of served chunks (one board lock for the whole batch).
+    pub(crate) fn post_served(&self, responses: Vec<ChunkResponse>) {
         let mut st = self.state.lock().unwrap();
         for r in responses {
-            st.done.insert(r.id, Completion::Answered(r.clone()));
+            st.land(r.id, r.chunk.index, ChunkCell::Served(r.bytes));
         }
         drop(st);
         self.ready.notify_all();
     }
 
-    fn post_shed(&self, id: u64) {
-        self.state.lock().unwrap().done.insert(id, Completion::Shed);
+    fn post_shed(&self, id: u64, index: u32) {
+        self.state.lock().unwrap().land(id, index, ChunkCell::Shed);
         self.ready.notify_all();
     }
 
-    pub(crate) fn post_failed(&self, id: u64, reason: String) {
-        self.state.lock().unwrap().done.insert(id, Completion::Failed(reason));
+    pub(crate) fn post_failed(&self, id: u64, index: u32, reason: String) {
+        self.state.lock().unwrap().land(id, index, ChunkCell::Failed(reason));
         self.ready.notify_all();
     }
 
@@ -227,6 +282,28 @@ impl Board {
         }
     }
 
+    /// Parks until chunk `index` of request `id` is terminal — the
+    /// streaming read: chunk 0 typically resolves well before the full
+    /// render, and chunks can be consumed in row order as they land.
+    fn wait_chunk(&self, id: u64, index: u32) -> ChunkOutcome {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(slot) = st.streams.get(&id) {
+                match slot.cells.get(index as usize) {
+                    Some(ChunkCell::Served(bytes)) => return ChunkOutcome::Served(bytes.clone()),
+                    Some(ChunkCell::Shed) => return ChunkOutcome::Shed,
+                    Some(ChunkCell::Failed(reason)) => return ChunkOutcome::Failed(reason.clone()),
+                    Some(ChunkCell::Pending) => {}
+                    None => return ChunkOutcome::Closed, // index out of range
+                }
+            }
+            if st.closed {
+                return ChunkOutcome::Closed;
+            }
+            st = self.ready.wait(st).unwrap();
+        }
+    }
+
     fn drain_sorted(&self) -> Vec<Response> {
         let mut st = self.state.lock().unwrap();
         let mut out: Vec<Response> = st
@@ -239,6 +316,53 @@ impl Board {
             .collect();
         out.sort_unstable_by_key(|r| r.id);
         out
+    }
+}
+
+impl BoardState {
+    /// Lands one terminal chunk cell; resolves the whole request when its
+    /// last chunk lands. Resolution order: any failed chunk fails the
+    /// request (first failure in row order wins), else any shed chunk
+    /// sheds it, else the payload is the row-order concatenation of the
+    /// chunk bytes — byte-identical to the unchunked render.
+    fn land(&mut self, id: u64, index: u32, cell: ChunkCell) {
+        let Some(slot) = self.streams.get_mut(&id) else { return };
+        let Some(target) = slot.cells.get_mut(index as usize) else { return };
+        if !matches!(target, ChunkCell::Pending) {
+            return; // already terminal (teardown race) — first outcome wins
+        }
+        *target = cell;
+        slot.pending -= 1;
+        if slot.pending > 0 {
+            return;
+        }
+        let mut failed: Option<&str> = None;
+        let mut shed = false;
+        let mut len = 0usize;
+        for c in &slot.cells {
+            match c {
+                ChunkCell::Failed(reason) => {
+                    failed = failed.or(Some(reason));
+                }
+                ChunkCell::Shed => shed = true,
+                ChunkCell::Served(b) => len += b.len(),
+                ChunkCell::Pending => unreachable!("pending hit zero"),
+            }
+        }
+        let completion = if let Some(reason) = failed {
+            Completion::Failed(reason.to_string())
+        } else if shed {
+            Completion::Shed
+        } else {
+            let mut bytes = Vec::with_capacity(len);
+            for c in &slot.cells {
+                if let ChunkCell::Served(b) = c {
+                    bytes.extend_from_slice(b);
+                }
+            }
+            Completion::Answered(Response { id, bytes })
+        };
+        self.done.insert(id, completion);
     }
 }
 
@@ -276,6 +400,8 @@ pub(crate) struct ServerShared {
     /// supervisor exits on its next idle tick.
     pub(crate) shutdown: AtomicBool,
     pub(crate) workers: usize,
+    /// Configured row-band chunk count (see [`ServerConfig::chunks`]).
+    pub(crate) chunks: usize,
 }
 
 impl ServerShared {
@@ -303,36 +429,54 @@ impl Client {
     ) -> Result<u64, SubmitError> {
         let sh = &*self.shared;
         let lane = sh.sched.lane_of(priority);
+        let k = effective_chunks(sh.chunks, &job);
         if sh.lane_caps[lane] == 0 {
-            sh.rejected[lane].fetch_add(1, Ordering::Relaxed);
+            sh.rejected[lane].fetch_add(k as usize, Ordering::Relaxed);
             return Err(SubmitError::Rejected);
         }
         let id = sh.next_id.fetch_add(1, Ordering::Relaxed);
         let arrival_ns = sh.epoch.elapsed().as_nanos() as u64;
-        let req = Request {
-            id,
-            submitted_at: Instant::now(),
-            priority,
-            arrival_ns,
-            deadline_ns: deadline.map(|d| arrival_ns.saturating_add(d.as_nanos() as u64)),
-            job,
-        };
-        let sent = if blocking {
-            sh.lanes.send(lane, req).map_err(|_| SubmitError::Closed)
-        } else {
-            match sh.lanes.try_send(lane, req) {
-                Ok(()) => Ok(()),
-                Err(fnr_par::mpmc::TrySendError::Full(_)) => Err(SubmitError::Rejected),
-                Err(fnr_par::mpmc::TrySendError::Closed(_)) => Err(SubmitError::Closed),
-            }
-        };
-        match sent {
-            Ok(()) => Ok(id),
-            Err(e) => {
-                sh.rejected[lane].fetch_add(1, Ordering::Relaxed);
-                Err(e)
+        let submitted_at = Instant::now();
+        let deadline_ns = deadline.map(|d| arrival_ns.saturating_add(d.as_nanos() as u64));
+        // The reassembly slot must exist before the first chunk can reach
+        // a worker, or a fast completion would have nowhere to land.
+        sh.board.open(id, k);
+        for index in 0..k {
+            let req = Request {
+                id,
+                submitted_at,
+                priority,
+                arrival_ns,
+                deadline_ns,
+                chunk: ChunkSpan { index, of: k },
+                job: job.clone(),
+            };
+            // Admission is atomic per request: only the first chunk can be
+            // rejected for a full lane (non-blocking submits); once it is
+            // in, the rest park on the lane until the scheduler drains it.
+            let sent = if blocking || index > 0 {
+                sh.lanes.send(lane, req).map_err(|_| SubmitError::Closed)
+            } else {
+                match sh.lanes.try_send(lane, req) {
+                    Ok(()) => Ok(()),
+                    Err(fnr_par::mpmc::TrySendError::Full(_)) => Err(SubmitError::Rejected),
+                    Err(fnr_par::mpmc::TrySendError::Closed(_)) => Err(SubmitError::Closed),
+                }
+            };
+            if let Err(e) = sent {
+                if index == 0 {
+                    sh.board.abandon(id);
+                    sh.rejected[lane].fetch_add(k as usize, Ordering::Relaxed);
+                } else {
+                    // Admission closed mid-request (drain race): the sent
+                    // chunks terminate through the pipeline; the remainder
+                    // count as rejected and the waiter observes Closed.
+                    sh.rejected[lane].fetch_add((k - index) as usize, Ordering::Relaxed);
+                }
+                return Err(e);
             }
         }
+        Ok(id)
     }
 
     /// Admits `job` at [`Priority::Standard`] with no deadline, parking
@@ -386,6 +530,16 @@ impl Client {
     /// quarantine, or lost to shutdown.
     pub fn wait_outcome(&self, id: u64) -> WaitOutcome {
         self.shared.board.wait(id)
+    }
+
+    /// Parks until chunk `index` of request `id` is terminal — the
+    /// streaming consumption path. Chunks resolve independently, so chunk
+    /// 0 (which carries the payload header) is typically available long
+    /// before the full render; consuming chunks `0..of` in order yields
+    /// exactly the bytes [`Client::wait`] would return, incrementally. An
+    /// out-of-range index resolves as [`ChunkOutcome::Closed`].
+    pub fn wait_chunk(&self, id: u64, index: u32) -> ChunkOutcome {
+        self.shared.board.wait_chunk(id, index)
     }
 }
 
@@ -454,6 +608,7 @@ impl Server {
             brownout_cfg: cfg.brownout,
             shutdown: AtomicBool::new(false),
             workers,
+            chunks: cfg.chunks,
         });
 
         let scheduler = {
@@ -621,7 +776,7 @@ fn scheduler_loop(shared: &ServerShared) {
                     lane,
                     queue_ns: shared.epoch.elapsed().as_nanos() as u64 - req.arrival_ns,
                 });
-                shared.board.post_shed(req.id);
+                shared.board.post_shed(req.id, req.chunk.index);
                 None
             }
         }
@@ -749,13 +904,15 @@ pub(crate) fn attempt_batch(shared: &ServerShared, batch: Batch) -> Result<(), C
                         queue_ns: exec_start.duration_since(req.submitted_at).as_nanos() as u64,
                         service_ns,
                         batch_size: batch.requests.len(),
+                        chunk: req.chunk.index,
+                        chunk_of: req.chunk.of,
                         deadline_missed: req.deadline_ns.is_some_and(|d| end_ns >= d),
                     });
                 }
             }
             shared.breaker.lock().unwrap().record_success(&batch.key);
             shared.served_batches.fetch_add(1, Ordering::Relaxed);
-            shared.board.post(&responses);
+            shared.board.post_served(responses);
             Ok(())
         }
         Err(payload) => Err(CrashReport { batch, reason: panic_reason(payload) }),
@@ -777,7 +934,7 @@ pub(crate) fn fail_batch(shared: &ServerShared, batch: &Batch, reason: &str) {
         }
     }
     for req in &batch.requests {
-        shared.board.post_failed(req.id, reason.to_string());
+        shared.board.post_failed(req.id, req.chunk.index, reason.to_string());
     }
 }
 
@@ -874,36 +1031,55 @@ pub fn quantized_cache_stats(
 
 /// Executes one coalesced batch. Render batches share one model (and for
 /// quantized precisions, one quantization + calibration); table batches
-/// run the generator once and share the bytes.
-pub(crate) fn execute_batch(batch: &Batch, tables: &TableRegistry) -> Vec<Response> {
+/// run the generator once and share the bytes. Each render member renders
+/// only its own row band — chunked members of different requests coalesce
+/// under the same key, and every band is a bitwise slice of the member's
+/// full frame, so reassembled payloads are byte-identical to unchunked
+/// renders.
+pub(crate) fn execute_batch(batch: &Batch, tables: &TableRegistry) -> Vec<ChunkResponse> {
     match &batch.key {
         BatchKey::Render(scene, precision) => {
-            let views: Vec<BatchView> = batch
+            // (view, row0, rows) per member: the band is a pure function
+            // of the job geometry and the member's chunk span.
+            let members: Vec<(BatchView, usize, usize)> = batch
                 .requests
                 .iter()
                 .map(|r| match &r.job {
-                    Workload::Render(j) => BatchView {
-                        camera: j.camera(),
-                        width: j.width,
-                        height: j.height,
-                        spp: j.spp,
-                    },
+                    Workload::Render(j) => {
+                        let (row0, rows) = row_band(j.height, r.chunk.index, r.chunk.of);
+                        let view = BatchView {
+                            camera: j.camera(),
+                            width: j.width,
+                            height: j.height,
+                            spp: j.spp,
+                        };
+                        (view, row0, rows)
+                    }
                     Workload::Table(_) => unreachable!("table job under a render key"),
                 })
                 .collect();
             let images = match precision {
-                RenderPrecision::Fp32 => render_reference_batch(scene.scene(), &views),
+                RenderPrecision::Fp32 => fnr_par::par_map(&members, |(v, row0, rows)| {
+                    render_reference_rows(scene.scene(), &v.camera, v.width, v.height, v.spp, *row0, *rows)
+                }),
                 RenderPrecision::Quantized(p) => {
                     let entry = prepared_quantized(*scene, *p);
                     entry.uses.fetch_add(1, Ordering::Relaxed);
-                    entry.prepared.get().expect("initialized by prepared_quantized").render_batch(&views)
+                    let prepared = entry.prepared.get().expect("initialized by prepared_quantized");
+                    fnr_par::par_map(&members, |(v, row0, rows)| prepared.render_rows(v, *row0, *rows))
                 }
             };
             batch
                 .requests
                 .iter()
                 .zip(&images)
-                .map(|(r, img)| Response { id: r.id, bytes: image_bytes(img) })
+                .map(|(r, img)| {
+                    let full_h = match &r.job {
+                        Workload::Render(j) => j.height,
+                        Workload::Table(_) => unreachable!("table job under a render key"),
+                    };
+                    ChunkResponse { id: r.id, chunk: r.chunk, bytes: chunk_image_bytes(img, full_h, r.chunk) }
+                })
                 .collect()
         }
         BatchKey::Table(name) => {
@@ -911,7 +1087,11 @@ pub(crate) fn execute_batch(batch: &Batch, tables: &TableRegistry) -> Vec<Respon
                 .resolve(name)
                 .unwrap_or_else(|| panic!("unknown table generator `{name}`"));
             let bytes = generator();
-            batch.requests.iter().map(|r| Response { id: r.id, bytes: bytes.clone() }).collect()
+            batch
+                .requests
+                .iter()
+                .map(|r| ChunkResponse { id: r.id, chunk: r.chunk, bytes: bytes.clone() })
+                .collect()
         }
     }
 }
@@ -1089,6 +1269,71 @@ mod tests {
         assert_eq!(report.metrics.shed, 4);
         assert_eq!(report.metrics.lanes[0].shed, 4);
         assert_eq!(report.metrics.requests, 0);
+    }
+
+    #[test]
+    fn chunked_live_renders_reassemble_byte_identically() {
+        let taller = |seed| {
+            Workload::Render(RenderJob {
+                scene: SceneKind::Lego,
+                precision: RenderPrecision::Fp32,
+                width: 4,
+                height: 5,
+                spp: 2,
+                camera_seed: seed,
+            })
+        };
+        let serve = |chunks: usize| {
+            let mut cfg = ServerConfig { chunks, ..ServerConfig::default() };
+            cfg.tables.register("t", Arc::new(|| b"table bytes".to_vec()));
+            run(&cfg, |client| {
+                for i in 0..4 {
+                    client.submit(taller(i)).unwrap();
+                }
+                client.submit(Workload::Table("t".into())).unwrap();
+            })
+            .1
+        };
+        let whole = serve(1);
+        let chunked = serve(3);
+        assert_eq!(whole.responses.len(), 5);
+        assert_eq!(
+            whole.responses, chunked.responses,
+            "reassembled chunked payloads must be byte-identical to unchunked renders"
+        );
+        assert_eq!(whole.metrics.digest, chunked.metrics.digest);
+        assert_eq!(chunked.metrics.requests, 5);
+        // 4 renders × 3 chunks + 1 table × 1 chunk.
+        assert_eq!(chunked.metrics.chunks_served, 13);
+        assert_eq!(whole.metrics.chunks_served, 5);
+    }
+
+    #[test]
+    fn wait_chunk_streams_row_bands_in_order() {
+        let cfg = ServerConfig { chunks: 2, ..ServerConfig::default() };
+        let ((id, outcome), _report) = run(&cfg, |client| {
+            let id = client.submit(tiny_render(5)).unwrap();
+            let outcome = client.wait_outcome(id);
+            (id, outcome)
+        });
+        let WaitOutcome::Answered(resp) = outcome else {
+            panic!("chunked render must answer");
+        };
+        // Re-run to read the chunks while the server is live.
+        let (chunks, _report) = run(&cfg, |client| {
+            let id2 = client.submit(tiny_render(5)).unwrap();
+            let c0 = client.wait_chunk(id2, 0);
+            let c1 = client.wait_chunk(id2, 1);
+            (c0, c1)
+        });
+        let (ChunkOutcome::Served(c0), ChunkOutcome::Served(c1)) = (&chunks.0, &chunks.1) else {
+            panic!("both chunks must serve: {chunks:?}");
+        };
+        let mut concat = c0.clone();
+        concat.extend_from_slice(c1);
+        assert_eq!(concat, resp.bytes, "streamed chunks concatenate to the whole payload");
+        assert_eq!(&c0[0..4], &4u32.to_le_bytes(), "chunk 0 carries the width header");
+        assert_eq!(id, 0);
     }
 
     #[test]

@@ -108,8 +108,10 @@ pub(crate) fn supervisor_loop(
     let mut workers_alive = shared.workers;
     let mut streak: u32 = 0;
     let mut last_served = shared.served_batches.load(Ordering::Relaxed);
-    // Per-request attempt counts for quarantined culprits.
-    let mut attempts: HashMap<u64, u32> = HashMap::new();
+    // Per-chunk attempt counts for quarantined culprits, keyed
+    // `(request id, chunk index)` — each chunk of a poisoned request
+    // retries and fails independently.
+    let mut attempts: HashMap<(u64, u32), u32> = HashMap::new();
     loop {
         match crash_rx.recv_timeout(Duration::from_millis(2)) {
             Ok(report) => {
@@ -168,14 +170,14 @@ pub(crate) fn quarantine(
     shared: &ServerShared,
     mut batch: Batch,
     reason: String,
-    attempts: &mut HashMap<u64, u32>,
+    attempts: &mut HashMap<(u64, u32), u32>,
 ) {
     if batch.requests.len() <= 1 {
         let Some(req) = batch.requests.first() else { return };
-        let id = req.id;
+        let key = (req.id, req.chunk.index);
         let hash = job_hash(&req.job);
         let attempt = {
-            let n = attempts.entry(id).or_insert(0);
+            let n = attempts.entry(key).or_insert(0);
             *n += 1;
             *n
         };

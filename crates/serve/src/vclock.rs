@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 use crate::batch::{Batch, Batcher, BatcherConfig};
 use crate::fault::{FaultInjector, InjectedFault};
 use crate::metrics::{BatchMetric, FailMetric, RequestMetric, ShedMetric};
-use crate::request::{BatchKey, Request};
+use crate::request::{BatchKey, ChunkSpan, Request};
 use crate::sched::{LaneScheduler, SchedStep};
 use crate::server::ServerConfig;
 use crate::workload::TimedJob;
@@ -48,17 +48,17 @@ struct Running {
 /// arbiter (who started/completed/lost first).
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum PipeEvent {
-    /// A virtual worker took the request's batch after `queue_ns` waiting.
-    Started { id: u64, queue_ns: u64 },
-    /// The request's batch completed service (it will be served).
-    Completed { id: u64 },
-    /// A hedge-tracked request was shed by the scheduler; the terminal
-    /// record is deferred to the cluster arbiter (only emitted for ids
+    /// A virtual worker took the chunk's batch after `queue_ns` waiting.
+    Started { id: u64, chunk: u32, queue_ns: u64 },
+    /// The chunk's batch completed service (it will be served).
+    Completed { id: u64, chunk: u32 },
+    /// A hedge-tracked chunk was shed by the scheduler; the terminal
+    /// record is deferred to the cluster arbiter (only emitted for chunks
     /// marked via [`VirtualPipeline::mark_hedged`]).
-    Shed { id: u64, lane: usize, queue_ns: u64 },
-    /// A hedge-tracked request was failed by the chaos injector; the
+    Shed { id: u64, chunk: u32, lane: usize, queue_ns: u64 },
+    /// A hedge-tracked chunk was failed by the chaos injector; the
     /// terminal record is deferred to the cluster arbiter.
-    Failed { id: u64, lane: usize, queue_ns: u64 },
+    Failed { id: u64, chunk: u32, lane: usize, queue_ns: u64 },
 }
 
 /// What [`VirtualPipeline::cancel`] found.
@@ -128,13 +128,14 @@ pub(crate) struct VirtualPipeline {
     track_events: bool,
     /// Events since the last [`VirtualPipeline::take_events`].
     events: Vec<PipeEvent>,
-    /// Ids whose terminal outcomes are arbitrated by the cluster hedging
-    /// layer: sheds/failures are emitted as events instead of recorded,
-    /// completions are recorded *and* emitted (first completion wins).
-    hedged: HashSet<u64>,
+    /// `(id, chunk)` keys whose terminal outcomes are arbitrated by the
+    /// cluster hedging layer: sheds/failures are emitted as events instead
+    /// of recorded, completions are recorded *and* emitted (first
+    /// completion wins).
+    hedged: HashSet<(u64, u32)>,
     /// Losing hedge copies currently in service: their completion is
     /// dropped — no request metric, no response, the work was wasted.
-    suppressed: HashSet<u64>,
+    suppressed: HashSet<(u64, u32)>,
     pub(crate) decided: Vec<Batch>,
     pub(crate) request_metrics: Vec<RequestMetric>,
     pub(crate) batch_metrics: Vec<BatchMetric>,
@@ -236,10 +237,11 @@ impl VirtualPipeline {
         std::mem::take(&mut self.events)
     }
 
-    /// Marks `id` as hedge-arbitrated: its shed/failure is deferred to
-    /// the cluster (emitted as an event), its completion is emitted too.
-    pub(crate) fn mark_hedged(&mut self, id: u64) {
-        self.hedged.insert(id);
+    /// Marks the `(id, chunk)` copy as hedge-arbitrated: its shed/failure
+    /// is deferred to the cluster (emitted as an event), its completion is
+    /// emitted too.
+    pub(crate) fn mark_hedged(&mut self, id: u64, chunk: u32) {
+        self.hedged.insert((id, chunk));
     }
 
     /// Whether any virtual worker is in service right now (the failure
@@ -248,26 +250,28 @@ impl VirtualPipeline {
         self.workers.iter().any(|w| w.running.is_some())
     }
 
-    /// Cancels the live copy of `id`, wherever it sits: removed outright
-    /// if still queued, suppressed (completes without a trace) if already
-    /// in service. The hedging layer calls this on the losing copy the
-    /// instant the winning copy completes.
-    pub(crate) fn cancel(&mut self, id: u64) -> CancelOutcome {
-        self.hedged.remove(&id);
+    /// Cancels the live copy of `(id, chunk)`, wherever it sits: removed
+    /// outright if still queued, suppressed (completes without a trace) if
+    /// already in service. The hedging layer calls this on the losing copy
+    /// the instant the winning copy completes.
+    pub(crate) fn cancel(&mut self, id: u64, chunk: ChunkSpan) -> CancelOutcome {
+        self.hedged.remove(&(id, chunk.index));
         for lane in &mut self.vlanes {
-            if let Some(pos) = lane.iter().position(|r| r.id == id) {
+            if let Some(pos) = lane.iter().position(|r| r.id == id && r.chunk == chunk) {
                 lane.remove(pos);
                 self.inflight -= 1;
                 return CancelOutcome::Queued;
             }
         }
-        if self.batcher.remove(id).is_some() {
+        if self.batcher.remove(id, chunk).is_some() {
             self.inflight -= 1;
             return CancelOutcome::Queued;
         }
-        fn pull(q: &mut VecDeque<Batch>, id: u64) -> bool {
+        fn pull(q: &mut VecDeque<Batch>, id: u64, chunk: ChunkSpan) -> bool {
             for bi in 0..q.len() {
-                if let Some(ri) = q[bi].requests.iter().position(|r| r.id == id) {
+                if let Some(ri) =
+                    q[bi].requests.iter().position(|r| r.id == id && r.chunk == chunk)
+                {
                     q[bi].requests.remove(ri);
                     if q[bi].requests.is_empty() {
                         q.remove(bi);
@@ -277,15 +281,17 @@ impl VirtualPipeline {
             }
             false
         }
-        if pull(&mut self.stalled, id) || pull(&mut self.batch_q, id) {
+        if pull(&mut self.stalled, id, chunk) || pull(&mut self.batch_q, id, chunk) {
             self.inflight -= 1;
             return CancelOutcome::Queued;
         }
         let in_service = self.workers.iter().any(|w| {
-            w.running.as_ref().is_some_and(|run| run.batch.requests.iter().any(|r| r.id == id))
+            w.running
+                .as_ref()
+                .is_some_and(|run| run.batch.requests.iter().any(|r| r.id == id && r.chunk == chunk))
         });
         if in_service {
-            self.suppressed.insert(id);
+            self.suppressed.insert((id, chunk.index));
             return CancelOutcome::InService;
         }
         CancelOutcome::NotFound
@@ -297,16 +303,17 @@ impl VirtualPipeline {
         self.cache.as_ref().map_or((0, 0), |c| (c.hits, c.misses))
     }
 
-    /// Admits one scheduled job at virtual time `at`. A full (or
-    /// zero-capacity) lane rejects — a virtual open-loop submitter cannot
-    /// park. Returns whether the request entered its lane.
-    pub(crate) fn admit(&mut self, id: u64, at: u64, tj: &TimedJob) -> bool {
+    /// Admits one chunk of a scheduled job at virtual time `at`. A full
+    /// (or zero-capacity) lane rejects — a virtual open-loop submitter
+    /// cannot park. Returns whether the chunk entered its lane.
+    pub(crate) fn admit(&mut self, id: u64, at: u64, tj: &TimedJob, chunk: ChunkSpan) -> bool {
         let arrival = Request {
             id,
             submitted_at: self.inst(at),
             priority: tj.priority,
             arrival_ns: at,
             deadline_ns: tj.deadline.map(|d| at + d.as_nanos() as u64),
+            chunk,
             job: tj.job.clone(),
         };
         self.admit_request(arrival, at)
@@ -405,7 +412,7 @@ impl VirtualPipeline {
                         // Losing hedge copies finish without a trace: the
                         // winner already carries the request's record.
                         let suppressed = &mut self.suppressed;
-                        batch.requests.retain(|req| !suppressed.remove(&req.id));
+                        batch.requests.retain(|req| !suppressed.remove(&(req.id, req.chunk.index)));
                     }
                     for req in &batch.requests {
                         self.request_metrics.push(RequestMetric {
@@ -414,13 +421,16 @@ impl VirtualPipeline {
                             queue_ns: run.start_ns - req.arrival_ns,
                             service_ns: run.service_ns,
                             batch_size: full_size,
+                            chunk: req.chunk.index,
+                            chunk_of: req.chunk.of,
                             deadline_missed: req
                                 .deadline_ns
                                 .is_some_and(|d| run.start_ns + run.service_ns >= d),
                         });
                         if self.track_events {
-                            self.hedged.remove(&req.id);
-                            self.events.push(PipeEvent::Completed { id: req.id });
+                            self.hedged.remove(&(req.id, req.chunk.index));
+                            self.events
+                                .push(PipeEvent::Completed { id: req.id, chunk: req.chunk.index });
                         }
                     }
                     self.busy_ns += run.service_ns;
@@ -470,11 +480,17 @@ impl VirtualPipeline {
                 Some(InjectedFault::Panic) => {
                     let lane = self.sched_cfg.lane_of(req.priority);
                     let queue_ns = now - req.arrival_ns;
-                    if self.track_events && self.hedged.remove(&req.id) {
-                        // A hedge-arbitrated id: the cluster decides which
-                        // copy's terminal outcome counts.
-                        self.events.push(PipeEvent::Failed { id: req.id, lane, queue_ns });
-                    } else if !self.suppressed.remove(&req.id) {
+                    let key = (req.id, req.chunk.index);
+                    if self.track_events && self.hedged.remove(&key) {
+                        // A hedge-arbitrated copy: the cluster decides
+                        // which copy's terminal outcome counts.
+                        self.events.push(PipeEvent::Failed {
+                            id: req.id,
+                            chunk: req.chunk.index,
+                            lane,
+                            queue_ns,
+                        });
+                    } else if !self.suppressed.remove(&key) {
                         self.fail_metrics.push(FailMetric { id: req.id, lane, queue_ns });
                     }
                     self.inflight -= 1;
@@ -519,6 +535,7 @@ impl VirtualPipeline {
                             for req in &batch.requests {
                                 self.events.push(PipeEvent::Started {
                                     id: req.id,
+                                    chunk: req.chunk.index,
                                     queue_ns: now - req.arrival_ns,
                                 });
                             }
@@ -548,10 +565,15 @@ impl VirtualPipeline {
                     }
                     Some(SchedStep::Shed { lane, req }) => {
                         let queue_ns = now - req.arrival_ns;
-                        if self.track_events && self.hedged.remove(&req.id) {
+                        if self.track_events && self.hedged.remove(&(req.id, req.chunk.index)) {
                             // Hedge-arbitrated: the cluster commits the
                             // shed only if no other copy survives.
-                            self.events.push(PipeEvent::Shed { id: req.id, lane, queue_ns });
+                            self.events.push(PipeEvent::Shed {
+                                id: req.id,
+                                chunk: req.chunk.index,
+                                lane,
+                                queue_ns,
+                            });
                         } else {
                             self.shed_metrics.push(ShedMetric { id: req.id, lane, queue_ns });
                         }
@@ -631,10 +653,10 @@ impl VirtualPipeline {
             // A losing hedge copy orphaned by the crash stays a loser:
             // the winner already carries the request, so it just vanishes.
             let suppressed = &mut self.suppressed;
-            orphans.retain(|r| !suppressed.remove(&r.id));
+            orphans.retain(|r| !suppressed.remove(&(r.id, r.chunk.index)));
         }
         self.hedged.clear();
-        orphans.sort_unstable_by_key(|r| r.id);
+        orphans.sort_unstable_by_key(|r| (r.id, r.chunk.index));
         self.sched = LaneScheduler::new(&self.sched_cfg);
         self.batcher = Batcher::new(self.batcher_cfg);
         if let Some(cache) = &mut self.cache {

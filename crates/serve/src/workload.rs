@@ -244,6 +244,18 @@ pub fn generate(spec: &WorkloadSpec) -> Vec<TimedJob> {
     out
 }
 
+/// Total chunk units a schedule admits at the requested chunk count `k`:
+/// the sum of [`effective_chunks`](crate::request::effective_chunks) over
+/// every job. This is the right-hand side of the chunk-granular
+/// conservation law (`served + shed + rejected + failed + front-door ==
+/// total_chunks`), so drivers and benches can assert it without
+/// re-deriving the per-job split.
+pub fn total_chunks(jobs: &[TimedJob], k: usize) -> usize {
+    jobs.iter()
+        .map(|tj| crate::request::effective_chunks(k, &tj.job) as usize)
+        .sum()
+}
+
 /// Seed salt separating the priority stream from the job stream.
 const PRIORITY_STREAM_SALT: u64 = 0x70_72_69_6f_72_69_74_79; // "priority"
 

@@ -160,12 +160,12 @@ fn conservation_holds_under_chaos_and_ids_stay_unique() {
         let m = &report.metrics;
         assert!(
             m.conserves_submitted(),
-            "seed {seed}: {} served + {} shed + {} rejected + {} front-door != {} submitted",
+            "seed {seed}: {} served + {} shed + {} rejected + {} front-door != {} submitted chunks",
             m.served,
             m.shed,
             m.rejected,
             m.front_door_shed,
-            m.submitted
+            m.submitted_chunks
         );
         // No response is duplicated and every id is within the schedule:
         // failover re-admits a request, it never forks it.
@@ -207,6 +207,69 @@ fn degradation_is_monotone_in_fault_count() {
         faulty <= healthy,
         "4 kills served {faulty} > fault-free {healthy} — faults must not create service"
     );
+}
+
+/// Satellite regression for the chunked-failover double-count audit: with
+/// renders split into 4 row-band chunks and replicas dying mid-flight,
+/// every orphaned *chunk* must re-admit at most once — conservation
+/// balances in chunk units, no parent assembles twice, and the whole run
+/// replays byte-identically.
+#[test]
+fn chunked_failover_readmits_orphan_chunks_at_most_once() {
+    let _g = width_guard();
+    fnr_par::set_num_threads(2);
+    let mut saw_failover = false;
+    for seed in [11u64, 23, 47] {
+        let spec = chaos_spec(500, seed, ArrivalPattern::Bursty);
+        let jobs = generate(&spec);
+        let faults = FaultPlan::seeded(seed ^ 0xfa_u64, 4, 500 * 25_000, 2);
+        let mut cfg = chaos_cfg(4, faults);
+        cfg.server.chunks = 4;
+        cfg.server.queue_capacity = 4096;
+        let report = run_cluster(&cfg, &jobs);
+        let m = &report.metrics;
+        // Chunk-granular conservation: the failover path must neither
+        // lose an orphaned chunk nor re-admit it twice — a double
+        // re-admission would serve (or shed) the same chunk unit twice
+        // and overshoot the submitted total.
+        assert!(
+            m.conserves_submitted(),
+            "seed {seed}: {} served + {} shed + {} rejected + {} failed + {} front-door != {} \
+             submitted chunks",
+            m.served,
+            m.shed,
+            m.rejected,
+            m.failed,
+            m.front_door_shed,
+            m.submitted_chunks
+        );
+        assert_eq!(
+            m.submitted_chunks,
+            fnr_serve::workload::total_chunks(&jobs, 4),
+            "seed {seed}: admission lost or forked a chunk before the front door settled"
+        );
+        assert!(
+            m.failed_over <= m.submitted_chunks,
+            "seed {seed}: more failovers than chunk units exist"
+        );
+        // Assembly yields each parent at most once, with ids inside the
+        // schedule: a chunk served on two replicas would duplicate its
+        // parent here.
+        let ids: HashSet<u64> = report.responses.iter().map(|r| r.id).collect();
+        assert_eq!(ids.len(), report.responses.len(), "seed {seed}: duplicated assembled parent");
+        assert!(ids.iter().all(|&id| id < 500), "seed {seed}: response id outside the schedule");
+        assert_eq!(report.responses.len(), m.completed);
+        // Identical replay: the chunked failover path is deterministic.
+        let again = run_cluster(&cfg, &jobs);
+        assert_eq!(
+            cluster_fingerprint(&report),
+            cluster_fingerprint(&again),
+            "seed {seed}: chunked failover replay diverged"
+        );
+        saw_failover |= m.failed_over > 0;
+    }
+    fnr_par::set_num_threads(1);
+    assert!(saw_failover, "no seed orphaned a chunk in flight — the regression isn't regressing");
 }
 
 #[test]
@@ -303,11 +366,14 @@ fn cluster_json_schema_has_required_fields_and_exact_hist_merge() {
     let report = run_cluster(&chaos_cfg(3, faults), &jobs);
     let j = report.metrics.to_json();
     for field in [
-        "\"schema\": \"flexnerfer-cluster-bench/3\"",
+        "\"schema\": \"flexnerfer-cluster-bench/4\"",
         "\"threads\": ",
         "\"replicas\": 3",
         "\"workers_per_replica\": ",
         "\"submitted\": 400",
+        "\"submitted_chunks\": 400",
+        "\"completed\": ",
+        "\"first_chunk_hist\": { \"edges_ns\": [1000, ",
         "\"served\": ",
         "\"shed\": ",
         "\"front_door_shed\": ",

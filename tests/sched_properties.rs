@@ -21,6 +21,7 @@ fn req(id: u64, scene: SceneKind, priority: Priority, deadline_ns: Option<u64>) 
         priority,
         arrival_ns: 0,
         deadline_ns,
+        chunk: fnr_serve::ChunkSpan::WHOLE,
         job: Workload::Render(RenderJob {
             scene,
             precision: RenderPrecision::Fp32,

@@ -1,0 +1,166 @@
+//! Streaming-response invariants: a render split into K row-band chunks
+//! must fold back to exactly the unchunked render — same response set,
+//! same digest — at any chunk count, any `FNR_THREADS`, live or virtual.
+//! Chunking may only move *metrics* (first-chunk latency arrives before
+//! the whole render), never payload bytes.
+//!
+//! Width flips are process-global, so the property tests hold
+//! `fnr_par::width_test_guard` for their whole body.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use fnr_par::width_test_guard as width_guard;
+use fnr_serve::workload::{generate, total_chunks, ArrivalPattern, WorkloadSpec};
+use fnr_serve::{
+    run_open_loop, run_virtual, FaultInjector, Response, RetryPolicy, ServerConfig,
+    VirtualService,
+};
+use proptest::prelude::*;
+
+/// Chunk counts the digest must be invariant across: the identity split,
+/// small even/odd splits, a prime that never divides the render heights
+/// evenly, and one larger than many renders are tall (so `effective_chunks`
+/// clamps per job).
+const CHUNK_COUNTS: [usize; 5] = [1, 2, 3, 7, 16];
+
+fn spec(requests: usize, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        requests,
+        seed,
+        pattern: ArrivalPattern::Bursty,
+        table_names: fnr_bench::serving::table_names(),
+        mean_gap: Duration::from_micros(30),
+        priority_mix: [0.3, 0.4, 0.3],
+        // No deadlines: the scheduler may only reorder, never drop, so
+        // every chunk count serves the identical request set.
+        ..WorkloadSpec::default()
+    }
+}
+
+fn cfg(chunks: usize) -> ServerConfig {
+    ServerConfig {
+        chunks,
+        // Ample lanes: chunking multiplies admissions by up to `chunks`,
+        // and a capacity rejection is load-dependent — it would make the
+        // served set (and so the digest) vary with the chunk count, which
+        // is exactly what this suite must rule out for accepted requests.
+        queue_capacity: 8192,
+        tables: fnr_bench::serving::table_registry(),
+        ..ServerConfig::default()
+    }
+}
+
+fn by_id(rs: &[Response]) -> HashMap<u64, Vec<u8>> {
+    rs.iter().map(|r| (r.id, r.bytes.clone())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The tentpole contract: the folded whole-render digest is a pure
+    /// function of the workload — invariant in the chunk count and in
+    /// `FNR_THREADS`, and the full response vectors (ids and bytes)
+    /// match the unchunked run exactly.
+    #[test]
+    fn prop_folded_digest_is_invariant_in_chunk_count_and_width(seed in 0u64..10_000) {
+        let _g = width_guard();
+        let jobs = generate(&spec(48, seed));
+        let service = VirtualService { service_ns: 400_000, per_item_ns: 1_000 };
+        fnr_par::set_num_threads(1);
+        let baseline = run_virtual(&cfg(1), &jobs, service);
+        prop_assert_eq!(baseline.responses.len(), 48, "no-deadline run must answer everything");
+        for &threads in &[1usize, 4] {
+            fnr_par::set_num_threads(threads);
+            for &k in &CHUNK_COUNTS {
+                let report = run_virtual(&cfg(k), &jobs, service);
+                prop_assert_eq!(
+                    report.metrics.digest, baseline.metrics.digest,
+                    "digest moved at {} threads, {} chunks", threads, k
+                );
+                prop_assert_eq!(report.responses.len(), baseline.responses.len());
+                for (a, b) in report.responses.iter().zip(&baseline.responses) {
+                    prop_assert_eq!(a.id, b.id);
+                    prop_assert_eq!(
+                        &a.bytes, &b.bytes,
+                        "payload of request {} moved at {} chunks", a.id, k
+                    );
+                }
+                // Conservation stays chunk-granular: every admitted chunk
+                // unit is served (nothing sheds without deadlines).
+                prop_assert_eq!(report.metrics.chunks_served, total_chunks(&jobs, k));
+            }
+        }
+        fnr_par::set_num_threads(1);
+    }
+}
+
+/// Streaming's observable win: the first chunk of a render can never
+/// arrive *after* the whole render, so the first-chunk latency stats are
+/// dominated fieldwise by the full-render stats, and both histograms
+/// cover exactly the fully-served parents.
+#[test]
+fn first_chunk_latency_never_exceeds_full_render_latency() {
+    let jobs = generate(&spec(120, 1905));
+    let report = run_virtual(
+        &cfg(8),
+        &jobs,
+        VirtualService { service_ns: 400_000, per_item_ns: 1_000 },
+    );
+    let m = &report.metrics;
+    assert_eq!(m.requests, 120);
+    assert!(m.chunks_served > m.requests, "a --chunks 8 run must actually split renders");
+    assert!(m.first_chunk_ns.mean <= m.render_ns.mean);
+    assert!(m.first_chunk_ns.p50 <= m.render_ns.p50);
+    assert!(m.first_chunk_ns.p95 <= m.render_ns.p95);
+    assert!(m.first_chunk_ns.p99 <= m.render_ns.p99);
+    assert!(m.first_chunk_ns.max <= m.render_ns.max);
+    assert_eq!(m.first_chunk_hist.total(), m.requests as u64);
+    assert_eq!(m.latency_hist.total(), m.requests as u64);
+}
+
+/// Poisoned-chunk quarantine, live: when a chunked batch panics, bisection
+/// must isolate exactly the poisoned parents' chunks — every innocent
+/// parent (including ones whose chunks shared batches with poisoned
+/// chunks) assembles byte-identically to the fault-free unchunked run,
+/// and no poisoned parent answers.
+#[test]
+fn poisoned_chunk_quarantine_leaves_sibling_chunks_byte_identical() {
+    let jobs = generate(&spec(200, 42));
+    let inj = FaultInjector { seed: 7, panic_per_mille: 60, delay_per_mille: 0, delay_ns: 0 };
+    // Open-loop single submitter: request id == schedule index.
+    let poisoned: Vec<u64> = jobs
+        .iter()
+        .enumerate()
+        .filter(|(_, tj)| inj.poisons(&tj.job))
+        .map(|(i, _)| i as u64)
+        .collect();
+    assert!(!poisoned.is_empty(), "6% of 200 must poison something");
+
+    let baseline = run_open_loop(&cfg(1), &jobs);
+    let faulted = run_open_loop(
+        &ServerConfig {
+            injector: Some(inj),
+            retry: RetryPolicy { max_attempts: 2, backoff_ns: 10_000, seed: 3 },
+            ..cfg(3)
+        },
+        &jobs,
+    );
+
+    let base = by_id(&baseline.responses);
+    let got = by_id(&faulted.responses);
+    for &id in &poisoned {
+        assert!(!got.contains_key(&id), "poisoned request {id} must not answer");
+    }
+    for (id, bytes) in &base {
+        if !poisoned.contains(id) {
+            assert_eq!(
+                got.get(id),
+                Some(bytes),
+                "innocent request {id} moved bytes under chunked chaos"
+            );
+        }
+    }
+    assert_eq!(got.len() + poisoned.len(), jobs.len(), "served + failed partitions the schedule");
+    assert!(faulted.metrics.failed >= poisoned.len(), "every poisoned chunk resolves failed");
+}
